@@ -1,0 +1,182 @@
+//! Sink-side kernels shared by the applications, plus argument marshalling.
+//!
+//! hStreams marshals scalar arguments as bytes; these helpers pack/unpack
+//! little-endian `u32` dimension lists the way the apps' kernels expect.
+
+use bytes::Bytes;
+use hs_linalg::blas3::{dgemm, dgemm_nt, dsyrk_ln, dtrsm_rlt};
+use hs_linalg::factor::{dpotrf, ldlt};
+use hstreams_core::{HStreams, TaskCtx, TaskFn};
+use std::sync::Arc;
+
+/// Pack u32 scalars as task args.
+pub fn pack_dims(dims: &[u32]) -> Bytes {
+    let mut v = Vec::with_capacity(dims.len() * 4);
+    for d in dims {
+        v.extend_from_slice(&d.to_le_bytes());
+    }
+    Bytes::from(v)
+}
+
+/// Unpack u32 scalars from task args.
+pub fn unpack_dims(args: &[u8]) -> Vec<u32> {
+    args.chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect()
+}
+
+/// `tile_gemm_nn`: operands (A in, B in, C out/inout); args m, n, k, beta01.
+/// `beta01 == 0` overwrites C (first accumulation step).
+fn tile_gemm_nn(ctx: &mut TaskCtx) {
+    let d = unpack_dims(ctx.args());
+    let (m, n, k, beta) = (d[0] as usize, d[1] as usize, d[2] as usize, d[3]);
+    let a: Vec<f64> = ctx.buf_f64(0).to_vec();
+    let b: Vec<f64> = ctx.buf_f64(1).to_vec();
+    let c = ctx.buf_f64_mut(2);
+    if beta == 0 {
+        c.fill(0.0);
+    }
+    dgemm(1.0, &a, &b, 1.0, c, m, n, k);
+}
+
+/// `tile_gemm_nt`: `C -= A · Bᵀ`; operands (A in, B in, C inout); args m,n,k.
+fn tile_gemm_nt(ctx: &mut TaskCtx) {
+    let d = unpack_dims(ctx.args());
+    let (m, n, k) = (d[0] as usize, d[1] as usize, d[2] as usize);
+    let a: Vec<f64> = ctx.buf_f64(0).to_vec();
+    let b: Vec<f64> = ctx.buf_f64(1).to_vec();
+    let c = ctx.buf_f64_mut(2);
+    dgemm_nt(-1.0, &a, &b, 1.0, c, m, n, k);
+}
+
+/// `tile_syrk`: `C -= A·Aᵀ` (lower); operands (A in, C inout); args n, k.
+fn tile_syrk(ctx: &mut TaskCtx) {
+    let d = unpack_dims(ctx.args());
+    let (n, k) = (d[0] as usize, d[1] as usize);
+    let a: Vec<f64> = ctx.buf_f64(0).to_vec();
+    let c = ctx.buf_f64_mut(1);
+    dsyrk_ln(&a, c, n, k);
+}
+
+/// `tile_trsm`: `B = B · L⁻ᵀ`; operands (L in, B inout); args m, n.
+fn tile_trsm(ctx: &mut TaskCtx) {
+    let d = unpack_dims(ctx.args());
+    let (m, n) = (d[0] as usize, d[1] as usize);
+    let l: Vec<f64> = ctx.buf_f64(0).to_vec();
+    let b = ctx.buf_f64_mut(1);
+    dtrsm_rlt(&l, b, m, n);
+}
+
+/// `tile_potrf`: in-place Cholesky of the diagonal tile; operands (A inout);
+/// args n.
+fn tile_potrf(ctx: &mut TaskCtx) {
+    let d = unpack_dims(ctx.args());
+    let n = d[0] as usize;
+    let a = ctx.buf_f64_mut(0);
+    dpotrf(a, n).expect("diagonal tile must stay positive definite");
+    hs_linalg::dense::zero_upper(a, n);
+}
+
+/// `tile_ldlt`: in-place LDLᵀ of a supernode block; operands (A inout);
+/// args n.
+fn tile_ldlt(ctx: &mut TaskCtx) {
+    let d = unpack_dims(ctx.args());
+    let n = d[0] as usize;
+    let a = ctx.buf_f64_mut(0);
+    ldlt(a, n).expect("supernode pivots must stay non-singular");
+}
+
+/// `tile_lu_nopiv`: in-place unpivoted LU of the diagonal tile; operands
+/// (A inout); args n.
+fn tile_lu_nopiv(ctx: &mut TaskCtx) {
+    let d = unpack_dims(ctx.args());
+    let n = d[0] as usize;
+    let a = ctx.buf_f64_mut(0);
+    hs_linalg::factor::lu_nopiv(a, n).expect("block-LU diagonal tile must be non-singular");
+}
+
+/// `tile_trsm_llu`: `B = L⁻¹ B` (block-LU row panel); operands (LU in,
+/// B inout); args m(=tile of L), n(cols of B).
+fn tile_trsm_llu(ctx: &mut TaskCtx) {
+    let d = unpack_dims(ctx.args());
+    let (m, n) = (d[0] as usize, d[1] as usize);
+    let l: Vec<f64> = ctx.buf_f64(0).to_vec();
+    let b = ctx.buf_f64_mut(1);
+    hs_linalg::blas3::dtrsm_llu(&l, b, m, n);
+}
+
+/// `tile_trsm_runn`: `B = B U⁻¹` (block-LU column panel); operands (LU in,
+/// B inout); args m(rows of B), n(=tile of U).
+fn tile_trsm_runn(ctx: &mut TaskCtx) {
+    let d = unpack_dims(ctx.args());
+    let (m, n) = (d[0] as usize, d[1] as usize);
+    let u: Vec<f64> = ctx.buf_f64(0).to_vec();
+    let b = ctx.buf_f64_mut(1);
+    hs_linalg::blas3::dtrsm_runn(&u, b, m, n);
+}
+
+/// `tile_gemm_sub`: `C -= A·B`; operands (A in, B in, C inout); args m,n,k.
+fn tile_gemm_sub(ctx: &mut TaskCtx) {
+    let d = unpack_dims(ctx.args());
+    let (m, n, k) = (d[0] as usize, d[1] as usize, d[2] as usize);
+    let a: Vec<f64> = ctx.buf_f64(0).to_vec();
+    let b: Vec<f64> = ctx.buf_f64(1).to_vec();
+    let c = ctx.buf_f64_mut(2);
+    dgemm(-1.0, &a, &b, 1.0, c, m, n, k);
+}
+
+/// `whole_getrf`: full-matrix LU with partial pivoting (the untiled
+/// scheme); operands (A inout); args n. Pivots are recomputed by callers
+/// that need them; this kernel validates the factorization path.
+fn whole_getrf(ctx: &mut TaskCtx) {
+    let d = unpack_dims(ctx.args());
+    let n = d[0] as usize;
+    let a = ctx.buf_f64_mut(0);
+    hs_linalg::factor::dgetrf(a, n).expect("matrix must be non-singular");
+}
+
+/// `tile_touch`: reads its operand and does nothing — used to force a
+/// region's valid copy to a domain (e.g. gather results to the host in a
+/// dataflow runtime).
+fn tile_touch(_ctx: &mut TaskCtx) {}
+
+/// The full kernel table (name → function).
+pub fn kernel_table() -> Vec<(&'static str, TaskFn)> {
+    vec![
+        ("tile_gemm_nn", Arc::new(tile_gemm_nn) as TaskFn),
+        ("tile_gemm_nt", Arc::new(tile_gemm_nt) as TaskFn),
+        ("tile_syrk", Arc::new(tile_syrk) as TaskFn),
+        ("tile_trsm", Arc::new(tile_trsm) as TaskFn),
+        ("tile_potrf", Arc::new(tile_potrf) as TaskFn),
+        ("tile_ldlt", Arc::new(tile_ldlt) as TaskFn),
+        ("tile_lu_nopiv", Arc::new(tile_lu_nopiv) as TaskFn),
+        ("tile_trsm_llu", Arc::new(tile_trsm_llu) as TaskFn),
+        ("tile_trsm_runn", Arc::new(tile_trsm_runn) as TaskFn),
+        ("tile_gemm_sub", Arc::new(tile_gemm_sub) as TaskFn),
+        ("whole_getrf", Arc::new(whole_getrf) as TaskFn),
+        ("tile_touch", Arc::new(tile_touch) as TaskFn),
+    ]
+}
+
+/// Register every app kernel on a runtime (idempotent; names are stable).
+pub fn register_all(hs: &mut HStreams) {
+    for (name, f) in kernel_table() {
+        hs.register(name, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_round_trip() {
+        let b = pack_dims(&[3, 500, 0, u32::MAX]);
+        assert_eq!(unpack_dims(&b), vec![3, 500, 0, u32::MAX]);
+    }
+
+    #[test]
+    fn empty_args_unpack_empty() {
+        assert!(unpack_dims(&[]).is_empty());
+    }
+}

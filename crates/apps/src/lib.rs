@@ -1,0 +1,26 @@
+//! # hs-apps — the paper's applications on the hStreams runtime
+//!
+//! Each module implements one of §V's applications, parameterized by
+//! platform and executor so the same code validates numerically in
+//! real-thread mode and regenerates the paper's performance figures in
+//! virtual-time mode:
+//!
+//! * [`matmul`] — heterogeneous tiled matrix multiplication with the Fig. 4
+//!   distribution (A broadcast, B/C column panels, host-as-target streams,
+//!   optional load balancing) — Figs. 3 and 6;
+//! * [`cholesky`] — heterogeneous tiled Cholesky with the Fig. 5
+//!   distribution, plus the MKL-Automatic-Offload-like and MAGMA-like
+//!   comparator schedules and the OmpSs port — Fig. 7;
+//! * [`solver`] — the Abaqus/Standard-like symmetric solver: a standalone
+//!   dense LDLᵀ supernode (Fig. 9) and the 8-workload full-application
+//!   model (Fig. 8);
+//! * [`rtm`] — the Petrobras-like reverse-time-migration stencil with
+//!   barrier-based and dependence-queued halo exchange schemes (§VI).
+
+pub mod cholesky;
+pub mod kernels;
+pub mod lu;
+pub mod matmul;
+pub mod rtm;
+pub mod solver;
+pub mod tilebuf;

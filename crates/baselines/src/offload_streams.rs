@@ -1,0 +1,264 @@
+//! An Intel-compiler "Offload Streams" shaped model (§IV).
+//!
+//! Offload Streams extended the compiler's Language Extensions for Offload:
+//! a `stream` clause on the offload pragma, API calls to create/destroy/wait
+//! on streams, and **`signal`/`wait` clauses** to order offloaded regions —
+//! "While OpenMP uses the depend clause ..., Offload Streams uses signal and
+//! wait clauses." The paper's other observations, reproduced here:
+//!
+//! * streaming **via offload to other devices only** — no host-as-target
+//!   streams (creating a host stream is rejected);
+//! * no convenience functions that "automatically create streams across
+//!   available devices" — the caller wires every stream explicitly;
+//! * compiler-based: kernels are "compiled in", so there is no runtime
+//!   registration API on this surface (the model reuses the sink registry
+//!   underneath, as the compiler's generated code would).
+//!
+//! Ordering: like hStreams, an Offload Streams stream allows concurrency
+//! subject to the declared signals — each offloaded region may *signal* a
+//! tag and *wait* on tags; regions without signal/wait relations and without
+//! operand overlap may overlap in execution.
+
+use bytes::Bytes;
+use hstreams_core::{
+    BufProps, BufferId, CostHint, CpuMask, DomainId, Event, ExecMode, HStreams, HsError,
+    HsResult, Operand, StreamId, TaskFn,
+};
+use hs_machine::PlatformCfg;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// An offload stream handle (`_Offload_stream` in the compiler API).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OffStream {
+    inner: StreamId,
+}
+
+/// The Offload-Streams-like runtime surface.
+pub struct OffloadStreams {
+    hs: HStreams,
+    /// signal-tag → completion event of the last region that signalled it.
+    signals: HashMap<u64, Event>,
+    api: HashMap<&'static str, u64>,
+}
+
+impl OffloadStreams {
+    pub fn new(platform: PlatformCfg, mode: ExecMode) -> OffloadStreams {
+        OffloadStreams {
+            hs: HStreams::init(platform, mode),
+            signals: HashMap::new(),
+            api: HashMap::new(),
+        }
+    }
+
+    fn bump(&mut self, name: &'static str) {
+        *self.api.entry(name).or_insert(0) += 1;
+    }
+
+    /// Register the sink code (stands in for the compiler emitting the
+    /// offload section for the target).
+    pub fn compile_section(&mut self, name: &str, f: TaskFn) {
+        self.hs.register(name, f);
+    }
+
+    /// `_Offload_stream_create(device, n_threads)`: offload-only — the host
+    /// is not a valid target ("Offload Streams supports streaming via
+    /// offload to other devices only").
+    pub fn stream_create(&mut self, device: DomainId, threads: u32) -> HsResult<OffStream> {
+        self.bump("_Offload_stream_create");
+        if device.is_host() {
+            return Err(HsError::InvalidArg(
+                "Offload Streams cannot target the host".into(),
+            ));
+        }
+        let cores = self.hs.domains()[device.0].cores.min(threads.max(1));
+        let inner = self.hs.stream_create(device, CpuMask::first(cores))?;
+        Ok(OffStream { inner })
+    }
+
+    /// `_Offload_stream_destroy`.
+    pub fn stream_destroy(&mut self, _s: OffStream) {
+        self.bump("_Offload_stream_destroy");
+    }
+
+    /// Allocate + bind data for the offload region (`#pragma offload_transfer`
+    /// style staging). Returns the buffer handle used in region operands.
+    pub fn alloc(&mut self, len: usize, device: DomainId) -> HsResult<BufferId> {
+        self.bump("offload_alloc");
+        let b = self.hs.buffer_create(len, BufProps::default());
+        self.hs.buffer_instantiate(b, device)?;
+        Ok(b)
+    }
+
+    /// `#pragma offload_transfer in(...)` on a stream.
+    pub fn transfer_in(&mut self, s: OffStream, buf: BufferId, range: Range<usize>) -> HsResult<()> {
+        self.bump("offload_transfer_in");
+        let to = self.hs.stream_domain(s.inner)?;
+        self.hs.enqueue_xfer(s.inner, buf, range, DomainId::HOST, to)?;
+        Ok(())
+    }
+
+    /// `#pragma offload_transfer out(...)` on a stream.
+    pub fn transfer_out(&mut self, s: OffStream, buf: BufferId, range: Range<usize>) -> HsResult<()> {
+        self.bump("offload_transfer_out");
+        let from = self.hs.stream_domain(s.inner)?;
+        self.hs.enqueue_xfer(s.inner, buf, range, from, DomainId::HOST)?;
+        Ok(())
+    }
+
+    /// One offloaded region: `#pragma offload target(mic) stream(s)
+    /// signal(tag) wait(tags...)`. Waits resolve against previously
+    /// signalled tags; the region's completion re-binds its `signal` tag.
+    #[allow(clippy::too_many_arguments)]
+    pub fn offload(
+        &mut self,
+        s: OffStream,
+        section: &str,
+        args: Bytes,
+        operands: &[Operand],
+        cost: CostHint,
+        waits: &[u64],
+        signal: Option<u64>,
+    ) -> HsResult<()> {
+        self.bump("offload");
+        let wait_events: Vec<Event> = waits
+            .iter()
+            .map(|t| {
+                self.signals
+                    .get(t)
+                    .copied()
+                    .ok_or_else(|| HsError::InvalidArg(format!("wait on unsignalled tag {t}")))
+            })
+            .collect::<HsResult<_>>()?;
+        if !wait_events.is_empty() {
+            self.hs.enqueue_cross_wait(s.inner, &wait_events)?;
+        }
+        let ev = self.hs.enqueue_compute(s.inner, section, args, operands, cost)?;
+        if let Some(tag) = signal {
+            self.signals.insert(tag, ev);
+        }
+        Ok(())
+    }
+
+    /// `_Offload_stream_wait` — block the host until the stream drains.
+    pub fn stream_wait(&mut self, s: OffStream) -> HsResult<()> {
+        self.bump("_Offload_stream_wait");
+        self.hs.stream_synchronize(s.inner)
+    }
+
+    pub fn host_write_f64(&mut self, b: BufferId, off: usize, v: &[f64]) -> HsResult<()> {
+        self.hs.buffer_write_f64(b, off, v)
+    }
+
+    pub fn host_read_f64(&mut self, b: BufferId, off: usize, out: &mut [f64]) -> HsResult<()> {
+        self.hs.buffer_read_f64(b, off, out)
+    }
+
+    /// Measured (unique, total) API calls on this surface.
+    pub fn api_counts(&self) -> (usize, u64) {
+        (self.api.len(), self.api.values().sum())
+    }
+
+    pub fn now_secs(&self) -> f64 {
+        self.hs.now_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_machine::Device;
+    use hstreams_core::Access;
+    use std::sync::Arc;
+
+    fn rt() -> OffloadStreams {
+        let mut o = OffloadStreams::new(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
+        o.compile_section(
+            "inc",
+            Arc::new(|ctx: &mut hstreams_core::TaskCtx| {
+                for x in ctx.buf_f64_mut(0) {
+                    *x += 1.0;
+                }
+            }),
+        );
+        o
+    }
+
+    #[test]
+    fn host_streams_are_rejected() {
+        let mut o = rt();
+        assert!(matches!(
+            o.stream_create(DomainId::HOST, 4),
+            Err(HsError::InvalidArg(_))
+        ));
+    }
+
+    #[test]
+    fn offload_round_trip_with_signal_wait() {
+        let mut o = rt();
+        let dev = DomainId(1);
+        let s1 = o.stream_create(dev, 4).expect("s1");
+        let s2 = o.stream_create(dev, 4).expect("s2");
+        let b = o.alloc(8 * 4, dev).expect("alloc");
+        o.host_write_f64(b, 0, &[0.0; 4]).expect("write");
+        o.transfer_in(s1, b, 0..32).expect("in");
+        o.offload(
+            s1,
+            "inc",
+            Bytes::new(),
+            &[Operand::f64s(b, 0, 4, Access::InOut)],
+            CostHint::trivial(),
+            &[],
+            Some(7),
+        )
+        .expect("first region signals tag 7");
+        // Region in the OTHER stream waits on the signal.
+        o.offload(
+            s2,
+            "inc",
+            Bytes::new(),
+            &[Operand::f64s(b, 0, 4, Access::InOut)],
+            CostHint::trivial(),
+            &[7],
+            None,
+        )
+        .expect("second region waits tag 7");
+        o.transfer_out(s2, b, 0..32).expect("out");
+        o.stream_wait(s1).expect("wait s1");
+        o.stream_wait(s2).expect("wait s2");
+        let mut out = [0.0; 4];
+        o.host_read_f64(b, 0, &mut out).expect("read");
+        assert_eq!(out, [2.0; 4]);
+    }
+
+    #[test]
+    fn waiting_on_unsignalled_tag_is_an_error() {
+        let mut o = rt();
+        let s = o.stream_create(DomainId(1), 4).expect("stream");
+        let b = o.alloc(32, DomainId(1)).expect("alloc");
+        let err = o
+            .offload(
+                s,
+                "inc",
+                Bytes::new(),
+                &[Operand::f64s(b, 0, 4, Access::InOut)],
+                CostHint::trivial(),
+                &[99],
+                None,
+            )
+            .expect_err("tag 99 never signalled");
+        assert!(matches!(err, HsError::InvalidArg(_)));
+    }
+
+    #[test]
+    fn api_calls_are_counted() {
+        let mut o = rt();
+        let s = o.stream_create(DomainId(1), 4).expect("stream");
+        let b = o.alloc(32, DomainId(1)).expect("alloc");
+        o.transfer_in(s, b, 0..32).expect("in");
+        o.stream_wait(s).expect("wait");
+        let (unique, total) = o.api_counts();
+        assert!(unique >= 4);
+        assert_eq!(total, 4);
+    }
+}

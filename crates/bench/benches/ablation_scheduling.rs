@@ -1,0 +1,94 @@
+//! Ablation — static pinning vs dynamic (earliest-finish-time) placement in
+//! the OmpSs layer.
+//!
+//! The paper's related-work section notes hStreams "does not yet automate
+//! dynamic scheduling, as TBB Flow Graph, Legion, CnC, HPX and others do";
+//! the scheduling layer above it is where that belongs. This ablation runs
+//! an *irregular* task bag (mixed sizes, like a multifrontal solver's
+//! fronts) over host + 2 cards three ways: everything pinned to one card,
+//! round-robin pinning, and the EFT `Placement::Auto` policy.
+
+use hs_apps::kernels::{kernel_table, pack_dims};
+use hs_bench::{f, x, Table};
+use hs_linalg::flops;
+use hs_machine::{Device, KernelKind, PlatformCfg};
+use hs_ompss::{Backend, DataAccess, OmpSs, Placement};
+use hstreams_core::{CostHint, DomainId, ExecMode};
+
+/// Irregular front sizes: many small, some large — with the large fronts
+/// recurring at a fixed stride. Static round-robin pinning is brittle to
+/// exactly this (every third task lands on the same device, so all the
+/// heavy fronts pile up together); a dynamic policy should not care.
+fn front_sizes() -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut big = 0usize;
+    let mut mid = 0usize;
+    for i in 0..72 {
+        if i % 18 == 0 && big < 4 {
+            v.push(8000 + big * 1500);
+            big += 1;
+        } else if i % 6 == 0 && mid < 12 {
+            v.push(3000 + (mid * 611) % 2500);
+            mid += 1;
+        } else {
+            v.push(900 + (i * 97) % 500);
+        }
+    }
+    v
+}
+
+#[derive(Clone, Copy)]
+enum Policy {
+    OneCard,
+    RoundRobin,
+    Auto,
+}
+
+fn run_policy(policy: Policy) -> f64 {
+    let mut o = OmpSs::new(
+        PlatformCfg::hetero(Device::Hsw, 2),
+        ExecMode::Sim,
+        Backend::HStreams,
+        4,
+    );
+    for (name, func) in kernel_table() {
+        o.register(name, func);
+    }
+    let sizes = front_sizes();
+    let data: Vec<_> = sizes.iter().map(|n| o.data_create(n * n * 8)).collect();
+    let t0 = o.now_secs();
+    for (i, (n, d)) in sizes.iter().zip(&data).enumerate() {
+        let placement = match policy {
+            Policy::OneCard => Placement::Pin(DomainId(1)),
+            Policy::RoundRobin => Placement::Pin(DomainId(i % 3)),
+            Policy::Auto => Placement::Auto,
+        };
+        o.task_placed(
+            "tile_potrf",
+            pack_dims(&[*n as u32]),
+            &[DataAccess::inout(*d)],
+            CostHint::new(KernelKind::Ldlt, flops::ldlt(*n), *n as u64),
+            placement,
+        )
+        .expect("task");
+    }
+    o.taskwait().expect("taskwait");
+    o.now_secs() - t0
+}
+
+fn main() {
+    let one = run_policy(Policy::OneCard);
+    let rr = run_policy(Policy::RoundRobin);
+    let auto = run_policy(Policy::Auto);
+    let mut t = Table::new(vec!["policy", "makespan (s)", "vs one-card"]);
+    t.row(vec!["pin all to one card".to_string(), f(one), x(1.0)]);
+    t.row(vec!["round-robin pinning".to_string(), f(rr), x(one / rr)]);
+    t.row(vec!["EFT dynamic (Auto)".to_string(), f(auto), x(one / auto)]);
+    t.print("Ablation — task placement policy, irregular front bag on HSW + 2 KNC");
+    println!(
+        "\nEFT vs round-robin on this bag: {:+.1}%. The large fronts recur at a fixed\n\
+         stride, so static pinning stacks them on one device; the dynamic policy\n\
+         spreads them by estimated finish time regardless of arrival pattern.",
+        (rr / auto - 1.0) * 100.0
+    );
+}

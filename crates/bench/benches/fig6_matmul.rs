@@ -1,0 +1,84 @@
+//! Fig. 6 — heterogeneous tiled matrix multiply, Gflop/s vs matrix size for
+//! every platform configuration the paper plots, including the
+//! with/without-load-balancing pair on IVB + 2 KNC.
+//!
+//! Paper asymptotes: HSW+2KNC 2599, HSW+1KNC 1622, 1 KNC (offload) 982,
+//! HSW native 902, IVB+2KNC balanced 1878 / naive 1192 (1.58x), IVB+1KNC
+//! 1165, IVB native 475.
+
+use hs_apps::matmul::{run, MatmulConfig};
+use hs_bench::{f, Table};
+use hs_machine::{Device, PlatformCfg};
+use hstreams_core::{ExecMode, HStreams};
+
+fn tile_for(n: usize) -> usize {
+    (n / 20).clamp(400, 3000)
+}
+
+fn gflops(platform: PlatformCfg, n: usize, host: bool, balance: bool) -> f64 {
+    let mut cfg = MatmulConfig::new(n, tile_for(n));
+    cfg.host_participates = host;
+    cfg.load_balance = balance;
+    let mut hs = HStreams::init(platform, ExecMode::Sim);
+    hs.set_tracing(false);
+    run(&mut hs, &cfg).expect("matmul runs").gflops
+}
+
+fn main() {
+    let sizes = [2000usize, 5000, 10000, 16000, 22000, 30000];
+    let mut t = Table::new(vec![
+        "n",
+        "HSW+2KNC",
+        "HSW+1KNC",
+        "1KNC(off)",
+        "HSW native",
+        "IVB+2KNC bal",
+        "IVB+2KNC naive",
+        "IVB+1KNC",
+        "IVB native",
+    ]);
+    let mut last: Vec<f64> = Vec::new();
+    for &n in &sizes {
+        let vals = vec![
+            gflops(PlatformCfg::hetero(Device::Hsw, 2), n, true, true),
+            gflops(PlatformCfg::hetero(Device::Hsw, 1), n, true, true),
+            gflops(PlatformCfg::offload(Device::Hsw, 1), n, false, true),
+            gflops(PlatformCfg::native(Device::Hsw), n, true, true),
+            gflops(PlatformCfg::hetero(Device::Ivb, 2), n, true, true),
+            gflops(PlatformCfg::hetero(Device::Ivb, 2), n, true, false),
+            gflops(PlatformCfg::hetero(Device::Ivb, 1), n, true, true),
+            gflops(PlatformCfg::native(Device::Ivb), n, true, true),
+        ];
+        let mut row = vec![n.to_string()];
+        row.extend(vals.iter().map(|v| f(*v)));
+        t.row(row);
+        last = vals;
+    }
+    t.print("Fig. 6 — hetero matmul Gflop/s vs n (measured, virtual time)");
+
+    let paper = [2599.0, 1622.0, 982.0, 902.0, 1878.0, 1192.0, 1165.0, 475.0];
+    let mut p = Table::new(vec!["config", "measured@30000", "paper peak", "ratio"]);
+    let names = [
+        "HSW+2KNC",
+        "HSW+1KNC",
+        "1KNC(off)",
+        "HSW native",
+        "IVB+2KNC bal",
+        "IVB+2KNC naive",
+        "IVB+1KNC",
+        "IVB native",
+    ];
+    for i in 0..names.len() {
+        p.row(vec![
+            names[i].to_string(),
+            f(last[i]),
+            f(paper[i]),
+            format!("{:.2}", last[i] / paper[i]),
+        ]);
+    }
+    p.print("Fig. 6 — asymptote comparison");
+    println!(
+        "\nLoad-balancing gain on IVB+2KNC at n=30000: {:.2}x (paper: 1.58x)",
+        last[4] / last[5]
+    );
+}

@@ -1,0 +1,49 @@
+//! Fig. 8 — Abaqus/Standard-like speedups when 2 MIC cards are added to
+//! Xeon cores, for 8 customer-representative workloads, on IVB and HSW
+//! hosts, for the solver kernel and the full application.
+//!
+//! Paper bands: solver up to 2.61x (IVB) / 1.45x (HSW); full application up
+//! to 1.99x (IVB) / 1.22x (HSW). The solver-vs-app gap tracks each
+//! workload's solver dominance.
+
+use hs_apps::solver::{fig8_speedups, fig8_workloads};
+use hs_bench::{x, Table};
+use hs_machine::Device;
+
+fn main() {
+    let mut t = Table::new(vec![
+        "workload",
+        "sym",
+        "solver frac",
+        "IVB solver",
+        "IVB app",
+        "HSW solver",
+        "HSW app",
+    ]);
+    let mut max_ivb = (0.0f64, 0.0f64);
+    let mut max_hsw = (0.0f64, 0.0f64);
+    for w in fig8_workloads() {
+        let (ivb_s, ivb_a) = fig8_speedups(Device::Ivb, &w).expect("ivb run");
+        let (hsw_s, hsw_a) = fig8_speedups(Device::Hsw, &w).expect("hsw run");
+        max_ivb = (max_ivb.0.max(ivb_s), max_ivb.1.max(ivb_a));
+        max_hsw = (max_hsw.0.max(hsw_s), max_hsw.1.max(hsw_a));
+        let frac = w.solver_flops() / (w.solver_flops() + w.non_solver_flops);
+        t.row(vec![
+            w.name.to_string(),
+            if w.symmetric { "sym" } else { "unsym" }.to_string(),
+            format!("{frac:.2}"),
+            x(ivb_s),
+            x(ivb_a),
+            x(hsw_s),
+            x(hsw_a),
+        ]);
+    }
+    t.print("Fig. 8 — speedups from adding 2 KNC cards (measured)");
+
+    let mut p = Table::new(vec!["metric", "measured max", "paper max"]);
+    p.row(vec!["IVB solver".to_string(), x(max_ivb.0), "2.61x".to_string()]);
+    p.row(vec!["IVB full app".to_string(), x(max_ivb.1), "1.99x".to_string()]);
+    p.row(vec!["HSW solver".to_string(), x(max_hsw.0), "1.45x".to_string()]);
+    p.row(vec!["HSW full app".to_string(), x(max_hsw.1), "1.22x".to_string()]);
+    p.print("Fig. 8 — band comparison");
+}

@@ -1,0 +1,105 @@
+//! §IV — OmpSs over hStreams vs OmpSs over CUDA Streams.
+//!
+//! "For a 4Kx4K matrix multiply in OmpSs, the hStreams-based implementation
+//! was 1.45x faster than CUDA Streams. The primary contributors ... are
+//! that for CUDA Streams, OmpSs needs to explicitly compute and enforce
+//! dependences, whereas this is not necessary within hStreams." The
+//! conclusions also cite a 1.4x gain on a 6K x 6K, 2x2-tiled multiply.
+//!
+//! Both backends run the *identical* OmpSs task graph; only the streaming
+//! semantics differ (strict FIFO + explicit events vs FIFO-semantic
+//! out-of-order). The sync counts are printed to show where the gap
+//! comes from.
+
+use hs_apps::kernels::{kernel_table, pack_dims};
+use hs_bench::{f, x, Table};
+use hs_linalg::{flops, TileMap};
+use hs_machine::{Device, KernelKind, PlatformCfg};
+use hs_ompss::{Backend, DataAccess, OmpSs};
+use hstreams_core::{CostHint, DomainId, ExecMode};
+
+fn ompss_matmul(backend: Backend, n: usize, tile: usize) -> (f64, u64) {
+    let mut o = OmpSs::new(
+        PlatformCfg::offload(Device::Hsw, 1),
+        ExecMode::Sim,
+        backend,
+        4,
+    );
+    for (name, func) in kernel_table() {
+        o.register(name, func);
+    }
+    let map = TileMap::new(n, tile);
+    let nt = map.nt;
+    let card = DomainId(1);
+    let mk = |o: &mut OmpSs, i: usize, j: usize| o.data_create(map.tile_bytes(i, j));
+    let a: Vec<_> = (0..nt * nt)
+        .map(|id| mk(&mut o, id / nt, id % nt))
+        .collect();
+    let b: Vec<_> = (0..nt * nt)
+        .map(|id| mk(&mut o, id / nt, id % nt))
+        .collect();
+    let c: Vec<_> = (0..nt * nt)
+        .map(|id| mk(&mut o, id / nt, id % nt))
+        .collect();
+    let t0 = o.now_secs();
+    for i in 0..nt {
+        for j in 0..nt {
+            let (mi, nj) = (map.dim(i), map.dim(j));
+            for k in 0..nt {
+                let kk = map.dim(k);
+                o.task(
+                    "tile_gemm_nn",
+                    pack_dims(&[mi as u32, nj as u32, kk as u32, u32::from(k > 0)]),
+                    &[
+                        DataAccess::input(a[map.id(i, k)]),
+                        DataAccess::input(b[map.id(k, j)]),
+                        DataAccess::inout(c[map.id(i, j)]),
+                    ],
+                    CostHint::new(KernelKind::Dgemm, flops::gemm(mi, nj, kk), tile as u64),
+                    card,
+                )
+                .expect("task");
+            }
+        }
+    }
+    o.taskwait().expect("taskwait");
+    let secs = o.now_secs() - t0;
+    (secs, o.syncs_inserted())
+}
+
+fn main() {
+    let mut t = Table::new(vec![
+        "case",
+        "hStreams (s)",
+        "CUDA-like (s)",
+        "hStr/CUDA",
+        "paper",
+        "syncs hStr",
+        "syncs CUDA",
+    ]);
+    for (label, n, tile, paper) in [
+        ("4K x 4K, 4x4 tiles", 4096usize, 1024usize, "1.45x"),
+        ("6K x 6K, 2x2 tiles", 6144, 3072, "1.40x"),
+    ] {
+        let (hs_secs, hs_syncs) = ompss_matmul(Backend::HStreams, n, tile);
+        let (cu_secs, cu_syncs) = ompss_matmul(Backend::CudaStreams, n, tile);
+        t.row(vec![
+            label.to_string(),
+            f(hs_secs),
+            f(cu_secs),
+            x(cu_secs / hs_secs),
+            paper.to_string(),
+            hs_syncs.to_string(),
+            cu_syncs.to_string(),
+        ]);
+    }
+    t.print("§IV — OmpSs matmul: hStreams backend vs CUDA-Streams backend");
+    println!(
+        "\nThe CUDA backend records an event after every task and waits per cross-task\n\
+         dependence; the hStreams backend's same-stream dependences ride the FIFO+operand\n\
+         semantics for free and out-of-order execution overlaps the rest.\n\
+         Note: our per-call cost for CUDA bookkeeping is a flat 5us enqueue; the paper's\n\
+         1.45x also includes Nanos++'s host-side dependence computation for CUDA, which\n\
+         this model underprices — we reproduce the direction and the sync-count gap."
+    );
+}

@@ -1,0 +1,105 @@
+//! # hs-bench — the figure/table regeneration harness
+//!
+//! Each bench target (run via `cargo bench`) regenerates one table or
+//! figure of the paper's evaluation, printing measured values next to the
+//! paper's reported ones. Absolute Gflop/s are produced by the calibrated
+//! virtual-time executor (see `hs-machine::calib` for exactly which
+//! constants were fitted); the *shapes* — who wins, crossover points,
+//! scaling and overhead bands — come from the real scheduling machinery.
+//!
+//! This library crate holds the small table-formatting and comparison
+//! helpers the bench targets share.
+
+/// A simple aligned-text table writer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    pub fn print(&self, title: &str) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        println!("\n=== {title} ===");
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+            }
+            line
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn f(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Format a ratio as `1.23x`.
+pub fn x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Compare a measured value against the paper's and annotate.
+pub fn vs_paper(measured: f64, paper: f64) -> String {
+    let rel = measured / paper;
+    format!("{} (paper {}, {:.0}%)", f(measured), f(paper), rel * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panic() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "22"]);
+        t.row(vec!["333", "4"]);
+        t.print("test");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1"]);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(f(1234.6), "1235");
+        assert_eq!(f(56.78), "56.8");
+        assert_eq!(f(3.456), "3.46");
+        assert_eq!(x(1.449), "1.45x");
+        assert!(vs_paper(900.0, 902.0).contains("paper"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Completion events with wait/poll semantics and error propagation.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Observable status of an event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EventStatus {
+    Pending,
+    Done,
+    Failed(String),
+}
+
+type Callback = Box<dyn FnOnce(&EventStatus) + Send>;
+
+struct EventCore {
+    status: Mutex<EventStatus>,
+    cv: Condvar,
+    callbacks: Mutex<Vec<Callback>>,
+}
+
+/// A shareable one-shot completion event. Cloning shares the same core.
+#[derive(Clone)]
+pub struct CoiEvent {
+    core: Arc<EventCore>,
+}
+
+impl Default for CoiEvent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoiEvent {
+    pub fn new() -> CoiEvent {
+        CoiEvent {
+            core: Arc::new(EventCore {
+                status: Mutex::new(EventStatus::Pending),
+                cv: Condvar::new(),
+                callbacks: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// An event that is already complete.
+    pub fn done() -> CoiEvent {
+        let ev = CoiEvent::new();
+        ev.signal();
+        ev
+    }
+
+    /// Mark complete and wake waiters. Signalling twice is idempotent;
+    /// signalling after `fail` keeps the failure.
+    pub fn signal(&self) {
+        self.complete(EventStatus::Done);
+    }
+
+    /// Mark failed and wake waiters.
+    pub fn fail(&self, msg: impl Into<String>) {
+        self.complete(EventStatus::Failed(msg.into()));
+    }
+
+    fn complete(&self, new: EventStatus) {
+        let final_status;
+        {
+            let mut st = self.core.status.lock();
+            if *st != EventStatus::Pending {
+                return;
+            }
+            *st = new;
+            final_status = st.clone();
+            self.core.cv.notify_all();
+        }
+        // Run callbacks outside the status lock; new registrations observe
+        // the final status and run inline.
+        let cbs = std::mem::take(&mut *self.core.callbacks.lock());
+        for cb in cbs {
+            cb(&final_status);
+        }
+    }
+
+    /// Run `cb` with the final status once the event completes. If the event
+    /// is already complete the callback runs inline on the calling thread;
+    /// otherwise it runs on the completing thread.
+    pub fn on_complete(&self, cb: impl FnOnce(&EventStatus) + Send + 'static) {
+        {
+            // Hold the status lock across the push: `complete` sets the
+            // status under this lock before draining callbacks, so a
+            // registration that observes Pending is guaranteed to be drained
+            // (lock order is status -> callbacks on this path only; the
+            // drain in `complete` takes callbacks without status).
+            let st = self.core.status.lock();
+            if *st == EventStatus::Pending {
+                self.core.callbacks.lock().push(Box::new(cb));
+                return;
+            }
+        }
+        cb(&self.status());
+    }
+
+    pub fn status(&self) -> EventStatus {
+        self.core.status.lock().clone()
+    }
+
+    pub fn is_complete(&self) -> bool {
+        !matches!(self.status(), EventStatus::Pending)
+    }
+
+    /// Block until complete; `Err` carries the failure message.
+    pub fn wait(&self) -> Result<(), String> {
+        let mut st = self.core.status.lock();
+        while *st == EventStatus::Pending {
+            self.core.cv.wait(&mut st);
+        }
+        match &*st {
+            EventStatus::Done => Ok(()),
+            EventStatus::Failed(m) => Err(m.clone()),
+            EventStatus::Pending => unreachable!("loop exits only when complete"),
+        }
+    }
+
+    /// Wait for all events; the first failure (in list order) is reported.
+    pub fn wait_all(events: &[CoiEvent]) -> Result<(), String> {
+        for ev in events {
+            ev.wait()?;
+        }
+        Ok(())
+    }
+
+    /// Wait until at least one event completes; returns its index. The
+    /// paper highlights wait-any ("being signaled when one or all the events
+    /// are finished ... can save CPU spinning time"); this implementation
+    /// parks on each core's condvar round-robin with short waits rather than
+    /// spinning.
+    pub fn wait_any(events: &[CoiEvent]) -> Result<usize, String> {
+        assert!(!events.is_empty(), "wait_any on empty set");
+        loop {
+            for (i, ev) in events.iter().enumerate() {
+                match ev.status() {
+                    EventStatus::Done => return Ok(i),
+                    EventStatus::Failed(m) => return Err(m),
+                    EventStatus::Pending => {}
+                }
+            }
+            // Park briefly on the first pending event.
+            let ev = &events[0];
+            let mut st = ev.core.status.lock();
+            if *st == EventStatus::Pending {
+                ev.core
+                    .cv
+                    .wait_for(&mut st, std::time::Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_completes_waiters() {
+        let ev = CoiEvent::new();
+        let ev2 = ev.clone();
+        let t = std::thread::spawn(move || ev2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(!ev.is_complete());
+        ev.signal();
+        assert_eq!(t.join().expect("thread completes"), Ok(()));
+    }
+
+    #[test]
+    fn fail_propagates_message() {
+        let ev = CoiEvent::new();
+        ev.fail("boom");
+        assert_eq!(ev.wait(), Err("boom".to_string()));
+        assert_eq!(ev.status(), EventStatus::Failed("boom".into()));
+    }
+
+    #[test]
+    fn signal_is_idempotent_and_fail_after_done_ignored() {
+        let ev = CoiEvent::new();
+        ev.signal();
+        ev.signal();
+        ev.fail("late");
+        assert_eq!(ev.wait(), Ok(()));
+    }
+
+    #[test]
+    fn done_constructor_is_complete() {
+        assert!(CoiEvent::done().is_complete());
+    }
+
+    #[test]
+    fn wait_all_stops_at_first_failure() {
+        let a = CoiEvent::done();
+        let b = CoiEvent::new();
+        b.fail("x");
+        let c = CoiEvent::done();
+        assert_eq!(CoiEvent::wait_all(&[a, b, c]), Err("x".to_string()));
+    }
+
+    #[test]
+    fn wait_any_returns_first_completed_index() {
+        let a = CoiEvent::new();
+        let b = CoiEvent::new();
+        let b2 = b.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            b2.signal();
+        });
+        let idx = CoiEvent::wait_any(&[a.clone(), b.clone()]).expect("one completes");
+        assert_eq!(idx, 1);
+        t.join().expect("thread completes");
+        a.signal();
+    }
+
+    #[test]
+    fn on_complete_fires_on_signal() {
+        let ev = CoiEvent::new();
+        let hit = Arc::new(parking_lot::Mutex::new(None));
+        let h = hit.clone();
+        ev.on_complete(move |st| *h.lock() = Some(st.clone()));
+        assert!(hit.lock().is_none());
+        ev.signal();
+        assert_eq!(*hit.lock(), Some(EventStatus::Done));
+    }
+
+    #[test]
+    fn on_complete_after_completion_runs_inline() {
+        let ev = CoiEvent::new();
+        ev.fail("gone");
+        let hit = Arc::new(parking_lot::Mutex::new(None));
+        let h = hit.clone();
+        ev.on_complete(move |st| *h.lock() = Some(st.clone()));
+        assert_eq!(*hit.lock(), Some(EventStatus::Failed("gone".into())));
+    }
+
+    #[test]
+    fn multiple_callbacks_all_fire() {
+        let ev = CoiEvent::new();
+        let count = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for _ in 0..5 {
+            let c = count.clone();
+            ev.on_complete(move |_| {
+                c.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        }
+        ev.signal();
+        assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let ev = CoiEvent::new();
+        let clone = ev.clone();
+        ev.signal();
+        assert!(clone.is_complete());
+    }
+}

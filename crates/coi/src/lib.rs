@@ -1,0 +1,193 @@
+//! # hs-coi — a COI-like offload plumbing layer
+//!
+//! The hStreams library is "layered above other plumbing layers": the Intel
+//! Coprocessor Offload Infrastructure (COI), which provides *engines*
+//! (devices), *processes* (sink-side runtimes), *pipelines* (in-order command
+//! queues bound to CPU masks), *run functions* (named sink-side entry
+//! points) and *buffers*. This crate reproduces that layer on top of
+//! [`hs_fabric`]:
+//!
+//! * [`CoiRuntime`] — owns the fabric and the engine table (engine 0 is
+//!   the host).
+//! * [`pipeline::Pipeline`] — a sink thread executing [`RunFunction`]s in
+//!   arrival order, with a *width* used by [`RunCtx::par_for`] so a
+//!   task expands across the pipeline's threads (the hStreams stream-width
+//!   semantics).
+//! * [`registry::FnRegistry`] — name → function table shared by all
+//!   processes, mirroring COI's symbol lookup of sink binaries (and letting
+//!   the same task code run on any engine, the paper's portability point).
+//! * [`event::CoiEvent`] — completion events with wait/poll, error-carrying
+//!   (a panicking run function *fails* the event instead of hanging the
+//!   host).
+//! * [`pool::BufferPool`] — the 2 MB buffer pool whose absence the paper's
+//!   §III overhead analysis flags as significant.
+
+pub mod event;
+pub mod pipeline;
+pub mod pool;
+pub mod registry;
+pub mod workgroup;
+
+pub use event::{CoiEvent, EventStatus};
+pub use pipeline::{Pipeline, PipelineHandle, RunCtx};
+pub use pool::{BufferPool, PoolStats, PooledWindow};
+pub use registry::{FnRegistry, RunFunction};
+
+use hs_fabric::{Fabric, NodeId, Pacer, WindowId};
+use std::sync::Arc;
+
+/// Identifies an engine (device) in the COI sense. Engine 0 is the host.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EngineId(pub u16);
+
+impl EngineId {
+    pub const HOST: EngineId = EngineId(0);
+
+    pub fn node(self) -> NodeId {
+        NodeId(self.0)
+    }
+
+    pub fn is_host(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// The COI runtime: fabric + per-engine state.
+pub struct CoiRuntime {
+    fabric: Arc<Fabric>,
+    registry: Arc<FnRegistry>,
+    pools: Vec<BufferPool>,
+    n_engines: usize,
+}
+
+impl CoiRuntime {
+    /// A runtime with the host plus `n_cards` card engines. `pacer` controls
+    /// real-time DMA pacing (use [`Pacer::unpaced`] for functional tests).
+    pub fn new(n_cards: usize, pacer: Pacer) -> Arc<CoiRuntime> {
+        let n_engines = n_cards + 1;
+        let fabric = Arc::new(Fabric::new(n_engines, pacer));
+        let pools = (0..n_engines).map(|_| BufferPool::new()).collect();
+        Arc::new(CoiRuntime {
+            fabric,
+            registry: Arc::new(FnRegistry::new()),
+            pools,
+            n_engines,
+        })
+    }
+
+    pub fn num_engines(&self) -> usize {
+        self.n_engines
+    }
+
+    pub fn engines(&self) -> impl Iterator<Item = EngineId> + '_ {
+        (0..self.n_engines as u16).map(EngineId)
+    }
+
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    pub fn registry(&self) -> &Arc<FnRegistry> {
+        &self.registry
+    }
+
+    /// Register a run function available on every engine.
+    pub fn register(&self, name: &str, f: RunFunction) {
+        self.registry.register(name, f);
+    }
+
+    /// Create a pipeline on `engine` with `width` threads for task
+    /// expansion.
+    pub fn pipeline_create(self: &Arc<Self>, engine: EngineId, width: usize) -> Pipeline {
+        Pipeline::spawn(self.clone(), engine, width)
+    }
+
+    /// Allocate a window on `engine`, through the engine's buffer pool when
+    /// `pooled` (COI's 2 MB pool) or directly otherwise.
+    pub fn buffer_alloc(&self, engine: EngineId, len: usize, pooled: bool) -> PooledWindow {
+        self.pools[engine.0 as usize].alloc(&self.fabric, engine.node(), len, pooled)
+    }
+
+    /// Return a pooled window for reuse.
+    pub fn buffer_free(&self, engine: EngineId, win: PooledWindow) {
+        self.pools[engine.0 as usize].free(&self.fabric, win);
+    }
+
+    /// Pool statistics for an engine (used by the §III overheads bench).
+    pub fn pool_stats(&self, engine: EngineId) -> PoolStats {
+        self.pools[engine.0 as usize].stats()
+    }
+
+    /// Synchronous DMA between windows (callers place it on their own
+    /// threads; hStreams' executor runs these on per-direction DMA threads).
+    pub fn dma_copy(
+        &self,
+        src: WindowId,
+        src_off: usize,
+        dst: WindowId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<(), hs_fabric::FabricError> {
+        self.fabric.dma_copy(src, src_off, dst, dst_off, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn engine_enumeration() {
+        let rt = CoiRuntime::new(2, Pacer::unpaced());
+        let engines: Vec<_> = rt.engines().collect();
+        assert_eq!(engines.len(), 3);
+        assert!(engines[0].is_host());
+        assert!(!engines[2].is_host());
+    }
+
+    #[test]
+    fn run_function_executes_on_card_engine() {
+        let rt = CoiRuntime::new(1, Pacer::unpaced());
+        rt.register(
+            "fill7",
+            Arc::new(|ctx: &mut RunCtx| {
+                let buf = ctx.buf_mut(0);
+                buf.fill(7);
+            }),
+        );
+        let card = EngineId(1);
+        let win = rt.buffer_alloc(card, 16, true);
+        let pipe = rt.pipeline_create(card, 1);
+        let ev = pipe.run("fill7", Bytes::new(), vec![(win.id(), 0..16, true)]);
+        ev.wait().expect("run function succeeds");
+        let mem = rt.fabric().window(win.id()).expect("window exists");
+        let g = mem.lock_range(0..16, false).expect("in bounds");
+        assert_eq!(g.as_slice(), &[7u8; 16]);
+    }
+
+    #[test]
+    fn unknown_function_fails_event() {
+        let rt = CoiRuntime::new(1, Pacer::unpaced());
+        let pipe = rt.pipeline_create(EngineId(1), 1);
+        let ev = pipe.run("nope", Bytes::new(), vec![]);
+        let err = ev.wait().expect_err("unknown function must fail");
+        assert!(err.contains("nope"), "error names the function: {err}");
+    }
+
+    #[test]
+    fn dma_between_engines_via_runtime() {
+        let rt = CoiRuntime::new(1, Pacer::unpaced());
+        let h = rt.buffer_alloc(EngineId::HOST, 32, false);
+        let d = rt.buffer_alloc(EngineId(1), 32, false);
+        {
+            let mem = rt.fabric().window(h.id()).expect("window exists");
+            let mut g = mem.lock_range(0..32, true).expect("in bounds");
+            g.as_mut_slice().fill(3);
+        }
+        rt.dma_copy(h.id(), 0, d.id(), 0, 32).expect("dma ok");
+        let mem = rt.fabric().window(d.id()).expect("window exists");
+        let g = mem.lock_range(0..32, false).expect("in bounds");
+        assert_eq!(g.as_slice(), &[3u8; 32]);
+    }
+}

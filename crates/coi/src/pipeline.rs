@@ -1,0 +1,457 @@
+//! Pipelines: sink-side command execution threads.
+//!
+//! A COI pipeline is an in-order command queue bound to a set of sink CPUs.
+//! Here each pipeline is a dedicated thread that executes run functions in
+//! arrival order; its *width* says how many threads the task may expand
+//! across via [`RunCtx`]'s parallel helpers (the hStreams "task naturally
+//! expands to use all of the resources given to a stream" semantics).
+//!
+//! Ordering note: hStreams enqueues work to a pipeline only when its
+//! dependences are satisfied, so pipeline FIFO order is *dispatch* order,
+//! not program order — that is exactly what lets hStreams execute actions
+//! out of order while the pipeline itself stays simple.
+
+use crate::event::CoiEvent;
+use crate::workgroup::par_for;
+use crate::{CoiRuntime, EngineId};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Sender};
+use hs_fabric::{RangeGuard, WindowId};
+use std::ops::Range;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Buffer operand of a run function: window, byte range, writable?
+pub type BufAccess = (WindowId, Range<usize>, bool);
+
+enum Command {
+    Run {
+        name: String,
+        args: Bytes,
+        bufs: Vec<BufAccess>,
+        done: CoiEvent,
+    },
+    /// Execute an arbitrary closure on the pipeline thread (used by upper
+    /// layers for transfers and bookkeeping that must serialize with
+    /// computes of the same stream).
+    Call {
+        f: Box<dyn FnOnce() + Send>,
+        done: CoiEvent,
+    },
+    Stop,
+}
+
+/// Handle to a sink pipeline. Dropping the handle stops the thread after
+/// the queued commands drain.
+pub struct Pipeline {
+    tx: Sender<Command>,
+    handle: Option<JoinHandle<()>>,
+    engine: EngineId,
+    width: usize,
+}
+
+impl Pipeline {
+    pub(crate) fn spawn(rt: Arc<CoiRuntime>, engine: EngineId, width: usize) -> Pipeline {
+        assert!(width >= 1, "pipeline width must be >= 1");
+        let (tx, rx) = unbounded::<Command>();
+        let handle = std::thread::Builder::new()
+            .name(format!("coi-pipe-e{}", engine.0))
+            .spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Command::Stop => break,
+                        Command::Call { f, done } => {
+                            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                            match r {
+                                Ok(()) => done.signal(),
+                                Err(p) => done.fail(panic_msg(p.as_ref())),
+                            }
+                        }
+                        Command::Run {
+                            name,
+                            args,
+                            bufs,
+                            done,
+                        } => {
+                            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                execute(&rt, &name, &args, &bufs, width)
+                            }));
+                            match r {
+                                Ok(Ok(())) => done.signal(),
+                                Ok(Err(msg)) => done.fail(msg),
+                                Err(p) => done.fail(panic_msg(p.as_ref())),
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawning a pipeline thread");
+        Pipeline {
+            tx,
+            handle: Some(handle),
+            engine,
+            width,
+        }
+    }
+
+    pub fn engine(&self) -> EngineId {
+        self.engine
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// A cloneable handle that can enqueue commands from any thread.
+    pub fn sender_handle(&self) -> PipelineHandle {
+        PipelineHandle {
+            tx: self.tx.clone(),
+            width: self.width,
+        }
+    }
+
+    /// Enqueue a run function; returns its completion event.
+    pub fn run(&self, name: &str, args: Bytes, bufs: Vec<BufAccess>) -> CoiEvent {
+        let done = CoiEvent::new();
+        let cmd = Command::Run {
+            name: name.to_string(),
+            args,
+            bufs,
+            done: done.clone(),
+        };
+        if self.tx.send(cmd).is_err() {
+            done.fail("pipeline stopped");
+        }
+        done
+    }
+
+    /// Enqueue an arbitrary closure (transfers, sync bookkeeping).
+    pub fn call(&self, f: impl FnOnce() + Send + 'static) -> CoiEvent {
+        let done = CoiEvent::new();
+        let cmd = Command::Call {
+            f: Box::new(f),
+            done: done.clone(),
+        };
+        if self.tx.send(cmd).is_err() {
+            done.fail("pipeline stopped");
+        }
+        done
+    }
+}
+
+/// A cloneable, thread-safe handle to a pipeline's command queue.
+#[derive(Clone)]
+pub struct PipelineHandle {
+    tx: Sender<Command>,
+    width: usize,
+}
+
+impl PipelineHandle {
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Enqueue a run function; returns its completion event.
+    pub fn run(&self, name: &str, args: Bytes, bufs: Vec<BufAccess>) -> CoiEvent {
+        let done = CoiEvent::new();
+        let cmd = Command::Run {
+            name: name.to_string(),
+            args,
+            bufs,
+            done: done.clone(),
+        };
+        if self.tx.send(cmd).is_err() {
+            done.fail("pipeline stopped");
+        }
+        done
+    }
+
+    /// Enqueue an arbitrary closure.
+    pub fn call(&self, f: impl FnOnce() + Send + 'static) -> CoiEvent {
+        let done = CoiEvent::new();
+        let cmd = Command::Call {
+            f: Box::new(f),
+            done: done.clone(),
+        };
+        if self.tx.send(cmd).is_err() {
+            done.fail("pipeline stopped");
+        }
+        done
+    }
+}
+
+impl Drop for Pipeline {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Command::Stop);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("run function panicked: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("run function panicked: {s}")
+    } else {
+        "run function panicked".to_string()
+    }
+}
+
+fn execute(
+    rt: &CoiRuntime,
+    name: &str,
+    args: &Bytes,
+    bufs: &[BufAccess],
+    width: usize,
+) -> Result<(), String> {
+    let f = rt
+        .registry()
+        .lookup(name)
+        .ok_or_else(|| format!("no run function named '{name}'"))?;
+    // Hold Arc<WindowMem> references for the duration of the call.
+    let mems: Vec<_> = bufs
+        .iter()
+        .map(|(w, _, _)| {
+            rt.fabric()
+                .window(*w)
+                .ok_or_else(|| format!("run function '{name}': window {w:?} gone"))
+        })
+        .collect::<Result<_, _>>()?;
+    // Acquire operand guards in canonical (window, offset) order so pipelines
+    // racing on the same operands cannot deadlock, then restore call order.
+    let mut order: Vec<usize> = (0..bufs.len()).collect();
+    order.sort_by_key(|&i| (bufs[i].0, bufs[i].1.start));
+    let mut guards: Vec<Option<RangeGuard<'_>>> = (0..bufs.len()).map(|_| None).collect();
+    for i in order {
+        let (_, range, write) = &bufs[i];
+        let g = mems[i]
+            .lock_range(range.clone(), *write)
+            .map_err(|e| format!("run function '{name}': {e}"))?;
+        guards[i] = Some(g);
+    }
+    let guards: Vec<RangeGuard<'_>> = guards
+        .into_iter()
+        .map(|g| g.expect("all guards acquired above"))
+        .collect();
+    let mut ctx = RunCtx {
+        args,
+        guards,
+        width,
+    };
+    f(&mut ctx);
+    Ok(())
+}
+
+/// Execution context handed to a run function.
+pub struct RunCtx<'a> {
+    args: &'a [u8],
+    guards: Vec<RangeGuard<'a>>,
+    width: usize,
+}
+
+impl RunCtx<'_> {
+    /// Opaque argument bytes (hStreams marshals scalar args this way).
+    pub fn args(&self) -> &[u8] {
+        self.args
+    }
+
+    /// Number of threads this task may expand across.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn num_bufs(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// Shared byte view of operand `i`.
+    pub fn buf(&self, i: usize) -> &[u8] {
+        self.guards[i].as_slice()
+    }
+
+    /// Exclusive byte view of operand `i` (must be a write operand).
+    pub fn buf_mut(&mut self, i: usize) -> &mut [u8] {
+        self.guards[i].as_mut_slice()
+    }
+
+    /// Shared `f64` view of operand `i` (8-byte aligned operands).
+    pub fn buf_f64(&self, i: usize) -> &[f64] {
+        self.guards[i].as_f64_slice()
+    }
+
+    /// Exclusive `f64` view of operand `i`.
+    pub fn buf_f64_mut(&mut self, i: usize) -> &mut [f64] {
+        self.guards[i].as_f64_mut_slice()
+    }
+
+    /// Take two distinct operands, the second mutably (e.g. input tile and
+    /// output tile of one kernel).
+    pub fn buf_f64_pair_mut(&mut self, ro: usize, rw: usize) -> (&[f64], &mut [f64]) {
+        assert_ne!(ro, rw, "operand indices must differ");
+        let (lo, hi) = if ro < rw { (ro, rw) } else { (rw, ro) };
+        let (a, b) = self.guards.split_at_mut(hi);
+        let (first, second) = (&a[lo], &mut b[0]);
+        if ro < rw {
+            (first.as_f64_slice(), second.as_f64_mut_slice())
+        } else {
+            // SAFETY-free: just swapped borrows.
+            let (r, w) = (second, first);
+            (w.as_f64_slice(), r.as_f64_mut_slice())
+        }
+    }
+
+    /// Dynamic-balanced parallel loop over `0..n` across the task's width.
+    pub fn par_for(&self, n: usize, f: impl Fn(usize) + Sync) {
+        par_for(self.width, n, f);
+    }
+}
+
+/// Re-exported parallel helpers so tasks that hold `buf_mut` borrows can
+/// still expand (pass `ctx.width()` captured beforehand).
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_fabric::Pacer;
+
+    fn rt1() -> Arc<CoiRuntime> {
+        CoiRuntime::new(1, Pacer::unpaced())
+    }
+
+    #[test]
+    fn commands_execute_in_arrival_order() {
+        let rt = rt1();
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let pipe = rt.pipeline_create(EngineId(1), 1);
+        let mut events = Vec::new();
+        for i in 0..10 {
+            let log = log.clone();
+            events.push(pipe.call(move || log.lock().push(i)));
+        }
+        CoiEvent::wait_all(&events).expect("all complete");
+        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_function_fails_event_but_pipeline_survives() {
+        let rt = rt1();
+        rt.register("boom", Arc::new(|_ctx: &mut RunCtx| panic!("kaput")));
+        let pipe = rt.pipeline_create(EngineId(1), 1);
+        let ev = pipe.run("boom", Bytes::new(), vec![]);
+        let err = ev.wait().expect_err("panic must fail the event");
+        assert!(err.contains("kaput"), "{err}");
+        // The pipeline still processes subsequent commands.
+        let ev2 = pipe.call(|| {});
+        assert_eq!(ev2.wait(), Ok(()));
+    }
+
+    #[test]
+    fn run_ctx_exposes_args_and_width() {
+        let rt = rt1();
+        let seen = Arc::new(parking_lot::Mutex::new((0usize, Vec::new())));
+        let seen2 = seen.clone();
+        rt.register(
+            "probe",
+            Arc::new(move |ctx: &mut RunCtx| {
+                *seen2.lock() = (ctx.width(), ctx.args().to_vec());
+            }),
+        );
+        let pipe = rt.pipeline_create(EngineId(1), 3);
+        pipe.run("probe", Bytes::from_static(&[1, 2, 3]), vec![])
+            .wait()
+            .expect("probe runs");
+        let (w, a) = seen.lock().clone();
+        assert_eq!(w, 3);
+        assert_eq!(a, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn f64_operands_via_ctx() {
+        let rt = rt1();
+        rt.register(
+            "sum_into",
+            Arc::new(|ctx: &mut RunCtx| {
+                let total: f64 = ctx.buf_f64(0).iter().sum();
+                ctx.buf_f64_mut(1)[0] = total;
+            }),
+        );
+        let a = rt.buffer_alloc(EngineId(1), 32, true);
+        let b = rt.buffer_alloc(EngineId(1), 8, true);
+        {
+            let mem = rt.fabric().window(a.id()).expect("window exists");
+            mem.lock_range(0..32, true)
+                .expect("in bounds")
+                .as_f64_mut_slice()
+                .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        }
+        let pipe = rt.pipeline_create(EngineId(1), 1);
+        pipe.run(
+            "sum_into",
+            Bytes::new(),
+            vec![(a.id(), 0..32, false), (b.id(), 0..8, true)],
+        )
+        .wait()
+        .expect("sum_into runs");
+        let mem = rt.fabric().window(b.id()).expect("window exists");
+        let g = mem.lock_range(0..8, false).expect("in bounds");
+        assert_eq!(g.as_f64_slice()[0], 10.0);
+    }
+
+    #[test]
+    fn task_expands_across_width_with_par_for() {
+        let rt = rt1();
+        let max_conc = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let cur = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let (m2, c2) = (max_conc.clone(), cur.clone());
+        rt.register(
+            "wide",
+            Arc::new(move |ctx: &mut RunCtx| {
+                let (m, c) = (m2.clone(), c2.clone());
+                ctx.par_for(64, move |_| {
+                    use std::sync::atomic::Ordering::SeqCst;
+                    let now = c.fetch_add(1, SeqCst) + 1;
+                    m.fetch_max(now, SeqCst);
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                    c.fetch_sub(1, SeqCst);
+                });
+            }),
+        );
+        let pipe = rt.pipeline_create(EngineId(1), 4);
+        pipe.run("wide", Bytes::new(), vec![]).wait().expect("runs");
+        assert!(
+            max_conc.load(std::sync::atomic::Ordering::SeqCst) > 1,
+            "parallel_for must actually use multiple threads"
+        );
+    }
+
+    #[test]
+    fn overlapping_write_operands_serialize_across_pipelines() {
+        let rt = rt1();
+        rt.register(
+            "incr_all",
+            Arc::new(|ctx: &mut RunCtx| {
+                let buf = ctx.buf_f64_mut(0);
+                for x in buf.iter_mut() {
+                    let v = *x;
+                    // Non-atomic read-modify-write over the whole range: only
+                    // correct if the range lock serializes the two tasks.
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    *x = v + 1.0;
+                }
+            }),
+        );
+        let w = rt.buffer_alloc(EngineId(1), 8 * 8, true);
+        let p1 = rt.pipeline_create(EngineId(1), 1);
+        let p2 = rt.pipeline_create(EngineId(1), 1);
+        let e1 = p1.run("incr_all", Bytes::new(), vec![(w.id(), 0..64, true)]);
+        let e2 = p2.run("incr_all", Bytes::new(), vec![(w.id(), 0..64, true)]);
+        e1.wait().expect("first increment");
+        e2.wait().expect("second increment");
+        let mem = rt.fabric().window(w.id()).expect("window exists");
+        let g = mem.lock_range(0..64, false).expect("in bounds");
+        assert!(g.as_f64_slice().iter().all(|&x| x == 2.0));
+    }
+}

@@ -1,0 +1,184 @@
+//! The COI buffer pool.
+//!
+//! The paper's §III: "The COI overheads are negligible when a pool of 2MB
+//! buffers were used. When they were not enabled, as in the OmpSs case, the
+//! COI allocation overheads were significant." The pool keeps freed windows
+//! in per-size-class free lists and reuses them; statistics let the
+//! overheads bench show the with/without difference.
+
+use hs_fabric::{Fabric, NodeId, WindowId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Pool chunk granularity: allocations round up to a multiple of 2 MB, so
+/// freed windows are reusable across requests of similar size.
+pub const POOL_CHUNK: usize = 2 << 20;
+
+/// A window obtained from (or bypassing) the pool.
+#[derive(Clone, Copy, Debug)]
+pub struct PooledWindow {
+    id: WindowId,
+    /// Rounded capacity (0 for unpooled windows — they free directly).
+    class: usize,
+}
+
+impl PooledWindow {
+    pub fn id(&self) -> WindowId {
+        self.id
+    }
+
+    pub fn is_pooled(&self) -> bool {
+        self.class != 0
+    }
+}
+
+/// Counters for the overheads analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations satisfied from a free list (cheap path).
+    pub hits: u64,
+    /// Allocations that had to register fresh memory (expensive path).
+    pub misses: u64,
+    /// Allocations that bypassed the pool entirely.
+    pub bypass: u64,
+}
+
+/// Per-engine buffer pool.
+#[derive(Default)]
+pub struct BufferPool {
+    free: Mutex<HashMap<usize, Vec<WindowId>>>,
+    stats: Mutex<PoolStats>,
+}
+
+impl BufferPool {
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    fn class_of(len: usize) -> usize {
+        len.div_ceil(POOL_CHUNK).max(1) * POOL_CHUNK
+    }
+
+    /// Allocate a window of at least `len` bytes on `node`. With `pooled`,
+    /// tries the free list of the rounded size class first.
+    pub fn alloc(&self, fabric: &Fabric, node: NodeId, len: usize, pooled: bool) -> PooledWindow {
+        if !pooled {
+            self.stats.lock().bypass += 1;
+            return PooledWindow {
+                id: fabric.register(node, len),
+                class: 0,
+            };
+        }
+        let class = Self::class_of(len);
+        if let Some(id) = self.free.lock().get_mut(&class).and_then(Vec::pop) {
+            self.stats.lock().hits += 1;
+            // Reused windows must look freshly allocated.
+            if let Some(mem) = fabric.window(id) {
+                let mut g = mem
+                    .lock_range(0..mem.len(), true)
+                    .expect("full-window zeroing is in bounds");
+                g.as_mut_slice().fill(0);
+            }
+            return PooledWindow { id, class };
+        }
+        self.stats.lock().misses += 1;
+        PooledWindow {
+            id: fabric.register(node, class),
+            class,
+        }
+    }
+
+    /// Return a window. Pooled windows go back on the free list; unpooled
+    /// ones are unregistered immediately.
+    pub fn free(&self, fabric: &Fabric, win: PooledWindow) {
+        if win.is_pooled() {
+            self.free.lock().entry(win.class).or_default().push(win.id);
+        } else {
+            fabric.unregister(win.id);
+        }
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        *self.stats.lock()
+    }
+
+    /// Number of windows currently on free lists.
+    pub fn free_count(&self) -> usize {
+        self.free.lock().values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_fabric::Pacer;
+
+    fn fabric() -> Fabric {
+        Fabric::new(2, Pacer::unpaced())
+    }
+
+    #[test]
+    fn size_classes_round_to_2mb() {
+        assert_eq!(BufferPool::class_of(1), POOL_CHUNK);
+        assert_eq!(BufferPool::class_of(POOL_CHUNK), POOL_CHUNK);
+        assert_eq!(BufferPool::class_of(POOL_CHUNK + 1), 2 * POOL_CHUNK);
+    }
+
+    #[test]
+    fn pooled_alloc_reuses_freed_windows() {
+        let f = fabric();
+        let p = BufferPool::new();
+        let a = p.alloc(&f, NodeId(1), 1000, true);
+        let id = a.id();
+        p.free(&f, a);
+        assert_eq!(p.free_count(), 1);
+        let b = p.alloc(&f, NodeId(1), 2000, true);
+        assert_eq!(b.id(), id, "same size class reuses the window");
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses, s.bypass), (1, 1, 0));
+    }
+
+    #[test]
+    fn reused_windows_are_zeroed() {
+        let f = fabric();
+        let p = BufferPool::new();
+        let a = p.alloc(&f, NodeId(1), 64, true);
+        {
+            let mem = f.window(a.id()).expect("window exists");
+            mem.lock_range(0..64, true)
+                .expect("in bounds")
+                .as_mut_slice()
+                .fill(9);
+        }
+        p.free(&f, a);
+        let b = p.alloc(&f, NodeId(1), 64, true);
+        let mem = f.window(b.id()).expect("window exists");
+        let g = mem.lock_range(0..64, false).expect("in bounds");
+        assert!(g.as_slice().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn different_size_classes_do_not_share() {
+        let f = fabric();
+        let p = BufferPool::new();
+        let a = p.alloc(&f, NodeId(1), POOL_CHUNK, true);
+        p.free(&f, a);
+        let b = p.alloc(&f, NodeId(1), POOL_CHUNK + 1, true);
+        assert_eq!(p.stats().misses, 2, "bigger class cannot reuse smaller");
+        p.free(&f, b);
+        assert_eq!(p.free_count(), 2);
+    }
+
+    #[test]
+    fn unpooled_alloc_bypasses_and_frees_immediately() {
+        let f = fabric();
+        let p = BufferPool::new();
+        let a = p.alloc(&f, NodeId(1), 64, false);
+        assert!(!a.is_pooled());
+        let id = a.id();
+        p.free(&f, a);
+        assert!(f.window(id).is_none(), "unpooled windows unregister on free");
+        assert_eq!(p.free_count(), 0);
+        assert_eq!(p.stats().bypass, 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Task expansion helpers: a task "naturally expands across a stream's
+//! threads" (paper §II). These are built from scoped threads + atomics
+//! rather than a third-party pool so the parallel width is exactly the
+//! stream's width — the tuner-visible knob the paper emphasizes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Dynamic-balanced parallel loop over `0..n` with `width` threads
+/// (including the caller). Iterations are claimed in chunks from a shared
+/// atomic counter, so uneven iteration costs still balance.
+pub fn par_for(width: usize, n: usize, f: impl Fn(usize) + Sync) {
+    if width <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    // ~4 chunks per thread bounds both contention and imbalance.
+    let chunk = n.div_ceil(width * 4).max(1);
+    fn worker(counter: &AtomicUsize, chunk: usize, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        loop {
+            let start = counter.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            for i in start..(start + chunk).min(n) {
+                f(i);
+            }
+        }
+    }
+    std::thread::scope(|s| {
+        for _ in 1..width {
+            s.spawn(|| worker(&counter, chunk, n, &f));
+        }
+        worker(&counter, chunk, n, &f);
+    });
+}
+
+/// Split `data` into chunks of `chunk_len` and process them with `width`
+/// threads. Chunks are distributed round-robin (static), which keeps the
+/// mutable-aliasing story trivial: every chunk is moved into exactly one
+/// worker's list.
+pub fn par_chunks_mut<T: Send>(
+    width: usize,
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if width <= 1 || data.len() <= chunk_len {
+        for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let mut per_thread: Vec<Vec<(usize, &mut [T])>> = (0..width).map(|_| Vec::new()).collect();
+    for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+        per_thread[i % width].push((i, c));
+    }
+    std::thread::scope(|s| {
+        let mut iter = per_thread.into_iter();
+        let mine = iter.next().expect("width >= 1");
+        for list in iter {
+            let f = &f;
+            s.spawn(move || {
+                for (i, c) in list {
+                    f(i, c);
+                }
+            });
+        }
+        for (i, c) in mine {
+            f(i, c);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        for width in [1, 2, 4, 7] {
+            let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+            par_for(width, 1000, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "width {width}: every index exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn par_for_handles_edge_sizes() {
+        let count = AtomicUsize::new(0);
+        par_for(4, 0, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+        par_for(4, 1, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+        par_for(8, 3, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_chunks() {
+        let mut data = vec![0u32; 103];
+        par_chunks_mut(4, &mut data, 10, |idx, chunk| {
+            for x in chunk {
+                *x = idx as u32 + 1;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, (i / 10) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_single_thread_path() {
+        let mut data = vec![0u8; 16];
+        par_chunks_mut(1, &mut data, 4, |idx, chunk| chunk.fill(idx as u8));
+        assert_eq!(&data[12..16], &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn par_for_balances_uneven_work() {
+        // Just a smoke check that heavy early iterations don't serialize the
+        // loop: the elapsed must be well under the serial sum.
+        let t0 = std::time::Instant::now();
+        par_for(4, 8, |i| {
+            let d = if i < 2 { 20 } else { 5 };
+            std::thread::sleep(std::time::Duration::from_millis(d));
+        });
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_millis(70),
+            "parallel loop too slow: {elapsed:?} (serial would be 70ms)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_len_panics() {
+        let mut data = vec![0u8; 4];
+        par_chunks_mut(2, &mut data, 0, |_, _| {});
+    }
+}

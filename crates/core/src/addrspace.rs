@@ -1,0 +1,134 @@
+//! The source proxy address space.
+//!
+//! "All memory that can be referenced by user code is represented in a
+//! unified source proxy address space, which is partitioned into buffers."
+//! Each buffer gets a contiguous proxy-address interval at creation; an
+//! address anywhere inside a buffer resolves back to `(buffer, offset)`, and
+//! the per-domain instantiation table then yields the sink-side location —
+//! the address translation the paper contrasts with CUDA's per-device
+//! address bookkeeping.
+
+use crate::types::BufferId;
+use std::collections::BTreeMap;
+
+/// A proxy address (not a real pointer; a stable 64-bit coordinate).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProxyAddr(pub u64);
+
+/// Allocates proxy intervals and resolves addresses to buffers.
+pub struct AddrSpace {
+    /// start -> (end, buffer)
+    intervals: BTreeMap<u64, (u64, BufferId)>,
+    next: u64,
+}
+
+/// Proxy allocation starts away from zero so that address 0 is always
+/// invalid (catches uninitialized-handle bugs).
+const BASE: u64 = 0x1000_0000;
+/// Buffers are spaced to 4 KiB proxy pages, mirroring real allocators.
+const ALIGN: u64 = 4096;
+
+impl Default for AddrSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddrSpace {
+    pub fn new() -> AddrSpace {
+        AddrSpace {
+            intervals: BTreeMap::new(),
+            next: BASE,
+        }
+    }
+
+    /// Assign a proxy interval of `len` bytes to `buf`.
+    pub fn insert(&mut self, buf: BufferId, len: usize) -> ProxyAddr {
+        let start = self.next;
+        let len = (len as u64).max(1);
+        self.next = (start + len).div_ceil(ALIGN) * ALIGN + ALIGN;
+        self.intervals.insert(start, (start + len, buf));
+        ProxyAddr(start)
+    }
+
+    /// Remove a buffer's interval (on buffer destruction).
+    pub fn remove(&mut self, addr: ProxyAddr) -> Option<BufferId> {
+        self.intervals.remove(&addr.0).map(|(_, b)| b)
+    }
+
+    /// Resolve an address to the containing buffer and byte offset.
+    pub fn resolve(&self, addr: ProxyAddr) -> Option<(BufferId, usize)> {
+        let (start, (end, buf)) = self.intervals.range(..=addr.0).next_back()?;
+        if addr.0 < *end {
+            Some((*buf, (addr.0 - start) as usize))
+        } else {
+            None
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_interior_addresses() {
+        let mut a = AddrSpace::new();
+        let base = a.insert(BufferId(7), 100);
+        assert_eq!(a.resolve(base), Some((BufferId(7), 0)));
+        assert_eq!(a.resolve(ProxyAddr(base.0 + 42)), Some((BufferId(7), 42)));
+        assert_eq!(a.resolve(ProxyAddr(base.0 + 99)), Some((BufferId(7), 99)));
+        assert_eq!(a.resolve(ProxyAddr(base.0 + 100)), None, "one past end");
+    }
+
+    #[test]
+    fn distinct_buffers_do_not_overlap() {
+        let mut a = AddrSpace::new();
+        let b1 = a.insert(BufferId(1), 5000);
+        let b2 = a.insert(BufferId(2), 5000);
+        assert!(b2.0 >= b1.0 + 5000);
+        assert_eq!(a.resolve(b2), Some((BufferId(2), 0)));
+        assert_eq!(a.resolve(ProxyAddr(b1.0 + 4999)), Some((BufferId(1), 4999)));
+    }
+
+    #[test]
+    fn address_zero_is_invalid() {
+        let mut a = AddrSpace::new();
+        a.insert(BufferId(1), 10);
+        assert_eq!(a.resolve(ProxyAddr(0)), None);
+    }
+
+    #[test]
+    fn removal_unmaps() {
+        let mut a = AddrSpace::new();
+        let b = a.insert(BufferId(3), 10);
+        assert_eq!(a.remove(b), Some(BufferId(3)));
+        assert_eq!(a.resolve(b), None);
+        assert_eq!(a.remove(b), None);
+    }
+
+    #[test]
+    fn gap_between_buffers_resolves_to_none() {
+        let mut a = AddrSpace::new();
+        let b1 = a.insert(BufferId(1), 10);
+        let _b2 = a.insert(BufferId(2), 10);
+        // Addresses in the alignment gap after b1's 10 bytes are unmapped.
+        assert_eq!(a.resolve(ProxyAddr(b1.0 + 10)), None);
+        assert_eq!(a.resolve(ProxyAddr(b1.0 + ALIGN - 1)), None);
+    }
+
+    #[test]
+    fn zero_len_buffer_occupies_one_byte() {
+        let mut a = AddrSpace::new();
+        let b = a.insert(BufferId(1), 0);
+        assert_eq!(a.resolve(b), Some((BufferId(1), 0)));
+    }
+}

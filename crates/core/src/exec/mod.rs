@@ -1,0 +1,152 @@
+//! Executors: the semantic core (streams, buffers, dependences) is shared;
+//! execution happens either on real threads ([`thread::ThreadExec`]) or in
+//! virtual time ([`sim::SimExec`]). Both receive fully-resolved
+//! [`ActionSpec`]s plus backend dependence events and return a backend
+//! completion event.
+
+pub mod sim;
+pub mod thread;
+
+use bytes::Bytes;
+use hs_coi::pipeline::BufAccess;
+use hs_coi::CoiEvent;
+use hs_machine::Device;
+use hs_sim::Token;
+
+use crate::types::CostHint;
+
+/// Real-mode endpoints of a transfer.
+#[derive(Clone, Debug)]
+pub struct RealXfer {
+    pub src: (hs_fabric::WindowId, usize),
+    pub dst: (hs_fabric::WindowId, usize),
+}
+
+/// A fully-resolved action handed to an executor.
+pub enum ActionSpec {
+    Compute {
+        /// Dense stream index (not the public id).
+        stream_idx: usize,
+        device: Device,
+        cores: u32,
+        func: String,
+        args: Bytes,
+        /// Real-mode operand views in the sink domain.
+        bufs: Vec<BufAccess>,
+        cost: CostHint,
+        label: String,
+    },
+    Transfer {
+        /// Index of the card domain involved (None for host↔host, which is
+        /// aliased away).
+        card_domain: Option<usize>,
+        /// Direction: true = toward the card.
+        h2d: bool,
+        bytes: usize,
+        /// Real-mode windows (None in sim mode or for elided transfers).
+        real: Option<RealXfer>,
+        label: String,
+    },
+    /// Synchronization / bookkeeping: completes when its dependences do.
+    Noop,
+}
+
+impl ActionSpec {
+    pub fn label(&self) -> &str {
+        match self {
+            ActionSpec::Compute { label, .. } => label,
+            ActionSpec::Transfer { label, .. } => label,
+            ActionSpec::Noop => "sync",
+        }
+    }
+}
+
+/// Backend completion handle.
+#[derive(Clone)]
+pub enum BackendEvent {
+    Thread(CoiEvent),
+    Sim(Token),
+}
+
+impl BackendEvent {
+    pub fn as_thread(&self) -> &CoiEvent {
+        match self {
+            BackendEvent::Thread(e) => e,
+            BackendEvent::Sim(_) => panic!("sim event in thread executor"),
+        }
+    }
+
+    pub fn as_sim(&self) -> Token {
+        match self {
+            BackendEvent::Sim(t) => *t,
+            BackendEvent::Thread(_) => panic!("thread event in sim executor"),
+        }
+    }
+}
+
+/// The executor behind an `HStreams` instance.
+pub enum Executor {
+    Thread(thread::ThreadExec),
+    Sim(Box<sim::SimExec>),
+}
+
+impl Executor {
+    /// Register a new stream's sink resources; streams are indexed densely
+    /// in creation order.
+    pub fn add_stream(&mut self, domain_idx: usize, cores: u32) {
+        match self {
+            Executor::Thread(t) => t.add_stream(domain_idx, cores),
+            Executor::Sim(s) => s.add_stream(domain_idx, cores),
+        }
+    }
+
+    /// Submit an action with its dependences; returns its completion event.
+    pub fn submit(&mut self, spec: ActionSpec, deps: &[BackendEvent]) -> BackendEvent {
+        match self {
+            Executor::Thread(t) => BackendEvent::Thread(t.submit(spec, deps)),
+            Executor::Sim(s) => BackendEvent::Sim(s.submit(spec, deps)),
+        }
+    }
+
+    pub fn is_complete(&self, ev: &BackendEvent) -> bool {
+        match self {
+            Executor::Thread(_) => ev.as_thread().is_complete(),
+            Executor::Sim(s) => s.is_complete(ev.as_sim()),
+        }
+    }
+
+    /// Block (real time or virtual time) until the event completes.
+    pub fn wait(&mut self, ev: &BackendEvent) -> Result<(), String> {
+        match self {
+            Executor::Thread(_) => ev.as_thread().wait(),
+            Executor::Sim(s) => s.wait(ev.as_sim()),
+        }
+    }
+
+    /// Wait until any of the events completes; returns its index.
+    pub fn wait_any(&mut self, evs: &[BackendEvent]) -> Result<usize, String> {
+        match self {
+            Executor::Thread(_) => {
+                let evs: Vec<CoiEvent> = evs.iter().map(|e| e.as_thread().clone()).collect();
+                CoiEvent::wait_any(&evs)
+            }
+            Executor::Sim(s) => s.wait_any(&evs.iter().map(|e| e.as_sim()).collect::<Vec<_>>()),
+        }
+    }
+
+    /// Charge synchronous source-side time (buffer instantiation, layered
+    /// runtimes' per-task overheads). No-op in real mode.
+    pub fn charge_source(&mut self, dur: hs_sim::Dur) {
+        if let Executor::Sim(s) = self {
+            s.charge_source(dur);
+        }
+    }
+
+    /// Elapsed time: virtual seconds in sim mode, wall seconds in real mode.
+    pub fn now_secs(&self) -> f64 {
+        match self {
+            Executor::Thread(t) => t.elapsed_secs(),
+            Executor::Sim(s) => s.now_secs(),
+        }
+    }
+}

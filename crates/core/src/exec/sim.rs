@@ -1,0 +1,384 @@
+//! The virtual-time executor.
+//!
+//! Runs the same semantic action graph as the thread executor, but each
+//! stream sink is a serial [`hs_sim`] server, each card link is a pair of
+//! DMA-direction servers, and durations come from the calibrated
+//! [`hs_machine::CostModel`]. This is what regenerates the paper's figures:
+//! the schedule (who waits for whom, what overlaps) is produced by the real
+//! hStreams dependence machinery; only the per-action durations are modelled.
+//!
+//! The executor also models a busy *source*: every enqueue advances a source
+//! clock by the per-action enqueue overhead (§III), and synchronous costs —
+//! buffer instantiation, a layered runtime's per-task bookkeeping — are
+//! charged to the same clock via [`SimExec::charge_source`].
+
+use super::ActionSpec;
+use hs_machine::{CostModel, Device, PlatformCfg};
+use hs_sim::{Dur, SemId, ServerId, Sim, SpanKind, Time, Token, Trace};
+
+struct StreamRes {
+    server: ServerId,
+    domain_idx: usize,
+}
+
+struct CardRes {
+    h2d: ServerId,
+    d2h: ServerId,
+    link: hs_machine::LinkSpec,
+}
+
+/// Virtual-time executor state.
+pub struct SimExec {
+    sim: Sim,
+    cost: CostModel,
+    devices: Vec<Device>,
+    /// Per-domain core capacity gate: streams whose masks overlap (e.g. a
+    /// machine-wide panel stream over worker streams) time-share the
+    /// domain's physical cores instead of multiplying them.
+    domain_sems: Vec<SemId>,
+    domain_cores: Vec<u32>,
+    streams: Vec<StreamRes>,
+    cards: Vec<CardRes>,
+    source_time: Time,
+}
+
+impl SimExec {
+    pub fn new(platform: &PlatformCfg) -> SimExec {
+        let mut sim = Sim::new();
+        let cost = platform.cost_model();
+        let devices: Vec<Device> = platform.domains.iter().map(|d| d.device).collect();
+        let domain_sems: Vec<SemId> = platform
+            .domains
+            .iter()
+            .map(|d| sim.sem_create(d.cores))
+            .collect();
+        let domain_cores: Vec<u32> = platform.domains.iter().map(|d| d.cores).collect();
+        let cards = platform
+            .cards()
+            .map(|(i, c)| {
+                let name = format!("pcie{i}");
+                CardRes {
+                    h2d: sim.server_create(format!("{name}:h2d"), 1),
+                    d2h: sim.server_create(format!("{name}:d2h"), 1),
+                    link: c.link.expect("cards have links"),
+                }
+            })
+            .collect();
+        SimExec {
+            sim,
+            cost,
+            devices,
+            domain_sems,
+            domain_cores,
+            streams: Vec::new(),
+            cards,
+            source_time: Time::ZERO,
+        }
+    }
+
+    pub fn add_stream(&mut self, domain_idx: usize, cores: u32) {
+        let dev = self.devices[domain_idx];
+        let idx = self.streams.len();
+        let server = self
+            .sim
+            .server_create(format!("{}:d{domain_idx}:s{idx}x{cores}", dev.short()), 1);
+        self.streams.push(StreamRes {
+            server,
+            domain_idx,
+        });
+    }
+
+    pub fn charge_source(&mut self, dur: Dur) {
+        self.source_time = self.source_time.max(self.sim.now()) + dur;
+    }
+
+    pub fn now_secs(&self) -> f64 {
+        self.sim.now().as_secs_f64()
+    }
+
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.sim.set_tracing(enabled);
+    }
+
+    pub fn trace(&self) -> &Trace {
+        self.sim.trace()
+    }
+
+    pub fn take_trace(&mut self) -> Trace {
+        self.sim.take_trace()
+    }
+
+    pub fn is_complete(&self, tok: Token) -> bool {
+        self.sim.token_fired(tok)
+    }
+
+    pub fn wait(&mut self, tok: Token) -> Result<(), String> {
+        if self.sim.run_until_fired(tok) {
+            Ok(())
+        } else {
+            Err("deadlock: event can never fire (circular or dropped dependence)".to_string())
+        }
+    }
+
+    pub fn wait_any(&mut self, toks: &[Token]) -> Result<usize, String> {
+        assert!(!toks.is_empty(), "wait_any on empty set");
+        let any = self.sim.join_any(toks);
+        self.wait(any)?;
+        toks.iter()
+            .position(|t| self.sim.token_fired(*t))
+            .ok_or_else(|| "join_any fired with no fired member".to_string())
+    }
+
+    pub fn submit(&mut self, spec: ActionSpec, deps: &[super::BackendEvent]) -> Token {
+        // The source thread spends enqueue_us issuing this action; the
+        // action cannot start before the source has issued it.
+        self.charge_source(self.cost.enqueue_dur());
+        // Drain any simulation events that are already in the source's past.
+        // This is semantically neutral (virtual time still only moves
+        // forward) and keeps the runtime's pending-action windows short, so
+        // dependence scans stay cheap during long enqueue phases.
+        let horizon = self.source_time;
+        self.sim.run_until(horizon);
+        let issue = self.sim.token_create();
+        let at = self.source_time;
+        self.sim
+            .schedule_at(at, move |sim| sim.token_fire(issue));
+
+        let mut dep_toks: Vec<Token> = deps.iter().map(|d| d.as_sim()).collect();
+        dep_toks.push(issue);
+        let done = self.sim.token_create();
+
+        match spec {
+            ActionSpec::Noop => {
+                self.sim.when_all(&dep_toks, move |sim| sim.token_fire(done));
+            }
+            ActionSpec::Compute {
+                stream_idx,
+                device,
+                cores,
+                cost,
+                label,
+                ..
+            } => {
+                let dom = self.streams[stream_idx].domain_idx;
+                let cores = cores.min(self.domain_cores[dom]);
+                let dur = self
+                    .cost
+                    .kernel_dur(device, cores, cost.kernel, cost.flops, cost.tile_n)
+                    + self.cost.invoke_dur(device);
+                let server = self.streams[stream_idx].server;
+                let gate = Some((self.domain_sems[dom], cores));
+                self.sim.when_all(&dep_toks, move |sim| {
+                    let job =
+                        sim.server_enqueue_gated(server, label, SpanKind::Compute, dur, gate);
+                    sim.token_on_fire(job, move |sim| sim.token_fire(done));
+                });
+            }
+            ActionSpec::Transfer {
+                card_domain,
+                h2d,
+                bytes,
+                label,
+                ..
+            } => {
+                match card_domain {
+                    None => {
+                        // Host-as-target: aliased away, completes with deps.
+                        self.sim.when_all(&dep_toks, move |sim| sim.token_fire(done));
+                    }
+                    Some(dom) => {
+                        let card = &self.cards[dom - 1];
+                        let server = if h2d { card.h2d } else { card.d2h };
+                        let dur = self.cost.transfer_dur(&card.link, bytes as u64, h2d);
+                        self.sim.when_all(&dep_toks, move |sim| {
+                            let job =
+                                sim.server_enqueue(server, label, SpanKind::Transfer, dur);
+                            sim.token_on_fire(job, move |sim| sim.token_fire(done));
+                        });
+                    }
+                }
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::BackendEvent;
+    use crate::types::CostHint;
+    use hs_machine::KernelKind;
+
+    fn compute(stream_idx: usize, flops: f64, label: &str) -> ActionSpec {
+        compute_w(stream_idx, 60, flops, label)
+    }
+
+    fn compute_w(stream_idx: usize, cores: u32, flops: f64, label: &str) -> ActionSpec {
+        ActionSpec::Compute {
+            stream_idx,
+            device: Device::Knc,
+            cores,
+            func: String::new(),
+            args: bytes::Bytes::new(),
+            bufs: vec![],
+            cost: CostHint::new(KernelKind::Dgemm, flops, 2000),
+            label: label.to_string(),
+        }
+    }
+
+    fn platform() -> PlatformCfg {
+        PlatformCfg::hetero(Device::Hsw, 1)
+    }
+
+    #[test]
+    fn compute_takes_modelled_time() {
+        let mut ex = SimExec::new(&platform());
+        ex.add_stream(1, 60);
+        let ev = ex.submit(compute(0, 1e12, "big"), &[]);
+        ex.wait(ev).expect("completes");
+        // ~1e12 flops at ~880 GF/s ≈ 1.14 s.
+        let t = ex.now_secs();
+        assert!(t > 0.9 && t < 1.5, "unexpected virtual time {t}");
+    }
+
+    #[test]
+    fn independent_computes_on_two_streams_overlap() {
+        let mut ex = SimExec::new(&platform());
+        ex.add_stream(1, 30);
+        ex.add_stream(1, 30);
+        let a = ex.submit(compute_w(0, 30, 1e11, "a"), &[]);
+        let b = ex.submit(compute_w(1, 30, 1e11, "b"), &[]);
+        ex.wait(a).expect("a");
+        ex.wait(b).expect("b");
+        let t2 = ex.now_secs();
+        // Serial would be ~2x one stream's time; overlap keeps it ~1x.
+        let mut ser = SimExec::new(&platform());
+        ser.add_stream(1, 30);
+        let c = ser.submit(compute_w(0, 30, 1e11, "c"), &[]);
+        let d = ser.submit(compute_w(0, 30, 1e11, "d"), &[]);
+        ser.wait(c).expect("c");
+        ser.wait(d).expect("d");
+        let t1 = ser.now_secs();
+        assert!(t2 < 0.65 * t1, "two streams {t2}s vs one stream {t1}s");
+    }
+
+    #[test]
+    fn dependent_actions_serialize() {
+        let mut ex = SimExec::new(&platform());
+        ex.add_stream(1, 60);
+        ex.add_stream(1, 60);
+        let a = ex.submit(compute(0, 1e11, "a"), &[]);
+        let b = ex.submit(compute(1, 1e11, "b"), &[BackendEvent::Sim(a)]);
+        ex.wait(b).expect("b");
+        let t = ex.now_secs();
+        let one = 1e11 / (880e9) * 2.0 * 0.9;
+        assert!(t > one, "dependent tasks must serialize: {t}");
+    }
+
+    #[test]
+    fn transfers_use_link_servers_and_directions_overlap() {
+        let mut ex = SimExec::new(&platform());
+        ex.add_stream(1, 60);
+        let mb = 64 << 20;
+        let up = ActionSpec::Transfer {
+            card_domain: Some(1),
+            h2d: true,
+            bytes: mb,
+            real: None,
+            label: "up".into(),
+        };
+        let down = ActionSpec::Transfer {
+            card_domain: Some(1),
+            h2d: false,
+            bytes: mb,
+            real: None,
+            label: "down".into(),
+        };
+        let a = ex.submit(up, &[]);
+        let b = ex.submit(down, &[]);
+        ex.wait(a).expect("up");
+        ex.wait(b).expect("down");
+        let t = ex.now_secs();
+        let one_way = mb as f64 / 6.5e9;
+        assert!(
+            t < one_way * 1.3,
+            "full duplex: both directions in ~one transfer time, got {t} vs {one_way}"
+        );
+    }
+
+    #[test]
+    fn host_alias_transfer_is_free() {
+        let mut ex = SimExec::new(&platform());
+        ex.add_stream(0, 28);
+        let x = ActionSpec::Transfer {
+            card_domain: None,
+            h2d: true,
+            bytes: 1 << 30,
+            real: None,
+            label: "aliased".into(),
+        };
+        let ev = ex.submit(x, &[]);
+        ex.wait(ev).expect("elided transfer");
+        // Only the enqueue overhead has passed, far less than 1 GB of wire
+        // time (~150 ms).
+        assert!(ex.now_secs() < 0.001, "{}", ex.now_secs());
+    }
+
+    #[test]
+    fn source_enqueue_overhead_accumulates() {
+        let mut ex = SimExec::new(&platform());
+        ex.add_stream(1, 60);
+        let mut last = None;
+        for i in 0..1000 {
+            last = Some(ex.submit(compute(0, 0.0, &format!("t{i}")), &[]));
+        }
+        ex.wait(last.expect("submitted")).expect("ok");
+        // 1000 enqueues x 5 us >= 5 ms of source time.
+        assert!(ex.now_secs() >= 0.005, "{}", ex.now_secs());
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        let mut ex = SimExec::new(&platform());
+        ex.add_stream(1, 60);
+        let never = ex.sim.token_create();
+        let ev = ex.submit(compute(0, 1.0, "stuck"), &[BackendEvent::Sim(never)]);
+        let err = ex.wait(ev).expect_err("must detect the stall");
+        assert!(err.contains("deadlock"));
+    }
+
+    #[test]
+    fn overlapping_masks_timeshare_domain_capacity() {
+        // Two full-width streams on one 60-core card: their computes cannot
+        // run concurrently (each claims all 60 cores), even though they are
+        // separate streams — the overlapping-mask case.
+        let mut ex = SimExec::new(&platform());
+        ex.add_stream(1, 60);
+        ex.add_stream(1, 60);
+        let a = ex.submit(compute(0, 1e11, "a"), &[]);
+        let b = ex.submit(compute(1, 1e11, "b"), &[]);
+        ex.wait(a).expect("a");
+        ex.wait(b).expect("b");
+        let both = ex.now_secs();
+        let mut one = SimExec::new(&platform());
+        one.add_stream(1, 60);
+        let c = one.submit(compute(0, 1e11, "c"), &[]);
+        one.wait(c).expect("c");
+        let single = one.now_secs();
+        assert!(
+            both > 1.8 * single,
+            "full-width streams must serialize: {both:.4}s vs single {single:.4}s"
+        );
+    }
+
+    #[test]
+    fn trace_records_compute_spans() {
+        let mut ex = SimExec::new(&platform());
+        ex.add_stream(1, 60);
+        let ev = ex.submit(compute(0, 1e9, "traced"), &[]);
+        ex.wait(ev).expect("ok");
+        let spans = ex.trace().spans();
+        assert!(spans.iter().any(|s| s.label == "traced"));
+    }
+}

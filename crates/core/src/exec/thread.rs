@@ -1,0 +1,245 @@
+//! The real-thread executor.
+//!
+//! Streams map to COI pipelines (one sink thread each, `width` threads for
+//! task expansion); transfers run on per-(card, direction) DMA worker
+//! threads, serialized per direction like PCIe DMA channels and optionally
+//! paced to link speed. Dependences resolve via event callbacks: the last
+//! completing dependence dispatches the action from its own thread, so the
+//! source never blocks and independent actions overtake blocked ones — the
+//! out-of-order-under-FIFO-semantics behaviour of the paper.
+
+use super::{ActionSpec, BackendEvent};
+use crossbeam::channel::{unbounded, Sender};
+use hs_coi::{CoiEvent, CoiRuntime, EngineId, EventStatus};
+use hs_fabric::Pacer;
+use hs_machine::PlatformCfg;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+type DmaJob = Box<dyn FnOnce() + Send>;
+
+struct DmaWorker {
+    tx: Sender<DmaJob>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl DmaWorker {
+    fn spawn(name: String) -> DmaWorker {
+        let (tx, rx) = unbounded::<DmaJob>();
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            })
+            .expect("spawning a DMA worker thread");
+        DmaWorker {
+            tx,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for DmaWorker {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker loop.
+        let (dead_tx, _) = unbounded();
+        self.tx = dead_tx;
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Real-thread executor state.
+pub struct ThreadExec {
+    coi: Arc<CoiRuntime>,
+    pipes: Vec<hs_coi::Pipeline>,
+    /// Per card: [h2d, d2h] workers. Index = card domain index - 1.
+    dma: Vec<[DmaWorker; 2]>,
+    started: Instant,
+}
+
+impl ThreadExec {
+    /// Build the executor for `platform`. `paced` enables PCIe-speed DMA
+    /// pacing (for real-mode overlap experiments); functional tests leave it
+    /// off.
+    pub fn new(platform: &PlatformCfg, paced: bool) -> ThreadExec {
+        let ncards = platform.num_cards();
+        let pacer = if paced {
+            // All cards share a LinkSpec in the current platforms.
+            let link = platform
+                .cards()
+                .next()
+                .and_then(|(_, c)| c.link)
+                .unwrap_or(hs_machine::LinkSpec::pcie_knc());
+            Pacer::pcie(link, platform.overheads)
+        } else {
+            Pacer::unpaced()
+        };
+        let coi = CoiRuntime::new(ncards, pacer);
+        let dma = (0..ncards)
+            .map(|c| {
+                [
+                    DmaWorker::spawn(format!("hs-dma-c{c}-h2d")),
+                    DmaWorker::spawn(format!("hs-dma-c{c}-d2h")),
+                ]
+            })
+            .collect();
+        ThreadExec {
+            coi,
+            pipes: Vec::new(),
+            dma,
+            started: Instant::now(),
+        }
+    }
+
+    pub fn coi(&self) -> &Arc<CoiRuntime> {
+        &self.coi
+    }
+
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    pub fn add_stream(&mut self, domain_idx: usize, cores: u32) {
+        // Domain indices correspond 1:1 to COI engines (host = 0).
+        let pipe = self
+            .coi
+            .pipeline_create(EngineId(domain_idx as u16), cores.max(1) as usize);
+        self.pipes.push(pipe);
+    }
+
+    pub fn submit(&mut self, spec: ActionSpec, deps: &[BackendEvent]) -> CoiEvent {
+        let done = CoiEvent::new();
+        let pending: Vec<&CoiEvent> = deps
+            .iter()
+            .map(BackendEvent::as_thread)
+            .filter(|e| !e.is_complete())
+            .collect();
+        // Fast path: everything already complete (or failed).
+        for d in deps {
+            if let EventStatus::Failed(m) = d.as_thread().status() {
+                done.fail(format!("dependency failed: {m}"));
+                return done;
+            }
+        }
+        if pending.is_empty() {
+            self.dispatch(spec, done.clone());
+            return done;
+        }
+        // Countdown: the last completing dependence dispatches. The spec and
+        // the dispatch context are stashed in an Arc so whichever thread
+        // finishes last can run it.
+        struct PendingDispatch {
+            spec: Mutex<Option<ActionSpec>>,
+            remaining: AtomicUsize,
+            ctx: DispatchCtx,
+            done: CoiEvent,
+        }
+        let pd = Arc::new(PendingDispatch {
+            spec: Mutex::new(Some(spec)),
+            remaining: AtomicUsize::new(pending.len()),
+            ctx: self.dispatch_ctx(),
+            done: done.clone(),
+        });
+        for dep in pending {
+            let pd = pd.clone();
+            dep.on_complete(move |st| {
+                match st {
+                    EventStatus::Failed(m) => {
+                        // Poison: fail once; the spec is dropped.
+                        pd.spec.lock().take();
+                        pd.done.fail(format!("dependency failed: {m}"));
+                    }
+                    _ => {
+                        if pd.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            if let Some(spec) = pd.spec.lock().take() {
+                                dispatch_with(&pd.ctx, spec, pd.done.clone());
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        done
+    }
+
+    fn dispatch_ctx(&self) -> DispatchCtx {
+        DispatchCtx {
+            coi: self.coi.clone(),
+            pipes: self
+                .pipes
+                .iter()
+                .map(|p| p.sender_handle())
+                .collect(),
+            dma: self
+                .dma
+                .iter()
+                .map(|pair| [pair[0].tx.clone(), pair[1].tx.clone()])
+                .collect(),
+        }
+    }
+
+    fn dispatch(&self, spec: ActionSpec, done: CoiEvent) {
+        dispatch_with(&self.dispatch_ctx(), spec, done);
+    }
+}
+
+/// Everything needed to dispatch an action from an arbitrary thread.
+struct DispatchCtx {
+    coi: Arc<CoiRuntime>,
+    pipes: Vec<hs_coi::pipeline::PipelineHandle>,
+    dma: Vec<[Sender<DmaJob>; 2]>,
+}
+
+fn dispatch_with(ctx: &DispatchCtx, spec: ActionSpec, done: CoiEvent) {
+    match spec {
+        ActionSpec::Noop => done.signal(),
+        ActionSpec::Compute {
+            stream_idx,
+            func,
+            args,
+            bufs,
+            ..
+        } => {
+            let ev = ctx.pipes[stream_idx].run(&func, args, bufs);
+            ev.on_complete(move |st| match st {
+                EventStatus::Done => done.signal(),
+                EventStatus::Failed(m) => done.fail(m.clone()),
+                EventStatus::Pending => unreachable!("on_complete only fires when complete"),
+            });
+        }
+        ActionSpec::Transfer {
+            card_domain,
+            h2d,
+            bytes,
+            real,
+            ..
+        } => {
+            let Some(real) = real else {
+                // Host-as-target alias: "transfers en-queued in host streams
+                // are aliased and optimized away".
+                done.signal();
+                return;
+            };
+            let coi = ctx.coi.clone();
+            let job: DmaJob = Box::new(move || {
+                let r = coi.dma_copy(real.src.0, real.src.1, real.dst.0, real.dst.1, bytes);
+                match r {
+                    Ok(()) => done.signal(),
+                    Err(e) => done.fail(format!("transfer failed: {e}")),
+                }
+            });
+            let card = card_domain.expect("real transfers involve a card") - 1;
+            let dir = usize::from(!h2d);
+            ctx.dma[card][dir]
+                .send(job)
+                .expect("DMA workers live as long as the executor");
+        }
+    }
+}

@@ -1,0 +1,844 @@
+//! # hstreams-core — the hStreams library
+//!
+//! A Rust reproduction of the heterogeneous streaming library of
+//! *Heterogeneous Streaming* (Newburn et al., IPDPSW 2016). The three
+//! building blocks are exactly the paper's:
+//!
+//! * **Domains** — units of compute + coherent memory (the host, each
+//!   coprocessor card). Discoverable and enumerable with properties
+//!   ([`HStreams::domains`]).
+//! * **Streams** — FIFO task queues with a source endpoint (the caller) and
+//!   a sink endpoint bound to a domain + CPU mask
+//!   ([`HStreams::stream_create`], or the app-level
+//!   [`HStreams::app_init`] even partitioning). Three action kinds are
+//!   enqueued into streams: compute ([`HStreams::enqueue_compute`]), data
+//!   transfer ([`HStreams::enqueue_xfer`]) and synchronization
+//!   ([`HStreams::enqueue_event_wait`]). Actions may execute and complete
+//!   **out of order** as long as the sequential FIFO semantic is preserved:
+//!   dependences within a stream are derived from FIFO order plus
+//!   memory-operand overlap, and only from explicit events across streams.
+//! * **Buffers** — memory encapsulation with a unified source proxy address
+//!   space, per-domain instantiations and tuner-controlled storage
+//!   properties ([`HStreams::buffer_create`]).
+//!
+//! Two executors run the same semantics: [`ExecMode::Threads`] executes
+//! tasks for real (sink pipelines over a COI/SCIF-like substrate, DMA worker
+//! threads, optional PCIe-speed pacing), and [`ExecMode::Sim`] replays the
+//! schedule in virtual time with the calibrated cost model of
+//! [`hs_machine`] — the mode used to regenerate the paper's figures.
+//!
+//! ```
+//! use hstreams_core::{Access, CostHint, ExecMode, HStreams, Operand};
+//! use hs_machine::{Device, PlatformCfg};
+//! use std::sync::Arc;
+//!
+//! // A host + one (simulated) coprocessor card.
+//! let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
+//! hs.register("double", Arc::new(|ctx: &mut hstreams_core::TaskCtx| {
+//!     for x in ctx.buf_f64_mut(0) { *x *= 2.0; }
+//! }));
+//! let card = hs.domains()[1].id;
+//! let s = hs.stream_create(card, hstreams_core::CpuMask::first(4)).unwrap();
+//! let buf = hs.buffer_create(8 * 4, Default::default());
+//! hs.buffer_instantiate(buf, card).unwrap();
+//! hs.buffer_write_f64(buf, 0, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+//! hs.xfer_to_sink(s, buf, 0..32).unwrap();
+//! hs.enqueue_compute(s, "double", bytes::Bytes::new(),
+//!     &[Operand::f64s(buf, 0, 4, Access::InOut)], CostHint::trivial()).unwrap();
+//! hs.xfer_to_source(s, buf, 0..32).unwrap();
+//! hs.stream_synchronize(s).unwrap();
+//! let mut out = [0.0; 4];
+//! hs.buffer_read_f64(buf, 0, &mut out).unwrap();
+//! assert_eq!(out, [2.0, 4.0, 6.0, 8.0]);
+//! ```
+
+pub mod addrspace;
+pub mod app;
+pub mod buffer;
+pub mod cpumask;
+pub mod deps;
+pub mod exec;
+pub mod stats;
+pub mod stream;
+pub mod types;
+
+pub use buffer::{BufProps, Instantiation, MemType};
+pub use cpumask::CpuMask;
+pub use stats::ApiStats;
+pub use types::{
+    Access, BufferId, CostHint, DomainId, Event, HsError, HsResult, Operand, OrderingMode,
+    StreamId,
+};
+
+/// Task execution context (re-exported from the COI layer): operand views,
+/// argument bytes, stream width and `par_for`.
+pub use hs_coi::RunCtx as TaskCtx;
+/// A sink-side task function.
+pub use hs_coi::RunFunction as TaskFn;
+
+use buffer::BufferTable;
+use bytes::Bytes;
+use deps::{Footprint, FootprintItem};
+use exec::{ActionSpec, BackendEvent, Executor, RealXfer};
+use hs_coi::EngineId;
+use hs_machine::{Device, DomainRole, PlatformCfg};
+use std::ops::Range;
+use stream::StreamState;
+
+/// How the runtime executes actions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// Real threads, unpaced DMA (functional testing, examples).
+    Threads,
+    /// Real threads with DMA paced to the platform's link speed (real-time
+    /// overlap experiments).
+    ThreadsPaced,
+    /// Virtual time with the calibrated cost model (figure regeneration).
+    Sim,
+}
+
+/// Discoverable properties of a domain (paper §II: "Each domain has a set of
+/// properties that include the number, kind and speed of hardware threads,
+/// and the amount of each kind of memory").
+#[derive(Clone, Debug)]
+pub struct DomainInfo {
+    pub id: DomainId,
+    pub device: Device,
+    pub role: DomainRole,
+    pub cores: u32,
+    pub threads: u32,
+    pub ram_bytes: u64,
+}
+
+/// The hStreams runtime handle (the source endpoint).
+pub struct HStreams {
+    platform: PlatformCfg,
+    ordering: OrderingMode,
+    streams: Vec<StreamState>,
+    buffers: BufferTable,
+    events: Vec<BackendEvent>,
+    /// Producing stream of each event (same index as `events`).
+    event_streams: Vec<StreamId>,
+    exec: Executor,
+    stats: ApiStats,
+    /// Sim-mode host shadows for `buffer_write`/`buffer_read`.
+    sim_shadow: std::collections::HashMap<BufferId, Vec<u8>>,
+    /// Built-in app-API kernels registered? (see [`app`]).
+    builtins_registered: bool,
+}
+
+impl HStreams {
+    /// Initialize the runtime for a platform (out-of-order hStreams
+    /// semantics).
+    pub fn init(platform: PlatformCfg, mode: ExecMode) -> HStreams {
+        Self::init_with_ordering(platform, mode, OrderingMode::OutOfOrder)
+    }
+
+    /// Initialize with an explicit intra-stream ordering mode.
+    /// [`OrderingMode::StrictFifo`] reproduces CUDA-Streams-like semantics
+    /// for the paper's comparisons.
+    pub fn init_with_ordering(
+        platform: PlatformCfg,
+        mode: ExecMode,
+        ordering: OrderingMode,
+    ) -> HStreams {
+        let exec = match mode {
+            ExecMode::Threads => Executor::Thread(exec::thread::ThreadExec::new(&platform, false)),
+            ExecMode::ThreadsPaced => {
+                Executor::Thread(exec::thread::ThreadExec::new(&platform, true))
+            }
+            ExecMode::Sim => Executor::Sim(Box::new(exec::sim::SimExec::new(&platform))),
+        };
+        HStreams {
+            platform,
+            ordering,
+            streams: Vec::new(),
+            buffers: BufferTable::new(),
+            events: Vec::new(),
+            event_streams: Vec::new(),
+            exec,
+            stats: ApiStats::new(),
+            sim_shadow: std::collections::HashMap::new(),
+            builtins_registered: false,
+        }
+    }
+
+    // ------------------------------------------------------------ discovery
+
+    /// Enumerate domains and their properties.
+    pub fn domains(&self) -> Vec<DomainInfo> {
+        self.platform
+            .domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let spec = d.device.spec();
+                DomainInfo {
+                    id: DomainId(i),
+                    device: d.device,
+                    role: d.role,
+                    cores: d.cores,
+                    threads: d.cores * spec.threads_per_core,
+                    ram_bytes: spec.ram_bytes(),
+                }
+            })
+            .collect()
+    }
+
+    pub fn num_domains(&self) -> usize {
+        self.platform.domains.len()
+    }
+
+    pub fn platform(&self) -> &PlatformCfg {
+        &self.platform
+    }
+
+    pub fn ordering(&self) -> OrderingMode {
+        self.ordering
+    }
+
+    // ----------------------------------------------------------- core APIs
+
+    /// Create a stream whose sink is bound to `mask` within `domain`
+    /// (core-API level: explicit mask per stream).
+    pub fn stream_create(&mut self, domain: DomainId, mask: CpuMask) -> HsResult<StreamId> {
+        self.stats.bump("stream_create");
+        if domain.0 >= self.platform.domains.len() {
+            return Err(HsError::UnknownDomain(domain));
+        }
+        if mask.is_empty() {
+            return Err(HsError::InvalidArg("stream mask is empty".into()));
+        }
+        let id = StreamId(self.streams.len() as u32);
+        self.exec.add_stream(domain.0, mask.count());
+        self.streams.push(StreamState::new(id, domain, mask));
+        Ok(id)
+    }
+
+    /// App-API convenience: for each `(domain, n)` divide the domain's cores
+    /// evenly among `n` streams. Returns all created stream ids, in argument
+    /// order.
+    pub fn app_init(&mut self, streams_per_domain: &[(DomainId, usize)]) -> HsResult<Vec<StreamId>> {
+        self.stats.bump("app_init");
+        let mut out = Vec::new();
+        for &(domain, n) in streams_per_domain {
+            let cfg = self
+                .platform
+                .domains
+                .get(domain.0)
+                .ok_or(HsError::UnknownDomain(domain))?;
+            for mask in CpuMask::partition_evenly(cfg.cores, n) {
+                out.push(self.stream_create(domain, mask)?);
+            }
+        }
+        Ok(out)
+    }
+
+    fn stream(&self, s: StreamId) -> HsResult<&StreamState> {
+        self.streams
+            .get(s.0 as usize)
+            .ok_or(HsError::UnknownStream(s))
+    }
+
+    /// The domain a stream's sink lives in.
+    pub fn stream_domain(&self, s: StreamId) -> HsResult<DomainId> {
+        Ok(self.stream(s)?.domain)
+    }
+
+    /// Cores bound to a stream.
+    pub fn stream_cores(&self, s: StreamId) -> HsResult<u32> {
+        Ok(self.stream(s)?.cores())
+    }
+
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    // -------------------------------------------------------------- buffers
+
+    /// Create a buffer of `len` bytes. The host instantiation is created
+    /// eagerly (the host is the source of the proxy address space); card
+    /// instantiations require explicit [`HStreams::buffer_instantiate`].
+    pub fn buffer_create(&mut self, len: usize, props: BufProps) -> BufferId {
+        self.stats.bump("buffer_create");
+        let id = self.buffers.create(len, props);
+        self.instantiate_unchecked(id, DomainId::HOST)
+            .expect("fresh buffer instantiates on host");
+        id
+    }
+
+    /// Materialize the buffer in `domain` (required before transfers or
+    /// computes touch it there — the paper leaves placement to the tuner).
+    pub fn buffer_instantiate(&mut self, buf: BufferId, domain: DomainId) -> HsResult<()> {
+        self.stats.bump("buffer_instantiate");
+        if domain.0 >= self.platform.domains.len() {
+            return Err(HsError::UnknownDomain(domain));
+        }
+        self.instantiate_unchecked(buf, domain)
+    }
+
+    fn instantiate_unchecked(&mut self, buf: BufferId, domain: DomainId) -> HsResult<()> {
+        let pooled = self.platform.coi_buffer_pool;
+        let len = self.buffers.get(buf)?.len;
+        if self.buffers.get(buf)?.is_instantiated(domain) {
+            return Ok(());
+        }
+        let inst = match &mut self.exec {
+            Executor::Thread(t) => {
+                let w = t
+                    .coi()
+                    .buffer_alloc(EngineId(domain.0 as u16), len.max(8), pooled);
+                Instantiation::Window(w)
+            }
+            Executor::Sim(s) => {
+                // The paper: MIC-side allocation is synchronous (its
+                // asynchrony is "future work"), so it charges the source.
+                s.charge_source(self.platform.cost_model().alloc_dur(pooled));
+                Instantiation::Virtual
+            }
+        };
+        self.buffers.get_mut(buf)?.inst.insert(domain, inst);
+        Ok(())
+    }
+
+    /// Destroy a buffer, returning its windows to the COI pool.
+    pub fn buffer_destroy(&mut self, buf: BufferId) -> HsResult<()> {
+        self.stats.bump("buffer_destroy");
+        let len = self.buffers.get(buf)?.len;
+        // Wait for any action still touching the buffer.
+        let deps = self.conflicting_events(buf, 0..len, true);
+        self.wait_backend_all(&deps)?;
+        let insts = self.buffers.destroy(buf)?;
+        if let Executor::Thread(t) = &self.exec {
+            for (domain, inst) in insts {
+                if let Instantiation::Window(w) = inst {
+                    t.coi().buffer_free(EngineId(domain.0 as u16), w);
+                }
+            }
+        }
+        self.sim_shadow.remove(&buf);
+        Ok(())
+    }
+
+    pub fn buffer_len(&self, buf: BufferId) -> HsResult<usize> {
+        Ok(self.buffers.get(buf)?.len)
+    }
+
+    /// Resolve a proxy address into (buffer, offset) — the source proxy
+    /// address translation of the paper.
+    pub fn resolve_addr(&self, addr: addrspace::ProxyAddr) -> Option<(BufferId, usize)> {
+        self.buffers.resolve_addr(addr)
+    }
+
+    /// Proxy base address of a buffer.
+    pub fn buffer_addr(&self, buf: BufferId) -> HsResult<addrspace::ProxyAddr> {
+        Ok(self.buffers.get(buf)?.proxy)
+    }
+
+    /// Synchronously write into the buffer's **host** instantiation. Waits
+    /// for conflicting in-flight actions first (source↔stream dependences
+    /// are explicit in hStreams; this API is the explicit-sync entry point).
+    pub fn buffer_write(&mut self, buf: BufferId, offset: usize, data: &[u8]) -> HsResult<()> {
+        self.stats.bump("buffer_write");
+        let range = offset..offset + data.len();
+        self.buffers.get(buf)?.check_range(&range)?;
+        let deps = self.conflicting_events(buf, range.clone(), true);
+        self.wait_backend_all(&deps)?;
+        match &self.exec {
+            Executor::Thread(t) => {
+                let rec = self.buffers.get(buf)?;
+                let win = rec.window(DomainId::HOST)?;
+                let mem = t
+                    .coi()
+                    .fabric()
+                    .window(win.id())
+                    .ok_or_else(|| HsError::ExecFailed("host window vanished".into()))?;
+                let mut g = mem
+                    .lock_range(range, true)
+                    .map_err(|e| HsError::ExecFailed(e.to_string()))?;
+                g.as_mut_slice().copy_from_slice(data);
+            }
+            Executor::Sim(_) => {
+                let len = self.buffers.get(buf)?.len;
+                let shadow = self.sim_shadow.entry(buf).or_insert_with(|| vec![0; len]);
+                shadow[range].copy_from_slice(data);
+            }
+        }
+        Ok(())
+    }
+
+    /// Synchronously read from the buffer's **host** instantiation, waiting
+    /// for conflicting in-flight actions first.
+    pub fn buffer_read(&mut self, buf: BufferId, offset: usize, out: &mut [u8]) -> HsResult<()> {
+        self.stats.bump("buffer_read");
+        let range = offset..offset + out.len();
+        self.buffers.get(buf)?.check_range(&range)?;
+        let deps = self.conflicting_events(buf, range.clone(), false);
+        self.wait_backend_all(&deps)?;
+        match &self.exec {
+            Executor::Thread(t) => {
+                let rec = self.buffers.get(buf)?;
+                let win = rec.window(DomainId::HOST)?;
+                let mem = t
+                    .coi()
+                    .fabric()
+                    .window(win.id())
+                    .ok_or_else(|| HsError::ExecFailed("host window vanished".into()))?;
+                let g = mem
+                    .lock_range(range, false)
+                    .map_err(|e| HsError::ExecFailed(e.to_string()))?;
+                out.copy_from_slice(g.as_slice());
+            }
+            Executor::Sim(_) => match self.sim_shadow.get(&buf) {
+                Some(shadow) => out.copy_from_slice(&shadow[range]),
+                None => out.fill(0),
+            },
+        }
+        Ok(())
+    }
+
+    /// `f64` convenience over [`HStreams::buffer_write`] (`offset` in
+    /// elements).
+    pub fn buffer_write_f64(&mut self, buf: BufferId, offset: usize, data: &[f64]) -> HsResult<()> {
+        let bytes: Vec<u8> = data.iter().flat_map(|x| x.to_le_bytes()).collect();
+        self.buffer_write(buf, offset * 8, &bytes)
+    }
+
+    /// `f64` convenience over [`HStreams::buffer_read`].
+    pub fn buffer_read_f64(&mut self, buf: BufferId, offset: usize, out: &mut [f64]) -> HsResult<()> {
+        let mut bytes = vec![0u8; out.len() * 8];
+        self.buffer_read(buf, offset * 8, &mut bytes)?;
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            out[i] = f64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ registry
+
+    /// Register a sink-side task function, available in every domain.
+    pub fn register(&mut self, name: &str, f: TaskFn) {
+        self.stats.bump("register");
+        if let Executor::Thread(t) = &self.exec {
+            t.coi().register(name, f);
+        }
+        // Sim mode: tasks never run; names need no resolution.
+    }
+
+    // ------------------------------------------------------------- actions
+
+    /// Enqueue a compute action. `operands` drive the dependence analysis;
+    /// `cost` drives the virtual-time executor ([`CostHint::trivial`] for
+    /// real-mode-only code).
+    pub fn enqueue_compute(
+        &mut self,
+        s: StreamId,
+        func: &str,
+        args: Bytes,
+        operands: &[Operand],
+        cost: CostHint,
+    ) -> HsResult<Event> {
+        self.stats.bump("enqueue_compute");
+        self.stats.note_compute();
+        let (domain, device, cores) = {
+            let st = self.stream(s)?;
+            let dev = self.platform.domains[st.domain.0].device;
+            (st.domain, dev, st.cores())
+        };
+        // Validate + resolve operands.
+        let mut footprint: Footprint = Vec::with_capacity(operands.len());
+        let mut bufs: Vec<hs_coi::pipeline::BufAccess> = Vec::new();
+        let real = matches!(self.exec, Executor::Thread(_));
+        for op in operands {
+            let rec = self.buffers.get(op.buffer)?;
+            rec.check_range(&op.range)?;
+            if rec.props.read_only && op.access.is_write() {
+                return Err(HsError::InvalidArg(format!(
+                    "write operand on read-only buffer {:?}",
+                    op.buffer
+                )));
+            }
+            if !rec.is_instantiated(domain) {
+                return Err(HsError::NotInstantiated(op.buffer, domain));
+            }
+            // Overlapping operands within ONE action would self-conflict at
+            // the sink's range locks (read+write of the same bytes by the
+            // same task); reject eagerly with a clear error instead.
+            for prev in &footprint {
+                if prev.buffer == op.buffer
+                    && prev.range.start < op.range.end
+                    && op.range.start < prev.range.end
+                    && (prev.write || op.access.is_write())
+                {
+                    return Err(HsError::InvalidArg(format!(
+                        "operands of one task overlap with a write on buffer {:?}                          ({:?} vs {:?}); pass a single merged operand instead",
+                        op.buffer, prev.range, op.range
+                    )));
+                }
+            }
+            footprint.push(FootprintItem::new(
+                domain,
+                op.buffer,
+                op.range.clone(),
+                op.access.is_write(),
+            ));
+            if real {
+                let w = rec.window(domain)?;
+                bufs.push((w.id(), op.range.clone(), op.access.is_write()));
+            }
+        }
+        let label = format!("{}@{}s{}", func, device.short(), s.0);
+        let spec = ActionSpec::Compute {
+            stream_idx: s.0 as usize,
+            device,
+            cores,
+            func: func.to_string(),
+            args,
+            bufs,
+            cost,
+            label,
+        };
+        self.enqueue_common(s, spec, footprint, stream::ActionKind::Normal, &[])
+    }
+
+    /// Enqueue a data transfer of `buf[range]` from `from`'s instantiation
+    /// to `to`'s. Same-domain transfers are aliased away (host-as-target
+    /// optimization). Card↔card is rejected; route via the host.
+    pub fn enqueue_xfer(
+        &mut self,
+        s: StreamId,
+        buf: BufferId,
+        range: Range<usize>,
+        from: DomainId,
+        to: DomainId,
+    ) -> HsResult<Event> {
+        self.stats.bump("enqueue_xfer");
+        for d in [from, to] {
+            if d.0 >= self.platform.domains.len() {
+                return Err(HsError::UnknownDomain(d));
+            }
+        }
+        let rec = self.buffers.get(buf)?;
+        rec.check_range(&range)?;
+        for d in [from, to] {
+            if !rec.is_instantiated(d) {
+                return Err(HsError::NotInstantiated(buf, d));
+            }
+        }
+        let elide = from == to;
+        let card_domain = if elide {
+            None
+        } else {
+            match (from.is_host(), to.is_host()) {
+                (true, false) => Some(to.0),
+                (false, true) => Some(from.0),
+                (true, true) => None,
+                (false, false) => return Err(HsError::CardToCard),
+            }
+        };
+        let h2d = !to.is_host();
+        let bytes = range.len();
+        self.stats.note_transfer(bytes as u64, elide);
+        let real = if matches!(self.exec, Executor::Thread(_)) && !elide {
+            let src = rec.window(from)?;
+            let dst = rec.window(to)?;
+            Some(RealXfer {
+                src: (src.id(), range.start),
+                dst: (dst.id(), range.start),
+            })
+        } else {
+            None
+        };
+        let footprint: Footprint = if elide {
+            vec![FootprintItem::new(from, buf, range.clone(), false)]
+        } else {
+            vec![
+                FootprintItem::new(from, buf, range.clone(), false),
+                FootprintItem::new(to, buf, range.clone(), true),
+            ]
+        };
+        let label = format!(
+            "xfer:{}:d{}->d{}",
+            self.buffers.get(buf)?.label(),
+            from.0,
+            to.0
+        );
+        let spec = ActionSpec::Transfer {
+            card_domain,
+            h2d,
+            bytes,
+            real,
+            label,
+        };
+        self.enqueue_common(s, spec, footprint, stream::ActionKind::Normal, &[])
+    }
+
+    /// Transfer from the host instantiation to the stream's sink domain.
+    pub fn xfer_to_sink(&mut self, s: StreamId, buf: BufferId, range: Range<usize>) -> HsResult<Event> {
+        let to = self.stream_domain(s)?;
+        self.enqueue_xfer(s, buf, range, DomainId::HOST, to)
+    }
+
+    /// Transfer from the stream's sink domain back to the host.
+    pub fn xfer_to_source(&mut self, s: StreamId, buf: BufferId, range: Range<usize>) -> HsResult<Event> {
+        let from = self.stream_domain(s)?;
+        self.enqueue_xfer(s, buf, range, from, DomainId::HOST)
+    }
+
+    /// Enqueue a synchronization action: later actions in stream `s` wait
+    /// until all of `events` (typically from *other* streams) complete.
+    /// Prior actions of `s` are unaffected and keep executing out of order
+    /// — this is hStreams' non-serializing cross-stream dependence
+    /// mechanism (streams imply nothing about each other by themselves).
+    pub fn enqueue_event_wait(&mut self, s: StreamId, events: &[Event]) -> HsResult<Event> {
+        self.stats.bump("enqueue_event_wait");
+        self.stats.note_sync();
+        for e in events {
+            if e.0 as usize >= self.events.len() {
+                return Err(HsError::UnknownEvent(*e));
+            }
+        }
+        self.enqueue_common(s, ActionSpec::Noop, Vec::new(), stream::ActionKind::EventWait, events)
+    }
+
+    /// Enqueue a stream marker: it completes when **every** action already
+    /// enqueued in `s` has completed, and later actions in `s` order after
+    /// it (CUDA's `cudaEventRecord` shape; also a full intra-stream fence).
+    pub fn enqueue_marker(&mut self, s: StreamId) -> HsResult<Event> {
+        self.stats.bump("enqueue_marker");
+        self.stats.note_sync();
+        self.enqueue_common(s, ActionSpec::Noop, Vec::new(), stream::ActionKind::Marker, &[])
+    }
+
+    /// The stream that produced an event.
+    pub fn event_stream(&self, ev: Event) -> HsResult<StreamId> {
+        self.event_streams
+            .get(ev.0 as usize)
+            .copied()
+            .ok_or(HsError::UnknownEvent(ev))
+    }
+
+    /// Like [`HStreams::enqueue_event_wait`], but **only** for dependences
+    /// that actually cross streams: events produced by `s` itself are
+    /// dropped (the FIFO + operand semantics already order them — the
+    /// paper's recipe: "Otherwise, the FIFO semantic will manage the
+    /// dependences within a stream implicitly"), and if nothing remains no
+    /// synchronization action is enqueued at all — preserving `s`'s
+    /// out-of-order freedom. Returns the barrier's event when one was
+    /// needed.
+    pub fn enqueue_cross_wait(
+        &mut self,
+        s: StreamId,
+        events: &[Event],
+    ) -> HsResult<Option<Event>> {
+        let mut cross = Vec::with_capacity(events.len());
+        for e in events {
+            let ps = self.event_stream(*e)?;
+            if ps != s && !self.exec.is_complete(&self.events[e.0 as usize]) {
+                cross.push(*e);
+            }
+        }
+        if cross.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(self.enqueue_event_wait(s, &cross)?))
+    }
+
+    fn enqueue_common(
+        &mut self,
+        s: StreamId,
+        spec: ActionSpec,
+        footprint: Footprint,
+        kind: stream::ActionKind,
+        extra_events: &[Event],
+    ) -> HsResult<Event> {
+        let idx = s.0 as usize;
+        if idx >= self.streams.len() {
+            return Err(HsError::UnknownStream(s));
+        }
+        self.retire_stream(idx);
+        // EventWait actions depend only on the awaited events (out-of-order
+        // mode) — but under StrictFifo they must also chain on the stream's
+        // previous action, or the strict chain would break at every wait
+        // (the wait could complete before its predecessor, releasing the
+        // successor early). Markers depend on everything pending; normal
+        // actions on their operand conflicts (or the chain, in strict mode).
+        let mut dep_events = match kind {
+            stream::ActionKind::EventWait => match self.ordering {
+                OrderingMode::OutOfOrder => Vec::new(),
+                OrderingMode::StrictFifo => {
+                    self.streams[idx].find_deps(&footprint, false, self.ordering)
+                }
+            },
+            stream::ActionKind::Marker => {
+                self.streams[idx].find_deps(&footprint, true, self.ordering)
+            }
+            stream::ActionKind::Normal => {
+                self.streams[idx].find_deps(&footprint, false, self.ordering)
+            }
+        };
+        dep_events.extend_from_slice(extra_events);
+        dep_events.sort_unstable();
+        dep_events.dedup();
+        let deps: Vec<BackendEvent> = dep_events
+            .iter()
+            .map(|e| self.events[e.0 as usize].clone())
+            .collect();
+        let backend = self.exec.submit(spec, &deps);
+        let ev = Event(self.events.len() as u64);
+        self.events.push(backend);
+        self.event_streams.push(s);
+        self.streams[idx].push(ev, footprint, kind);
+        Ok(ev)
+    }
+
+    fn retire_stream(&mut self, idx: usize) {
+        // Split borrows so the completion probe can run inside the stream's
+        // (amortized) retire sweep without materializing a set per enqueue.
+        let events = &self.events;
+        let exec = &self.exec;
+        self.streams[idx].retire(|e| exec.is_complete(&events[e.0 as usize]));
+    }
+
+    /// Backend events of pending actions conflicting with a source-side
+    /// access of `buf[range]` (`write` = source intends to write).
+    fn conflicting_events(
+        &self,
+        buf: BufferId,
+        range: Range<usize>,
+        write: bool,
+    ) -> Vec<BackendEvent> {
+        // The source access conflicts with an action touching this buffer in
+        // any domain (a transfer still in flight, a compute on a card copy
+        // the user will overwrite next, ...). Conservative and simple.
+        let probe: Footprint = (0..self.num_domains())
+            .map(|d| FootprintItem::new(DomainId(d), buf, range.clone(), write))
+            .collect();
+        let mut deps = Vec::new();
+        for st in &self.streams {
+            deps.extend(st.find_deps(&probe, false, OrderingMode::OutOfOrder));
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        deps.into_iter()
+            .map(|e| self.events[e.0 as usize].clone())
+            .collect()
+    }
+
+    // ---------------------------------------------------------------- waits
+
+    /// Wait for one event.
+    pub fn event_wait(&mut self, ev: Event) -> HsResult<()> {
+        self.stats.bump("event_wait");
+        let be = self
+            .events
+            .get(ev.0 as usize)
+            .ok_or(HsError::UnknownEvent(ev))?
+            .clone();
+        self.exec.wait(&be).map_err(HsError::ExecFailed)
+    }
+
+    /// Wait for all events.
+    pub fn event_wait_all(&mut self, evs: &[Event]) -> HsResult<()> {
+        self.stats.bump("event_wait_all");
+        for ev in evs {
+            let be = self
+                .events
+                .get(ev.0 as usize)
+                .ok_or(HsError::UnknownEvent(*ev))?
+                .clone();
+            self.exec.wait(&be).map_err(HsError::ExecFailed)?;
+        }
+        Ok(())
+    }
+
+    /// Wait for any of the events; returns the index of a completed one
+    /// (the paper: "waiting on a set of events and being signaled when one
+    /// or all the events are finished ... can save CPU spinning time").
+    pub fn event_wait_any(&mut self, evs: &[Event]) -> HsResult<usize> {
+        self.stats.bump("event_wait_any");
+        if evs.is_empty() {
+            return Err(HsError::InvalidArg("wait_any on empty set".into()));
+        }
+        let bes: Vec<BackendEvent> = evs
+            .iter()
+            .map(|ev| {
+                self.events
+                    .get(ev.0 as usize)
+                    .cloned()
+                    .ok_or(HsError::UnknownEvent(*ev))
+            })
+            .collect::<HsResult<_>>()?;
+        self.exec.wait_any(&bes).map_err(HsError::ExecFailed)
+    }
+
+    fn wait_backend_all(&mut self, bes: &[BackendEvent]) -> HsResult<()> {
+        for be in bes {
+            self.exec.wait(be).map_err(HsError::ExecFailed)?;
+        }
+        Ok(())
+    }
+
+    /// Wait until every action enqueued in `s` has completed.
+    pub fn stream_synchronize(&mut self, s: StreamId) -> HsResult<()> {
+        self.stats.bump("stream_synchronize");
+        let idx = s.0 as usize;
+        if idx >= self.streams.len() {
+            return Err(HsError::UnknownStream(s));
+        }
+        let evs: Vec<BackendEvent> = self.streams[idx]
+            .pending_events()
+            .iter()
+            .map(|e| self.events[e.0 as usize].clone())
+            .collect();
+        self.wait_backend_all(&evs)?;
+        self.retire_stream(idx);
+        Ok(())
+    }
+
+    /// Wait until every action in every stream has completed.
+    pub fn thread_synchronize(&mut self) -> HsResult<()> {
+        self.stats.bump("thread_synchronize");
+        for i in 0..self.streams.len() {
+            self.stream_synchronize(StreamId(i as u32))?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- metrics
+
+    pub fn stats(&self) -> &ApiStats {
+        &self.stats
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut ApiStats {
+        &mut self.stats
+    }
+
+    /// Elapsed time: virtual seconds (sim) or wall seconds (threads).
+    pub fn now_secs(&self) -> f64 {
+        self.exec.now_secs()
+    }
+
+    /// Charge synchronous source time (used by layered runtimes like the
+    /// OmpSs reproduction to model their per-task overheads). No-op in real
+    /// mode.
+    pub fn charge_source_secs(&mut self, secs: f64) {
+        self.exec.charge_source(hs_sim::Dur::from_secs_f64(secs));
+    }
+
+    /// Sim-mode execution trace (None in real mode).
+    pub fn trace(&self) -> Option<&hs_sim::Trace> {
+        match &self.exec {
+            Executor::Sim(s) => Some(s.trace()),
+            Executor::Thread(_) => None,
+        }
+    }
+
+    /// Enable/disable sim-mode span recording.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        if let Executor::Sim(s) = &mut self.exec {
+            s.set_tracing(enabled);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! API-call statistics.
+//!
+//! The paper's Fig. 3 coding comparison counts "unique APIs" and "total APIs
+//! used" per programming model. Instrumenting the runtime lets the
+//! `fig3_coding` bench *measure* those counts for our implementations
+//! instead of transcribing them.
+
+use std::collections::BTreeMap;
+
+/// Counts of API invocations by name.
+#[derive(Clone, Debug, Default)]
+pub struct ApiStats {
+    counts: BTreeMap<&'static str, u64>,
+    actions_compute: u64,
+    actions_transfer: u64,
+    actions_sync: u64,
+    bytes_transferred: u64,
+    transfers_elided: u64,
+}
+
+impl ApiStats {
+    pub fn new() -> ApiStats {
+        ApiStats::default()
+    }
+
+    pub fn bump(&mut self, api: &'static str) {
+        *self.counts.entry(api).or_insert(0) += 1;
+    }
+
+    pub fn note_compute(&mut self) {
+        self.actions_compute += 1;
+    }
+
+    pub fn note_transfer(&mut self, bytes: u64, elided: bool) {
+        self.actions_transfer += 1;
+        self.bytes_transferred += bytes;
+        if elided {
+            self.transfers_elided += 1;
+        }
+    }
+
+    pub fn note_sync(&mut self) {
+        self.actions_sync += 1;
+    }
+
+    /// Distinct API entry points used.
+    pub fn unique_apis(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total API invocations.
+    pub fn total_calls(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    pub fn count(&self, api: &str) -> u64 {
+        self.counts.get(api).copied().unwrap_or(0)
+    }
+
+    pub fn computes(&self) -> u64 {
+        self.actions_compute
+    }
+
+    pub fn transfers(&self) -> u64 {
+        self.actions_transfer
+    }
+
+    pub fn syncs(&self) -> u64 {
+        self.actions_sync
+    }
+
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred
+    }
+
+    /// Host-as-target transfers that were aliased away.
+    pub fn transfers_elided(&self) -> u64 {
+        self.transfers_elided
+    }
+
+    /// (name, count) rows, sorted by name.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        self.counts.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_count() {
+        let mut s = ApiStats::new();
+        s.bump("stream_create");
+        s.bump("stream_create");
+        s.bump("buffer_create");
+        assert_eq!(s.count("stream_create"), 2);
+        assert_eq!(s.unique_apis(), 2);
+        assert_eq!(s.total_calls(), 3);
+    }
+
+    #[test]
+    fn action_counters() {
+        let mut s = ApiStats::new();
+        s.note_compute();
+        s.note_transfer(100, false);
+        s.note_transfer(50, true);
+        s.note_sync();
+        assert_eq!(s.computes(), 1);
+        assert_eq!(s.transfers(), 2);
+        assert_eq!(s.bytes_transferred(), 150);
+        assert_eq!(s.transfers_elided(), 1);
+        assert_eq!(s.syncs(), 1);
+    }
+
+    #[test]
+    fn rows_sorted_by_name() {
+        let mut s = ApiStats::new();
+        s.bump("zz");
+        s.bump("aa");
+        let rows = s.rows();
+        assert_eq!(rows[0].0, "aa");
+        assert_eq!(rows[1].0, "zz");
+    }
+}

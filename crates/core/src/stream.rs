@@ -1,0 +1,337 @@
+//! Per-stream bookkeeping: the pending-action window used for dependence
+//! derivation, and the FIFO/out-of-order policy.
+//!
+//! Dependence lookup is indexed by (domain, buffer): a new action only
+//! compares ranges against pending actions that touch one of its own
+//! buffers, so enqueue cost is proportional to the *contention* on the
+//! action's operands, not to the stream's total backlog. Synchronization
+//! actions (barriers) dominate everything before them, letting the index be
+//! cleared wholesale.
+
+use crate::cpumask::CpuMask;
+use crate::deps::Footprint;
+use crate::types::{BufferId, DomainId, Event, OrderingMode, StreamId};
+use std::collections::HashMap;
+use std::ops::Range;
+
+struct PendingItem {
+    event: Event,
+    range: Range<usize>,
+    write: bool,
+}
+
+/// How an action participates in intra-stream ordering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ActionKind {
+    /// Ordinary compute/transfer: ordered by operand overlap.
+    Normal,
+    /// An event-wait: later actions in the stream order after it; it does
+    /// NOT order against prior stream actions (its only dependences are the
+    /// awaited events) — hStreams' non-serializing cross-stream sync.
+    EventWait,
+    /// A marker/barrier: orders against every prior action AND gates every
+    /// later one (CUDA's `cudaEventRecord` semantics; stream-wide fences).
+    Marker,
+}
+
+/// Source-side state of one stream.
+pub struct StreamState {
+    pub id: StreamId,
+    pub domain: DomainId,
+    pub mask: CpuMask,
+    /// Pending items indexed by touched location.
+    by_loc: HashMap<(DomainId, BufferId), Vec<PendingItem>>,
+    /// Every pending (not yet observed complete) event, in enqueue order.
+    all: Vec<Event>,
+    /// The most recent pending sync action (event-wait or marker): later
+    /// actions order on it.
+    last_barrier: Option<Event>,
+    /// Most recent pending action (strict-FIFO chaining).
+    last_event: Option<Event>,
+    enqueued: u64,
+    since_full_retire: u32,
+}
+
+impl StreamState {
+    pub fn new(id: StreamId, domain: DomainId, mask: CpuMask) -> StreamState {
+        StreamState {
+            id,
+            domain,
+            mask,
+            by_loc: HashMap::new(),
+            all: Vec::new(),
+            last_barrier: None,
+            last_event: None,
+            enqueued: 0,
+            since_full_retire: 0,
+        }
+    }
+
+    /// Number of cores bound to this stream's sink.
+    pub fn cores(&self) -> u32 {
+        self.mask.count()
+    }
+
+    /// Total actions ever enqueued (diagnostics).
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Currently pending (not yet observed complete) actions.
+    pub fn pending_len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Drop retired actions. `is_complete` queries the event table. Cheap
+    /// when called every enqueue: a full sweep runs only periodically or
+    /// when the window grows; in between only the prefix is trimmed (actions
+    /// mostly retire oldest-first).
+    pub fn retire(&mut self, is_complete: impl Fn(Event) -> bool) {
+        self.since_full_retire += 1;
+        let full = self.since_full_retire >= 64 || self.all.len() > 4096;
+        if full {
+            self.since_full_retire = 0;
+            self.all.retain(|e| !is_complete(*e));
+            for items in self.by_loc.values_mut() {
+                items.retain(|it| !is_complete(it.event));
+            }
+            self.by_loc.retain(|_, v| !v.is_empty());
+        } else {
+            // Prefix trim of the ordered list only (index entries linger
+            // until the next full sweep; they only cost redundant deps).
+            let drop = self.all.iter().take_while(|e| is_complete(**e)).count();
+            if drop > 0 {
+                self.all.drain(..drop);
+            }
+        }
+        if let Some(b) = self.last_barrier {
+            if is_complete(b) {
+                self.last_barrier = None;
+            }
+        }
+        if let Some(l) = self.last_event {
+            if is_complete(l) {
+                self.last_event = None;
+            }
+        }
+    }
+
+    /// Events of all pending actions (for stream synchronize).
+    pub fn pending_events(&self) -> Vec<Event> {
+        self.all.clone()
+    }
+
+    /// Dependences a new action with `footprint` must wait for, per the
+    /// ordering mode. Call after [`StreamState::retire`].
+    pub fn find_deps(
+        &self,
+        footprint: &Footprint,
+        barrier: bool,
+        mode: OrderingMode,
+    ) -> Vec<Event> {
+        match mode {
+            OrderingMode::StrictFifo => self.last_event.into_iter().collect(),
+            OrderingMode::OutOfOrder => {
+                if barrier {
+                    return self.all.clone();
+                }
+                let mut deps: Vec<Event> = self.last_barrier.into_iter().collect();
+                for item in footprint {
+                    if let Some(items) = self.by_loc.get(&(item.domain, item.buffer)) {
+                        for p in items {
+                            if p.range.start < item.range.end
+                                && item.range.start < p.range.end
+                                && (p.write || item.write)
+                            {
+                                deps.push(p.event);
+                            }
+                        }
+                    }
+                }
+                deps
+            }
+        }
+    }
+
+    /// Record a newly enqueued action.
+    pub fn push(&mut self, event: Event, footprint: Footprint, kind: ActionKind) {
+        match kind {
+            ActionKind::Marker => {
+                // The marker dominates everything before it: later actions
+                // only need the marker itself, so the location index resets.
+                self.by_loc.clear();
+                self.last_barrier = Some(event);
+            }
+            ActionKind::EventWait => {
+                // Later actions order on the wait, but prior actions are
+                // untouched — so the conflict index MUST stay (a later
+                // action's RAW/WAW edges to pre-wait producers are not
+                // subsumed by the wait).
+                self.last_barrier = Some(event);
+            }
+            ActionKind::Normal => {
+                for item in footprint {
+                    self.by_loc
+                        .entry((item.domain, item.buffer))
+                        .or_default()
+                        .push(PendingItem {
+                            event,
+                            range: item.range,
+                            write: item.write,
+                        });
+                }
+            }
+        }
+        self.all.push(event);
+        self.last_event = Some(event);
+        self.enqueued += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::FootprintItem;
+
+    fn fp(buf: u64, range: std::ops::Range<usize>, write: bool) -> Footprint {
+        vec![FootprintItem::new(DomainId(1), BufferId(buf), range, write)]
+    }
+
+    fn stream() -> StreamState {
+        StreamState::new(StreamId(0), DomainId(1), CpuMask::first(4))
+    }
+
+    #[test]
+    fn ooo_deps_only_on_conflicts() {
+        let mut s = stream();
+        s.push(Event(0), fp(0, 0..10, true), ActionKind::Normal);
+        s.push(Event(1), fp(1, 0..10, true), ActionKind::Normal);
+        let deps = s.find_deps(&fp(0, 5..6, false), false, OrderingMode::OutOfOrder);
+        assert_eq!(deps, vec![Event(0)], "only the conflicting writer");
+        let none = s.find_deps(&fp(2, 0..10, true), false, OrderingMode::OutOfOrder);
+        assert!(none.is_empty(), "independent action has no deps");
+    }
+
+    #[test]
+    fn read_read_overlap_is_free() {
+        let mut s = stream();
+        s.push(Event(0), fp(0, 0..10, false), ActionKind::Normal);
+        let deps = s.find_deps(&fp(0, 0..10, false), false, OrderingMode::OutOfOrder);
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn strict_fifo_chains_on_last() {
+        let mut s = stream();
+        s.push(Event(0), fp(0, 0..10, true), ActionKind::Normal);
+        s.push(Event(1), fp(1, 0..10, true), ActionKind::Normal);
+        let deps = s.find_deps(&fp(2, 0..10, true), false, OrderingMode::StrictFifo);
+        assert_eq!(deps, vec![Event(1)], "chain on most recent regardless of operands");
+    }
+
+    #[test]
+    fn marker_depends_on_all_and_blocks_later() {
+        let mut s = stream();
+        s.push(Event(0), fp(0, 0..10, true), ActionKind::Normal);
+        s.push(Event(1), fp(1, 0..10, true), ActionKind::Normal);
+        let deps = s.find_deps(&Vec::new(), true, OrderingMode::OutOfOrder);
+        assert_eq!(deps, vec![Event(0), Event(1)]);
+        s.push(Event(2), Vec::new(), ActionKind::Marker);
+        let later = s.find_deps(&fp(9, 0..1, false), false, OrderingMode::OutOfOrder);
+        assert!(later.contains(&Event(2)), "later actions order on the marker");
+        // And the pre-marker index is dominated: no stale deps besides it.
+        let deps2 = s.find_deps(&fp(0, 0..10, true), false, OrderingMode::OutOfOrder);
+        assert_eq!(deps2, vec![Event(2)]);
+    }
+
+    #[test]
+    fn event_wait_keeps_prior_conflicts_visible() {
+        let mut s = stream();
+        s.push(Event(0), fp(0, 0..10, true), ActionKind::Normal);
+        // A light event-wait: later actions order on it, but edges to the
+        // pre-wait writer of buffer 0 must survive.
+        s.push(Event(1), Vec::new(), ActionKind::EventWait);
+        let deps = s.find_deps(&fp(0, 0..10, false), false, OrderingMode::OutOfOrder);
+        assert!(deps.contains(&Event(0)), "RAW edge to the pre-wait writer");
+        assert!(deps.contains(&Event(1)), "orders after the wait too");
+        // Independent later actions wait only on the event-wait.
+        let ind = s.find_deps(&fp(5, 0..10, true), false, OrderingMode::OutOfOrder);
+        assert_eq!(ind, vec![Event(1)]);
+    }
+
+    #[test]
+    fn retire_removes_completed() {
+        let mut s = stream();
+        s.push(Event(0), fp(0, 0..10, true), ActionKind::Normal);
+        s.push(Event(1), fp(0, 0..10, true), ActionKind::Normal);
+        // Force a full sweep regardless of the amortization counter.
+        s.since_full_retire = 1000;
+        s.retire(|e| e == Event(0));
+        assert_eq!(s.pending_len(), 1);
+        let deps = s.find_deps(&fp(0, 0..10, false), false, OrderingMode::OutOfOrder);
+        assert_eq!(deps, vec![Event(1)], "completed actions induce no deps");
+        assert_eq!(s.enqueued(), 2, "retire does not affect the lifetime count");
+    }
+
+    #[test]
+    fn prefix_retire_trims_pending_window() {
+        let mut s = stream();
+        for i in 0..10 {
+            s.push(Event(i), fp(0, (i as usize) * 10..(i as usize) * 10 + 5, true), ActionKind::Normal);
+        }
+        // Events 0..5 complete: even the cheap path trims the prefix.
+        s.retire(|e| e.0 < 5);
+        assert_eq!(s.pending_len(), 5);
+    }
+
+    #[test]
+    fn retired_barrier_stops_blocking() {
+        let mut s = stream();
+        s.push(Event(0), Vec::new(), ActionKind::Marker);
+        s.retire(|e| e == Event(0));
+        let deps = s.find_deps(&fp(0, 0..4, true), false, OrderingMode::OutOfOrder);
+        assert!(deps.is_empty(), "completed barrier induces no deps");
+    }
+
+    #[test]
+    fn empty_stream_has_no_deps() {
+        let s = stream();
+        assert!(s
+            .find_deps(&fp(0, 0..10, true), false, OrderingMode::OutOfOrder)
+            .is_empty());
+        assert!(s
+            .find_deps(&fp(0, 0..10, true), false, OrderingMode::StrictFifo)
+            .is_empty());
+    }
+
+    #[test]
+    fn pending_events_lists_all() {
+        let mut s = stream();
+        s.push(Event(3), fp(0, 0..1, false), ActionKind::Normal);
+        s.push(Event(5), fp(1, 0..1, false), ActionKind::Normal);
+        assert_eq!(s.pending_events(), vec![Event(3), Event(5)]);
+    }
+
+    #[test]
+    fn multi_domain_footprints_index_separately() {
+        let mut s = stream();
+        // A transfer footprint touches host (read) and card (write).
+        s.push(
+            Event(0),
+            vec![
+                FootprintItem::new(DomainId(0), BufferId(7), 0..64, false),
+                FootprintItem::new(DomainId(1), BufferId(7), 0..64, true),
+            ],
+            ActionKind::Normal,
+        );
+        // A host write to the same buffer conflicts via the host item.
+        let host_probe = vec![FootprintItem::new(DomainId(0), BufferId(7), 0..8, true)];
+        assert_eq!(
+            s.find_deps(&host_probe, false, OrderingMode::OutOfOrder),
+            vec![Event(0)]
+        );
+        // A different buffer on the card does not.
+        let other = vec![FootprintItem::new(DomainId(1), BufferId(8), 0..8, true)];
+        assert!(s.find_deps(&other, false, OrderingMode::OutOfOrder).is_empty());
+    }
+}

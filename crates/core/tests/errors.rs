@@ -1,0 +1,241 @@
+//! Exhaustive error-path coverage of the public API: every misuse must
+//! produce a typed error (never a panic, hang, or silent corruption).
+
+use bytes::Bytes;
+use hs_machine::{Device, PlatformCfg};
+use hstreams_core::{
+    Access, BufProps, CostHint, CpuMask, DomainId, Event, ExecMode, HStreams, HsError, Operand,
+    StreamId,
+};
+
+fn rt() -> HStreams {
+    HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads)
+}
+
+#[test]
+fn unknown_stream_everywhere() {
+    let mut hs = rt();
+    let buf = hs.buffer_create(64, BufProps::default());
+    let ghost = StreamId(42);
+    assert!(matches!(
+        hs.enqueue_compute(ghost, "f", Bytes::new(), &[], CostHint::trivial()),
+        Err(HsError::UnknownStream(_))
+    ));
+    assert!(matches!(
+        hs.enqueue_xfer(ghost, buf, 0..64, DomainId::HOST, DomainId(1)),
+        Err(HsError::NotInstantiated(_, _)) | Err(HsError::UnknownStream(_))
+    ));
+    assert!(matches!(
+        hs.stream_synchronize(ghost),
+        Err(HsError::UnknownStream(_))
+    ));
+    assert!(matches!(
+        hs.stream_domain(ghost),
+        Err(HsError::UnknownStream(_))
+    ));
+}
+
+#[test]
+fn unknown_buffer_everywhere() {
+    let mut hs = rt();
+    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let ghost = hstreams_core::BufferId(99);
+    assert!(matches!(
+        hs.enqueue_xfer(s, ghost, 0..8, DomainId::HOST, DomainId(1)),
+        Err(HsError::UnknownBuffer(_))
+    ));
+    assert!(matches!(
+        hs.buffer_write_f64(ghost, 0, &[1.0]),
+        Err(HsError::UnknownBuffer(_))
+    ));
+    assert!(matches!(hs.buffer_len(ghost), Err(HsError::UnknownBuffer(_))));
+    assert!(matches!(
+        hs.buffer_destroy(ghost),
+        Err(HsError::UnknownBuffer(_))
+    ));
+}
+
+#[test]
+fn unknown_domain_and_event() {
+    let mut hs = rt();
+    assert!(matches!(
+        hs.stream_create(DomainId(7), CpuMask::first(1)),
+        Err(HsError::UnknownDomain(_))
+    ));
+    let buf = hs.buffer_create(8, BufProps::default());
+    assert!(matches!(
+        hs.buffer_instantiate(buf, DomainId(7)),
+        Err(HsError::UnknownDomain(_))
+    ));
+    assert!(matches!(
+        hs.event_wait(Event(1234)),
+        Err(HsError::UnknownEvent(_))
+    ));
+    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    assert!(matches!(
+        hs.enqueue_event_wait(s, &[Event(1234)]),
+        Err(HsError::UnknownEvent(_))
+    ));
+}
+
+#[test]
+fn out_of_bounds_operands_and_ranges() {
+    let mut hs = rt();
+    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let buf = hs.buffer_create(64, BufProps::default());
+    hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
+    assert!(matches!(
+        hs.enqueue_xfer(s, buf, 0..65, DomainId::HOST, DomainId(1)),
+        Err(HsError::OutOfBounds { .. })
+    ));
+    assert!(matches!(
+        hs.enqueue_compute(
+            s,
+            "f",
+            Bytes::new(),
+            &[Operand::new(buf, 60..72, Access::In)],
+            CostHint::trivial()
+        ),
+        Err(HsError::OutOfBounds { .. })
+    ));
+    assert!(matches!(
+        hs.buffer_write_f64(buf, 7, &[1.0, 2.0]),
+        Err(HsError::OutOfBounds { .. })
+    ));
+    let mut out = [0.0; 9];
+    assert!(matches!(
+        hs.buffer_read_f64(buf, 0, &mut out),
+        Err(HsError::OutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn empty_mask_and_wait_any_empty() {
+    let mut hs = rt();
+    assert!(matches!(
+        hs.stream_create(DomainId(1), CpuMask::EMPTY),
+        Err(HsError::InvalidArg(_))
+    ));
+    assert!(matches!(hs.event_wait_any(&[]), Err(HsError::InvalidArg(_))));
+}
+
+#[test]
+fn overlapping_operands_within_one_task_are_rejected() {
+    let mut hs = rt();
+    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let buf = hs.buffer_create(64, BufProps::default());
+    hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
+    let err = hs
+        .enqueue_compute(
+            s,
+            "f",
+            Bytes::new(),
+            &[
+                Operand::new(buf, 0..32, Access::In),
+                Operand::new(buf, 16..48, Access::Out),
+            ],
+            CostHint::trivial(),
+        )
+        .expect_err("overlap with a write");
+    assert!(matches!(err, HsError::InvalidArg(_)), "{err}");
+    // Overlapping reads are fine.
+    assert!(hs
+        .enqueue_compute(
+            s,
+            "f",
+            Bytes::new(),
+            &[
+                Operand::new(buf, 0..32, Access::In),
+                Operand::new(buf, 16..48, Access::In),
+            ],
+            CostHint::trivial(),
+        )
+        .is_ok());
+    // That compute fails at the sink (no function 'f'), which must surface
+    // as ExecFailed — drain it.
+    let _ = hs.thread_synchronize();
+}
+
+#[test]
+fn missing_sink_function_fails_event_not_process() {
+    let mut hs = rt();
+    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let buf = hs.buffer_create(64, BufProps::default());
+    hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
+    let ev = hs
+        .enqueue_compute(
+            s,
+            "no_such_kernel",
+            Bytes::new(),
+            &[Operand::new(buf, 0..8, Access::In)],
+            CostHint::trivial(),
+        )
+        .expect("enqueue succeeds; execution fails");
+    let err = hs.event_wait(ev).expect_err("missing function");
+    assert!(
+        matches!(err, HsError::ExecFailed(ref m) if m.contains("no_such_kernel")),
+        "{err}"
+    );
+    // The stream keeps working afterwards.
+    hs.register("ok", std::sync::Arc::new(|_ctx: &mut hstreams_core::TaskCtx| {}));
+    let ev2 = hs
+        .enqueue_compute(
+            s,
+            "ok",
+            Bytes::new(),
+            &[Operand::new(buf, 8..16, Access::In)],
+            CostHint::trivial(),
+        )
+        .expect("enqueue");
+    hs.event_wait(ev2).expect("stream survives a failed action");
+}
+
+#[test]
+fn double_instantiate_is_idempotent() {
+    let mut hs = rt();
+    let buf = hs.buffer_create(64, BufProps::default());
+    hs.buffer_instantiate(buf, DomainId(1)).expect("first");
+    hs.buffer_instantiate(buf, DomainId(1)).expect("second is a no-op");
+}
+
+#[test]
+fn destroy_waits_for_inflight_actions() {
+    let mut hs = rt();
+    hs.register(
+        "slow",
+        std::sync::Arc::new(|ctx: &mut hstreams_core::TaskCtx| {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            ctx.buf_f64_mut(0)[0] = 1.0;
+        }),
+    );
+    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let buf = hs.buffer_create(64, BufProps::default());
+    hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
+    hs.enqueue_compute(
+        s,
+        "slow",
+        Bytes::new(),
+        &[Operand::new(buf, 0..64, Access::Out)],
+        CostHint::trivial(),
+    )
+    .expect("enqueue");
+    let t0 = std::time::Instant::now();
+    hs.buffer_destroy(buf).expect("destroy blocks until the task is done");
+    assert!(
+        t0.elapsed() >= std::time::Duration::from_millis(20),
+        "destroy must wait for the in-flight writer"
+    );
+}
+
+#[test]
+fn use_after_destroy_is_an_error() {
+    let mut hs = rt();
+    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let buf = hs.buffer_create(64, BufProps::default());
+    hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
+    hs.buffer_destroy(buf).expect("destroy");
+    assert!(matches!(
+        hs.xfer_to_sink(s, buf, 0..64),
+        Err(HsError::UnknownBuffer(_))
+    ));
+}

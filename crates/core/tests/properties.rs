@@ -1,0 +1,93 @@
+//! Property tests of the core data structures: proxy address space
+//! round-trips, CPU-mask partitions, and dependence-engine soundness
+//! (no dropped conflict edge, no spurious edge between disjoint accesses).
+
+use hstreams_core::addrspace::{AddrSpace, ProxyAddr};
+use hstreams_core::deps::{footprints_conflict, Footprint, FootprintItem};
+use hstreams_core::{BufferId, CpuMask, DomainId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Every interior address of every inserted buffer resolves to exactly
+    /// that buffer and offset.
+    #[test]
+    fn addrspace_round_trips(lens in proptest::collection::vec(1usize..10_000, 1..30)) {
+        let mut a = AddrSpace::new();
+        let bases: Vec<(ProxyAddr, usize)> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (a.insert(BufferId(i as u64), *l), *l))
+            .collect();
+        for (i, (base, len)) in bases.iter().enumerate() {
+            for off in [0, len / 2, len - 1] {
+                let got = a.resolve(ProxyAddr(base.0 + off as u64));
+                prop_assert_eq!(got, Some((BufferId(i as u64), off)));
+            }
+            prop_assert_eq!(a.resolve(ProxyAddr(base.0 + *len as u64)), None);
+        }
+    }
+
+    /// Removing a buffer unmaps exactly its interval and nothing else.
+    #[test]
+    fn addrspace_remove_is_precise(lens in proptest::collection::vec(1usize..5000, 2..20), victim in 0usize..19) {
+        let mut a = AddrSpace::new();
+        let bases: Vec<(ProxyAddr, usize)> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (a.insert(BufferId(i as u64), *l), *l))
+            .collect();
+        let v = victim % bases.len();
+        a.remove(bases[v].0);
+        for (i, (base, len)) in bases.iter().enumerate() {
+            let got = a.resolve(ProxyAddr(base.0 + (len - 1) as u64));
+            if i == v {
+                prop_assert_eq!(got, None);
+            } else {
+                prop_assert_eq!(got, Some((BufferId(i as u64), len - 1)));
+            }
+        }
+    }
+
+    /// Even partitions cover all cores disjointly with sizes within one.
+    #[test]
+    fn cpumask_partition_properties(cores in 1u32..128, n in 1usize..16) {
+        prop_assume!(cores as usize >= n);
+        let parts = CpuMask::partition_evenly(cores, n);
+        let mut seen = CpuMask::EMPTY;
+        for p in &parts {
+            prop_assert!(!seen.intersects(p), "disjoint");
+            seen = seen.union(p);
+        }
+        prop_assert_eq!(seen.count(), cores);
+        let min = parts.iter().map(CpuMask::count).min().expect("non-empty");
+        let max = parts.iter().map(CpuMask::count).max().expect("non-empty");
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Conflict detection is symmetric and matches a brute-force oracle.
+    #[test]
+    fn conflicts_match_oracle(
+        items_a in proptest::collection::vec((0usize..3, 0u64..3, 0usize..50, 1usize..30, any::<bool>()), 1..6),
+        items_b in proptest::collection::vec((0usize..3, 0u64..3, 0usize..50, 1usize..30, any::<bool>()), 1..6),
+    ) {
+        let mk = |v: &[(usize, u64, usize, usize, bool)]| -> Footprint {
+            v.iter()
+                .map(|(d, b, s, l, w)| FootprintItem::new(DomainId(*d), BufferId(*b), *s..*s + *l, *w))
+                .collect()
+        };
+        let a = mk(&items_a);
+        let b = mk(&items_b);
+        let oracle = a.iter().any(|x| {
+            b.iter().any(|y| {
+                x.domain == y.domain
+                    && x.buffer == y.buffer
+                    && x.range.start.max(y.range.start) < x.range.end.min(y.range.end)
+                    && (x.write || y.write)
+            })
+        });
+        prop_assert_eq!(footprints_conflict(&a, &b), oracle);
+        prop_assert_eq!(footprints_conflict(&b, &a), oracle, "symmetry");
+    }
+}

@@ -1,0 +1,332 @@
+//! # hs-fabric — SCIF-like transport substrate
+//!
+//! The hStreams paper layers its library over COI, which in the PCIe case
+//! sits on SCIF (Symmetric Communications Interface), "which abstracts
+//! low-level network hardware". This crate is that bottom layer for the
+//! reproduction: since no Xeon Phi exists, each *node* is a memory arena
+//! living in host RAM, and DMA between nodes is a real `memcpy` that can be
+//! **paced** to PCIe-like bandwidth/latency so that real-mode runs exhibit
+//! the same overlap behaviour the paper measures.
+//!
+//! Components:
+//!
+//! * [`Fabric`] / [`NodeId`] — node enumeration (node 0 is the host).
+//! * [`window::WindowMem`] — registered memory windows with a built-in
+//!   **range lock**: concurrent readers of one range are allowed, writers get
+//!   exclusivity; this makes out-of-order DMA sound even if an upper layer
+//!   mis-schedules (it blocks instead of racing).
+//! * [`dma::Pacer`] — converts a [`hs_machine::LinkSpec`] into real-time
+//!   pacing for DMA operations (per-direction serialization like a DMA
+//!   channel).
+//! * [`msg`] — typed control-message channels between nodes.
+
+pub mod dma;
+pub mod msg;
+pub mod window;
+
+pub use dma::{DmaEngine, Pacer};
+pub use window::{RangeGuard, WindowId, WindowMem};
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies a fabric node. Node 0 is the host.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    pub const HOST: NodeId = NodeId(0);
+
+    pub fn is_host(self) -> bool {
+        self == Self::HOST
+    }
+}
+
+struct NodeState {
+    windows: HashMap<u64, Arc<WindowMem>>,
+    next_window: u64,
+}
+
+/// The fabric: a set of nodes, each with registered memory windows, plus DMA
+/// engines per (node, direction).
+pub struct Fabric {
+    nodes: Vec<Mutex<NodeState>>,
+    engines: Vec<DmaEngine>, // two per non-host node: [h2d, d2h]
+}
+
+impl Fabric {
+    /// Create a fabric of `n_nodes` nodes (>= 1; node 0 is the host). Card
+    /// nodes get a pair of DMA engines paced by `pacer` (use
+    /// [`Pacer::unpaced`] for functional tests).
+    pub fn new(n_nodes: usize, pacer: Pacer) -> Fabric {
+        assert!(n_nodes >= 1, "fabric needs at least the host node");
+        let nodes = (0..n_nodes)
+            .map(|_| {
+                Mutex::new(NodeState {
+                    windows: HashMap::new(),
+                    next_window: 1,
+                })
+            })
+            .collect();
+        let engines = (0..n_nodes.saturating_sub(1) * 2)
+            .map(|i| DmaEngine::new(pacer.clone(), i % 2 == 0))
+            .collect();
+        Fabric { nodes, engines }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Register a window of `len` bytes on `node`, zero-initialized.
+    pub fn register(&self, node: NodeId, len: usize) -> WindowId {
+        let mut st = self.nodes[node.0 as usize].lock();
+        let id = WindowId {
+            node,
+            id: st.next_window,
+        };
+        st.next_window += 1;
+        st.windows.insert(id.id, Arc::new(WindowMem::new(len)));
+        id
+    }
+
+    /// Unregister (free) a window. Outstanding `Arc` references keep the
+    /// memory alive; new lookups fail.
+    pub fn unregister(&self, win: WindowId) -> bool {
+        self.nodes[win.node.0 as usize]
+            .lock()
+            .windows
+            .remove(&win.id)
+            .is_some()
+    }
+
+    /// Look up a window's memory.
+    pub fn window(&self, win: WindowId) -> Option<Arc<WindowMem>> {
+        self.nodes[win.node.0 as usize]
+            .lock()
+            .windows
+            .get(&win.id)
+            .cloned()
+    }
+
+    /// The DMA engine for transfers toward (`h2d = true`) or from a card
+    /// node. Panics for the host node (host-local copies need no engine).
+    pub fn engine(&self, card: NodeId, h2d: bool) -> &DmaEngine {
+        assert!(!card.is_host(), "no DMA engine for host-local copies");
+        let base = (card.0 as usize - 1) * 2;
+        &self.engines[base + usize::from(!h2d)]
+    }
+
+    /// DMA `len` bytes from `(src, src_off)` to `(dst, dst_off)`. Windows may
+    /// live on any nodes; pacing applies when either side is a card. Blocks
+    /// until the copy completes (callers run it on sink/DMA threads).
+    pub fn dma_copy(
+        &self,
+        src: WindowId,
+        src_off: usize,
+        dst: WindowId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<(), FabricError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let src_mem = self.window(src).ok_or(FabricError::NoSuchWindow(src))?;
+        let dst_mem = self.window(dst).ok_or(FabricError::NoSuchWindow(dst))?;
+        if src == dst {
+            return Err(FabricError::OverlappingSelfCopy);
+        }
+        // Acquire in a canonical global order (window id, then offset) so
+        // two concurrent copies with swapped endpoints cannot deadlock.
+        let src_first = (src, src_off) <= (dst, dst_off);
+        let (rd, mut wr);
+        if src_first {
+            rd = src_mem
+                .lock_range(src_off..src_off + len, false)
+                .map_err(|_| FabricError::OutOfBounds)?;
+            wr = dst_mem
+                .lock_range(dst_off..dst_off + len, true)
+                .map_err(|_| FabricError::OutOfBounds)?;
+        } else {
+            wr = dst_mem
+                .lock_range(dst_off..dst_off + len, true)
+                .map_err(|_| FabricError::OutOfBounds)?;
+            rd = src_mem
+                .lock_range(src_off..src_off + len, false)
+                .map_err(|_| FabricError::OutOfBounds)?;
+        }
+        let pace_card = if !dst.node.is_host() {
+            Some((dst.node, true))
+        } else if !src.node.is_host() {
+            Some((src.node, false))
+        } else {
+            None
+        };
+        match pace_card {
+            Some((card, h2d)) => self.engine(card, h2d).run(len, || {
+                wr.as_mut_slice().copy_from_slice(rd.as_slice());
+            }),
+            None => wr.as_mut_slice().copy_from_slice(rd.as_slice()),
+        }
+        Ok(())
+    }
+}
+
+/// Errors surfaced by the fabric.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FabricError {
+    NoSuchWindow(WindowId),
+    OutOfBounds,
+    OverlappingSelfCopy,
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::NoSuchWindow(w) => write!(f, "no such window {w:?}"),
+            FabricError::OutOfBounds => write!(f, "window access out of bounds"),
+            FabricError::OverlappingSelfCopy => write!(f, "self-copy within one window"),
+        }
+    }
+}
+impl std::error::Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric2() -> Fabric {
+        Fabric::new(2, Pacer::unpaced())
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let f = fabric2();
+        let w = f.register(NodeId::HOST, 64);
+        assert_eq!(f.window(w).map(|m| m.len()), Some(64));
+    }
+
+    #[test]
+    fn unregister_removes_window() {
+        let f = fabric2();
+        let w = f.register(NodeId(1), 64);
+        assert!(f.unregister(w));
+        assert!(!f.unregister(w));
+        assert!(f.window(w).is_none());
+    }
+
+    #[test]
+    fn windows_are_per_node() {
+        let f = fabric2();
+        let a = f.register(NodeId::HOST, 8);
+        let b = f.register(NodeId(1), 8);
+        assert_ne!(a, b);
+        assert_eq!(a.node, NodeId::HOST);
+        assert_eq!(b.node, NodeId(1));
+    }
+
+    #[test]
+    fn dma_copy_moves_bytes_between_nodes() {
+        let f = fabric2();
+        let h = f.register(NodeId::HOST, 16);
+        let d = f.register(NodeId(1), 16);
+        f.window(h)
+            .expect("window exists")
+            .lock_range(0..16, true)
+            .expect("in bounds")
+            .as_mut_slice()
+            .copy_from_slice(&[7u8; 16]);
+        f.dma_copy(h, 0, d, 0, 16).expect("dma ok");
+        let mem = f.window(d).expect("window exists");
+        let g = mem.lock_range(0..16, false).expect("in bounds");
+        assert_eq!(g.as_slice(), &[7u8; 16]);
+    }
+
+    #[test]
+    fn dma_copy_respects_offsets() {
+        let f = fabric2();
+        let h = f.register(NodeId::HOST, 8);
+        let d = f.register(NodeId(1), 8);
+        f.window(h)
+            .expect("window exists")
+            .lock_range(0..8, true)
+            .expect("in bounds")
+            .as_mut_slice()
+            .copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        f.dma_copy(h, 2, d, 4, 3).expect("dma ok");
+        let mem = f.window(d).expect("window exists");
+        let g = mem.lock_range(0..8, false).expect("in bounds");
+        assert_eq!(g.as_slice(), &[0, 0, 0, 0, 3, 4, 5, 0]);
+    }
+
+    #[test]
+    fn dma_out_of_bounds_is_error() {
+        let f = fabric2();
+        let h = f.register(NodeId::HOST, 8);
+        let d = f.register(NodeId(1), 8);
+        assert_eq!(f.dma_copy(h, 4, d, 0, 8), Err(FabricError::OutOfBounds));
+    }
+
+    #[test]
+    fn dma_to_missing_window_is_error() {
+        let f = fabric2();
+        let h = f.register(NodeId::HOST, 8);
+        let d = f.register(NodeId(1), 8);
+        f.unregister(d);
+        assert!(matches!(
+            f.dma_copy(h, 0, d, 0, 8),
+            Err(FabricError::NoSuchWindow(_))
+        ));
+    }
+
+    #[test]
+    fn self_copy_is_rejected() {
+        let f = fabric2();
+        let h = f.register(NodeId::HOST, 8);
+        assert_eq!(f.dma_copy(h, 0, h, 4, 4), Err(FabricError::OverlappingSelfCopy));
+    }
+
+    #[test]
+    fn zero_len_copy_is_noop() {
+        let f = fabric2();
+        let h = f.register(NodeId::HOST, 8);
+        let d = f.register(NodeId(1), 8);
+        assert_eq!(f.dma_copy(h, 0, d, 0, 0), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no DMA engine")]
+    fn host_engine_lookup_panics() {
+        let f = fabric2();
+        let _ = f.engine(NodeId::HOST, true);
+    }
+
+    #[test]
+    fn concurrent_disjoint_dma_is_safe() {
+        let f = std::sync::Arc::new(Fabric::new(2, Pacer::unpaced()));
+        let h = f.register(NodeId::HOST, 1 << 16);
+        let d = f.register(NodeId(1), 1 << 16);
+        {
+            let mem = f.window(h).expect("window exists");
+            let mut g = mem.lock_range(0..1 << 16, true).expect("in bounds");
+            for (i, b) in g.as_mut_slice().iter_mut().enumerate() {
+                *b = (i % 251) as u8;
+            }
+        }
+        std::thread::scope(|s| {
+            for chunk in 0..8usize {
+                let f = f.clone();
+                s.spawn(move || {
+                    let off = chunk * 8192;
+                    f.dma_copy(h, off, d, off, 8192).expect("dma ok");
+                });
+            }
+        });
+        let mem = f.window(d).expect("window exists");
+        let g = mem.lock_range(0..1 << 16, false).expect("in bounds");
+        for (i, b) in g.as_slice().iter().enumerate() {
+            assert_eq!(*b, (i % 251) as u8);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Typed control-message ports between nodes.
+//!
+//! SCIF exposes connected endpoints with send/recv; COI builds its command
+//! pipelines on them. Control messages are tiny, so real-mode pacing is not
+//! applied here (their cost is folded into the per-action overhead constants
+//! of `hs-machine`); the ports exist to give the COI layer a faithful
+//! message-passing structure.
+
+use crossbeam::channel::{unbounded, Receiver, RecvError, SendError, Sender, TryRecvError};
+
+/// One side of a duplex connection.
+pub struct Port<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
+}
+
+/// Create a connected pair of duplex ports.
+pub fn pair<T>() -> (Port<T>, Port<T>) {
+    let (atx, brx) = unbounded();
+    let (btx, arx) = unbounded();
+    (Port { tx: atx, rx: arx }, Port { tx: btx, rx: brx })
+}
+
+impl<T> Port<T> {
+    /// Send a message; fails if the peer is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.tx.send(msg)
+    }
+
+    /// Block for the next message; fails if the peer is gone and the queue
+    /// is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.rx.recv()
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.rx.try_recv()
+    }
+
+    /// Clone the sending half only (fan-in).
+    pub fn sender(&self) -> Sender<T> {
+        self.tx.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_round_trip() {
+        let (a, b) = pair::<u32>();
+        a.send(7).expect("send ok");
+        assert_eq!(b.recv(), Ok(7));
+        b.send(9).expect("send ok");
+        assert_eq!(a.recv(), Ok(9));
+    }
+
+    #[test]
+    fn try_recv_on_empty() {
+        let (a, _b) = pair::<u32>();
+        assert_eq!(a.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_fails_after_peer_drop() {
+        let (a, b) = pair::<u32>();
+        drop(b);
+        assert!(a.send(1).is_err());
+        assert!(a.recv().is_err());
+    }
+
+    #[test]
+    fn cross_thread_messaging() {
+        let (a, b) = pair::<u64>();
+        let t = std::thread::spawn(move || {
+            let mut sum = 0;
+            for _ in 0..100 {
+                sum += b.recv().expect("message arrives");
+            }
+            sum
+        });
+        for i in 0..100u64 {
+            a.send(i).expect("send ok");
+        }
+        assert_eq!(t.join().expect("thread completes"), 4950);
+    }
+
+    #[test]
+    fn fan_in_via_cloned_sender() {
+        let (a, b) = pair::<usize>();
+        let tx = a.sender();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i).expect("send ok"));
+            }
+        });
+        let mut got: Vec<usize> = (0..4).map(|_| b.recv().expect("recv ok")).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Row-major dense matrices and test-support generators.
+
+/// A square or rectangular row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    pub rows: usize,
+    pub cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "data length must match dims");
+        Matrix { rows, cols, data }
+    }
+
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// `C = A * B` (naive reference; use [`crate::blas3::dgemm`] for speed).
+    pub fn matmul_ref(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut c = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.at(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    c.data[i * other.cols + j] += aik * other.at(k, j);
+                }
+            }
+        }
+        c
+    }
+
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.at(r, c));
+            }
+        }
+        t
+    }
+}
+
+/// Deterministic pseudo-random values without external crates (xorshift64*).
+/// Good enough for generating test matrices reproducibly.
+pub struct XorShift(u64);
+
+impl XorShift {
+    pub fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1).wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in [-1, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+}
+
+/// Random matrix with entries in [-1, 1).
+pub fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = XorShift::new(seed);
+    let data = (0..rows * cols).map(|_| rng.next_f64()).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Random strictly diagonally dominant matrix (safe for unpivoted LU).
+pub fn random_diag_dominant(n: usize, seed: u64) -> Matrix {
+    let mut a = random(n, n, seed);
+    for i in 0..n {
+        let rowsum: f64 = (0..n).map(|j| a.at(i, j).abs()).sum();
+        a.set(i, i, rowsum + 1.0);
+    }
+    a
+}
+
+/// Random symmetric positive-definite matrix: `B Bᵀ + n·I`.
+pub fn random_spd(n: usize, seed: u64) -> Matrix {
+    let b = random(n, n, seed);
+    let mut a = b.matmul_ref(&b.transpose());
+    for i in 0..n {
+        a.data[i * n + i] += n as f64;
+    }
+    a
+}
+
+/// Zero out the strict upper triangle of a square row-major matrix.
+pub fn zero_upper(a: &mut [f64], n: usize) {
+    for r in 0..n {
+        for c in r + 1..n {
+            a[r * n + c] = 0.0;
+        }
+    }
+}
+
+/// `L Lᵀ` for a lower-triangular row-major `L`.
+pub fn reconstruct_llt(l: &[f64], n: usize) -> Matrix {
+    let lm = Matrix::from_vec(n, n, l.to_vec());
+    lm.matmul_ref(&lm.transpose())
+}
+
+/// `L D Lᵀ` for unit-lower-triangular `L` (diagonal of `l` holds D).
+#[allow(clippy::needless_range_loop)]
+pub fn reconstruct_ldlt(l: &[f64], n: usize) -> Matrix {
+    let mut lm = Matrix::zeros(n, n);
+    let mut d = vec![0.0; n];
+    for r in 0..n {
+        d[r] = l[r * n + r];
+        lm.set(r, r, 1.0);
+        for c in 0..r {
+            lm.set(r, c, l[r * n + c]);
+        }
+    }
+    let mut ld = lm.clone();
+    for r in 0..n {
+        for c in 0..n {
+            let v = ld.at(r, c) * d[c];
+            ld.set(r, c, v);
+        }
+    }
+    ld.matmul_ref(&lm.transpose())
+}
+
+/// Largest absolute element-wise difference.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_ref_identity() {
+        let a = random(5, 5, 1);
+        let mut i5 = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            i5.set(i, i, 1.0);
+        }
+        let c = a.matmul_ref(&i5);
+        assert!(max_abs_diff(c.as_slice(), a.as_slice()) < 1e-15);
+    }
+
+    #[test]
+    fn matmul_ref_known_values() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul_ref(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = random(4, 7, 3);
+        let t = a.transpose().transpose();
+        assert_eq!(a, t);
+    }
+
+    #[test]
+    fn spd_is_symmetric_with_dominant_diagonal() {
+        let n = 12;
+        let a = random_spd(n, 5);
+        for r in 0..n {
+            for c in 0..n {
+                assert!((a.at(r, c) - a.at(c, r)).abs() < 1e-12, "symmetry");
+            }
+            assert!(a.at(r, r) >= n as f64 * 0.5, "diagonal dominance-ish");
+        }
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xorshift_values_in_range() {
+        let mut rng = XorShift::new(9);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zero_upper_keeps_lower() {
+        let mut a = random(4, 4, 2).into_vec();
+        let before = a.clone();
+        zero_upper(&mut a, 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                if c > r {
+                    assert_eq!(a[r * 4 + c], 0.0);
+                } else {
+                    assert_eq!(a[r * 4 + c], before[r * 4 + c]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fro_norm_of_unit() {
+        let mut a = Matrix::zeros(3, 3);
+        a.set(1, 2, 3.0);
+        a.set(2, 0, 4.0);
+        assert!((a.fro_norm() - 5.0).abs() < 1e-12);
+    }
+}

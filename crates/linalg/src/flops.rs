@@ -1,0 +1,120 @@
+//! Standard flop counts, used both for Gflop/s reporting (exactly as the
+//! paper reports `2n³` matmul and `n³/3` Cholesky rates) and as sim-mode
+//! cost hints.
+
+/// `C += A·B` with A m×k, B k×n.
+pub fn gemm(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// Symmetric rank-k update of an n×n lower triangle by an n×k panel.
+pub fn syrk(n: usize, k: usize) -> f64 {
+    (n as f64 + 1.0) * n as f64 * k as f64
+}
+
+/// Triangular solve of an m×n panel against an n×n triangle.
+pub fn trsm(m: usize, n: usize) -> f64 {
+    m as f64 * n as f64 * n as f64
+}
+
+/// Cholesky of an n×n matrix.
+pub fn potrf(n: usize) -> f64 {
+    let n = n as f64;
+    n * n * n / 3.0 + n * n / 2.0
+}
+
+/// LU of an n×n matrix.
+pub fn getrf(n: usize) -> f64 {
+    let n = n as f64;
+    2.0 * n * n * n / 3.0
+}
+
+/// LDLᵀ of an n×n matrix (same leading term as Cholesky).
+pub fn ldlt(n: usize) -> f64 {
+    potrf(n)
+}
+
+/// Whole tiled matmul of n×n matrices.
+pub fn matmul_total(n: usize) -> f64 {
+    gemm(n, n, n)
+}
+
+/// Whole Cholesky of an n×n matrix.
+pub fn cholesky_total(n: usize) -> f64 {
+    potrf(n)
+}
+
+/// Gflop/s for `flops` done in `secs`.
+pub fn gflops(flops: f64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    flops / secs / 1e9
+}
+
+/// An 8th-order 3-D stencil sweep: ~`8 * order + 2` flops per point (the
+/// paper's RTM workload quotes `1K × 1K × 8 * 80` flops for a halo slab,
+/// i.e. 80 flops per point at 8 points of halo depth).
+pub const STENCIL_FLOPS_PER_POINT: f64 = 80.0;
+
+pub fn stencil(points: u64) -> f64 {
+    points as f64 * STENCIL_FLOPS_PER_POINT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leading_terms() {
+        assert_eq!(gemm(10, 10, 10), 2000.0);
+        assert!((potrf(100) - 1e6 / 3.0) / (1e6 / 3.0) < 0.02);
+        assert_eq!(getrf(3), 18.0);
+        assert_eq!(ldlt(8), potrf(8));
+    }
+
+    #[test]
+    fn tiled_matmul_flops_sum_to_total() {
+        // n split into t×t tiles of size b: t^3 gemms of (b,b,b).
+        let (n, b) = (1200usize, 300usize);
+        let t = n / b;
+        let total: f64 = (0..t * t * t).map(|_| gemm(b, b, b)).sum();
+        assert!((total - matmul_total(n)).abs() < 1.0);
+    }
+
+    #[test]
+    fn tiled_cholesky_flops_approach_total() {
+        // Sum of tile kernels ~ n³/3 for reasonable tile counts.
+        let (n, b) = (4800usize, 480usize);
+        let t = n / b;
+        let mut total = 0.0;
+        for k in 0..t {
+            total += potrf(b);
+            for _i in k + 1..t {
+                total += trsm(b, b);
+            }
+            for i in k + 1..t {
+                total += syrk(b, b);
+                for _j in k + 1..i {
+                    total += gemm(b, b, b);
+                }
+            }
+        }
+        let exact = cholesky_total(n);
+        let rel = (total - exact).abs() / exact;
+        assert!(rel < 0.05, "tiled sum within 5% of n^3/3, got {rel}");
+    }
+
+    #[test]
+    fn gflops_guards_zero_time() {
+        assert_eq!(gflops(1e9, 0.0), 0.0);
+        assert_eq!(gflops(2e9, 1.0), 2.0);
+    }
+
+    #[test]
+    fn rtm_halo_slab_matches_paper_quote() {
+        // "1K × 1K × 8 * 80 Flops" for one halo slab of depth 8.
+        let pts = 1024u64 * 1024 * 8;
+        assert_eq!(stencil(pts), pts as f64 * 80.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Calibration constants: per-device, per-kernel efficiency curves.
+//!
+//! These are the *only* numbers fitted to the paper's measurements. Each
+//! curve is a saturating ramp `eff(n) = eff_max * n / (n + n_half)` in the
+//! problem/tile dimension `n`. `eff_max` is fitted so the asymptotic device
+//! rate matches the paper's reported single-device Gflop/s:
+//!
+//! | target | paper | derived eff_max |
+//! |---|---|---|
+//! | HSW native DGEMM | 902 GF/s (Fig. 6) | 902 / 1164.8 = 0.774 |
+//! | IVB native DGEMM | 475 GF/s (Fig. 6) | 475 / 518.4 = 0.916 |
+//! | KNC DGEMM (native, before link costs) | ~1006 GF/s so that offload lands at 982 (Fig. 6) | 0.775 |
+//! | HSW native DPOTRF | 733 GF/s (Fig. 7) | 733 / 1164.8 = 0.629 |
+//! | KNC DPOTRF panel | "latency-bound DPOTF2" (§VI) | 0.22 |
+//!
+//! `n_half` encodes how large a tile must be before the device approaches
+//! peak: large for KNC (wide SIMD, in-order cores, 4-way SMT needed), small
+//! for the Xeons. These drive the small-matrix ends of Figs. 6 and 7 and the
+//! granularity penalty OmpSs shows below n = 12K.
+
+use crate::config::Device;
+use crate::cost::KernelKind;
+
+/// A saturating efficiency ramp.
+#[derive(Clone, Copy, Debug)]
+pub struct EffCurve {
+    /// Asymptotic fraction of peak.
+    pub eff_max: f64,
+    /// Dimension at which half of `eff_max` is reached.
+    pub n_half: f64,
+}
+
+impl EffCurve {
+    /// Efficiency at dimension `n` (tile side for tiled kernels).
+    pub fn eff(&self, n: u64) -> f64 {
+        let n = n as f64;
+        self.eff_max * n / (n + self.n_half)
+    }
+}
+
+/// Fork/join cost of expanding a task across `threads` stream threads, in
+/// microseconds (the RTM section notes OpenMP fork/join overheads; KNC's
+/// in-order cores pay more per thread).
+pub fn fork_join_us(device: Device, threads: u32) -> f64 {
+    let per_thread = match device {
+        Device::Knc => 0.20,
+        Device::K40x => 0.01,
+        _ => 0.05,
+    };
+    3.0 + per_thread * threads as f64
+}
+
+/// The fitted efficiency curve for a device/kernel pair.
+pub fn eff_curve(device: Device, kernel: KernelKind) -> EffCurve {
+    use Device::*;
+    use KernelKind::*;
+    // Base DGEMM curves per device; other kernels are expressed relative to
+    // them, following the BLAS-3 hierarchy (SYRK ~ 0.9x GEMM, TRSM ~ 0.75x)
+    // and the paper's observation that panel factorizations (POTRF/GETRF
+    // /LDLT pivots) are latency-bound on the coprocessor.
+    let dgemm = match device {
+        Hsw => EffCurve { eff_max: 0.7744, n_half: 150.0 },
+        Ivb => EffCurve { eff_max: 0.9163, n_half: 130.0 },
+        Knc => EffCurve { eff_max: 0.7750, n_half: 120.0 },
+        K40x => EffCurve { eff_max: 0.7100, n_half: 512.0 },
+    };
+    match kernel {
+        Dgemm => dgemm,
+        Dsyrk => EffCurve { eff_max: dgemm.eff_max * 0.90, n_half: dgemm.n_half * 1.1 },
+        Dtrsm => EffCurve { eff_max: dgemm.eff_max * 0.76, n_half: dgemm.n_half * 1.2 },
+        Dpotrf => match device {
+            Hsw => EffCurve { eff_max: 0.6293, n_half: 700.0 },
+            Ivb => EffCurve { eff_max: 0.7000, n_half: 650.0 },
+            Knc => EffCurve { eff_max: 0.2200, n_half: 2000.0 },
+            K40x => EffCurve { eff_max: 0.2000, n_half: 2000.0 },
+        },
+        Dgetrf => match device {
+            // Untiled DGETRF ramps slowly on the hosts too: its sequential
+            // panel factorization bounds small sizes (MKL's untiled DGETRF
+            // at n=2000 ran far below its large-n rate).
+            Hsw => EffCurve { eff_max: 0.5500, n_half: 2000.0 },
+            Ivb => EffCurve { eff_max: 0.6000, n_half: 1800.0 },
+            Knc => EffCurve { eff_max: 0.1800, n_half: 2500.0 },
+            K40x => EffCurve { eff_max: 0.1800, n_half: 2500.0 },
+        },
+        // Dense LDL^T supernode work behaves like a GEMM-rich factorization
+        // with a latency-bound pivot path (Simulia's symmetric solver). On
+        // the coprocessors that pivot path costs real efficiency: Fig. 9
+        // implies a whole KNC card factors a supernode barely faster than 27
+        // HSW cores, which fixes the KNC Ldlt asymptote near 0.48 of peak.
+        Ldlt => match device {
+            Knc => EffCurve { eff_max: 0.41, n_half: 100.0 },
+            K40x => EffCurve { eff_max: 0.42, n_half: 150.0 },
+            _ => EffCurve { eff_max: dgemm.eff_max * 0.82, n_half: dgemm.n_half * 1.6 },
+        },
+        // Stencils are bandwidth-bound: tiny fraction of DP peak, nearly
+        // flat in tile size. Ratios chosen so optimized RTM shows the
+        // paper's 1.52x KNC-over-HSW advantage (§VI, Petrobras).
+        StencilBulk | StencilHalo => match device {
+            Hsw => EffCurve { eff_max: 0.1030, n_half: 8.0 },
+            Ivb => EffCurve { eff_max: 0.1550, n_half: 8.0 },
+            Knc => EffCurve { eff_max: 0.1405, n_half: 16.0 },
+            K40x => EffCurve { eff_max: 0.1200, n_half: 16.0 },
+        },
+        // Untyped flops: a conservative generic curve.
+        Generic => EffCurve { eff_max: dgemm.eff_max * 0.5, n_half: dgemm.n_half },
+        // FixedUs stalls bypass the rate model entirely (see CostModel);
+        // the curve below is never consulted but keeps the table total.
+        FixedUs => EffCurve { eff_max: 1.0, n_half: 1.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_saturate_below_eff_max() {
+        for dev in Device::ALL {
+            for k in KernelKind::ALL {
+                let c = eff_curve(dev, k);
+                assert!(c.eff_max > 0.0 && c.eff_max <= 1.0, "{dev:?}/{k:?}");
+                let e = c.eff(1 << 20);
+                assert!(e < c.eff_max, "{dev:?}/{k:?} must stay below eff_max");
+                assert!(e > c.eff_max * 0.99, "{dev:?}/{k:?} nearly saturated at huge n");
+            }
+        }
+    }
+
+    #[test]
+    fn efficiency_is_monotone_in_n() {
+        let c = eff_curve(Device::Knc, KernelKind::Dgemm);
+        let mut prev = 0.0;
+        for n in [64u64, 128, 256, 512, 1024, 2048, 4096] {
+            let e = c.eff(n);
+            assert!(e > prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn hsw_dgemm_asymptote_matches_paper() {
+        let spec = Device::Hsw.spec();
+        let rate = spec.peak_dp_gflops() * eff_curve(Device::Hsw, KernelKind::Dgemm).eff_max;
+        assert!((rate - 902.0).abs() < 2.0, "HSW dgemm asymptote {rate}, paper 902");
+    }
+
+    #[test]
+    fn ivb_dgemm_asymptote_matches_paper() {
+        let spec = Device::Ivb.spec();
+        let rate = spec.peak_dp_gflops() * eff_curve(Device::Ivb, KernelKind::Dgemm).eff_max;
+        assert!((rate - 475.0).abs() < 2.0, "IVB dgemm asymptote {rate}, paper 475");
+    }
+
+    #[test]
+    fn hsw_dpotrf_asymptote_matches_paper() {
+        let spec = Device::Hsw.spec();
+        let rate = spec.peak_dp_gflops() * eff_curve(Device::Hsw, KernelKind::Dpotrf).eff_max;
+        assert!((rate - 733.0).abs() < 2.0, "HSW dpotrf asymptote {rate}, paper 733");
+    }
+
+    #[test]
+    fn knc_panel_kernels_are_weak() {
+        // The paper: "the MIC spends most of the execution time in much more
+        // efficient DTRSM, DSYRK, and DGEMM routines" vs latency-bound DPOTF2.
+        let gemm = eff_curve(Device::Knc, KernelKind::Dgemm).eff_max;
+        let potrf = eff_curve(Device::Knc, KernelKind::Dpotrf).eff_max;
+        assert!(potrf < gemm * 0.4);
+    }
+
+    #[test]
+    fn knc_panel_kernels_need_much_larger_tiles_than_hsw() {
+        // The latency-bound panel factorization is where KNC's in-order
+        // cores hurt; BLAS-3 ramps are comparable across devices.
+        let knc = eff_curve(Device::Knc, KernelKind::Dpotrf).n_half;
+        let hsw = eff_curve(Device::Hsw, KernelKind::Dpotrf).n_half;
+        assert!(knc > 2.0 * hsw);
+    }
+
+    #[test]
+    fn fork_join_grows_with_threads() {
+        assert!(fork_join_us(Device::Knc, 240) > fork_join_us(Device::Knc, 60));
+        assert!(fork_join_us(Device::Knc, 60) > fork_join_us(Device::Hsw, 14));
+    }
+}

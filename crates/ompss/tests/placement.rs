@@ -1,0 +1,221 @@
+//! Placement-policy tests of the OmpSs layer: the EFT `Auto` policy must
+//! produce the same *numerics* as any pinning (scheduling is semantics-
+//! preserving), spread load across devices, and interact correctly with the
+//! automatic data movement.
+
+use bytes::Bytes;
+use hs_machine::{Device, KernelKind, PlatformCfg};
+use hs_ompss::{Backend, DataAccess, OmpSs, Placement};
+use hstreams_core::{Access, CostHint, DomainId, ExecMode, TaskCtx};
+use std::sync::Arc;
+
+fn rt() -> OmpSs {
+    let mut o = OmpSs::new(
+        PlatformCfg::hetero(Device::Hsw, 2),
+        ExecMode::Threads,
+        Backend::HStreams,
+        2,
+    );
+    o.register(
+        "scale2",
+        Arc::new(|ctx: &mut TaskCtx| {
+            let n = ctx.num_bufs();
+            for x in ctx.buf_f64_mut(n - 1) {
+                *x *= 2.0;
+            }
+        }),
+    );
+    o.register(
+        "combine",
+        Arc::new(|ctx: &mut TaskCtx| {
+            let a: Vec<f64> = ctx.buf_f64(0).to_vec();
+            let c = ctx.buf_f64_mut(1);
+            for (ci, ai) in c.iter_mut().zip(&a) {
+                *ci += ai;
+            }
+        }),
+    );
+    o
+}
+
+#[test]
+fn auto_placement_preserves_numerics_of_a_dependent_graph() {
+    // Run the same dataflow twice: pinned round-robin and fully Auto; the
+    // results must be identical (placement changes timing, never values).
+    let run = |auto: bool| -> Vec<f64> {
+        let mut o = rt();
+        let n = 32usize;
+        let data: Vec<_> = (0..6).map(|_| o.data_create(n * 8)).collect();
+        for (i, d) in data.iter().enumerate() {
+            o.data_write_f64(*d, 0, &vec![i as f64 + 1.0; n]).expect("init");
+        }
+        // Chain: scale each region, then fold them all into region 0.
+        for (i, d) in data.iter().enumerate() {
+            let placement = if auto {
+                Placement::Auto
+            } else {
+                Placement::Pin(DomainId(i % 3))
+            };
+            o.task_placed(
+                "scale2",
+                Bytes::new(),
+                &[DataAccess::inout(*d)],
+                CostHint::new(KernelKind::Generic, 1e6, 32),
+                placement,
+            )
+            .expect("scale");
+        }
+        for d in &data[1..] {
+            let placement = if auto { Placement::Auto } else { Placement::Pin(DomainId(0)) };
+            o.task_placed(
+                "combine",
+                Bytes::new(),
+                &[DataAccess::input(*d), DataAccess::inout(data[0])],
+                CostHint::new(KernelKind::Generic, 1e6, 32),
+                placement,
+            )
+            .expect("combine");
+        }
+        let mut out = vec![0.0; n];
+        o.data_read_f64(data[0], 0, &mut out).expect("read");
+        out
+    };
+    let pinned = run(false);
+    let auto = run(true);
+    assert_eq!(pinned, auto);
+    // 2*1 + 2*2 + ... + 2*6 = 42.
+    assert!(pinned.iter().all(|&v| v == 42.0), "{:?}", &pinned[..4]);
+}
+
+#[test]
+fn auto_spreads_independent_tasks_across_devices_in_sim() {
+    let ldlt_flops = |n: usize| {
+        let nf = n as f64;
+        nf * nf * nf / 3.0
+    };
+    let run = |auto: bool| {
+        let mut o = OmpSs::new(
+            PlatformCfg::hetero(Device::Hsw, 2),
+            ExecMode::Sim,
+            Backend::HStreams,
+            2,
+        );
+        let n = 4000usize;
+        let data: Vec<_> = (0..12).map(|_| o.data_create(n * n * 8)).collect();
+        let t0 = o.now_secs();
+        for d in &data {
+            let placement = if auto {
+                Placement::Auto
+            } else {
+                Placement::Pin(DomainId::HOST)
+            };
+            o.task_placed(
+                "front",
+                Bytes::new(),
+                &[DataAccess::inout(*d)],
+                CostHint::new(KernelKind::Ldlt, ldlt_flops(n), n as u64),
+                placement,
+            )
+            .expect("task");
+        }
+        o.taskwait().expect("wait");
+        o.now_secs() - t0
+    };
+    let auto_secs = run(true);
+    let host_secs = run(false);
+    assert!(
+        auto_secs < host_secs * 0.6,
+        "Auto ({auto_secs:.3}s) must spread beyond the host ({host_secs:.3}s)"
+    );
+}
+
+#[test]
+fn auto_respects_data_affinity() {
+    // A region already resident on card 1 should keep attracting its tasks
+    // (staging costs enter the EFT estimate) when compute times are small.
+    let mut o = OmpSs::new(
+        PlatformCfg::hetero(Device::Hsw, 2),
+        ExecMode::Threads,
+        Backend::HStreams,
+        2,
+    );
+    o.register(
+        "touch",
+        Arc::new(|ctx: &mut TaskCtx| {
+            let _ = ctx.buf_f64(0)[0];
+        }),
+    );
+    o.register(
+        "seed",
+        Arc::new(|ctx: &mut TaskCtx| ctx.buf_f64_mut(0).fill(3.0)),
+    );
+    let d = o.data_create(1 << 20);
+    o.data_write_f64(d, 0, &[0.0; 8]).expect("init");
+    // Seed on card 1: region becomes valid there only.
+    o.task(
+        "seed",
+        Bytes::new(),
+        &[DataAccess::inout(d)],
+        CostHint::trivial(),
+        DomainId(1),
+    )
+    .expect("seed");
+    // Auto-placed touches: correctness regardless of where they land.
+    for _ in 0..4 {
+        o.task_placed(
+            "touch",
+            Bytes::new(),
+            &[DataAccess::input(d)],
+            CostHint::trivial(),
+            Placement::Auto,
+        )
+        .expect("touch");
+    }
+    let mut out = [0.0; 8];
+    o.data_read_f64(d, 0, &mut out).expect("read");
+    assert_eq!(out, [3.0; 8]);
+}
+
+#[test]
+fn cuda_backend_auto_placement_also_works() {
+    let mut o = OmpSs::new(
+        PlatformCfg::hetero(Device::Hsw, 2),
+        ExecMode::Threads,
+        Backend::CudaStreams,
+        2,
+    );
+    o.register(
+        "inc",
+        Arc::new(|ctx: &mut TaskCtx| {
+            let n = ctx.num_bufs();
+            for x in ctx.buf_f64_mut(n - 1) {
+                *x += 1.0;
+            }
+        }),
+    );
+    let d = o.data_create(64);
+    o.data_write_f64(d, 0, &[0.0; 8]).expect("init");
+    for _ in 0..5 {
+        o.task_placed(
+            "inc",
+            Bytes::new(),
+            &[DataAccess::inout(d)],
+            CostHint::trivial(),
+            Placement::Auto,
+        )
+        .expect("inc");
+    }
+    let mut out = [0.0; 8];
+    o.data_read_f64(d, 0, &mut out).expect("read");
+    assert_eq!(out, [5.0; 8]);
+}
+
+/// Access enum sanity for the public DataAccess helpers.
+#[test]
+fn data_access_helpers() {
+    let mut o = rt();
+    let d = o.data_create(8);
+    assert_eq!(DataAccess::input(d).access, Access::In);
+    assert_eq!(DataAccess::output(d).access, Access::Out);
+    assert_eq!(DataAccess::inout(d).access, Access::InOut);
+}

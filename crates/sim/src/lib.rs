@@ -1,0 +1,709 @@
+//! # hs-sim — deterministic discrete-event simulation engine
+//!
+//! This crate is the virtual-time substrate used to reproduce the
+//! heterogeneous-platform experiments of the hStreams paper without the
+//! (now defunct) Xeon Phi hardware. It provides:
+//!
+//! * a virtual clock with nanosecond resolution ([`Time`], [`Dur`]),
+//! * a deterministic event heap ([`Sim::schedule`]) with FIFO tie-breaking,
+//! * one-shot completion **tokens** ([`Token`]) with waiter callbacks and
+//!   all-of joins ([`Sim::when_all`]),
+//! * **servers** — serial or k-wide resources with FIFO queues
+//!   ([`Sim::server_create`], [`Sim::server_enqueue`]) used to model stream
+//!   compute sinks and DMA engines,
+//! * full-duplex **links** with a latency + bandwidth cost model
+//!   ([`Sim::link_create`], [`Sim::link_transfer`]), and
+//! * a span **trace** ([`TraceSpan`]) for verifying compute/transfer overlap
+//!   and computing makespans and utilization.
+//!
+//! Determinism: two runs of the same program produce identical traces. Ties
+//! in the event heap are broken by insertion sequence number, and all ids are
+//! dense indices handed out in creation order.
+
+pub mod server;
+pub mod time;
+pub mod token;
+pub mod trace;
+
+pub use server::{LinkId, SemId, ServerId};
+pub use time::{Dur, Time};
+pub use token::Token;
+pub use trace::{SpanKind, Trace, TraceSpan};
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use server::{LinkState, SemState, ServerState};
+use token::TokenState;
+
+/// A callback scheduled to run at a virtual time.
+type Callback = Box<dyn FnOnce(&mut Sim)>;
+
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    cb: Callback,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// All state (tokens, servers, links, trace) lives inside the `Sim` so that
+/// callbacks receive a single `&mut Sim` and cannot deadlock on borrows.
+pub struct Sim {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    tokens: Vec<TokenState>,
+    servers: Vec<ServerState>,
+    links: Vec<LinkState>,
+    sems: Vec<SemState>,
+    trace: Trace,
+    executed: u64,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulator at time zero.
+    pub fn new() -> Self {
+        Sim {
+            now: Time::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            tokens: Vec::new(),
+            servers: Vec::new(),
+            links: Vec::new(),
+            sems: Vec::new(),
+            trace: Trace::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of callbacks executed so far (useful for run-away detection in
+    /// tests).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Access the recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Take the trace out of the simulator (e.g. after `run`).
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Enable or disable span recording. Disabled recording makes large
+    /// sweeps cheaper; token/server semantics are unaffected.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+    }
+
+    /// Schedule `cb` to run `delay` after the current time.
+    pub fn schedule<F: FnOnce(&mut Sim) + 'static>(&mut self, delay: Dur, cb: F) {
+        let at = self.now + delay;
+        self.schedule_at(at, cb);
+    }
+
+    /// Schedule `cb` at an absolute virtual time (clamped to `now`).
+    pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: Time, cb: F) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq,
+            cb: Box::new(cb),
+        }));
+    }
+
+    fn step(&mut self) -> bool {
+        match self.heap.pop() {
+            Some(Reverse(s)) => {
+                debug_assert!(s.at >= self.now, "virtual time must be monotone");
+                self.now = s.at;
+                self.executed += 1;
+                (s.cb)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until no events remain. Returns the final time.
+    pub fn run(&mut self) -> Time {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until `tok` has fired (or the heap drains). Returns `true` if the
+    /// token fired.
+    pub fn run_until_fired(&mut self, tok: Token) -> bool {
+        while !self.token_fired(tok) {
+            if !self.step() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Run until the clock reaches `t` (events at exactly `t` are executed).
+    pub fn run_until(&mut self, t: Time) {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.at > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    // ---------------------------------------------------------------- tokens
+
+    /// Create a fresh unfired token.
+    pub fn token_create(&mut self) -> Token {
+        let id = Token(self.tokens.len() as u64);
+        self.tokens.push(TokenState::new());
+        id
+    }
+
+    /// Create a token that fires at `now + delay` (a timer).
+    pub fn timer(&mut self, delay: Dur) -> Token {
+        let tok = self.token_create();
+        self.schedule(delay, move |sim| sim.token_fire(tok));
+        tok
+    }
+
+    /// Create a token that is already fired.
+    pub fn token_fired_now(&mut self) -> Token {
+        let tok = self.token_create();
+        self.token_fire(tok);
+        tok
+    }
+
+    /// Has the token fired?
+    pub fn token_fired(&self, tok: Token) -> bool {
+        self.tokens[tok.index()].fired
+    }
+
+    /// Virtual time at which the token fired (None if unfired).
+    pub fn token_fire_time(&self, tok: Token) -> Option<Time> {
+        let st = &self.tokens[tok.index()];
+        if st.fired {
+            Some(st.fire_time)
+        } else {
+            None
+        }
+    }
+
+    /// Fire a token, waking all waiters at the current time. Firing twice is
+    /// a logic error (panics in debug builds, ignored in release).
+    pub fn token_fire(&mut self, tok: Token) {
+        let st = &mut self.tokens[tok.index()];
+        if st.fired {
+            debug_assert!(false, "token {tok:?} fired twice");
+            return;
+        }
+        st.fired = true;
+        st.fire_time = self.now;
+        let waiters = std::mem::take(&mut st.waiters);
+        for w in waiters {
+            // Wake at the current instant; scheduling (rather than calling
+            // inline) keeps wake order deterministic and reentrancy-safe.
+            self.schedule_at(self.now, w);
+        }
+    }
+
+    /// Run `cb` when `tok` fires (immediately-scheduled if already fired).
+    pub fn token_on_fire<F: FnOnce(&mut Sim) + 'static>(&mut self, tok: Token, cb: F) {
+        if self.tokens[tok.index()].fired {
+            self.schedule_at(self.now, cb);
+        } else {
+            self.tokens[tok.index()].waiters.push(Box::new(cb));
+        }
+    }
+
+    /// Run `cb` once **all** of `toks` have fired. With an empty list the
+    /// callback runs at the current time.
+    pub fn when_all<F: FnOnce(&mut Sim) + 'static>(&mut self, toks: &[Token], cb: F) {
+        let pending: Vec<Token> = toks
+            .iter()
+            .copied()
+            .filter(|t| !self.token_fired(*t))
+            .collect();
+        if pending.is_empty() {
+            self.schedule_at(self.now, cb);
+            return;
+        }
+        // Shared countdown; the last firing token runs the callback.
+        let n = pending.len();
+        let counter = std::rc::Rc::new(std::cell::Cell::new(n));
+        let cb_cell = std::rc::Rc::new(std::cell::RefCell::new(Some(cb)));
+        for t in pending {
+            let counter = counter.clone();
+            let cb_cell = cb_cell.clone();
+            self.token_on_fire(t, move |sim| {
+                counter.set(counter.get() - 1);
+                if counter.get() == 0 {
+                    if let Some(f) = cb_cell.borrow_mut().take() {
+                        f(sim);
+                    }
+                }
+            });
+        }
+    }
+
+    /// A token that fires when all of `toks` have fired.
+    pub fn join_all(&mut self, toks: &[Token]) -> Token {
+        let out = self.token_create();
+        self.when_all(toks, move |sim| sim.token_fire(out));
+        out
+    }
+
+    /// A token that fires when any of `toks` fires.
+    pub fn join_any(&mut self, toks: &[Token]) -> Token {
+        let out = self.token_create();
+        if toks.is_empty() {
+            self.token_fire(out);
+            return out;
+        }
+        let fired = std::rc::Rc::new(std::cell::Cell::new(false));
+        for &t in toks {
+            let fired = fired.clone();
+            self.token_on_fire(t, move |sim| {
+                if !fired.get() {
+                    fired.set(true);
+                    sim.token_fire(out);
+                }
+            });
+        }
+        out
+    }
+
+    // --------------------------------------------------------------- servers
+
+    /// Create a resource with `width` concurrent slots (1 = serial server).
+    pub fn server_create(&mut self, name: impl Into<String>, width: usize) -> ServerId {
+        assert!(width >= 1, "server width must be >= 1");
+        let id = ServerId(self.servers.len());
+        self.servers.push(ServerState::new(name.into(), width));
+        id
+    }
+
+    /// Enqueue a job of `service` duration; the returned token fires when the
+    /// job completes. Jobs are served FIFO among those enqueued.
+    pub fn server_enqueue(
+        &mut self,
+        server: ServerId,
+        label: impl Into<String>,
+        kind: SpanKind,
+        service: Dur,
+    ) -> Token {
+        self.server_enqueue_gated(server, label, kind, service, None)
+    }
+
+    /// Like [`Sim::server_enqueue`], but the job also holds `units` of
+    /// `sem`'s capacity for its whole service time — the mechanism that
+    /// keeps overlapping streams of one domain within the domain's physical
+    /// cores. A gated head-of-queue job blocks its server until capacity
+    /// frees (FIFO among waiting servers).
+    pub fn server_enqueue_gated(
+        &mut self,
+        server: ServerId,
+        label: impl Into<String>,
+        kind: SpanKind,
+        service: Dur,
+        gate: Option<(SemId, u32)>,
+    ) -> Token {
+        if let Some((_, units)) = gate {
+            debug_assert!(units > 0, "gated jobs must request capacity");
+        }
+        let done = self.token_create();
+        let st = &mut self.servers[server.0];
+        st.queue.push_back(server::Job {
+            label: label.into(),
+            kind,
+            service,
+            done,
+            gate,
+        });
+        self.server_pump(server);
+        done
+    }
+
+    fn server_pump(&mut self, server: ServerId) {
+        loop {
+            let st = &mut self.servers[server.0];
+            if st.busy >= st.width || st.queue.is_empty() {
+                return;
+            }
+            // Gated head: acquire capacity or park the server on the sem.
+            // The semaphore is FIFO-fair: once a server parks, it reserves
+            // its place — later small requests cannot overtake it, so a
+            // wide task (e.g. a machine-wide panel stream) cannot starve
+            // behind a steady drizzle of narrow ones.
+            if let Some((sem, units)) = st.queue.front().expect("non-empty").gate {
+                let sem_st = &self.sems[sem.0];
+                let is_front = sem_st.waiters.front() == Some(&server);
+                let unblocked = sem_st.waiters.is_empty() || is_front;
+                let grantable = sem_st.available >= units && unblocked;
+                if !grantable {
+                    let st = &mut self.servers[server.0];
+                    if !st.parked {
+                        st.parked = true;
+                        self.sems[sem.0].waiters.push_back(server);
+                    } else {
+                        // Still parked: keep the FIFO slot.
+                        let st2 = &mut self.servers[server.0];
+                        st2.parked = true;
+                    }
+                    return;
+                }
+                if is_front {
+                    self.sems[sem.0].waiters.pop_front();
+                }
+                self.sems[sem.0].available -= units;
+                self.servers[server.0].parked = false;
+            }
+            let st = &mut self.servers[server.0];
+            let job = st.queue.pop_front().expect("non-empty checked above");
+            st.busy += 1;
+            st.busy_time_acc += job.service;
+            let start = self.now;
+            let end = start + job.service;
+            let name = self.servers[server.0].name.clone();
+            self.trace.record(TraceSpan {
+                resource: name,
+                label: job.label.clone(),
+                kind: job.kind,
+                start,
+                end,
+            });
+            let done = job.done;
+            let gate = job.gate;
+            self.schedule(job.service, move |sim| {
+                sim.servers[server.0].busy -= 1;
+                if let Some((sem, units)) = gate {
+                    sim.sem_release(sem, units);
+                }
+                sim.token_fire(done);
+                sim.server_pump(server);
+            });
+        }
+    }
+
+    // ------------------------------------------------------------ semaphores
+
+    /// Create a counting semaphore with `capacity` units.
+    pub fn sem_create(&mut self, capacity: u32) -> SemId {
+        let id = SemId(self.sems.len());
+        self.sems.push(SemState {
+            available: capacity,
+            waiters: std::collections::VecDeque::new(),
+        });
+        id
+    }
+
+    /// Units currently available.
+    pub fn sem_available(&self, sem: SemId) -> u32 {
+        self.sems[sem.0].available
+    }
+
+    fn sem_release(&mut self, sem: SemId, units: u32) {
+        self.sems[sem.0].available += units;
+        // Wake front waiters in order while they can be satisfied; the pump
+        // pops a granted server from the waiter list itself.
+        loop {
+            let Some(front) = self.sems[sem.0].waiters.front().copied() else {
+                return;
+            };
+            let before = self.sems[sem.0].waiters.len();
+            self.server_pump(front);
+            if self.sems[sem.0].waiters.len() == before {
+                // Front still blocked: stop (FIFO fairness).
+                return;
+            }
+        }
+    }
+
+    /// Current queue length (excluding in-service jobs).
+    pub fn server_queue_len(&self, server: ServerId) -> usize {
+        self.servers[server.0].queue.len()
+    }
+
+    /// Number of jobs currently in service.
+    pub fn server_busy(&self, server: ServerId) -> usize {
+        self.servers[server.0].busy
+    }
+
+    /// Total busy time accumulated by the server (sum over slots).
+    pub fn server_busy_time(&self, server: ServerId) -> Dur {
+        self.servers[server.0].busy_time_acc
+    }
+
+    // ----------------------------------------------------------------- links
+
+    /// Create a full-duplex link with `latency` and `bw_bytes_per_sec`
+    /// bandwidth in each direction.
+    pub fn link_create(
+        &mut self,
+        name: impl Into<String>,
+        latency: Dur,
+        bw_bytes_per_sec: f64,
+    ) -> LinkId {
+        assert!(bw_bytes_per_sec > 0.0, "bandwidth must be positive");
+        let name = name.into();
+        let fwd = self.server_create(format!("{name}:tx"), 1);
+        let rev = self.server_create(format!("{name}:rx"), 1);
+        let id = LinkId(self.links.len());
+        self.links.push(LinkState {
+            latency,
+            bw: bw_bytes_per_sec,
+            fwd,
+            rev,
+        });
+        id
+    }
+
+    /// Transfer cost on a link for `bytes`: latency + bytes/bandwidth.
+    pub fn link_cost(&self, link: LinkId, bytes: u64) -> Dur {
+        let l = &self.links[link.0];
+        l.latency + Dur::from_secs_f64(bytes as f64 / l.bw)
+    }
+
+    /// Enqueue a transfer. `forward = true` uses the tx direction. The DMA
+    /// engine for a direction is serial: transfers queue FIFO, matching a
+    /// PCIe DMA channel. Returns the completion token.
+    pub fn link_transfer(
+        &mut self,
+        link: LinkId,
+        forward: bool,
+        label: impl Into<String>,
+        bytes: u64,
+    ) -> Token {
+        let cost = self.link_cost(link, bytes);
+        let l = &self.links[link.0];
+        let server = if forward { l.fwd } else { l.rev };
+        self.server_enqueue(server, label, SpanKind::Transfer, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_starts_at_zero_and_advances() {
+        let mut sim = Sim::new();
+        assert_eq!(sim.now(), Time::ZERO);
+        let hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let h = hits.clone();
+        sim.schedule(Dur::from_micros(5), move |s| {
+            assert_eq!(s.now(), Time::ZERO + Dur::from_micros(5));
+            h.set(h.get() + 1);
+        });
+        sim.run();
+        assert_eq!(hits.get(), 1);
+        assert_eq!(sim.now(), Time::ZERO + Dur::from_micros(5));
+    }
+
+    #[test]
+    fn same_time_events_run_in_insertion_order() {
+        let mut sim = Sim::new();
+        let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for i in 0..10 {
+            let order = order.clone();
+            sim.schedule(Dur::from_nanos(100), move |_| order.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn token_fire_wakes_waiters() {
+        let mut sim = Sim::new();
+        let tok = sim.token_create();
+        let woke = std::rc::Rc::new(std::cell::Cell::new(false));
+        let w = woke.clone();
+        sim.token_on_fire(tok, move |_| w.set(true));
+        assert!(!sim.token_fired(tok));
+        sim.schedule(Dur::from_micros(1), move |s| s.token_fire(tok));
+        sim.run();
+        assert!(woke.get());
+        assert_eq!(sim.token_fire_time(tok), Some(Time::ZERO + Dur::from_micros(1)));
+    }
+
+    #[test]
+    fn token_on_fire_after_fired_still_runs() {
+        let mut sim = Sim::new();
+        let tok = sim.token_fired_now();
+        let woke = std::rc::Rc::new(std::cell::Cell::new(false));
+        let w = woke.clone();
+        sim.token_on_fire(tok, move |_| w.set(true));
+        sim.run();
+        assert!(woke.get());
+    }
+
+    #[test]
+    fn when_all_waits_for_every_token() {
+        let mut sim = Sim::new();
+        let a = sim.timer(Dur::from_micros(3));
+        let b = sim.timer(Dur::from_micros(7));
+        let c = sim.timer(Dur::from_micros(5));
+        let fired_at = std::rc::Rc::new(std::cell::Cell::new(Time::ZERO));
+        let f = fired_at.clone();
+        sim.when_all(&[a, b, c], move |s| f.set(s.now()));
+        sim.run();
+        assert_eq!(fired_at.get(), Time::ZERO + Dur::from_micros(7));
+    }
+
+    #[test]
+    fn when_all_empty_fires_immediately() {
+        let mut sim = Sim::new();
+        let hit = std::rc::Rc::new(std::cell::Cell::new(false));
+        let h = hit.clone();
+        sim.when_all(&[], move |_| h.set(true));
+        sim.run();
+        assert!(hit.get());
+        assert_eq!(sim.now(), Time::ZERO);
+    }
+
+    #[test]
+    fn join_any_fires_at_earliest() {
+        let mut sim = Sim::new();
+        let a = sim.timer(Dur::from_micros(9));
+        let b = sim.timer(Dur::from_micros(2));
+        let any = sim.join_any(&[a, b]);
+        sim.run_until_fired(any);
+        assert_eq!(sim.token_fire_time(any), Some(Time::ZERO + Dur::from_micros(2)));
+    }
+
+    #[test]
+    fn serial_server_serializes_jobs() {
+        let mut sim = Sim::new();
+        let s = sim.server_create("cpu", 1);
+        let t1 = sim.server_enqueue(s, "a", SpanKind::Compute, Dur::from_micros(10));
+        let t2 = sim.server_enqueue(s, "b", SpanKind::Compute, Dur::from_micros(10));
+        sim.run();
+        assert_eq!(sim.token_fire_time(t1), Some(Time::ZERO + Dur::from_micros(10)));
+        assert_eq!(sim.token_fire_time(t2), Some(Time::ZERO + Dur::from_micros(20)));
+    }
+
+    #[test]
+    fn wide_server_runs_jobs_concurrently() {
+        let mut sim = Sim::new();
+        let s = sim.server_create("pool", 2);
+        let t1 = sim.server_enqueue(s, "a", SpanKind::Compute, Dur::from_micros(10));
+        let t2 = sim.server_enqueue(s, "b", SpanKind::Compute, Dur::from_micros(10));
+        let t3 = sim.server_enqueue(s, "c", SpanKind::Compute, Dur::from_micros(10));
+        sim.run();
+        assert_eq!(sim.token_fire_time(t1), Some(Time::ZERO + Dur::from_micros(10)));
+        assert_eq!(sim.token_fire_time(t2), Some(Time::ZERO + Dur::from_micros(10)));
+        assert_eq!(sim.token_fire_time(t3), Some(Time::ZERO + Dur::from_micros(20)));
+    }
+
+    #[test]
+    fn link_transfer_cost_is_latency_plus_bytes_over_bw() {
+        let mut sim = Sim::new();
+        // 1 GB/s, 10 us latency; 1 MB -> 10us + 1ms.
+        let l = sim.link_create("pcie0", Dur::from_micros(10), 1e9);
+        let t = sim.link_transfer(l, true, "h2d", 1_000_000);
+        sim.run();
+        let expect = Dur::from_micros(10) + Dur::from_secs_f64(1e-3);
+        assert_eq!(sim.token_fire_time(t), Some(Time::ZERO + expect));
+    }
+
+    #[test]
+    fn link_directions_are_independent() {
+        let mut sim = Sim::new();
+        let l = sim.link_create("pcie0", Dur::ZERO, 1e9);
+        let a = sim.link_transfer(l, true, "h2d", 1_000_000);
+        let b = sim.link_transfer(l, false, "d2h", 1_000_000);
+        sim.run();
+        // Both complete at 1 ms: full duplex.
+        assert_eq!(sim.token_fire_time(a), sim.token_fire_time(b));
+    }
+
+    #[test]
+    fn same_direction_transfers_queue() {
+        let mut sim = Sim::new();
+        let l = sim.link_create("pcie0", Dur::ZERO, 1e9);
+        let a = sim.link_transfer(l, true, "x", 1_000_000);
+        let b = sim.link_transfer(l, true, "y", 1_000_000);
+        sim.run();
+        let ta = sim.token_fire_time(a).expect("transfer a completes");
+        let tb = sim.token_fire_time(b).expect("transfer b completes");
+        assert_eq!(tb - ta, Dur::from_secs_f64(1e-3));
+    }
+
+    #[test]
+    fn trace_records_spans() {
+        let mut sim = Sim::new();
+        let s = sim.server_create("cpu", 1);
+        sim.server_enqueue(s, "job", SpanKind::Compute, Dur::from_micros(4));
+        sim.run();
+        let trace = sim.trace();
+        assert_eq!(trace.spans().len(), 1);
+        let span = &trace.spans()[0];
+        assert_eq!(span.resource, "cpu");
+        assert_eq!(span.label, "job");
+        assert_eq!(span.end - span.start, Dur::from_micros(4));
+    }
+
+    #[test]
+    fn run_until_respects_boundary() {
+        let mut sim = Sim::new();
+        let hit = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        for us in [1u64, 2, 3] {
+            let hit = hit.clone();
+            sim.schedule(Dur::from_micros(us), move |_| {
+                hit.set(hit.get() + 1);
+            });
+        }
+        sim.run_until(Time::ZERO + Dur::from_micros(2));
+        assert_eq!(hit.get(), 2);
+        assert_eq!(sim.now(), Time::ZERO + Dur::from_micros(2));
+        sim.run();
+        assert_eq!(hit.get(), 3);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut sim = Sim::new();
+        let s = sim.server_create("cpu", 1);
+        sim.server_enqueue(s, "a", SpanKind::Compute, Dur::from_micros(10));
+        sim.server_enqueue(s, "b", SpanKind::Compute, Dur::from_micros(5));
+        sim.run();
+        assert_eq!(sim.server_busy_time(s), Dur::from_micros(15));
+    }
+}

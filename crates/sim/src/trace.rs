@@ -1,0 +1,234 @@
+//! Execution trace: spans of resource occupancy.
+//!
+//! The figure harnesses use the trace to compute makespans and to *verify*
+//! overlap claims (e.g. that an async-pipelined RTM run really overlaps halo
+//! transfers with bulk compute, or that out-of-order execution started a
+//! later transfer before an earlier compute finished).
+
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// Classification of a span, used in overlap queries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// A compute task occupying a stream sink.
+    Compute,
+    /// A data transfer occupying a link direction.
+    Transfer,
+    /// A synchronization or bookkeeping action.
+    Sync,
+}
+
+/// One recorded span of resource occupancy.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// Resource name (server name).
+    pub resource: String,
+    /// Job label.
+    pub label: String,
+    pub kind: SpanKind,
+    pub start: Time,
+    pub end: Time,
+}
+
+impl TraceSpan {
+    pub fn dur(&self) -> Dur {
+        self.end - self.start
+    }
+
+    /// Do two spans overlap in time (open intervals)?
+    pub fn overlaps(&self, other: &TraceSpan) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// An append-only trace of spans.
+#[derive(Default)]
+pub struct Trace {
+    spans: Vec<TraceSpan>,
+    enabled: bool,
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Trace {
+            spans: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    pub(crate) fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    pub(crate) fn record(&mut self, span: TraceSpan) {
+        if self.enabled {
+            self.spans.push(span);
+        }
+    }
+
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Latest end time over all spans (simulation makespan contribution).
+    pub fn makespan(&self) -> Dur {
+        self.spans
+            .iter()
+            .map(|s| s.end - Time::ZERO)
+            .max()
+            .unwrap_or(Dur::ZERO)
+    }
+
+    /// Total busy time of one resource.
+    pub fn busy_time(&self, resource: &str) -> Dur {
+        self.spans
+            .iter()
+            .filter(|s| s.resource == resource)
+            .map(|s| s.dur())
+            .sum()
+    }
+
+    /// Total time during which at least one `a`-kind span overlaps at least
+    /// one `b`-kind span. Used to verify compute/transfer pipelining.
+    pub fn overlap_time(&self, a: SpanKind, b: SpanKind) -> Dur {
+        let mut total = Dur::ZERO;
+        let asp: Vec<&TraceSpan> = self.spans.iter().filter(|s| s.kind == a).collect();
+        let bsp: Vec<&TraceSpan> = self.spans.iter().filter(|s| s.kind == b).collect();
+        // Merge per-a-span overlap; a-spans on one resource never overlap each
+        // other for serial servers, so summing per-pair clipped intervals and
+        // merging is done via interval union on the a side.
+        let mut intervals: Vec<(Time, Time)> = Vec::new();
+        for sa in &asp {
+            for sb in &bsp {
+                if sa.overlaps(sb) {
+                    let lo = sa.start.max(sb.start);
+                    let hi = sa.end.min(sb.end);
+                    intervals.push((lo, hi));
+                }
+            }
+        }
+        intervals.sort();
+        let mut cur: Option<(Time, Time)> = None;
+        for (lo, hi) in intervals {
+            match cur {
+                None => cur = Some((lo, hi)),
+                Some((clo, chi)) => {
+                    if lo <= chi {
+                        cur = Some((clo, chi.max(hi)));
+                    } else {
+                        total += chi - clo;
+                        cur = Some((lo, hi));
+                    }
+                }
+            }
+        }
+        if let Some((clo, chi)) = cur {
+            total += chi - clo;
+        }
+        total
+    }
+
+    /// Render a coarse text Gantt chart (for examples / debugging).
+    pub fn gantt(&self, width: usize) -> String {
+        use std::collections::BTreeMap;
+        let makespan = self.makespan();
+        if makespan == Dur::ZERO || self.spans.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let mut rows: BTreeMap<&str, Vec<&TraceSpan>> = BTreeMap::new();
+        for s in &self.spans {
+            rows.entry(&s.resource).or_default().push(s);
+        }
+        let scale = width as f64 / makespan.as_secs_f64();
+        let mut out = String::new();
+        for (res, spans) in rows {
+            let mut line = vec![b'.'; width];
+            for s in spans {
+                let lo = ((s.start - Time::ZERO).as_secs_f64() * scale) as usize;
+                let hi = (((s.end - Time::ZERO).as_secs_f64() * scale) as usize).min(width);
+                let ch = match s.kind {
+                    SpanKind::Compute => b'#',
+                    SpanKind::Transfer => b'=',
+                    SpanKind::Sync => b'|',
+                };
+                for c in line.iter_mut().take(hi.max(lo + 1).min(width)).skip(lo) {
+                    *c = ch;
+                }
+            }
+            out.push_str(&format!(
+                "{:>24} {}\n",
+                res,
+                String::from_utf8_lossy(&line)
+            ));
+        }
+        out.push_str(&format!("makespan = {makespan}\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(res: &str, kind: SpanKind, s: u64, e: u64) -> TraceSpan {
+        TraceSpan {
+            resource: res.into(),
+            label: String::new(),
+            kind,
+            start: Time(s),
+            end: Time(e),
+        }
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = span("x", SpanKind::Compute, 0, 10);
+        let b = span("y", SpanKind::Transfer, 5, 15);
+        let c = span("y", SpanKind::Transfer, 10, 20);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "touching intervals do not overlap");
+    }
+
+    #[test]
+    fn overlap_time_merges_intervals() {
+        let mut t = Trace::new();
+        t.record(span("cpu", SpanKind::Compute, 0, 100));
+        t.record(span("link", SpanKind::Transfer, 10, 20));
+        t.record(span("link", SpanKind::Transfer, 15, 30));
+        t.record(span("link", SpanKind::Transfer, 50, 60));
+        assert_eq!(
+            t.overlap_time(SpanKind::Compute, SpanKind::Transfer),
+            Dur::from_nanos(30)
+        );
+    }
+
+    #[test]
+    fn makespan_and_busy_time() {
+        let mut t = Trace::new();
+        t.record(span("cpu", SpanKind::Compute, 0, 7));
+        t.record(span("cpu", SpanKind::Compute, 9, 12));
+        assert_eq!(t.makespan(), Dur::from_nanos(12));
+        assert_eq!(t.busy_time("cpu"), Dur::from_nanos(10));
+        assert_eq!(t.busy_time("gpu"), Dur::ZERO);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.set_enabled(false);
+        t.record(span("cpu", SpanKind::Compute, 0, 7));
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let mut t = Trace::new();
+        t.record(span("cpu", SpanKind::Compute, 0, 50));
+        t.record(span("link", SpanKind::Transfer, 25, 75));
+        let g = t.gantt(40);
+        assert!(g.contains("cpu"));
+        assert!(g.contains("link"));
+        assert!(g.contains("makespan"));
+    }
+}

@@ -1,0 +1,79 @@
+//! OmpSs-style task dataflow over hStreams: declare tasks with in/out data
+//! accesses and let the runtime detect dependences, move data and manage
+//! streams — then run the *same* task graph over the strict-FIFO
+//! (CUDA-Streams-like) backend and compare the synchronization burden.
+//!
+//! Run with: `cargo run --release --example ompss_dataflow`
+
+use bytes::Bytes;
+use hs_machine::{Device, PlatformCfg};
+use hs_ompss::{Backend, DataAccess, OmpSs};
+use hstreams_core::{CostHint, DomainId, ExecMode, TaskCtx};
+use std::sync::Arc;
+
+fn build_and_run(backend: Backend) -> (Vec<f64>, u64) {
+    let mut o = OmpSs::new(
+        PlatformCfg::hetero(Device::Hsw, 1),
+        ExecMode::Threads,
+        backend,
+        2,
+    );
+    o.register(
+        "mul2",
+        Arc::new(|ctx: &mut TaskCtx| {
+            let n = ctx.num_bufs();
+            for x in ctx.buf_f64_mut(n - 1) {
+                *x *= 2.0;
+            }
+        }),
+    );
+    o.register(
+        "add",
+        Arc::new(|ctx: &mut TaskCtx| {
+            let a: Vec<f64> = ctx.buf_f64(0).to_vec();
+            let b: Vec<f64> = ctx.buf_f64(1).to_vec();
+            let c = ctx.buf_f64_mut(2);
+            for i in 0..c.len() {
+                c[i] = a[i] + b[i];
+            }
+        }),
+    );
+    let card = DomainId(1);
+    let n = 256;
+    let a = o.data_create(n * 8);
+    let b = o.data_create(n * 8);
+    let c = o.data_create(n * 8);
+    o.data_write_f64(a, 0, &vec![1.0; n]).expect("write a");
+    o.data_write_f64(b, 0, &vec![2.0; n]).expect("write b");
+    o.data_write_f64(c, 0, &vec![0.0; n]).expect("write c");
+
+    // A diamond: a*2 and b*2 in parallel, then c = a + b. No explicit
+    // synchronization anywhere — the runtime derives it from the accesses.
+    o.task("mul2", Bytes::new(), &[DataAccess::inout(a)], CostHint::trivial(), card)
+        .expect("t1");
+    o.task("mul2", Bytes::new(), &[DataAccess::inout(b)], CostHint::trivial(), card)
+        .expect("t2");
+    o.task(
+        "add",
+        Bytes::new(),
+        &[DataAccess::input(a), DataAccess::input(b), DataAccess::output(c)],
+        CostHint::trivial(),
+        card,
+    )
+    .expect("t3");
+    let mut out = vec![0.0; n];
+    o.data_read_f64(c, 0, &mut out).expect("read");
+    (out, o.syncs_inserted())
+}
+
+fn main() {
+    let (hs_out, hs_syncs) = build_and_run(Backend::HStreams);
+    let (cu_out, cu_syncs) = build_and_run(Backend::CudaStreams);
+    assert_eq!(hs_out, cu_out, "both backends compute the same result");
+    assert!(hs_out.iter().all(|&v| v == 6.0));
+    println!("c[0..4] = {:?} (expected 6.0 = 1*2 + 2*2)", &hs_out[..4]);
+    println!(
+        "explicit synchronizations the runtime had to insert:\n  hStreams backend:     {hs_syncs}\n  CUDA-Streams backend: {cu_syncs}"
+    );
+    println!("\nThe gap is §IV's point: with hStreams, same-stream dependences ride the\nFIFO+operand semantics; CUDA Streams needs an event per task plus waits.");
+}

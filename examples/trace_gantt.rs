@@ -1,0 +1,58 @@
+//! Visualize a schedule: print the virtual-time Gantt chart of a pipelined
+//! offload, showing transfers (=) riding underneath computes (#) — the
+//! out-of-order-under-FIFO-semantics picture at the heart of the paper.
+//!
+//! Run with: `cargo run --release --example trace_gantt`
+
+use bytes::Bytes;
+use hs_machine::{Device, KernelKind, PlatformCfg};
+use hstreams_core::{
+    Access, BufProps, CostHint, CpuMask, DomainId, ExecMode, HStreams, Operand, OrderingMode,
+};
+
+fn build(ordering: OrderingMode) -> HStreams {
+    let mut hs = HStreams::init_with_ordering(
+        PlatformCfg::hetero(Device::Hsw, 1),
+        ExecMode::Sim,
+        ordering,
+    );
+    let card = DomainId(1);
+    let s = hs.stream_create(card, CpuMask::first(30)).expect("stream");
+    let bytes = 96 << 20;
+    for i in 0..6 {
+        let b = hs.buffer_create(bytes, BufProps::labeled(format!("tile{i}")));
+        hs.buffer_instantiate(b, card).expect("inst");
+        hs.xfer_to_sink(s, b, 0..bytes).expect("h2d");
+        hs.enqueue_compute(
+            s,
+            "work",
+            Bytes::new(),
+            &[Operand::new(b, 0..bytes, Access::InOut)],
+            CostHint::new(KernelKind::Dgemm, 2.2e10, 1500),
+        )
+        .expect("compute");
+    }
+    hs.thread_synchronize().expect("drain");
+    hs
+}
+
+fn main() {
+    println!("One stream, six (transfer, compute) pairs. '#' compute, '=' transfer.\n");
+    let ooo = build(OrderingMode::OutOfOrder);
+    println!(
+        "hStreams (FIFO semantics, out-of-order execution) — {:.3}s:\n{}",
+        ooo.now_secs(),
+        ooo.trace().expect("sim trace").gantt(100)
+    );
+    let strict = build(OrderingMode::StrictFifo);
+    println!(
+        "strict FIFO (CUDA-Streams-like) — {:.3}s:\n{}",
+        strict.now_secs(),
+        strict.trace().expect("sim trace").gantt(100)
+    );
+    println!(
+        "Same program, same stream: the hStreams run hides {:.0}% of the wall clock\n\
+         by letting tile i+1's transfer ride under tile i's compute.",
+        (1.0 - ooo.now_secs() / strict.now_secs()) * 100.0
+    );
+}

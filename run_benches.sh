@@ -1,0 +1,8 @@
+#!/bin/bash
+# Regenerates every paper table/figure plus the ablations.
+set +e
+for b in fig2_machines sec3_overheads fig3_coding fig6_matmul fig7_cholesky fig8_abaqus fig9_supernode sec4_ompss_backend sec6_rtm ablation_lu ablation_tuning ablation_scheduling runtime_primitives; do
+  echo ""
+  echo "################ bench: $b ################"
+  cargo bench -p hs-bench --bench $b 2>/dev/null
+done
