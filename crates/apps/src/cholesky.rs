@@ -34,8 +34,8 @@
 //! DESIGN.md records the approximation.
 
 use crate::kernels::{pack_dims, register_all};
-use bytes::Bytes;
 use crate::tilebuf::TileBufs;
+use bytes::Bytes;
 use hs_linalg::dense::{max_abs_diff, random_spd, reconstruct_llt, zero_upper, Matrix};
 use hs_linalg::{flops, TileMap};
 use hs_machine::KernelKind;
@@ -126,34 +126,38 @@ pub fn run(hs: &mut HStreams, cfg: &CholConfig) -> HsResult<CholResult> {
             }
         })
         .collect();
-    let owners: Vec<DomainId> = if matches!(cfg.variant, CholVariant::Hetero | CholVariant::MklAoLike)
-        && !cards.is_empty()
-    {
-        let cm = hs.platform().cost_model();
-        let tile_n = cfg.tile as u64;
-        let host_info = &hs.domains()[0];
-        // Knob for shaving the host's row share when panel duty crowds its
-        // workers; at the sweep's tile counts the remainder rounding already
-        // leaves the host headroom, so no extra discount is applied.
-        const HOST_PANEL_DISCOUNT: f64 = 1.0;
-        let mut weights = vec![cm.kernel_gflops(
-            host_info.device,
-            host_info.cores,
-            KernelKind::Dgemm,
-            tile_n,
-        ) * HOST_PANEL_DISCOUNT];
-        for card in &cards {
-            let info = &hs.domains()[card.0];
-            weights.push(cm.kernel_gflops(info.device, info.cores, KernelKind::Dgemm, tile_n));
-        }
-        let assignment = crate::matmul::assign_panels(nt, &weights);
-        assignment
-            .into_iter()
-            .map(|di| if di == 0 { DomainId::HOST } else { cards[di - 1] })
-            .collect()
-    } else {
-        owners
-    };
+    let owners: Vec<DomainId> =
+        if matches!(cfg.variant, CholVariant::Hetero | CholVariant::MklAoLike) && !cards.is_empty()
+        {
+            let cm = hs.platform().cost_model();
+            let tile_n = cfg.tile as u64;
+            let host_info = &hs.domains()[0];
+            // Knob for shaving the host's row share when panel duty crowds its
+            // workers; at the sweep's tile counts the remainder rounding already
+            // leaves the host headroom, so no extra discount is applied.
+            const HOST_PANEL_DISCOUNT: f64 = 1.0;
+            let mut weights = vec![
+                cm.kernel_gflops(host_info.device, host_info.cores, KernelKind::Dgemm, tile_n)
+                    * HOST_PANEL_DISCOUNT,
+            ];
+            for card in &cards {
+                let info = &hs.domains()[card.0];
+                weights.push(cm.kernel_gflops(info.device, info.cores, KernelKind::Dgemm, tile_n));
+            }
+            let assignment = crate::matmul::assign_panels(nt, &weights);
+            assignment
+                .into_iter()
+                .map(|di| {
+                    if di == 0 {
+                        DomainId::HOST
+                    } else {
+                        cards[di - 1]
+                    }
+                })
+                .collect()
+        } else {
+            owners
+        };
 
     // Streams: a machine-wide host panel stream + host workers + card
     // streams. In the Offload variant the panel runs on the card instead.
@@ -345,13 +349,8 @@ pub fn run(hs: &mut HStreams, cfg: &CholConfig) -> HsResult<CholResult> {
                     let streams = &card_streams[ci];
                     let s = streams[card_rr[ci] % streams.len()];
                     card_rr[ci] += 1;
-                    let ev = hs.enqueue_xfer(
-                        s,
-                        ta.buf(i, j),
-                        0..ta.bytes(i, j),
-                        DomainId::HOST,
-                        owner,
-                    )?;
+                    let ev =
+                        hs.enqueue_xfer(s, ta.buf(i, j), 0..ta.bytes(i, j), DomainId::HOST, owner)?;
                     upd_ev[map.id(i, j)] = Some(ev);
                 }
             }
@@ -734,9 +733,12 @@ mod tests {
             .expect("hetero")
             .gflops;
         let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Sim);
-        let ao = run(&mut hs, &CholConfig::new(12000, 750, CholVariant::MklAoLike))
-            .expect("mkl-ao")
-            .gflops;
+        let ao = run(
+            &mut hs,
+            &CholConfig::new(12000, 750, CholVariant::MklAoLike),
+        )
+        .expect("mkl-ao")
+        .gflops;
         assert!(
             hetero > ao,
             "pipelined hetero ({hetero}) must beat bulk-synchronous AO ({ao})"

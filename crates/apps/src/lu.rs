@@ -23,9 +23,7 @@ use crate::tilebuf::TileBufs;
 use hs_linalg::dense::{max_abs_diff, random_diag_dominant, Matrix};
 use hs_linalg::{flops, TileMap};
 use hs_machine::KernelKind;
-use hstreams_core::{
-    Access, CostHint, CpuMask, DomainId, Event, HStreams, HsResult, Operand,
-};
+use hstreams_core::{Access, CostHint, CpuMask, DomainId, Event, HStreams, HsResult, Operand};
 
 /// Which LU scheme to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -146,8 +144,7 @@ fn run_tiled(hs: &mut HStreams, cfg: &LuConfig, real: bool) -> HsResult<(f64, Op
     for i in 0..nt {
         for j in 0..nt {
             let s = streams[(i + j) % streams.len()];
-            let ev =
-                hs.enqueue_xfer(s, ta.buf(i, j), 0..ta.bytes(i, j), DomainId::HOST, target)?;
+            let ev = hs.enqueue_xfer(s, ta.buf(i, j), 0..ta.bytes(i, j), DomainId::HOST, target)?;
             if !target.is_host() {
                 tile_ev[map.id(i, j)] = Some(ev);
             }

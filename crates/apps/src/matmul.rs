@@ -19,9 +19,7 @@ use crate::tilebuf::TileBufs;
 use hs_linalg::dense::{max_abs_diff, random, Matrix};
 use hs_linalg::{flops, TileMap};
 use hs_machine::KernelKind;
-use hstreams_core::{
-    Access, CostHint, DomainId, Event, HStreams, HsResult, Operand, StreamId,
-};
+use hstreams_core::{Access, CostHint, DomainId, Event, HStreams, HsResult, Operand, StreamId};
 
 /// Configuration of one hetero matmul run.
 #[derive(Clone, Debug)]
@@ -111,12 +109,7 @@ pub fn run(hs: &mut HStreams, cfg: &MatmulConfig) -> HsResult<MatmulResult> {
 
     // Participating devices: cards always; host only in hetero mode (and
     // always when there are no cards at all).
-    let cards: Vec<DomainId> = hs
-        .domains()
-        .iter()
-        .skip(1)
-        .map(|d| d.id)
-        .collect();
+    let cards: Vec<DomainId> = hs.domains().iter().skip(1).map(|d| d.id).collect();
     let mut devices: Vec<DomainId> = Vec::new();
     if cfg.host_participates || cards.is_empty() {
         devices.push(DomainId::HOST);
@@ -263,11 +256,7 @@ pub fn run(hs: &mut HStreams, cfg: &MatmulConfig) -> HsResult<MatmulResult> {
                     "tile_gemm_nn",
                     pack_dims(&[mi as u32, nj as u32, kk as u32, u32::from(k > 0)]),
                     &ops,
-                    CostHint::new(
-                        KernelKind::Dgemm,
-                        flops::gemm(mi, nj, kk),
-                        cfg.tile as u64,
-                    ),
+                    CostHint::new(KernelKind::Dgemm, flops::gemm(mi, nj, kk), cfg.tile as u64),
                 )?;
             }
             hs.enqueue_xfer(s, tc.buf(i, j), 0..tc.bytes(i, j), dev, DomainId::HOST)?;

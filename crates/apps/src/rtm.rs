@@ -264,10 +264,8 @@ pub fn run(hs: &mut HStreams, cfg: &RtmConfig) -> HsResult<RtmResult> {
     if !offload {
         let per = (host_cores.saturating_sub(2) / cfg.ranks as u32).max(1);
         for r in 0..cfg.ranks {
-            host_compute.push(hs.stream_create(
-                DomainId::HOST,
-                CpuMask::range(2 + r as u32 * per, per),
-            )?);
+            host_compute
+                .push(hs.stream_create(DomainId::HOST, CpuMask::range(2 + r as u32 * per, per))?);
         }
     }
 
@@ -311,8 +309,7 @@ pub fn run(hs: &mut HStreams, cfg: &RtmConfig) -> HsResult<RtmResult> {
                 }
                 for y in 0..ny {
                     for x in 0..nx {
-                        cur0[idx(nx, ny, x, y, za)] =
-                            source(nx, ny, nz_total, x, y, gz as usize);
+                        cur0[idx(nx, ny, x, y, za)] = source(nx, ny, nz_total, x, y, gz as usize);
                     }
                 }
             }
@@ -336,9 +333,7 @@ pub fn run(hs: &mut HStreams, cfg: &RtmConfig) -> HsResult<RtmResult> {
 
     // Cost hints (device list captured up front to keep `hs` free for
     // mutable use inside the step loop).
-    let rank_devices: Vec<Device> = (0..cfg.ranks)
-        .map(|r| hs_device(hs, dev_of(r)))
-        .collect();
+    let rank_devices: Vec<Device> = (0..cfg.ranks).map(|r| hs_device(hs, dev_of(r))).collect();
     let optimized = cfg.optimized;
     let hint = move |r: usize, z0: usize, z1: usize, halo: bool| {
         let points = ((z1 - z0) * plane) as u64;
@@ -715,7 +710,10 @@ mod tests {
                 PlatformCfg::hetero(Device::Hsw, cfg.ranks)
             };
             let mut hs = HStreams::init(platform, ExecMode::Threads);
-            run(&mut hs, &cfg).expect("propagates").max_err.expect("verified")
+            run(&mut hs, &cfg)
+                .expect("propagates")
+                .max_err
+                .expect("verified")
         };
         assert!(run_one(Scheme::HostOnly) < 1e-11);
         assert!(run_one(Scheme::SyncOffload) < 1e-11);

@@ -403,7 +403,13 @@ pub fn run_workload(platform: &PlatformCfg, w: &Workload) -> HsResult<WorkloadRe
     // cards ("only the solver is offloaded to the MIC cards").
     let host = &domains[0];
     let cm = platform.cost_model();
-    let other = cm.kernel_secs(host.device, host.cores, KernelKind::Generic, w.non_solver_flops, 2000);
+    let other = cm.kernel_secs(
+        host.device,
+        host.cores,
+        KernelKind::Generic,
+        w.non_solver_flops,
+        2000,
+    );
     Ok(WorkloadResult {
         solver_secs,
         app_secs: solver_secs + other,
@@ -515,7 +521,10 @@ mod tests {
             .collect();
         fracs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         assert!(fracs[0] < 0.5, "at least one non-solver-dominated workload");
-        assert!(*fracs.last().expect("non-empty") > 0.75, "at least one solver-dominated");
+        assert!(
+            *fracs.last().expect("non-empty") > 0.75,
+            "at least one solver-dominated"
+        );
     }
 
     #[test]
@@ -526,9 +535,17 @@ mod tests {
             for w in fig8_workloads() {
                 let (solver, app) = fig8_speedups(host, &w).expect("runs");
                 assert!(solver >= 1.0, "{host:?} {} solver {solver:.2}", w.name);
-                assert!(app <= solver + 1e-9, "{host:?} {} app {app:.2} vs {solver:.2}", w.name);
+                assert!(
+                    app <= solver + 1e-9,
+                    "{host:?} {} app {app:.2} vs {solver:.2}",
+                    w.name
+                );
                 let cap = if host == Device::Ivb { 3.2 } else { 1.8 };
-                assert!(solver < cap, "{host:?} {} solver {solver:.2} above plausible cap", w.name);
+                assert!(
+                    solver < cap,
+                    "{host:?} {} solver {solver:.2} above plausible cap",
+                    w.name
+                );
             }
         }
     }

@@ -16,11 +16,11 @@
 //!   backend (§IV: the 1.45× gap).
 
 use bytes::Bytes;
+use hs_machine::PlatformCfg;
 use hstreams_core::{
     Access, BufProps, BufferId, CostHint, CpuMask, DomainId, Event, ExecMode, HStreams, HsResult,
     Operand, OrderingMode, StreamId, TaskFn,
 };
-use hs_machine::PlatformCfg;
 use std::collections::BTreeMap;
 use std::ops::Range;
 
@@ -106,7 +106,9 @@ impl CudaLike {
         let share = (cores / self.partition).max(1);
         let idx = self.created[device.0] % self.partition;
         self.created[device.0] += 1;
-        let inner = self.hs.stream_create(device, CpuMask::range(idx * share, share))?;
+        let inner = self
+            .hs
+            .stream_create(device, CpuMask::range(idx * share, share))?;
         Ok(CuStream { inner, device })
     }
 
@@ -302,7 +304,8 @@ mod tests {
         let s = cu.stream_create(dev).expect("stream");
         let h = cu.host_alloc(4 * 8);
         let d = cu.malloc(dev, h).expect("malloc");
-        cu.host_write_f64(h, 0, &[1.0, 2.0, 3.0, 4.0]).expect("write");
+        cu.host_write_f64(h, 0, &[1.0, 2.0, 3.0, 4.0])
+            .expect("write");
         cu.memcpy_h2d_async(s, d, 0..32).expect("h2d");
         cu.launch(
             s,
@@ -348,10 +351,22 @@ mod tests {
         let h2 = cu.host_alloc(8);
         let d1 = cu.malloc(dev, h1).expect("malloc");
         let d2 = cu.malloc(dev, h2).expect("malloc");
-        cu.launch(s, "slow", Bytes::new(), &[(d1, 0..8, Access::InOut)], CostHint::trivial())
-            .expect("launch slow");
-        cu.launch(s, "fast", Bytes::new(), &[(d2, 0..8, Access::InOut)], CostHint::trivial())
-            .expect("launch fast");
+        cu.launch(
+            s,
+            "slow",
+            Bytes::new(),
+            &[(d1, 0..8, Access::InOut)],
+            CostHint::trivial(),
+        )
+        .expect("launch slow");
+        cu.launch(
+            s,
+            "fast",
+            Bytes::new(),
+            &[(d2, 0..8, Access::InOut)],
+            CostHint::trivial(),
+        )
+        .expect("launch fast");
         cu.device_synchronize().expect("sync");
         assert_eq!(order.snapshot(), vec!["slow", "fast"], "strict FIFO order");
     }
@@ -381,13 +396,25 @@ mod tests {
         let d = cu.malloc(dev, h).expect("malloc");
         cu.host_write_f64(h, 0, &[0.0; 4]).expect("write");
         cu.memcpy_h2d_async(s1, d, 0..32).expect("h2d");
-        cu.launch(s1, "inc", Bytes::new(), &[(d, 0..32, Access::InOut)], CostHint::trivial())
-            .expect("launch");
+        cu.launch(
+            s1,
+            "inc",
+            Bytes::new(),
+            &[(d, 0..32, Access::InOut)],
+            CostHint::trivial(),
+        )
+        .expect("launch");
         let ev = cu.event_create();
         cu.event_record(ev, s1).expect("record");
         cu.stream_wait_event(s2, ev).expect("wait event");
-        cu.launch(s2, "inc", Bytes::new(), &[(d, 0..32, Access::InOut)], CostHint::trivial())
-            .expect("launch 2");
+        cu.launch(
+            s2,
+            "inc",
+            Bytes::new(),
+            &[(d, 0..32, Access::InOut)],
+            CostHint::trivial(),
+        )
+        .expect("launch 2");
         cu.memcpy_d2h_async(s2, d, 0..32).expect("d2h");
         cu.device_synchronize().expect("sync");
         let mut out = [0.0; 4];
@@ -415,7 +442,10 @@ mod tests {
         let (unique, total) = cu.api_counts();
         assert!(unique >= 5);
         assert!(total >= 5);
-        assert!(cu.api_rows().iter().any(|(k, v)| *k == "cudaMalloc" && *v == 1));
+        assert!(cu
+            .api_rows()
+            .iter()
+            .any(|(k, v)| *k == "cudaMalloc" && *v == 1));
     }
 
     #[test]

@@ -9,11 +9,11 @@
 //! [`OmpVersion::V45`] regions are `nowait` with `depend`-style event lists.
 
 use bytes::Bytes;
+use hs_machine::PlatformCfg;
 use hstreams_core::{
     Access, BufProps, BufferId, CostHint, CpuMask, DomainId, Event, ExecMode, HStreams, HsResult,
     Operand, StreamId, TaskFn,
 };
-use hs_machine::PlatformCfg;
 use std::ops::Range;
 
 /// Which OpenMP spec the model mimics.
@@ -117,7 +117,10 @@ impl OffloadModel {
         self.hs.enqueue_compute(s, func, args, &ops, cost)?;
         let mut last = None;
         for (b, r) in outputs {
-            last = Some(self.hs.enqueue_xfer(s, *b, r.clone(), device, DomainId::HOST)?);
+            last = Some(
+                self.hs
+                    .enqueue_xfer(s, *b, r.clone(), device, DomainId::HOST)?,
+            );
         }
         match self.version {
             OmpVersion::V40 => {
@@ -204,11 +207,27 @@ mod tests {
         let b = m.map_alloc(8 * 2, dev).expect("alloc");
         m.host_write_f64(b, 0, &[1.0, 1.0]).expect("write");
         let e1 = m
-            .target(dev, "scale3", Bytes::new(), &[(b, 0..16)], &[(b, 0..16)], CostHint::trivial(), &[])
+            .target(
+                dev,
+                "scale3",
+                Bytes::new(),
+                &[(b, 0..16)],
+                &[(b, 0..16)],
+                CostHint::trivial(),
+                &[],
+            )
             .expect("t1")
             .expect("4.5 returns an event");
         let _e2 = m
-            .target(dev, "scale3", Bytes::new(), &[(b, 0..16)], &[(b, 0..16)], CostHint::trivial(), &[e1])
+            .target(
+                dev,
+                "scale3",
+                Bytes::new(),
+                &[(b, 0..16)],
+                &[(b, 0..16)],
+                CostHint::trivial(),
+                &[e1],
+            )
             .expect("t2")
             .expect("event");
         m.taskwait().expect("taskwait");
@@ -234,7 +253,9 @@ mod tests {
             let mut m = OffloadModel::new(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim, v);
             let dev = DomainId(1);
             let mb = 32 << 20;
-            let bufs: Vec<BufferId> = (0..4).map(|_| m.map_alloc(mb, dev).expect("alloc")).collect();
+            let bufs: Vec<BufferId> = (0..4)
+                .map(|_| m.map_alloc(mb, dev).expect("alloc"))
+                .collect();
             let mut evs = Vec::new();
             for b in &bufs {
                 let e = m

@@ -20,11 +20,11 @@
 //! operand overlap may overlap in execution.
 
 use bytes::Bytes;
-use hstreams_core::{
-    BufProps, BufferId, CostHint, CpuMask, DomainId, Event, ExecMode, HStreams, HsError,
-    HsResult, Operand, StreamId, TaskFn,
-};
 use hs_machine::PlatformCfg;
+use hstreams_core::{
+    BufProps, BufferId, CostHint, CpuMask, DomainId, Event, ExecMode, HStreams, HsError, HsResult,
+    Operand, StreamId, TaskFn,
+};
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -91,18 +91,30 @@ impl OffloadStreams {
     }
 
     /// `#pragma offload_transfer in(...)` on a stream.
-    pub fn transfer_in(&mut self, s: OffStream, buf: BufferId, range: Range<usize>) -> HsResult<()> {
+    pub fn transfer_in(
+        &mut self,
+        s: OffStream,
+        buf: BufferId,
+        range: Range<usize>,
+    ) -> HsResult<()> {
         self.bump("offload_transfer_in");
         let to = self.hs.stream_domain(s.inner)?;
-        self.hs.enqueue_xfer(s.inner, buf, range, DomainId::HOST, to)?;
+        self.hs
+            .enqueue_xfer(s.inner, buf, range, DomainId::HOST, to)?;
         Ok(())
     }
 
     /// `#pragma offload_transfer out(...)` on a stream.
-    pub fn transfer_out(&mut self, s: OffStream, buf: BufferId, range: Range<usize>) -> HsResult<()> {
+    pub fn transfer_out(
+        &mut self,
+        s: OffStream,
+        buf: BufferId,
+        range: Range<usize>,
+    ) -> HsResult<()> {
         self.bump("offload_transfer_out");
         let from = self.hs.stream_domain(s.inner)?;
-        self.hs.enqueue_xfer(s.inner, buf, range, from, DomainId::HOST)?;
+        self.hs
+            .enqueue_xfer(s.inner, buf, range, from, DomainId::HOST)?;
         Ok(())
     }
 
@@ -133,7 +145,9 @@ impl OffloadStreams {
         if !wait_events.is_empty() {
             self.hs.enqueue_cross_wait(s.inner, &wait_events)?;
         }
-        let ev = self.hs.enqueue_compute(s.inner, section, args, operands, cost)?;
+        let ev = self
+            .hs
+            .enqueue_compute(s.inner, section, args, operands, cost)?;
         if let Some(tag) = signal {
             self.signals.insert(tag, ev);
         }

@@ -83,7 +83,11 @@ fn main() {
     let mut t = Table::new(vec!["policy", "makespan (s)", "vs one-card"]);
     t.row(vec!["pin all to one card".to_string(), f(one), x(1.0)]);
     t.row(vec!["round-robin pinning".to_string(), f(rr), x(one / rr)]);
-    t.row(vec!["EFT dynamic (Auto)".to_string(), f(auto), x(one / auto)]);
+    t.row(vec![
+        "EFT dynamic (Auto)".to_string(),
+        f(auto),
+        x(one / auto),
+    ]);
     t.print("Ablation — task placement policy, irregular front bag on HSW + 2 KNC");
     println!(
         "\nEFT vs round-robin on this bag: {:+.1}%. The large fronts recur at a fixed\n\

@@ -60,6 +60,10 @@ fn main() {
         "\nbest: {:.0} GF/s at {} streams x tile {}; worst corner {:.0} GF/s — a {:.1}x\n\
          spread from two one-line knobs, the design-exploration ease the paper credits\n\
          hStreams with (more streams pay off at small tiles, wide tiles at few streams).",
-        best.0, best.1, best.2, worst, best.0 / worst
+        best.0,
+        best.1,
+        best.2,
+        worst,
+        best.0 / worst
     );
 }

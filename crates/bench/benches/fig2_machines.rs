@@ -23,10 +23,18 @@ fn main() {
         ]
     };
     t.row(row("Skt x Core/Skt x Thr/Core", &|s| {
-        format!("{}S x {}C x {}T", s.sockets, s.cores_per_socket, s.threads_per_core)
+        format!(
+            "{}S x {}C x {}T",
+            s.sockets, s.cores_per_socket, s.threads_per_core
+        )
     }));
     t.row(row("SP/DP SIMD width, FMA", &|s| {
-        format!("{},{},{}", s.sp_simd_width, s.dp_simd_width, if s.fma { "Y" } else { "N" })
+        format!(
+            "{},{},{}",
+            s.sp_simd_width,
+            s.dp_simd_width,
+            if s.fma { "Y" } else { "N" }
+        )
     }));
     t.row(row("Clock (GHz)", &|s| format!("{}", s.clock_ghz)));
     t.row(row("RAM (GB)", &|s| format!("{}", s.ram_gb)));

@@ -47,8 +47,8 @@ fn hstreams_run() -> (usize, u64, f64) {
 fn cuda_like_run() -> (usize, u64, f64) {
     // The CUDA-style program: explicit streams/events/device pointers,
     // strict FIFO, one stream per C panel.
-    let mut cu = CudaLike::new(PlatformCfg::offload(Device::Hsw, 1), ExecMode::Sim)
-        .with_stream_partition(4);
+    let mut cu =
+        CudaLike::new(PlatformCfg::offload(Device::Hsw, 1), ExecMode::Sim).with_stream_partition(4);
     let map = TileMap::new(N, TILE);
     let dev = DomainId(1);
     let nt = map.nt;
@@ -235,7 +235,9 @@ fn ompss_run(derate: f64) -> (usize, u64, f64) {
 fn main() {
     // Static rows transcribed from the paper's Fig. 3 (they count lines of
     // the authors' C implementations, which have no analogue here).
-    let mut loc = Table::new(vec!["phase", "hStreams", "CUDA", "OMP4.0", "OMP4.5", "OmpSs", "OpenCL"]);
+    let mut loc = Table::new(vec![
+        "phase", "hStreams", "CUDA", "OMP4.0", "OMP4.5", "OmpSs", "OpenCL",
+    ]);
     for (phase, v) in [
         ("Initialization", [2, 9, 0, 0, 0, 8]),
         ("Data alloc", [3, 6, 0, 3, 0, 6]),
@@ -267,7 +269,9 @@ fn main() {
     let (os_u, os_t, os_g) = ompss_run(1.0);
     let (_, _, ocl_g) = ompss_run(OPENCL_KERNEL_DERATE);
 
-    let mut t = Table::new(vec!["metric", "hStreams", "CUDA", "OMP4.0", "OMP4.5", "OmpSs", "OpenCL"]);
+    let mut t = Table::new(vec![
+        "metric", "hStreams", "CUDA", "OMP4.0", "OMP4.5", "OmpSs", "OpenCL",
+    ]);
     t.row(vec![
         "API entry points used (measured)".to_string(),
         hs_u.to_string(),

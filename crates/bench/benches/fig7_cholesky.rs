@@ -64,13 +64,33 @@ fn main() {
     for &n in &sizes {
         let vals = vec![
             gflops(PlatformCfg::hetero(Device::Hsw, 2), n, CholVariant::Hetero),
-            gflops(PlatformCfg::hetero(Device::Hsw, 2), n, CholVariant::MklAoLike),
-            gflops(PlatformCfg::hetero(Device::Hsw, 2), n, CholVariant::MagmaLike),
+            gflops(
+                PlatformCfg::hetero(Device::Hsw, 2),
+                n,
+                CholVariant::MklAoLike,
+            ),
+            gflops(
+                PlatformCfg::hetero(Device::Hsw, 2),
+                n,
+                CholVariant::MagmaLike,
+            ),
             gflops(PlatformCfg::hetero(Device::Hsw, 1), n, CholVariant::Hetero),
-            gflops(PlatformCfg::hetero(Device::Hsw, 1), n, CholVariant::MklAoLike),
-            gflops(PlatformCfg::hetero(Device::Hsw, 1), n, CholVariant::MagmaLike),
+            gflops(
+                PlatformCfg::hetero(Device::Hsw, 1),
+                n,
+                CholVariant::MklAoLike,
+            ),
+            gflops(
+                PlatformCfg::hetero(Device::Hsw, 1),
+                n,
+                CholVariant::MagmaLike,
+            ),
             ompss_gflops(n),
-            gflops(PlatformCfg::offload(Device::Hsw, 1), n, CholVariant::Offload),
+            gflops(
+                PlatformCfg::offload(Device::Hsw, 1),
+                n,
+                CholVariant::Offload,
+            ),
             native_gflops(n),
         ];
         let mut row = vec![n.to_string()];
@@ -80,7 +100,9 @@ fn main() {
     }
     t.print("Fig. 7 — Cholesky Gflop/s vs n (measured, virtual time)");
 
-    let paper = [1971.0, 1743.0, 1637.0, 1373.0, 1356.0, 1015.0, 949.0, 774.0, 733.0];
+    let paper = [
+        1971.0, 1743.0, 1637.0, 1373.0, 1356.0, 1015.0, 949.0, 774.0, 733.0,
+    ];
     let names = [
         "hStr HSW+2KNC",
         "MKL AO HSW+2KNC",
@@ -92,7 +114,12 @@ fn main() {
         "hStr 1KNC offload",
         "HSW native (MKL)",
     ];
-    let mut p = Table::new(vec!["implementation", "measured@35000", "paper peak", "ratio"]);
+    let mut p = Table::new(vec![
+        "implementation",
+        "measured@35000",
+        "paper peak",
+        "ratio",
+    ]);
     for i in 0..names.len() {
         p.row(vec![
             names[i].to_string(),

@@ -41,9 +41,25 @@ fn main() {
     t.print("Fig. 8 — speedups from adding 2 KNC cards (measured)");
 
     let mut p = Table::new(vec!["metric", "measured max", "paper max"]);
-    p.row(vec!["IVB solver".to_string(), x(max_ivb.0), "2.61x".to_string()]);
-    p.row(vec!["IVB full app".to_string(), x(max_ivb.1), "1.99x".to_string()]);
-    p.row(vec!["HSW solver".to_string(), x(max_hsw.0), "1.45x".to_string()]);
-    p.row(vec!["HSW full app".to_string(), x(max_hsw.1), "1.22x".to_string()]);
+    p.row(vec![
+        "IVB solver".to_string(),
+        x(max_ivb.0),
+        "2.61x".to_string(),
+    ]);
+    p.row(vec![
+        "IVB full app".to_string(),
+        x(max_ivb.1),
+        "1.99x".to_string(),
+    ]);
+    p.row(vec![
+        "HSW solver".to_string(),
+        x(max_hsw.0),
+        "1.45x".to_string(),
+    ]);
+    p.row(vec![
+        "HSW full app".to_string(),
+        x(max_hsw.1),
+        "1.22x".to_string(),
+    ]);
     p.print("Fig. 8 — band comparison");
 }

@@ -31,7 +31,12 @@ fn main() {
     let hsw = run_dev(Device::Hsw);
     let ivb = run_dev(Device::Ivb);
 
-    let mut t = Table::new(vec!["target", "streams x cores", "measured (s)", "paper (s)"]);
+    let mut t = Table::new(vec![
+        "target",
+        "streams x cores",
+        "measured (s)",
+        "paper (s)",
+    ]);
     t.row(vec![
         "KNC offload".to_string(),
         "4 x 15 (240 thr)".to_string(),
@@ -54,6 +59,9 @@ fn main() {
         "Fig. 9 — standalone supernode factorization, n = {N}, tile = {TILE}"
     ));
 
-    println!("\nratios: KNC/HSW measured {:.2} (paper 1.05); IVB/HSW measured {:.2} (paper 1.91)",
-        knc / hsw, ivb / hsw);
+    println!(
+        "\nratios: KNC/HSW measured {:.2} (paper 1.05); IVB/HSW measured {:.2} (paper 1.91)",
+        knc / hsw,
+        ivb / hsw
+    );
 }

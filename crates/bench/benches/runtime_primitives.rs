@@ -20,7 +20,9 @@ fn runtime() -> HStreams {
 fn bench_enqueue(c: &mut Criterion) {
     c.bench_function("enqueue_compute+sync (noop task, host stream)", |b| {
         let mut hs = runtime();
-        let s = hs.stream_create(DomainId::HOST, CpuMask::first(2)).expect("stream");
+        let s = hs
+            .stream_create(DomainId::HOST, CpuMask::first(2))
+            .expect("stream");
         let buf = hs.buffer_create(64, BufProps::default());
         b.iter(|| {
             hs.enqueue_compute(
@@ -94,8 +96,12 @@ fn bench_dependence_analysis(c: &mut Criterion) {
 fn bench_event_signal(c: &mut Criterion) {
     c.bench_function("cross-stream event wait round trip", |b| {
         let mut hs = runtime();
-        let s1 = hs.stream_create(DomainId::HOST, CpuMask::range(0, 1)).expect("s1");
-        let s2 = hs.stream_create(DomainId::HOST, CpuMask::range(1, 1)).expect("s2");
+        let s1 = hs
+            .stream_create(DomainId::HOST, CpuMask::range(0, 1))
+            .expect("s1");
+        let s2 = hs
+            .stream_create(DomainId::HOST, CpuMask::range(1, 1))
+            .expect("s2");
         let buf = hs.buffer_create(64, BufProps::default());
         b.iter(|| {
             let e1 = hs
@@ -128,7 +134,9 @@ fn bench_transfers(c: &mut Criterion) {
     for kb in [64usize, 1024, 8192] {
         g.bench_function(format!("h2d {kb} KB (unpaced)"), |b| {
             let mut hs = runtime();
-            let s = hs.stream_create(DomainId(1), CpuMask::first(2)).expect("stream");
+            let s = hs
+                .stream_create(DomainId(1), CpuMask::first(2))
+                .expect("stream");
             let buf = hs.buffer_create(kb * 1024, BufProps::default());
             hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
             b.iter(|| {
@@ -139,7 +147,9 @@ fn bench_transfers(c: &mut Criterion) {
     }
     g.bench_function("host-as-target elided transfer", |b| {
         let mut hs = runtime();
-        let s = hs.stream_create(DomainId::HOST, CpuMask::first(2)).expect("stream");
+        let s = hs
+            .stream_create(DomainId::HOST, CpuMask::first(2))
+            .expect("stream");
         let buf = hs.buffer_create(8 << 20, BufProps::default());
         b.iter(|| {
             hs.xfer_to_sink(s, buf, 0..8 << 20).expect("xfer");

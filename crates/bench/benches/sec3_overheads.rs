@@ -59,14 +59,21 @@ fn transfer_overheads() {
 
 fn pool_overheads() {
     let ov = Overheads::paper();
-    let mut t = Table::new(vec!["configuration", "per-buffer cost (us)", "100 tiles (ms)"]);
-    for (name, pooled) in [("COI 2MB pool ON (hStreams)", true), ("pool OFF (OmpSs case)", false)] {
-        let us = if pooled { ov.alloc_pool_us } else { ov.alloc_no_pool_us };
-        t.row(vec![
-            name.to_string(),
-            f(us),
-            f(us * 100.0 / 1000.0),
-        ]);
+    let mut t = Table::new(vec![
+        "configuration",
+        "per-buffer cost (us)",
+        "100 tiles (ms)",
+    ]);
+    for (name, pooled) in [
+        ("COI 2MB pool ON (hStreams)", true),
+        ("pool OFF (OmpSs case)", false),
+    ] {
+        let us = if pooled {
+            ov.alloc_pool_us
+        } else {
+            ov.alloc_no_pool_us
+        };
+        t.row(vec![name.to_string(), f(us), f(us * 100.0 / 1000.0)]);
     }
     t.print("§III — COI buffer-pool allocation overheads (model constants)");
 
@@ -80,15 +87,25 @@ fn pool_overheads() {
         let t0 = hs.now_secs();
         for _ in 0..100 {
             let b = hs.buffer_create(1 << 20, Default::default());
-            hs.buffer_instantiate(b, hstreams_core::DomainId(1)).expect("inst");
+            hs.buffer_instantiate(b, hstreams_core::DomainId(1))
+                .expect("inst");
         }
         // Flush the source clock into simulated time: one trivial action.
         let s = hs
-            .stream_create(hstreams_core::DomainId::HOST, hstreams_core::CpuMask::first(1))
+            .stream_create(
+                hstreams_core::DomainId::HOST,
+                hstreams_core::CpuMask::first(1),
+            )
             .expect("stream");
         let last = hs.buffer_create(8, Default::default());
         let ev = hs
-            .enqueue_xfer(s, last, 0..8, hstreams_core::DomainId::HOST, hstreams_core::DomainId::HOST)
+            .enqueue_xfer(
+                s,
+                last,
+                0..8,
+                hstreams_core::DomainId::HOST,
+                hstreams_core::DomainId::HOST,
+            )
             .expect("flush");
         hs.event_wait(ev).expect("flush wait");
         (hs.now_secs() - t0) * 1e3
@@ -104,7 +121,12 @@ fn ompss_overheads() {
     // Same placement for both: pure offload to one card. OmpSs's overhead
     // = its per-task instantiation/scheduling costs + synchronous unpooled
     // COI allocations stalling the card pipeline.
-    let mut t = Table::new(vec!["n", "direct hStreams (s)", "OmpSs (s)", "OmpSs overhead"]);
+    let mut t = Table::new(vec![
+        "n",
+        "direct hStreams (s)",
+        "OmpSs (s)",
+        "OmpSs overhead",
+    ]);
     for n in [4800usize, 6400, 8000, 10000] {
         let tile = 600;
         let mut hs = HStreams::init(PlatformCfg::offload(Device::Hsw, 1), ExecMode::Sim);
@@ -129,7 +151,9 @@ fn ompss_overheads() {
             format!("{:.0}%", (ompss / direct - 1.0) * 100.0),
         ]);
     }
-    t.print("§III — OmpSs overhead over direct hStreams, Cholesky (paper: 15-50% for n=4800-10000)");
+    t.print(
+        "§III — OmpSs overhead over direct hStreams, Cholesky (paper: 15-50% for n=4800-10000)",
+    );
 }
 
 fn main() {

@@ -75,10 +75,26 @@ fn main() {
     let (_, s1, u1, _) = rows[0];
     let (_, s4, u4, _) = rows[3];
     let mut p = Table::new(vec!["metric", "measured", "paper"]);
-    p.row(vec!["optimized, 1 card".to_string(), x(s1), "1.52x".to_string()]);
-    p.row(vec!["optimized, 4 ranks/4 cards".to_string(), x(s4), "6.02x".to_string()]);
-    p.row(vec!["unoptimized, 1 card".to_string(), x(u1), "1.13x".to_string()]);
-    p.row(vec!["unoptimized, 4 ranks".to_string(), x(u4), "4.53x".to_string()]);
+    p.row(vec![
+        "optimized, 1 card".to_string(),
+        x(s1),
+        "1.52x".to_string(),
+    ]);
+    p.row(vec![
+        "optimized, 4 ranks/4 cards".to_string(),
+        x(s4),
+        "6.02x".to_string(),
+    ]);
+    p.row(vec![
+        "unoptimized, 1 card".to_string(),
+        x(u1),
+        "1.13x".to_string(),
+    ]);
+    p.row(vec![
+        "unoptimized, 4 ranks".to_string(),
+        x(u4),
+        "4.53x".to_string(),
+    ]);
     let benefits: Vec<f64> = rows.iter().map(|r| r.3 * 100.0).collect();
     p.row(vec![
         "async pipelining benefit".to_string(),

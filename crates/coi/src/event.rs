@@ -154,9 +154,63 @@ impl CoiEvent {
     }
 }
 
+/// A shared, signal-ordered completion log.
+///
+/// Tracking an event appends a caller-chosen id to the log at the moment
+/// the event completes (on the completing thread, inside the callback
+/// drain), so the log's order *is* real completion order — the property
+/// the `hsan` FIFO-equivalence check relies on. Clones share the log.
+#[derive(Clone, Default)]
+pub struct CompletionLog {
+    entries: Arc<Mutex<Vec<u64>>>,
+}
+
+impl CompletionLog {
+    pub fn new() -> CompletionLog {
+        CompletionLog::default()
+    }
+
+    /// Append `id` to the log when `ev` completes (done or failed). If `ev`
+    /// is already complete the append happens inline, preserving the
+    /// caller's registration order.
+    pub fn track(&self, ev: &CoiEvent, id: u64) {
+        let entries = self.entries.clone();
+        ev.on_complete(move |_| entries.lock().push(id));
+    }
+
+    /// The ids logged so far, in completion order.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.entries.lock().clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn completion_log_orders_by_signal_time() {
+        let log = CompletionLog::new();
+        let a = CoiEvent::new();
+        let b = CoiEvent::new();
+        log.track(&a, 10);
+        log.track(&b, 20);
+        b.signal();
+        a.signal();
+        assert_eq!(
+            log.snapshot(),
+            vec![20, 10],
+            "signal order, not registration order"
+        );
+    }
+
+    #[test]
+    fn completion_log_tracks_already_complete_inline() {
+        let log = CompletionLog::new();
+        let a = CoiEvent::done();
+        log.track(&a, 1);
+        assert_eq!(log.snapshot(), vec![1]);
+    }
 
     #[test]
     fn signal_completes_waiters() {

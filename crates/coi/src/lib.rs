@@ -28,7 +28,7 @@ pub mod pool;
 pub mod registry;
 pub mod workgroup;
 
-pub use event::{CoiEvent, EventStatus};
+pub use event::{CoiEvent, CompletionLog, EventStatus};
 pub use pipeline::{Pipeline, PipelineHandle, RunCtx};
 pub use pool::{BufferPool, PoolStats, PooledWindow};
 pub use registry::{FnRegistry, RunFunction};

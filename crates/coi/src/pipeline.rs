@@ -308,9 +308,9 @@ impl RunCtx<'_> {
     }
 }
 
-/// Re-exported parallel helpers so tasks that hold `buf_mut` borrows can
-/// still expand (pass `ctx.width()` captured beforehand).
-
+// Parallel helpers stay free functions (see `par_for` above) so tasks that
+// hold `buf_mut` borrows can still expand (pass `ctx.width()` captured
+// beforehand).
 
 #[cfg(test)]
 mod tests {

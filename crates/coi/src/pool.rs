@@ -177,7 +177,10 @@ mod tests {
         assert!(!a.is_pooled());
         let id = a.id();
         p.free(&f, a);
-        assert!(f.window(id).is_none(), "unpooled windows unregister on free");
+        assert!(
+            f.window(id).is_none(),
+            "unpooled windows unregister on free"
+        );
         assert_eq!(p.free_count(), 0);
         assert_eq!(p.stats().bypass, 1);
     }

@@ -11,8 +11,9 @@ use std::sync::Arc;
 #[test]
 fn thousand_commands_across_pipelines_in_order_per_pipeline() {
     let rt = CoiRuntime::new(2, Pacer::unpaced());
-    let logs: Vec<Arc<parking_lot::Mutex<Vec<u32>>>> =
-        (0..4).map(|_| Arc::new(parking_lot::Mutex::new(Vec::new()))).collect();
+    let logs: Vec<Arc<parking_lot::Mutex<Vec<u32>>>> = (0..4)
+        .map(|_| Arc::new(parking_lot::Mutex::new(Vec::new())))
+        .collect();
     let pipes: Vec<_> = (0..4)
         .map(|i| rt.pipeline_create(EngineId(1 + (i % 2) as u16), 1))
         .collect();
@@ -46,7 +47,10 @@ fn pool_churn_from_many_threads_conserves_windows() {
                     let mem = rt.fabric().window(w.id()).expect("window");
                     {
                         let mut g = mem.lock_range(0..len, true).expect("lock");
-                        assert!(g.as_mut_slice().iter().all(|&b| b == 0), "pool must re-zero");
+                        assert!(
+                            g.as_mut_slice().iter().all(|&b| b == 0),
+                            "pool must re-zero"
+                        );
                         g.as_mut_slice().fill(0xAB);
                     }
                     rt.buffer_free(EngineId(1), w);
@@ -122,7 +126,9 @@ fn wide_pipeline_parallel_for_scales_work() {
         }),
     );
     let pipe = rt.pipeline_create(EngineId(1), 4);
-    pipe.run("spread", Bytes::new(), vec![]).wait().expect("runs");
+    pipe.run("spread", Bytes::new(), vec![])
+        .wait()
+        .expect("runs");
     assert_eq!(hits.load(Ordering::Relaxed), 10_000);
 }
 

@@ -150,7 +150,11 @@ impl HStreams {
                 c,
                 0,
                 m * n,
-                if accumulate { Access::InOut } else { Access::Out },
+                if accumulate {
+                    Access::InOut
+                } else {
+                    Access::Out
+                },
             ),
         ];
         let flops = 2.0 * m as f64 * n as f64 * k as f64;
@@ -208,7 +212,9 @@ mod tests {
     #[test]
     fn app_memcpy_rejects_length_mismatch() {
         let mut hs = rt();
-        let s = hs.stream_create(DomainId::HOST, CpuMask::first(1)).expect("stream");
+        let s = hs
+            .stream_create(DomainId::HOST, CpuMask::first(1))
+            .expect("stream");
         let a = hs.buffer_create(64, BufProps::default());
         let b = hs.buffer_create(64, BufProps::default());
         assert!(hs.app_memcpy(s, a, 0..32, b, 0..64).is_err());
@@ -226,8 +232,10 @@ mod tests {
         for buf in [a, b, c] {
             hs.buffer_instantiate(buf, card).expect("inst");
         }
-        hs.buffer_write_f64(a, 0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).expect("A");
-        hs.buffer_write_f64(b, 0, &[1.0, 0.0, 2.0, 0.0, 0.0, 1.0, 0.0, 2.0]).expect("B");
+        hs.buffer_write_f64(a, 0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .expect("A");
+        hs.buffer_write_f64(b, 0, &[1.0, 0.0, 2.0, 0.0, 0.0, 1.0, 0.0, 2.0])
+            .expect("B");
         hs.xfer_to_sink(s, a, 0..m * k * 8).expect("h2d");
         hs.xfer_to_sink(s, b, 0..k * n * 8).expect("h2d");
         hs.app_dgemm(s, a, b, c, m, n, k, false).expect("dgemm");
@@ -245,14 +253,17 @@ mod tests {
     #[test]
     fn app_dgemm_accumulates_when_asked() {
         let mut hs = rt();
-        let s = hs.stream_create(DomainId::HOST, CpuMask::first(2)).expect("stream");
+        let s = hs
+            .stream_create(DomainId::HOST, CpuMask::first(2))
+            .expect("stream");
         let (m, n, k) = (2usize, 2, 2);
         let a = hs.buffer_create(m * k * 8, BufProps::default());
         let b = hs.buffer_create(k * n * 8, BufProps::default());
         let c = hs.buffer_create(m * n * 8, BufProps::default());
         hs.buffer_write_f64(a, 0, &[1.0, 0.0, 0.0, 1.0]).expect("A");
         hs.buffer_write_f64(b, 0, &[1.0, 2.0, 3.0, 4.0]).expect("B");
-        hs.buffer_write_f64(c, 0, &[10.0, 10.0, 10.0, 10.0]).expect("C");
+        hs.buffer_write_f64(c, 0, &[10.0, 10.0, 10.0, 10.0])
+            .expect("C");
         hs.app_dgemm(s, a, b, c, m, n, k, true).expect("dgemm");
         hs.stream_synchronize(s).expect("sync");
         let mut out = [0.0; 4];

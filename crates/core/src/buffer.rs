@@ -203,7 +203,10 @@ mod tests {
             rec.window(DomainId(2)),
             Err(HsError::NotInstantiated(_, _))
         ));
-        assert!(matches!(rec.window(DomainId(1)), Err(HsError::InvalidArg(_))));
+        assert!(matches!(
+            rec.window(DomainId(1)),
+            Err(HsError::InvalidArg(_))
+        ));
     }
 
     #[test]

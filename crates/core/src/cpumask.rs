@@ -59,7 +59,10 @@ impl CpuMask {
     /// ("resources evenly divided up among a specified number of streams").
     pub fn partition_evenly(cores: u32, n: usize) -> Vec<CpuMask> {
         assert!(n > 0, "cannot partition into zero streams");
-        assert!(cores as usize >= n, "fewer cores ({cores}) than streams ({n})");
+        assert!(
+            cores as usize >= n,
+            "fewer cores ({cores}) than streams ({n})"
+        );
         let base = cores / n as u32;
         let extra = cores % n as u32;
         let mut out = Vec::with_capacity(n);

@@ -82,10 +82,7 @@ impl SimExec {
         let server = self
             .sim
             .server_create(format!("{}:d{domain_idx}:s{idx}x{cores}", dev.short()), 1);
-        self.streams.push(StreamRes {
-            server,
-            domain_idx,
-        });
+        self.streams.push(StreamRes { server, domain_idx });
     }
 
     pub fn charge_source(&mut self, dur: Dur) {
@@ -110,6 +107,11 @@ impl SimExec {
 
     pub fn is_complete(&self, tok: Token) -> bool {
         self.sim.token_fired(tok)
+    }
+
+    /// Virtual completion time of a token, if it has fired.
+    pub fn fire_time(&self, tok: Token) -> Option<Time> {
+        self.sim.token_fire_time(tok)
     }
 
     pub fn wait(&mut self, tok: Token) -> Result<(), String> {
@@ -141,8 +143,7 @@ impl SimExec {
         self.sim.run_until(horizon);
         let issue = self.sim.token_create();
         let at = self.source_time;
-        self.sim
-            .schedule_at(at, move |sim| sim.token_fire(issue));
+        self.sim.schedule_at(at, move |sim| sim.token_fire(issue));
 
         let mut dep_toks: Vec<Token> = deps.iter().map(|d| d.as_sim()).collect();
         dep_toks.push(issue);
@@ -150,7 +151,8 @@ impl SimExec {
 
         match spec {
             ActionSpec::Noop => {
-                self.sim.when_all(&dep_toks, move |sim| sim.token_fire(done));
+                self.sim
+                    .when_all(&dep_toks, move |sim| sim.token_fire(done));
             }
             ActionSpec::Compute {
                 stream_idx,
@@ -169,8 +171,7 @@ impl SimExec {
                 let server = self.streams[stream_idx].server;
                 let gate = Some((self.domain_sems[dom], cores));
                 self.sim.when_all(&dep_toks, move |sim| {
-                    let job =
-                        sim.server_enqueue_gated(server, label, SpanKind::Compute, dur, gate);
+                    let job = sim.server_enqueue_gated(server, label, SpanKind::Compute, dur, gate);
                     sim.token_on_fire(job, move |sim| sim.token_fire(done));
                 });
             }
@@ -184,15 +185,15 @@ impl SimExec {
                 match card_domain {
                     None => {
                         // Host-as-target: aliased away, completes with deps.
-                        self.sim.when_all(&dep_toks, move |sim| sim.token_fire(done));
+                        self.sim
+                            .when_all(&dep_toks, move |sim| sim.token_fire(done));
                     }
                     Some(dom) => {
                         let card = &self.cards[dom - 1];
                         let server = if h2d { card.h2d } else { card.d2h };
                         let dur = self.cost.transfer_dur(&card.link, bytes as u64, h2d);
                         self.sim.when_all(&dep_toks, move |sim| {
-                            let job =
-                                sim.server_enqueue(server, label, SpanKind::Transfer, dur);
+                            let job = sim.server_enqueue(server, label, SpanKind::Transfer, dur);
                             sim.token_on_fire(job, move |sim| sim.token_fire(done));
                         });
                     }

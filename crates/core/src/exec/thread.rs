@@ -172,11 +172,7 @@ impl ThreadExec {
     fn dispatch_ctx(&self) -> DispatchCtx {
         DispatchCtx {
             coi: self.coi.clone(),
-            pipes: self
-                .pipes
-                .iter()
-                .map(|p| p.sender_handle())
-                .collect(),
+            pipes: self.pipes.iter().map(|p| p.sender_handle()).collect(),
             dma: self
                 .dma
                 .iter()

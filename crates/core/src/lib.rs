@@ -58,16 +58,18 @@ pub mod buffer;
 pub mod cpumask;
 pub mod deps;
 pub mod exec;
+pub mod record;
 pub mod stats;
 pub mod stream;
 pub mod types;
 
 pub use buffer::{BufProps, Instantiation, MemType};
 pub use cpumask::CpuMask;
+pub use record::{ActionRecord, ActionTrace, TraceOp};
 pub use stats::ApiStats;
+pub use stream::ActionKind;
 pub use types::{
-    Access, BufferId, CostHint, DomainId, Event, HsError, HsResult, Operand, OrderingMode,
-    StreamId,
+    Access, BufferId, CostHint, DomainId, Event, HsError, HsResult, Operand, OrderingMode, StreamId,
 };
 
 /// Task execution context (re-exported from the COI layer): operand views,
@@ -125,6 +127,9 @@ pub struct HStreams {
     sim_shadow: std::collections::HashMap<BufferId, Vec<u8>>,
     /// Built-in app-API kernels registered? (see [`app`]).
     builtins_registered: bool,
+    /// Live `hsan` action-trace recording (None = off).
+    #[cfg(feature = "hsan-record")]
+    recorder: Option<record::Recorder>,
 }
 
 impl HStreams {
@@ -160,7 +165,44 @@ impl HStreams {
             stats: ApiStats::new(),
             sim_shadow: std::collections::HashMap::new(),
             builtins_registered: false,
+            #[cfg(feature = "hsan-record")]
+            recorder: None,
         }
+    }
+
+    // ----------------------------------------------------- hsan recording
+
+    /// Start recording the enqueued action graph for the `hsan` sanitizer.
+    /// Only available with the `hsan-record` feature; actions enqueued
+    /// before this call are not in the trace.
+    #[cfg(feature = "hsan-record")]
+    pub fn recording_start(&mut self) {
+        self.recorder = Some(record::Recorder::new(
+            self.ordering,
+            self.platform.domains.len(),
+        ));
+    }
+
+    /// Stop recording and return the trace (None if recording was never
+    /// started). Call after synchronizing if completion order matters —
+    /// still-pending actions simply have no completion entry.
+    #[cfg(feature = "hsan-record")]
+    pub fn recording_take(&mut self) -> Option<record::ActionTrace> {
+        let rec = self.recorder.take()?;
+        let streams = self.streams.len() as u32;
+        let trace = match &self.exec {
+            Executor::Sim(sim) => {
+                let events = &self.events;
+                rec.into_trace(streams, |ev| {
+                    events.get(ev as usize).and_then(|be| match be {
+                        BackendEvent::Sim(t) => sim.fire_time(*t).map(|t| t.as_nanos()),
+                        BackendEvent::Thread(_) => None,
+                    })
+                })
+            }
+            Executor::Thread(_) => rec.into_trace(streams, |_| None),
+        };
+        Some(trace)
     }
 
     // ------------------------------------------------------------ discovery
@@ -218,7 +260,10 @@ impl HStreams {
     /// App-API convenience: for each `(domain, n)` divide the domain's cores
     /// evenly among `n` streams. Returns all created stream ids, in argument
     /// order.
-    pub fn app_init(&mut self, streams_per_domain: &[(DomainId, usize)]) -> HsResult<Vec<StreamId>> {
+    pub fn app_init(
+        &mut self,
+        streams_per_domain: &[(DomainId, usize)],
+    ) -> HsResult<Vec<StreamId>> {
         self.stats.bump("app_init");
         let mut out = Vec::new();
         for &(domain, n) in streams_per_domain {
@@ -262,6 +307,10 @@ impl HStreams {
     pub fn buffer_create(&mut self, len: usize, props: BufProps) -> BufferId {
         self.stats.bump("buffer_create");
         let id = self.buffers.create(len, props);
+        #[cfg(feature = "hsan-record")]
+        if let Some(rec) = &mut self.recorder {
+            rec.push(record::TraceOp::BufferCreate { buffer: id.0, len });
+        }
         self.instantiate_unchecked(id, DomainId::HOST)
             .expect("fresh buffer instantiates on host");
         id
@@ -298,6 +347,13 @@ impl HStreams {
             }
         };
         self.buffers.get_mut(buf)?.inst.insert(domain, inst);
+        #[cfg(feature = "hsan-record")]
+        if let Some(rec) = &mut self.recorder {
+            rec.push(record::TraceOp::BufferInstantiate {
+                buffer: buf.0,
+                domain: domain.0,
+            });
+        }
         Ok(())
     }
 
@@ -309,6 +365,10 @@ impl HStreams {
         let deps = self.conflicting_events(buf, 0..len, true);
         self.wait_backend_all(&deps)?;
         let insts = self.buffers.destroy(buf)?;
+        #[cfg(feature = "hsan-record")]
+        if let Some(rec) = &mut self.recorder {
+            rec.push(record::TraceOp::BufferDestroy { buffer: buf.0 });
+        }
         if let Executor::Thread(t) = &self.exec {
             for (domain, inst) in insts {
                 if let Instantiation::Window(w) = inst {
@@ -405,7 +465,12 @@ impl HStreams {
     }
 
     /// `f64` convenience over [`HStreams::buffer_read`].
-    pub fn buffer_read_f64(&mut self, buf: BufferId, offset: usize, out: &mut [f64]) -> HsResult<()> {
+    pub fn buffer_read_f64(
+        &mut self,
+        buf: BufferId,
+        offset: usize,
+        out: &mut [f64],
+    ) -> HsResult<()> {
         let mut bytes = vec![0u8; out.len() * 8];
         self.buffer_read(buf, offset * 8, &mut bytes)?;
         for (i, chunk) in bytes.chunks_exact(8).enumerate() {
@@ -574,13 +639,23 @@ impl HStreams {
     }
 
     /// Transfer from the host instantiation to the stream's sink domain.
-    pub fn xfer_to_sink(&mut self, s: StreamId, buf: BufferId, range: Range<usize>) -> HsResult<Event> {
+    pub fn xfer_to_sink(
+        &mut self,
+        s: StreamId,
+        buf: BufferId,
+        range: Range<usize>,
+    ) -> HsResult<Event> {
         let to = self.stream_domain(s)?;
         self.enqueue_xfer(s, buf, range, DomainId::HOST, to)
     }
 
     /// Transfer from the stream's sink domain back to the host.
-    pub fn xfer_to_source(&mut self, s: StreamId, buf: BufferId, range: Range<usize>) -> HsResult<Event> {
+    pub fn xfer_to_source(
+        &mut self,
+        s: StreamId,
+        buf: BufferId,
+        range: Range<usize>,
+    ) -> HsResult<Event> {
         let from = self.stream_domain(s)?;
         self.enqueue_xfer(s, buf, range, from, DomainId::HOST)
     }
@@ -598,7 +673,13 @@ impl HStreams {
                 return Err(HsError::UnknownEvent(*e));
             }
         }
-        self.enqueue_common(s, ActionSpec::Noop, Vec::new(), stream::ActionKind::EventWait, events)
+        self.enqueue_common(
+            s,
+            ActionSpec::Noop,
+            Vec::new(),
+            stream::ActionKind::EventWait,
+            events,
+        )
     }
 
     /// Enqueue a stream marker: it completes when **every** action already
@@ -607,7 +688,13 @@ impl HStreams {
     pub fn enqueue_marker(&mut self, s: StreamId) -> HsResult<Event> {
         self.stats.bump("enqueue_marker");
         self.stats.note_sync();
-        self.enqueue_common(s, ActionSpec::Noop, Vec::new(), stream::ActionKind::Marker, &[])
+        self.enqueue_common(
+            s,
+            ActionSpec::Noop,
+            Vec::new(),
+            stream::ActionKind::Marker,
+            &[],
+        )
     }
 
     /// The stream that produced an event.
@@ -626,15 +713,20 @@ impl HStreams {
     /// synchronization action is enqueued at all — preserving `s`'s
     /// out-of-order freedom. Returns the barrier's event when one was
     /// needed.
-    pub fn enqueue_cross_wait(
-        &mut self,
-        s: StreamId,
-        events: &[Event],
-    ) -> HsResult<Option<Event>> {
+    pub fn enqueue_cross_wait(&mut self, s: StreamId, events: &[Event]) -> HsResult<Option<Event>> {
+        // While an hsan recording is live, already-complete events are kept:
+        // waiting on them is a no-op at runtime (fast-path dispatch), but the
+        // recorded wait edge is what lets the analyzer prove the dependence
+        // was synchronized — pruning it would make a correctly-synced run
+        // look racy.
+        #[cfg(feature = "hsan-record")]
+        let keep_complete = self.recorder.is_some();
+        #[cfg(not(feature = "hsan-record"))]
+        let keep_complete = false;
         let mut cross = Vec::with_capacity(events.len());
         for e in events {
             let ps = self.event_stream(*e)?;
-            if ps != s && !self.exec.is_complete(&self.events[e.0 as usize]) {
+            if ps != s && (keep_complete || !self.exec.is_complete(&self.events[e.0 as usize])) {
                 cross.push(*e);
             }
         }
@@ -684,8 +776,28 @@ impl HStreams {
             .iter()
             .map(|e| self.events[e.0 as usize].clone())
             .collect();
+        #[cfg(feature = "hsan-record")]
+        let label = self
+            .recorder
+            .as_ref()
+            .map(|_| spec.label().to_string())
+            .unwrap_or_default();
         let backend = self.exec.submit(spec, &deps);
         let ev = Event(self.events.len() as u64);
+        #[cfg(feature = "hsan-record")]
+        if let Some(rec) = &mut self.recorder {
+            if let BackendEvent::Thread(ce) = &backend {
+                rec.completions.track(ce, ev.0);
+            }
+            rec.push(record::TraceOp::Enqueue(record::ActionRecord {
+                event: ev.0,
+                stream: s.0,
+                kind,
+                label,
+                footprint: footprint.clone(),
+                waits: extra_events.iter().map(|e| e.0).collect(),
+            }));
+        }
         self.events.push(backend);
         self.event_streams.push(s);
         self.streams[idx].push(ev, footprint, kind);

@@ -226,7 +226,11 @@ mod tests {
         s.push(Event(0), fp(0, 0..10, true), ActionKind::Normal);
         s.push(Event(1), fp(1, 0..10, true), ActionKind::Normal);
         let deps = s.find_deps(&fp(2, 0..10, true), false, OrderingMode::StrictFifo);
-        assert_eq!(deps, vec![Event(1)], "chain on most recent regardless of operands");
+        assert_eq!(
+            deps,
+            vec![Event(1)],
+            "chain on most recent regardless of operands"
+        );
     }
 
     #[test]
@@ -238,7 +242,10 @@ mod tests {
         assert_eq!(deps, vec![Event(0), Event(1)]);
         s.push(Event(2), Vec::new(), ActionKind::Marker);
         let later = s.find_deps(&fp(9, 0..1, false), false, OrderingMode::OutOfOrder);
-        assert!(later.contains(&Event(2)), "later actions order on the marker");
+        assert!(
+            later.contains(&Event(2)),
+            "later actions order on the marker"
+        );
         // And the pre-marker index is dominated: no stale deps besides it.
         let deps2 = s.find_deps(&fp(0, 0..10, true), false, OrderingMode::OutOfOrder);
         assert_eq!(deps2, vec![Event(2)]);
@@ -277,7 +284,11 @@ mod tests {
     fn prefix_retire_trims_pending_window() {
         let mut s = stream();
         for i in 0..10 {
-            s.push(Event(i), fp(0, (i as usize) * 10..(i as usize) * 10 + 5, true), ActionKind::Normal);
+            s.push(
+                Event(i),
+                fp(0, (i as usize) * 10..(i as usize) * 10 + 5, true),
+                ActionKind::Normal,
+            );
         }
         // Events 0..5 complete: even the cheap path trims the prefix.
         s.retire(|e| e.0 < 5);
@@ -332,6 +343,8 @@ mod tests {
         );
         // A different buffer on the card does not.
         let other = vec![FootprintItem::new(DomainId(1), BufferId(8), 0..8, true)];
-        assert!(s.find_deps(&other, false, OrderingMode::OutOfOrder).is_empty());
+        assert!(s
+            .find_deps(&other, false, OrderingMode::OutOfOrder)
+            .is_empty());
     }
 }

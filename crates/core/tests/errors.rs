@@ -38,7 +38,9 @@ fn unknown_stream_everywhere() {
 #[test]
 fn unknown_buffer_everywhere() {
     let mut hs = rt();
-    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let s = hs
+        .stream_create(DomainId(1), CpuMask::first(1))
+        .expect("stream");
     let ghost = hstreams_core::BufferId(99);
     assert!(matches!(
         hs.enqueue_xfer(s, ghost, 0..8, DomainId::HOST, DomainId(1)),
@@ -48,7 +50,10 @@ fn unknown_buffer_everywhere() {
         hs.buffer_write_f64(ghost, 0, &[1.0]),
         Err(HsError::UnknownBuffer(_))
     ));
-    assert!(matches!(hs.buffer_len(ghost), Err(HsError::UnknownBuffer(_))));
+    assert!(matches!(
+        hs.buffer_len(ghost),
+        Err(HsError::UnknownBuffer(_))
+    ));
     assert!(matches!(
         hs.buffer_destroy(ghost),
         Err(HsError::UnknownBuffer(_))
@@ -71,7 +76,9 @@ fn unknown_domain_and_event() {
         hs.event_wait(Event(1234)),
         Err(HsError::UnknownEvent(_))
     ));
-    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let s = hs
+        .stream_create(DomainId(1), CpuMask::first(1))
+        .expect("stream");
     assert!(matches!(
         hs.enqueue_event_wait(s, &[Event(1234)]),
         Err(HsError::UnknownEvent(_))
@@ -81,7 +88,9 @@ fn unknown_domain_and_event() {
 #[test]
 fn out_of_bounds_operands_and_ranges() {
     let mut hs = rt();
-    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let s = hs
+        .stream_create(DomainId(1), CpuMask::first(1))
+        .expect("stream");
     let buf = hs.buffer_create(64, BufProps::default());
     hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
     assert!(matches!(
@@ -116,13 +125,18 @@ fn empty_mask_and_wait_any_empty() {
         hs.stream_create(DomainId(1), CpuMask::EMPTY),
         Err(HsError::InvalidArg(_))
     ));
-    assert!(matches!(hs.event_wait_any(&[]), Err(HsError::InvalidArg(_))));
+    assert!(matches!(
+        hs.event_wait_any(&[]),
+        Err(HsError::InvalidArg(_))
+    ));
 }
 
 #[test]
 fn overlapping_operands_within_one_task_are_rejected() {
     let mut hs = rt();
-    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let s = hs
+        .stream_create(DomainId(1), CpuMask::first(1))
+        .expect("stream");
     let buf = hs.buffer_create(64, BufProps::default());
     hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
     let err = hs
@@ -159,7 +173,9 @@ fn overlapping_operands_within_one_task_are_rejected() {
 #[test]
 fn missing_sink_function_fails_event_not_process() {
     let mut hs = rt();
-    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let s = hs
+        .stream_create(DomainId(1), CpuMask::first(1))
+        .expect("stream");
     let buf = hs.buffer_create(64, BufProps::default());
     hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
     let ev = hs
@@ -177,7 +193,10 @@ fn missing_sink_function_fails_event_not_process() {
         "{err}"
     );
     // The stream keeps working afterwards.
-    hs.register("ok", std::sync::Arc::new(|_ctx: &mut hstreams_core::TaskCtx| {}));
+    hs.register(
+        "ok",
+        std::sync::Arc::new(|_ctx: &mut hstreams_core::TaskCtx| {}),
+    );
     let ev2 = hs
         .enqueue_compute(
             s,
@@ -195,7 +214,8 @@ fn double_instantiate_is_idempotent() {
     let mut hs = rt();
     let buf = hs.buffer_create(64, BufProps::default());
     hs.buffer_instantiate(buf, DomainId(1)).expect("first");
-    hs.buffer_instantiate(buf, DomainId(1)).expect("second is a no-op");
+    hs.buffer_instantiate(buf, DomainId(1))
+        .expect("second is a no-op");
 }
 
 #[test]
@@ -208,7 +228,9 @@ fn destroy_waits_for_inflight_actions() {
             ctx.buf_f64_mut(0)[0] = 1.0;
         }),
     );
-    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let s = hs
+        .stream_create(DomainId(1), CpuMask::first(1))
+        .expect("stream");
     let buf = hs.buffer_create(64, BufProps::default());
     hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
     hs.enqueue_compute(
@@ -220,7 +242,8 @@ fn destroy_waits_for_inflight_actions() {
     )
     .expect("enqueue");
     let t0 = std::time::Instant::now();
-    hs.buffer_destroy(buf).expect("destroy blocks until the task is done");
+    hs.buffer_destroy(buf)
+        .expect("destroy blocks until the task is done");
     assert!(
         t0.elapsed() >= std::time::Duration::from_millis(20),
         "destroy must wait for the in-flight writer"
@@ -230,7 +253,9 @@ fn destroy_waits_for_inflight_actions() {
 #[test]
 fn use_after_destroy_is_an_error() {
     let mut hs = rt();
-    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let s = hs
+        .stream_create(DomainId(1), CpuMask::first(1))
+        .expect("stream");
     let buf = hs.buffer_create(64, BufProps::default());
     hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
     hs.buffer_destroy(buf).expect("destroy");

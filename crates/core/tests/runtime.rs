@@ -168,7 +168,8 @@ fn host_as_target_stream_elides_transfers() {
     let host = DomainId::HOST;
     let s = hs.stream_create(host, CpuMask::first(4)).expect("stream");
     let buf = hs.buffer_create(8 * 4, BufProps::default());
-    hs.buffer_write_f64(buf, 0, &[1.0, 2.0, 3.0, 4.0]).expect("write");
+    hs.buffer_write_f64(buf, 0, &[1.0, 2.0, 3.0, 4.0])
+        .expect("write");
     // "Transfers to the host in host-as-target streams are optimized away."
     hs.xfer_to_sink(s, buf, 0..32).expect("elided");
     hs.enqueue_compute(
@@ -218,7 +219,10 @@ fn failed_task_poisons_dependents() {
         )
         .expect("enqueue");
     let e = hs.event_wait(bad).expect_err("task failed");
-    assert!(matches!(e, HsError::ExecFailed(ref m) if m.contains("injected")), "{e}");
+    assert!(
+        matches!(e, HsError::ExecFailed(ref m) if m.contains("injected")),
+        "{e}"
+    );
     let e2 = hs.event_wait(dependent).expect_err("dependent poisoned");
     assert!(
         matches!(e2, HsError::ExecFailed(ref m) if m.contains("dependency failed")),
@@ -229,7 +233,9 @@ fn failed_task_poisons_dependents() {
 #[test]
 fn card_to_card_transfer_is_rejected() {
     let mut hs = real_runtime(2);
-    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let s = hs
+        .stream_create(DomainId(1), CpuMask::first(1))
+        .expect("stream");
     let buf = hs.buffer_create(64, BufProps::default());
     hs.buffer_instantiate(buf, DomainId(1)).expect("inst 1");
     hs.buffer_instantiate(buf, DomainId(2)).expect("inst 2");
@@ -242,9 +248,13 @@ fn card_to_card_transfer_is_rejected() {
 #[test]
 fn uninstantiated_buffer_is_rejected() {
     let mut hs = real_runtime(1);
-    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let s = hs
+        .stream_create(DomainId(1), CpuMask::first(1))
+        .expect("stream");
     let buf = hs.buffer_create(64, BufProps::default());
-    let err = hs.xfer_to_sink(s, buf, 0..64).expect_err("not instantiated");
+    let err = hs
+        .xfer_to_sink(s, buf, 0..64)
+        .expect_err("not instantiated");
     assert!(matches!(err, HsError::NotInstantiated(_, _)));
     let err2 = hs
         .enqueue_compute(
@@ -261,7 +271,9 @@ fn uninstantiated_buffer_is_rejected() {
 #[test]
 fn read_only_buffer_rejects_writes() {
     let mut hs = real_runtime(1);
-    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let s = hs
+        .stream_create(DomainId(1), CpuMask::first(1))
+        .expect("stream");
     let buf = hs.buffer_create(
         64,
         BufProps {
@@ -329,7 +341,9 @@ fn proxy_addresses_resolve_through_the_api() {
 #[test]
 fn api_stats_count_calls() {
     let mut hs = real_runtime(1);
-    let s = hs.stream_create(DomainId(1), CpuMask::first(1)).expect("stream");
+    let s = hs
+        .stream_create(DomainId(1), CpuMask::first(1))
+        .expect("stream");
     let buf = hs.buffer_create(64, BufProps::default());
     hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
     hs.xfer_to_sink(s, buf, 0..64).expect("xfer");
@@ -360,9 +374,21 @@ enum Act {
         h2d: bool,
     },
     /// axpyk on buf[lo..hi] in stream s's domain copy.
-    Add { s: u8, buf: u8, lo: u8, hi: u8, k: i8 },
+    Add {
+        s: u8,
+        buf: u8,
+        lo: u8,
+        hi: u8,
+        k: i8,
+    },
     /// copy buf_src[lo..hi] -> buf_dst[lo..hi] in stream s's domain.
-    Copy { s: u8, src: u8, dst: u8, lo: u8, hi: u8 },
+    Copy {
+        s: u8,
+        src: u8,
+        dst: u8,
+        lo: u8,
+        hi: u8,
+    },
 }
 
 fn act_strategy() -> impl Strategy<Value = Act> {
@@ -404,7 +430,9 @@ fn interpret(acts: &[Act], stream_domains: &[usize]) -> Vec<Vec<Vec<f64>>> {
     }
     for a in acts {
         match a {
-            Act::Xfer { buf, lo, hi, h2d, .. } => {
+            Act::Xfer {
+                buf, lo, hi, h2d, ..
+            } => {
                 let (from, to) = if *h2d { (0, 1) } else { (1, 0) };
                 for i in *lo as usize..*hi as usize {
                     copies[to][*buf as usize][i] = copies[from][*buf as usize][i];
@@ -416,7 +444,13 @@ fn interpret(acts: &[Act], stream_domains: &[usize]) -> Vec<Vec<Vec<f64>>> {
                     copies[d][*buf as usize][i] += *k as f64;
                 }
             }
-            Act::Copy { s, src, dst, lo, hi } => {
+            Act::Copy {
+                s,
+                src,
+                dst,
+                lo,
+                hi,
+            } => {
                 let d = stream_domains[*s as usize];
                 for i in *lo as usize..*hi as usize {
                     copies[d][*dst as usize][i] = copies[d][*src as usize][i];
@@ -466,12 +500,19 @@ fn run_real(acts: &[Act], stream_domains: &[usize]) -> Vec<Vec<Vec<f64>>> {
             .flat_map(|(_, v)| v.iter().copied())
             .collect();
         if !others.is_empty() {
-            hs.enqueue_event_wait(streams[s as usize], &others).expect("chain");
+            hs.enqueue_event_wait(streams[s as usize], &others)
+                .expect("chain");
         }
     };
     for a in acts {
         let ev = match a {
-            Act::Xfer { s, buf, lo, hi, h2d } => {
+            Act::Xfer {
+                s,
+                buf,
+                lo,
+                hi,
+                h2d,
+            } => {
                 if lo >= hi {
                     continue;
                 }
@@ -504,7 +545,13 @@ fn run_real(acts: &[Act], stream_domains: &[usize]) -> Vec<Vec<Vec<f64>>> {
                 )
                 .expect("add")
             }
-            Act::Copy { s, src, dst, lo, hi } => {
+            Act::Copy {
+                s,
+                src,
+                dst,
+                lo,
+                hi,
+            } => {
                 if lo >= hi || src == dst {
                     continue;
                 }
@@ -514,8 +561,18 @@ fn run_real(acts: &[Act], stream_domains: &[usize]) -> Vec<Vec<Vec<f64>>> {
                     "copy2",
                     Bytes::new(),
                     &[
-                        Operand::f64s(bufs[*src as usize], *lo as usize, (*hi - *lo) as usize, Access::In),
-                        Operand::f64s(bufs[*dst as usize], *lo as usize, (*hi - *lo) as usize, Access::Out),
+                        Operand::f64s(
+                            bufs[*src as usize],
+                            *lo as usize,
+                            (*hi - *lo) as usize,
+                            Access::In,
+                        ),
+                        Operand::f64s(
+                            bufs[*dst as usize],
+                            *lo as usize,
+                            (*hi - *lo) as usize,
+                            Access::Out,
+                        ),
                     ],
                     CostHint::trivial(),
                 )
@@ -531,18 +588,21 @@ fn run_real(acts: &[Act], stream_domains: &[usize]) -> Vec<Vec<Vec<f64>>> {
     // Observe host copies.
     let mut copies = vec![vec![vec![0.0f64; NELEM]; NBUF]; 2];
     for (b, id) in bufs.iter().enumerate() {
-        hs.buffer_read_f64(*id, 0, &mut copies[0][b]).expect("read host");
+        hs.buffer_read_f64(*id, 0, &mut copies[0][b])
+            .expect("read host");
     }
     // Observe card copies by transferring them back on a fresh stream.
     let probe = hs
         .stream_create(DomainId(1), CpuMask::range(20, 1))
         .expect("probe stream");
     for id in &bufs {
-        hs.xfer_to_source(probe, *id, 0..NELEM * 8).expect("probe d2h");
+        hs.xfer_to_source(probe, *id, 0..NELEM * 8)
+            .expect("probe d2h");
     }
     hs.stream_synchronize(probe).expect("probe sync");
     for (b, id) in bufs.iter().enumerate() {
-        hs.buffer_read_f64(*id, 0, &mut copies[1][b]).expect("read card");
+        hs.buffer_read_f64(*id, 0, &mut copies[1][b])
+            .expect("read card");
     }
     copies
 }

@@ -16,11 +16,8 @@ fn gemm_hint(flops: f64) -> CostHint {
 /// A pipelined pattern: per iteration, transfer a tile in and compute on the
 /// previous one. Returns the virtual makespan.
 fn pipelined_makespan(ordering: OrderingMode) -> f64 {
-    let mut hs = HStreams::init_with_ordering(
-        PlatformCfg::hetero(Device::Hsw, 1),
-        ExecMode::Sim,
-        ordering,
-    );
+    let mut hs =
+        HStreams::init_with_ordering(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim, ordering);
     let card = DomainId(1);
     let s = hs.stream_create(card, CpuMask::first(15)).expect("stream");
     let nbuf = 8usize;
@@ -94,17 +91,33 @@ fn trace_shows_compute_transfer_overlap() {
 #[test]
 fn sim_event_wait_any_picks_earliest() {
     let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Sim);
-    let s1 = hs.stream_create(DomainId(1), CpuMask::first(60)).expect("s1");
-    let s2 = hs.stream_create(DomainId(2), CpuMask::first(15)).expect("s2");
+    let s1 = hs
+        .stream_create(DomainId(1), CpuMask::first(60))
+        .expect("s1");
+    let s2 = hs
+        .stream_create(DomainId(2), CpuMask::first(15))
+        .expect("s2");
     let buf = hs.buffer_create(1024, BufProps::default());
     hs.buffer_instantiate(buf, DomainId(1)).expect("inst");
     hs.buffer_instantiate(buf, DomainId(2)).expect("inst");
     // Same flops on 60 cores vs 15 cores: s1 finishes first.
     let fast = hs
-        .enqueue_compute(s1, "w", Bytes::new(), &[Operand::new(buf, 0..512, Access::In)], gemm_hint(1e11))
+        .enqueue_compute(
+            s1,
+            "w",
+            Bytes::new(),
+            &[Operand::new(buf, 0..512, Access::In)],
+            gemm_hint(1e11),
+        )
         .expect("fast");
     let slow = hs
-        .enqueue_compute(s2, "w", Bytes::new(), &[Operand::new(buf, 512..1024, Access::In)], gemm_hint(1e11))
+        .enqueue_compute(
+            s2,
+            "w",
+            Bytes::new(),
+            &[Operand::new(buf, 512..1024, Access::In)],
+            gemm_hint(1e11),
+        )
         .expect("slow");
     let idx = hs.event_wait_any(&[slow, fast]).expect("one fires");
     assert_eq!(idx, 1, "the 60-core stream wins");
@@ -121,7 +134,10 @@ fn sim_and_thread_agree_on_elision_counts() {
             hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim);
         }
         if matches!(mode, ExecMode::Threads) {
-            hs.register("nop", std::sync::Arc::new(|_ctx: &mut hstreams_core::TaskCtx| {}));
+            hs.register(
+                "nop",
+                std::sync::Arc::new(|_ctx: &mut hstreams_core::TaskCtx| {}),
+            );
         }
         let host = DomainId::HOST;
         let card = DomainId(1);
@@ -165,7 +181,9 @@ fn sim_time_is_deterministic_across_runs() {
 fn wider_streams_compute_faster_in_sim() {
     let t = |cores: u32| {
         let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim);
-        let s = hs.stream_create(DomainId(1), CpuMask::first(cores)).expect("s");
+        let s = hs
+            .stream_create(DomainId(1), CpuMask::first(cores))
+            .expect("s");
         let b = hs.buffer_create(64, BufProps::default());
         hs.buffer_instantiate(b, DomainId(1)).expect("inst");
         hs.enqueue_compute(

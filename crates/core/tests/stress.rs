@@ -83,14 +83,22 @@ fn deep_cross_stream_event_chain_completes() {
     // A 200-deep chain alternating across streams and domains: progress
     // guarantees under heavy cross-stream synchronization.
     let mut hs = rt(1);
-    let s1 = hs.stream_create(DomainId(0), CpuMask::first(2)).expect("s1");
-    let s2 = hs.stream_create(DomainId(1), CpuMask::first(2)).expect("s2");
+    let s1 = hs
+        .stream_create(DomainId(0), CpuMask::first(2))
+        .expect("s1");
+    let s2 = hs
+        .stream_create(DomainId(1), CpuMask::first(2))
+        .expect("s2");
     let b = hs.buffer_create(8 * 4, BufProps::default());
     hs.buffer_instantiate(b, DomainId(1)).expect("inst");
     hs.buffer_write_f64(b, 0, &[0.0; 4]).expect("init");
     let mut prev = None;
     for i in 0..200 {
-        let (s, dom) = if i % 2 == 0 { (s1, DomainId(0)) } else { (s2, DomainId(1)) };
+        let (s, dom) = if i % 2 == 0 {
+            (s1, DomainId(0))
+        } else {
+            (s2, DomainId(1))
+        };
         if let Some(p) = prev {
             hs.enqueue_event_wait(s, &[p]).expect("wait");
         }
@@ -120,7 +128,9 @@ fn deep_cross_stream_event_chain_completes() {
 #[test]
 fn wait_any_over_many_events_makes_progress() {
     let mut hs = rt(1);
-    let s = hs.stream_create(DomainId(1), CpuMask::first(4)).expect("stream");
+    let s = hs
+        .stream_create(DomainId(1), CpuMask::first(4))
+        .expect("stream");
     let bufs: Vec<_> = (0..32)
         .map(|_| {
             let b = hs.buffer_create(64, BufProps::default());

@@ -114,7 +114,10 @@ mod tests {
         let t2 = p.target(2 << 20, true);
         let delta = (t2 - t1).as_secs_f64();
         let ideal = (1 << 20) as f64 / 6.5e9;
-        assert!((delta - ideal).abs() / ideal < 0.01, "delta {delta} vs {ideal}");
+        assert!(
+            (delta - ideal).abs() / ideal < 0.01,
+            "delta {delta} vs {ideal}"
+        );
     }
 
     #[test]

@@ -284,7 +284,10 @@ mod tests {
     fn self_copy_is_rejected() {
         let f = fabric2();
         let h = f.register(NodeId::HOST, 8);
-        assert_eq!(f.dma_copy(h, 0, h, 4, 4), Err(FabricError::OverlappingSelfCopy));
+        assert_eq!(
+            f.dma_copy(h, 0, h, 4, 4),
+            Err(FabricError::OverlappingSelfCopy)
+        );
     }
 
     #[test]

@@ -50,11 +50,15 @@ pub struct WindowMem {
     released: Condvar,
 }
 
-// SAFETY: all access to `data` goes through `RangeGuard`s handed out by
-// `lock_range`, which admits overlapping ranges only when every party is a
-// reader. Disjoint ranges never alias; overlapping read-only ranges only
-// produce shared references.
+// SAFETY: `WindowMem` owns its arena (`Box<[UnsafeCell<u64>]>`); moving the
+// struct to another thread moves ownership of the cells with it, and the
+// remaining fields (`Mutex`, `Condvar`, `usize`) are all `Send`.
 unsafe impl Send for WindowMem {}
+// SAFETY: all shared access to `data` goes through `RangeGuard`s handed out
+// by `lock_range`, which admits overlapping ranges only when every party is
+// a reader. Disjoint ranges never alias; overlapping read-only ranges only
+// produce shared references — so `&WindowMem` is safe to use from many
+// threads at once.
 unsafe impl Sync for WindowMem {}
 
 impl WindowMem {
@@ -80,7 +84,11 @@ impl WindowMem {
     /// Acquire access to `range`. Blocks while any conflicting guard (an
     /// overlapping range where either side writes) is outstanding. Returns
     /// an error if the range is out of bounds or empty-inverted.
-    pub fn lock_range(&self, range: Range<usize>, write: bool) -> Result<RangeGuard<'_>, RangeError> {
+    pub fn lock_range(
+        &self,
+        range: Range<usize>,
+        write: bool,
+    ) -> Result<RangeGuard<'_>, RangeError> {
         if range.start > range.end || range.end > self.len() {
             return Err(RangeError::OutOfBounds {
                 range,
@@ -138,6 +146,14 @@ impl WindowMem {
         self.active.lock().len()
     }
 
+    /// Raw base of the arena as a byte pointer. Going through
+    /// `UnsafeCell::raw_get` (rather than casting a `*const` to `*mut`)
+    /// keeps the write permission that `UnsafeCell` grants on the pointer's
+    /// provenance. Dereferencing still requires holding a suitable guard.
+    fn base(&self) -> *mut u8 {
+        UnsafeCell::raw_get(self.data.as_ptr()).cast::<u8>()
+    }
+
     fn release(&self, range: &Range<usize>, write: bool) {
         let mut active = self.active.lock();
         let pos = active
@@ -189,12 +205,7 @@ impl RangeGuard<'_> {
         // SAFETY: the range is in bounds (checked at lock time) and while
         // this guard lives any overlapping guard is read-only (writers are
         // excluded by `lock_range`), so shared access is sound.
-        unsafe {
-            std::slice::from_raw_parts(
-                (self.mem.data.as_ptr() as *const u8).add(self.range.start),
-                len,
-            )
-        }
+        unsafe { std::slice::from_raw_parts(self.mem.base().add(self.range.start), len) }
     }
 
     /// Exclusive view of the locked bytes. Only write guards may call this.
@@ -204,19 +215,16 @@ impl RangeGuard<'_> {
         // SAFETY: the range is in bounds; this is a write guard, so
         // `lock_range` guaranteed no other guard overlaps `range`, and
         // `&mut self` prevents a second simultaneous view via this guard.
-        unsafe {
-            std::slice::from_raw_parts_mut(
-                (self.mem.data.as_ptr() as *mut u8).add(self.range.start),
-                len,
-            )
-        }
+        unsafe { std::slice::from_raw_parts_mut(self.mem.base().add(self.range.start), len) }
     }
 
     /// Shared `f64` view; the locked range must be 8-byte aligned.
     pub fn as_f64_slice(&self) -> &[f64] {
         let bytes = self.as_slice();
-        assert!(self.range.start.is_multiple_of(8) && bytes.len().is_multiple_of(8),
-            "f64 view requires 8-byte aligned range");
+        assert!(
+            self.range.start.is_multiple_of(8) && bytes.len().is_multiple_of(8),
+            "f64 view requires 8-byte aligned range"
+        );
         // SAFETY: the arena is 8-byte aligned (u64 words) and the range
         // offset/length are multiples of 8; any bit pattern is a valid f64.
         unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f64, bytes.len() / 8) }
@@ -226,8 +234,10 @@ impl RangeGuard<'_> {
     pub fn as_f64_mut_slice(&mut self) -> &mut [f64] {
         let bytes = self.as_mut_slice();
         let (ptr, n) = (bytes.as_mut_ptr(), bytes.len());
-        assert!(self.range.start.is_multiple_of(8) && n % 8 == 0,
-            "f64 view requires 8-byte aligned range");
+        assert!(
+            self.range.start.is_multiple_of(8) && n % 8 == 0,
+            "f64 view requires 8-byte aligned range"
+        );
         // SAFETY: as in `as_f64_slice`, plus exclusivity from the write guard.
         unsafe { std::slice::from_raw_parts_mut(ptr as *mut f64, n / 8) }
     }

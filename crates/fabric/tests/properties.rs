@@ -133,7 +133,9 @@ mod concurrency {
         for t in 0..16usize {
             let expect = 19u8.wrapping_mul(t as u8 + 1);
             assert!(
-                g.as_slice()[t * 512..(t + 1) * 512].iter().all(|&b| b == expect),
+                g.as_slice()[t * 512..(t + 1) * 512]
+                    .iter()
+                    .all(|&b| b == expect),
                 "region {t} holds its last round's pattern"
             );
         }

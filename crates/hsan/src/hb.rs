@@ -1,0 +1,238 @@
+//! The happens-before graph over a recorded action trace.
+//!
+//! Edges mirror exactly what the runtime guarantees (see
+//! `hstreams_core::stream`):
+//!
+//! * **Within a stream**, under out-of-order semantics, an action orders
+//!   after an earlier action of the same stream only when their footprints
+//!   conflict (FIFO ∧ operand-overlap — the paper's implicit dependences),
+//!   after the most recent sync action (event-wait or marker), and a marker
+//!   orders after everything prior. Under strict FIFO, every action chains
+//!   on its immediate predecessor.
+//! * **Across streams**, the *only* edges are explicit event waits: action
+//!   `b` waiting on event `e` orders after the action that produced `e`.
+//!
+//! Happens-before is the transitive closure of those edges. Note that a
+//! per-stream vector clock (one counter per stream) cannot represent this
+//! relation: under out-of-order semantics two actions of the *same* stream
+//! with disjoint footprints are unordered, so intra-stream causality is not
+//! a total order and "max position reached" summaries are unsound. Each
+//! action instead carries its full causal history as a bitset over action
+//! indices — exact, and O(1) per `ordered` query.
+
+use hstreams_core::record::{ActionRecord, ActionTrace};
+use hstreams_core::types::OrderingMode;
+use hstreams_core::{deps, ActionKind};
+use std::collections::HashMap;
+
+/// One word of bitset per 64 actions.
+fn words(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+/// The happens-before relation over the enqueued actions of one trace.
+pub struct HbGraph<'t> {
+    /// Actions in enqueue order (indices below refer to this list).
+    pub actions: Vec<&'t ActionRecord>,
+    /// Event id → action index.
+    pub by_event: HashMap<u64, usize>,
+    /// Direct predecessors (dependence edges) per action.
+    pub preds: Vec<Vec<usize>>,
+    /// `history[i]` has bit `j` set iff action `j` happens-before action `i`.
+    history: Vec<Vec<u64>>,
+    /// A dependence cycle, if one exists (action indices, in edge order).
+    /// Only possible in externally-supplied traces with forward waits; the
+    /// live runtime validates waited events at enqueue. When set, `history`
+    /// is empty and `ordered` answers `false` for everything.
+    pub cycle: Option<Vec<usize>>,
+    /// Waits naming an event id no recorded action produced:
+    /// `(action index, missing event id)`.
+    pub dangling: Vec<(usize, u64)>,
+}
+
+impl<'t> HbGraph<'t> {
+    pub fn build(trace: &'t ActionTrace) -> HbGraph<'t> {
+        let actions: Vec<&ActionRecord> = trace.actions().collect();
+        let n = actions.len();
+        let by_event: HashMap<u64, usize> = actions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.event, i))
+            .collect();
+
+        // Per-stream enqueue order (indices into `actions`).
+        let mut streams: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, a) in actions.iter().enumerate() {
+            streams.entry(a.stream).or_default().push(i);
+        }
+
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut dangling = Vec::new();
+        for (i, a) in actions.iter().enumerate() {
+            for &w in &a.waits {
+                match by_event.get(&w) {
+                    Some(&j) if j != i => preds[i].push(j),
+                    Some(_) => {}
+                    None => dangling.push((i, w)),
+                }
+            }
+        }
+        for order in streams.values() {
+            for (k, &i) in order.iter().enumerate() {
+                match trace.ordering {
+                    OrderingMode::StrictFifo => {
+                        if k > 0 {
+                            preds[i].push(order[k - 1]);
+                        }
+                    }
+                    OrderingMode::OutOfOrder => match actions[i].kind {
+                        // Cross-stream sync only: no intra-stream ordering
+                        // against prior actions (the non-serializing wait).
+                        ActionKind::EventWait => {}
+                        // A marker dominates everything enqueued before it;
+                        // edges to actions before the previous marker are
+                        // implied transitively.
+                        ActionKind::Marker => {
+                            for &j in order[..k].iter().rev() {
+                                preds[i].push(j);
+                                if actions[j].kind == ActionKind::Marker {
+                                    break;
+                                }
+                            }
+                        }
+                        ActionKind::Normal => {
+                            // Most recent sync action gates it...
+                            for &j in order[..k].iter().rev() {
+                                if actions[j].kind != ActionKind::Normal {
+                                    preds[i].push(j);
+                                    break;
+                                }
+                            }
+                            // ...plus every conflicting earlier action back
+                            // to the last marker (the marker dominates the
+                            // rest).
+                            for &j in order[..k].iter().rev() {
+                                if actions[j].kind == ActionKind::Marker {
+                                    break;
+                                }
+                                if deps::footprints_conflict(
+                                    &actions[j].footprint,
+                                    &actions[i].footprint,
+                                ) {
+                                    preds[i].push(j);
+                                }
+                            }
+                        }
+                    },
+                }
+            }
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+
+        // Topological order (Kahn); the live runtime only ever produces
+        // edges from earlier to later enqueues, so this is a no-op there,
+        // but hand-written JSON traces may wait on later events.
+        let mut indeg: Vec<usize> = vec![0; n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, ps) in preds.iter().enumerate() {
+            indeg[i] = ps.len();
+            for &j in ps {
+                succs[j].push(i);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            topo.push(i);
+            for &j in &succs[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        if topo.len() < n {
+            let cycle = find_cycle(&preds, &indeg);
+            return HbGraph {
+                actions,
+                by_event,
+                preds,
+                history: Vec::new(),
+                cycle: Some(cycle),
+                dangling,
+            };
+        }
+
+        // Causal history: union of predecessors' histories plus the
+        // predecessors themselves, in topological order.
+        let w = words(n);
+        let mut history = vec![vec![0u64; w]; n];
+        for &i in &topo {
+            // Split so `history[i]` can be written while reading others:
+            // preds are strictly before `i` in topo order, and self-edges
+            // were dropped above, so `j != i` always holds here.
+            let mut row = std::mem::take(&mut history[i]);
+            for &j in &preds[i] {
+                row[j / 64] |= 1u64 << (j % 64);
+                for (acc, src) in row.iter_mut().zip(&history[j]) {
+                    *acc |= *src;
+                }
+            }
+            history[i] = row;
+        }
+
+        HbGraph {
+            actions,
+            by_event,
+            preds,
+            history,
+            cycle: None,
+            dangling,
+        }
+    }
+
+    /// Does action `a` happen-before action `b`? (Strict: `ordered(i, i)`
+    /// is false.) Always false when the graph has a cycle.
+    pub fn ordered(&self, a: usize, b: usize) -> bool {
+        match self.history.get(b) {
+            Some(row) => row[a / 64] & (1u64 << (a % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Neither `a` happens-before `b` nor the reverse.
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        a != b && !self.ordered(a, b) && !self.ordered(b, a)
+    }
+}
+
+/// Walk predecessor edges among the nodes left with nonzero in-degree (all
+/// of which lie on or feed cycles) until a node repeats.
+fn find_cycle(preds: &[Vec<usize>], indeg: &[usize]) -> Vec<usize> {
+    let start = indeg
+        .iter()
+        .position(|&d| d > 0)
+        .expect("find_cycle only called when a cycle exists");
+    let mut seen_at: HashMap<usize, usize> = HashMap::new();
+    let mut path = vec![start];
+    let mut cur = start;
+    loop {
+        if let Some(&first) = seen_at.get(&cur) {
+            let mut cycle = path[first..path.len() - 1].to_vec();
+            // The walk followed b → pred(b); reverse to dependence order.
+            cycle.reverse();
+            return cycle;
+        }
+        seen_at.insert(cur, path.len() - 1);
+        let next = preds[cur]
+            .iter()
+            .copied()
+            .find(|&j| indeg[j] > 0)
+            .expect("a node on a cycle has a predecessor on a cycle");
+        path.push(next);
+        cur = next;
+    }
+}

@@ -1,0 +1,606 @@
+//! JSON serialization of [`ActionTrace`] for the `hsan` CLI.
+//!
+//! The build environment has no `serde_json`, so this is a small hand-rolled
+//! reader/writer for exactly one schema:
+//!
+//! ```json
+//! {
+//!   "ordering": "out_of_order",
+//!   "streams": 2,
+//!   "domains": 2,
+//!   "ops": [
+//!     {"op": "buffer_create", "buffer": 0, "len": 64},
+//!     {"op": "buffer_instantiate", "buffer": 0, "domain": 1},
+//!     {"op": "enqueue", "event": 0, "stream": 0, "kind": "normal",
+//!      "label": "xfer:A:d0->d1", "waits": [],
+//!      "footprint": [{"domain": 1, "buffer": 0, "start": 0, "end": 64,
+//!                     "write": true}]},
+//!     {"op": "buffer_destroy", "buffer": 0}
+//!   ],
+//!   "completions": [[0, 17]]
+//! }
+//! ```
+//!
+//! `ordering` is `"out_of_order"` or `"strict_fifo"`; `kind` is `"normal"`,
+//! `"event_wait"` or `"marker"`. Unknown object keys are rejected, which
+//! catches typos in hand-written traces.
+
+use hstreams_core::deps::FootprintItem;
+use hstreams_core::record::{ActionRecord, ActionTrace, TraceOp};
+use hstreams_core::types::{BufferId, DomainId, OrderingMode};
+use hstreams_core::ActionKind;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ------------------------------------------------------------------ writing
+
+/// Serialize a trace (pretty-printed, one op per line).
+pub fn to_json(trace: &ActionTrace) -> String {
+    let mut s = String::new();
+    let ordering = match trace.ordering {
+        OrderingMode::OutOfOrder => "out_of_order",
+        OrderingMode::StrictFifo => "strict_fifo",
+    };
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"ordering\": \"{ordering}\",");
+    let _ = writeln!(s, "  \"streams\": {},", trace.streams);
+    let _ = writeln!(s, "  \"domains\": {},", trace.domains);
+    let _ = writeln!(s, "  \"ops\": [");
+    for (i, op) in trace.ops.iter().enumerate() {
+        let comma = if i + 1 < trace.ops.len() { "," } else { "" };
+        let _ = writeln!(s, "    {}{comma}", op_to_json(op));
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = write!(s, "  \"completions\": [");
+    for (i, (ev, key)) in trace.completions.iter().enumerate() {
+        let comma = if i + 1 < trace.completions.len() {
+            ", "
+        } else {
+            ""
+        };
+        let _ = write!(s, "[{ev}, {key}]{comma}");
+    }
+    let _ = writeln!(s, "]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn op_to_json(op: &TraceOp) -> String {
+    match op {
+        TraceOp::BufferCreate { buffer, len } => {
+            format!("{{\"op\": \"buffer_create\", \"buffer\": {buffer}, \"len\": {len}}}")
+        }
+        TraceOp::BufferInstantiate { buffer, domain } => format!(
+            "{{\"op\": \"buffer_instantiate\", \"buffer\": {buffer}, \"domain\": {domain}}}"
+        ),
+        TraceOp::BufferDestroy { buffer } => {
+            format!("{{\"op\": \"buffer_destroy\", \"buffer\": {buffer}}}")
+        }
+        TraceOp::Enqueue(a) => {
+            let kind = match a.kind {
+                ActionKind::Normal => "normal",
+                ActionKind::EventWait => "event_wait",
+                ActionKind::Marker => "marker",
+            };
+            let waits: Vec<String> = a.waits.iter().map(u64::to_string).collect();
+            let fp: Vec<String> = a
+                .footprint
+                .iter()
+                .map(|it| {
+                    format!(
+                        "{{\"domain\": {}, \"buffer\": {}, \"start\": {}, \
+                         \"end\": {}, \"write\": {}}}",
+                        it.domain.0, it.buffer.0, it.range.start, it.range.end, it.write
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"op\": \"enqueue\", \"event\": {}, \"stream\": {}, \
+                 \"kind\": \"{kind}\", \"label\": {}, \"waits\": [{}], \
+                 \"footprint\": [{}]}}",
+                a.event,
+                a.stream,
+                quote(&a.label),
+                waits.join(", "),
+                fp.join(", ")
+            )
+        }
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ------------------------------------------------------------------ parsing
+
+/// A parsed JSON value (only what the trace schema needs).
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+/// Parse a JSON trace. Errors carry a byte offset and a message.
+pub fn from_json(text: &str) -> Result<ActionTrace, String> {
+    let value = Parser::new(text).parse()?;
+    trace_from_value(&value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Value, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing data after the top-level value"));
+        }
+        Ok(v)
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(self.err(&format!("unexpected byte '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err(&format!("bad number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not supported; the writer
+                            // never emits them (labels are plain ASCII-ish).
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("surrogate \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty by match arm");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- value -> trace mapping
+
+fn trace_from_value(v: &Value) -> Result<ActionTrace, String> {
+    let obj = as_obj(v, "trace")?;
+    check_keys(
+        obj,
+        &["ordering", "streams", "domains", "ops", "completions"],
+    )?;
+    let ordering = match get_str(obj, "ordering")? {
+        "out_of_order" => OrderingMode::OutOfOrder,
+        "strict_fifo" => OrderingMode::StrictFifo,
+        other => return Err(format!("unknown ordering '{other}'")),
+    };
+    let streams = get_u64(obj, "streams")? as u32;
+    let domains = get_u64(obj, "domains")? as usize;
+    let ops_v = as_arr(get(obj, "ops")?, "ops")?;
+    let mut ops = Vec::with_capacity(ops_v.len());
+    for (i, op) in ops_v.iter().enumerate() {
+        ops.push(op_from_value(op).map_err(|e| format!("ops[{i}]: {e}"))?);
+    }
+    let mut completions = Vec::new();
+    if let Some(c) = obj.get("completions") {
+        for (i, pair) in as_arr(c, "completions")?.iter().enumerate() {
+            let pair = as_arr(pair, "completion")?;
+            if pair.len() != 2 {
+                return Err(format!("completions[{i}]: expected [event, key]"));
+            }
+            completions.push((num_u64(&pair[0], "event")?, num_u64(&pair[1], "key")?));
+        }
+    }
+    Ok(ActionTrace {
+        ordering,
+        streams,
+        domains,
+        ops,
+        completions,
+    })
+}
+
+fn op_from_value(v: &Value) -> Result<TraceOp, String> {
+    let obj = as_obj(v, "op")?;
+    match get_str(obj, "op")? {
+        "buffer_create" => {
+            check_keys(obj, &["op", "buffer", "len"])?;
+            Ok(TraceOp::BufferCreate {
+                buffer: get_u64(obj, "buffer")?,
+                len: get_u64(obj, "len")? as usize,
+            })
+        }
+        "buffer_instantiate" => {
+            check_keys(obj, &["op", "buffer", "domain"])?;
+            Ok(TraceOp::BufferInstantiate {
+                buffer: get_u64(obj, "buffer")?,
+                domain: get_u64(obj, "domain")? as usize,
+            })
+        }
+        "buffer_destroy" => {
+            check_keys(obj, &["op", "buffer"])?;
+            Ok(TraceOp::BufferDestroy {
+                buffer: get_u64(obj, "buffer")?,
+            })
+        }
+        "enqueue" => {
+            check_keys(
+                obj,
+                &[
+                    "op",
+                    "event",
+                    "stream",
+                    "kind",
+                    "label",
+                    "waits",
+                    "footprint",
+                ],
+            )?;
+            let kind = match obj.get("kind") {
+                None => ActionKind::Normal,
+                Some(k) => match as_str(k, "kind")? {
+                    "normal" => ActionKind::Normal,
+                    "event_wait" => ActionKind::EventWait,
+                    "marker" => ActionKind::Marker,
+                    other => return Err(format!("unknown kind '{other}'")),
+                },
+            };
+            let label = match obj.get("label") {
+                None => String::new(),
+                Some(l) => as_str(l, "label")?.to_string(),
+            };
+            let mut waits = Vec::new();
+            if let Some(w) = obj.get("waits") {
+                for x in as_arr(w, "waits")? {
+                    waits.push(num_u64(x, "wait")?);
+                }
+            }
+            let mut footprint = Vec::new();
+            if let Some(fp) = obj.get("footprint") {
+                for (i, item) in as_arr(fp, "footprint")?.iter().enumerate() {
+                    let it = as_obj(item, "footprint item")?;
+                    check_keys(it, &["domain", "buffer", "start", "end", "write"])
+                        .map_err(|e| format!("footprint[{i}]: {e}"))?;
+                    let start = get_u64(it, "start")? as usize;
+                    let end = get_u64(it, "end")? as usize;
+                    let write = match get(it, "write")? {
+                        Value::Bool(b) => *b,
+                        _ => return Err(format!("footprint[{i}]: 'write' must be a bool")),
+                    };
+                    footprint.push(FootprintItem::new(
+                        DomainId(get_u64(it, "domain")? as usize),
+                        BufferId(get_u64(it, "buffer")?),
+                        start..end,
+                        write,
+                    ));
+                }
+            }
+            Ok(TraceOp::Enqueue(ActionRecord {
+                event: get_u64(obj, "event")?,
+                stream: get_u64(obj, "stream")? as u32,
+                kind,
+                label,
+                footprint,
+                waits,
+            }))
+        }
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+fn check_keys(obj: &BTreeMap<String, Value>, allowed: &[&str]) -> Result<(), String> {
+    for k in obj.keys() {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unknown key '{k}' (allowed: {allowed:?})"));
+        }
+    }
+    Ok(())
+}
+
+fn get<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v Value, String> {
+    obj.get(key).ok_or_else(|| format!("missing key '{key}'"))
+}
+
+fn as_obj<'v>(v: &'v Value, what: &str) -> Result<&'v BTreeMap<String, Value>, String> {
+    match v {
+        Value::Obj(m) => Ok(m),
+        _ => Err(format!("{what} must be an object")),
+    }
+}
+
+fn as_arr<'v>(v: &'v Value, what: &str) -> Result<&'v [Value], String> {
+    match v {
+        Value::Arr(a) => Ok(a),
+        _ => Err(format!("{what} must be an array")),
+    }
+}
+
+fn as_str<'v>(v: &'v Value, what: &str) -> Result<&'v str, String> {
+    match v {
+        Value::Str(s) => Ok(s),
+        _ => Err(format!("{what} must be a string")),
+    }
+}
+
+fn get_str<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v str, String> {
+    as_str(get(obj, key)?, key)
+}
+
+fn num_u64(v: &Value, what: &str) -> Result<u64, String> {
+    match v {
+        Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => Ok(*n as u64),
+        _ => Err(format!("{what} must be a non-negative integer")),
+    }
+}
+
+fn get_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
+    num_u64(get(obj, key)?, key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ActionTrace {
+        ActionTrace {
+            ordering: OrderingMode::OutOfOrder,
+            streams: 2,
+            domains: 2,
+            ops: vec![
+                TraceOp::BufferCreate { buffer: 0, len: 64 },
+                TraceOp::BufferInstantiate {
+                    buffer: 0,
+                    domain: 0,
+                },
+                TraceOp::BufferInstantiate {
+                    buffer: 0,
+                    domain: 1,
+                },
+                TraceOp::Enqueue(ActionRecord {
+                    event: 0,
+                    stream: 0,
+                    kind: ActionKind::Normal,
+                    label: String::from("xfer:\"A\":d0->d1"),
+                    footprint: vec![
+                        FootprintItem::new(DomainId(0), BufferId(0), 0..64, false),
+                        FootprintItem::new(DomainId(1), BufferId(0), 0..64, true),
+                    ],
+                    waits: vec![],
+                }),
+                TraceOp::Enqueue(ActionRecord {
+                    event: 1,
+                    stream: 1,
+                    kind: ActionKind::EventWait,
+                    label: String::from("sync"),
+                    footprint: vec![],
+                    waits: vec![0],
+                }),
+                TraceOp::BufferDestroy { buffer: 0 },
+            ],
+            completions: vec![(0, 10), (1, 20)],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let parsed = from_json(&to_json(&t)).expect("round trip parses");
+        assert_eq!(format!("{:?}", parsed.ops), format!("{:?}", t.ops));
+        assert_eq!(parsed.completions, t.completions);
+        assert_eq!(parsed.streams, t.streams);
+        assert_eq!(parsed.domains, t.domains);
+        assert_eq!(parsed.ordering, t.ordering);
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        let bad = r#"{"ordering": "out_of_order", "streams": 1, "domains": 1,
+                      "ops": [], "completions": [], "oops": 1}"#;
+        let err = from_json(bad).expect_err("unknown key rejected");
+        assert!(err.contains("oops"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        let bad = r#"{"ordering": "out_of_order", "streams": 1, "domains": 1,
+                      "ops": [{"op": "enqueue", "event": 0, "stream": 0,
+                               "kind": "sideways", "label": "x", "waits": [],
+                               "footprint": []}],
+                      "completions": []}"#;
+        let err = from_json(bad).expect_err("bad kind rejected");
+        assert!(err.contains("sideways"), "{err}");
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = Parser::new(r#""a\"b\\c\ndAé""#).parse().expect("parses");
+        assert_eq!(v, Value::Str(String::from("a\"b\\c\ndAé")));
+    }
+
+    #[test]
+    fn reports_offsets_on_garbage() {
+        let err = from_json("{\"ordering\": zzz}").expect_err("garbage rejected");
+        assert!(err.contains("byte 13"), "{err}");
+    }
+}

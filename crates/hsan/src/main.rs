@@ -1,0 +1,60 @@
+//! The `hsan` command line: analyze a JSON action trace.
+//!
+//! ```text
+//! cargo run -p hsan -- trace.json
+//! ```
+//!
+//! Reads the trace (`-` = stdin), runs every check, prints human-readable
+//! diagnostics, and exits 1 if anything was found (2 on usage or parse
+//! errors) — so CI can gate on it.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] if p != "--help" && p != "-h" => p,
+        _ => {
+            eprintln!("usage: hsan <trace.json>   ('-' reads stdin)");
+            eprintln!();
+            eprintln!("Checks a recorded hStreams action trace for cross-stream");
+            eprintln!("races, event-cycle deadlocks, buffer lifetime hazards and");
+            eprintln!("FIFO-equivalence violations. Exit status: 0 clean, 1 when");
+            eprintln!("findings exist, 2 on bad input.");
+            return ExitCode::from(2);
+        }
+    };
+    let text = if path == "-" {
+        let mut s = String::new();
+        match std::io::stdin().read_to_string(&mut s) {
+            Ok(_) => s,
+            Err(e) => {
+                eprintln!("hsan: reading stdin: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("hsan: reading {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let trace = match hsan::json::from_json(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hsan: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = hsan::check(&trace);
+    println!("{report}");
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-referencing findings against a virtual-time execution trace
+//! (`hs_sim::trace::Trace`).
+//!
+//! A happens-before race is a property of the *program*: the two actions
+//! could have overlapped. The sim trace shows what one particular schedule
+//! actually did, so joining the two answers a useful triage question — did
+//! this race **manifest** (the two actions' occupancy spans physically
+//! overlapped in virtual time) or is it latent (this schedule happened to
+//! serialize them)? Both are bugs; manifested ones reproduce.
+//!
+//! Spans are matched by label, as emitted by the runtime's action labels
+//! (`tile_gemm_nn@hsws0`, `xfer:A:d0->d1`, ...). Labels need not be unique;
+//! all spans with the label are considered.
+
+use crate::Finding;
+use hs_sim::trace::{Trace, TraceSpan};
+
+/// All spans whose label matches an action label.
+pub fn spans_of<'t>(trace: &'t Trace, label: &str) -> Vec<&'t TraceSpan> {
+    trace.spans().iter().filter(|s| s.label == label).collect()
+}
+
+/// Did a [`Finding::Race`] manifest in this schedule — i.e. did any span of
+/// the first action overlap any span of the second in virtual time?
+/// `None` when the finding is not a race or either action left no span
+/// (e.g. elided host-side transfers, or a thread-mode run).
+pub fn race_manifested(trace: &Trace, finding: &Finding) -> Option<bool> {
+    let Finding::Race { first, second, .. } = finding else {
+        return None;
+    };
+    let a = spans_of(trace, &first.label);
+    let b = spans_of(trace, &second.label);
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    Some(a.iter().any(|sa| b.iter().any(|sb| sa.overlaps(sb))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ActionRef;
+    use hs_sim::time::Time;
+    use hs_sim::trace::SpanKind;
+
+    fn race(first: &str, second: &str) -> Finding {
+        Finding::Race {
+            first: ActionRef {
+                event: 0,
+                stream: 0,
+                label: first.to_string(),
+            },
+            second: ActionRef {
+                event: 1,
+                stream: 1,
+                label: second.to_string(),
+            },
+            domain: 1,
+            buffer: 0,
+            overlap: 0..64,
+            writes: (true, false),
+        }
+    }
+
+    fn span(label: &str, start: u64, end: u64) -> TraceSpan {
+        TraceSpan {
+            resource: String::from("r"),
+            label: label.to_string(),
+            kind: SpanKind::Compute,
+            start: Time(start),
+            end: Time(end),
+        }
+    }
+
+    fn trace_with(spans: Vec<TraceSpan>) -> Trace {
+        let mut t = Trace::new();
+        for s in spans {
+            t.record_external(s);
+        }
+        t
+    }
+
+    #[test]
+    fn overlapping_spans_mean_manifested() {
+        let t = trace_with(vec![span("a", 0, 10), span("b", 5, 15)]);
+        assert_eq!(race_manifested(&t, &race("a", "b")), Some(true));
+    }
+
+    #[test]
+    fn serialized_spans_mean_latent() {
+        let t = trace_with(vec![span("a", 0, 10), span("b", 10, 20)]);
+        assert_eq!(race_manifested(&t, &race("a", "b")), Some(false));
+    }
+
+    #[test]
+    fn missing_spans_mean_unknown() {
+        let t = trace_with(vec![span("a", 0, 10)]);
+        assert_eq!(race_manifested(&t, &race("a", "b")), None);
+    }
+
+    #[test]
+    fn non_race_findings_are_skipped() {
+        let t = trace_with(vec![]);
+        let f = Finding::UseAfterFree {
+            action: ActionRef {
+                event: 0,
+                stream: 0,
+                label: String::from("x"),
+            },
+            buffer: 1,
+        };
+        assert_eq!(race_manifested(&t, &f), None);
+    }
+}

@@ -172,7 +172,16 @@ mod tests {
             }
             e
         };
-        dgemm(2.0, a.as_slice(), b.as_slice(), 0.5, c.as_mut_slice(), m, n, k);
+        dgemm(
+            2.0,
+            a.as_slice(),
+            b.as_slice(),
+            0.5,
+            c.as_mut_slice(),
+            m,
+            n,
+            k,
+        );
         assert!(max_abs_diff(c.as_slice(), expect.as_slice()) < 1e-12);
     }
 
@@ -202,8 +211,26 @@ mod tests {
         let mut c = random(m, n, 8);
         let mut c2 = c.clone();
         let b = Matrix::from_vec(n, k, bt.as_slice().to_vec()).transpose();
-        dgemm(-1.0, a.as_slice(), b.as_slice(), 1.0, c2.as_mut_slice(), m, n, k);
-        dgemm_nt(-1.0, a.as_slice(), bt.as_slice(), 1.0, c.as_mut_slice(), m, n, k);
+        dgemm(
+            -1.0,
+            a.as_slice(),
+            b.as_slice(),
+            1.0,
+            c2.as_mut_slice(),
+            m,
+            n,
+            k,
+        );
+        dgemm_nt(
+            -1.0,
+            a.as_slice(),
+            bt.as_slice(),
+            1.0,
+            c.as_mut_slice(),
+            m,
+            n,
+            k,
+        );
         assert!(max_abs_diff(c.as_slice(), c2.as_slice()) < 1e-12);
     }
 
@@ -217,7 +244,16 @@ mod tests {
         let full = {
             let mut f = c0.clone();
             let at = Matrix::from_vec(n, k, a.as_slice().to_vec()).transpose();
-            dgemm(-1.0, a.as_slice(), at.as_slice(), 1.0, f.as_mut_slice(), n, n, k);
+            dgemm(
+                -1.0,
+                a.as_slice(),
+                at.as_slice(),
+                1.0,
+                f.as_mut_slice(),
+                n,
+                n,
+                k,
+            );
             f
         };
         for i in 0..n {

@@ -204,7 +204,10 @@ mod tests {
     #[test]
     fn dgetrf_detects_singularity() {
         let mut a = vec![1.0, 2.0, 2.0, 4.0]; // rank 1
-        assert!(matches!(dgetrf(&mut a, 2), Err(FactorError::SingularPivot(1))));
+        assert!(matches!(
+            dgetrf(&mut a, 2),
+            Err(FactorError::SingularPivot(1))
+        ));
     }
 
     #[test]

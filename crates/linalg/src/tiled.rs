@@ -104,16 +104,7 @@ pub fn tiled_matmul(map: TileMap, a: &[Vec<f64>], b: &[Vec<f64>], c: &mut [Vec<f
             cij.fill(0.0);
             for k in 0..nt {
                 let kk = map.dim(k);
-                crate::blas3::dgemm(
-                    1.0,
-                    &a[map.id(i, k)],
-                    &b[map.id(k, j)],
-                    1.0,
-                    cij,
-                    m,
-                    n,
-                    kk,
-                );
+                crate::blas3::dgemm(1.0, &a[map.id(i, k)], &b[map.id(k, j)], 1.0, cij, m, n, kk);
             }
         }
     }
@@ -169,19 +160,38 @@ fn split_two(tiles: &mut [Vec<f64>], ro: usize, rw: usize) -> (&[f64], &mut [f64
 }
 
 /// Two shared + one exclusive tile, all distinct.
-fn split_three(tiles: &mut [Vec<f64>], ro1: usize, ro2: usize, rw: usize) -> (&[f64], &[f64], &mut [f64]) {
+///
+/// Entirely safe code: two `split_at_mut` calls carve the slice at the two
+/// larger indices, yielding three segments that each contain exactly one of
+/// the requested tiles, so the borrow checker can see the views are disjoint.
+fn split_three(
+    tiles: &mut [Vec<f64>],
+    ro1: usize,
+    ro2: usize,
+    rw: usize,
+) -> (&[f64], &[f64], &mut [f64]) {
     assert!(ro1 != rw && ro2 != rw && ro1 != ro2, "tiles must differ");
-    // Borrow-split via raw parts: indices are distinct so the three slices
-    // never alias.
-    let ptr = tiles.as_mut_ptr();
-    // SAFETY: ro1, ro2, rw are in-bounds and pairwise distinct, so the three
-    // element references do not alias.
-    unsafe {
-        let a = &*ptr.add(ro1);
-        let b = &*ptr.add(ro2);
-        let c = &mut *ptr.add(rw);
-        (a.as_slice(), b.as_slice(), c.as_mut_slice())
-    }
+    let mut sorted = [ro1, ro2, rw];
+    sorted.sort_unstable();
+    let (lo, rest) = tiles.split_at_mut(sorted[1]);
+    let (mid, hi) = rest.split_at_mut(sorted[2] - sorted[1]);
+    // One tile per segment, in index order.
+    let mut slots = [
+        Some(&mut lo[sorted[0]]),
+        Some(&mut mid[0]),
+        Some(&mut hi[0]),
+    ];
+    let mut take = |want: usize| {
+        let pos = sorted
+            .iter()
+            .position(|&i| i == want)
+            .expect("index present");
+        slots[pos].take().expect("each index taken once")
+    };
+    let c = take(rw);
+    let a = take(ro1);
+    let b = take(ro2);
+    (a.as_slice(), b.as_slice(), c.as_mut_slice())
 }
 
 #[cfg(test)]

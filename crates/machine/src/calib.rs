@@ -59,29 +59,71 @@ pub fn eff_curve(device: Device, kernel: KernelKind) -> EffCurve {
     // and the paper's observation that panel factorizations (POTRF/GETRF
     // /LDLT pivots) are latency-bound on the coprocessor.
     let dgemm = match device {
-        Hsw => EffCurve { eff_max: 0.7744, n_half: 150.0 },
-        Ivb => EffCurve { eff_max: 0.9163, n_half: 130.0 },
-        Knc => EffCurve { eff_max: 0.7750, n_half: 120.0 },
-        K40x => EffCurve { eff_max: 0.7100, n_half: 512.0 },
+        Hsw => EffCurve {
+            eff_max: 0.7744,
+            n_half: 150.0,
+        },
+        Ivb => EffCurve {
+            eff_max: 0.9163,
+            n_half: 130.0,
+        },
+        Knc => EffCurve {
+            eff_max: 0.7750,
+            n_half: 120.0,
+        },
+        K40x => EffCurve {
+            eff_max: 0.7100,
+            n_half: 512.0,
+        },
     };
     match kernel {
         Dgemm => dgemm,
-        Dsyrk => EffCurve { eff_max: dgemm.eff_max * 0.90, n_half: dgemm.n_half * 1.1 },
-        Dtrsm => EffCurve { eff_max: dgemm.eff_max * 0.76, n_half: dgemm.n_half * 1.2 },
+        Dsyrk => EffCurve {
+            eff_max: dgemm.eff_max * 0.90,
+            n_half: dgemm.n_half * 1.1,
+        },
+        Dtrsm => EffCurve {
+            eff_max: dgemm.eff_max * 0.76,
+            n_half: dgemm.n_half * 1.2,
+        },
         Dpotrf => match device {
-            Hsw => EffCurve { eff_max: 0.6293, n_half: 700.0 },
-            Ivb => EffCurve { eff_max: 0.7000, n_half: 650.0 },
-            Knc => EffCurve { eff_max: 0.2200, n_half: 2000.0 },
-            K40x => EffCurve { eff_max: 0.2000, n_half: 2000.0 },
+            Hsw => EffCurve {
+                eff_max: 0.6293,
+                n_half: 700.0,
+            },
+            Ivb => EffCurve {
+                eff_max: 0.7000,
+                n_half: 650.0,
+            },
+            Knc => EffCurve {
+                eff_max: 0.2200,
+                n_half: 2000.0,
+            },
+            K40x => EffCurve {
+                eff_max: 0.2000,
+                n_half: 2000.0,
+            },
         },
         Dgetrf => match device {
             // Untiled DGETRF ramps slowly on the hosts too: its sequential
             // panel factorization bounds small sizes (MKL's untiled DGETRF
             // at n=2000 ran far below its large-n rate).
-            Hsw => EffCurve { eff_max: 0.5500, n_half: 2000.0 },
-            Ivb => EffCurve { eff_max: 0.6000, n_half: 1800.0 },
-            Knc => EffCurve { eff_max: 0.1800, n_half: 2500.0 },
-            K40x => EffCurve { eff_max: 0.1800, n_half: 2500.0 },
+            Hsw => EffCurve {
+                eff_max: 0.5500,
+                n_half: 2000.0,
+            },
+            Ivb => EffCurve {
+                eff_max: 0.6000,
+                n_half: 1800.0,
+            },
+            Knc => EffCurve {
+                eff_max: 0.1800,
+                n_half: 2500.0,
+            },
+            K40x => EffCurve {
+                eff_max: 0.1800,
+                n_half: 2500.0,
+            },
         },
         // Dense LDL^T supernode work behaves like a GEMM-rich factorization
         // with a latency-bound pivot path (Simulia's symmetric solver). On
@@ -89,24 +131,51 @@ pub fn eff_curve(device: Device, kernel: KernelKind) -> EffCurve {
         // implies a whole KNC card factors a supernode barely faster than 27
         // HSW cores, which fixes the KNC Ldlt asymptote near 0.48 of peak.
         Ldlt => match device {
-            Knc => EffCurve { eff_max: 0.41, n_half: 100.0 },
-            K40x => EffCurve { eff_max: 0.42, n_half: 150.0 },
-            _ => EffCurve { eff_max: dgemm.eff_max * 0.82, n_half: dgemm.n_half * 1.6 },
+            Knc => EffCurve {
+                eff_max: 0.41,
+                n_half: 100.0,
+            },
+            K40x => EffCurve {
+                eff_max: 0.42,
+                n_half: 150.0,
+            },
+            _ => EffCurve {
+                eff_max: dgemm.eff_max * 0.82,
+                n_half: dgemm.n_half * 1.6,
+            },
         },
         // Stencils are bandwidth-bound: tiny fraction of DP peak, nearly
         // flat in tile size. Ratios chosen so optimized RTM shows the
         // paper's 1.52x KNC-over-HSW advantage (§VI, Petrobras).
         StencilBulk | StencilHalo => match device {
-            Hsw => EffCurve { eff_max: 0.1030, n_half: 8.0 },
-            Ivb => EffCurve { eff_max: 0.1550, n_half: 8.0 },
-            Knc => EffCurve { eff_max: 0.1405, n_half: 16.0 },
-            K40x => EffCurve { eff_max: 0.1200, n_half: 16.0 },
+            Hsw => EffCurve {
+                eff_max: 0.1030,
+                n_half: 8.0,
+            },
+            Ivb => EffCurve {
+                eff_max: 0.1550,
+                n_half: 8.0,
+            },
+            Knc => EffCurve {
+                eff_max: 0.1405,
+                n_half: 16.0,
+            },
+            K40x => EffCurve {
+                eff_max: 0.1200,
+                n_half: 16.0,
+            },
         },
         // Untyped flops: a conservative generic curve.
-        Generic => EffCurve { eff_max: dgemm.eff_max * 0.5, n_half: dgemm.n_half },
+        Generic => EffCurve {
+            eff_max: dgemm.eff_max * 0.5,
+            n_half: dgemm.n_half,
+        },
         // FixedUs stalls bypass the rate model entirely (see CostModel);
         // the curve below is never consulted but keeps the table total.
-        FixedUs => EffCurve { eff_max: 1.0, n_half: 1.0 },
+        FixedUs => EffCurve {
+            eff_max: 1.0,
+            n_half: 1.0,
+        },
     }
 }
 
@@ -122,7 +191,10 @@ mod tests {
                 assert!(c.eff_max > 0.0 && c.eff_max <= 1.0, "{dev:?}/{k:?}");
                 let e = c.eff(1 << 20);
                 assert!(e < c.eff_max, "{dev:?}/{k:?} must stay below eff_max");
-                assert!(e > c.eff_max * 0.99, "{dev:?}/{k:?} nearly saturated at huge n");
+                assert!(
+                    e > c.eff_max * 0.99,
+                    "{dev:?}/{k:?} nearly saturated at huge n"
+                );
             }
         }
     }
@@ -142,21 +214,30 @@ mod tests {
     fn hsw_dgemm_asymptote_matches_paper() {
         let spec = Device::Hsw.spec();
         let rate = spec.peak_dp_gflops() * eff_curve(Device::Hsw, KernelKind::Dgemm).eff_max;
-        assert!((rate - 902.0).abs() < 2.0, "HSW dgemm asymptote {rate}, paper 902");
+        assert!(
+            (rate - 902.0).abs() < 2.0,
+            "HSW dgemm asymptote {rate}, paper 902"
+        );
     }
 
     #[test]
     fn ivb_dgemm_asymptote_matches_paper() {
         let spec = Device::Ivb.spec();
         let rate = spec.peak_dp_gflops() * eff_curve(Device::Ivb, KernelKind::Dgemm).eff_max;
-        assert!((rate - 475.0).abs() < 2.0, "IVB dgemm asymptote {rate}, paper 475");
+        assert!(
+            (rate - 475.0).abs() < 2.0,
+            "IVB dgemm asymptote {rate}, paper 475"
+        );
     }
 
     #[test]
     fn hsw_dpotrf_asymptote_matches_paper() {
         let spec = Device::Hsw.spec();
         let rate = spec.peak_dp_gflops() * eff_curve(Device::Hsw, KernelKind::Dpotrf).eff_max;
-        assert!((rate - 733.0).abs() < 2.0, "HSW dpotrf asymptote {rate}, paper 733");
+        assert!(
+            (rate - 733.0).abs() < 2.0,
+            "HSW dpotrf asymptote {rate}, paper 733"
+        );
     }
 
     #[test]

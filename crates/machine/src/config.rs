@@ -310,7 +310,10 @@ mod tests {
     fn small_transfer_overhead_in_paper_band() {
         let o = Overheads::paper();
         let small = o.transfer_fixed_us(64 * 1024);
-        assert!((20.0..=30.0).contains(&small), "paper reports 20-30us, got {small}");
+        assert!(
+            (20.0..=30.0).contains(&small),
+            "paper reports 20-30us, got {small}"
+        );
         assert!(o.transfer_fixed_us(2 << 20) < small);
     }
 

@@ -35,7 +35,13 @@ mod tests {
         let spec = Device::Hsw.spec();
         assert!(spec.peak_dp_gflops() > 1000.0);
         let cm = CostModel::paper_calibrated();
-        let t = cm.kernel_secs(Device::Hsw, spec.total_cores(), KernelKind::Dgemm, 2e9, 1000);
+        let t = cm.kernel_secs(
+            Device::Hsw,
+            spec.total_cores(),
+            KernelKind::Dgemm,
+            2e9,
+            1000,
+        );
         assert!(t > 0.0);
     }
 }

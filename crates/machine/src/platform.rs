@@ -179,6 +179,8 @@ mod tests {
     #[test]
     fn names_are_informative() {
         assert!(PlatformCfg::hetero(Device::Hsw, 2).name.contains("HSW"));
-        assert!(PlatformCfg::offload(Device::Hsw, 1).name.contains("offload"));
+        assert!(PlatformCfg::offload(Device::Hsw, 1)
+            .name
+            .contains("offload"));
     }
 }

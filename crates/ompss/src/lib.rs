@@ -94,8 +94,15 @@ impl DataAccess {
 /// enforcement can tell cross-stream from same-stream across devices.
 #[derive(Clone, Copy, Debug)]
 enum TaskHandle {
-    Hs { event: Event, stream: StreamId },
-    Cu { event: CuEvent, device: usize, stream: usize },
+    Hs {
+        event: Event,
+        stream: StreamId,
+    },
+    Cu {
+        event: CuEvent,
+        device: usize,
+        stream: usize,
+    },
 }
 
 struct DataState {
@@ -211,8 +218,14 @@ impl OmpSs {
         };
         // Internal no-op kernel backing the modelled allocation stall.
         match &mut be {
-            Be::Hs { hs, .. } => hs.register(ALLOC_STALL_KERNEL, Arc::new(|_ctx: &mut hstreams_core::TaskCtx| {})),
-            Be::Cu { cu, .. } => cu.register_kernel(ALLOC_STALL_KERNEL, Arc::new(|_ctx: &mut hstreams_core::TaskCtx| {})),
+            Be::Hs { hs, .. } => hs.register(
+                ALLOC_STALL_KERNEL,
+                Arc::new(|_ctx: &mut hstreams_core::TaskCtx| {}),
+            ),
+            Be::Cu { cu, .. } => cu.register_kernel(
+                ALLOC_STALL_KERNEL,
+                Arc::new(|_ctx: &mut hstreams_core::TaskCtx| {}),
+            ),
         }
         let streams_per_dev: Vec<usize> = match &be {
             Be::Hs { streams, .. } => streams.iter().map(Vec::len).collect(),
@@ -523,7 +536,12 @@ impl OmpSs {
                     )?;
                 }
             }
-            Be::Cu { cu, streams, dev_ptrs, .. } => {
+            Be::Cu {
+                cu,
+                streams,
+                dev_ptrs,
+                ..
+            } => {
                 if !device.is_host() {
                     let p = cu.malloc(device, buffer)?;
                     dev_ptrs.insert((d.0, device.0), p);
@@ -595,7 +613,12 @@ impl OmpSs {
                 let event = hs.enqueue_xfer(s, buffer, 0..len, from, to)?;
                 Ok(Some(TaskHandle::Hs { event, stream: s }))
             }
-            Be::Cu { cu, streams, dev_ptrs, .. } => {
+            Be::Cu {
+                cu,
+                streams,
+                dev_ptrs,
+                ..
+            } => {
                 let s = streams[device.0][stream_key % streams[device.0].len()];
                 let p = *dev_ptrs
                     .get(&(d.0, device.0))
@@ -652,11 +675,11 @@ impl OmpSs {
                 let waits: Vec<CuEvent> = deps
                     .iter()
                     .filter_map(|h| match h {
-                        TaskHandle::Cu { event, device: pd, stream }
-                            if (*pd, *stream) != (device.0, this_key) =>
-                        {
-                            Some(*event)
-                        }
+                        TaskHandle::Cu {
+                            event,
+                            device: pd,
+                            stream,
+                        } if (*pd, *stream) != (device.0, this_key) => Some(*event),
                         _ => None,
                     })
                     .collect();
@@ -694,7 +717,12 @@ impl OmpSs {
                 let event = hs.enqueue_compute(s, func, args, &ops, cost)?;
                 Ok(TaskHandle::Hs { event, stream: s })
             }
-            Be::Cu { cu, streams, dev_ptrs, .. } => {
+            Be::Cu {
+                cu,
+                streams,
+                dev_ptrs,
+                ..
+            } => {
                 let s = streams[device.0][stream_key % streams[device.0].len()];
                 let ops: Vec<(DevPtr, std::ops::Range<usize>, Access)> = accesses
                     .iter()
@@ -833,14 +861,30 @@ mod tests {
         o.data_write_f64(b, 0, &[2.0; 4]).expect("write");
         o.data_write_f64(c, 0, &[0.0; 4]).expect("write");
         // Two producers then a join: c = (a+1) + (b+1).
-        o.task("add1", Bytes::new(), &[DataAccess::inout(a)], CostHint::trivial(), card)
-            .expect("p1");
-        o.task("add1", Bytes::new(), &[DataAccess::inout(b)], CostHint::trivial(), card)
-            .expect("p2");
+        o.task(
+            "add1",
+            Bytes::new(),
+            &[DataAccess::inout(a)],
+            CostHint::trivial(),
+            card,
+        )
+        .expect("p1");
+        o.task(
+            "add1",
+            Bytes::new(),
+            &[DataAccess::inout(b)],
+            CostHint::trivial(),
+            card,
+        )
+        .expect("p2");
         o.task(
             "sum2",
             Bytes::new(),
-            &[DataAccess::input(a), DataAccess::input(b), DataAccess::output(c)],
+            &[
+                DataAccess::input(a),
+                DataAccess::input(b),
+                DataAccess::output(c),
+            ],
             CostHint::trivial(),
             card,
         )
@@ -867,8 +911,14 @@ mod tests {
         let d = o.data_create(8 * 2);
         o.data_write_f64(d, 0, &[7.0, 8.0]).expect("write");
         // The task runs on the card; the runtime must move data there.
-        o.task("add1", Bytes::new(), &[DataAccess::inout(d)], CostHint::trivial(), card)
-            .expect("task");
+        o.task(
+            "add1",
+            Bytes::new(),
+            &[DataAccess::inout(d)],
+            CostHint::trivial(),
+            card,
+        )
+        .expect("task");
         // Reading pulls it back automatically.
         let mut out = [0.0; 2];
         o.data_read_f64(d, 0, &mut out).expect("read");

@@ -47,7 +47,8 @@ fn auto_placement_preserves_numerics_of_a_dependent_graph() {
         let n = 32usize;
         let data: Vec<_> = (0..6).map(|_| o.data_create(n * 8)).collect();
         for (i, d) in data.iter().enumerate() {
-            o.data_write_f64(*d, 0, &vec![i as f64 + 1.0; n]).expect("init");
+            o.data_write_f64(*d, 0, &vec![i as f64 + 1.0; n])
+                .expect("init");
         }
         // Chain: scale each region, then fold them all into region 0.
         for (i, d) in data.iter().enumerate() {
@@ -66,7 +67,11 @@ fn auto_placement_preserves_numerics_of_a_dependent_graph() {
             .expect("scale");
         }
         for d in &data[1..] {
-            let placement = if auto { Placement::Auto } else { Placement::Pin(DomainId(0)) };
+            let placement = if auto {
+                Placement::Auto
+            } else {
+                Placement::Pin(DomainId(0))
+            };
             o.task_placed(
                 "combine",
                 Bytes::new(),

@@ -560,7 +560,10 @@ mod tests {
         sim.schedule(Dur::from_micros(1), move |s| s.token_fire(tok));
         sim.run();
         assert!(woke.get());
-        assert_eq!(sim.token_fire_time(tok), Some(Time::ZERO + Dur::from_micros(1)));
+        assert_eq!(
+            sim.token_fire_time(tok),
+            Some(Time::ZERO + Dur::from_micros(1))
+        );
     }
 
     #[test]
@@ -605,7 +608,10 @@ mod tests {
         let b = sim.timer(Dur::from_micros(2));
         let any = sim.join_any(&[a, b]);
         sim.run_until_fired(any);
-        assert_eq!(sim.token_fire_time(any), Some(Time::ZERO + Dur::from_micros(2)));
+        assert_eq!(
+            sim.token_fire_time(any),
+            Some(Time::ZERO + Dur::from_micros(2))
+        );
     }
 
     #[test]
@@ -615,8 +621,14 @@ mod tests {
         let t1 = sim.server_enqueue(s, "a", SpanKind::Compute, Dur::from_micros(10));
         let t2 = sim.server_enqueue(s, "b", SpanKind::Compute, Dur::from_micros(10));
         sim.run();
-        assert_eq!(sim.token_fire_time(t1), Some(Time::ZERO + Dur::from_micros(10)));
-        assert_eq!(sim.token_fire_time(t2), Some(Time::ZERO + Dur::from_micros(20)));
+        assert_eq!(
+            sim.token_fire_time(t1),
+            Some(Time::ZERO + Dur::from_micros(10))
+        );
+        assert_eq!(
+            sim.token_fire_time(t2),
+            Some(Time::ZERO + Dur::from_micros(20))
+        );
     }
 
     #[test]
@@ -627,9 +639,18 @@ mod tests {
         let t2 = sim.server_enqueue(s, "b", SpanKind::Compute, Dur::from_micros(10));
         let t3 = sim.server_enqueue(s, "c", SpanKind::Compute, Dur::from_micros(10));
         sim.run();
-        assert_eq!(sim.token_fire_time(t1), Some(Time::ZERO + Dur::from_micros(10)));
-        assert_eq!(sim.token_fire_time(t2), Some(Time::ZERO + Dur::from_micros(10)));
-        assert_eq!(sim.token_fire_time(t3), Some(Time::ZERO + Dur::from_micros(20)));
+        assert_eq!(
+            sim.token_fire_time(t1),
+            Some(Time::ZERO + Dur::from_micros(10))
+        );
+        assert_eq!(
+            sim.token_fire_time(t2),
+            Some(Time::ZERO + Dur::from_micros(10))
+        );
+        assert_eq!(
+            sim.token_fire_time(t3),
+            Some(Time::ZERO + Dur::from_micros(20))
+        );
     }
 
     #[test]

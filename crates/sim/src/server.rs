@@ -82,7 +82,12 @@ mod tests {
         let s = sim.server_create("q", 1);
         let mut tokens = Vec::new();
         for i in 0..4 {
-            tokens.push(sim.server_enqueue(s, format!("j{i}"), SpanKind::Compute, Dur::from_micros(1)));
+            tokens.push(sim.server_enqueue(
+                s,
+                format!("j{i}"),
+                SpanKind::Compute,
+                Dur::from_micros(1),
+            ));
         }
         sim.run();
         let times: Vec<_> = tokens
@@ -97,9 +102,8 @@ mod tests {
     #[test]
     fn zero_width_is_rejected() {
         let mut sim = Sim::new();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sim.server_create("bad", 0)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.server_create("bad", 0)));
         assert!(result.is_err());
     }
 
@@ -125,9 +129,6 @@ mod tests {
         let l = sim.link_create("pcie", Dur::from_micros(10), 2e9);
         let c1 = sim.link_cost(l, 2_000_000);
         let c2 = sim.link_cost(l, 4_000_000);
-        assert_eq!(
-            c2.saturating_sub(c1),
-            Dur::from_secs_f64(2_000_000.0 / 2e9)
-        );
+        assert_eq!(c2.saturating_sub(c1), Dur::from_secs_f64(2_000_000.0 / 2e9));
     }
 }

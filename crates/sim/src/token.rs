@@ -76,6 +76,9 @@ mod tests {
         let b = sim.timer(Dur::from_micros(4));
         let j = sim.join_all(&[a, b]);
         sim.run();
-        assert_eq!(sim.token_fire_time(j), Some(Time::ZERO + Dur::from_micros(4)));
+        assert_eq!(
+            sim.token_fire_time(j),
+            Some(Time::ZERO + Dur::from_micros(4))
+        );
     }
 }

@@ -67,6 +67,12 @@ impl Trace {
         }
     }
 
+    /// Append a span from outside the simulator — used by analysis tooling
+    /// (e.g. `hsan`'s trace cross-referencing) to build or extend traces.
+    pub fn record_external(&mut self, span: TraceSpan) {
+        self.record(span);
+    }
+
     pub fn spans(&self) -> &[TraceSpan] {
         &self.spans
     }
@@ -156,11 +162,7 @@ impl Trace {
                     *c = ch;
                 }
             }
-            out.push_str(&format!(
-                "{:>24} {}\n",
-                res,
-                String::from_utf8_lossy(&line)
-            ));
+            out.push_str(&format!("{:>24} {}\n", res, String::from_utf8_lossy(&line)));
         }
         out.push_str(&format!("makespan = {makespan}\n"));
         out

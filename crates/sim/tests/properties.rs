@@ -128,7 +128,6 @@ proptest! {
     }
 }
 
-
 mod gated {
     use hs_sim::{Dur, Sim, SpanKind};
 
@@ -140,8 +139,20 @@ mod gated {
         let dom = sim.sem_create(12);
         let s1 = sim.server_create("s1", 1);
         let s2 = sim.server_create("s2", 1);
-        let a = sim.server_enqueue_gated(s1, "a", SpanKind::Compute, Dur::from_micros(10), Some((dom, 8)));
-        let b = sim.server_enqueue_gated(s2, "b", SpanKind::Compute, Dur::from_micros(10), Some((dom, 8)));
+        let a = sim.server_enqueue_gated(
+            s1,
+            "a",
+            SpanKind::Compute,
+            Dur::from_micros(10),
+            Some((dom, 8)),
+        );
+        let b = sim.server_enqueue_gated(
+            s2,
+            "b",
+            SpanKind::Compute,
+            Dur::from_micros(10),
+            Some((dom, 8)),
+        );
         sim.run();
         let ta = sim.token_fire_time(a).expect("a completes");
         let tb = sim.token_fire_time(b).expect("b completes");
@@ -155,8 +166,20 @@ mod gated {
         let dom = sim.sem_create(12);
         let s1 = sim.server_create("s1", 1);
         let s2 = sim.server_create("s2", 1);
-        let a = sim.server_enqueue_gated(s1, "a", SpanKind::Compute, Dur::from_micros(10), Some((dom, 6)));
-        let b = sim.server_enqueue_gated(s2, "b", SpanKind::Compute, Dur::from_micros(10), Some((dom, 6)));
+        let a = sim.server_enqueue_gated(
+            s1,
+            "a",
+            SpanKind::Compute,
+            Dur::from_micros(10),
+            Some((dom, 6)),
+        );
+        let b = sim.server_enqueue_gated(
+            s2,
+            "b",
+            SpanKind::Compute,
+            Dur::from_micros(10),
+            Some((dom, 6)),
+        );
         sim.run();
         assert_eq!(sim.token_fire_time(a), sim.token_fire_time(b), "both fit");
     }
@@ -168,9 +191,27 @@ mod gated {
         let hog = sim.server_create("hog", 1);
         let w1 = sim.server_create("w1", 1);
         let w2 = sim.server_create("w2", 1);
-        let _h = sim.server_enqueue_gated(hog, "h", SpanKind::Compute, Dur::from_micros(10), Some((dom, 4)));
-        let a = sim.server_enqueue_gated(w1, "a", SpanKind::Compute, Dur::from_micros(1), Some((dom, 4)));
-        let b = sim.server_enqueue_gated(w2, "b", SpanKind::Compute, Dur::from_micros(1), Some((dom, 4)));
+        let _h = sim.server_enqueue_gated(
+            hog,
+            "h",
+            SpanKind::Compute,
+            Dur::from_micros(10),
+            Some((dom, 4)),
+        );
+        let a = sim.server_enqueue_gated(
+            w1,
+            "a",
+            SpanKind::Compute,
+            Dur::from_micros(1),
+            Some((dom, 4)),
+        );
+        let b = sim.server_enqueue_gated(
+            w2,
+            "b",
+            SpanKind::Compute,
+            Dur::from_micros(1),
+            Some((dom, 4)),
+        );
         sim.run();
         let ta = sim.token_fire_time(a).expect("a");
         let tb = sim.token_fire_time(b).expect("b");
@@ -183,10 +224,20 @@ mod gated {
         let mut sim = Sim::new();
         let dom = sim.sem_create(2);
         let s = sim.server_create("s", 2);
-        let g = sim.server_enqueue_gated(s, "g", SpanKind::Compute, Dur::from_micros(5), Some((dom, 2)));
+        let g = sim.server_enqueue_gated(
+            s,
+            "g",
+            SpanKind::Compute,
+            Dur::from_micros(5),
+            Some((dom, 2)),
+        );
         let u = sim.server_enqueue(s, "u", SpanKind::Transfer, Dur::from_micros(5));
         sim.run();
-        assert_eq!(sim.token_fire_time(g), sim.token_fire_time(u), "ungated jobs skip the gate");
+        assert_eq!(
+            sim.token_fire_time(g),
+            sim.token_fire_time(u),
+            "ungated jobs skip the gate"
+        );
     }
 }
 
@@ -202,9 +253,21 @@ mod fairness {
         // A continuous stream of 4-unit jobs would always leave <8 free if
         // they could overtake; the parked 8-unit job must still get through.
         for i in 0..10 {
-            sim.server_enqueue_gated(narrow, format!("n{i}"), SpanKind::Compute, Dur::from_micros(10), Some((dom, 4)));
+            sim.server_enqueue_gated(
+                narrow,
+                format!("n{i}"),
+                SpanKind::Compute,
+                Dur::from_micros(10),
+                Some((dom, 4)),
+            );
         }
-        let big = sim.server_enqueue_gated(wide, "big", SpanKind::Compute, Dur::from_micros(10), Some((dom, 8)));
+        let big = sim.server_enqueue_gated(
+            wide,
+            "big",
+            SpanKind::Compute,
+            Dur::from_micros(10),
+            Some((dom, 8)),
+        );
         sim.run();
         let t_big = sim.token_fire_time(big).expect("wide job completes");
         // Without fairness the wide job runs last (>= 100us start). With
@@ -221,7 +284,9 @@ mod fairness {
     fn capacity_is_conserved_under_mixed_load() {
         let mut sim = Sim::new();
         let dom = sim.sem_create(12);
-        let servers: Vec<_> = (0..5).map(|i| sim.server_create(format!("s{i}"), 1)).collect();
+        let servers: Vec<_> = (0..5)
+            .map(|i| sim.server_create(format!("s{i}"), 1))
+            .collect();
         for round in 0..20 {
             for (i, s) in servers.iter().enumerate() {
                 let units = 1 + ((round + i) % 5) as u32 * 3;

@@ -17,7 +17,11 @@ fn main() {
         CholVariant::Offload,
         CholVariant::MagmaLike,
     ] {
-        let cards = if variant == CholVariant::Offload { 1 } else { 2 };
+        let cards = if variant == CholVariant::Offload {
+            1
+        } else {
+            2
+        };
         let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, cards), ExecMode::Threads);
         let mut cfg = CholConfig::new(24, 6, variant);
         cfg.streams_per_card = 2;
@@ -53,5 +57,8 @@ fn main() {
         false,
     )
     .expect("ompss");
-    println!("sim  mode, n=20000, OmpSs port,      HSW+1KNC: {:6.0} GFlop/s", r.gflops);
+    println!(
+        "sim  mode, n=20000, OmpSs port,      HSW+1KNC: {:6.0} GFlop/s",
+        r.gflops
+    );
 }

@@ -27,10 +27,30 @@ fn main() {
 
     // --- sim mode: paper-scale performance ---
     for (label, host, balance, platform) in [
-        ("HSW + 2 KNC, balanced", true, true, PlatformCfg::hetero(Device::Hsw, 2)),
-        ("IVB + 2 KNC, balanced", true, true, PlatformCfg::hetero(Device::Ivb, 2)),
-        ("IVB + 2 KNC, naive split", true, false, PlatformCfg::hetero(Device::Ivb, 2)),
-        ("1 KNC offload only", false, true, PlatformCfg::offload(Device::Hsw, 1)),
+        (
+            "HSW + 2 KNC, balanced",
+            true,
+            true,
+            PlatformCfg::hetero(Device::Hsw, 2),
+        ),
+        (
+            "IVB + 2 KNC, balanced",
+            true,
+            true,
+            PlatformCfg::hetero(Device::Ivb, 2),
+        ),
+        (
+            "IVB + 2 KNC, naive split",
+            true,
+            false,
+            PlatformCfg::hetero(Device::Ivb, 2),
+        ),
+        (
+            "1 KNC offload only",
+            false,
+            true,
+            PlatformCfg::offload(Device::Hsw, 1),
+        ),
     ] {
         let mut cfg = MatmulConfig::new(16000, 800);
         cfg.host_participates = host;

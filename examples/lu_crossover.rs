@@ -35,7 +35,10 @@ fn main() {
     }
 
     // --- sim mode: where does tiling start to pay? ---
-    println!("\n{:>7} {:>14} {:>12} {:>9}", "n", "untiled host", "tiled host", "winner");
+    println!(
+        "\n{:>7} {:>14} {:>12} {:>9}",
+        "n", "untiled host", "tiled host", "winner"
+    );
     for n in [1000usize, 2000, 3000, 4000, 6000, 10000] {
         let tile = (n / 12).clamp(200, 1500);
         let secs = |variant: LuVariant, t: usize| {

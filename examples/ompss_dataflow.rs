@@ -49,14 +49,30 @@ fn build_and_run(backend: Backend) -> (Vec<f64>, u64) {
 
     // A diamond: a*2 and b*2 in parallel, then c = a + b. No explicit
     // synchronization anywhere — the runtime derives it from the accesses.
-    o.task("mul2", Bytes::new(), &[DataAccess::inout(a)], CostHint::trivial(), card)
-        .expect("t1");
-    o.task("mul2", Bytes::new(), &[DataAccess::inout(b)], CostHint::trivial(), card)
-        .expect("t2");
+    o.task(
+        "mul2",
+        Bytes::new(),
+        &[DataAccess::inout(a)],
+        CostHint::trivial(),
+        card,
+    )
+    .expect("t1");
+    o.task(
+        "mul2",
+        Bytes::new(),
+        &[DataAccess::inout(b)],
+        CostHint::trivial(),
+        card,
+    )
+    .expect("t2");
     o.task(
         "add",
         Bytes::new(),
-        &[DataAccess::input(a), DataAccess::input(b), DataAccess::output(c)],
+        &[
+            DataAccess::input(a),
+            DataAccess::input(b),
+            DataAccess::output(c),
+        ],
         CostHint::trivial(),
         card,
     )

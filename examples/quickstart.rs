@@ -9,9 +9,7 @@
 
 use bytes::Bytes;
 use hs_machine::{Device, PlatformCfg};
-use hstreams_core::{
-    Access, BufProps, CostHint, CpuMask, ExecMode, HStreams, Operand, TaskCtx,
-};
+use hstreams_core::{Access, BufProps, CostHint, CpuMask, ExecMode, HStreams, Operand, TaskCtx};
 use std::sync::Arc;
 
 fn main() {
@@ -82,7 +80,10 @@ fn main() {
     let mut out = vec![0.0; n];
     hs.buffer_read_f64(y, 0, &mut out).expect("read");
     assert!(out.iter().all(|&v| v == 2.0 + 13.0));
-    println!("\ny[0..4] = {:?}  (expected 15.0 = 2 + (3+10)*1)", &out[..4]);
+    println!(
+        "\ny[0..4] = {:?}  (expected 15.0 = 2 + (3+10)*1)",
+        &out[..4]
+    );
     println!(
         "api calls: {} unique, {} total; transfers: {} ({} elided)",
         hs.stats().unique_apis(),

@@ -14,7 +14,11 @@ use hstreams_core::{ExecMode, HStreams};
 
 fn main() {
     // --- real mode: the three schemes agree with the reference ---
-    for scheme in [Scheme::HostOnly, Scheme::SyncOffload, Scheme::AsyncPipelined] {
+    for scheme in [
+        Scheme::HostOnly,
+        Scheme::SyncOffload,
+        Scheme::AsyncPipelined,
+    ] {
         let cfg = RtmConfig::small(scheme);
         let platform = if scheme == Scheme::HostOnly {
             PlatformCfg::native(Device::Hsw)
@@ -43,7 +47,9 @@ fn main() {
     let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Sim);
     let t_sync = run(&mut hs, &mk(Scheme::SyncOffload)).expect("sync").secs;
     let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Sim);
-    let t_async = run(&mut hs, &mk(Scheme::AsyncPipelined)).expect("async").secs;
+    let t_async = run(&mut hs, &mk(Scheme::AsyncPipelined))
+        .expect("async")
+        .secs;
     let trace = hs.trace().expect("sim trace");
     let overlap = trace.overlap_time(SpanKind::Compute, SpanKind::Transfer);
     println!(

@@ -40,7 +40,5 @@ fn main() {
     let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim);
     hs.set_tracing(false);
     let g = run(&mut hs, &cfg).expect("matmul").gflops;
-    println!(
-        "\nretarget: host joins as a compute domain (host-as-target streams): {g:.0} GF/s"
-    );
+    println!("\nretarget: host joins as a compute domain (host-as-target streams): {g:.0} GF/s");
 }

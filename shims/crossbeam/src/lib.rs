@@ -1,0 +1,33 @@
+//! Offline shim for `crossbeam`: only the `channel` module surface this
+//! workspace uses, mapped onto `std::sync::mpsc` (whose modern
+//! implementation is itself derived from crossbeam-channel). `unbounded`
+//! is `mpsc::channel`; the error and endpoint types share names with the
+//! crossbeam originals.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Create an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(3).expect("send");
+        let tx2 = tx.clone();
+        tx2.send(4).expect("cloned send");
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Ok(4));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop((tx, tx2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline shim for `parking_lot`: the same lock API shape (guards returned
+//! directly, no poison `Result`s) implemented over `std::sync`. Poisoning is
+//! translated to a panic — matching parking_lot's behaviour of not tracking
+//! poison at all closely enough for this workspace, whose lock holders never
+//! intentionally panic.
+
+use std::sync::{self, TryLockError};
+use std::time::Duration;
+
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+/// Result of a timed condvar wait.
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified. Takes `&mut guard` like parking_lot (std takes
+    /// the guard by value); the guard is moved out and back in.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        replace_guard(guard, |g| {
+            self.inner.wait(g).unwrap_or_else(|e| e.into_inner())
+        });
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        replace_guard(guard, |g| {
+            let (g, res) = self
+                .inner
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            timed_out = res.timed_out();
+            g
+        });
+        WaitTimeoutResult { timed_out }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Move the guard out of `slot`, run `f` on it, put the result back.
+/// `f` must return a live guard for the same mutex (condvar waits do).
+fn replace_guard<'a, T>(
+    slot: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+) {
+    // SAFETY: `slot` is a valid initialized guard; we read it out, hand it
+    // to `f` (which consumes and returns a guard of identical type), and
+    // write the returned guard back before anyone can observe the hole. A
+    // panic inside `f` would leave `slot` logically uninitialized — std's
+    // condvar wait only panics on poison, which `unwrap_or_else(into_inner)`
+    // above converts to a normal return — so the hole is never observed.
+    unsafe {
+        let guard = std::ptr::read(slot);
+        let new_guard = f(guard);
+        std::ptr::write(slot, new_guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().expect("waiter exits");
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+    }
+}

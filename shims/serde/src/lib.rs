@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: marker traits plus no-op derive macros. The
+//! workspace derives `Serialize`/`Deserialize` for forward compatibility but
+//! never links a serializer, so empty impl surface is sufficient.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait (same name as the derive macro — separate namespaces).
+pub trait Serialize {}
+
+/// Marker trait (same name as the derive macro — separate namespaces).
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing. The
+//! workspace uses `#[derive(Serialize, Deserialize)]` as declarative markers
+//! (no serializer crate is linked), so empty expansions preserve semantics
+//! while keeping the build network-free.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -64,7 +64,11 @@ fn rtm_schemes_cross_agree_on_larger_grid() {
         optimized: true,
         verify: true,
     };
-    for scheme in [Scheme::HostOnly, Scheme::SyncOffload, Scheme::AsyncPipelined] {
+    for scheme in [
+        Scheme::HostOnly,
+        Scheme::SyncOffload,
+        Scheme::AsyncPipelined,
+    ] {
         let platform = if scheme == Scheme::HostOnly {
             PlatformCfg::native(Device::Hsw)
         } else {

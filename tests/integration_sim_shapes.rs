@@ -21,7 +21,9 @@ fn mm(platform: PlatformCfg, n: usize, tile: usize, host: bool, bal: bool) -> f6
 fn ch(platform: PlatformCfg, n: usize, tile: usize, v: CholVariant) -> f64 {
     let mut hs = HStreams::init(platform, ExecMode::Sim);
     hs.set_tracing(false);
-    chol(&mut hs, &CholConfig::new(n, tile, v)).expect("chol").gflops
+    chol(&mut hs, &CholConfig::new(n, tile, v))
+        .expect("chol")
+        .gflops
 }
 
 #[test]
@@ -34,8 +36,10 @@ fn fig6_ordering_at_moderate_size() {
     let hswn = mm(PlatformCfg::native(Device::Hsw), n, t, true, true);
     let ivbn = mm(PlatformCfg::native(Device::Ivb), n, t, true, true);
     // The paper's Fig. 6 ordering.
-    assert!(hsw2 > hsw1 && hsw1 > knc1 && knc1 > hswn && hswn > ivbn,
-        "ordering: {hsw2:.0} > {hsw1:.0} > {knc1:.0} > {hswn:.0} > {ivbn:.0}");
+    assert!(
+        hsw2 > hsw1 && hsw1 > knc1 && knc1 > hswn && hswn > ivbn,
+        "ordering: {hsw2:.0} > {hsw1:.0} > {knc1:.0} > {hswn:.0} > {ivbn:.0}"
+    );
 }
 
 #[test]
@@ -55,10 +59,30 @@ fn fig6_load_balance_band() {
 fn fig7_ordering_at_moderate_size() {
     let n = 16000;
     let t = 1000;
-    let hetero2 = ch(PlatformCfg::hetero(Device::Hsw, 2), n, t, CholVariant::Hetero);
-    let ao2 = ch(PlatformCfg::hetero(Device::Hsw, 2), n, t, CholVariant::MklAoLike);
-    let hetero1 = ch(PlatformCfg::hetero(Device::Hsw, 1), n, t, CholVariant::Hetero);
-    let off1 = ch(PlatformCfg::offload(Device::Hsw, 1), n, t, CholVariant::Offload);
+    let hetero2 = ch(
+        PlatformCfg::hetero(Device::Hsw, 2),
+        n,
+        t,
+        CholVariant::Hetero,
+    );
+    let ao2 = ch(
+        PlatformCfg::hetero(Device::Hsw, 2),
+        n,
+        t,
+        CholVariant::MklAoLike,
+    );
+    let hetero1 = ch(
+        PlatformCfg::hetero(Device::Hsw, 1),
+        n,
+        t,
+        CholVariant::Hetero,
+    );
+    let off1 = ch(
+        PlatformCfg::offload(Device::Hsw, 1),
+        n,
+        t,
+        CholVariant::Offload,
+    );
     assert!(
         hetero2 > ao2,
         "pipelined hetero beats bulk-synchronous AO: {hetero2:.0} vs {ao2:.0}"
@@ -75,12 +99,24 @@ fn fig7_ompss_granularity_penalty_shrinks_with_size() {
     // OmpSs fully dynamic task instantiation ... result in lower
     // performance" — the OmpSs-to-direct ratio must improve with n.
     let direct = |n: usize, t: usize| {
-        ch(PlatformCfg::offload(Device::Hsw, 1), n, t, CholVariant::Offload)
+        ch(
+            PlatformCfg::offload(Device::Hsw, 1),
+            n,
+            t,
+            CholVariant::Offload,
+        )
     };
     let ompss = |n: usize, t: usize| {
-        run_ompss(PlatformCfg::offload(Device::Hsw, 1), ExecMode::Sim, n, t, 4, false)
-            .expect("ompss")
-            .gflops
+        run_ompss(
+            PlatformCfg::offload(Device::Hsw, 1),
+            ExecMode::Sim,
+            n,
+            t,
+            4,
+            false,
+        )
+        .expect("ompss")
+        .gflops
     };
     let small_ratio = ompss(4800, 480) / direct(4800, 480);
     let large_ratio = ompss(16000, 1000) / direct(16000, 1000);
@@ -88,7 +124,10 @@ fn fig7_ompss_granularity_penalty_shrinks_with_size() {
         large_ratio > small_ratio,
         "OmpSs relative performance improves with n: {small_ratio:.2} -> {large_ratio:.2}"
     );
-    assert!(small_ratio < 0.95, "visible overhead at n=4800: {small_ratio:.2}");
+    assert!(
+        small_ratio < 0.95,
+        "visible overhead at n=4800: {small_ratio:.2}"
+    );
 }
 
 #[test]
@@ -108,15 +147,27 @@ fn sec6_rtm_bands() {
         hs.set_tracing(false);
         rtm(&mut hs, cfg).expect("rtm").secs
     };
-    let host_opt = secs(PlatformCfg::native(Device::Hsw), &mk(Scheme::HostOnly, true));
-    let card_opt = secs(PlatformCfg::hetero(Device::Hsw, 1), &mk(Scheme::AsyncPipelined, true));
+    let host_opt = secs(
+        PlatformCfg::native(Device::Hsw),
+        &mk(Scheme::HostOnly, true),
+    );
+    let card_opt = secs(
+        PlatformCfg::hetero(Device::Hsw, 1),
+        &mk(Scheme::AsyncPipelined, true),
+    );
     let s_opt = host_opt / card_opt;
     assert!(
         (1.25..1.8).contains(&s_opt),
         "optimized 1-card speedup ~1.52x, measured {s_opt:.2}"
     );
-    let host_un = secs(PlatformCfg::native(Device::Hsw), &mk(Scheme::HostOnly, false));
-    let card_un = secs(PlatformCfg::hetero(Device::Hsw, 1), &mk(Scheme::AsyncPipelined, false));
+    let host_un = secs(
+        PlatformCfg::native(Device::Hsw),
+        &mk(Scheme::HostOnly, false),
+    );
+    let card_un = secs(
+        PlatformCfg::hetero(Device::Hsw, 1),
+        &mk(Scheme::AsyncPipelined, false),
+    );
     let s_un = host_un / card_un;
     assert!(
         s_un < s_opt,
@@ -137,9 +188,16 @@ fn sec3_ompss_overhead_band() {
                 .expect("direct")
                 .secs
         };
-        let ompss = run_ompss(PlatformCfg::offload(Device::Hsw, 1), ExecMode::Sim, n, t, 4, false)
-            .expect("ompss")
-            .secs;
+        let ompss = run_ompss(
+            PlatformCfg::offload(Device::Hsw, 1),
+            ExecMode::Sim,
+            n,
+            t,
+            4,
+            false,
+        )
+        .expect("ompss")
+        .secs;
         let overhead = ompss / direct - 1.0;
         assert!(
             (0.05..0.9).contains(&overhead),

@@ -30,7 +30,11 @@ fn fabric_layer_alone_moves_data() {
     fabric.dma_copy(host, 0, card2, 0, 4096).expect("h2c2");
     let mem = fabric.window(card2).expect("window");
     let g = mem.lock_range(0..4096, false).expect("lock");
-    assert!(g.as_slice().iter().enumerate().all(|(i, b)| *b == (i % 255) as u8));
+    assert!(g
+        .as_slice()
+        .iter()
+        .enumerate()
+        .all(|(i, b)| *b == (i % 255) as u8));
 }
 
 #[test]
@@ -94,7 +98,10 @@ fn hstreams_over_coi_over_fabric_round_trip_with_pool_reuse() {
         hs.stream_synchronize(s).expect("sync");
         let mut out = vec![0.0; 128];
         hs.buffer_read_f64(buf, 0, &mut out).expect("read");
-        assert!(out.iter().all(|&v| v == -(round as f64 + 1.0)), "round {round}");
+        assert!(
+            out.iter().all(|&v| v == -(round as f64 + 1.0)),
+            "round {round}"
+        );
         hs.buffer_destroy(buf).expect("destroy");
     }
 }
@@ -152,7 +159,9 @@ fn many_streams_many_buffers_stress() {
     let mut bufs = Vec::new();
     for i in 0..24 {
         let b = hs.buffer_create(512, BufProps::default());
-        let dom = hs.stream_domain(streams[i % streams.len()]).expect("domain");
+        let dom = hs
+            .stream_domain(streams[i % streams.len()])
+            .expect("domain");
         hs.buffer_instantiate(b, dom).expect("inst");
         hs.buffer_write_f64(b, 0, &[0.0; 64]).expect("write");
         bufs.push(b);
