@@ -2,12 +2,42 @@
 //!
 //! hStreams marshals scalar arguments as bytes; these helpers pack/unpack
 //! little-endian `u32` dimension lists the way the apps' kernels expect.
+//!
+//! Every data-parallel kernel *expands* across the executing stream's width
+//! (paper §II, Fig. 3): the output tile's rows are partitioned into
+//! micro-tile-aligned slabs and claimed dynamically by the stream's
+//! resident [`hs_coi::Workgroup`] — row slabs of C (GEMM/SYRK) and of B
+//! (the right-side TRSMs) are independent, so each lane runs the packed
+//! blocked kernel on its slab. Sequential factorizations (POTRF, LDLᵀ, LU)
+//! and the left-side TRSM (rows are coupled) stay single-lane.
 
 use bytes::Bytes;
+use hs_coi::Workgroup;
 use hs_linalg::blas3::{dgemm, dgemm_nt, dsyrk_ln, dtrsm_rlt};
 use hs_linalg::factor::{dpotrf, ldlt};
+use hs_linalg::microkernel;
 use hstreams_core::{HStreams, TaskCtx, TaskFn};
 use std::sync::Arc;
+
+/// Partition the m×n output slab's rows across the stream's workgroup and
+/// run `f(row0, slab)` on each micro-tile-aligned row slab.
+fn expand_rows(
+    wg: &Workgroup,
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    f: impl Fn(usize, &mut [f64]) + Sync,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows = microkernel::expansion_rows(m, wg.width());
+    if rows >= m {
+        f(0, c);
+        return;
+    }
+    wg.par_chunks_mut(c, rows * n, |idx, slab| f(idx * rows, slab));
+}
 
 /// Pack u32 scalars as task args.
 pub fn pack_dims(dims: &[u32]) -> Bytes {
@@ -30,41 +60,79 @@ pub fn unpack_dims(args: &[u8]) -> Vec<u32> {
 fn tile_gemm_nn(ctx: &mut TaskCtx) {
     let d = unpack_dims(ctx.args());
     let (m, n, k, beta) = (d[0] as usize, d[1] as usize, d[2] as usize, d[3]);
+    let wg = ctx.workgroup().clone();
     let a: Vec<f64> = ctx.buf_f64(0).to_vec();
     let b: Vec<f64> = ctx.buf_f64(1).to_vec();
     let c = ctx.buf_f64_mut(2);
     if beta == 0 {
         c.fill(0.0);
     }
-    dgemm(1.0, &a, &b, 1.0, c, m, n, k);
+    expand_rows(&wg, c, m, n, |row0, slab| {
+        let nrows = slab.len() / n;
+        dgemm(
+            1.0,
+            &a[row0 * k..(row0 + nrows) * k],
+            &b,
+            1.0,
+            slab,
+            nrows,
+            n,
+            k,
+        );
+    });
 }
 
 /// `tile_gemm_nt`: `C -= A · Bᵀ`; operands (A in, B in, C inout); args m,n,k.
 fn tile_gemm_nt(ctx: &mut TaskCtx) {
     let d = unpack_dims(ctx.args());
     let (m, n, k) = (d[0] as usize, d[1] as usize, d[2] as usize);
+    let wg = ctx.workgroup().clone();
     let a: Vec<f64> = ctx.buf_f64(0).to_vec();
     let b: Vec<f64> = ctx.buf_f64(1).to_vec();
     let c = ctx.buf_f64_mut(2);
-    dgemm_nt(-1.0, &a, &b, 1.0, c, m, n, k);
+    expand_rows(&wg, c, m, n, |row0, slab| {
+        let nrows = slab.len() / n;
+        dgemm_nt(
+            -1.0,
+            &a[row0 * k..(row0 + nrows) * k],
+            &b,
+            1.0,
+            slab,
+            nrows,
+            n,
+            k,
+        );
+    });
 }
 
 /// `tile_syrk`: `C -= A·Aᵀ` (lower); operands (A in, C inout); args n, k.
 fn tile_syrk(ctx: &mut TaskCtx) {
     let d = unpack_dims(ctx.args());
     let (n, k) = (d[0] as usize, d[1] as usize);
+    let wg = ctx.workgroup().clone();
     let a: Vec<f64> = ctx.buf_f64(0).to_vec();
     let c = ctx.buf_f64_mut(1);
-    dsyrk_ln(&a, c, n, k);
+    if wg.width() <= 1 {
+        dsyrk_ln(&a, c, n, k);
+        return;
+    }
+    expand_rows(&wg, c, n, n, |row0, slab| {
+        microkernel::dsyrk_ln_rows(&a, slab, row0, slab.len() / n, n, k);
+    });
 }
 
 /// `tile_trsm`: `B = B · L⁻ᵀ`; operands (L in, B inout); args m, n.
+/// Rows of B are independent in a right-side solve, so the slab expansion
+/// applies verbatim.
 fn tile_trsm(ctx: &mut TaskCtx) {
     let d = unpack_dims(ctx.args());
     let (m, n) = (d[0] as usize, d[1] as usize);
+    let wg = ctx.workgroup().clone();
     let l: Vec<f64> = ctx.buf_f64(0).to_vec();
     let b = ctx.buf_f64_mut(1);
-    dtrsm_rlt(&l, b, m, n);
+    expand_rows(&wg, b, m, n, |_row0, slab| {
+        dtrsm_rlt(&l, slab, slab.len() / n, n);
+    });
 }
 
 /// `tile_potrf`: in-place Cholesky of the diagonal tile; operands (A inout);
@@ -106,23 +174,40 @@ fn tile_trsm_llu(ctx: &mut TaskCtx) {
 }
 
 /// `tile_trsm_runn`: `B = B U⁻¹` (block-LU column panel); operands (LU in,
-/// B inout); args m(rows of B), n(=tile of U).
+/// B inout); args m(rows of B), n(=tile of U). Right-side solve: rows of B
+/// are independent, so the slab expansion applies.
 fn tile_trsm_runn(ctx: &mut TaskCtx) {
     let d = unpack_dims(ctx.args());
     let (m, n) = (d[0] as usize, d[1] as usize);
+    let wg = ctx.workgroup().clone();
     let u: Vec<f64> = ctx.buf_f64(0).to_vec();
     let b = ctx.buf_f64_mut(1);
-    hs_linalg::blas3::dtrsm_runn(&u, b, m, n);
+    expand_rows(&wg, b, m, n, |_row0, slab| {
+        hs_linalg::blas3::dtrsm_runn(&u, slab, slab.len() / n, n);
+    });
 }
 
 /// `tile_gemm_sub`: `C -= A·B`; operands (A in, B in, C inout); args m,n,k.
 fn tile_gemm_sub(ctx: &mut TaskCtx) {
     let d = unpack_dims(ctx.args());
     let (m, n, k) = (d[0] as usize, d[1] as usize, d[2] as usize);
+    let wg = ctx.workgroup().clone();
     let a: Vec<f64> = ctx.buf_f64(0).to_vec();
     let b: Vec<f64> = ctx.buf_f64(1).to_vec();
     let c = ctx.buf_f64_mut(2);
-    dgemm(-1.0, &a, &b, 1.0, c, m, n, k);
+    expand_rows(&wg, c, m, n, |row0, slab| {
+        let nrows = slab.len() / n;
+        dgemm(
+            -1.0,
+            &a[row0 * k..(row0 + nrows) * k],
+            &b,
+            1.0,
+            slab,
+            nrows,
+            n,
+            k,
+        );
+    });
 }
 
 /// `whole_getrf`: full-matrix LU with partial pivoting (the untiled

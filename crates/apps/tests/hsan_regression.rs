@@ -62,6 +62,43 @@ fn cholesky_hetero_is_race_free_thread_mode() {
     assert_clean(&mut hs, "cholesky-hetero/threads");
 }
 
+/// Task expansion on: with multi-core stream masks the compute kernels
+/// partition tile rows across the pipelines' resident workgroups. The
+/// recorded traces must stay clean, and the spawn counter must prove the
+/// expansion path actually engaged (resident workers were created).
+#[test]
+fn matmul_and_cholesky_race_free_with_expansion() {
+    let spawns_before = hs_coi::worker_spawn_count();
+
+    // Wide host streams: 2 streams over all host cores => width > 1 each.
+    let mut mcfg = MatmulConfig::new(24, 6);
+    mcfg.streams_per_card = 2;
+    mcfg.streams_host = 2;
+    mcfg.verify = true;
+    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
+    hs.recording_start();
+    let r = matmul::run(&mut hs, &mcfg).expect("matmul runs");
+    assert!(r.max_err.expect("verified") < 1e-10);
+    assert_clean(&mut hs, "matmul/threads+expansion");
+    drop(hs);
+
+    let mut ccfg = CholConfig::new(24, 6, CholVariant::Hetero);
+    ccfg.streams_per_card = 2;
+    ccfg.streams_host = 2;
+    ccfg.verify = true;
+    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
+    hs.recording_start();
+    let r = cholesky::run(&mut hs, &ccfg).expect("cholesky runs");
+    assert!(r.max_err.expect("verified") < 1e-8);
+    assert_clean(&mut hs, "cholesky/threads+expansion");
+    drop(hs);
+
+    assert!(
+        hs_coi::worker_spawn_count() > spawns_before,
+        "wide streams must have spun up resident expansion workers"
+    );
+}
+
 #[test]
 fn cholesky_variants_are_race_free_sim_mode() {
     for variant in [

@@ -7,7 +7,7 @@
 //! 1165, IVB native 475.
 
 use hs_apps::matmul::{run, MatmulConfig};
-use hs_bench::{f, Table};
+use hs_bench::{f, write_bench_json, JsonRecord, Table};
 use hs_machine::{Device, PlatformCfg};
 use hstreams_core::{ExecMode, HStreams};
 
@@ -26,8 +26,7 @@ fn gflops(platform: PlatformCfg, n: usize, host: bool, balance: bool) -> f64 {
 
 fn main() {
     let sizes = [2000usize, 5000, 10000, 16000, 22000, 30000];
-    let mut t = Table::new(vec![
-        "n",
+    let names = [
         "HSW+2KNC",
         "HSW+1KNC",
         "1KNC(off)",
@@ -36,7 +35,13 @@ fn main() {
         "IVB+2KNC naive",
         "IVB+1KNC",
         "IVB native",
-    ]);
+    ];
+    let mut t = Table::new({
+        let mut h = vec!["n"];
+        h.extend(names);
+        h
+    });
+    let mut records = Vec::new();
     let mut last: Vec<f64> = Vec::new();
     for &n in &sizes {
         let vals = vec![
@@ -49,12 +54,23 @@ fn main() {
             gflops(PlatformCfg::hetero(Device::Ivb, 1), n, true, true),
             gflops(PlatformCfg::native(Device::Ivb), n, true, true),
         ];
+        for (name, v) in names.iter().zip(&vals) {
+            records.push(JsonRecord {
+                name: (*name).to_string(),
+                size: n,
+                gflops: *v,
+            });
+        }
         let mut row = vec![n.to_string()];
         row.extend(vals.iter().map(|v| f(*v)));
         t.row(row);
         last = vals;
     }
     t.print("Fig. 6 — hetero matmul Gflop/s vs n (measured, virtual time)");
+    write_bench_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig6.json"),
+        &records,
+    );
 
     let paper = [2599.0, 1622.0, 982.0, 902.0, 1878.0, 1192.0, 1165.0, 475.0];
     let mut p = Table::new(vec!["config", "measured@30000", "paper peak", "ratio"]);

@@ -7,7 +7,7 @@
 //! hStr 1 KNC (offload) 774, HSW native 733.
 
 use hs_apps::cholesky::{run, run_ompss, CholConfig, CholVariant};
-use hs_bench::{f, Table};
+use hs_bench::{f, write_bench_json, JsonRecord, Table};
 use hs_machine::{Device, KernelKind, PlatformCfg};
 use hstreams_core::{ExecMode, HStreams};
 
@@ -60,6 +60,18 @@ fn main() {
         "hStr 1K off",
         "HSW native",
     ]);
+    let short_names = [
+        "hStr H+2K",
+        "AO H+2K",
+        "MAGMA H+2K",
+        "hStr H+1K",
+        "AO H+1K",
+        "MAGMA H+1K",
+        "OmpSs H+1K",
+        "hStr 1K off",
+        "HSW native",
+    ];
+    let mut records = Vec::new();
     let mut last = Vec::new();
     for &n in &sizes {
         let vals = vec![
@@ -93,12 +105,23 @@ fn main() {
             ),
             native_gflops(n),
         ];
+        for (name, v) in short_names.iter().zip(&vals) {
+            records.push(JsonRecord {
+                name: (*name).to_string(),
+                size: n,
+                gflops: *v,
+            });
+        }
         let mut row = vec![n.to_string()];
         row.extend(vals.iter().map(|v| f(*v)));
         t.row(row);
         last = vals;
     }
     t.print("Fig. 7 — Cholesky Gflop/s vs n (measured, virtual time)");
+    write_bench_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig7.json"),
+        &records,
+    );
 
     let paper = [
         1971.0, 1743.0, 1637.0, 1373.0, 1356.0, 1015.0, 949.0, 774.0, 733.0,

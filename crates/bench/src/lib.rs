@@ -56,6 +56,44 @@ impl Table {
     }
 }
 
+/// One benchmark measurement destined for a `BENCH_*.json` artifact.
+pub struct JsonRecord {
+    pub name: String,
+    pub size: usize,
+    pub gflops: f64,
+}
+
+/// Write measurements as a machine-readable JSON array (hand-formatted —
+/// the workspace has no serde_json) of `{"name", "size", "gflops"}`
+/// objects. Paths are workspace-root-relative by convention
+/// (`BENCH_<target>.json`); errors are *loud* — benches must not silently
+/// drop their artifacts (that is exactly the run_benches.sh failure mode
+/// this replaces).
+pub fn write_bench_json(path: &str, records: &[JsonRecord]) {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        // JSON floats: emit a fixed precision; names are plain ASCII
+        // identifiers so no escaping is needed.
+        assert!(
+            r.name
+                .chars()
+                .all(|c| c != '"' && c != '\\' && !c.is_control()),
+            "bench record names must not need JSON escaping: {:?}",
+            r.name
+        );
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"size\": {}, \"gflops\": {:.3}}}{}\n",
+            r.name,
+            r.size,
+            r.gflops,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("writing bench artifact {path}: {e}"));
+    println!("\nwrote {} records to {path}", records.len());
+}
+
 /// Format a float with sensible precision for tables.
 pub fn f(v: f64) -> String {
     if v >= 100.0 {

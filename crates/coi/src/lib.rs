@@ -32,6 +32,7 @@ pub use event::{CoiEvent, CompletionLog, EventStatus};
 pub use pipeline::{Pipeline, PipelineHandle, RunCtx};
 pub use pool::{BufferPool, PoolStats, PooledWindow};
 pub use registry::{FnRegistry, RunFunction};
+pub use workgroup::{worker_spawn_count, Workgroup};
 
 use hs_fabric::{Fabric, NodeId, Pacer, WindowId};
 use std::sync::Arc;
@@ -99,7 +100,19 @@ impl CoiRuntime {
     /// Create a pipeline on `engine` with `width` threads for task
     /// expansion.
     pub fn pipeline_create(self: &Arc<Self>, engine: EngineId, width: usize) -> Pipeline {
-        Pipeline::spawn(self.clone(), engine, width)
+        Pipeline::spawn(self.clone(), engine, width, None)
+    }
+
+    /// Like [`Self::pipeline_create`], with the owning stream's CPU-mask
+    /// bits: the pipeline's resident workgroup is keyed off the mask, so
+    /// stream width stays the tuner-visible knob end to end.
+    pub fn pipeline_create_masked(
+        self: &Arc<Self>,
+        engine: EngineId,
+        width: usize,
+        affinity: u128,
+    ) -> Pipeline {
+        Pipeline::spawn(self.clone(), engine, width, Some(affinity))
     }
 
     /// Allocate a window on `engine`, through the engine's buffer pool when

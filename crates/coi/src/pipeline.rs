@@ -12,7 +12,7 @@
 //! out of order while the pipeline itself stays simple.
 
 use crate::event::CoiEvent;
-use crate::workgroup::par_for;
+use crate::workgroup::Workgroup;
 use crate::{CoiRuntime, EngineId};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
@@ -48,12 +48,23 @@ pub struct Pipeline {
     handle: Option<JoinHandle<()>>,
     engine: EngineId,
     width: usize,
+    /// The resident expansion pool shared with the sink thread.
+    wg: Arc<Workgroup>,
 }
 
 impl Pipeline {
-    pub(crate) fn spawn(rt: Arc<CoiRuntime>, engine: EngineId, width: usize) -> Pipeline {
+    pub(crate) fn spawn(
+        rt: Arc<CoiRuntime>,
+        engine: EngineId,
+        width: usize,
+        affinity: Option<u128>,
+    ) -> Pipeline {
         assert!(width >= 1, "pipeline width must be >= 1");
         let (tx, rx) = unbounded::<Command>();
+        // The resident expansion pool: width-1 parked workers, woken per
+        // parallel region — tasks expand without spawning threads.
+        let wg = Arc::new(Workgroup::new(width, format!("e{}", engine.0), affinity));
+        let wg_sink = wg.clone();
         let handle = std::thread::Builder::new()
             .name(format!("coi-pipe-e{}", engine.0))
             .spawn(move || {
@@ -74,7 +85,7 @@ impl Pipeline {
                             done,
                         } => {
                             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                execute(&rt, &name, &args, &bufs, width)
+                                execute(&rt, &name, &args, &bufs, &wg_sink)
                             }));
                             match r {
                                 Ok(Ok(())) => done.signal(),
@@ -91,6 +102,7 @@ impl Pipeline {
             handle: Some(handle),
             engine,
             width,
+            wg,
         }
     }
 
@@ -100,6 +112,11 @@ impl Pipeline {
 
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// The pipeline's resident expansion pool (for diagnostics/tests).
+    pub fn workgroup(&self) -> &Arc<Workgroup> {
+        &self.wg
     }
 
     /// A cloneable handle that can enqueue commands from any thread.
@@ -204,7 +221,7 @@ fn execute(
     name: &str,
     args: &Bytes,
     bufs: &[BufAccess],
-    width: usize,
+    wg: &Arc<Workgroup>,
 ) -> Result<(), String> {
     let f = rt
         .registry()
@@ -238,7 +255,7 @@ fn execute(
     let mut ctx = RunCtx {
         args,
         guards,
-        width,
+        wg: wg.clone(),
     };
     f(&mut ctx);
     Ok(())
@@ -248,7 +265,7 @@ fn execute(
 pub struct RunCtx<'a> {
     args: &'a [u8],
     guards: Vec<RangeGuard<'a>>,
-    width: usize,
+    wg: Arc<Workgroup>,
 }
 
 impl RunCtx<'_> {
@@ -259,7 +276,15 @@ impl RunCtx<'_> {
 
     /// Number of threads this task may expand across.
     pub fn width(&self) -> usize {
-        self.width
+        self.wg.width()
+    }
+
+    /// The stream's resident expansion pool. Clone the `Arc` *before*
+    /// taking `buf_mut` borrows, then expand with
+    /// [`Workgroup::par_for`]/[`Workgroup::par_chunks_mut`] — the pool
+    /// handle is independent of the operand guards.
+    pub fn workgroup(&self) -> &Arc<Workgroup> {
+        &self.wg
     }
 
     pub fn num_bufs(&self) -> usize {
@@ -302,15 +327,15 @@ impl RunCtx<'_> {
         }
     }
 
-    /// Dynamic-balanced parallel loop over `0..n` across the task's width.
+    /// Dynamic-balanced parallel loop over `0..n` across the task's width,
+    /// executed by the stream's resident pool (no thread spawns).
     pub fn par_for(&self, n: usize, f: impl Fn(usize) + Sync) {
-        par_for(self.width, n, f);
+        self.wg.par_for(n, f);
     }
 }
 
-// Parallel helpers stay free functions (see `par_for` above) so tasks that
-// hold `buf_mut` borrows can still expand (pass `ctx.width()` captured
-// beforehand).
+// Tasks that hold `buf_mut` borrows expand via `ctx.workgroup().clone()`
+// captured before the borrow — the pool handle does not alias the guards.
 
 #[cfg(test)]
 mod tests {

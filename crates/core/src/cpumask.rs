@@ -4,7 +4,7 @@
 //! the "app APIs" divide a domain's cores evenly among a requested number of
 //! streams. Masks here are logical (up to 128 cores per domain — enough for
 //! a 61-core KNC with headroom); OS-level pinning is out of scope for the
-//! reproduction (documented in DESIGN.md §9).
+//! reproduction (documented in DESIGN.md §10, Non-goals).
 
 use serde::{Deserialize, Serialize};
 

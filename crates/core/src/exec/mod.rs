@@ -92,11 +92,12 @@ pub enum Executor {
 
 impl Executor {
     /// Register a new stream's sink resources; streams are indexed densely
-    /// in creation order.
-    pub fn add_stream(&mut self, domain_idx: usize, cores: u32) {
+    /// in creation order. The full mask flows to the thread executor (its
+    /// workgroup is keyed off it); the simulator only needs the width.
+    pub fn add_stream(&mut self, domain_idx: usize, mask: crate::CpuMask) {
         match self {
-            Executor::Thread(t) => t.add_stream(domain_idx, cores),
-            Executor::Sim(s) => s.add_stream(domain_idx, cores),
+            Executor::Thread(t) => t.add_stream(domain_idx, mask),
+            Executor::Sim(s) => s.add_stream(domain_idx, mask.count()),
         }
     }
 

@@ -106,11 +106,14 @@ impl ThreadExec {
         self.started.elapsed().as_secs_f64()
     }
 
-    pub fn add_stream(&mut self, domain_idx: usize, cores: u32) {
-        // Domain indices correspond 1:1 to COI engines (host = 0).
+    pub fn add_stream(&mut self, domain_idx: usize, mask: crate::CpuMask) {
+        // Domain indices correspond 1:1 to COI engines (host = 0). The
+        // stream's mask rides down to the pipeline's resident workgroup so
+        // width/affinity stay the tuner-visible knobs (paper §II).
+        let width = mask.count().max(1) as usize;
         let pipe = self
             .coi
-            .pipeline_create(EngineId(domain_idx as u16), cores.max(1) as usize);
+            .pipeline_create_masked(EngineId(domain_idx as u16), width, mask.0);
         self.pipes.push(pipe);
     }
 

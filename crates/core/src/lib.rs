@@ -252,7 +252,7 @@ impl HStreams {
             return Err(HsError::InvalidArg("stream mask is empty".into()));
         }
         let id = StreamId(self.streams.len() as u32);
-        self.exec.add_stream(domain.0, mask.count());
+        self.exec.add_stream(domain.0, mask);
         self.streams.push(StreamState::new(id, domain, mask));
         Ok(id)
     }

@@ -3,9 +3,17 @@
 //! These are the kernels the tiled algorithms enqueue as hStreams compute
 //! tasks: `dgemm` (the workhorse), `dsyrk_ln` (symmetric rank-k update,
 //! lower) and `dtrsm_rlt` (triangular solve, right/lower/transpose — the
-//! Cholesky panel solve). Loop orders are chosen for streaming access on
-//! row-major data (i-k-j with the `a[i][k]` scalar hoisted), with the j-loop
-//! written to auto-vectorize.
+//! Cholesky panel solve). Each dispatches by operand size: tiny shapes run
+//! the retained [`crate::naive`] loops (packing would cost more than the
+//! work), everything else runs the packed cache-blocked fast path in
+//! [`crate::microkernel`]. The naive module is also the oracle for the
+//! differential tests in `tests/blocked_vs_naive.rs`.
+
+use crate::{microkernel, naive};
+
+/// Flop threshold (m·n·k or its triangular analogue) below which the naive
+/// loops beat the packed path's panel-allocation and packing overhead.
+const SMALL_FLOPS: usize = 16 * 1024;
 
 /// `C = alpha * A(m×k) * B(k×n) + beta * C(m×n)` — row-major, no transposes.
 #[allow(clippy::too_many_arguments)] // the BLAS signature is the interface
@@ -22,24 +30,10 @@ pub fn dgemm(
     assert_eq!(a.len(), m * k, "A dims");
     assert_eq!(b.len(), k * n, "B dims");
     assert_eq!(c.len(), m * n, "C dims");
-    if beta != 1.0 {
-        for x in c.iter_mut() {
-            *x *= beta;
-        }
-    }
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (kk, &aik) in arow.iter().enumerate() {
-            let f = alpha * aik;
-            if f == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (cj, bj) in crow.iter_mut().zip(brow) {
-                *cj += f * bj;
-            }
-        }
+    if m * n * k <= SMALL_FLOPS {
+        naive::dgemm(alpha, a, b, beta, c, m, n, k);
+    } else {
+        microkernel::dgemm(alpha, a, b, beta, c, m, n, k);
     }
 }
 
@@ -60,17 +54,10 @@ pub fn dgemm_nt(
     assert_eq!(a.len(), m * k, "A dims");
     assert_eq!(b.len(), n * k, "B dims (stored n×k)");
     assert_eq!(c.len(), m * n, "C dims");
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut dot = 0.0;
-            for (x, y) in arow.iter().zip(brow) {
-                dot += x * y;
-            }
-            let cij = &mut c[i * n + j];
-            *cij = alpha * dot + beta * *cij;
-        }
+    if m * n * k <= SMALL_FLOPS {
+        naive::dgemm_nt(alpha, a, b, beta, c, m, n, k);
+    } else {
+        microkernel::dgemm_nt(alpha, a, b, beta, c, m, n, k);
     }
 }
 
@@ -79,16 +66,10 @@ pub fn dgemm_nt(
 pub fn dsyrk_ln(a: &[f64], c: &mut [f64], n: usize, k: usize) {
     assert_eq!(a.len(), n * k, "A dims");
     assert_eq!(c.len(), n * n, "C dims");
-    for i in 0..n {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..=i {
-            let brow = &a[j * k..(j + 1) * k];
-            let mut dot = 0.0;
-            for (x, y) in arow.iter().zip(brow) {
-                dot += x * y;
-            }
-            c[i * n + j] -= dot;
-        }
+    if n * n * k / 2 <= SMALL_FLOPS {
+        naive::dsyrk_ln(a, c, n, k);
+    } else {
+        microkernel::dsyrk_ln(a, c, n, k);
     }
 }
 
@@ -99,15 +80,10 @@ pub fn dsyrk_ln(a: &[f64], c: &mut [f64], n: usize, k: usize) {
 pub fn dtrsm_rlt(l: &[f64], b: &mut [f64], m: usize, n: usize) {
     assert_eq!(l.len(), n * n, "L dims");
     assert_eq!(b.len(), m * n, "B dims");
-    for r in 0..m {
-        let row = &mut b[r * n..(r + 1) * n];
-        for j in 0..n {
-            let mut v = row[j];
-            for p in 0..j {
-                v -= row[p] * l[j * n + p];
-            }
-            row[j] = v / l[j * n + j];
-        }
+    if m * n * n / 2 <= SMALL_FLOPS {
+        naive::dtrsm_rlt(l, b, m, n);
+    } else {
+        microkernel::dtrsm_rlt(l, b, m, n);
     }
 }
 
@@ -117,20 +93,10 @@ pub fn dtrsm_rlt(l: &[f64], b: &mut [f64], m: usize, n: usize) {
 pub fn dtrsm_llu(l: &[f64], b: &mut [f64], m: usize, n: usize) {
     assert_eq!(l.len(), m * m, "L dims");
     assert_eq!(b.len(), m * n, "B dims");
-    for r in 1..m {
-        // Split at row r: rows < r are final, row r updates from them.
-        let (done, rest) = b.split_at_mut(r * n);
-        let row = &mut rest[..n];
-        for p in 0..r {
-            let lrp = l[r * m + p];
-            if lrp == 0.0 {
-                continue;
-            }
-            let prow = &done[p * n..(p + 1) * n];
-            for (x, y) in row.iter_mut().zip(prow) {
-                *x -= lrp * y;
-            }
-        }
+    if m * m * n / 2 <= SMALL_FLOPS {
+        naive::dtrsm_llu(l, b, m, n);
+    } else {
+        microkernel::dtrsm_llu(l, b, m, n);
     }
 }
 
@@ -140,15 +106,10 @@ pub fn dtrsm_llu(l: &[f64], b: &mut [f64], m: usize, n: usize) {
 pub fn dtrsm_runn(u: &[f64], b: &mut [f64], m: usize, n: usize) {
     assert_eq!(u.len(), n * n, "U dims");
     assert_eq!(b.len(), m * n, "B dims");
-    for r in 0..m {
-        let row = &mut b[r * n..(r + 1) * n];
-        for j in 0..n {
-            let mut v = row[j];
-            for p in 0..j {
-                v -= row[p] * u[p * n + j];
-            }
-            row[j] = v / u[j * n + j];
-        }
+    if m * n * n / 2 <= SMALL_FLOPS {
+        naive::dtrsm_runn(u, b, m, n);
+    } else {
+        microkernel::dtrsm_runn(u, b, m, n);
     }
 }
 

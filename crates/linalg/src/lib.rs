@@ -5,7 +5,12 @@
 //! provides those kernels in pure Rust so the applications compute real
 //! numbers in real-thread mode:
 //!
-//! * [`blas3`] — blocked `dgemm`, `dsyrk`, `dtrsm` on row-major tiles;
+//! * [`blas3`] — `dgemm`, `dsyrk`, `dtrsm` on row-major tiles, dispatching
+//!   by size between the naive loops and the packed fast path;
+//! * [`microkernel`] — the packed, cache-blocked (MC/KC/NC), register-blocked
+//!   (MR×NR) GEMM fast path plus blocked SYRK/TRSM built on it;
+//! * [`naive`] — the retained reference loops (differential-test oracle and
+//!   small-operand path);
 //! * [`factor`] — `dpotrf` (Cholesky), `dgetrf` (LU with partial pivoting),
 //!   `ldlt` (the Simulia-style symmetric-indefinite supernode kernel);
 //! * [`dense`] — a row-major matrix type, SPD generators, norms;
@@ -22,6 +27,8 @@ pub mod blas3;
 pub mod dense;
 pub mod factor;
 pub mod flops;
+pub mod microkernel;
+pub mod naive;
 pub mod tiled;
 
 pub use blas3::{dgemm, dsyrk_ln, dtrsm_rlt};

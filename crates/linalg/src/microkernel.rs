@@ -1,0 +1,731 @@
+//! Packed, cache-blocked GEMM microkernel — the fast compute path.
+//!
+//! The tiled algorithms' throughput comes from this module (the paper's
+//! compute tasks are MKL calls; PLASMA/MAGMA-style tiled kernels get their
+//! performance from exactly this structure). The scheme is the classical
+//! three-level blocking of Goto / BLIS:
+//!
+//! * the k dimension is split into `KC`-deep slabs;
+//! * within a slab, a `KC`×`NC` panel of B is packed once into `NR`-wide
+//!   column strips (contiguous per micro-tile, streamed from L2/L3);
+//! * an `MC`×`KC` block of A is packed into `MR`-high row strips that stay
+//!   L1/L2-resident while they sweep the whole B panel;
+//! * the innermost [`micro_kernel`] keeps an `MR`×`NR` block of C in a
+//!   `f64` accumulator array that the compiler keeps in registers and
+//!   auto-vectorizes — each packed element of A and B is reused `NR`
+//!   (resp. `MR`) times per load instead of once.
+//!
+//! Edge tiles are handled by zero-padding inside the packed panels, so the
+//! hot loop is shape-oblivious; only the write-back is masked. All entry
+//! points take leading dimensions, which is what lets the blocked
+//! triangular-solve and SYRK wrappers (and the row-partitioned task
+//! expansion in `hs-apps`) reuse one kernel on sub-views.
+//!
+//! Differential tests against [`crate::naive`] live in
+//! `crates/linalg/tests/blocked_vs_naive.rs`.
+
+/// Micro-tile rows: C rows held concurrently in the accumulator block.
+pub const MR: usize = 4;
+/// Micro-tile columns: C columns per accumulator block (one or two SIMD
+/// vectors per row on SSE2/AVX).
+pub const NR: usize = 8;
+/// Rows of A packed per macro-block (MR multiple; A block is `MC`×`KC`).
+pub const MC: usize = 64;
+/// Depth of one packed slab of A and B.
+pub const KC: usize = 256;
+/// Columns of B packed per panel (NR multiple; B panel is `KC`×`NC`).
+pub const NC: usize = 256;
+
+const _: () = assert!(MC.is_multiple_of(MR), "MC must be a multiple of MR");
+const _: () = assert!(NC.is_multiple_of(NR), "NC must be a multiple of NR");
+
+/// Storage of the right-hand operand of [`gemm_strided`].
+#[derive(Clone, Copy)]
+pub enum BSrc<'a> {
+    /// Logical B (k×n) stored row-major with leading dimension `ldb`.
+    Normal { b: &'a [f64], ldb: usize },
+    /// Logical B (k×n) stored *transposed*: an n×k row-major array with
+    /// leading dimension `ldbt` (row j holds logical column j).
+    Trans { bt: &'a [f64], ldbt: usize },
+}
+
+/// `C = alpha·A·B + beta·C` on strided row-major views.
+///
+/// `a` is m×k with leading dimension `lda` (row i starts at `i*lda`), `c`
+/// is m×n with leading dimension `ldc`, and `b` is either layout of
+/// [`BSrc`]. Like the naive reference, `beta` multiplies the existing C
+/// (so `beta == 0.0` zeroes finite garbage but propagates NaN).
+#[allow(clippy::too_many_arguments)] // the BLAS signature is the interface
+pub fn gemm_strided(
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: BSrc<'_>,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    debug_assert!(lda >= k && ldc >= n, "leading dimensions cover the view");
+    if k == 0 || alpha == 0.0 {
+        scale_rows(c, ldc, m, n, beta);
+        return;
+    }
+    // Packed panels, zero-padded to full micro-tile strips.
+    let mut ap = vec![0.0f64; MC * KC.min(k)];
+    let mut bp = vec![0.0f64; NC * KC.min(k)];
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(b, pc, kc, jc, nc, &mut bp);
+            // beta applies exactly once per C element: on the first k-slab.
+            let beta_eff = if pc == 0 { beta } else { 1.0 };
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(a, lda, ic, mc, pc, kc, &mut ap);
+                macro_kernel_dispatch(
+                    alpha,
+                    &ap,
+                    &bp,
+                    mc,
+                    nc,
+                    kc,
+                    beta_eff,
+                    &mut c[ic * ldc + jc..],
+                    ldc,
+                );
+            }
+        }
+    }
+}
+
+/// `c[i][j] *= beta` over the m×n view (the k==0 / alpha==0 degenerate).
+fn scale_rows(c: &mut [f64], ldc: usize, m: usize, n: usize, beta: f64) {
+    if beta == 1.0 {
+        return;
+    }
+    for i in 0..m {
+        for x in &mut c[i * ldc..i * ldc + n] {
+            *x *= beta;
+        }
+    }
+}
+
+/// Pack the `mc`×`kc` block of A at (`ic`, `pc`) into MR-high row strips:
+/// strip s holds columns-of-the-strip contiguously, `ap[s·kc·MR + p·MR + i]
+/// = A[ic+s·MR+i][pc+p]`, with rows past `mc` zero-padded.
+fn pack_a(a: &[f64], lda: usize, ic: usize, mc: usize, pc: usize, kc: usize, ap: &mut [f64]) {
+    for (s, row0) in (0..mc).step_by(MR).enumerate() {
+        let strip = &mut ap[s * kc * MR..(s + 1) * kc * MR];
+        let live = MR.min(mc - row0);
+        for p in 0..kc {
+            let dst = &mut strip[p * MR..p * MR + MR];
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d = if i < live {
+                    a[(ic + row0 + i) * lda + pc + p]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Pack the `kc`×`nc` panel of B at (`pc`, `jc`) into NR-wide column strips:
+/// `bp[s·kc·NR + p·NR + j] = B[pc+p][jc+s·NR+j]`, zero-padded past `nc`.
+fn pack_b(b: BSrc<'_>, pc: usize, kc: usize, jc: usize, nc: usize, bp: &mut [f64]) {
+    for (s, col0) in (0..nc).step_by(NR).enumerate() {
+        let strip = &mut bp[s * kc * NR..(s + 1) * kc * NR];
+        let live = NR.min(nc - col0);
+        match b {
+            BSrc::Normal { b, ldb } => {
+                for p in 0..kc {
+                    let src = &b[(pc + p) * ldb + jc + col0..];
+                    let dst = &mut strip[p * NR..p * NR + NR];
+                    for (j, d) in dst.iter_mut().enumerate() {
+                        *d = if j < live { src[j] } else { 0.0 };
+                    }
+                }
+            }
+            BSrc::Trans { bt, ldbt } => {
+                for j in 0..NR {
+                    if j < live {
+                        let src = &bt[(jc + col0 + j) * ldbt + pc..];
+                        for p in 0..kc {
+                            strip[p * NR + j] = src[p];
+                        }
+                    } else {
+                        for p in 0..kc {
+                            strip[p * NR + j] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Select the widest macro-kernel instantiation the CPU supports. The
+/// arithmetic is identical in every instantiation (same loops, same
+/// accumulation order); `#[target_feature]` only changes the vector ISA the
+/// compiler may use, so results are bit-identical across paths.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel_dispatch(
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    beta_eff: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: the avx2/fma requirement of the target_feature function is
+        // established by the runtime detection directly above.
+        unsafe { macro_kernel_avx2(alpha, ap, bp, mc, nc, kc, beta_eff, c, ldc) };
+        return;
+    }
+    macro_kernel(alpha, ap, bp, mc, nc, kc, beta_eff, c, ldc);
+}
+
+/// AVX2+FMA instantiation of [`macro_kernel`]: same code, compiled with the
+/// wider vector ISA enabled so the accumulator block lives in ymm registers
+/// and the inner update becomes fused multiply-adds.
+///
+/// # Safety
+/// Callers must ensure the CPU supports avx2 and fma.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn macro_kernel_avx2(
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    beta_eff: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    macro_kernel(alpha, ap, bp, mc, nc, kc, beta_eff, c, ldc);
+}
+
+/// Sweep the packed A block against the packed B panel, writing the
+/// `mc`×`nc` block of C at leading dimension `ldc`.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn macro_kernel(
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    beta_eff: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for (sj, col0) in (0..nc).step_by(NR).enumerate() {
+        let bstrip = &bp[sj * kc * NR..(sj + 1) * kc * NR];
+        let nr = NR.min(nc - col0);
+        for (si, row0) in (0..mc).step_by(MR).enumerate() {
+            let astrip = &ap[si * kc * MR..(si + 1) * kc * MR];
+            let mr = MR.min(mc - row0);
+            let acc = micro_kernel(kc, astrip, bstrip);
+            // Masked write-back of the (possibly partial) micro-tile.
+            for i in 0..mr {
+                let crow = &mut c[(row0 + i) * ldc + col0..(row0 + i) * ldc + col0 + nr];
+                if beta_eff == 1.0 {
+                    for (j, x) in crow.iter_mut().enumerate() {
+                        *x += alpha * acc[i][j];
+                    }
+                } else {
+                    for (j, x) in crow.iter_mut().enumerate() {
+                        *x = alpha * acc[i][j] + beta_eff * *x;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The register-blocked inner product: an MR×NR block of `A_strip · B_strip`
+/// accumulated over `kc`. The accumulator array is small enough for the
+/// compiler to keep in vector registers; the i/j loops are fully unrollable
+/// (constant trip counts) and the j loop auto-vectorizes.
+#[inline(always)]
+fn micro_kernel(kc: usize, astrip: &[f64], bstrip: &[f64]) -> [[f64; NR]; MR] {
+    let mut acc = [[0.0f64; NR]; MR];
+    for p in 0..kc {
+        let a = &astrip[p * MR..p * MR + MR];
+        let b = &bstrip[p * NR..p * NR + NR];
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i][j] += ai * b[j];
+            }
+        }
+    }
+    acc
+}
+
+// ------------------------------------------------------------ entry points
+
+/// Blocked `C = alpha·A·B + beta·C` on contiguous row-major operands.
+#[allow(clippy::too_many_arguments)] // the BLAS signature is the interface
+pub fn dgemm(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    assert_eq!(a.len(), m * k, "A dims");
+    assert_eq!(b.len(), k * n, "B dims");
+    assert_eq!(c.len(), m * n, "C dims");
+    gemm_strided(alpha, a, k, BSrc::Normal { b, ldb: n }, beta, c, n, m, n, k);
+}
+
+/// Blocked `C = alpha·A·Bᵀ + beta·C` with `b` stored n×k row-major.
+#[allow(clippy::too_many_arguments)] // the BLAS signature is the interface
+pub fn dgemm_nt(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    assert_eq!(a.len(), m * k, "A dims");
+    assert_eq!(b.len(), n * k, "B dims (stored n×k)");
+    assert_eq!(c.len(), m * n, "C dims");
+    gemm_strided(
+        alpha,
+        a,
+        k,
+        BSrc::Trans { bt: b, ldbt: k },
+        beta,
+        c,
+        n,
+        m,
+        n,
+        k,
+    );
+}
+
+/// Blocked symmetric rank-k update, lower: `C = C − A·Aᵀ` on the lower
+/// triangle of the n×n tile `C`, `A` n×k. Off-diagonal blocks go through
+/// the packed GEMM; only the `MC`-sized diagonal blocks run the small
+/// dot-product loop.
+pub fn dsyrk_ln(a: &[f64], c: &mut [f64], n: usize, k: usize) {
+    assert_eq!(a.len(), n * k, "A dims");
+    assert_eq!(c.len(), n * n, "C dims");
+    dsyrk_ln_rows(a, c, 0, n, n, k);
+}
+
+/// The row-slab form of [`dsyrk_ln`] used by task expansion: update rows
+/// `[row0, row0+nrows)` of the lower-triangular update, where `a` is the
+/// *full* n×k A and `c_rows` is the nrows×n slab of C starting at `row0`.
+pub fn dsyrk_ln_rows(a: &[f64], c_rows: &mut [f64], row0: usize, nrows: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), n * k, "A dims");
+    assert_eq!(c_rows.len(), nrows * n, "C slab dims");
+    assert!(row0 + nrows <= n, "slab in range");
+    if nrows == 0 {
+        return;
+    }
+    // Rectangle: columns 0..row0 are full for every row of the slab.
+    if row0 > 0 {
+        gemm_strided(
+            -1.0,
+            &a[row0 * k..],
+            k,
+            BSrc::Trans { bt: a, ldbt: k },
+            1.0,
+            c_rows,
+            n,
+            nrows,
+            row0,
+            k,
+        );
+    }
+    // Triangle: the nrows×nrows diagonal block, processed in MC sub-blocks
+    // whose own off-diagonal parts are again packed GEMMs.
+    let mut jb = 0;
+    while jb < nrows {
+        let nb = MC.min(nrows - jb);
+        // Small triangular block: dot products (j <= i within the block).
+        for i in 0..nb {
+            let arow = &a[(row0 + jb + i) * k..(row0 + jb + i + 1) * k];
+            let crow = &mut c_rows[(jb + i) * n + row0 + jb..];
+            for j in 0..=i {
+                let brow = &a[(row0 + jb + j) * k..(row0 + jb + j + 1) * k];
+                let mut dot = 0.0;
+                for (x, y) in arow.iter().zip(brow) {
+                    dot += x * y;
+                }
+                crow[j] -= dot;
+            }
+        }
+        // Rows of the slab below this block vs. the block's columns.
+        let m2 = nrows - jb - nb;
+        if m2 > 0 {
+            gemm_strided(
+                -1.0,
+                &a[(row0 + jb + nb) * k..],
+                k,
+                BSrc::Trans {
+                    bt: &a[(row0 + jb) * k..(row0 + jb + nb) * k],
+                    ldbt: k,
+                },
+                1.0,
+                &mut c_rows[(jb + nb) * n + row0 + jb..],
+                n,
+                m2,
+                nb,
+                k,
+            );
+        }
+        jb += nb;
+    }
+}
+
+/// Blocked `B = B·L⁻ᵀ` (right/lower/transposed, the Cholesky panel solve):
+/// left-looking over `MC`-wide column blocks, with the bulk of the flops in
+/// a packed GEMM into a scratch panel and only the diagonal blocks in the
+/// naive per-row solve.
+pub fn dtrsm_rlt(l: &[f64], b: &mut [f64], m: usize, n: usize) {
+    assert_eq!(l.len(), n * n, "L dims");
+    assert_eq!(b.len(), m * n, "B dims");
+    let mut scratch = vec![0.0f64; m * MC.min(n.max(1))];
+    let mut jb = 0;
+    while jb < n {
+        let nb = MC.min(n - jb);
+        if jb > 0 {
+            // delta = B[:, 0..jb] · L[jb.., 0..jb]ᵀ  (m×nb, into scratch —
+            // B is both read and written in-place, so the update cannot
+            // target it directly).
+            let delta = &mut scratch[..m * nb];
+            gemm_strided(
+                1.0,
+                b,
+                n,
+                BSrc::Trans {
+                    bt: &l[jb * n..],
+                    ldbt: n,
+                },
+                0.0,
+                delta,
+                nb,
+                m,
+                nb,
+                jb,
+            );
+            for r in 0..m {
+                let brow = &mut b[r * n + jb..r * n + jb + nb];
+                let drow = &delta[r * nb..(r + 1) * nb];
+                for (x, d) in brow.iter_mut().zip(drow) {
+                    *x -= d;
+                }
+            }
+        }
+        // Solve the nb-wide panel against the diagonal block of L.
+        for r in 0..m {
+            let row = &mut b[r * n + jb..r * n + jb + nb];
+            for j in 0..nb {
+                let lrow = &l[(jb + j) * n + jb..];
+                let mut v = row[j];
+                for p in 0..j {
+                    v -= row[p] * lrow[p];
+                }
+                row[j] = v / lrow[j];
+            }
+        }
+        jb += nb;
+    }
+}
+
+/// Blocked `B = L⁻¹·B` (left/lower/unit, block-LU row panel): row blocks;
+/// the rectangular update is a packed GEMM on disjoint row ranges.
+pub fn dtrsm_llu(l: &[f64], b: &mut [f64], m: usize, n: usize) {
+    assert_eq!(l.len(), m * m, "L dims");
+    assert_eq!(b.len(), m * n, "B dims");
+    let mut rb = 0;
+    while rb < m {
+        let nb = MC.min(m - rb);
+        let (done, rest) = b.split_at_mut(rb * n);
+        let block = &mut rest[..nb * n];
+        if rb > 0 {
+            // B[rb..rb+nb] -= L[rb.., 0..rb] · B[0..rb]
+            gemm_strided(
+                -1.0,
+                &l[rb * m..],
+                m,
+                BSrc::Normal { b: done, ldb: n },
+                1.0,
+                block,
+                n,
+                nb,
+                n,
+                rb,
+            );
+        }
+        // Unit-lower solve within the diagonal block.
+        for r in 1..nb {
+            let (prev, cur) = block.split_at_mut(r * n);
+            let row = &mut cur[..n];
+            let lrow = &l[(rb + r) * m + rb..];
+            for p in 0..r {
+                let lrp = lrow[p];
+                if lrp == 0.0 {
+                    continue;
+                }
+                for (x, y) in row.iter_mut().zip(&prev[p * n..(p + 1) * n]) {
+                    *x -= lrp * y;
+                }
+            }
+        }
+        rb += nb;
+    }
+}
+
+/// Blocked `B = B·U⁻¹` (right/upper/non-unit, block-LU column panel):
+/// left-looking over column blocks with a scratch delta panel, like
+/// [`dtrsm_rlt`].
+pub fn dtrsm_runn(u: &[f64], b: &mut [f64], m: usize, n: usize) {
+    assert_eq!(u.len(), n * n, "U dims");
+    assert_eq!(b.len(), m * n, "B dims");
+    let mut scratch = vec![0.0f64; m * MC.min(n.max(1))];
+    let mut jb = 0;
+    while jb < n {
+        let nb = MC.min(n - jb);
+        if jb > 0 {
+            // delta = B[:, 0..jb] · U[0..jb, jb..jb+nb]
+            let delta = &mut scratch[..m * nb];
+            gemm_strided(
+                1.0,
+                b,
+                n,
+                BSrc::Normal {
+                    b: &u[jb..],
+                    ldb: n,
+                },
+                0.0,
+                delta,
+                nb,
+                m,
+                nb,
+                jb,
+            );
+            for r in 0..m {
+                let brow = &mut b[r * n + jb..r * n + jb + nb];
+                let drow = &delta[r * nb..(r + 1) * nb];
+                for (x, d) in brow.iter_mut().zip(drow) {
+                    *x -= d;
+                }
+            }
+        }
+        // Upper non-unit solve within the diagonal block.
+        for r in 0..m {
+            let row = &mut b[r * n + jb..r * n + jb + nb];
+            for j in 0..nb {
+                let mut v = row[j];
+                for p in 0..j {
+                    v -= row[p] * u[(jb + p) * n + jb + j];
+                }
+                row[j] = v / u[(jb + j) * n + jb + j];
+            }
+        }
+        jb += nb;
+    }
+}
+
+/// Rows per chunk when a compute task partitions an m-row tile across a
+/// stream's `width` workers: ~2 chunks per worker for dynamic balance,
+/// rounded up to a micro-tile multiple so no worker gets a partial strip.
+pub fn expansion_rows(m: usize, width: usize) -> usize {
+    if width <= 1 {
+        return m.max(1);
+    }
+    let target = m.div_ceil(width * 2).max(1);
+    target.next_multiple_of(MR).min(m.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::random;
+    use crate::naive;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        let norm = b.iter().fold(1.0f64, |acc, x| acc.max(x.abs()));
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * norm,
+                "idx {i}: {x} vs {y} (norm {norm})"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_dgemm_matches_naive_beyond_one_block() {
+        // Crosses MC, KC and NC boundaries.
+        let (m, n, k) = (MC + 5, NC + 3, KC + 7);
+        let a = random(m, k, 1);
+        let b = random(k, n, 2);
+        let mut c1 = random(m, n, 3);
+        let mut c2 = c1.clone();
+        dgemm(
+            1.5,
+            a.as_slice(),
+            b.as_slice(),
+            -0.5,
+            c1.as_mut_slice(),
+            m,
+            n,
+            k,
+        );
+        naive::dgemm(
+            1.5,
+            a.as_slice(),
+            b.as_slice(),
+            -0.5,
+            c2.as_mut_slice(),
+            m,
+            n,
+            k,
+        );
+        assert_close(c1.as_slice(), c2.as_slice(), 1e-12);
+    }
+
+    #[test]
+    fn strided_view_updates_only_the_view() {
+        // C is a 3×4 window at (1,2) inside a 6×8 matrix.
+        let (m, n, k) = (3usize, 4usize, 5usize);
+        let a = random(m, k, 11);
+        let b = random(k, n, 12);
+        let mut full = random(6, 8, 13);
+        let before = full.clone();
+        let ldc = 8;
+        gemm_strided(
+            2.0,
+            a.as_slice(),
+            k,
+            BSrc::Normal {
+                b: b.as_slice(),
+                ldb: n,
+            },
+            1.0,
+            &mut full.as_mut_slice()[ldc + 2..],
+            ldc,
+            m,
+            n,
+            k,
+        );
+        let mut expect = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                expect[i * n + j] = before.at(i + 1, j + 2);
+            }
+        }
+        naive::dgemm(2.0, a.as_slice(), b.as_slice(), 1.0, &mut expect, m, n, k);
+        for i in 0..6 {
+            for j in 0..8 {
+                let inside = (1..4).contains(&i) && (2..6).contains(&j);
+                if inside {
+                    let e = expect[(i - 1) * n + (j - 2)];
+                    assert!((full.at(i, j) - e).abs() < 1e-12, "({i},{j})");
+                } else {
+                    assert_eq!(full.at(i, j), before.at(i, j), "({i},{j}) untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_row_slabs_compose_to_full_update() {
+        let (n, k) = (37usize, 19usize);
+        let a = random(n, k, 21);
+        let mut c1 = random(n, n, 22);
+        let mut c2 = c1.clone();
+        naive::dsyrk_ln(a.as_slice(), c1.as_mut_slice(), n, k);
+        // Apply the slab form in three uneven pieces.
+        let mut row0 = 0;
+        for nrows in [11usize, 20, 6] {
+            let slab = &mut c2.as_mut_slice()[row0 * n..(row0 + nrows) * n];
+            dsyrk_ln_rows(a.as_slice(), slab, row0, nrows, n, k);
+            row0 += nrows;
+        }
+        assert_close(c2.as_slice(), c1.as_slice(), 1e-12);
+    }
+
+    #[test]
+    fn expansion_rows_is_balanced_and_micro_aligned() {
+        assert_eq!(expansion_rows(64, 1), 64);
+        let r = expansion_rows(64, 4);
+        assert_eq!(r % MR, 0);
+        assert!((MR..=64).contains(&r));
+        // Tiny loops never produce zero-row chunks.
+        assert!(expansion_rows(1, 8) >= 1);
+        assert!(expansion_rows(0, 2) >= 1);
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    // Run with: cargo test -p hs-linalg --release -- --ignored --nocapture
+    use super::*;
+    use crate::{dense::random, naive};
+    use std::time::Instant;
+
+    #[test]
+    #[ignore = "perf probe, run manually in release"]
+    fn gf_512() {
+        let n = 512;
+        let a = random(n, n, 1);
+        let b = random(n, n, 2);
+        let mut c = random(n, n, 3);
+        let fl = 2.0 * (n as f64).powi(3);
+        for (name, f) in [
+            (
+                "naive",
+                naive::dgemm as fn(f64, &[f64], &[f64], f64, &mut [f64], usize, usize, usize),
+            ),
+            (
+                "blocked",
+                dgemm as fn(f64, &[f64], &[f64], f64, &mut [f64], usize, usize, usize),
+            ),
+        ] {
+            let mut best = f64::MAX;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                f(
+                    1.0,
+                    a.as_slice(),
+                    b.as_slice(),
+                    1.0,
+                    c.as_mut_slice(),
+                    n,
+                    n,
+                    n,
+                );
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            println!("{name}: {:.2} GF/s", fl / best / 1e9);
+        }
+    }
+}

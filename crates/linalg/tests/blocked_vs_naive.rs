@@ -1,0 +1,235 @@
+//! Differential tests: the packed cache-blocked microkernel path versus the
+//! retained naive reference loops (`hs_linalg::naive`), across shapes chosen
+//! to stress every edge case of the blocking scheme — dimensions below one
+//! register tile, exact multiples of MR/NR/MC/KC, and off-by-one neighbours
+//! of the block sizes — and the full alpha/beta special-case grid.
+//!
+//! The microkernel entry points are called directly (not through the
+//! `blas3` small-operand dispatcher) so small shapes genuinely exercise the
+//! packed path rather than falling back to the oracle under test.
+
+use hs_linalg::{microkernel, naive};
+
+/// Deterministic pseudo-random fill (no rand dep): splitmix64 mapped to
+/// [-1, 1).
+fn fill(seed: u64, v: &mut [f64]) {
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    for x in v.iter_mut() {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        *x = (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+    }
+}
+
+/// Relative max-norm error between two buffers.
+fn rel_err(got: &[f64], want: &[f64]) -> f64 {
+    let scale = want.iter().fold(1.0f64, |m, x| m.max(x.abs()));
+    got.iter()
+        .zip(want)
+        .fold(0.0f64, |m, (g, w)| m.max((g - w).abs()))
+        / scale
+}
+
+const TOL: f64 = 1e-10;
+
+/// Shapes that straddle the register block (MR=4, NR=8) and cache block
+/// (MC=64, KC=256) boundaries.
+fn dims() -> Vec<usize> {
+    let mut d: Vec<usize> = (1..=17).collect();
+    d.extend([31, 32, 33, 63, 64, 65, 96, 127, 129]);
+    d
+}
+
+/// A reduced (m, n, k) grid over `dims`: full cross-product is too slow, so
+/// pair each m with rotated n/k picks plus a few adversarial corners.
+fn shapes() -> Vec<(usize, usize, usize)> {
+    let d = dims();
+    let mut out = Vec::new();
+    for (i, &m) in d.iter().enumerate() {
+        let n = d[(i * 7 + 3) % d.len()];
+        let k = d[(i * 11 + 5) % d.len()];
+        out.push((m, n, k));
+    }
+    out.extend([
+        (1, 1, 1),
+        (4, 8, 1),
+        (5, 9, 257),
+        (65, 65, 65),
+        (3, 129, 127),
+        (129, 3, 31),
+    ]);
+    out
+}
+
+const COEFFS: [f64; 4] = [0.0, 1.0, -1.0, 0.5];
+
+#[test]
+fn gemm_blocked_matches_naive() {
+    for (m, n, k) in shapes() {
+        let mut a = vec![0.0; m * k];
+        let mut b = vec![0.0; k * n];
+        let mut c0 = vec![0.0; m * n];
+        fill(1 + (m * 1000 + n * 10 + k) as u64, &mut a);
+        fill(2 + (m * 1000 + n * 10 + k) as u64, &mut b);
+        fill(3 + (m * 1000 + n * 10 + k) as u64, &mut c0);
+        for alpha in COEFFS {
+            for beta in COEFFS {
+                let mut got = c0.clone();
+                let mut want = c0.clone();
+                microkernel::dgemm(alpha, &a, &b, beta, &mut got, m, n, k);
+                naive::dgemm(alpha, &a, &b, beta, &mut want, m, n, k);
+                let e = rel_err(&got, &want);
+                assert!(
+                    e <= TOL,
+                    "gemm m={m} n={n} k={k} alpha={alpha} beta={beta}: rel err {e:.3e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gemm_nt_blocked_matches_naive() {
+    for (m, n, k) in shapes() {
+        let mut a = vec![0.0; m * k];
+        let mut bt = vec![0.0; n * k];
+        let mut c0 = vec![0.0; m * n];
+        fill(11 + (m * 1000 + n * 10 + k) as u64, &mut a);
+        fill(12 + (m * 1000 + n * 10 + k) as u64, &mut bt);
+        fill(13 + (m * 1000 + n * 10 + k) as u64, &mut c0);
+        for alpha in COEFFS {
+            for beta in COEFFS {
+                let mut got = c0.clone();
+                let mut want = c0.clone();
+                microkernel::dgemm_nt(alpha, &a, &bt, beta, &mut got, m, n, k);
+                naive::dgemm_nt(alpha, &a, &bt, beta, &mut want, m, n, k);
+                let e = rel_err(&got, &want);
+                assert!(
+                    e <= TOL,
+                    "gemm_nt m={m} n={n} k={k} alpha={alpha} beta={beta}: rel err {e:.3e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn syrk_blocked_matches_naive() {
+    for (n, _, k) in shapes() {
+        let mut a = vec![0.0; n * k];
+        let mut c0 = vec![0.0; n * n];
+        fill(21 + (n * 1000 + k) as u64, &mut a);
+        fill(22 + (n * 1000 + k) as u64, &mut c0);
+        let mut got = c0.clone();
+        let mut want = c0;
+        microkernel::dsyrk_ln(&a, &mut got, n, k);
+        naive::dsyrk_ln(&a, &mut want, n, k);
+        let e = rel_err(&got, &want);
+        assert!(e <= TOL, "syrk n={n} k={k}: rel err {e:.3e}");
+    }
+}
+
+#[test]
+fn syrk_rows_slab_matches_whole() {
+    // The expansion entry point: computing the update in row slabs must
+    // agree with the one-shot lower-triangular update.
+    for (n, k) in [(13usize, 7usize), (64, 33), (97, 65), (129, 16)] {
+        let mut a = vec![0.0; n * k];
+        let mut c0 = vec![0.0; n * n];
+        fill(31 + (n * 1000 + k) as u64, &mut a);
+        fill(32 + (n * 1000 + k) as u64, &mut c0);
+        let mut want = c0.clone();
+        naive::dsyrk_ln(&a, &mut want, n, k);
+        for rows in [1usize, 4, 5, 64, 100] {
+            let mut got = c0.clone();
+            let mut row0 = 0;
+            while row0 < n {
+                let nrows = rows.min(n - row0);
+                microkernel::dsyrk_ln_rows(
+                    &a,
+                    &mut got[row0 * n..(row0 + nrows) * n],
+                    row0,
+                    nrows,
+                    n,
+                    k,
+                );
+                row0 += nrows;
+            }
+            let e = rel_err(&got, &want);
+            assert!(
+                e <= TOL,
+                "syrk_rows n={n} k={k} rows={rows}: rel err {e:.3e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trsm_rlt_blocked_matches_naive() {
+    for (m, n, _) in shapes() {
+        let mut l = vec![0.0; n * n];
+        fill(41 + (m * 1000 + n) as u64, &mut l);
+        // Make L well conditioned: dominant diagonal.
+        for i in 0..n {
+            l[i * n + i] = 2.0 + i as f64 * 0.01;
+        }
+        let mut b0 = vec![0.0; m * n];
+        fill(42 + (m * 1000 + n) as u64, &mut b0);
+        let mut got = b0.clone();
+        let mut want = b0;
+        microkernel::dtrsm_rlt(&l, &mut got, m, n);
+        naive::dtrsm_rlt(&l, &mut want, m, n);
+        let e = rel_err(&got, &want);
+        assert!(e <= TOL, "trsm_rlt m={m} n={n}: rel err {e:.3e}");
+    }
+}
+
+#[test]
+fn trsm_llu_blocked_matches_naive() {
+    for (m, n, _) in shapes() {
+        let mut lu = vec![0.0; m * m];
+        fill(51 + (m * 1000 + n) as u64, &mut lu);
+        let mut b0 = vec![0.0; m * n];
+        fill(52 + (m * 1000 + n) as u64, &mut b0);
+        let mut got = b0.clone();
+        let mut want = b0;
+        microkernel::dtrsm_llu(&lu, &mut got, m, n);
+        naive::dtrsm_llu(&lu, &mut want, m, n);
+        let e = rel_err(&got, &want);
+        assert!(e <= TOL, "trsm_llu m={m} n={n}: rel err {e:.3e}");
+    }
+}
+
+#[test]
+fn trsm_runn_blocked_matches_naive() {
+    for (m, n, _) in shapes() {
+        let mut u = vec![0.0; n * n];
+        fill(61 + (m * 1000 + n) as u64, &mut u);
+        for i in 0..n {
+            u[i * n + i] = 2.0 + i as f64 * 0.01;
+        }
+        let mut b0 = vec![0.0; m * n];
+        fill(62 + (m * 1000 + n) as u64, &mut b0);
+        let mut got = b0.clone();
+        let mut want = b0;
+        microkernel::dtrsm_runn(&u, &mut got, m, n);
+        naive::dtrsm_runn(&u, &mut want, m, n);
+        let e = rel_err(&got, &want);
+        assert!(e <= TOL, "trsm_runn m={m} n={n}: rel err {e:.3e}");
+    }
+}
+
+#[test]
+fn zero_dims_are_noops() {
+    let a: Vec<f64> = vec![];
+    let b: Vec<f64> = vec![];
+    let mut c: Vec<f64> = vec![];
+    microkernel::dgemm(1.0, &a, &b, 1.0, &mut c, 0, 0, 0);
+    let mut c1 = vec![5.0; 6];
+    // k == 0: C := beta * C.
+    microkernel::dgemm(1.0, &a, &b, 0.5, &mut c1, 2, 3, 0);
+    assert_eq!(c1, vec![2.5; 6]);
+}

@@ -1,8 +1,25 @@
 #!/bin/bash
 # Regenerates every paper table/figure plus the ablations.
-set +e
-for b in fig2_machines sec3_overheads fig3_coding fig6_matmul fig7_cholesky fig8_abaqus fig9_supernode sec4_ompss_backend sec6_rtm ablation_lu ablation_tuning ablation_scheduling runtime_primitives; do
+#
+# Failures are loud: stderr is shown, every failing bench is reported, and
+# the script exits nonzero if any bench failed. fig6/fig7/kernel_gemm also
+# emit machine-readable BENCH_fig6.json / BENCH_fig7.json /
+# BENCH_kernel_gemm.json at the repo root.
+set -u
+failed=()
+for b in fig2_machines sec3_overheads fig3_coding fig6_matmul fig7_cholesky \
+         fig8_abaqus fig9_supernode sec4_ompss_backend sec6_rtm ablation_lu \
+         ablation_tuning ablation_scheduling runtime_primitives kernel_gemm; do
   echo ""
   echo "################ bench: $b ################"
-  cargo bench -p hs-bench --bench $b 2>/dev/null
+  if ! cargo bench -p hs-bench --bench "$b"; then
+    echo "!!! bench $b FAILED"
+    failed+=("$b")
+  fi
 done
+echo ""
+if [ ${#failed[@]} -gt 0 ]; then
+  echo "FAILED benches: ${failed[*]}"
+  exit 1
+fi
+echo "all benches passed; JSON artifacts: BENCH_fig6.json BENCH_fig7.json BENCH_kernel_gemm.json"

@@ -20,11 +20,15 @@ pub enum BatchSize {
 
 pub struct Criterion {
     sample_count: u32,
+    last_mean: Option<Duration>,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_count: 10 }
+        Criterion {
+            sample_count: 10,
+            last_mean: None,
+        }
     }
 }
 
@@ -65,11 +69,20 @@ impl Criterion {
         f(&mut b);
         if b.iters > 0 {
             let mean = b.total / b.iters;
+            self.last_mean = Some(mean);
             println!("{name:<60} {mean:>12.2?}/iter ({} iters)", b.iters);
         } else {
+            self.last_mean = None;
             println!("{name:<60} (no iterations)");
         }
         self
+    }
+
+    /// Mean per-iteration time of the most recent `bench_function` run, in
+    /// seconds. Shim extension (the real crate reports via its own output
+    /// files) used by benches that derive throughput numbers.
+    pub fn last_mean_secs(&self) -> Option<f64> {
+        self.last_mean.map(|d| d.as_secs_f64())
     }
 }
 
