@@ -1,0 +1,61 @@
+//! End-to-end observability check: a traced hetero matmul must export a
+//! Chrome trace whose span count equals the enqueued actions (computes +
+//! non-elided transfers), with one row per participating stream, and the
+//! trace must pass the structural validator (well-nested spans per row).
+
+use hs_apps::matmul::{run, MatmulConfig};
+use hs_machine::{Device, PlatformCfg};
+use hs_obs::chrome;
+use hstreams_core::{ExecMode, HStreams};
+
+#[test]
+fn traced_matmul_span_count_matches_enqueued_actions() {
+    let mut cfg = MatmulConfig::new(2000, 400);
+    cfg.host_participates = true;
+    cfg.load_balance = true;
+    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Sim);
+    hs.set_tracing(false);
+    hs.obs_enable(true);
+    run(&mut hs, &cfg).expect("matmul runs");
+
+    let expected = hs.stats().computes() + hs.stats().transfers() - hs.stats().transfers_elided();
+    let json = hs.export_chrome_trace();
+    let check = chrome::validate(&json).expect("trace validates");
+    assert_eq!(
+        check.spans as u64, expected,
+        "one span per compute + non-elided transfer"
+    );
+    assert_eq!(
+        check.stream_rows,
+        hs.num_streams(),
+        "one trace row per stream"
+    );
+    // Export drained the records: a second export is empty.
+    let empty = chrome::validate(&hs.export_chrome_trace());
+    assert!(empty.is_err() || empty.unwrap().spans == 0);
+}
+
+#[test]
+fn metrics_snapshot_has_action_counters() {
+    let mut cfg = MatmulConfig::new(2000, 500);
+    cfg.host_participates = true;
+    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim);
+    hs.set_tracing(false);
+    hs.obs_enable(true);
+    run(&mut hs, &cfg).expect("matmul runs");
+    let rows = hs.metrics().rows();
+    let get = |k: &str| rows.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+    assert_eq!(get("actions.compute"), Some(hs.stats().computes() as f64));
+    assert_eq!(get("actions.transfer"), Some(hs.stats().transfers() as f64));
+}
+
+#[test]
+fn disabled_hub_records_nothing() {
+    let mut cfg = MatmulConfig::new(2000, 500);
+    cfg.host_participates = true;
+    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim);
+    hs.set_tracing(false);
+    run(&mut hs, &cfg).expect("matmul runs");
+    assert!(hs.take_obs_records().is_empty(), "no sink, no records");
+    assert!(hs.metrics().rows().is_empty(), "no sink, no metrics");
+}

@@ -24,8 +24,32 @@ fn gflops(platform: PlatformCfg, n: usize, host: bool, balance: bool) -> f64 {
     run(&mut hs, &cfg).expect("matmul runs").gflops
 }
 
+/// One traced run: lifecycle recording on, Chrome-trace JSON written to
+/// `path`, and the run's metrics snapshot (queue depths, occupancy)
+/// attached to its bench record.
+fn traced_run(path: &str, n: usize, records: &mut Vec<JsonRecord>) {
+    let mut cfg = MatmulConfig::new(n, tile_for(n));
+    cfg.host_participates = true;
+    cfg.load_balance = true;
+    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Sim);
+    hs.set_tracing(false);
+    hs.obs_enable(true);
+    let res = run(&mut hs, &cfg).expect("matmul runs");
+    let trace = hs.export_chrome_trace();
+    std::fs::write(path, &trace).unwrap_or_else(|e| panic!("writing trace {path}: {e}"));
+    let spans = hs.stats().computes() + hs.stats().transfers() - hs.stats().transfers_elided();
+    println!("wrote Chrome trace ({spans} expected spans) to {path}");
+    records
+        .push(JsonRecord::new("HSW+2KNC traced", n, res.gflops).with_metrics(hs.metrics().rows()));
+}
+
 fn main() {
-    let sizes = [2000usize, 5000, 10000, 16000, 22000, 30000];
+    let smoke = std::env::var("HS_BENCH_SMOKE").is_ok();
+    let sizes: &[usize] = if smoke {
+        &[2000]
+    } else {
+        &[2000, 5000, 10000, 16000, 22000, 30000]
+    };
     let names = [
         "HSW+2KNC",
         "HSW+1KNC",
@@ -43,7 +67,7 @@ fn main() {
     });
     let mut records = Vec::new();
     let mut last: Vec<f64> = Vec::new();
-    for &n in &sizes {
+    for &n in sizes {
         let vals = vec![
             gflops(PlatformCfg::hetero(Device::Hsw, 2), n, true, true),
             gflops(PlatformCfg::hetero(Device::Hsw, 1), n, true, true),
@@ -55,11 +79,7 @@ fn main() {
             gflops(PlatformCfg::native(Device::Ivb), n, true, true),
         ];
         for (name, v) in names.iter().zip(&vals) {
-            records.push(JsonRecord {
-                name: (*name).to_string(),
-                size: n,
-                gflops: *v,
-            });
+            records.push(JsonRecord::new(*name, n, *v));
         }
         let mut row = vec![n.to_string()];
         row.extend(vals.iter().map(|v| f(*v)));
@@ -67,6 +87,9 @@ fn main() {
         last = vals;
     }
     t.print("Fig. 6 — hetero matmul Gflop/s vs n (measured, virtual time)");
+    if let Ok(path) = std::env::var("HS_TRACE") {
+        traced_run(&path, sizes[0], &mut records);
+    }
     write_bench_json(
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig6.json"),
         &records,

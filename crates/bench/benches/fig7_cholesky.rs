@@ -106,11 +106,7 @@ fn main() {
             native_gflops(n),
         ];
         for (name, v) in short_names.iter().zip(&vals) {
-            records.push(JsonRecord {
-                name: (*name).to_string(),
-                size: n,
-                gflops: *v,
-            });
+            records.push(JsonRecord::new(*name, n, *v));
         }
         let mut row = vec![n.to_string()];
         row.extend(vals.iter().map(|v| f(*v)));

@@ -88,11 +88,7 @@ fn main() {
             .iter()
             .zip(&gfs)
         {
-            records.push(JsonRecord {
-                name: format!("gemm/{name}"),
-                size: n,
-                gflops: *gf,
-            });
+            records.push(JsonRecord::new(format!("gemm/{name}"), n, *gf));
         }
         let mut row = vec![n.to_string()];
         row.extend(gfs.iter().map(|g| f(*g)));

@@ -61,31 +61,67 @@ pub struct JsonRecord {
     pub name: String,
     pub size: usize,
     pub gflops: f64,
+    /// Extra observability columns (queue depths, occupancy, utilization)
+    /// from an `hs_obs::MetricsSnapshot` — empty for plain measurements.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl JsonRecord {
+    pub fn new(name: impl Into<String>, size: usize, gflops: f64) -> JsonRecord {
+        JsonRecord {
+            name: name.into(),
+            size,
+            gflops,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Attach metrics rows (e.g. `hs_obs::MetricsSnapshot::rows()`); they
+    /// become extra keys of this record's JSON object.
+    pub fn with_metrics(mut self, metrics: Vec<(String, f64)>) -> JsonRecord {
+        self.metrics = metrics;
+        self
+    }
+}
+
+fn assert_json_safe(s: &str) {
+    assert!(
+        s.chars().all(|c| c != '"' && c != '\\' && !c.is_control()),
+        "bench record names/keys must not need JSON escaping: {s:?}"
+    );
+}
+
+/// Format a metric value: finite, trimmed precision (JSON has no NaN/inf).
+fn metric_val(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
 }
 
 /// Write measurements as a machine-readable JSON array (hand-formatted —
 /// the workspace has no serde_json) of `{"name", "size", "gflops"}`
-/// objects. Paths are workspace-root-relative by convention
-/// (`BENCH_<target>.json`); errors are *loud* — benches must not silently
-/// drop their artifacts (that is exactly the run_benches.sh failure mode
-/// this replaces).
+/// objects, plus one key per attached metrics row. Paths are
+/// workspace-root-relative by convention (`BENCH_<target>.json`); errors
+/// are *loud* — benches must not silently drop their artifacts (that is
+/// exactly the run_benches.sh failure mode this replaces).
 pub fn write_bench_json(path: &str, records: &[JsonRecord]) {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         // JSON floats: emit a fixed precision; names are plain ASCII
         // identifiers so no escaping is needed.
-        assert!(
-            r.name
-                .chars()
-                .all(|c| c != '"' && c != '\\' && !c.is_control()),
-            "bench record names must not need JSON escaping: {:?}",
-            r.name
-        );
+        assert_json_safe(&r.name);
         out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"size\": {}, \"gflops\": {:.3}}}{}\n",
-            r.name,
-            r.size,
-            r.gflops,
+            "  {{\"name\": \"{}\", \"size\": {}, \"gflops\": {:.3}",
+            r.name, r.size, r.gflops,
+        ));
+        for (k, v) in &r.metrics {
+            assert_json_safe(k);
+            out.push_str(&format!(", \"{}\": {}", k, metric_val(*v)));
+        }
+        out.push_str(&format!(
+            "}}{}\n",
             if i + 1 < records.len() { "," } else { "" }
         ));
     }

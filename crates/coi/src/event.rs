@@ -119,6 +119,26 @@ impl CoiEvent {
         }
     }
 
+    /// Block until complete or until `deadline` passes. Returns `None` on
+    /// timeout (the event is left pending). Used by executor shutdown to
+    /// drain outstanding actions with a bounded budget instead of hanging
+    /// on an action whose dependence will never resolve.
+    pub fn wait_deadline(&self, deadline: std::time::Instant) -> Option<Result<(), String>> {
+        let mut st = self.core.status.lock();
+        while *st == EventStatus::Pending {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.core.cv.wait_for(&mut st, deadline - now);
+        }
+        match &*st {
+            EventStatus::Done => Some(Ok(())),
+            EventStatus::Failed(m) => Some(Err(m.clone())),
+            EventStatus::Pending => unreachable!("loop exits only when complete"),
+        }
+    }
+
     /// Wait for all events; the first failure (in list order) is reported.
     pub fn wait_all(events: &[CoiEvent]) -> Result<(), String> {
         for ev in events {
@@ -267,6 +287,18 @@ mod tests {
         assert_eq!(idx, 1);
         t.join().expect("thread completes");
         a.signal();
+    }
+
+    #[test]
+    fn wait_deadline_times_out_then_completes() {
+        let ev = CoiEvent::new();
+        let t0 = std::time::Instant::now();
+        let r = ev.wait_deadline(t0 + std::time::Duration::from_millis(10));
+        assert!(r.is_none(), "pending event must time out");
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+        ev.signal();
+        let r = ev.wait_deadline(std::time::Instant::now());
+        assert_eq!(r, Some(Ok(())));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub use registry::{FnRegistry, RunFunction};
 pub use workgroup::{worker_spawn_count, Workgroup};
 
 use hs_fabric::{Fabric, NodeId, Pacer, WindowId};
+use hs_obs::ObsHub;
 use std::sync::Arc;
 
 /// Identifies an engine (device) in the COI sense. Engine 0 is the host.
@@ -59,21 +60,34 @@ pub struct CoiRuntime {
     registry: Arc<FnRegistry>,
     pools: Vec<BufferPool>,
     n_engines: usize,
+    obs: ObsHub,
 }
 
 impl CoiRuntime {
     /// A runtime with the host plus `n_cards` card engines. `pacer` controls
     /// real-time DMA pacing (use [`Pacer::unpaced`] for functional tests).
     pub fn new(n_cards: usize, pacer: Pacer) -> Arc<CoiRuntime> {
-        let n_engines = n_cards + 1;
-        let fabric = Arc::new(Fabric::new(n_engines, pacer));
+        Self::new_with_pacers(vec![pacer; n_cards], ObsHub::new())
+    }
+
+    /// A runtime where each card engine gets its own DMA pacer (index `i`
+    /// paces engine `i + 1`) and lifecycle/gauge events go to `obs`.
+    pub fn new_with_pacers(per_card: Vec<Pacer>, obs: ObsHub) -> Arc<CoiRuntime> {
+        let n_engines = per_card.len() + 1;
+        let fabric = Arc::new(Fabric::new_with_pacers(n_engines, per_card));
         let pools = (0..n_engines).map(|_| BufferPool::new()).collect();
         Arc::new(CoiRuntime {
             fabric,
             registry: Arc::new(FnRegistry::new()),
             pools,
             n_engines,
+            obs,
         })
+    }
+
+    /// The observability hub shared by this runtime's pipelines/workgroups.
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
     }
 
     pub fn num_engines(&self) -> usize {

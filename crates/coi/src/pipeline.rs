@@ -17,6 +17,7 @@ use crate::{CoiRuntime, EngineId};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
 use hs_fabric::{RangeGuard, WindowId};
+use hs_obs::{ObsAction, ObsPhase};
 use std::ops::Range;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -30,6 +31,10 @@ enum Command {
         args: Bytes,
         bufs: Vec<BufAccess>,
         done: CoiEvent,
+        /// Lifecycle handle: the sink stamps `SinkStart` the moment the
+        /// command reaches the front of the queue (inert when tracing is
+        /// off). Completion is stamped by whoever owns `done`.
+        obs: ObsAction,
     },
     /// Execute an arbitrary closure on the pipeline thread (used by upper
     /// layers for transfers and bookkeeping that must serialize with
@@ -37,6 +42,7 @@ enum Command {
     Call {
         f: Box<dyn FnOnce() + Send>,
         done: CoiEvent,
+        obs: ObsAction,
     },
     Stop,
 }
@@ -63,7 +69,9 @@ impl Pipeline {
         let (tx, rx) = unbounded::<Command>();
         // The resident expansion pool: width-1 parked workers, woken per
         // parallel region — tasks expand without spawning threads.
-        let wg = Arc::new(Workgroup::new(width, format!("e{}", engine.0), affinity));
+        let mut pool = Workgroup::new(width, format!("e{}", engine.0), affinity);
+        pool.set_obs(rt.obs().clone());
+        let wg = Arc::new(pool);
         let wg_sink = wg.clone();
         let handle = std::thread::Builder::new()
             .name(format!("coi-pipe-e{}", engine.0))
@@ -71,7 +79,8 @@ impl Pipeline {
                 while let Ok(cmd) = rx.recv() {
                     match cmd {
                         Command::Stop => break,
-                        Command::Call { f, done } => {
+                        Command::Call { f, done, obs } => {
+                            obs.phase_wall(ObsPhase::SinkStart);
                             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
                             match r {
                                 Ok(()) => done.signal(),
@@ -83,7 +92,9 @@ impl Pipeline {
                             args,
                             bufs,
                             done,
+                            obs,
                         } => {
+                            obs.phase_wall(ObsPhase::SinkStart);
                             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 execute(&rt, &name, &args, &bufs, &wg_sink)
                             }));
@@ -129,12 +140,25 @@ impl Pipeline {
 
     /// Enqueue a run function; returns its completion event.
     pub fn run(&self, name: &str, args: Bytes, bufs: Vec<BufAccess>) -> CoiEvent {
+        self.run_obs(name, args, bufs, ObsAction::disabled())
+    }
+
+    /// Like [`Self::run`], with a lifecycle handle the sink stamps
+    /// `SinkStart` on when the command starts executing.
+    pub fn run_obs(
+        &self,
+        name: &str,
+        args: Bytes,
+        bufs: Vec<BufAccess>,
+        obs: ObsAction,
+    ) -> CoiEvent {
         let done = CoiEvent::new();
         let cmd = Command::Run {
             name: name.to_string(),
             args,
             bufs,
             done: done.clone(),
+            obs,
         };
         if self.tx.send(cmd).is_err() {
             done.fail("pipeline stopped");
@@ -144,10 +168,16 @@ impl Pipeline {
 
     /// Enqueue an arbitrary closure (transfers, sync bookkeeping).
     pub fn call(&self, f: impl FnOnce() + Send + 'static) -> CoiEvent {
+        self.call_obs(f, ObsAction::disabled())
+    }
+
+    /// Like [`Self::call`], with a lifecycle handle for `SinkStart`.
+    pub fn call_obs(&self, f: impl FnOnce() + Send + 'static, obs: ObsAction) -> CoiEvent {
         let done = CoiEvent::new();
         let cmd = Command::Call {
             f: Box::new(f),
             done: done.clone(),
+            obs,
         };
         if self.tx.send(cmd).is_err() {
             done.fail("pipeline stopped");
@@ -170,12 +200,25 @@ impl PipelineHandle {
 
     /// Enqueue a run function; returns its completion event.
     pub fn run(&self, name: &str, args: Bytes, bufs: Vec<BufAccess>) -> CoiEvent {
+        self.run_obs(name, args, bufs, ObsAction::disabled())
+    }
+
+    /// Like [`Self::run`], with a lifecycle handle the sink stamps
+    /// `SinkStart` on.
+    pub fn run_obs(
+        &self,
+        name: &str,
+        args: Bytes,
+        bufs: Vec<BufAccess>,
+        obs: ObsAction,
+    ) -> CoiEvent {
         let done = CoiEvent::new();
         let cmd = Command::Run {
             name: name.to_string(),
             args,
             bufs,
             done: done.clone(),
+            obs,
         };
         if self.tx.send(cmd).is_err() {
             done.fail("pipeline stopped");
@@ -185,10 +228,16 @@ impl PipelineHandle {
 
     /// Enqueue an arbitrary closure.
     pub fn call(&self, f: impl FnOnce() + Send + 'static) -> CoiEvent {
+        self.call_obs(f, ObsAction::disabled())
+    }
+
+    /// Like [`Self::call`], with a lifecycle handle for `SinkStart`.
+    pub fn call_obs(&self, f: impl FnOnce() + Send + 'static, obs: ObsAction) -> CoiEvent {
         let done = CoiEvent::new();
         let cmd = Command::Call {
             f: Box::new(f),
             done: done.clone(),
+            obs,
         };
         if self.tx.send(cmd).is_err() {
             done.fail("pipeline stopped");

@@ -23,6 +23,7 @@
 //! bottom: they are the reference implementation the pool is differentially
 //! tested against, and the fallback for one-shot callers with no pipeline.
 
+use hs_obs::ObsHub;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -81,6 +82,8 @@ pub struct Workgroup {
     workers: Mutex<Vec<JoinHandle<()>>>,
     /// Serializes parallel regions submitted from different threads.
     submit: Mutex<()>,
+    /// Pool occupancy/spawn metrics sink (a disabled hub by default).
+    obs: ObsHub,
 }
 
 impl Workgroup {
@@ -105,7 +108,14 @@ impl Workgroup {
             label: label.into(),
             workers: Mutex::new(Vec::new()),
             submit: Mutex::new(()),
+            obs: ObsHub::new(),
         }
+    }
+
+    /// Route pool metrics (occupancy gauge, region/spawn counters) to `hub`.
+    /// Called by the owning pipeline before the group is shared.
+    pub fn set_obs(&mut self, hub: ObsHub) {
+        self.obs = hub;
     }
 
     pub fn width(&self) -> usize {
@@ -137,6 +147,7 @@ impl Workgroup {
             let shared = self.shared.clone();
             let core = cores.get(w).copied().unwrap_or(w as u32);
             WORKER_SPAWNS.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter_add("wg.spawned_workers", 1);
             let h = std::thread::Builder::new()
                 .name(format!("hs-wg-{}-c{core}", self.label))
                 .spawn(move || worker_loop(&shared))
@@ -156,6 +167,8 @@ impl Workgroup {
         // normally driven by a single pipeline thread, but benches may
         // share one) waits for the previous region to fully drain.
         let _region = self.submit.lock().expect("workgroup mutex");
+        self.obs.counter_add("wg.regions", 1);
+        self.obs.gauge_add("wg.active_lanes", self.width as i64);
         // SAFETY: lifetime erasure, see `JobRef`. `run_job` blocks below
         // until `active == 0`, so `job` outlives all worker use; the
         // transmute only widens lifetimes on an otherwise identical type.
@@ -182,6 +195,9 @@ impl Workgroup {
             s.job = None;
             s.panic.take()
         };
+        // Decrement occupancy before any unwind so the gauge stays balanced
+        // even when a task panics.
+        self.obs.gauge_add("wg.active_lanes", -(self.width as i64));
         if let Some(p) = caller_panic.or(worker_panic) {
             // Release the region lock before unwinding so a panicking task
             // cannot poison the pool for the next parallel region.

@@ -102,10 +102,16 @@ impl Executor {
     }
 
     /// Submit an action with its dependences; returns its completion event.
-    pub fn submit(&mut self, spec: ActionSpec, deps: &[BackendEvent]) -> BackendEvent {
+    /// `obs` is the action's lifecycle handle (inert when tracing is off).
+    pub fn submit(
+        &mut self,
+        spec: ActionSpec,
+        deps: &[BackendEvent],
+        obs: hs_obs::ObsAction,
+    ) -> BackendEvent {
         match self {
-            Executor::Thread(t) => BackendEvent::Thread(t.submit(spec, deps)),
-            Executor::Sim(s) => BackendEvent::Sim(s.submit(spec, deps)),
+            Executor::Thread(t) => BackendEvent::Thread(t.submit(spec, deps, obs)),
+            Executor::Sim(s) => BackendEvent::Sim(s.submit(spec, deps, obs)),
         }
     }
 

@@ -14,7 +14,9 @@
 
 use super::ActionSpec;
 use hs_machine::{CostModel, Device, PlatformCfg};
+use hs_obs::{ObsAction, ObsHub, ObsPhase};
 use hs_sim::{Dur, SemId, ServerId, Sim, SpanKind, Time, Token, Trace};
+use std::collections::HashMap;
 
 struct StreamRes {
     server: ServerId,
@@ -40,10 +42,21 @@ pub struct SimExec {
     streams: Vec<StreamRes>,
     cards: Vec<CardRes>,
     source_time: Time,
+    /// Tokens of actions that failed (malformed spec or poisoned by a
+    /// failed dependence). Sim tokens always *fire* — failure rides in this
+    /// side map, mirroring the thread executor's failed `CoiEvent`s.
+    failed: HashMap<Token, String>,
+    obs: ObsHub,
 }
 
 impl SimExec {
     pub fn new(platform: &PlatformCfg) -> SimExec {
+        Self::new_with_obs(platform, ObsHub::new())
+    }
+
+    /// Like [`Self::new`], routing lifecycle events (virtual timestamps) to
+    /// `obs`.
+    pub fn new_with_obs(platform: &PlatformCfg, obs: ObsHub) -> SimExec {
         let mut sim = Sim::new();
         let cost = platform.cost_model();
         let devices: Vec<Device> = platform.domains.iter().map(|d| d.device).collect();
@@ -73,7 +86,19 @@ impl SimExec {
             streams: Vec::new(),
             cards,
             source_time: Time::ZERO,
+            failed: HashMap::new(),
+            obs,
         }
+    }
+
+    /// Virtual nanoseconds on the source clock (enqueue timestamps).
+    pub fn source_now_ns(&self) -> u64 {
+        self.source_time.as_nanos()
+    }
+
+    /// The observability hub lifecycle events are routed to.
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
     }
 
     pub fn add_stream(&mut self, domain_idx: usize, cores: u32) {
@@ -115,23 +140,51 @@ impl SimExec {
     }
 
     pub fn wait(&mut self, tok: Token) -> Result<(), String> {
-        if self.sim.run_until_fired(tok) {
-            Ok(())
-        } else {
-            Err("deadlock: event can never fire (circular or dropped dependence)".to_string())
+        if !self.sim.run_until_fired(tok) {
+            return Err(
+                "deadlock: event can never fire (circular or dropped dependence)".to_string(),
+            );
+        }
+        match self.failed.get(&tok) {
+            Some(m) => Err(m.clone()),
+            None => Ok(()),
         }
     }
 
     pub fn wait_any(&mut self, toks: &[Token]) -> Result<usize, String> {
         assert!(!toks.is_empty(), "wait_any on empty set");
         let any = self.sim.join_any(toks);
-        self.wait(any)?;
-        toks.iter()
+        if !self.sim.run_until_fired(any) {
+            return Err(
+                "deadlock: event can never fire (circular or dropped dependence)".to_string(),
+            );
+        }
+        let idx = toks
+            .iter()
             .position(|t| self.sim.token_fired(*t))
-            .ok_or_else(|| "join_any fired with no fired member".to_string())
+            .ok_or_else(|| "join_any fired with no fired member".to_string())?;
+        match self.failed.get(&toks[idx]) {
+            Some(m) => Err(m.clone()),
+            None => Ok(idx),
+        }
     }
 
-    pub fn submit(&mut self, spec: ActionSpec, deps: &[super::BackendEvent]) -> Token {
+    /// Record `done` as failed and fire it once the source has issued it —
+    /// failure propagates immediately to later submits that depend on it
+    /// (the sim-mode analogue of the thread executor's poisoned events).
+    fn poison(&mut self, done: Token, issue: Token, msg: String, obs: &ObsAction) {
+        obs.finish(false, self.source_time.as_nanos());
+        self.failed.insert(done, msg);
+        self.sim
+            .token_on_fire(issue, move |sim| sim.token_fire(done));
+    }
+
+    pub fn submit(
+        &mut self,
+        spec: ActionSpec,
+        deps: &[super::BackendEvent],
+        obs: ObsAction,
+    ) -> Token {
         // The source thread spends enqueue_us issuing this action; the
         // action cannot start before the source has issued it.
         self.charge_source(self.cost.enqueue_dur());
@@ -149,10 +202,24 @@ impl SimExec {
         dep_toks.push(issue);
         let done = self.sim.token_create();
 
+        // Dependence poisoning: sim failures are known at submit time (they
+        // originate from validation below), so a failed dependence poisons
+        // this action immediately — chains and fan-in propagate.
+        for d in deps {
+            if let Some(m) = self.failed.get(&d.as_sim()) {
+                let msg = format!("dependency failed: {m}");
+                self.poison(done, issue, msg, &obs);
+                return done;
+            }
+        }
+
         match spec {
             ActionSpec::Noop => {
-                self.sim
-                    .when_all(&dep_toks, move |sim| sim.token_fire(done));
+                let o = obs.clone();
+                self.sim.when_all(&dep_toks, move |sim| {
+                    o.finish(true, sim.now().as_nanos());
+                    sim.token_fire(done);
+                });
             }
             ActionSpec::Compute {
                 stream_idx,
@@ -162,17 +229,33 @@ impl SimExec {
                 label,
                 ..
             } => {
-                let dom = self.streams[stream_idx].domain_idx;
+                let Some(stream) = self.streams.get(stream_idx) else {
+                    let msg =
+                        format!("malformed compute '{label}': no stream with index {stream_idx}");
+                    self.poison(done, issue, msg, &obs);
+                    return done;
+                };
+                let dom = stream.domain_idx;
                 let cores = cores.min(self.domain_cores[dom]);
                 let dur = self
                     .cost
                     .kernel_dur(device, cores, cost.kernel, cost.flops, cost.tile_n)
                     + self.cost.invoke_dur(device);
-                let server = self.streams[stream_idx].server;
+                let server = stream.server;
                 let gate = Some((self.domain_sems[dom], cores));
                 self.sim.when_all(&dep_toks, move |sim| {
+                    let now = sim.now().as_nanos();
+                    obs.phase(ObsPhase::DepsResolved, now);
+                    obs.phase(ObsPhase::Dispatched, now);
                     let job = sim.server_enqueue_gated(server, label, SpanKind::Compute, dur, gate);
-                    sim.token_on_fire(job, move |sim| sim.token_fire(done));
+                    sim.token_on_fire(job, move |sim| {
+                        // The sink occupied `dur` ending now (no job-start
+                        // hook in hs_sim, so derive the start).
+                        let end = sim.now().as_nanos();
+                        obs.phase(ObsPhase::SinkStart, end.saturating_sub(dur.0));
+                        obs.finish(true, end);
+                        sim.token_fire(done)
+                    });
                 });
             }
             ActionSpec::Transfer {
@@ -185,16 +268,35 @@ impl SimExec {
                 match card_domain {
                     None => {
                         // Host-as-target: aliased away, completes with deps.
-                        self.sim
-                            .when_all(&dep_toks, move |sim| sim.token_fire(done));
+                        let o = obs.clone();
+                        self.sim.when_all(&dep_toks, move |sim| {
+                            o.finish(true, sim.now().as_nanos());
+                            sim.token_fire(done);
+                        });
                     }
                     Some(dom) => {
-                        let card = &self.cards[dom - 1];
+                        let Some(card) = dom.checked_sub(1).and_then(|c| self.cards.get(c)) else {
+                            let msg = format!(
+                                "malformed transfer '{label}': card domain {dom} out of range \
+                                 ({} cards)",
+                                self.cards.len()
+                            );
+                            self.poison(done, issue, msg, &obs);
+                            return done;
+                        };
                         let server = if h2d { card.h2d } else { card.d2h };
                         let dur = self.cost.transfer_dur(&card.link, bytes as u64, h2d);
                         self.sim.when_all(&dep_toks, move |sim| {
+                            let now = sim.now().as_nanos();
+                            obs.phase(ObsPhase::DepsResolved, now);
+                            obs.phase(ObsPhase::Dispatched, now);
                             let job = sim.server_enqueue(server, label, SpanKind::Transfer, dur);
-                            sim.token_on_fire(job, move |sim| sim.token_fire(done));
+                            sim.token_on_fire(job, move |sim| {
+                                let end = sim.now().as_nanos();
+                                obs.phase(ObsPhase::SinkStart, end.saturating_sub(dur.0));
+                                obs.finish(true, end);
+                                sim.token_fire(done)
+                            });
                         });
                     }
                 }
@@ -236,7 +338,7 @@ mod tests {
     fn compute_takes_modelled_time() {
         let mut ex = SimExec::new(&platform());
         ex.add_stream(1, 60);
-        let ev = ex.submit(compute(0, 1e12, "big"), &[]);
+        let ev = ex.submit(compute(0, 1e12, "big"), &[], hs_obs::ObsAction::disabled());
         ex.wait(ev).expect("completes");
         // ~1e12 flops at ~880 GF/s ≈ 1.14 s.
         let t = ex.now_secs();
@@ -248,16 +350,32 @@ mod tests {
         let mut ex = SimExec::new(&platform());
         ex.add_stream(1, 30);
         ex.add_stream(1, 30);
-        let a = ex.submit(compute_w(0, 30, 1e11, "a"), &[]);
-        let b = ex.submit(compute_w(1, 30, 1e11, "b"), &[]);
+        let a = ex.submit(
+            compute_w(0, 30, 1e11, "a"),
+            &[],
+            hs_obs::ObsAction::disabled(),
+        );
+        let b = ex.submit(
+            compute_w(1, 30, 1e11, "b"),
+            &[],
+            hs_obs::ObsAction::disabled(),
+        );
         ex.wait(a).expect("a");
         ex.wait(b).expect("b");
         let t2 = ex.now_secs();
         // Serial would be ~2x one stream's time; overlap keeps it ~1x.
         let mut ser = SimExec::new(&platform());
         ser.add_stream(1, 30);
-        let c = ser.submit(compute_w(0, 30, 1e11, "c"), &[]);
-        let d = ser.submit(compute_w(0, 30, 1e11, "d"), &[]);
+        let c = ser.submit(
+            compute_w(0, 30, 1e11, "c"),
+            &[],
+            hs_obs::ObsAction::disabled(),
+        );
+        let d = ser.submit(
+            compute_w(0, 30, 1e11, "d"),
+            &[],
+            hs_obs::ObsAction::disabled(),
+        );
         ser.wait(c).expect("c");
         ser.wait(d).expect("d");
         let t1 = ser.now_secs();
@@ -269,8 +387,12 @@ mod tests {
         let mut ex = SimExec::new(&platform());
         ex.add_stream(1, 60);
         ex.add_stream(1, 60);
-        let a = ex.submit(compute(0, 1e11, "a"), &[]);
-        let b = ex.submit(compute(1, 1e11, "b"), &[BackendEvent::Sim(a)]);
+        let a = ex.submit(compute(0, 1e11, "a"), &[], hs_obs::ObsAction::disabled());
+        let b = ex.submit(
+            compute(1, 1e11, "b"),
+            &[BackendEvent::Sim(a)],
+            hs_obs::ObsAction::disabled(),
+        );
         ex.wait(b).expect("b");
         let t = ex.now_secs();
         let one = 1e11 / (880e9) * 2.0 * 0.9;
@@ -296,8 +418,8 @@ mod tests {
             real: None,
             label: "down".into(),
         };
-        let a = ex.submit(up, &[]);
-        let b = ex.submit(down, &[]);
+        let a = ex.submit(up, &[], hs_obs::ObsAction::disabled());
+        let b = ex.submit(down, &[], hs_obs::ObsAction::disabled());
         ex.wait(a).expect("up");
         ex.wait(b).expect("down");
         let t = ex.now_secs();
@@ -319,7 +441,7 @@ mod tests {
             real: None,
             label: "aliased".into(),
         };
-        let ev = ex.submit(x, &[]);
+        let ev = ex.submit(x, &[], hs_obs::ObsAction::disabled());
         ex.wait(ev).expect("elided transfer");
         // Only the enqueue overhead has passed, far less than 1 GB of wire
         // time (~150 ms).
@@ -332,7 +454,11 @@ mod tests {
         ex.add_stream(1, 60);
         let mut last = None;
         for i in 0..1000 {
-            last = Some(ex.submit(compute(0, 0.0, &format!("t{i}")), &[]));
+            last = Some(ex.submit(
+                compute(0, 0.0, &format!("t{i}")),
+                &[],
+                hs_obs::ObsAction::disabled(),
+            ));
         }
         ex.wait(last.expect("submitted")).expect("ok");
         // 1000 enqueues x 5 us >= 5 ms of source time.
@@ -344,7 +470,11 @@ mod tests {
         let mut ex = SimExec::new(&platform());
         ex.add_stream(1, 60);
         let never = ex.sim.token_create();
-        let ev = ex.submit(compute(0, 1.0, "stuck"), &[BackendEvent::Sim(never)]);
+        let ev = ex.submit(
+            compute(0, 1.0, "stuck"),
+            &[BackendEvent::Sim(never)],
+            hs_obs::ObsAction::disabled(),
+        );
         let err = ex.wait(ev).expect_err("must detect the stall");
         assert!(err.contains("deadlock"));
     }
@@ -357,14 +487,14 @@ mod tests {
         let mut ex = SimExec::new(&platform());
         ex.add_stream(1, 60);
         ex.add_stream(1, 60);
-        let a = ex.submit(compute(0, 1e11, "a"), &[]);
-        let b = ex.submit(compute(1, 1e11, "b"), &[]);
+        let a = ex.submit(compute(0, 1e11, "a"), &[], hs_obs::ObsAction::disabled());
+        let b = ex.submit(compute(1, 1e11, "b"), &[], hs_obs::ObsAction::disabled());
         ex.wait(a).expect("a");
         ex.wait(b).expect("b");
         let both = ex.now_secs();
         let mut one = SimExec::new(&platform());
         one.add_stream(1, 60);
-        let c = one.submit(compute(0, 1e11, "c"), &[]);
+        let c = one.submit(compute(0, 1e11, "c"), &[], hs_obs::ObsAction::disabled());
         one.wait(c).expect("c");
         let single = one.now_secs();
         assert!(
@@ -377,7 +507,11 @@ mod tests {
     fn trace_records_compute_spans() {
         let mut ex = SimExec::new(&platform());
         ex.add_stream(1, 60);
-        let ev = ex.submit(compute(0, 1e9, "traced"), &[]);
+        let ev = ex.submit(
+            compute(0, 1e9, "traced"),
+            &[],
+            hs_obs::ObsAction::disabled(),
+        );
         ex.wait(ev).expect("ok");
         let spans = ex.trace().spans();
         assert!(spans.iter().any(|s| s.label == "traced"));

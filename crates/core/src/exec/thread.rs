@@ -7,33 +7,51 @@
 //! completing dependence dispatches the action from its own thread, so the
 //! source never blocks and independent actions overtake blocked ones — the
 //! out-of-order-under-FIFO-semantics behaviour of the paper.
+//!
+//! Error-path invariant: dispatch never panics. Malformed specs (bad stream
+//! index, real transfer without a card), dispatch after executor shutdown,
+//! and closed DMA channels all *fail the action's event*, so the error
+//! propagates to waiters and dependents instead of aborting whichever
+//! thread happened to run the dispatch callback.
 
 use super::{ActionSpec, BackendEvent};
 use crossbeam::channel::{unbounded, Sender};
 use hs_coi::{CoiEvent, CoiRuntime, EngineId, EventStatus};
 use hs_fabric::Pacer;
 use hs_machine::PlatformCfg;
+use hs_obs::{ObsAction, ObsHub, ObsPhase};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type DmaJob = Box<dyn FnOnce() + Send>;
 
+enum DmaMsg {
+    Job(DmaJob),
+    /// Shutdown sentinel: the worker drains everything queued before it
+    /// (channel FIFO), then exits — dropping the receiver, so any *later*
+    /// send fails and the sender fails the action instead of panicking.
+    Stop,
+}
+
 struct DmaWorker {
-    tx: Sender<DmaJob>,
+    tx: Sender<DmaMsg>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl DmaWorker {
     fn spawn(name: String) -> DmaWorker {
-        let (tx, rx) = unbounded::<DmaJob>();
+        let (tx, rx) = unbounded::<DmaMsg>();
         let handle = std::thread::Builder::new()
             .name(name)
             .spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    job();
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        DmaMsg::Job(job) => job(),
+                        DmaMsg::Stop => break,
+                    }
                 }
             })
             .expect("spawning a DMA worker thread");
@@ -46,14 +64,21 @@ impl DmaWorker {
 
 impl Drop for DmaWorker {
     fn drop(&mut self) {
-        // Closing the channel ends the worker loop.
-        let (dead_tx, _) = unbounded();
-        self.tx = dead_tx;
+        // A sentinel, not a channel swap: sender clones held by pending
+        // dispatch callbacks would otherwise keep the old receiver's loop
+        // blocked in recv() forever and this join would hang.
+        let _ = self.tx.send(DmaMsg::Stop);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
     }
 }
+
+/// How long `Drop` waits for outstanding actions before tearing down sink
+/// threads. Bounded so an action with a never-resolvable dependence cannot
+/// hang shutdown; such actions fail cleanly when they later try to
+/// dispatch into closed channels.
+const DRAIN_BUDGET: Duration = Duration::from_secs(2);
 
 /// Real-thread executor state.
 pub struct ThreadExec {
@@ -61,7 +86,13 @@ pub struct ThreadExec {
     pipes: Vec<hs_coi::Pipeline>,
     /// Per card: [h2d, d2h] workers. Index = card domain index - 1.
     dma: Vec<[DmaWorker; 2]>,
-    started: Instant,
+    /// Measurement baseline: stamped at the *first submit*, not at `new()`,
+    /// so pipeline/worker spawn cost does not leak into measured time.
+    started: OnceLock<Instant>,
+    /// Completion events of every submitted action, pruned as they
+    /// complete; `Drop` drains these before joining workers.
+    outstanding: Vec<CoiEvent>,
+    obs: ObsHub,
 }
 
 impl ThreadExec {
@@ -69,19 +100,26 @@ impl ThreadExec {
     /// pacing (for real-mode overlap experiments); functional tests leave it
     /// off.
     pub fn new(platform: &PlatformCfg, paced: bool) -> ThreadExec {
-        let ncards = platform.num_cards();
-        let pacer = if paced {
-            // All cards share a LinkSpec in the current platforms.
-            let link = platform
-                .cards()
-                .next()
-                .and_then(|(_, c)| c.link)
-                .unwrap_or(hs_machine::LinkSpec::pcie_knc());
-            Pacer::pcie(link, platform.overheads)
-        } else {
-            Pacer::unpaced()
-        };
-        let coi = CoiRuntime::new(ncards, pacer);
+        Self::new_with_obs(platform, paced, ObsHub::new())
+    }
+
+    /// Like [`Self::new`], routing lifecycle events and gauges to `obs`.
+    pub fn new_with_obs(platform: &PlatformCfg, paced: bool, obs: ObsHub) -> ThreadExec {
+        // Each card paces to its *own* link: heterogeneous platforms mix
+        // e.g. a PCIe card with a slower fabric-attached remote node.
+        let pacers: Vec<Pacer> = platform
+            .cards()
+            .map(|(_, c)| {
+                if paced {
+                    let link = c.link.unwrap_or(hs_machine::LinkSpec::pcie_knc());
+                    Pacer::pcie(link, platform.overheads)
+                } else {
+                    Pacer::unpaced()
+                }
+            })
+            .collect();
+        let ncards = pacers.len();
+        let coi = CoiRuntime::new_with_pacers(pacers, obs.clone());
         let dma = (0..ncards)
             .map(|c| {
                 [
@@ -94,7 +132,9 @@ impl ThreadExec {
             coi,
             pipes: Vec::new(),
             dma,
-            started: Instant::now(),
+            started: OnceLock::new(),
+            outstanding: Vec::new(),
+            obs,
         }
     }
 
@@ -102,8 +142,12 @@ impl ThreadExec {
         &self.coi
     }
 
+    /// Wall seconds since the first submit (0.0 before any work).
     pub fn elapsed_secs(&self) -> f64 {
-        self.started.elapsed().as_secs_f64()
+        self.started
+            .get()
+            .map(|t| t.elapsed().as_secs_f64())
+            .unwrap_or(0.0)
     }
 
     pub fn add_stream(&mut self, domain_idx: usize, mask: crate::CpuMask) {
@@ -117,8 +161,14 @@ impl ThreadExec {
         self.pipes.push(pipe);
     }
 
-    pub fn submit(&mut self, spec: ActionSpec, deps: &[BackendEvent]) -> CoiEvent {
+    pub fn submit(&mut self, spec: ActionSpec, deps: &[BackendEvent], obs: ObsAction) -> CoiEvent {
+        self.started.get_or_init(Instant::now);
         let done = CoiEvent::new();
+        self.track(done.clone());
+        if obs.is_enabled() {
+            let o = obs.clone();
+            done.on_complete(move |st| o.finish_wall(matches!(st, EventStatus::Done)));
+        }
         let pending: Vec<&CoiEvent> = deps
             .iter()
             .map(BackendEvent::as_thread)
@@ -132,7 +182,7 @@ impl ThreadExec {
             }
         }
         if pending.is_empty() {
-            self.dispatch(spec, done.clone());
+            dispatch_with(&self.dispatch_ctx(), spec, done.clone(), obs);
             return done;
         }
         // Countdown: the last completing dependence dispatches. The spec and
@@ -143,12 +193,14 @@ impl ThreadExec {
             remaining: AtomicUsize,
             ctx: DispatchCtx,
             done: CoiEvent,
+            obs: ObsAction,
         }
         let pd = Arc::new(PendingDispatch {
             spec: Mutex::new(Some(spec)),
             remaining: AtomicUsize::new(pending.len()),
             ctx: self.dispatch_ctx(),
             done: done.clone(),
+            obs,
         });
         for dep in pending {
             let pd = pd.clone();
@@ -162,7 +214,7 @@ impl ThreadExec {
                     _ => {
                         if pd.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                             if let Some(spec) = pd.spec.lock().take() {
-                                dispatch_with(&pd.ctx, spec, pd.done.clone());
+                                dispatch_with(&pd.ctx, spec, pd.done.clone(), pd.obs.clone());
                             }
                         }
                     }
@@ -170,6 +222,16 @@ impl ThreadExec {
             });
         }
         done
+    }
+
+    /// Remember an in-flight completion event, opportunistically pruning
+    /// finished ones so the list stays proportional to actual in-flight
+    /// work.
+    fn track(&mut self, ev: CoiEvent) {
+        if self.outstanding.len() >= 64 {
+            self.outstanding.retain(|e| !e.is_complete());
+        }
+        self.outstanding.push(ev);
     }
 
     fn dispatch_ctx(&self) -> DispatchCtx {
@@ -181,11 +243,24 @@ impl ThreadExec {
                 .iter()
                 .map(|pair| [pair[0].tx.clone(), pair[1].tx.clone()])
                 .collect(),
+            obs: self.obs.clone(),
         }
     }
+}
 
-    fn dispatch(&self, spec: ActionSpec, done: CoiEvent) {
-        dispatch_with(&self.dispatch_ctx(), spec, done);
+impl Drop for ThreadExec {
+    fn drop(&mut self) {
+        // Drain outstanding actions (bounded) before tearing down the sink
+        // and DMA threads, so normally-completing work finishes and only
+        // genuinely stuck actions see closed channels.
+        let deadline = Instant::now() + DRAIN_BUDGET;
+        for ev in self.outstanding.drain(..) {
+            if ev.wait_deadline(deadline).is_none() {
+                break; // budget exhausted; remaining actions fail on dispatch
+            }
+        }
+        // Fields then drop in declaration order: pipelines (join their sink
+        // threads) before DMA workers (Stop sentinel + join).
     }
 }
 
@@ -193,12 +268,19 @@ impl ThreadExec {
 struct DispatchCtx {
     coi: Arc<CoiRuntime>,
     pipes: Vec<hs_coi::pipeline::PipelineHandle>,
-    dma: Vec<[Sender<DmaJob>; 2]>,
+    dma: Vec<[Sender<DmaMsg>; 2]>,
+    obs: ObsHub,
 }
 
-fn dispatch_with(ctx: &DispatchCtx, spec: ActionSpec, done: CoiEvent) {
+fn dispatch_with(ctx: &DispatchCtx, spec: ActionSpec, done: CoiEvent, obs: ObsAction) {
+    // Dispatch runs the moment the last dependence resolves (or inline at
+    // submit when none were pending).
+    obs.phase_wall(ObsPhase::DepsResolved);
     match spec {
-        ActionSpec::Noop => done.signal(),
+        ActionSpec::Noop => {
+            obs.phase_wall(ObsPhase::Dispatched);
+            done.signal();
+        }
         ActionSpec::Compute {
             stream_idx,
             func,
@@ -206,7 +288,14 @@ fn dispatch_with(ctx: &DispatchCtx, spec: ActionSpec, done: CoiEvent) {
             bufs,
             ..
         } => {
-            let ev = ctx.pipes[stream_idx].run(&func, args, bufs);
+            let Some(pipe) = ctx.pipes.get(stream_idx) else {
+                done.fail(format!(
+                    "malformed compute '{func}': no pipeline for stream index {stream_idx}"
+                ));
+                return;
+            };
+            obs.phase_wall(ObsPhase::Dispatched);
+            let ev = pipe.run_obs(&func, args, bufs, obs);
             ev.on_complete(move |st| match st {
                 EventStatus::Done => done.signal(),
                 EventStatus::Failed(m) => done.fail(m.clone()),
@@ -218,27 +307,67 @@ fn dispatch_with(ctx: &DispatchCtx, spec: ActionSpec, done: CoiEvent) {
             h2d,
             bytes,
             real,
-            ..
+            label,
         } => {
             let Some(real) = real else {
                 // Host-as-target alias: "transfers en-queued in host streams
                 // are aliased and optimized away".
+                obs.phase_wall(ObsPhase::Dispatched);
                 done.signal();
                 return;
             };
+            let Some(card) = card_domain.and_then(|d| d.checked_sub(1)) else {
+                done.fail(format!(
+                    "malformed transfer '{label}': real transfer without a card domain"
+                ));
+                return;
+            };
+            let Some(workers) = ctx.dma.get(card) else {
+                done.fail(format!(
+                    "malformed transfer '{label}': card domain {} out of range ({} cards)",
+                    card + 1,
+                    ctx.dma.len()
+                ));
+                return;
+            };
+            let dir = usize::from(!h2d);
+            obs.phase_wall(ObsPhase::Dispatched);
+            let queue_key = ctx.obs.is_enabled().then(|| {
+                let key = format!(
+                    "dma.c{}.{}.queue",
+                    card + 1,
+                    if h2d { "h2d" } else { "d2h" }
+                );
+                ctx.obs.gauge_add(&key, 1);
+                key
+            });
             let coi = ctx.coi.clone();
+            let hub = ctx.obs.clone();
+            let queue_key2 = queue_key.clone();
+            let done2 = done.clone();
             let job: DmaJob = Box::new(move || {
+                if let Some(key) = &queue_key2 {
+                    hub.gauge_add(key, -1);
+                }
+                obs.phase_wall(ObsPhase::SinkStart);
                 let r = coi.dma_copy(real.src.0, real.src.1, real.dst.0, real.dst.1, bytes);
                 match r {
                     Ok(()) => done.signal(),
                     Err(e) => done.fail(format!("transfer failed: {e}")),
                 }
             });
-            let card = card_domain.expect("real transfers involve a card") - 1;
-            let dir = usize::from(!h2d);
-            ctx.dma[card][dir]
-                .send(job)
-                .expect("DMA workers live as long as the executor");
+            if workers[dir].send(DmaMsg::Job(job)).is_err() {
+                // Executor shut down between dependence resolution and
+                // dispatch: the channel's receiver is gone. Fail the action
+                // (propagates to waiters/dependents) instead of panicking on
+                // whichever foreign thread ran this callback.
+                if let Some(key) = &queue_key {
+                    ctx.obs.gauge_add(key, -1);
+                }
+                done2.fail(format!(
+                    "transfer '{label}' dropped: executor shut down before dispatch"
+                ));
+            }
         }
     }
 }

@@ -84,6 +84,7 @@ use deps::{Footprint, FootprintItem};
 use exec::{ActionSpec, BackendEvent, Executor, RealXfer};
 use hs_coi::EngineId;
 use hs_machine::{Device, DomainRole, PlatformCfg};
+use hs_obs::{ActionMeta, MetricsSnapshot, ObsAction, ObsHub, ObsKind, ObsRecord};
 use std::ops::Range;
 use stream::StreamState;
 
@@ -130,6 +131,9 @@ pub struct HStreams {
     /// Live `hsan` action-trace recording (None = off).
     #[cfg(feature = "hsan-record")]
     recorder: Option<record::Recorder>,
+    /// Action-lifecycle observability hub, shared with both executors and
+    /// the COI layer. Disabled (near-zero cost) until [`HStreams::obs_enable`].
+    obs: ObsHub,
 }
 
 impl HStreams {
@@ -147,12 +151,22 @@ impl HStreams {
         mode: ExecMode,
         ordering: OrderingMode,
     ) -> HStreams {
+        let obs = ObsHub::new();
         let exec = match mode {
-            ExecMode::Threads => Executor::Thread(exec::thread::ThreadExec::new(&platform, false)),
-            ExecMode::ThreadsPaced => {
-                Executor::Thread(exec::thread::ThreadExec::new(&platform, true))
-            }
-            ExecMode::Sim => Executor::Sim(Box::new(exec::sim::SimExec::new(&platform))),
+            ExecMode::Threads => Executor::Thread(exec::thread::ThreadExec::new_with_obs(
+                &platform,
+                false,
+                obs.clone(),
+            )),
+            ExecMode::ThreadsPaced => Executor::Thread(exec::thread::ThreadExec::new_with_obs(
+                &platform,
+                true,
+                obs.clone(),
+            )),
+            ExecMode::Sim => Executor::Sim(Box::new(exec::sim::SimExec::new_with_obs(
+                &platform,
+                obs.clone(),
+            ))),
         };
         HStreams {
             platform,
@@ -167,6 +181,7 @@ impl HStreams {
             builtins_registered: false,
             #[cfg(feature = "hsan-record")]
             recorder: None,
+            obs,
         }
     }
 
@@ -782,7 +797,11 @@ impl HStreams {
             .as_ref()
             .map(|_| spec.label().to_string())
             .unwrap_or_default();
-        let backend = self.exec.submit(spec, &deps);
+        // The lifecycle record must be minted *before* submit: the spec is
+        // consumed, and the fast path dispatches (emitting later phases)
+        // inside submit itself.
+        let obs = self.mint_obs(s, &spec, &footprint);
+        let backend = self.exec.submit(spec, &deps, obs);
         let ev = Event(self.events.len() as u64);
         #[cfg(feature = "hsan-record")]
         if let Some(rec) = &mut self.recorder {
@@ -802,6 +821,59 @@ impl HStreams {
         self.event_streams.push(s);
         self.streams[idx].push(ev, footprint, kind);
         Ok(ev)
+    }
+
+    /// Build the lifecycle record for an action about to be submitted.
+    /// Returns an inert handle (no allocation beyond the `Option`) when
+    /// tracing is off.
+    fn mint_obs(&self, s: StreamId, spec: &ActionSpec, footprint: &Footprint) -> ObsAction {
+        if !self.obs.is_enabled() {
+            return ObsAction::disabled();
+        }
+        let (kind, card, h2d, bytes) = match spec {
+            ActionSpec::Compute { .. } => (
+                ObsKind::Compute,
+                None,
+                false,
+                footprint.iter().map(|f| f.range.len() as u64).sum(),
+            ),
+            ActionSpec::Transfer {
+                card_domain,
+                h2d,
+                bytes,
+                ..
+            } => (
+                ObsKind::Transfer,
+                card_domain.map(|c| c as u32),
+                *h2d,
+                *bytes as u64,
+            ),
+            ActionSpec::Noop => (ObsKind::Sync, None, false, 0),
+        };
+        // Per-kind enqueue counters surface in `metrics()` for both
+        // executors (gauges like DMA queue depth are thread-mode-only).
+        self.obs.counter_add(
+            match kind {
+                ObsKind::Compute => "actions.compute",
+                ObsKind::Transfer => "actions.transfer",
+                ObsKind::Sync => "actions.sync",
+            },
+            1,
+        );
+        let meta = ActionMeta {
+            stream: s.0,
+            kind,
+            card,
+            h2d,
+            bytes,
+            footprint: footprint.len() as u32,
+            label: spec.label().to_string(),
+        };
+        let t_ns = match &self.exec {
+            Executor::Thread(_) => self.obs.wall_ns(),
+            Executor::Sim(sim) => sim.source_now_ns(),
+        };
+        self.obs.action(meta, t_ns)
     }
 
     fn retire_stream(&mut self, idx: usize) {
@@ -952,5 +1024,64 @@ impl HStreams {
         if let Executor::Sim(s) = &mut self.exec {
             s.set_tracing(enabled);
         }
+    }
+
+    // ------------------------------------------------------- observability
+
+    /// Enable/disable action-lifecycle recording (both executor modes).
+    /// While disabled — the default — enqueues pay one relaxed atomic load.
+    pub fn obs_enable(&self, on: bool) {
+        self.obs.enable(on);
+    }
+
+    /// The lifecycle/metrics hub (shared with the executors and COI layer).
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
+    }
+
+    /// Drain the lifecycle records collected so far (for export via
+    /// `hs_obs::chrome`).
+    pub fn take_obs_records(&self) -> Vec<ObsRecord> {
+        self.obs.take_records()
+    }
+
+    /// Export the lifecycle records collected so far as Chrome-trace JSON
+    /// (`chrome://tracing` / Perfetto), draining them. One row per stream,
+    /// one per DMA channel.
+    pub fn export_chrome_trace(&self) -> String {
+        hs_obs::chrome::chrome_trace_json(&self.take_obs_records())
+    }
+
+    /// A flat metrics snapshot: obs gauges/counters (workgroup occupancy,
+    /// DMA queue depths) plus derived DMA link utilization and worker-spawn
+    /// counts in real mode. Mergeable into bench JSON via `hs-bench`.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.metrics();
+        if let Executor::Thread(t) = &self.exec {
+            let fabric = t.coi().fabric();
+            let wall = self.exec.now_secs();
+            for (card_idx, _) in self.platform.cards() {
+                for h2d in [true, false] {
+                    let node = hs_fabric::NodeId(card_idx as u16);
+                    let stats = fabric.engine(node, h2d).stats();
+                    let dir = if h2d { "h2d" } else { "d2h" };
+                    let key = format!("dma.c{card_idx}.{dir}");
+                    snap.extra
+                        .insert(format!("{key}.bytes"), stats.bytes as f64);
+                    snap.extra.insert(format!("{key}.ops"), stats.ops as f64);
+                    if wall > 0.0 {
+                        snap.extra.insert(
+                            format!("{key}.utilization"),
+                            (stats.busy_ns as f64 / 1e9) / wall,
+                        );
+                    }
+                }
+            }
+            snap.extra.insert(
+                "wg.spawned_workers.global".to_string(),
+                hs_coi::worker_spawn_count() as f64,
+            );
+        }
+        snap
     }
 }

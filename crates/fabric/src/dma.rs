@@ -9,6 +9,7 @@
 
 use hs_machine::{LinkSpec, Overheads};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Computes real-time target durations for transfers.
@@ -69,11 +70,25 @@ pub fn pace_until(deadline: Instant) {
     }
 }
 
+/// Cumulative activity of one DMA channel, for link-utilization metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DmaStats {
+    /// Total time the channel was occupied (paced duration included), ns.
+    pub busy_ns: u64,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+    /// Number of transfers run.
+    pub ops: u64,
+}
+
 /// A serialized DMA channel for one (card, direction) pair.
 pub struct DmaEngine {
     pacer: Pacer,
     h2d: bool,
     channel: Mutex<()>,
+    busy_ns: AtomicU64,
+    bytes: AtomicU64,
+    ops: AtomicU64,
 }
 
 impl DmaEngine {
@@ -82,6 +97,28 @@ impl DmaEngine {
             pacer,
             h2d,
             channel: Mutex::new(()),
+            busy_ns: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// The pacer this channel stretches transfers with.
+    pub fn pacer(&self) -> &Pacer {
+        &self.pacer
+    }
+
+    /// Direction of this channel (`true` = host-to-device).
+    pub fn is_h2d(&self) -> bool {
+        self.h2d
+    }
+
+    /// Snapshot of cumulative channel activity.
+    pub fn stats(&self) -> DmaStats {
+        DmaStats {
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            ops: self.ops.load(Ordering::Relaxed),
         }
     }
 
@@ -90,9 +127,14 @@ impl DmaEngine {
     /// different engines (other direction / other card) proceed in parallel.
     pub fn run(&self, bytes: usize, copy: impl FnOnce()) {
         let _serial = self.channel.lock();
-        let deadline = Instant::now() + self.pacer.target(bytes, self.h2d);
+        let start = Instant::now();
+        let deadline = start + self.pacer.target(bytes, self.h2d);
         copy();
         pace_until(deadline);
+        self.busy_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.ops.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -60,7 +60,21 @@ impl Fabric {
     /// nodes get a pair of DMA engines paced by `pacer` (use
     /// [`Pacer::unpaced`] for functional tests).
     pub fn new(n_nodes: usize, pacer: Pacer) -> Fabric {
+        let per_card = vec![pacer; n_nodes.saturating_sub(1)];
+        Fabric::new_with_pacers(n_nodes, per_card)
+    }
+
+    /// Create a fabric where each card node gets its *own* pacer — required
+    /// for heterogeneous platforms where cards sit on different links (e.g.
+    /// a PCIe card next to a fabric-attached remote node). `per_card[i]`
+    /// paces node `i + 1`; both directions of that node share the spec.
+    pub fn new_with_pacers(n_nodes: usize, per_card: Vec<Pacer>) -> Fabric {
         assert!(n_nodes >= 1, "fabric needs at least the host node");
+        assert_eq!(
+            per_card.len(),
+            n_nodes - 1,
+            "need exactly one pacer per card node"
+        );
         let nodes = (0..n_nodes)
             .map(|_| {
                 Mutex::new(NodeState {
@@ -69,8 +83,14 @@ impl Fabric {
                 })
             })
             .collect();
-        let engines = (0..n_nodes.saturating_sub(1) * 2)
-            .map(|i| DmaEngine::new(pacer.clone(), i % 2 == 0))
+        let engines = per_card
+            .iter()
+            .flat_map(|p| {
+                [
+                    DmaEngine::new(p.clone(), true),
+                    DmaEngine::new(p.clone(), false),
+                ]
+            })
             .collect();
         Fabric { nodes, engines }
     }
@@ -303,6 +323,38 @@ mod tests {
     fn host_engine_lookup_panics() {
         let f = fabric2();
         let _ = f.engine(NodeId::HOST, true);
+    }
+
+    #[test]
+    fn per_card_pacers_differ() {
+        use hs_machine::{LinkSpec, Overheads};
+        let fast = Pacer::pcie(LinkSpec::pcie_knc(), Overheads::paper());
+        let slow = Pacer::pcie(LinkSpec::fabric(), Overheads::paper());
+        let f = Fabric::new_with_pacers(3, vec![fast.clone(), slow.clone()]);
+        let mb = 1 << 20;
+        assert_eq!(
+            f.engine(NodeId(1), true).pacer().target(mb, true),
+            fast.target(mb, true)
+        );
+        assert_eq!(
+            f.engine(NodeId(2), true).pacer().target(mb, true),
+            slow.target(mb, true)
+        );
+        assert_ne!(fast.target(mb, true), slow.target(mb, true));
+    }
+
+    #[test]
+    fn engine_stats_accumulate() {
+        let f = fabric2();
+        let h = f.register(NodeId::HOST, 64);
+        let d = f.register(NodeId(1), 64);
+        f.dma_copy(h, 0, d, 0, 64).expect("dma ok");
+        f.dma_copy(d, 0, h, 0, 32).expect("dma ok");
+        let up = f.engine(NodeId(1), true).stats();
+        let down = f.engine(NodeId(1), false).stats();
+        assert_eq!((up.ops, up.bytes), (1, 64));
+        assert_eq!((down.ops, down.bytes), (1, 32));
+        assert!(f.engine(NodeId(1), true).is_h2d());
     }
 
     #[test]

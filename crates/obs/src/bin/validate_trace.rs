@@ -1,0 +1,62 @@
+//! CI gate: validate an emitted Chrome-trace JSON file.
+//!
+//! Usage: `validate_trace TRACE.json [--min-spans N] [--min-stream-rows N]`
+//! Exits non-zero (with a diagnostic on stderr) if the file is missing,
+//! unparsable, empty, or carries overlapping spans on a serial row.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: validate_trace TRACE.json [--min-spans N] [--min-stream-rows N]");
+        return ExitCode::from(2);
+    };
+    let mut min_spans = 1usize;
+    let mut min_stream_rows = 0usize;
+    while let Some(flag) = args.next() {
+        let val = args.next().and_then(|v| v.parse::<usize>().ok());
+        match (flag.as_str(), val) {
+            ("--min-spans", Some(n)) => min_spans = n,
+            ("--min-stream-rows", Some(n)) => min_stream_rows = n,
+            _ => {
+                eprintln!("validate_trace: bad flag {flag}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match hs_obs::chrome::validate(&json) {
+        Ok(check) => {
+            if check.spans < min_spans {
+                eprintln!(
+                    "validate_trace: {path}: {} spans < required {min_spans}",
+                    check.spans
+                );
+                return ExitCode::FAILURE;
+            }
+            if check.stream_rows < min_stream_rows {
+                eprintln!(
+                    "validate_trace: {path}: {} stream rows < required {min_stream_rows}",
+                    check.stream_rows
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "{path}: ok ({} spans, {} rows, {} stream rows)",
+                check.spans, check.rows, check.stream_rows
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_trace: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! Chrome `chrome://tracing` export of lifecycle records, plus a schema
+//! validator for CI.
+//!
+//! Layout: one row (`tid`) per stream under the `streams` process and one
+//! row per DMA channel (`card N h2d`/`d2h`) under the `dma` process — the
+//! Fig. 6-style overlap picture. One complete (`"ph": "X"`) event is
+//! emitted per *executed* action: every compute and every non-elided
+//! transfer (elided host-alias transfers and sync actions never occupy a
+//! sink, so they get no span — this keeps span count equal to the number
+//! of actions that actually ran, the property `validate` checks in CI).
+//!
+//! The span is `sink_start .. completed` (the time the action occupied its
+//! sink); queueing is visible as `queue_us` in the args. Timestamps are
+//! microseconds, as the trace viewer expects.
+
+use crate::{ActionMeta, ObsKind, ObsPhase, ObsRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Lifecycle<'a> {
+    meta: &'a ActionMeta,
+    enqueued: u64,
+    phases: Vec<(ObsPhase, u64)>,
+}
+
+impl Lifecycle<'_> {
+    fn at(&self, p: ObsPhase) -> Option<u64> {
+        self.phases.iter().find(|(q, _)| *q == p).map(|(_, t)| *t)
+    }
+
+    fn end(&self) -> Option<(u64, bool)> {
+        for (p, t) in &self.phases {
+            match p {
+                ObsPhase::Completed => return Some((*t, true)),
+                ObsPhase::Failed => return Some((*t, false)),
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+const PID_STREAMS: u32 = 1;
+const PID_DMA: u32 = 2;
+
+/// Row assignment of an action: None = no span (sync, elided transfer).
+fn row(meta: &ActionMeta) -> Option<(u32, u32)> {
+    match meta.kind {
+        ObsKind::Compute => Some((PID_STREAMS, meta.stream)),
+        ObsKind::Transfer => meta.card.map(|c| (PID_DMA, c * 2 + u32::from(!meta.h2d))),
+        ObsKind::Sync => None,
+    }
+}
+
+/// Serialize lifecycle records to Chrome trace JSON (object format with a
+/// `traceEvents` array).
+pub fn chrome_trace_json(records: &[ObsRecord]) -> String {
+    // Assemble lifecycles by action id.
+    let mut actions: BTreeMap<u64, Lifecycle<'_>> = BTreeMap::new();
+    for rec in records {
+        match rec {
+            ObsRecord::Enqueued { action, t_ns, meta } => {
+                actions.insert(
+                    *action,
+                    Lifecycle {
+                        meta,
+                        enqueued: *t_ns,
+                        phases: Vec::new(),
+                    },
+                );
+            }
+            ObsRecord::Phase {
+                action,
+                phase,
+                t_ns,
+            } => {
+                if let Some(lc) = actions.get_mut(action) {
+                    lc.phases.push((*phase, *t_ns));
+                }
+            }
+        }
+    }
+
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let mut events: Vec<String> = Vec::new();
+    let mut rows: BTreeMap<(u32, u32), String> = BTreeMap::new();
+    for lc in actions.values() {
+        let Some((pid, tid)) = row(lc.meta) else {
+            continue;
+        };
+        let Some((end, ok)) = lc.end() else {
+            continue; // still pending at export time
+        };
+        // Sim mode derives sink_start as end - service; real mode stamps it
+        // on the sink thread. Fall back to dispatch/enqueue if missing.
+        let start = lc
+            .at(ObsPhase::SinkStart)
+            .or_else(|| lc.at(ObsPhase::Dispatched))
+            .unwrap_or(lc.enqueued)
+            .min(end);
+        let queue_from = lc
+            .at(ObsPhase::Dispatched)
+            .or_else(|| lc.at(ObsPhase::DepsResolved))
+            .unwrap_or(lc.enqueued);
+        let row_name = match lc.meta.kind {
+            ObsKind::Transfer => format!(
+                "card {} {}",
+                lc.meta.card.unwrap_or(0),
+                if lc.meta.h2d { "h2d" } else { "d2h" }
+            ),
+            _ => format!("stream {tid}"),
+        };
+        rows.entry((pid, tid)).or_insert(row_name);
+        events.push(format!(
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\
+             \"name\":\"{}\",\"args\":{{\"kind\":\"{}\",\"stream\":{},\"bytes\":{},\
+             \"footprint\":{},\"queue_us\":{:.3},\"ok\":{}}}}}",
+            us(start),
+            us(end.saturating_sub(start)),
+            esc(&lc.meta.label),
+            lc.meta.kind.as_str(),
+            lc.meta.stream,
+            lc.meta.bytes,
+            lc.meta.footprint,
+            us(start.saturating_sub(queue_from)),
+            ok,
+        ));
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (pid, name) in [(PID_STREAMS, "streams"), (PID_DMA, "dma")] {
+        let _ = writeln!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{name}\"}}}},"
+        );
+    }
+    for ((pid, tid), name) in &rows {
+        let _ = writeln!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}},",
+            esc(name)
+        );
+    }
+    for (i, ev) in events.iter().enumerate() {
+        let comma = if i + 1 < events.len() { "," } else { "" };
+        let _ = writeln!(out, "{ev}{comma}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+// ------------------------------------------------------------- validation
+
+/// Summary of a validated trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Number of `"X"` span events.
+    pub spans: usize,
+    /// Number of distinct (pid, tid) rows carrying spans.
+    pub rows: usize,
+    /// Rows under the `streams` process.
+    pub stream_rows: usize,
+}
+
+/// Validate an emitted Chrome trace: parses the JSON, requires a non-empty
+/// `traceEvents` array with at least one span, checks every span carries
+/// the required fields, and checks spans on each row are well-nested
+/// (non-overlapping — every row models a serial resource: a stream sink or
+/// a DMA channel). Returns span/row counts for count-based assertions.
+pub fn validate(json: &str) -> Result<TraceCheck, String> {
+    let value = json::parse(json)?;
+    let events = value
+        .get("traceEvents")
+        .and_then(json::Value::as_array)
+        .ok_or("top-level object must carry a traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    let mut per_row: BTreeMap<(i64, i64), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut spans = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph != "X" {
+            continue;
+        }
+        spans += 1;
+        let num = |key: &str| {
+            ev.get(key)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("event {i}: missing numeric {key}"))
+        };
+        let ts = num("ts")?;
+        let dur = num("dur")?;
+        let pid = num("pid")? as i64;
+        let tid = num("tid")? as i64;
+        if ev.get("name").and_then(json::Value::as_str).is_none() {
+            return Err(format!("event {i}: span without a name"));
+        }
+        if dur < 0.0 || ts < 0.0 {
+            return Err(format!("event {i}: negative ts/dur"));
+        }
+        per_row.entry((pid, tid)).or_default().push((ts, dur));
+    }
+    if spans == 0 {
+        return Err("trace has no span events".to_string());
+    }
+    // Well-nestedness: rows are serial resources, so spans must not
+    // overlap. Allow a small epsilon for the 3-decimal µs rounding.
+    const EPS_US: f64 = 0.01;
+    for ((pid, tid), row) in per_row.iter_mut() {
+        row.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for w in row.windows(2) {
+            let (ts0, d0) = w[0];
+            let (ts1, _) = w[1];
+            if ts1 + EPS_US < ts0 + d0 {
+                return Err(format!(
+                    "row (pid {pid}, tid {tid}): span at {ts1}us overlaps span \
+                     [{ts0}, {:.3}]us — serial rows must be well-nested",
+                    ts0 + d0
+                ));
+            }
+        }
+    }
+    let stream_rows = per_row
+        .keys()
+        .filter(|(pid, _)| *pid == PID_STREAMS as i64)
+        .count();
+    Ok(TraceCheck {
+        spans,
+        rows: per_row.len(),
+        stream_rows,
+    })
+}
+
+/// A minimal JSON reader (the workspace has no serde_json) — enough to
+/// re-parse our own emitted traces plus reject malformed hand edits.
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug)]
+    pub enum Value {
+        Null,
+        // Parsed so `"ok":true/false` round-trips; the validator never
+        // inspects the payload.
+        Bool(#[allow(dead_code)] bool),
+        Num(f64),
+        Str(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(m) => m.get(key),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let b = s.as_bytes();
+        let mut pos = 0usize;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') => lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => lit(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+        }
+    }
+
+    fn lit(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {pos}"))
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        *pos += 1; // opening quote
+        let mut out = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("unknown escape at byte {pos}")),
+                    }
+                }
+                c => out.push(c as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // [
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected , or ] at byte {pos}")),
+            }
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // {
+        let mut map = BTreeMap::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b'"') {
+                return Err(format!("expected object key at byte {pos}"));
+            }
+            let key = string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(format!("expected : at byte {pos}"));
+            }
+            *pos += 1;
+            map.insert(key, value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(format!("expected , or }} at byte {pos}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsHub, ObsPhase};
+
+    fn meta(kind: ObsKind, stream: u32, card: Option<u32>, h2d: bool, label: &str) -> ActionMeta {
+        ActionMeta {
+            stream,
+            kind,
+            card,
+            h2d,
+            bytes: 100,
+            footprint: 1,
+            label: label.to_string(),
+        }
+    }
+
+    #[test]
+    fn export_and_validate_roundtrip() {
+        let hub = ObsHub::new();
+        hub.enable(true);
+        // Two computes on stream 0 (serial) and one real transfer.
+        let a = hub.action(meta(ObsKind::Compute, 0, None, false, "k0"), 0);
+        a.phase(ObsPhase::Dispatched, 1);
+        a.phase(ObsPhase::SinkStart, 2);
+        a.finish(true, 10);
+        let b = hub.action(meta(ObsKind::Compute, 0, None, false, "k1"), 3);
+        b.phase(ObsPhase::SinkStart, 10);
+        b.finish(true, 20);
+        let t = hub.action(meta(ObsKind::Transfer, 1, Some(1), true, "x"), 0);
+        t.phase(ObsPhase::SinkStart, 5);
+        t.finish(true, 9);
+        // Sync + elided transfer: no spans.
+        let s = hub.action(meta(ObsKind::Sync, 0, None, false, "sync"), 0);
+        s.finish(true, 1);
+        let e = hub.action(meta(ObsKind::Transfer, 0, None, true, "alias"), 0);
+        e.finish(true, 1);
+
+        let json = chrome_trace_json(&hub.take_records());
+        let check = validate(&json).expect("valid trace");
+        assert_eq!(check.spans, 3, "computes + real transfer only:\n{json}");
+        assert_eq!(check.rows, 2, "one stream row, one dma row");
+        assert_eq!(check.stream_rows, 1);
+    }
+
+    #[test]
+    fn overlapping_spans_on_one_row_are_rejected() {
+        let hub = ObsHub::new();
+        hub.enable(true);
+        let a = hub.action(meta(ObsKind::Compute, 0, None, false, "a"), 0);
+        a.phase(ObsPhase::SinkStart, 0);
+        a.finish(true, 10_000);
+        let b = hub.action(meta(ObsKind::Compute, 0, None, false, "b"), 0);
+        b.phase(ObsPhase::SinkStart, 5_000);
+        b.finish(true, 15_000);
+        let json = chrome_trace_json(&hub.take_records());
+        let err = validate(&json).expect_err("overlap on one stream row");
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn failed_actions_still_get_spans() {
+        let hub = ObsHub::new();
+        hub.enable(true);
+        let a = hub.action(meta(ObsKind::Compute, 2, None, false, "boom"), 0);
+        a.phase(ObsPhase::SinkStart, 1);
+        a.finish(false, 5);
+        let json = chrome_trace_json(&hub.take_records());
+        assert!(json.contains("\"ok\":false"));
+        assert_eq!(validate(&json).expect("valid").spans, 1);
+    }
+
+    #[test]
+    fn pending_actions_are_skipped() {
+        let hub = ObsHub::new();
+        hub.enable(true);
+        let a = hub.action(meta(ObsKind::Compute, 0, None, false, "done"), 0);
+        a.phase(ObsPhase::SinkStart, 1);
+        a.finish(true, 2);
+        let _pending = hub.action(meta(ObsKind::Compute, 0, None, false, "stuck"), 3);
+        let json = chrome_trace_json(&hub.take_records());
+        assert_eq!(validate(&json).expect("valid").spans, 1);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let hub = ObsHub::new();
+        hub.enable(true);
+        let a = hub.action(meta(ObsKind::Compute, 0, None, false, "a\"b\\c"), 0);
+        a.phase(ObsPhase::SinkStart, 1);
+        a.finish(true, 2);
+        let json = chrome_trace_json(&hub.take_records());
+        validate(&json).expect("escaped label parses");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate("").is_err());
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"traceEvents\":[]}").is_err());
+        assert!(validate("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        assert!(validate("not json").is_err());
+    }
+}

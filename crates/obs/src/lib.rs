@@ -1,0 +1,448 @@
+//! # hs-obs — action-lifecycle observability
+//!
+//! The paper's whole value proposition is *visible* concurrency: Fig. 6/7
+//! are timelines of computes and transfers overlapping across streams. This
+//! crate records exactly that — one lifecycle record per enqueued action
+//! (enqueue → deps-resolved → dispatch → sink start → complete) plus
+//! runtime gauges (DMA queue depth, workgroup occupancy) and counters —
+//! and exports them as Chrome `chrome://tracing` JSON ([`chrome`]) or a
+//! flat metrics snapshot ([`MetricsSnapshot`]) for `BENCH_*.json`.
+//!
+//! Design constraints:
+//!
+//! * **Always-on, near-zero cost when disabled.** Every instrumentation
+//!   point goes through an [`ObsHub`] whose enabled flag is a single
+//!   relaxed atomic load; when disabled, no allocation, no lock, no
+//!   timestamp is taken, and per-action handles are a `None`.
+//! * **Executor-agnostic timestamps.** The hub stores plain `u64`
+//!   nanoseconds: wall-clock ns since [`ObsHub::enable`] in real mode,
+//!   virtual ns in sim mode. The exporters never care which.
+//! * **No upward dependencies.** The crate sits below `hs-coi`/`hs-fabric`
+//!   in the graph so every runtime layer can emit into the same hub.
+
+pub mod chrome;
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// What kind of action a record describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObsKind {
+    Compute,
+    Transfer,
+    /// Synchronization / bookkeeping (event waits, markers).
+    Sync,
+}
+
+impl ObsKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObsKind::Compute => "compute",
+            ObsKind::Transfer => "transfer",
+            ObsKind::Sync => "sync",
+        }
+    }
+}
+
+/// Lifecycle phases after enqueue. `Completed`/`Failed` are terminal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObsPhase {
+    /// The last dependence completed; the action became runnable.
+    DepsResolved,
+    /// Handed to its sink resource (pipeline queue / DMA channel / server).
+    Dispatched,
+    /// The sink actually started executing it.
+    SinkStart,
+    Completed,
+    Failed,
+}
+
+impl ObsPhase {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObsPhase::DepsResolved => "deps_resolved",
+            ObsPhase::Dispatched => "dispatched",
+            ObsPhase::SinkStart => "sink_start",
+            ObsPhase::Completed => "completed",
+            ObsPhase::Failed => "failed",
+        }
+    }
+}
+
+/// Static description of an action, captured at enqueue.
+#[derive(Clone, Debug)]
+pub struct ActionMeta {
+    /// Dense stream index the action was enqueued into.
+    pub stream: u32,
+    pub kind: ObsKind,
+    /// Card domain index for non-elided transfers (None = host-aliased or
+    /// not a transfer).
+    pub card: Option<u32>,
+    /// Transfer direction (meaningful for transfers only).
+    pub h2d: bool,
+    /// Payload bytes (transfer size, or summed operand bytes for computes).
+    pub bytes: u64,
+    /// Number of footprint items (operands) the dependence analysis saw.
+    pub footprint: u32,
+    pub label: String,
+}
+
+/// One observability record. `Enqueued` carries the action's metadata;
+/// later phases reference it by id.
+#[derive(Clone, Debug)]
+pub enum ObsRecord {
+    Enqueued {
+        action: u64,
+        t_ns: u64,
+        meta: ActionMeta,
+    },
+    Phase {
+        action: u64,
+        phase: ObsPhase,
+        t_ns: u64,
+    },
+}
+
+/// A current/peak gauge (e.g. DMA queue depth, workgroup occupancy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gauge {
+    pub current: i64,
+    pub peak: i64,
+}
+
+struct Inner {
+    enabled: AtomicBool,
+    /// Wall-clock origin, stamped on first enable (real mode timestamps).
+    t0: OnceLock<Instant>,
+    next_action: AtomicU64,
+    records: Mutex<Vec<ObsRecord>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+/// The shared event/metrics hub. Clones share state; one hub per runtime.
+#[derive(Clone)]
+pub struct ObsHub {
+    inner: Arc<Inner>,
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObsHub {
+    /// A new hub, disabled (all instrumentation no-ops).
+    pub fn new() -> ObsHub {
+        ObsHub {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(false),
+                t0: OnceLock::new(),
+                next_action: AtomicU64::new(0),
+                records: Mutex::new(Vec::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                counters: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Turn recording on/off. The wall-clock origin for
+    /// [`ObsHub::wall_ns`] is stamped at the first enable.
+    pub fn enable(&self, on: bool) {
+        if on {
+            let _ = self.inner.t0.set(Instant::now());
+        }
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Wall nanoseconds since the first enable (0 before it).
+    pub fn wall_ns(&self) -> u64 {
+        match self.inner.t0.get() {
+            Some(t0) => t0.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Record an enqueue and mint the action's lifecycle handle. When the
+    /// hub is disabled this allocates nothing and returns an inert handle.
+    pub fn action(&self, meta: ActionMeta, t_ns: u64) -> ObsAction {
+        if !self.is_enabled() {
+            return ObsAction::disabled();
+        }
+        let action = self.inner.next_action.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .records
+            .lock()
+            .push(ObsRecord::Enqueued { action, t_ns, meta });
+        ObsAction {
+            hub: Some(self.clone()),
+            id: action,
+        }
+    }
+
+    fn phase(&self, action: u64, phase: ObsPhase, t_ns: u64) {
+        self.inner.records.lock().push(ObsRecord::Phase {
+            action,
+            phase,
+            t_ns,
+        });
+    }
+
+    /// Adjust a gauge by `delta`, tracking its peak. No-op when disabled.
+    pub fn gauge_add(&self, key: &str, delta: i64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut gauges = self.inner.gauges.lock();
+        let g = gauges.entry(key.to_string()).or_default();
+        g.current += delta;
+        g.peak = g.peak.max(g.current);
+    }
+
+    /// Bump a monotonic counter. No-op when disabled.
+    pub fn counter_add(&self, key: &str, n: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        *self
+            .inner
+            .counters
+            .lock()
+            .entry(key.to_string())
+            .or_insert(0) += n;
+    }
+
+    /// Drain all lifecycle records collected so far.
+    pub fn take_records(&self) -> Vec<ObsRecord> {
+        std::mem::take(&mut *self.inner.records.lock())
+    }
+
+    /// Number of records currently buffered.
+    pub fn records_len(&self) -> usize {
+        self.inner.records.lock().len()
+    }
+
+    /// Snapshot gauges and counters (records stay untouched).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            gauges: self.inner.gauges.lock().clone(),
+            counters: self.inner.counters.lock().clone(),
+            extra: BTreeMap::new(),
+        }
+    }
+}
+
+/// Per-action lifecycle handle, cheap to clone and inert when the hub was
+/// disabled at enqueue time.
+#[derive(Clone, Default)]
+pub struct ObsAction {
+    hub: Option<ObsHub>,
+    id: u64,
+}
+
+impl ObsAction {
+    /// An inert handle: every method is a no-op.
+    pub fn disabled() -> ObsAction {
+        ObsAction::default()
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.hub.is_some()
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Record a lifecycle phase at an explicit timestamp (virtual time).
+    pub fn phase(&self, phase: ObsPhase, t_ns: u64) {
+        if let Some(hub) = &self.hub {
+            hub.phase(self.id, phase, t_ns);
+        }
+    }
+
+    /// Record a lifecycle phase stamped with the hub's wall clock.
+    pub fn phase_wall(&self, phase: ObsPhase) {
+        if let Some(hub) = &self.hub {
+            hub.phase(self.id, phase, hub.wall_ns());
+        }
+    }
+
+    /// Record the terminal phase at an explicit timestamp.
+    pub fn finish(&self, ok: bool, t_ns: u64) {
+        let phase = if ok {
+            ObsPhase::Completed
+        } else {
+            ObsPhase::Failed
+        };
+        self.phase(phase, t_ns);
+    }
+
+    /// Record the terminal phase stamped with the hub's wall clock.
+    pub fn finish_wall(&self, ok: bool) {
+        if let Some(hub) = &self.hub {
+            let phase = if ok {
+                ObsPhase::Completed
+            } else {
+                ObsPhase::Failed
+            };
+            hub.phase(self.id, phase, hub.wall_ns());
+        }
+    }
+}
+
+/// A flat snapshot of gauges/counters plus derived values (e.g. link
+/// utilization) for merging into bench JSON artifacts.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub gauges: BTreeMap<String, Gauge>,
+    pub counters: BTreeMap<String, u64>,
+    /// Derived values computed by the layer that owns the raw data.
+    pub extra: BTreeMap<String, f64>,
+}
+
+impl MetricsSnapshot {
+    /// Flatten to `(column, value)` rows: counters as-is, gauges as
+    /// `<key>.peak`, derived values as-is. Sorted by column name.
+    pub fn rows(&self) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        for (k, v) in &self.counters {
+            rows.push((k.clone(), *v as f64));
+        }
+        for (k, g) in &self.gauges {
+            rows.push((format!("{k}.peak"), g.peak as f64));
+        }
+        for (k, v) in &self.extra {
+            rows.push((k.clone(), *v));
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(stream: u32, label: &str) -> ActionMeta {
+        ActionMeta {
+            stream,
+            kind: ObsKind::Compute,
+            card: None,
+            h2d: false,
+            bytes: 64,
+            footprint: 2,
+            label: label.to_string(),
+        }
+    }
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let hub = ObsHub::new();
+        let a = hub.action(meta(0, "x"), 0);
+        assert!(!a.is_enabled());
+        a.phase(ObsPhase::Dispatched, 10);
+        a.finish(true, 20);
+        hub.gauge_add("g", 1);
+        hub.counter_add("c", 1);
+        assert_eq!(hub.records_len(), 0);
+        assert!(hub.metrics().gauges.is_empty());
+        assert!(hub.metrics().counters.is_empty());
+    }
+
+    #[test]
+    fn enabled_hub_collects_lifecycle() {
+        let hub = ObsHub::new();
+        hub.enable(true);
+        let a = hub.action(meta(1, "gemm"), 5);
+        a.phase(ObsPhase::DepsResolved, 6);
+        a.phase(ObsPhase::SinkStart, 7);
+        a.finish(true, 9);
+        let recs = hub.take_records();
+        assert_eq!(recs.len(), 4);
+        match &recs[0] {
+            ObsRecord::Enqueued { action, t_ns, meta } => {
+                assert_eq!(*action, a.id());
+                assert_eq!(*t_ns, 5);
+                assert_eq!(meta.stream, 1);
+            }
+            other => panic!("first record must be Enqueued, got {other:?}"),
+        }
+        assert!(matches!(
+            recs[3],
+            ObsRecord::Phase {
+                phase: ObsPhase::Completed,
+                t_ns: 9,
+                ..
+            }
+        ));
+        assert_eq!(hub.records_len(), 0, "take_records drains");
+    }
+
+    #[test]
+    fn action_ids_are_sequential() {
+        let hub = ObsHub::new();
+        hub.enable(true);
+        let a = hub.action(meta(0, "a"), 0);
+        let b = hub.action(meta(0, "b"), 1);
+        assert_eq!(b.id(), a.id() + 1);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let hub = ObsHub::new();
+        hub.enable(true);
+        hub.gauge_add("q", 2);
+        hub.gauge_add("q", 3);
+        hub.gauge_add("q", -4);
+        let snap = hub.metrics();
+        assert_eq!(
+            snap.gauges["q"],
+            Gauge {
+                current: 1,
+                peak: 5
+            }
+        );
+        hub.counter_add("n", 2);
+        hub.counter_add("n", 3);
+        assert_eq!(hub.metrics().counters["n"], 5);
+    }
+
+    #[test]
+    fn snapshot_rows_are_flat_and_sorted() {
+        let hub = ObsHub::new();
+        hub.enable(true);
+        hub.gauge_add("z.depth", 3);
+        hub.counter_add("a.count", 7);
+        let mut snap = hub.metrics();
+        snap.extra.insert("m.util".into(), 0.5);
+        let rows = snap.rows();
+        assert_eq!(
+            rows,
+            vec![
+                ("a.count".to_string(), 7.0),
+                ("m.util".to_string(), 0.5),
+                ("z.depth.peak".to_string(), 3.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn wall_clock_starts_at_enable() {
+        let hub = ObsHub::new();
+        assert_eq!(hub.wall_ns(), 0);
+        hub.enable(true);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(hub.wall_ns() >= 1_000_000);
+    }
+}
