@@ -9,7 +9,7 @@
 use hs_apps::matmul::{run, MatmulConfig};
 use hs_bench::{f, write_bench_json, JsonRecord, Table};
 use hs_machine::{Device, PlatformCfg};
-use hstreams_core::{ExecMode, HStreams};
+use hstreams_core::{ExecMode, FaultPlan, HStreams};
 
 fn tile_for(n: usize) -> usize {
     (n / 20).clamp(400, 3000)
@@ -43,7 +43,71 @@ fn traced_run(path: &str, n: usize, records: &mut Vec<JsonRecord>) {
         .push(JsonRecord::new("HSW+2KNC traced", n, res.gflops).with_metrics(hs.metrics().rows()));
 }
 
+/// Chaos smoke (CI's `chaos-smoke` job): one real-mode matmul under the
+/// fixed-shape smoke fault plan — a transient DMA fault absorbed by
+/// retries plus a mid-run loss of card 1 absorbed by degradation. Asserts
+/// completion and the fault-free checksum, and exports a lifecycle trace
+/// for structural validation when `HS_TRACE` is set. Chaotic measurements
+/// never reach `BENCH_fig6.json` (see `write_bench_json`).
+fn chaos_smoke(seed: u64) {
+    let mut cfg = MatmulConfig::new(48, 12);
+    cfg.streams_per_card = 2;
+    cfg.streams_host = 2;
+    cfg.verify = true;
+    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
+    hs.obs_enable(true);
+    hs.chaos_install(FaultPlan::smoke(seed));
+    let res = run(&mut hs, &cfg).expect("chaotic matmul must recover and complete");
+    let err = res.max_err.expect("verified");
+    assert!(
+        err < 1e-10,
+        "post-recovery checksum must equal the fault-free product: err {err}"
+    );
+    assert_eq!(
+        hs.degraded_cards(),
+        &[1],
+        "the smoke plan kills card 1 mid-run"
+    );
+    let log = hs.chaos().injected_log();
+    assert!(!log.is_empty(), "the smoke plan must inject");
+    println!("\n=== chaos smoke (seed {seed}) ===");
+    for line in &log {
+        println!("  {line}");
+    }
+    println!(
+        "recovered: max_err {err:.3e}, degraded cards {:?}",
+        hs.degraded_cards()
+    );
+    // The trace artifact comes from a virtual-time run of the same plan
+    // (like the tracing-smoke job): sim rows are serial resources, which
+    // is what the structural validator checks.
+    if let Ok(path) = std::env::var("HS_TRACE") {
+        let mut cfg = MatmulConfig::new(600, 100);
+        cfg.streams_per_card = 2;
+        cfg.streams_host = 2;
+        let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim);
+        hs.set_tracing(false);
+        hs.obs_enable(true);
+        hs.chaos_install(FaultPlan::smoke(seed));
+        run(&mut hs, &cfg).expect("chaotic sim matmul must recover");
+        assert_eq!(hs.degraded_cards(), &[1], "sim run degrades too");
+        let trace = hs.export_chrome_trace();
+        std::fs::write(&path, &trace).unwrap_or_else(|e| panic!("writing trace {path}: {e}"));
+        println!("wrote chaotic Chrome trace to {path}");
+    }
+}
+
 fn main() {
+    // HS_CHAOS_SEED switches the bench into fault-injection smoke mode:
+    // the figure sweep is skipped (its numbers would be meaningless) and
+    // the run instead proves the chaos plan is absorbed.
+    if let Ok(seed) = std::env::var("HS_CHAOS_SEED") {
+        let seed: u64 = seed
+            .parse()
+            .unwrap_or_else(|e| panic!("HS_CHAOS_SEED must be a u64: {e}"));
+        chaos_smoke(seed);
+        return;
+    }
     let smoke = std::env::var("HS_BENCH_SMOKE").is_ok();
     let sizes: &[usize] = if smoke {
         &[2000]

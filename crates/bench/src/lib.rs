@@ -107,6 +107,16 @@ fn metric_val(v: f64) -> String {
 /// are *loud* — benches must not silently drop their artifacts (that is
 /// exactly the run_benches.sh failure mode this replaces).
 pub fn write_bench_json(path: &str, records: &[JsonRecord]) {
+    // Chaotic runs (HS_CHAOS_SEED set) measure a run with injected faults,
+    // retries, and possibly a degraded card — numbers that must never be
+    // mistaken for the paper's figures. Refuse the artifact, loudly.
+    if let Ok(seed) = std::env::var("HS_CHAOS_SEED") {
+        println!(
+            "\nREFUSING to write {path}: HS_CHAOS_SEED={seed} — \
+             fault-injected measurements are not bench artifacts"
+        );
+        return;
+    }
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         // JSON floats: emit a fixed precision; names are plain ASCII

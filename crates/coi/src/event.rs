@@ -1,14 +1,15 @@
 //! Completion events with wait/poll semantics and error propagation.
 
+use hs_chaos::FailureCause;
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
 /// Observable status of an event.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum EventStatus {
     Pending,
     Done,
-    Failed(String),
+    Failed(FailureCause),
 }
 
 type Callback = Box<dyn FnOnce(&EventStatus) + Send>;
@@ -56,8 +57,8 @@ impl CoiEvent {
     }
 
     /// Mark failed and wake waiters.
-    pub fn fail(&self, msg: impl Into<String>) {
-        self.complete(EventStatus::Failed(msg.into()));
+    pub fn fail(&self, cause: impl Into<FailureCause>) {
+        self.complete(EventStatus::Failed(cause.into()));
     }
 
     fn complete(&self, new: EventStatus) {
@@ -106,8 +107,8 @@ impl CoiEvent {
         !matches!(self.status(), EventStatus::Pending)
     }
 
-    /// Block until complete; `Err` carries the failure message.
-    pub fn wait(&self) -> Result<(), String> {
+    /// Block until complete; `Err` carries the failure cause.
+    pub fn wait(&self) -> Result<(), FailureCause> {
         let mut st = self.core.status.lock();
         while *st == EventStatus::Pending {
             self.core.cv.wait(&mut st);
@@ -123,7 +124,7 @@ impl CoiEvent {
     /// timeout (the event is left pending). Used by executor shutdown to
     /// drain outstanding actions with a bounded budget instead of hanging
     /// on an action whose dependence will never resolve.
-    pub fn wait_deadline(&self, deadline: std::time::Instant) -> Option<Result<(), String>> {
+    pub fn wait_deadline(&self, deadline: std::time::Instant) -> Option<Result<(), FailureCause>> {
         let mut st = self.core.status.lock();
         while *st == EventStatus::Pending {
             let now = std::time::Instant::now();
@@ -140,30 +141,48 @@ impl CoiEvent {
     }
 
     /// Wait for all events; the first failure (in list order) is reported.
-    pub fn wait_all(events: &[CoiEvent]) -> Result<(), String> {
+    pub fn wait_all(events: &[CoiEvent]) -> Result<(), FailureCause> {
         for ev in events {
             ev.wait()?;
         }
         Ok(())
     }
 
-    /// Wait until at least one event completes; returns its index. The
-    /// paper highlights wait-any ("being signaled when one or all the events
-    /// are finished ... can save CPU spinning time"); this implementation
-    /// parks on each core's condvar round-robin with short waits rather than
-    /// spinning.
-    pub fn wait_any(events: &[CoiEvent]) -> Result<usize, String> {
+    /// Wait until at least one event *succeeds*; returns its index. Only
+    /// when every member has failed does it return an error — the first
+    /// failure in list order. (The previous implementation returned the
+    /// first failure it scanned even while another member could still
+    /// succeed, and parked on `events[0]` — which, once failed, returned
+    /// immediately and turned the wait into a busy spin.) The paper
+    /// highlights wait-any ("being signaled when one or all the events are
+    /// finished ... can save CPU spinning time"); this implementation parks
+    /// on a still-pending member's condvar rather than spinning.
+    pub fn wait_any(events: &[CoiEvent]) -> Result<usize, FailureCause> {
         assert!(!events.is_empty(), "wait_any on empty set");
         loop {
+            let mut first_fail = None;
+            let mut pending = None;
             for (i, ev) in events.iter().enumerate() {
                 match ev.status() {
                     EventStatus::Done => return Ok(i),
-                    EventStatus::Failed(m) => return Err(m),
-                    EventStatus::Pending => {}
+                    EventStatus::Failed(c) => {
+                        if first_fail.is_none() {
+                            first_fail = Some(c);
+                        }
+                    }
+                    EventStatus::Pending => {
+                        if pending.is_none() {
+                            pending = Some(i);
+                        }
+                    }
                 }
             }
-            // Park briefly on the first pending event.
-            let ev = &events[0];
+            let Some(p) = pending else {
+                return Err(first_fail.expect("non-empty set with no pending and no done"));
+            };
+            // Park on a pending member; re-scan on wake or timeout (another
+            // member may have completed while we were parked elsewhere).
+            let ev = &events[p];
             let mut st = ev.core.status.lock();
             if *st == EventStatus::Pending {
                 ev.core
@@ -244,11 +263,14 @@ mod tests {
     }
 
     #[test]
-    fn fail_propagates_message() {
+    fn fail_propagates_cause() {
         let ev = CoiEvent::new();
         ev.fail("boom");
-        assert_eq!(ev.wait(), Err("boom".to_string()));
-        assert_eq!(ev.status(), EventStatus::Failed("boom".into()));
+        assert_eq!(ev.wait(), Err(FailureCause::Exec("boom".into())));
+        assert_eq!(
+            ev.status(),
+            EventStatus::Failed(FailureCause::Exec("boom".into()))
+        );
     }
 
     #[test]
@@ -271,7 +293,10 @@ mod tests {
         let b = CoiEvent::new();
         b.fail("x");
         let c = CoiEvent::done();
-        assert_eq!(CoiEvent::wait_all(&[a, b, c]), Err("x".to_string()));
+        assert_eq!(
+            CoiEvent::wait_all(&[a, b, c]),
+            Err(FailureCause::Exec("x".into()))
+        );
     }
 
     #[test]
@@ -287,6 +312,37 @@ mod tests {
         assert_eq!(idx, 1);
         t.join().expect("thread completes");
         a.signal();
+    }
+
+    #[test]
+    fn wait_any_survives_an_early_failure_and_returns_later_success() {
+        // Regression: wait_any used to return the first failure it scanned
+        // even though another member was still pending and would succeed.
+        let failed = CoiEvent::new();
+        failed.fail("early");
+        let slow = CoiEvent::new();
+        let slow2 = slow.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            slow2.signal();
+        });
+        let idx = CoiEvent::wait_any(&[failed, slow]).expect("pending member succeeds");
+        assert_eq!(idx, 1);
+        t.join().expect("thread completes");
+    }
+
+    #[test]
+    fn wait_any_all_failed_returns_first_failure_in_list_order() {
+        let a = CoiEvent::new();
+        a.fail(FailureCause::Timeout { deadline_ns: 5 });
+        let b = CoiEvent::new();
+        b.fail("second");
+        let t0 = std::time::Instant::now();
+        let err = CoiEvent::wait_any(&[a, b]).expect_err("all failed");
+        assert_eq!(err, FailureCause::Timeout { deadline_ns: 5 });
+        // Regression: this used to park-with-timeout forever on a completed
+        // member in some orderings; it must return immediately.
+        assert!(t0.elapsed() < std::time::Duration::from_millis(100));
     }
 
     #[test]
@@ -319,7 +375,10 @@ mod tests {
         let hit = Arc::new(parking_lot::Mutex::new(None));
         let h = hit.clone();
         ev.on_complete(move |st| *h.lock() = Some(st.clone()));
-        assert_eq!(*hit.lock(), Some(EventStatus::Failed("gone".into())));
+        assert_eq!(
+            *hit.lock(),
+            Some(EventStatus::Failed(FailureCause::Exec("gone".into())))
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub use pool::{BufferPool, PoolStats, PooledWindow};
 pub use registry::{FnRegistry, RunFunction};
 pub use workgroup::{worker_spawn_count, Workgroup};
 
+use hs_chaos::ChaosHub;
 use hs_fabric::{Fabric, NodeId, Pacer, WindowId};
 use hs_obs::ObsHub;
 use std::sync::Arc;
@@ -61,6 +62,7 @@ pub struct CoiRuntime {
     pools: Vec<BufferPool>,
     n_engines: usize,
     obs: ObsHub,
+    chaos: ChaosHub,
 }
 
 impl CoiRuntime {
@@ -73,8 +75,22 @@ impl CoiRuntime {
     /// A runtime where each card engine gets its own DMA pacer (index `i`
     /// paces engine `i + 1`) and lifecycle/gauge events go to `obs`.
     pub fn new_with_pacers(per_card: Vec<Pacer>, obs: ObsHub) -> Arc<CoiRuntime> {
+        Self::new_with_pacers_chaos(per_card, obs, ChaosHub::default())
+    }
+
+    /// Like [`Self::new_with_pacers`], with a shared fault-injection hub
+    /// wired into every DMA channel (and consulted by dispatchers above).
+    pub fn new_with_pacers_chaos(
+        per_card: Vec<Pacer>,
+        obs: ObsHub,
+        chaos: ChaosHub,
+    ) -> Arc<CoiRuntime> {
         let n_engines = per_card.len() + 1;
-        let fabric = Arc::new(Fabric::new_with_pacers(n_engines, per_card));
+        let fabric = Arc::new(Fabric::new_with_pacers_chaos(
+            n_engines,
+            per_card,
+            chaos.clone(),
+        ));
         let pools = (0..n_engines).map(|_| BufferPool::new()).collect();
         Arc::new(CoiRuntime {
             fabric,
@@ -82,12 +98,18 @@ impl CoiRuntime {
             pools,
             n_engines,
             obs,
+            chaos,
         })
     }
 
     /// The observability hub shared by this runtime's pipelines/workgroups.
     pub fn obs(&self) -> &ObsHub {
         &self.obs
+    }
+
+    /// The fault-injection hub shared with this runtime's fabric.
+    pub fn chaos(&self) -> &ChaosHub {
+        &self.chaos
     }
 
     pub fn num_engines(&self) -> usize {
@@ -199,7 +221,10 @@ mod tests {
         let pipe = rt.pipeline_create(EngineId(1), 1);
         let ev = pipe.run("nope", Bytes::new(), vec![]);
         let err = ev.wait().expect_err("unknown function must fail");
-        assert!(err.contains("nope"), "error names the function: {err}");
+        assert!(
+            err.to_string().contains("nope"),
+            "error names the function: {err}"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::workgroup::Workgroup;
 use crate::{CoiRuntime, EngineId};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
+use hs_chaos::FailureCause;
 use hs_fabric::{RangeGuard, WindowId};
 use hs_obs::{ObsAction, ObsPhase};
 use std::ops::Range;
@@ -255,13 +256,13 @@ impl Drop for Pipeline {
     }
 }
 
-fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> FailureCause {
     if let Some(s) = p.downcast_ref::<&str>() {
-        format!("run function panicked: {s}")
+        FailureCause::SinkPanic((*s).to_string())
     } else if let Some(s) = p.downcast_ref::<String>() {
-        format!("run function panicked: {s}")
+        FailureCause::SinkPanic(s.clone())
     } else {
-        "run function panicked".to_string()
+        FailureCause::SinkPanic("<non-string payload>".to_string())
     }
 }
 
@@ -271,18 +272,18 @@ fn execute(
     args: &Bytes,
     bufs: &[BufAccess],
     wg: &Arc<Workgroup>,
-) -> Result<(), String> {
+) -> Result<(), FailureCause> {
     let f = rt
         .registry()
         .lookup(name)
-        .ok_or_else(|| format!("no run function named '{name}'"))?;
+        .ok_or_else(|| FailureCause::Malformed(format!("no run function named '{name}'")))?;
     // Hold Arc<WindowMem> references for the duration of the call.
     let mems: Vec<_> = bufs
         .iter()
         .map(|(w, _, _)| {
-            rt.fabric()
-                .window(*w)
-                .ok_or_else(|| format!("run function '{name}': window {w:?} gone"))
+            rt.fabric().window(*w).ok_or_else(|| {
+                FailureCause::Exec(format!("run function '{name}': window {w:?} gone"))
+            })
         })
         .collect::<Result<_, _>>()?;
     // Acquire operand guards in canonical (window, offset) order so pipelines
@@ -294,7 +295,7 @@ fn execute(
         let (_, range, write) = &bufs[i];
         let g = mems[i]
             .lock_range(range.clone(), *write)
-            .map_err(|e| format!("run function '{name}': {e}"))?;
+            .map_err(|e| FailureCause::Exec(format!("run function '{name}': {e}")))?;
         guards[i] = Some(g);
     }
     let guards: Vec<RangeGuard<'_>> = guards
@@ -416,7 +417,10 @@ mod tests {
         let pipe = rt.pipeline_create(EngineId(1), 1);
         let ev = pipe.run("boom", Bytes::new(), vec![]);
         let err = ev.wait().expect_err("panic must fail the event");
-        assert!(err.contains("kaput"), "{err}");
+        assert!(
+            matches!(&err, FailureCause::SinkPanic(m) if m.contains("kaput")),
+            "{err}"
+        );
         // The pipeline still processes subsequent commands.
         let ev2 = pipe.call(|| {});
         assert_eq!(ev2.wait(), Ok(()));

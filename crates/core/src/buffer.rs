@@ -147,6 +147,12 @@ impl BufferTable {
         self.addr.resolve(addr)
     }
 
+    /// Mutable walk over every buffer record (card-loss degradation drops
+    /// the lost domain's instantiations in place).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut BufferRec> {
+        self.bufs.values_mut()
+    }
+
     pub fn len(&self) -> usize {
         self.bufs.len()
     }

@@ -8,12 +8,23 @@ pub mod sim;
 pub mod thread;
 
 use bytes::Bytes;
+use hs_chaos::{FailureCause, RetryPolicy};
 use hs_coi::pipeline::BufAccess;
 use hs_coi::CoiEvent;
 use hs_machine::Device;
 use hs_sim::Token;
 
 use crate::types::CostHint;
+
+/// Per-submission execution options (deadline + retry budget).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOpts {
+    /// Fail the action if it has not completed this many nanoseconds after
+    /// submission: wall time in thread mode, virtual time in sim mode.
+    pub deadline_ns: Option<u64>,
+    /// Retry budget for transient (injected) faults.
+    pub retry: RetryPolicy,
+}
 
 /// Real-mode endpoints of a transfer.
 #[derive(Clone, Debug)]
@@ -102,16 +113,28 @@ impl Executor {
     }
 
     /// Submit an action with its dependences; returns its completion event.
-    /// `obs` is the action's lifecycle handle (inert when tracing is off).
+    /// `obs` is the action's lifecycle handle (inert when tracing is off);
+    /// `opts` carries the deadline and retry budget.
     pub fn submit(
         &mut self,
         spec: ActionSpec,
         deps: &[BackendEvent],
         obs: hs_obs::ObsAction,
+        opts: SubmitOpts,
     ) -> BackendEvent {
         match self {
-            Executor::Thread(t) => BackendEvent::Thread(t.submit(spec, deps, obs)),
-            Executor::Sim(s) => BackendEvent::Sim(s.submit(spec, deps, obs)),
+            Executor::Thread(t) => BackendEvent::Thread(t.submit(spec, deps, obs, opts)),
+            Executor::Sim(s) => BackendEvent::Sim(s.submit(spec, deps, obs, opts)),
+        }
+    }
+
+    /// Rebind a stream's sink resources to the host domain (card-loss
+    /// degradation). Actions already dispatched are unaffected; subsequent
+    /// submissions on the stream run on host resources.
+    pub fn remap_stream_to_host(&mut self, stream_idx: usize) {
+        match self {
+            Executor::Thread(t) => t.remap_stream_to_host(stream_idx),
+            Executor::Sim(s) => s.remap_stream_to_host(stream_idx),
         }
     }
 
@@ -123,21 +146,44 @@ impl Executor {
     }
 
     /// Block (real time or virtual time) until the event completes.
-    pub fn wait(&mut self, ev: &BackendEvent) -> Result<(), String> {
+    pub fn wait(&mut self, ev: &BackendEvent) -> Result<(), FailureCause> {
         match self {
             Executor::Thread(_) => ev.as_thread().wait(),
             Executor::Sim(s) => s.wait(ev.as_sim()),
         }
     }
 
-    /// Wait until any of the events completes; returns its index.
-    pub fn wait_any(&mut self, evs: &[BackendEvent]) -> Result<usize, String> {
+    /// Wait until any of the events *succeeds*; returns its index. Errors
+    /// (with the first failure in list order) only when all have failed.
+    pub fn wait_any(&mut self, evs: &[BackendEvent]) -> Result<usize, FailureCause> {
         match self {
             Executor::Thread(_) => {
                 let evs: Vec<CoiEvent> = evs.iter().map(|e| e.as_thread().clone()).collect();
                 CoiEvent::wait_any(&evs)
             }
             Executor::Sim(s) => s.wait_any(&evs.iter().map(|e| e.as_sim()).collect::<Vec<_>>()),
+        }
+    }
+
+    /// The failure cause of an event that has completed with an error
+    /// (None while pending or after success).
+    pub fn failure_of(&self, ev: &BackendEvent) -> Option<FailureCause> {
+        match self {
+            Executor::Thread(_) => match ev.as_thread().status() {
+                hs_coi::EventStatus::Failed(c) => Some(c),
+                _ => None,
+            },
+            Executor::Sim(s) => s.failure_of(ev.as_sim()),
+        }
+    }
+
+    /// Run all outstanding virtual-time work to quiescence (sim mode); a
+    /// no-op on real threads, where callers wait on concrete events
+    /// instead. Degradation uses this to settle every in-flight action's
+    /// status before selecting the replay set.
+    pub fn run_all(&mut self) {
+        if let Executor::Sim(s) = self {
+            s.run_all();
         }
     }
 

@@ -14,14 +14,16 @@
 //! propagates to waiters and dependents instead of aborting whichever
 //! thread happened to run the dispatch callback.
 
-use super::{ActionSpec, BackendEvent};
+use super::{ActionSpec, BackendEvent, SubmitOpts};
 use crossbeam::channel::{unbounded, Sender};
+use hs_chaos::{ChaosHub, FailureCause, Injection, RetryPolicy};
 use hs_coi::{CoiEvent, CoiRuntime, EngineId, EventStatus};
 use hs_fabric::Pacer;
 use hs_machine::PlatformCfg;
 use hs_obs::{ObsAction, ObsHub, ObsPhase};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -74,6 +76,114 @@ impl Drop for DmaWorker {
     }
 }
 
+type TimerJob = Box<dyn FnOnce() + Send>;
+
+struct TimerEntry {
+    at: Instant,
+    seq: u64,
+    job: TimerJob,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline
+        // on top (ties broken by insertion order).
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct TimerState {
+    queue: BinaryHeap<TimerEntry>,
+    seq: u64,
+    stop: bool,
+}
+
+/// Shared core of the timer wheel: deadline expiries and retry backoffs
+/// are jobs scheduled at absolute instants, run by one dedicated thread.
+#[derive(Default)]
+struct TimerShared {
+    state: Mutex<TimerState>,
+    cv: Condvar,
+}
+
+impl TimerShared {
+    fn schedule(&self, at: Instant, job: TimerJob) {
+        let mut st = self.state.lock();
+        if st.stop {
+            return; // executor tearing down; late timers are meaningless
+        }
+        let seq = st.seq;
+        st.seq += 1;
+        st.queue.push(TimerEntry { at, seq, job });
+        self.cv.notify_one();
+    }
+}
+
+/// The timer-wheel thread owner: stops and joins on drop, dropping any
+/// jobs still pending (their events are being torn down too).
+struct TimerWheel {
+    shared: Arc<TimerShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TimerWheel {
+    fn spawn() -> TimerWheel {
+        let shared = Arc::<TimerShared>::default();
+        let sh = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("hs-timer".into())
+            .spawn(move || loop {
+                let job = {
+                    let mut st = sh.state.lock();
+                    loop {
+                        if st.stop {
+                            return;
+                        }
+                        match st.queue.peek() {
+                            Some(e) if e.at <= Instant::now() => {
+                                break st.queue.pop().expect("peeked entry").job;
+                            }
+                            Some(e) => {
+                                let dur = e.at - Instant::now();
+                                let _ = sh.cv.wait_for(&mut st, dur);
+                            }
+                            None => sh.cv.wait(&mut st),
+                        }
+                    }
+                };
+                // Run outside the lock: jobs may schedule further timers.
+                job();
+            })
+            .expect("spawning the timer-wheel thread");
+        TimerWheel {
+            shared,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for TimerWheel {
+    fn drop(&mut self) {
+        self.shared.state.lock().stop = true;
+        self.shared.cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 /// How long `Drop` waits for outstanding actions before tearing down sink
 /// threads. Bounded so an action with a never-resolvable dependence cannot
 /// hang shutdown; such actions fail cleanly when they later try to
@@ -93,6 +203,13 @@ pub struct ThreadExec {
     /// complete; `Drop` drains these before joining workers.
     outstanding: Vec<CoiEvent>,
     obs: ObsHub,
+    chaos: ChaosHub,
+    /// Monotonic submission counter, used as the deterministic per-action
+    /// salt for retry-backoff jitter.
+    submitted: u64,
+    /// Declared last so sink/DMA threads are gone before the timer thread
+    /// (nothing can schedule after them).
+    timer: TimerWheel,
 }
 
 impl ThreadExec {
@@ -105,6 +222,17 @@ impl ThreadExec {
 
     /// Like [`Self::new`], routing lifecycle events and gauges to `obs`.
     pub fn new_with_obs(platform: &PlatformCfg, paced: bool, obs: ObsHub) -> ThreadExec {
+        Self::new_with_obs_chaos(platform, paced, obs, ChaosHub::default())
+    }
+
+    /// Like [`Self::new_with_obs`], sharing `chaos` with every fabric DMA
+    /// channel and dispatch point.
+    pub fn new_with_obs_chaos(
+        platform: &PlatformCfg,
+        paced: bool,
+        obs: ObsHub,
+        chaos: ChaosHub,
+    ) -> ThreadExec {
         // Each card paces to its *own* link: heterogeneous platforms mix
         // e.g. a PCIe card with a slower fabric-attached remote node.
         let pacers: Vec<Pacer> = platform
@@ -119,7 +247,7 @@ impl ThreadExec {
             })
             .collect();
         let ncards = pacers.len();
-        let coi = CoiRuntime::new_with_pacers(pacers, obs.clone());
+        let coi = CoiRuntime::new_with_pacers_chaos(pacers, obs.clone(), chaos.clone());
         let dma = (0..ncards)
             .map(|c| {
                 [
@@ -135,11 +263,31 @@ impl ThreadExec {
             started: OnceLock::new(),
             outstanding: Vec::new(),
             obs,
+            chaos,
+            submitted: 0,
+            timer: TimerWheel::spawn(),
         }
     }
 
     pub fn coi(&self) -> &Arc<CoiRuntime> {
         &self.coi
+    }
+
+    /// The fault-injection hub shared with the fabric and dispatch points.
+    pub fn chaos(&self) -> &ChaosHub {
+        &self.chaos
+    }
+
+    /// Rebind stream `idx`'s sink pipeline to the host engine (card-loss
+    /// degradation). The old pipeline drops: its queued commands drain
+    /// against the lost card's windows (their results are discarded by the
+    /// replay) and its sink thread joins.
+    pub fn remap_stream_to_host(&mut self, idx: usize) {
+        if idx >= self.pipes.len() {
+            return;
+        }
+        let width = self.pipes[idx].width();
+        self.pipes[idx] = self.coi.pipeline_create(EngineId::HOST, width);
     }
 
     /// Wall seconds since the first submit (0.0 before any work).
@@ -161,13 +309,47 @@ impl ThreadExec {
         self.pipes.push(pipe);
     }
 
-    pub fn submit(&mut self, spec: ActionSpec, deps: &[BackendEvent], obs: ObsAction) -> CoiEvent {
+    pub fn submit(
+        &mut self,
+        spec: ActionSpec,
+        deps: &[BackendEvent],
+        obs: ObsAction,
+        opts: SubmitOpts,
+    ) -> CoiEvent {
         self.started.get_or_init(Instant::now);
+        self.submitted += 1;
         let done = CoiEvent::new();
         self.track(done.clone());
+        let run = Arc::new(ActionRun {
+            ctx: self.dispatch_ctx(),
+            spec,
+            done: done.clone(),
+            obs: obs.clone(),
+            retry: opts.retry,
+            attempts: AtomicU32::new(0),
+            salt: self.submitted,
+        });
         if obs.is_enabled() {
             let o = obs.clone();
-            done.on_complete(move |st| o.finish_wall(matches!(st, EventStatus::Done)));
+            let run_obs = run.clone();
+            done.on_complete(move |st| match st {
+                EventStatus::Failed(c) => {
+                    o.fail_cause_wall(c, run_obs.attempts.load(Ordering::Relaxed).max(1));
+                }
+                _ => o.finish_wall(true),
+            });
+        }
+        // Deadline: fail-then-poison on expiry. `CoiEvent` completion is
+        // first-wins, so a timer firing after success is a no-op; a timer
+        // firing first fails the action and poisons dependents — no silent
+        // hangs. (The sink work itself is not cancelled; its late result is
+        // discarded.)
+        if let Some(ns) = opts.deadline_ns {
+            let d = done.clone();
+            self.timer.shared.schedule(
+                Instant::now() + Duration::from_nanos(ns),
+                Box::new(move || d.fail(FailureCause::Timeout { deadline_ns: ns })),
+            );
         }
         let pending: Vec<&CoiEvent> = deps
             .iter()
@@ -177,44 +359,39 @@ impl ThreadExec {
         // Fast path: everything already complete (or failed).
         for d in deps {
             if let EventStatus::Failed(m) = d.as_thread().status() {
-                done.fail(format!("dependency failed: {m}"));
+                done.fail(FailureCause::poisoned_by(m.clone()));
                 return done;
             }
         }
         if pending.is_empty() {
-            dispatch_with(&self.dispatch_ctx(), spec, done.clone(), obs);
+            dispatch_attempt(run);
             return done;
         }
-        // Countdown: the last completing dependence dispatches. The spec and
-        // the dispatch context are stashed in an Arc so whichever thread
-        // finishes last can run it.
+        // Countdown: the last completing dependence dispatches. The runner
+        // is stashed in an Arc so whichever thread finishes last can run it.
         struct PendingDispatch {
-            spec: Mutex<Option<ActionSpec>>,
+            run: Mutex<Option<Arc<ActionRun>>>,
             remaining: AtomicUsize,
-            ctx: DispatchCtx,
             done: CoiEvent,
-            obs: ObsAction,
         }
         let pd = Arc::new(PendingDispatch {
-            spec: Mutex::new(Some(spec)),
+            run: Mutex::new(Some(run)),
             remaining: AtomicUsize::new(pending.len()),
-            ctx: self.dispatch_ctx(),
             done: done.clone(),
-            obs,
         });
         for dep in pending {
             let pd = pd.clone();
             dep.on_complete(move |st| {
                 match st {
                     EventStatus::Failed(m) => {
-                        // Poison: fail once; the spec is dropped.
-                        pd.spec.lock().take();
-                        pd.done.fail(format!("dependency failed: {m}"));
+                        // Poison: fail once; the runner (and spec) is dropped.
+                        pd.run.lock().take();
+                        pd.done.fail(FailureCause::poisoned_by(m.clone()));
                     }
                     _ => {
                         if pd.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                            if let Some(spec) = pd.spec.lock().take() {
-                                dispatch_with(&pd.ctx, spec, pd.done.clone(), pd.obs.clone());
+                            if let Some(run) = pd.run.lock().take() {
+                                dispatch_attempt(run);
                             }
                         }
                     }
@@ -238,12 +415,19 @@ impl ThreadExec {
         DispatchCtx {
             coi: self.coi.clone(),
             pipes: self.pipes.iter().map(|p| p.sender_handle()).collect(),
+            // Engine each stream's pipeline currently targets (0 = host):
+            // the compute-site chaos consult needs the card to honour
+            // dead-card state, and remapped streams must stop drawing
+            // faults for the lost card.
+            pipe_cards: self.pipes.iter().map(|p| p.engine().0 as u32).collect(),
             dma: self
                 .dma
                 .iter()
                 .map(|pair| [pair[0].tx.clone(), pair[1].tx.clone()])
                 .collect(),
             obs: self.obs.clone(),
+            chaos: self.chaos.clone(),
+            timer: self.timer.shared.clone(),
         }
     }
 }
@@ -268,11 +452,67 @@ impl Drop for ThreadExec {
 struct DispatchCtx {
     coi: Arc<CoiRuntime>,
     pipes: Vec<hs_coi::pipeline::PipelineHandle>,
+    /// Engine index behind each pipeline (0 = host), for compute-site
+    /// fault consultation.
+    pipe_cards: Vec<u32>,
     dma: Vec<[Sender<DmaMsg>; 2]>,
     obs: ObsHub,
+    chaos: ChaosHub,
+    timer: Arc<TimerShared>,
 }
 
-fn dispatch_with(ctx: &DispatchCtx, spec: ActionSpec, done: CoiEvent, obs: ObsAction) {
+/// One submitted action with its retry budget: the spec is retained (not
+/// consumed) so transient-fault attempts can re-dispatch it, and the
+/// attempt counter feeds both backoff jitter and the obs failure record.
+struct ActionRun {
+    ctx: DispatchCtx,
+    spec: ActionSpec,
+    done: CoiEvent,
+    obs: ObsAction,
+    retry: RetryPolicy,
+    attempts: AtomicU32,
+    /// Deterministic jitter salt (the submission ordinal).
+    salt: u64,
+}
+
+/// Run one attempt of an action; on a transient failure with budget left,
+/// schedule the next attempt on the timer wheel after a jittered backoff.
+/// Each attempt completes an internal per-attempt event; the tracked
+/// `done` only settles on success, on a non-retryable cause, or when the
+/// budget is exhausted — so dependents never see intermediate transient
+/// failures.
+fn dispatch_attempt(run: Arc<ActionRun>) {
+    if run.done.is_complete() {
+        return; // deadline expired (or dependence poisoned) while queued
+    }
+    let made = run.attempts.fetch_add(1, Ordering::AcqRel) + 1;
+    let attempt = CoiEvent::new();
+    let run2 = run.clone();
+    attempt.on_complete(move |st| match st {
+        EventStatus::Done => run2.done.signal(),
+        EventStatus::Failed(c) => {
+            if run2.done.is_complete() {
+                return; // deadline beat the attempt; its verdict is void
+            }
+            if c.is_transient() && made < run2.retry.max_attempts {
+                let jitter = run2.ctx.chaos.jitter01(run2.salt ^ u64::from(made));
+                let backoff = run2.retry.backoff_us(made, jitter);
+                run2.obs.retry_wall(made, backoff);
+                let run3 = run2.clone();
+                run2.ctx.timer.schedule(
+                    Instant::now() + Duration::from_micros(backoff),
+                    Box::new(move || dispatch_attempt(run3)),
+                );
+            } else {
+                run2.done.fail(c.clone());
+            }
+        }
+        EventStatus::Pending => unreachable!("on_complete only fires when complete"),
+    });
+    dispatch_with(&run.ctx, &run.spec, attempt, run.obs.clone());
+}
+
+fn dispatch_with(ctx: &DispatchCtx, spec: &ActionSpec, done: CoiEvent, obs: ObsAction) {
     // Dispatch runs the moment the last dependence resolves (or inline at
     // submit when none were pending).
     obs.phase_wall(ObsPhase::DepsResolved);
@@ -288,14 +528,42 @@ fn dispatch_with(ctx: &DispatchCtx, spec: ActionSpec, done: CoiEvent, obs: ObsAc
             bufs,
             ..
         } => {
+            let stream_idx = *stream_idx;
             let Some(pipe) = ctx.pipes.get(stream_idx) else {
-                done.fail(format!(
+                done.fail(FailureCause::Malformed(format!(
                     "malformed compute '{func}': no pipeline for stream index {stream_idx}"
-                ));
+                )));
                 return;
             };
+            // Chaos consult at the compute site: injected failures complete
+            // the attempt event without touching the sink; injected panics
+            // ride the real sink path so unwinding is exercised end to end.
+            if ctx.chaos.is_armed() {
+                let card = ctx.pipe_cards.get(stream_idx).copied().unwrap_or(0);
+                if let Some(inj) = ctx.chaos.check_compute(stream_idx as u32, card) {
+                    match inj {
+                        Injection::Fail(c) => {
+                            obs.phase_wall(ObsPhase::Dispatched);
+                            done.fail(c);
+                            return;
+                        }
+                        Injection::Panic(msg) => {
+                            obs.phase_wall(ObsPhase::Dispatched);
+                            let ev = pipe.call_obs(move || panic!("{msg}"), obs);
+                            ev.on_complete(move |st| match st {
+                                EventStatus::Done => done.signal(),
+                                EventStatus::Failed(m) => done.fail(m.clone()),
+                                EventStatus::Pending => {
+                                    unreachable!("on_complete only fires when complete")
+                                }
+                            });
+                            return;
+                        }
+                    }
+                }
+            }
             obs.phase_wall(ObsPhase::Dispatched);
-            let ev = pipe.run_obs(&func, args, bufs, obs);
+            let ev = pipe.run_obs(func, args.clone(), bufs.clone(), obs);
             ev.on_complete(move |st| match st {
                 EventStatus::Done => done.signal(),
                 EventStatus::Failed(m) => done.fail(m.clone()),
@@ -309,7 +577,8 @@ fn dispatch_with(ctx: &DispatchCtx, spec: ActionSpec, done: CoiEvent, obs: ObsAc
             real,
             label,
         } => {
-            let Some(real) = real else {
+            let (card_domain, h2d, bytes) = (*card_domain, *h2d, *bytes);
+            let Some(real) = real.clone() else {
                 // Host-as-target alias: "transfers en-queued in host streams
                 // are aliased and optimized away".
                 obs.phase_wall(ObsPhase::Dispatched);
@@ -317,17 +586,17 @@ fn dispatch_with(ctx: &DispatchCtx, spec: ActionSpec, done: CoiEvent, obs: ObsAc
                 return;
             };
             let Some(card) = card_domain.and_then(|d| d.checked_sub(1)) else {
-                done.fail(format!(
+                done.fail(FailureCause::Malformed(format!(
                     "malformed transfer '{label}': real transfer without a card domain"
-                ));
+                )));
                 return;
             };
             let Some(workers) = ctx.dma.get(card) else {
-                done.fail(format!(
+                done.fail(FailureCause::Malformed(format!(
                     "malformed transfer '{label}': card domain {} out of range ({} cards)",
                     card + 1,
                     ctx.dma.len()
-                ));
+                )));
                 return;
             };
             let dir = usize::from(!h2d);
@@ -353,7 +622,7 @@ fn dispatch_with(ctx: &DispatchCtx, spec: ActionSpec, done: CoiEvent, obs: ObsAc
                 let r = coi.dma_copy(real.src.0, real.src.1, real.dst.0, real.dst.1, bytes);
                 match r {
                     Ok(()) => done.signal(),
-                    Err(e) => done.fail(format!("transfer failed: {e}")),
+                    Err(e) => done.fail(e.into_cause()),
                 }
             });
             if workers[dir].send(DmaMsg::Job(job)).is_err() {

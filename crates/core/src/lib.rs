@@ -72,6 +72,12 @@ pub use types::{
     Access, BufferId, CostHint, DomainId, Event, HsError, HsResult, Operand, OrderingMode, StreamId,
 };
 
+/// Fault-injection surface (re-exported from `hs-chaos`): install a
+/// [`FaultPlan`] with [`HStreams::chaos_install`], tune per-action
+/// [`RetryPolicy`]s via [`ActionOpts`], and inspect structured
+/// [`FailureCause`]s from [`HsError::ActionFailed`].
+pub use hs_chaos::{ChaosHub, FailureCause, FaultKind, FaultPlan, FaultSite, RetryPolicy, Trigger};
+
 /// Task execution context (re-exported from the COI layer): operand views,
 /// argument bytes, stream width and `par_for`.
 pub use hs_coi::RunCtx as TaskCtx;
@@ -81,12 +87,58 @@ pub use hs_coi::RunFunction as TaskFn;
 use buffer::BufferTable;
 use bytes::Bytes;
 use deps::{Footprint, FootprintItem};
-use exec::{ActionSpec, BackendEvent, Executor, RealXfer};
+use exec::{ActionSpec, BackendEvent, Executor, RealXfer, SubmitOpts};
 use hs_coi::EngineId;
 use hs_machine::{Device, DomainRole, PlatformCfg};
 use hs_obs::{ActionMeta, MetricsSnapshot, ObsAction, ObsHub, ObsKind, ObsRecord};
 use std::ops::Range;
 use stream::StreamState;
+
+/// Per-action execution options for the `*_opts` enqueue variants.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ActionOpts {
+    /// Fail the action if it has not completed this long after submission
+    /// (wall time in thread modes, virtual time in sim mode). Expiry fails
+    /// the action with [`FailureCause::Timeout`] and poisons dependents —
+    /// never a silent hang.
+    pub deadline: Option<std::time::Duration>,
+    /// Retry budget for transient injected faults. Defaults to the armed
+    /// fault plan's policy (or no retries when chaos is off).
+    pub retry: Option<RetryPolicy>,
+}
+
+/// What an enqueued action was, in source terms — enough to re-enqueue it
+/// during card-loss degradation. Recorded only while a fault plan is armed.
+#[derive(Clone)]
+enum LoggedOp {
+    Compute {
+        func: String,
+        args: Bytes,
+        operands: Vec<Operand>,
+        cost: CostHint,
+    },
+    Xfer {
+        buf: BufferId,
+        range: Range<usize>,
+        from: DomainId,
+        to: DomainId,
+    },
+    /// Event waits and markers: pure synchronization, replayed as a noop
+    /// over the (possibly replayed) dependence events.
+    Sync,
+}
+
+/// One recovery-log entry: the op, its enqueue-time dependences and which
+/// domains it wrote — the inputs to the card-loss replay closure.
+#[derive(Clone)]
+struct LoggedAction {
+    ev: u64,
+    stream: StreamId,
+    op: LoggedOp,
+    deps: Vec<u64>,
+    wrote: Vec<usize>,
+    retry: RetryPolicy,
+}
 
 /// How the runtime executes actions.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -134,6 +186,15 @@ pub struct HStreams {
     /// Action-lifecycle observability hub, shared with both executors and
     /// the COI layer. Disabled (near-zero cost) until [`HStreams::obs_enable`].
     obs: ObsHub,
+    /// Fault-injection hub, shared with the executors and every fabric DMA
+    /// channel. Disarmed (one relaxed atomic load per site) until
+    /// [`HStreams::chaos_install`].
+    chaos: ChaosHub,
+    /// Replayable record of enqueued actions, kept only while a fault plan
+    /// is armed; card-loss degradation replays the affected subset.
+    recovery: Vec<LoggedAction>,
+    /// Cards already degraded (each card degrades at most once).
+    degraded: Vec<u32>,
 }
 
 impl HStreams {
@@ -152,20 +213,26 @@ impl HStreams {
         ordering: OrderingMode,
     ) -> HStreams {
         let obs = ObsHub::new();
+        let chaos = ChaosHub::new();
         let exec = match mode {
-            ExecMode::Threads => Executor::Thread(exec::thread::ThreadExec::new_with_obs(
+            ExecMode::Threads => Executor::Thread(exec::thread::ThreadExec::new_with_obs_chaos(
                 &platform,
                 false,
                 obs.clone(),
+                chaos.clone(),
             )),
-            ExecMode::ThreadsPaced => Executor::Thread(exec::thread::ThreadExec::new_with_obs(
+            ExecMode::ThreadsPaced => {
+                Executor::Thread(exec::thread::ThreadExec::new_with_obs_chaos(
+                    &platform,
+                    true,
+                    obs.clone(),
+                    chaos.clone(),
+                ))
+            }
+            ExecMode::Sim => Executor::Sim(Box::new(exec::sim::SimExec::new_with_obs_chaos(
                 &platform,
-                true,
                 obs.clone(),
-            )),
-            ExecMode::Sim => Executor::Sim(Box::new(exec::sim::SimExec::new_with_obs(
-                &platform,
-                obs.clone(),
+                chaos.clone(),
             ))),
         };
         HStreams {
@@ -182,7 +249,38 @@ impl HStreams {
             #[cfg(feature = "hsan-record")]
             recorder: None,
             obs,
+            chaos,
+            recovery: Vec::new(),
+            degraded: Vec::new(),
         }
+    }
+
+    // ------------------------------------------------------ fault injection
+
+    /// Arm a deterministic fault-injection plan: its sites are consulted at
+    /// every DMA channel and compute dispatch, its retry policy becomes the
+    /// default budget for transient faults, and — when
+    /// [`FaultPlan::with_auto_degrade`] is on (the default) — a `CardDead`
+    /// fault triggers card-loss degradation on the next wait that observes
+    /// it. Also starts the recovery log that degradation replays from.
+    pub fn chaos_install(&mut self, plan: FaultPlan) {
+        self.recovery.clear();
+        self.chaos.arm(plan);
+    }
+
+    /// Stop injecting faults (already-dead cards stay dead).
+    pub fn chaos_disarm(&mut self) {
+        self.chaos.disarm();
+    }
+
+    /// The fault-injection hub (for inspecting the injected-fault log).
+    pub fn chaos(&self) -> &ChaosHub {
+        &self.chaos
+    }
+
+    /// Cards that have been degraded to the host so far.
+    pub fn degraded_cards(&self) -> &[u32] {
+        &self.degraded
     }
 
     // ----------------------------------------------------- hsan recording
@@ -378,7 +476,7 @@ impl HStreams {
         let len = self.buffers.get(buf)?.len;
         // Wait for any action still touching the buffer.
         let deps = self.conflicting_events(buf, 0..len, true);
-        self.wait_backend_all(&deps)?;
+        self.wait_events_recovering(&deps)?;
         let insts = self.buffers.destroy(buf)?;
         #[cfg(feature = "hsan-record")]
         if let Some(rec) = &mut self.recorder {
@@ -418,7 +516,7 @@ impl HStreams {
         let range = offset..offset + data.len();
         self.buffers.get(buf)?.check_range(&range)?;
         let deps = self.conflicting_events(buf, range.clone(), true);
-        self.wait_backend_all(&deps)?;
+        self.wait_events_recovering(&deps)?;
         match &self.exec {
             Executor::Thread(t) => {
                 let rec = self.buffers.get(buf)?;
@@ -449,7 +547,7 @@ impl HStreams {
         let range = offset..offset + out.len();
         self.buffers.get(buf)?.check_range(&range)?;
         let deps = self.conflicting_events(buf, range.clone(), false);
-        self.wait_backend_all(&deps)?;
+        self.wait_events_recovering(&deps)?;
         match &self.exec {
             Executor::Thread(t) => {
                 let rec = self.buffers.get(buf)?;
@@ -518,8 +616,51 @@ impl HStreams {
         operands: &[Operand],
         cost: CostHint,
     ) -> HsResult<Event> {
+        self.enqueue_compute_opts(s, func, args, operands, cost, ActionOpts::default())
+    }
+
+    /// Like [`HStreams::enqueue_compute`], with a deadline and/or retry
+    /// budget.
+    pub fn enqueue_compute_opts(
+        &mut self,
+        s: StreamId,
+        func: &str,
+        args: Bytes,
+        operands: &[Operand],
+        cost: CostHint,
+        opts: ActionOpts,
+    ) -> HsResult<Event> {
         self.stats.bump("enqueue_compute");
         self.stats.note_compute();
+        let (spec, footprint) = self.build_compute_spec(s, func, args.clone(), operands, cost)?;
+        let logged = self.chaos.is_armed().then(|| LoggedOp::Compute {
+            func: func.to_string(),
+            args,
+            operands: operands.to_vec(),
+            cost,
+        });
+        self.enqueue_common(
+            s,
+            spec,
+            footprint,
+            stream::ActionKind::Normal,
+            &[],
+            opts,
+            logged,
+        )
+    }
+
+    /// Validate + resolve a compute action against the stream's *current*
+    /// domain (shared by enqueue and card-loss replay, which re-resolves on
+    /// the remapped stream).
+    fn build_compute_spec(
+        &self,
+        s: StreamId,
+        func: &str,
+        args: Bytes,
+        operands: &[Operand],
+        cost: CostHint,
+    ) -> HsResult<(ActionSpec, Footprint)> {
         let (domain, device, cores) = {
             let st = self.stream(s)?;
             let dev = self.platform.domains[st.domain.0].device;
@@ -578,7 +719,7 @@ impl HStreams {
             cost,
             label,
         };
-        self.enqueue_common(s, spec, footprint, stream::ActionKind::Normal, &[])
+        Ok((spec, footprint))
     }
 
     /// Enqueue a data transfer of `buf[range]` from `from`'s instantiation
@@ -592,7 +733,48 @@ impl HStreams {
         from: DomainId,
         to: DomainId,
     ) -> HsResult<Event> {
+        self.enqueue_xfer_opts(s, buf, range, from, to, ActionOpts::default())
+    }
+
+    /// Like [`HStreams::enqueue_xfer`], with a deadline and/or retry budget.
+    pub fn enqueue_xfer_opts(
+        &mut self,
+        s: StreamId,
+        buf: BufferId,
+        range: Range<usize>,
+        from: DomainId,
+        to: DomainId,
+        opts: ActionOpts,
+    ) -> HsResult<Event> {
         self.stats.bump("enqueue_xfer");
+        let (spec, footprint) = self.build_xfer_spec(buf, range.clone(), from, to)?;
+        self.stats.note_transfer(range.len() as u64, from == to);
+        let logged = self.chaos.is_armed().then_some(LoggedOp::Xfer {
+            buf,
+            range,
+            from,
+            to,
+        });
+        self.enqueue_common(
+            s,
+            spec,
+            footprint,
+            stream::ActionKind::Normal,
+            &[],
+            opts,
+            logged,
+        )
+    }
+
+    /// Validate + resolve a transfer (shared by enqueue and card-loss
+    /// replay, which rewrites lost-card endpoints to the host first).
+    fn build_xfer_spec(
+        &self,
+        buf: BufferId,
+        range: Range<usize>,
+        from: DomainId,
+        to: DomainId,
+    ) -> HsResult<(ActionSpec, Footprint)> {
         for d in [from, to] {
             if d.0 >= self.platform.domains.len() {
                 return Err(HsError::UnknownDomain(d));
@@ -618,7 +800,6 @@ impl HStreams {
         };
         let h2d = !to.is_host();
         let bytes = range.len();
-        self.stats.note_transfer(bytes as u64, elide);
         let real = if matches!(self.exec, Executor::Thread(_)) && !elide {
             let src = rec.window(from)?;
             let dst = rec.window(to)?;
@@ -650,7 +831,7 @@ impl HStreams {
             real,
             label,
         };
-        self.enqueue_common(s, spec, footprint, stream::ActionKind::Normal, &[])
+        Ok((spec, footprint))
     }
 
     /// Transfer from the host instantiation to the stream's sink domain.
@@ -688,12 +869,15 @@ impl HStreams {
                 return Err(HsError::UnknownEvent(*e));
             }
         }
+        let logged = self.chaos.is_armed().then_some(LoggedOp::Sync);
         self.enqueue_common(
             s,
             ActionSpec::Noop,
             Vec::new(),
             stream::ActionKind::EventWait,
             events,
+            ActionOpts::default(),
+            logged,
         )
     }
 
@@ -703,12 +887,15 @@ impl HStreams {
     pub fn enqueue_marker(&mut self, s: StreamId) -> HsResult<Event> {
         self.stats.bump("enqueue_marker");
         self.stats.note_sync();
+        let logged = self.chaos.is_armed().then_some(LoggedOp::Sync);
         self.enqueue_common(
             s,
             ActionSpec::Noop,
             Vec::new(),
             stream::ActionKind::Marker,
             &[],
+            ActionOpts::default(),
+            logged,
         )
     }
 
@@ -741,7 +928,11 @@ impl HStreams {
         let mut cross = Vec::with_capacity(events.len());
         for e in events {
             let ps = self.event_stream(*e)?;
-            if ps != s && (keep_complete || !self.exec.is_complete(&self.events[e.0 as usize])) {
+            // A completed *failure* is never pruned: the poison edge must
+            // still reach the dependent.
+            let be = &self.events[e.0 as usize];
+            let live = !self.exec.is_complete(be) || self.exec.failure_of(be).is_some();
+            if ps != s && (keep_complete || live) {
                 cross.push(*e);
             }
         }
@@ -751,6 +942,7 @@ impl HStreams {
         Ok(Some(self.enqueue_event_wait(s, &cross)?))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn enqueue_common(
         &mut self,
         s: StreamId,
@@ -758,6 +950,8 @@ impl HStreams {
         footprint: Footprint,
         kind: stream::ActionKind,
         extra_events: &[Event],
+        opts: ActionOpts,
+        logged: Option<LoggedOp>,
     ) -> HsResult<Event> {
         let idx = s.0 as usize;
         if idx >= self.streams.len() {
@@ -801,8 +995,23 @@ impl HStreams {
         // consumed, and the fast path dispatches (emitting later phases)
         // inside submit itself.
         let obs = self.mint_obs(s, &spec, &footprint);
-        let backend = self.exec.submit(spec, &deps, obs);
+        let submit_opts = self.submit_opts(&opts);
+        let backend = self.exec.submit(spec, &deps, obs, submit_opts);
         let ev = Event(self.events.len() as u64);
+        if let Some(op) = logged {
+            self.recovery.push(LoggedAction {
+                ev: ev.0,
+                stream: s,
+                op,
+                deps: dep_events.iter().map(|e| e.0).collect(),
+                wrote: footprint
+                    .iter()
+                    .filter(|f| f.write)
+                    .map(|f| f.domain.0)
+                    .collect(),
+                retry: submit_opts.retry,
+            });
+        }
         #[cfg(feature = "hsan-record")]
         if let Some(rec) = &mut self.recorder {
             if let BackendEvent::Thread(ce) = &backend {
@@ -884,14 +1093,9 @@ impl HStreams {
         self.streams[idx].retire(|e| exec.is_complete(&events[e.0 as usize]));
     }
 
-    /// Backend events of pending actions conflicting with a source-side
-    /// access of `buf[range]` (`write` = source intends to write).
-    fn conflicting_events(
-        &self,
-        buf: BufferId,
-        range: Range<usize>,
-        write: bool,
-    ) -> Vec<BackendEvent> {
+    /// Events of pending actions conflicting with a source-side access of
+    /// `buf[range]` (`write` = source intends to write).
+    fn conflicting_events(&self, buf: BufferId, range: Range<usize>, write: bool) -> Vec<Event> {
         // The source access conflicts with an action touching this buffer in
         // any domain (a transfer still in flight, a compute on a card copy
         // the user will overwrite next, ...). Conservative and simple.
@@ -904,63 +1108,263 @@ impl HStreams {
         }
         deps.sort_unstable();
         deps.dedup();
-        deps.into_iter()
-            .map(|e| self.events[e.0 as usize].clone())
-            .collect()
+        deps
     }
 
     // ---------------------------------------------------------------- waits
 
+    /// Wait for one event, running card-loss degradation (and re-waiting on
+    /// the replayed action) when the failure's root cause is a lost card.
+    fn wait_event_recovering(&mut self, ev: Event) -> HsResult<()> {
+        loop {
+            let be = self
+                .events
+                .get(ev.0 as usize)
+                .ok_or(HsError::UnknownEvent(ev))?
+                .clone();
+            match self.exec.wait(&be) {
+                Ok(()) => return Ok(()),
+                Err(c) => {
+                    if self.try_degrade(&c)? {
+                        continue; // events[ev] now holds the replayed action
+                    }
+                    return Err(HsError::ActionFailed(c));
+                }
+            }
+        }
+    }
+
+    fn wait_events_recovering(&mut self, evs: &[Event]) -> HsResult<()> {
+        for ev in evs {
+            self.wait_event_recovering(*ev)?;
+        }
+        Ok(())
+    }
+
     /// Wait for one event.
     pub fn event_wait(&mut self, ev: Event) -> HsResult<()> {
         self.stats.bump("event_wait");
-        let be = self
-            .events
-            .get(ev.0 as usize)
-            .ok_or(HsError::UnknownEvent(ev))?
-            .clone();
-        self.exec.wait(&be).map_err(HsError::ExecFailed)
+        self.wait_event_recovering(ev)
     }
 
     /// Wait for all events.
     pub fn event_wait_all(&mut self, evs: &[Event]) -> HsResult<()> {
         self.stats.bump("event_wait_all");
-        for ev in evs {
-            let be = self
-                .events
-                .get(ev.0 as usize)
-                .ok_or(HsError::UnknownEvent(*ev))?
-                .clone();
-            self.exec.wait(&be).map_err(HsError::ExecFailed)?;
-        }
-        Ok(())
+        self.wait_events_recovering(evs)
     }
 
-    /// Wait for any of the events; returns the index of a completed one
-    /// (the paper: "waiting on a set of events and being signaled when one
-    /// or all the events are finished ... can save CPU spinning time").
+    /// Wait until any of the events *succeeds*; returns its index. Errors
+    /// only when every event has failed — with the first failure in list
+    /// order (the paper: "waiting on a set of events and being signaled
+    /// when one or all the events are finished ... can save CPU spinning
+    /// time").
     pub fn event_wait_any(&mut self, evs: &[Event]) -> HsResult<usize> {
         self.stats.bump("event_wait_any");
         if evs.is_empty() {
             return Err(HsError::InvalidArg("wait_any on empty set".into()));
         }
-        let bes: Vec<BackendEvent> = evs
-            .iter()
-            .map(|ev| {
-                self.events
-                    .get(ev.0 as usize)
-                    .cloned()
-                    .ok_or(HsError::UnknownEvent(*ev))
-            })
-            .collect::<HsResult<_>>()?;
-        self.exec.wait_any(&bes).map_err(HsError::ExecFailed)
+        loop {
+            let bes: Vec<BackendEvent> = evs
+                .iter()
+                .map(|ev| {
+                    self.events
+                        .get(ev.0 as usize)
+                        .cloned()
+                        .ok_or(HsError::UnknownEvent(*ev))
+                })
+                .collect::<HsResult<_>>()?;
+            match self.exec.wait_any(&bes) {
+                Ok(i) => return Ok(i),
+                Err(c) => {
+                    if self.try_degrade(&c)? {
+                        continue; // replayed events may yet succeed
+                    }
+                    return Err(HsError::ActionFailed(c));
+                }
+            }
+        }
     }
 
-    fn wait_backend_all(&mut self, bes: &[BackendEvent]) -> HsResult<()> {
-        for be in bes {
-            self.exec.wait(be).map_err(HsError::ExecFailed)?;
+    // --------------------------------------------- card-loss degradation
+
+    /// If `cause` is rooted in a lost card that has not been degraded yet
+    /// (and the armed plan wants auto-degradation), degrade that card and
+    /// return `true` — the caller re-waits on the replayed events.
+    fn try_degrade(&mut self, cause: &FailureCause) -> HsResult<bool> {
+        let FailureCause::CardLost { card } = *cause.root() else {
+            return Ok(false);
+        };
+        if !self.chaos.auto_degrade() || self.degraded.contains(&card) {
+            return Ok(false);
         }
+        if card == 0 || card as usize >= self.platform.domains.len() {
+            return Ok(false);
+        }
+        self.degrade_card(card)?;
+        Ok(true)
+    }
+
+    /// Card-loss degradation: quiesce, remap the card's streams to the
+    /// host, drop its (lost) buffer instantiations, and replay the affected
+    /// actions from the recovery log against the surviving domains.
+    fn degrade_card(&mut self, card: u32) -> HsResult<()> {
+        let dom = DomainId(card as usize);
+        self.chaos.mark_card_dead(card);
+        self.degraded.push(card);
+        // 1. Quiesce: settle every in-flight action's status. Everything
+        //    completes — card ops fail fast against the dead set, failures
+        //    poison dependents, and deadlines bound the rest.
+        match &mut self.exec {
+            Executor::Sim(_) => self.exec.run_all(),
+            Executor::Thread(_) => {
+                for be in &self.events {
+                    if let BackendEvent::Thread(e) = be {
+                        let _ = e.wait();
+                    }
+                }
+            }
+        }
+        // 2. Remap the lost card's streams to host sinks. Stream ids stay
+        //    valid; subsequent (and replayed) actions resolve on the host.
+        let mut remapped = 0u32;
+        for i in 0..self.streams.len() {
+            if self.streams[i].domain == dom {
+                self.streams[i].domain = DomainId::HOST;
+                self.exec.remap_stream_to_host(i);
+                remapped += 1;
+            }
+        }
+        // 3. Drop the card's buffer instantiations — that memory is gone.
+        //    The source proxy (host instantiation) is the recovery copy.
+        let mut dropped = 0u32;
+        let mut freed = Vec::new();
+        for rec in self.buffers.iter_mut() {
+            if let Some(inst) = rec.inst.remove(&dom) {
+                dropped += 1;
+                if let Instantiation::Window(w) = inst {
+                    freed.push(w);
+                }
+            }
+        }
+        if let Executor::Thread(t) = &self.exec {
+            for w in freed {
+                t.coi().buffer_free(EngineId(card as u16), w);
+            }
+        }
+        // 4. Replay the affected actions on the surviving domains.
+        let replayed = self.replay_after_loss(dom)?;
+        // 5. Surface the event to tuners/tests.
+        let t_ns = match &self.exec {
+            Executor::Thread(_) => self.obs.wall_ns(),
+            Executor::Sim(s) => s.source_now_ns(),
+        };
+        self.obs.degraded(card, remapped, dropped, replayed, t_ns);
+        self.chaos.note(format!(
+            "degraded: card {card} lost, {remapped} streams remapped, \
+             {dropped} buffers dropped, {replayed} actions replayed"
+        ));
         Ok(())
+    }
+
+    /// Select and re-submit the actions invalidated by losing `dom`: every
+    /// failed action, plus (transitively) its dependence producers whose
+    /// results lived on the lost card. Replays run in original event-id
+    /// order and overwrite `self.events[id]`, so application-held [`Event`]
+    /// handles transparently track the replayed attempt.
+    fn replay_after_loss(&mut self, dom: DomainId) -> HsResult<u32> {
+        let by_ev: std::collections::HashMap<u64, usize> = self
+            .recovery
+            .iter()
+            .enumerate()
+            .map(|(i, la)| (la.ev, i))
+            .collect();
+        let n = self.recovery.len();
+        let mut in_set = vec![false; n];
+        for (i, la) in self.recovery.iter().enumerate() {
+            if self.exec.failure_of(&self.events[la.ev as usize]).is_some() {
+                in_set[i] = true;
+            }
+        }
+        // Backward closure: a replayed consumer needs every producer whose
+        // result lived (only) on the lost card — its successful effects are
+        // gone with the card's memory. Host-resident results survive and
+        // are NOT re-run (re-running a successful accumulate would
+        // double-apply it).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                if !in_set[i] {
+                    continue;
+                }
+                let deps = self.recovery[i].deps.clone();
+                for d in deps {
+                    if let Some(&j) = by_ev.get(&d) {
+                        if !in_set[j] && self.recovery[j].wrote.contains(&dom.0) {
+                            in_set[j] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        let mut replayed = 0u32;
+        for i in (0..n).filter(|&i| in_set[i]) {
+            let la = self.recovery[i].clone();
+            let s = la.stream;
+            let (spec, footprint) = match &la.op {
+                LoggedOp::Compute {
+                    func,
+                    args,
+                    operands,
+                    cost,
+                } => self.build_compute_spec(s, func, args.clone(), operands, *cost)?,
+                LoggedOp::Xfer {
+                    buf,
+                    range,
+                    from,
+                    to,
+                } => {
+                    // Lost-card endpoints move to the host: a h2d re-stage
+                    // becomes an elided host alias (the data is already in
+                    // the source proxy), a d2h result lands straight from
+                    // the host replay of its producer.
+                    let remap = |d: DomainId| if d == dom { DomainId::HOST } else { d };
+                    self.build_xfer_spec(*buf, range.clone(), remap(*from), remap(*to))?
+                }
+                LoggedOp::Sync => (ActionSpec::Noop, Vec::new()),
+            };
+            // Ascending id order means replayed dependences already point at
+            // their replayed events; untouched dependences are complete
+            // (quiesced) successes.
+            let deps: Vec<BackendEvent> = la
+                .deps
+                .iter()
+                .map(|d| self.events[*d as usize].clone())
+                .collect();
+            let obs = self.mint_obs(s, &spec, &footprint);
+            let opts = SubmitOpts {
+                deadline_ns: None,
+                retry: la.retry,
+            };
+            self.events[la.ev as usize] = self.exec.submit(spec, &deps, obs, opts);
+            replayed += 1;
+        }
+        Ok(replayed)
+    }
+
+    /// Resolve per-action options against the armed plan's defaults.
+    fn submit_opts(&self, opts: &ActionOpts) -> SubmitOpts {
+        SubmitOpts {
+            deadline_ns: opts.deadline.map(|d| d.as_nanos() as u64),
+            retry: opts.retry.unwrap_or_else(|| {
+                if self.chaos.is_armed() {
+                    self.chaos.default_retry()
+                } else {
+                    RetryPolicy::none()
+                }
+            }),
+        }
     }
 
     /// Wait until every action enqueued in `s` has completed.
@@ -970,12 +1374,8 @@ impl HStreams {
         if idx >= self.streams.len() {
             return Err(HsError::UnknownStream(s));
         }
-        let evs: Vec<BackendEvent> = self.streams[idx]
-            .pending_events()
-            .iter()
-            .map(|e| self.events[e.0 as usize].clone())
-            .collect();
-        self.wait_backend_all(&evs)?;
+        let evs = self.streams[idx].pending_events();
+        self.wait_events_recovering(&evs)?;
         self.retire_stream(idx);
         Ok(())
     }

@@ -134,7 +134,7 @@ pub enum OrderingMode {
 }
 
 /// Errors surfaced by the hStreams API.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum HsError {
     UnknownStream(StreamId),
     UnknownBuffer(BufferId),
@@ -154,7 +154,21 @@ pub enum HsError {
     CardToCard,
     /// The action's execution failed (sink panic, missing function, ...).
     ExecFailed(String),
+    /// An awaited action completed with a structured failure: injection,
+    /// deadline expiry, card loss, sink panic, or poisoning by a failed
+    /// dependence. Inspect [`hs_chaos::FailureCause::root`] for the origin.
+    ActionFailed(hs_chaos::FailureCause),
     InvalidArg(String),
+}
+
+impl HsError {
+    /// The structured cause, when this error carries one.
+    pub fn cause(&self) -> Option<&hs_chaos::FailureCause> {
+        match self {
+            HsError::ActionFailed(c) => Some(c),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for HsError {
@@ -173,6 +187,7 @@ impl std::fmt::Display for HsError {
             ),
             HsError::CardToCard => write!(f, "card-to-card transfers unsupported; route via host"),
             HsError::ExecFailed(m) => write!(f, "action execution failed: {m}"),
+            HsError::ActionFailed(c) => write!(f, "action failed: {c}"),
             HsError::InvalidArg(m) => write!(f, "invalid argument: {m}"),
         }
     }

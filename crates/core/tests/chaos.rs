@@ -1,0 +1,229 @@
+//! Chaos-layer integration: deterministic fault injection, retry/backoff,
+//! action deadlines, and card-loss degradation at the `HStreams` API level,
+//! on both executors.
+
+use bytes::Bytes;
+use hs_machine::{Device, PlatformCfg};
+use hstreams_core::{
+    Access, ActionOpts, BufProps, CostHint, CpuMask, DomainId, ExecMode, FailureCause, FaultKind,
+    FaultPlan, FaultSite, HStreams, HsError, Operand, RetryPolicy, StreamId, TaskCtx,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn runtime(mode: ExecMode) -> HStreams {
+    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), mode);
+    hs.register(
+        "bump",
+        Arc::new(|ctx: &mut TaskCtx| {
+            for x in ctx.buf_f64_mut(0) {
+                *x += 1.0;
+            }
+        }),
+    );
+    hs.register(
+        "slow",
+        Arc::new(|_ctx: &mut TaskCtx| std::thread::sleep(Duration::from_millis(400))),
+    );
+    hs.register("noop", Arc::new(|_ctx: &mut TaskCtx| {}));
+    hs
+}
+
+/// A small pipelined workload: h2d → compute → d2h per round, two streams.
+/// Returns Ok(()) when the final synchronize succeeds.
+fn pipelined_workload(hs: &mut HStreams, rounds: usize) -> Result<(), HsError> {
+    let card = DomainId(1);
+    let s0 = hs.stream_create(card, CpuMask::first(1))?;
+    let s1 = hs.stream_create(card, CpuMask::first(1))?;
+    let buf = hs.buffer_create(1024, BufProps::default());
+    hs.buffer_instantiate(buf, card)?;
+    for i in 0..rounds {
+        let s = if i % 2 == 0 { s0 } else { s1 };
+        hs.enqueue_xfer(s, buf, 0..1024, DomainId::HOST, card)?;
+        hs.enqueue_compute(
+            s,
+            "bump",
+            Bytes::new(),
+            &[Operand::f64s(buf, 0, 128, Access::InOut)],
+            CostHint::trivial(),
+        )?;
+        hs.enqueue_xfer(s, buf, 0..1024, card, DomainId::HOST)?;
+    }
+    hs.thread_synchronize()
+}
+
+/// Acceptance: the same seed must produce the same injected sites, causes,
+/// and retry counts across two runs, in both executor modes. The injected
+/// log records one line per injection (site + cause), so sorted-log
+/// equality covers sites, causes, and per-site retry multiplicity;
+/// independent sites may *interleave* differently across threaded runs,
+/// hence the sort.
+#[test]
+fn same_seed_injects_identically_across_runs() {
+    for mode in [ExecMode::Threads, ExecMode::Sim] {
+        let run = |seed: u64| {
+            let mut hs = runtime(mode);
+            hs.chaos_install(
+                FaultPlan::new(seed)
+                    .with_dma_fault_rate(0.25)
+                    .with_compute_fault_rate(0.25)
+                    .with_retry(RetryPolicy::standard(8)),
+            );
+            pipelined_workload(&mut hs, 10).expect("transient-only faults + budget must succeed");
+            let mut log = hs.chaos().injected_log();
+            log.sort();
+            (log, hs.degraded_cards().to_vec())
+        };
+        let (log_a, deg_a) = run(42);
+        let (log_b, deg_b) = run(42);
+        assert!(
+            !log_a.is_empty(),
+            "plan with 25% fault rates must inject something ({mode:?})"
+        );
+        assert_eq!(log_a, log_b, "same seed, same injections ({mode:?})");
+        assert_eq!(deg_a, deg_b);
+        // A different seed draws a different fault pattern (not a hard
+        // guarantee for any single pair, but (0.25, 40+ sites) makes a
+        // collision astronomically unlikely).
+        let (log_c, _) = run(43);
+        assert_ne!(log_a, log_c, "different seed, different draws ({mode:?})");
+    }
+}
+
+/// Acceptance: an action that outlives its deadline fails with
+/// [`FailureCause::Timeout`] within 2× the deadline — no silent hang — and
+/// its dependents are poisoned.
+#[test]
+fn deadline_expiry_fails_within_twice_the_deadline_and_poisons() {
+    let mut hs = runtime(ExecMode::Threads);
+    let card = DomainId(1);
+    let s = hs.stream_create(card, CpuMask::first(1)).expect("stream");
+    let deadline = Duration::from_millis(150);
+    let t0 = Instant::now();
+    let slow = hs
+        .enqueue_compute_opts(
+            s,
+            "slow", // sleeps 400 ms, far past the deadline
+            Bytes::new(),
+            &[],
+            CostHint::trivial(),
+            ActionOpts {
+                deadline: Some(deadline),
+                retry: None,
+            },
+        )
+        .expect("enqueue");
+    let dependent = hs.enqueue_event_wait(s, &[slow]).expect("dependent");
+    let err = hs.event_wait(slow).expect_err("deadline must fail it");
+    let waited = t0.elapsed();
+    assert!(
+        matches!(
+            err,
+            HsError::ActionFailed(FailureCause::Timeout { deadline_ns })
+                if deadline_ns == deadline.as_nanos() as u64
+        ),
+        "{err}"
+    );
+    assert!(
+        waited < 2 * deadline,
+        "failure must surface within 2x the deadline, took {waited:?}"
+    );
+    let err = hs.event_wait(dependent).expect_err("dependent poisoned");
+    match &err {
+        HsError::ActionFailed(c @ FailureCause::Poisoned { .. }) => {
+            assert!(
+                matches!(c.root(), FailureCause::Timeout { .. }),
+                "poison root is the timeout: {c}"
+            );
+        }
+        other => panic!("expected poisoning, got {other}"),
+    }
+}
+
+/// Sim mode compares *virtual* time against the deadline: a compute whose
+/// modeled duration exceeds the deadline fails, instantly in wall time.
+#[test]
+fn sim_deadline_is_virtual_time() {
+    let mut hs = runtime(ExecMode::Sim);
+    let card = DomainId(1);
+    let s = hs.stream_create(card, CpuMask::first(1)).expect("stream");
+    let t0 = Instant::now();
+    // ~1 TFLOP of DGEMM: several virtual seconds on one core.
+    let ev = hs
+        .enqueue_compute_opts(
+            s,
+            "bump",
+            Bytes::new(),
+            &[],
+            CostHint::new(hs_machine::KernelKind::Dgemm, 1e12, 512),
+            ActionOpts {
+                deadline: Some(Duration::from_millis(5)),
+                retry: None,
+            },
+        )
+        .expect("enqueue");
+    let err = hs.event_wait(ev).expect_err("virtual deadline expires");
+    assert!(
+        matches!(err, HsError::ActionFailed(FailureCause::Timeout { .. })),
+        "{err}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "virtual-time deadline must not consume wall time"
+    );
+}
+
+/// Retries are bounded: a *permanent* injected fault is not retried past
+/// the budget, and surfaces as the injected cause.
+#[test]
+fn fatal_injection_is_not_retried() {
+    for mode in [ExecMode::Threads, ExecMode::Sim] {
+        let mut hs = runtime(mode);
+        hs.chaos_install(
+            FaultPlan::new(1)
+                .with_trigger(FaultSite::Compute { stream: 0, nth: 1 }, FaultKind::Fatal)
+                .with_retry(RetryPolicy::standard(8))
+                .with_auto_degrade(false),
+        );
+        let card = DomainId(1);
+        let s = hs.stream_create(card, CpuMask::first(1)).expect("stream");
+        let ev = hs
+            .enqueue_compute(s, "bump", Bytes::new(), &[], CostHint::trivial())
+            .expect("enqueue");
+        let err = hs.event_wait(ev).expect_err("fatal injection fails");
+        match &err {
+            HsError::ActionFailed(FailureCause::Injected { transient, .. }) => {
+                assert!(!transient, "fatal injection must not be transient");
+            }
+            other => panic!("expected injected cause, got {other} ({mode:?})"),
+        }
+        assert_eq!(
+            hs.chaos().injected_log().len(),
+            1,
+            "exactly one injection: no retries of a permanent fault ({mode:?})"
+        );
+    }
+}
+
+/// Card-loss degradation at the core level: after a CardDead trigger, the
+/// card's streams remap to the host, the workload completes, and the
+/// runtime records the degradation.
+#[test]
+fn card_loss_degrades_to_host_and_workload_completes() {
+    for mode in [ExecMode::Threads, ExecMode::Sim] {
+        let mut hs = runtime(mode);
+        hs.chaos_install(
+            FaultPlan::new(5)
+                .with_trigger(FaultSite::CardOp { card: 1, nth: 4 }, FaultKind::CardDead),
+        );
+        pipelined_workload(&mut hs, 8).expect("degradation must let the workload complete");
+        assert_eq!(hs.degraded_cards(), &[1], "card 1 degraded ({mode:?})");
+        assert!(hs.chaos().is_card_dead(1));
+        // The remapped streams keep working for post-degradation enqueues.
+        let s = StreamId(0);
+        let ev = hs
+            .enqueue_compute(s, "noop", Bytes::new(), &[], CostHint::trivial())
+            .expect("enqueue after degradation");
+        hs.event_wait(ev).expect("runs on the host now");
+    }
+}

@@ -15,7 +15,7 @@ use hs_machine::{Device, PlatformCfg};
 use hs_obs::ObsAction;
 use hstreams_core::exec::sim::SimExec;
 use hstreams_core::exec::thread::ThreadExec;
-use hstreams_core::exec::{ActionSpec, BackendEvent, RealXfer};
+use hstreams_core::exec::{ActionSpec, BackendEvent, RealXfer, SubmitOpts};
 use hstreams_core::{CostHint, CpuMask};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -68,7 +68,12 @@ fn drop_with_pending_actions_completes_instead_of_hanging() {
         let fabric = ex.coi().fabric().clone();
         let src = fabric.register(NodeId(0), 64);
         let dst = fabric.register(NodeId(1), 64);
-        let compute = ex.submit(compute_spec(1, "slow"), &[], ObsAction::disabled());
+        let compute = ex.submit(
+            compute_spec(1, "slow"),
+            &[],
+            ObsAction::disabled(),
+            SubmitOpts::default(),
+        );
         // The transfer's dispatch callback holds DMA sender clones while the
         // compute runs — exactly the state that wedged the old shutdown.
         let xfer = ex.submit(
@@ -84,6 +89,7 @@ fn drop_with_pending_actions_completes_instead_of_hanging() {
             },
             &[BackendEvent::Thread(compute.clone())],
             ObsAction::disabled(),
+            SubmitOpts::default(),
         );
         drop(ex); // must drain both actions, then join workers
         assert!(compute.wait().is_ok(), "compute should finish during drain");
@@ -114,20 +120,32 @@ fn late_dispatch_after_drop_fails_the_action_instead_of_panicking() {
             },
             &[BackendEvent::Thread(gate.clone())],
             ObsAction::disabled(),
+            SubmitOpts::default(),
         );
         drop(ex); // drain budget expires; DMA channels close
         gate.signal(); // dispatch now runs into a closed channel
         let err = xfer.wait().expect_err("late dispatch must fail the event");
-        assert!(err.contains("shut down"), "unexpected error: {err}");
+        assert!(
+            err.to_string().contains("shut down"),
+            "unexpected error: {err}"
+        );
     });
 }
 
 #[test]
 fn malformed_compute_fails_fast_path_without_panicking() {
     let mut ex = thread_exec(1);
-    let ev = ex.submit(compute_spec(99, "nosuch"), &[], ObsAction::disabled());
+    let ev = ex.submit(
+        compute_spec(99, "nosuch"),
+        &[],
+        ObsAction::disabled(),
+        SubmitOpts::default(),
+    );
     let err = ev.wait().expect_err("bad stream index must fail");
-    assert!(err.contains("malformed compute"), "unexpected error: {err}");
+    assert!(
+        err.to_string().contains("malformed compute"),
+        "unexpected error: {err}"
+    );
 }
 
 #[test]
@@ -138,11 +156,15 @@ fn malformed_compute_fails_via_pending_dependence_path() {
         compute_spec(99, "nosuch"),
         &[BackendEvent::Thread(gate.clone())],
         ObsAction::disabled(),
+        SubmitOpts::default(),
     );
     assert!(!ev.is_complete());
     gate.signal(); // dispatch runs on this thread via the countdown callback
     let err = ev.wait().expect_err("bad stream index must fail");
-    assert!(err.contains("malformed compute"), "unexpected error: {err}");
+    assert!(
+        err.to_string().contains("malformed compute"),
+        "unexpected error: {err}"
+    );
 }
 
 #[test]
@@ -164,10 +186,11 @@ fn real_transfer_without_card_domain_fails_not_panics() {
         },
         &[],
         ObsAction::disabled(),
+        SubmitOpts::default(),
     );
     let err = ev.wait().expect_err("transfer without a card must fail");
     assert!(
-        err.contains("without a card domain"),
+        err.to_string().contains("without a card domain"),
         "unexpected error: {err}"
     );
 }
@@ -191,9 +214,13 @@ fn transfer_to_out_of_range_card_fails_not_panics() {
         },
         &[],
         ObsAction::disabled(),
+        SubmitOpts::default(),
     );
     let err = ev.wait().expect_err("out-of-range card must fail");
-    assert!(err.contains("out of range"), "unexpected error: {err}");
+    assert!(
+        err.to_string().contains("out of range"),
+        "unexpected error: {err}"
+    );
 }
 
 #[test]
@@ -221,7 +248,12 @@ fn elapsed_baseline_is_first_submit_not_construction() {
         0.0,
         "no submit yet: elapsed must be exactly zero"
     );
-    let ev = ex.submit(ActionSpec::Noop, &[], ObsAction::disabled());
+    let ev = ex.submit(
+        ActionSpec::Noop,
+        &[],
+        ObsAction::disabled(),
+        SubmitOpts::default(),
+    );
     ev.wait().expect("noop completes");
     let elapsed = ex.elapsed_secs();
     assert!(
@@ -234,9 +266,17 @@ fn elapsed_baseline_is_first_submit_not_construction() {
 fn sim_malformed_compute_fails_wait() {
     let mut ex = SimExec::new(&PlatformCfg::hetero(Device::Knc, 1));
     ex.add_stream(1, 4);
-    let tok = ex.submit(compute_spec(7, "ghost"), &[], ObsAction::disabled());
+    let tok = ex.submit(
+        compute_spec(7, "ghost"),
+        &[],
+        ObsAction::disabled(),
+        SubmitOpts::default(),
+    );
     let err = ex.wait(tok).expect_err("bad stream index must fail");
-    assert!(err.contains("malformed compute"), "unexpected error: {err}");
+    assert!(
+        err.to_string().contains("malformed compute"),
+        "unexpected error: {err}"
+    );
     assert!(ex.is_complete(tok), "poisoned token still completes");
 }
 
@@ -254,7 +294,11 @@ fn sim_transfer_to_out_of_range_card_fails_wait() {
         },
         &[],
         ObsAction::disabled(),
+        SubmitOpts::default(),
     );
     let err = ex.wait(tok).expect_err("out-of-range card must fail");
-    assert!(err.contains("out of range"), "unexpected error: {err}");
+    assert!(
+        err.to_string().contains("out of range"),
+        "unexpected error: {err}"
+    );
 }

@@ -6,9 +6,10 @@ use bytes::Bytes;
 use hs_machine::{Device, PlatformCfg};
 use hs_obs::ObsAction;
 use hstreams_core::exec::sim::SimExec;
-use hstreams_core::exec::{ActionSpec, BackendEvent};
+use hstreams_core::exec::{ActionSpec, BackendEvent, SubmitOpts};
 use hstreams_core::{
-    Access, BufProps, CostHint, CpuMask, DomainId, ExecMode, HStreams, HsError, Operand, TaskCtx,
+    Access, BufProps, CostHint, CpuMask, DomainId, ExecMode, FailureCause, HStreams, HsError,
+    Operand, TaskCtx,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -35,7 +36,8 @@ fn real_runtime() -> HStreams {
 }
 
 fn poisoned(e: &HsError) -> bool {
-    matches!(e, HsError::ExecFailed(m) if m.contains("dependency failed"))
+    matches!(e, HsError::ActionFailed(FailureCause::Poisoned { .. }))
+        && e.to_string().contains("dependency failed")
 }
 
 #[test]
@@ -68,10 +70,12 @@ fn thread_failure_poisons_whole_chain() {
             .expect("enqueue")
         })
         .collect();
-    assert!(matches!(
-        hs.event_wait(bad).expect_err("root failed"),
-        HsError::ExecFailed(ref m) if m.contains("injected")
-    ));
+    let root = hs.event_wait(bad).expect_err("root failed");
+    assert!(
+        matches!(root, HsError::ActionFailed(FailureCause::SinkPanic(_)))
+            && root.to_string().contains("injected"),
+        "{root}"
+    );
     for ev in chain {
         let e = hs.event_wait(ev).expect_err("chained dependent poisoned");
         assert!(poisoned(&e), "{e}");
@@ -121,6 +125,7 @@ fn thread_failure_poisons_fan_in_join() {
 fn sim_failure_poisons_chain_and_fan_in() {
     let mut ex = SimExec::new(&PlatformCfg::hetero(Device::Knc, 1));
     ex.add_stream(1, 4);
+    let opts = SubmitOpts::default();
     // Failure origin: a malformed compute (sim failures arise at submit).
     let bad = ex.submit(
         ActionSpec::Compute {
@@ -135,39 +140,86 @@ fn sim_failure_poisons_chain_and_fan_in() {
         },
         &[],
         ObsAction::disabled(),
+        opts,
     );
     // Chain: bad -> n1 -> n2.
     let n1 = ex.submit(
         ActionSpec::Noop,
         &[BackendEvent::Sim(bad)],
         ObsAction::disabled(),
+        opts,
     );
     let n2 = ex.submit(
         ActionSpec::Noop,
         &[BackendEvent::Sim(n1)],
         ObsAction::disabled(),
+        opts,
     );
     // Fan-in: one good input, one poisoned.
-    let good = ex.submit(ActionSpec::Noop, &[], ObsAction::disabled());
+    let good = ex.submit(ActionSpec::Noop, &[], ObsAction::disabled(), opts);
     let join = ex.submit(
         ActionSpec::Noop,
         &[BackendEvent::Sim(good), BackendEvent::Sim(n2)],
         ObsAction::disabled(),
+        opts,
     );
     ex.wait(good).expect("good branch unaffected");
     for tok in [n1, n2, join] {
         let err = ex.wait(tok).expect_err("dependent poisoned");
-        assert!(err.contains("dependency failed"), "{err}");
+        assert!(err.to_string().contains("dependency failed"), "{err}");
         assert!(ex.is_complete(tok), "poisoned tokens still complete");
     }
-    // wait_any must surface the failure of the member it picks.
+    // wait_any over an all-failed set must surface the failure, not spin.
     let lone = ex.submit(
         ActionSpec::Noop,
         &[BackendEvent::Sim(bad)],
         ObsAction::disabled(),
+        opts,
     );
     let err = ex.wait_any(&[lone]).expect_err("failed member surfaces");
-    assert!(err.contains("dependency failed"), "{err}");
+    assert!(err.to_string().contains("dependency failed"), "{err}");
+}
+
+/// Regression: `event_wait_any` over a set whose members ALL fail must
+/// return the first member's failure cause — not a generic error, and not
+/// spin forever hoping for a success that cannot come.
+#[test]
+fn wait_any_over_all_failed_set_returns_first_cause() {
+    for mode in [ExecMode::Threads, ExecMode::Sim] {
+        let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), mode);
+        hs.register("noop", Arc::new(|_ctx: &mut TaskCtx| {}));
+        // A non-retryable injected fault on the stream's first compute is
+        // the one failure origin that behaves identically on both
+        // executors.
+        hs.chaos_install(
+            hstreams_core::FaultPlan::new(7)
+                .with_trigger(
+                    hstreams_core::FaultSite::Compute { stream: 0, nth: 1 },
+                    hstreams_core::FaultKind::Fatal,
+                )
+                .with_auto_degrade(false),
+        );
+        let card = DomainId(1);
+        let s = hs.stream_create(card, CpuMask::first(1)).expect("stream");
+        let bad = hs
+            .enqueue_compute(s, "noop", Bytes::new(), &[], CostHint::trivial())
+            .expect("enqueue");
+        // Two dependents poisoned by the same root; the set {dep1, dep2} is
+        // then all-failed.
+        let dep1 = hs.enqueue_event_wait(s, &[bad]).expect("dep1");
+        let dep2 = hs.enqueue_event_wait(s, &[bad]).expect("dep2");
+        let _ = hs.event_wait(bad); // settle the root
+        let err = hs
+            .event_wait_any(&[dep1, dep2])
+            .expect_err("all-failed set must error");
+        let HsError::ActionFailed(cause) = &err else {
+            panic!("expected structured failure, got {err:?} ({mode:?})");
+        };
+        assert!(
+            matches!(cause, FailureCause::Poisoned { .. }),
+            "first member's cause is poisoning, got {cause:?} ({mode:?})"
+        );
+    }
 }
 
 #[test]

@@ -220,12 +220,12 @@ fn failed_task_poisons_dependents() {
         .expect("enqueue");
     let e = hs.event_wait(bad).expect_err("task failed");
     assert!(
-        matches!(e, HsError::ExecFailed(ref m) if m.contains("injected")),
+        matches!(e, HsError::ActionFailed(_)) && e.to_string().contains("injected"),
         "{e}"
     );
     let e2 = hs.event_wait(dependent).expect_err("dependent poisoned");
     assert!(
-        matches!(e2, HsError::ExecFailed(ref m) if m.contains("dependency failed")),
+        matches!(e2, HsError::ActionFailed(_)) && e2.to_string().contains("dependency failed"),
         "{e2}"
     );
 }

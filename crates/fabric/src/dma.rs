@@ -7,6 +7,7 @@
 //! of one direction (like a DMA channel) and stretches each to its target
 //! duration, sleeping the bulk and spinning the tail for accuracy.
 
+use hs_chaos::{ChaosHub, FailureCause, Injection};
 use hs_machine::{LinkSpec, Overheads};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -85,6 +86,8 @@ pub struct DmaStats {
 pub struct DmaEngine {
     pacer: Pacer,
     h2d: bool,
+    card: u32,
+    chaos: ChaosHub,
     channel: Mutex<()>,
     busy_ns: AtomicU64,
     bytes: AtomicU64,
@@ -93,9 +96,17 @@ pub struct DmaEngine {
 
 impl DmaEngine {
     pub fn new(pacer: Pacer, h2d: bool) -> DmaEngine {
+        DmaEngine::new_chaos(pacer, h2d, 0, ChaosHub::default())
+    }
+
+    /// A channel that consults `chaos` (armed or not) before every op,
+    /// identifying itself as `(card, h2d)`.
+    pub fn new_chaos(pacer: Pacer, h2d: bool, card: u32, chaos: ChaosHub) -> DmaEngine {
         DmaEngine {
             pacer,
             h2d,
+            card,
+            chaos,
             channel: Mutex::new(()),
             busy_ns: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
@@ -125,8 +136,24 @@ impl DmaEngine {
     /// Run `copy` (the actual memcpy) on this channel, stretched to the
     /// paced duration. Transfers on one engine serialize, transfers on
     /// different engines (other direction / other card) proceed in parallel.
-    pub fn run(&self, bytes: usize, copy: impl FnOnce()) {
+    ///
+    /// When a chaos plan is armed the channel consults it (under the channel
+    /// lock, so fault ordinals are deterministic) and an injected fault
+    /// aborts the op *before* the copy runs — a faulted transfer delivers no
+    /// payload. Disarmed, the check is one relaxed atomic load.
+    pub fn run(&self, bytes: usize, copy: impl FnOnce()) -> Result<(), FailureCause> {
         let _serial = self.channel.lock();
+        if self.chaos.is_armed() {
+            if let Some(inj) = self.chaos.check_dma(self.card, self.h2d) {
+                let cause = match inj {
+                    Injection::Fail(c) => c,
+                    // No sink closure on the DMA path; chaos already
+                    // downgrades SinkPanic to a fatal fault, but stay total.
+                    Injection::Panic(m) => FailureCause::SinkPanic(m),
+                };
+                return Err(cause);
+            }
+        }
         let start = Instant::now();
         let deadline = start + self.pacer.target(bytes, self.h2d);
         copy();
@@ -135,6 +162,7 @@ impl DmaEngine {
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         self.ops.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -175,7 +203,7 @@ mod tests {
         let p = Pacer::pcie(LinkSpec::pcie_knc(), Overheads::paper());
         let e = DmaEngine::new(p.clone(), true);
         let start = Instant::now();
-        e.run(256 * 1024, || {});
+        e.run(256 * 1024, || {}).expect("no chaos armed");
         let elapsed = start.elapsed();
         let target = p.target(256 * 1024, true);
         assert!(elapsed >= target, "elapsed {elapsed:?} < target {target:?}");
@@ -190,7 +218,7 @@ mod tests {
         std::thread::scope(|s| {
             for _ in 0..2 {
                 let e = e.clone();
-                s.spawn(move || e.run(1 << 20, || {}));
+                s.spawn(move || e.run(1 << 20, || {}).expect("no chaos armed"));
             }
         });
         let elapsed = start.elapsed();
@@ -206,5 +234,26 @@ mod tests {
         let t = Instant::now();
         pace_until(t);
         assert!(t.elapsed() < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn injected_dma_fault_skips_the_copy() {
+        use hs_chaos::{FaultKind, FaultPlan, FaultSite};
+        let chaos = ChaosHub::new();
+        chaos.arm(FaultPlan::new(3).with_trigger(
+            FaultSite::Dma {
+                card: 2,
+                h2d: Some(false),
+                nth: 2,
+            },
+            FaultKind::Transient,
+        ));
+        let e = DmaEngine::new_chaos(Pacer::unpaced(), false, 2, chaos);
+        let mut copied = 0u32;
+        e.run(64, || copied += 1).expect("1st op clean");
+        let err = e.run(64, || copied += 1).expect_err("2nd op faulted");
+        assert!(err.is_transient(), "{err}");
+        assert_eq!(copied, 1, "faulted transfer must not deliver payload");
+        assert_eq!(e.stats().ops, 1, "faulted op not counted as completed");
     }
 }

@@ -27,6 +27,7 @@ pub mod window;
 pub use dma::{DmaEngine, Pacer};
 pub use window::{RangeGuard, WindowId, WindowMem};
 
+use hs_chaos::{ChaosHub, FailureCause};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -69,6 +70,12 @@ impl Fabric {
     /// a PCIe card next to a fabric-attached remote node). `per_card[i]`
     /// paces node `i + 1`; both directions of that node share the spec.
     pub fn new_with_pacers(n_nodes: usize, per_card: Vec<Pacer>) -> Fabric {
+        Fabric::new_with_pacers_chaos(n_nodes, per_card, ChaosHub::default())
+    }
+
+    /// Like [`Fabric::new_with_pacers`], with a shared fault-injection hub
+    /// the DMA channels consult (one relaxed load per op when disarmed).
+    pub fn new_with_pacers_chaos(n_nodes: usize, per_card: Vec<Pacer>, chaos: ChaosHub) -> Fabric {
         assert!(n_nodes >= 1, "fabric needs at least the host node");
         assert_eq!(
             per_card.len(),
@@ -85,10 +92,12 @@ impl Fabric {
             .collect();
         let engines = per_card
             .iter()
-            .flat_map(|p| {
+            .enumerate()
+            .flat_map(|(i, p)| {
+                let card = (i + 1) as u32;
                 [
-                    DmaEngine::new(p.clone(), true),
-                    DmaEngine::new(p.clone(), false),
+                    DmaEngine::new_chaos(p.clone(), true, card, chaos.clone()),
+                    DmaEngine::new_chaos(p.clone(), false, card, chaos.clone()),
                 ]
             })
             .collect();
@@ -184,9 +193,12 @@ impl Fabric {
             None
         };
         match pace_card {
-            Some((card, h2d)) => self.engine(card, h2d).run(len, || {
-                wr.as_mut_slice().copy_from_slice(rd.as_slice());
-            }),
+            Some((card, h2d)) => self
+                .engine(card, h2d)
+                .run(len, || {
+                    wr.as_mut_slice().copy_from_slice(rd.as_slice());
+                })
+                .map_err(FabricError::Faulted)?,
             None => wr.as_mut_slice().copy_from_slice(rd.as_slice()),
         }
         Ok(())
@@ -194,11 +206,23 @@ impl Fabric {
 }
 
 /// Errors surfaced by the fabric.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq)]
 pub enum FabricError {
     NoSuchWindow(WindowId),
     OutOfBounds,
     OverlappingSelfCopy,
+    /// An armed chaos plan injected a fault into the DMA channel.
+    Faulted(FailureCause),
+}
+
+impl FabricError {
+    /// The structured failure cause this error maps to.
+    pub fn into_cause(self) -> FailureCause {
+        match self {
+            FabricError::Faulted(c) => c,
+            other => FailureCause::Exec(format!("transfer failed: {other}")),
+        }
+    }
 }
 
 impl std::fmt::Display for FabricError {
@@ -207,6 +231,7 @@ impl std::fmt::Display for FabricError {
             FabricError::NoSuchWindow(w) => write!(f, "no such window {w:?}"),
             FabricError::OutOfBounds => write!(f, "window access out of bounds"),
             FabricError::OverlappingSelfCopy => write!(f, "self-copy within one window"),
+            FabricError::Faulted(c) => write!(f, "dma fault: {c}"),
         }
     }
 }

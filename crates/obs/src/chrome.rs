@@ -96,6 +96,9 @@ pub fn chrome_trace_json(records: &[ObsRecord]) -> String {
                     lc.phases.push((*phase, *t_ns));
                 }
             }
+            // Chaos records (retries, failure causes, degradation) describe
+            // recovery, not timeline spans; the chrome view skips them.
+            ObsRecord::Retry { .. } | ObsRecord::Failure { .. } | ObsRecord::Degraded { .. } => {}
         }
     }
 
@@ -109,6 +112,13 @@ pub fn chrome_trace_json(records: &[ObsRecord]) -> String {
         let Some((end, ok)) = lc.end() else {
             continue; // still pending at export time
         };
+        // An action that failed before reaching its sink (poisoned by a
+        // dependence, injected at dispatch, deadline expiry in the queue)
+        // never occupied the serial resource this row models — a span for
+        // it would overlap the genuinely-executing neighbours.
+        if !ok && lc.at(ObsPhase::SinkStart).is_none() {
+            continue;
+        }
         // Sim mode derives sink_start as end - service; real mode stamps it
         // on the sink thread. Fall back to dispatch/enqueue if missing.
         let start = lc

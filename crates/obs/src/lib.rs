@@ -22,6 +22,7 @@
 
 pub mod chrome;
 
+use hs_chaos::FailureCause;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -56,6 +57,10 @@ pub enum ObsPhase {
     Dispatched,
     /// The sink actually started executing it.
     SinkStart,
+    /// A transient fault failed the current attempt and a retry was
+    /// scheduled (the accompanying [`ObsRecord::Retry`] carries the attempt
+    /// counter and backoff).
+    RetryScheduled,
     Completed,
     Failed,
 }
@@ -66,6 +71,7 @@ impl ObsPhase {
             ObsPhase::DepsResolved => "deps_resolved",
             ObsPhase::Dispatched => "dispatched",
             ObsPhase::SinkStart => "sink_start",
+            ObsPhase::RetryScheduled => "retry_scheduled",
             ObsPhase::Completed => "completed",
             ObsPhase::Failed => "failed",
         }
@@ -102,6 +108,30 @@ pub enum ObsRecord {
     Phase {
         action: u64,
         phase: ObsPhase,
+        t_ns: u64,
+    },
+    /// A transient fault was absorbed and retry number `attempt` (1-based)
+    /// scheduled after `backoff_us`.
+    Retry {
+        action: u64,
+        attempt: u32,
+        backoff_us: u64,
+        t_ns: u64,
+    },
+    /// Terminal failure with its structured cause and the number of
+    /// attempts that were made.
+    Failure {
+        action: u64,
+        cause: FailureCause,
+        attempts: u32,
+        t_ns: u64,
+    },
+    /// A card domain was lost and the runtime degraded onto the host.
+    Degraded {
+        card: u32,
+        streams_remapped: u32,
+        buffers_dropped: u32,
+        actions_replayed: u32,
         t_ns: u64,
     },
 }
@@ -221,6 +251,31 @@ impl ObsHub {
             .or_insert(0) += n;
     }
 
+    /// Record a degradation event: `card` was lost, its streams were
+    /// remapped to the host, and lost work was replayed. No-op when
+    /// disabled (the chaos log still captures it).
+    pub fn degraded(
+        &self,
+        card: u32,
+        streams_remapped: u32,
+        buffers_dropped: u32,
+        actions_replayed: u32,
+        t_ns: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counter_add("chaos.degraded_cards", 1);
+        self.counter_add("chaos.replayed_actions", actions_replayed as u64);
+        self.inner.records.lock().push(ObsRecord::Degraded {
+            card,
+            streams_remapped,
+            buffers_dropped,
+            actions_replayed,
+            t_ns,
+        });
+    }
+
     /// Drain all lifecycle records collected so far.
     pub fn take_records(&self) -> Vec<ObsRecord> {
         std::mem::take(&mut *self.inner.records.lock())
@@ -297,6 +352,62 @@ impl ObsAction {
                 ObsPhase::Failed
             };
             hub.phase(self.id, phase, hub.wall_ns());
+        }
+    }
+
+    /// Record a scheduled retry: attempt `attempt` (1-based retry counter)
+    /// will run after `backoff_us`. Stamps a `RetryScheduled` phase plus a
+    /// [`ObsRecord::Retry`] carrying the counter, and bumps
+    /// `chaos.retries`.
+    pub fn retry(&self, attempt: u32, backoff_us: u64, t_ns: u64) {
+        if let Some(hub) = &self.hub {
+            hub.counter_add("chaos.retries", 1);
+            let mut records = hub.inner.records.lock();
+            records.push(ObsRecord::Phase {
+                action: self.id,
+                phase: ObsPhase::RetryScheduled,
+                t_ns,
+            });
+            records.push(ObsRecord::Retry {
+                action: self.id,
+                attempt,
+                backoff_us,
+                t_ns,
+            });
+        }
+    }
+
+    /// Like [`Self::retry`], stamped with the hub's wall clock.
+    pub fn retry_wall(&self, attempt: u32, backoff_us: u64) {
+        if let Some(hub) = &self.hub {
+            self.retry(attempt, backoff_us, hub.wall_ns());
+        }
+    }
+
+    /// Record terminal failure with its structured cause (in addition to
+    /// the `Failed` phase). Bumps `chaos.failed.<tag>`.
+    pub fn fail_cause(&self, cause: &FailureCause, attempts: u32, t_ns: u64) {
+        if let Some(hub) = &self.hub {
+            hub.counter_add(&format!("chaos.failed.{}", cause.tag()), 1);
+            let mut records = hub.inner.records.lock();
+            records.push(ObsRecord::Phase {
+                action: self.id,
+                phase: ObsPhase::Failed,
+                t_ns,
+            });
+            records.push(ObsRecord::Failure {
+                action: self.id,
+                cause: cause.clone(),
+                attempts,
+                t_ns,
+            });
+        }
+    }
+
+    /// Like [`Self::fail_cause`], stamped with the hub's wall clock.
+    pub fn fail_cause_wall(&self, cause: &FailureCause, attempts: u32) {
+        if let Some(hub) = &self.hub {
+            self.fail_cause(cause, attempts, hub.wall_ns());
         }
     }
 }
