@@ -251,7 +251,7 @@ impl CudaLike {
     }
 
     /// Sim-mode execution trace.
-    pub fn trace(&self) -> Option<&hs_sim::Trace> {
+    pub fn trace(&self) -> Option<hs_sim::Trace> {
         self.hs.trace()
     }
 

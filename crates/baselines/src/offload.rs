@@ -36,7 +36,7 @@ pub struct OffloadModel {
 
 impl OffloadModel {
     pub fn new(platform: PlatformCfg, mode: ExecMode, version: OmpVersion) -> OffloadModel {
-        let mut hs = HStreams::init(platform, mode);
+        let hs = HStreams::init(platform, mode);
         let mut dev_streams = Vec::new();
         for d in hs.domains() {
             let s = hs

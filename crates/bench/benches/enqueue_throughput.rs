@@ -1,0 +1,230 @@
+//! Source-endpoint throughput: how many actions per second the front-end
+//! can enqueue, single-threaded and (post-refactor) from N concurrent
+//! source threads driving disjoint streams.
+//!
+//! Writes `BENCH_enqueue.json` at the workspace root. `HS_BENCH_SMOKE=1`
+//! shrinks the run for CI; `HS_BENCH_CHECK=1` additionally compares the
+//! measured single-thread rate against the committed artifact and fails
+//! loudly on a >20% regression.
+
+use bytes::Bytes;
+use hs_bench::{f, write_bench_json, JsonRecord, Table};
+use hs_machine::{Device, PlatformCfg};
+use hstreams_core::{
+    Access, BufProps, CostHint, CpuMask, DomainId, ExecMode, HStreams, Operand, OrderingMode,
+    StreamId,
+};
+use std::sync::Arc;
+
+const STREAMS_PER_THREAD: usize = 2;
+const BUFS_PER_STREAM: usize = 8;
+const SYNC_EVERY: usize = 512;
+
+fn runtime(ordering: OrderingMode) -> HStreams {
+    let hs = HStreams::init_with_ordering(
+        PlatformCfg::hetero(Device::Hsw, 1),
+        ExecMode::Threads,
+        ordering,
+    );
+    hs.register("nop", Arc::new(|_ctx: &mut hstreams_core::TaskCtx| {}));
+    hs
+}
+
+struct Lane {
+    stream: StreamId,
+    bufs: Vec<hstreams_core::BufferId>,
+}
+
+fn make_lanes(hs: &HStreams, n: usize) -> Vec<Lane> {
+    (0..n)
+        .map(|_| {
+            let stream = hs
+                .stream_create(DomainId::HOST, CpuMask::first(1))
+                .expect("stream");
+            let bufs = (0..BUFS_PER_STREAM)
+                .map(|_| hs.buffer_create(4096, BufProps::default()))
+                .collect();
+            Lane { stream, bufs }
+        })
+        .collect()
+}
+
+/// Enqueue `actions` trivial computes on the lane's stream, operands
+/// rotating over its buffers (realistic dependence-window work), syncing
+/// every `SYNC_EVERY` to bound the pending window.
+fn drive(hs: &HStreams, lane: &Lane, actions: usize) {
+    for i in 0..actions {
+        let buf = lane.bufs[i % BUFS_PER_STREAM];
+        hs.enqueue_compute(
+            lane.stream,
+            "nop",
+            Bytes::new(),
+            &[Operand::new(buf, 0..4096, Access::InOut)],
+            CostHint::trivial(),
+        )
+        .expect("enqueue");
+        if (i + 1) % SYNC_EVERY == 0 {
+            hs.stream_synchronize(lane.stream).expect("sync");
+        }
+    }
+    hs.stream_synchronize(lane.stream).expect("sync");
+}
+
+/// One measurement: `threads` source threads, each driving its own lanes
+/// on one shared runtime. Returns aggregate actions/sec.
+fn measure(threads: usize, actions_per_thread: usize, ordering: OrderingMode) -> f64 {
+    let hs = runtime(ordering);
+    let lanes: Vec<Vec<Lane>> = (0..threads)
+        .map(|_| make_lanes(&hs, STREAMS_PER_THREAD))
+        .collect();
+    // Warm the sink pipelines so spawn cost stays out of the measurement.
+    for tl in &lanes {
+        for lane in tl {
+            drive(&hs, lane, SYNC_EVERY.min(actions_per_thread));
+        }
+    }
+    let total = threads * actions_per_thread;
+    let start = std::time::Instant::now();
+    if threads == 1 {
+        let per_lane = actions_per_thread / STREAMS_PER_THREAD;
+        for lane in &lanes[0] {
+            drive(&hs, lane, per_lane);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for tl in &lanes {
+                let hs = hs.clone();
+                scope.spawn(move || {
+                    let per_lane = actions_per_thread / STREAMS_PER_THREAD;
+                    for lane in tl {
+                        drive(&hs, lane, per_lane);
+                    }
+                });
+            }
+        });
+    }
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+fn ordering_tag(o: OrderingMode) -> &'static str {
+    match o {
+        OrderingMode::OutOfOrder => "ooo",
+        OrderingMode::StrictFifo => "fifo",
+    }
+}
+
+/// Pre-PR single-thread rate, measured on this box at the seed commit
+/// (one-big-lock front-end, growable event vec) with the same op mix.
+/// Override with HS_ENQ_BASELINE=<actions/sec> when benching elsewhere.
+const PRE_PR_BASELINE: f64 = 101_000.0;
+
+fn pre_pr_baseline() -> f64 {
+    std::env::var("HS_ENQ_BASELINE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PRE_PR_BASELINE)
+}
+
+/// Parse `"key": value` out of our own hand-written bench JSON (the
+/// workspace has no serde_json; the format is fixed by write_bench_json).
+fn json_value(row: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let at = row.find(&pat)? + pat.len();
+    let rest = &row[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+const ARTIFACT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_enqueue.json");
+
+fn check_regression(measured: f64) {
+    let committed = std::fs::read_to_string(ARTIFACT)
+        .expect("HS_BENCH_CHECK: committed BENCH_enqueue.json must exist");
+    let row = committed
+        .lines()
+        .find(|l| l.contains("\"name\": \"single_thread\""))
+        .expect("committed BENCH_enqueue.json has a single_thread row");
+    let reference = json_value(row, "actions_per_sec").expect("row has actions_per_sec");
+    let floor = 0.8 * reference;
+    println!(
+        "regression check: measured {measured:.0} vs committed {reference:.0} (floor {floor:.0})"
+    );
+    assert!(
+        measured >= floor,
+        "single-thread enqueue throughput regressed >20%: {measured:.0} < {floor:.0} actions/sec"
+    );
+}
+
+fn main() {
+    let smoke = std::env::var("HS_BENCH_SMOKE").is_ok();
+    let check = std::env::var("HS_BENCH_CHECK").is_ok();
+    let actions = if smoke { 8 * 1024 } else { 64 * 1024 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut records = Vec::new();
+    let mut table = Table::new(vec!["threads", "ordering", "actions/s", "vs 1T"]);
+
+    let mut single = 0.0;
+    for ordering in [OrderingMode::OutOfOrder, OrderingMode::StrictFifo] {
+        let thread_counts: &[usize] = if ordering == OrderingMode::OutOfOrder {
+            &[1, 2, 4, 8]
+        } else {
+            &[1]
+        };
+        let mut base = 0.0;
+        for &t in thread_counts {
+            if smoke && t > 2 {
+                continue;
+            }
+            let rate = measure(t, actions / t.min(4), ordering);
+            if t == 1 {
+                base = rate;
+                if ordering == OrderingMode::OutOfOrder {
+                    single = rate;
+                }
+            }
+            table.row(vec![
+                format!("{t}"),
+                ordering_tag(ordering).to_string(),
+                f(rate),
+                format!("{:.2}x", rate / base),
+            ]);
+            let name = if t == 1 {
+                "single_thread".to_string()
+            } else {
+                format!("threads_{t}")
+            };
+            records.push(
+                JsonRecord::new(format!("{name}_{}", ordering_tag(ordering)), actions, 0.0)
+                    .with_name(name)
+                    .with_source_threads(t)
+                    .with_ordering(ordering_tag(ordering))
+                    .with_metrics(vec![
+                        ("actions_per_sec".to_string(), rate),
+                        ("host_cores".to_string(), cores as f64),
+                    ]),
+            );
+        }
+    }
+    let baseline = pre_pr_baseline();
+    if baseline > 0.0 {
+        records.push(
+            JsonRecord::new("pre_pr_baseline", actions, 0.0)
+                .with_source_threads(1)
+                .with_ordering("ooo")
+                .with_metrics(vec![("actions_per_sec".to_string(), baseline)]),
+        );
+        table.row(vec![
+            "1 (pre-PR)".to_string(),
+            "ooo".to_string(),
+            f(baseline),
+            format!("{:.2}x", single / baseline),
+        ]);
+    }
+    table.print("enqueue throughput (thread executor, host streams)");
+    if check {
+        check_regression(single);
+    } else if !smoke {
+        write_bench_json(ARTIFACT, &records);
+    }
+}

@@ -39,8 +39,12 @@ fn traced_run(path: &str, n: usize, records: &mut Vec<JsonRecord>) {
     std::fs::write(path, &trace).unwrap_or_else(|e| panic!("writing trace {path}: {e}"));
     let spans = hs.stats().computes() + hs.stats().transfers() - hs.stats().transfers_elided();
     println!("wrote Chrome trace ({spans} expected spans) to {path}");
-    records
-        .push(JsonRecord::new("HSW+2KNC traced", n, res.gflops).with_metrics(hs.metrics().rows()));
+    records.push(
+        JsonRecord::new("HSW+2KNC traced", n, res.gflops)
+            .with_source_threads(1)
+            .with_ordering("ooo")
+            .with_metrics(hs.metrics().rows()),
+    );
 }
 
 /// Chaos smoke (CI's `chaos-smoke` job): one real-mode matmul under the
@@ -143,7 +147,11 @@ fn main() {
             gflops(PlatformCfg::native(Device::Ivb), n, true, true),
         ];
         for (name, v) in names.iter().zip(&vals) {
-            records.push(JsonRecord::new(*name, n, *v));
+            records.push(
+                JsonRecord::new(*name, n, *v)
+                    .with_source_threads(1)
+                    .with_ordering("ooo"),
+            );
         }
         let mut row = vec![n.to_string()];
         row.extend(vals.iter().map(|v| f(*v)));

@@ -106,7 +106,11 @@ fn main() {
             native_gflops(n),
         ];
         for (name, v) in short_names.iter().zip(&vals) {
-            records.push(JsonRecord::new(*name, n, *v));
+            records.push(
+                JsonRecord::new(*name, n, *v)
+                    .with_source_threads(1)
+                    .with_ordering("ooo"),
+            );
         }
         let mut row = vec![n.to_string()];
         row.extend(vals.iter().map(|v| f(*v)));

@@ -12,14 +12,14 @@ use hstreams_core::{
 use std::sync::Arc;
 
 fn runtime() -> HStreams {
-    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
     hs.register("nop", Arc::new(|_ctx: &mut TaskCtx| {}));
     hs
 }
 
 fn bench_enqueue(c: &mut Criterion) {
     c.bench_function("enqueue_compute+sync (noop task, host stream)", |b| {
-        let mut hs = runtime();
+        let hs = runtime();
         let s = hs
             .stream_create(DomainId::HOST, CpuMask::first(2))
             .expect("stream");
@@ -44,7 +44,7 @@ fn bench_dependence_analysis(c: &mut Criterion) {
     c.bench_function("dependence scan over 256 pending actions", |b| {
         b.iter_batched(
             || {
-                let mut hs = runtime();
+                let hs = runtime();
                 let s = hs
                     .stream_create(DomainId::HOST, CpuMask::first(2))
                     .expect("stream");
@@ -77,7 +77,7 @@ fn bench_dependence_analysis(c: &mut Criterion) {
                 }
                 (hs, s, big)
             },
-            |(mut hs, s, big)| {
+            |(hs, s, big)| {
                 hs.enqueue_compute(
                     s,
                     "nop",
@@ -95,7 +95,7 @@ fn bench_dependence_analysis(c: &mut Criterion) {
 
 fn bench_event_signal(c: &mut Criterion) {
     c.bench_function("cross-stream event wait round trip", |b| {
-        let mut hs = runtime();
+        let hs = runtime();
         let s1 = hs
             .stream_create(DomainId::HOST, CpuMask::range(0, 1))
             .expect("s1");
@@ -133,7 +133,7 @@ fn bench_transfers(c: &mut Criterion) {
     g.sample_size(20);
     for kb in [64usize, 1024, 8192] {
         g.bench_function(format!("h2d {kb} KB (unpaced)"), |b| {
-            let mut hs = runtime();
+            let hs = runtime();
             let s = hs
                 .stream_create(DomainId(1), CpuMask::first(2))
                 .expect("stream");
@@ -146,7 +146,7 @@ fn bench_transfers(c: &mut Criterion) {
         });
     }
     g.bench_function("host-as-target elided transfer", |b| {
-        let mut hs = runtime();
+        let hs = runtime();
         let s = hs
             .stream_create(DomainId::HOST, CpuMask::first(2))
             .expect("stream");

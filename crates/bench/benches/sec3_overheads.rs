@@ -83,7 +83,7 @@ fn pool_overheads() {
     let mut without = with_pool.clone();
     without.coi_buffer_pool = false;
     let measure = |p: PlatformCfg| {
-        let mut hs = HStreams::init(p, ExecMode::Sim);
+        let hs = HStreams::init(p, ExecMode::Sim);
         let t0 = hs.now_secs();
         for _ in 0..100 {
             let b = hs.buffer_create(1 << 20, Default::default());

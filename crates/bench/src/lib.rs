@@ -61,6 +61,12 @@ pub struct JsonRecord {
     pub name: String,
     pub size: usize,
     pub gflops: f64,
+    /// How many source threads drove the runtime during this measurement
+    /// (emitted as a `source_threads` key when set).
+    pub source_threads: Option<usize>,
+    /// Intra-stream ordering mode the runtime ran with (`"ooo"` /
+    /// `"fifo"`; emitted as an `ordering` key when set).
+    pub ordering: Option<String>,
     /// Extra observability columns (queue depths, occupancy, utilization)
     /// from an `hs_obs::MetricsSnapshot` — empty for plain measurements.
     pub metrics: Vec<(String, f64)>,
@@ -72,8 +78,30 @@ impl JsonRecord {
             name: name.into(),
             size,
             gflops,
+            source_threads: None,
+            ordering: None,
             metrics: Vec::new(),
         }
+    }
+
+    /// Override the record's name (used when the constructor name encodes a
+    /// full variant tag but the artifact should carry the base name plus
+    /// structured `source_threads`/`ordering` keys).
+    pub fn with_name(mut self, name: impl Into<String>) -> JsonRecord {
+        self.name = name.into();
+        self
+    }
+
+    /// Record how many source threads drove the measurement.
+    pub fn with_source_threads(mut self, threads: usize) -> JsonRecord {
+        self.source_threads = Some(threads);
+        self
+    }
+
+    /// Record the intra-stream ordering mode (`"ooo"` / `"fifo"`).
+    pub fn with_ordering(mut self, ordering: impl Into<String>) -> JsonRecord {
+        self.ordering = Some(ordering.into());
+        self
     }
 
     /// Attach metrics rows (e.g. `hs_obs::MetricsSnapshot::rows()`); they
@@ -126,6 +154,13 @@ pub fn write_bench_json(path: &str, records: &[JsonRecord]) {
             "  {{\"name\": \"{}\", \"size\": {}, \"gflops\": {:.3}",
             r.name, r.size, r.gflops,
         ));
+        if let Some(t) = r.source_threads {
+            out.push_str(&format!(", \"source_threads\": {t}"));
+        }
+        if let Some(o) = &r.ordering {
+            assert_json_safe(o);
+            out.push_str(&format!(", \"ordering\": \"{o}\""));
+        }
         for (k, v) in &r.metrics {
             assert_json_safe(k);
             out.push_str(&format!(", \"{}\": {}", k, metric_val(*v)));

@@ -64,26 +64,25 @@ fn builtin_dgemm(ctx: &mut TaskCtx) {
 }
 
 impl HStreams {
-    fn ensure_builtins(&mut self) {
-        if !self.builtins_registered {
+    fn ensure_builtins(&self) {
+        self.inner.builtins.call_once(|| {
             self.register(K_MEMSET, Arc::new(builtin_memset));
             self.register(K_COPY, Arc::new(builtin_copy));
             self.register(K_DGEMM, Arc::new(builtin_dgemm));
-            self.builtins_registered = true;
-        }
+        });
     }
 
     /// `hStreams_app_memset`: fill `buf[range]` with `value` in the stream's
     /// sink domain.
     pub fn app_memset(
-        &mut self,
+        &self,
         s: StreamId,
         buf: BufferId,
         range: Range<usize>,
         value: u8,
     ) -> HsResult<Event> {
         self.ensure_builtins();
-        self.stats_mut().bump("app_memset");
+        self.stats().bump("app_memset");
         self.enqueue_compute(
             s,
             K_MEMSET,
@@ -96,7 +95,7 @@ impl HStreams {
     /// `hStreams_app_memcpy`: copy `src[sr]` into `dst[dr]` within the
     /// stream's sink domain (both f64-aligned, equal length).
     pub fn app_memcpy(
-        &mut self,
+        &self,
         s: StreamId,
         src: BufferId,
         sr: Range<usize>,
@@ -109,7 +108,7 @@ impl HStreams {
             ));
         }
         self.ensure_builtins();
-        self.stats_mut().bump("app_memcpy");
+        self.stats().bump("app_memcpy");
         self.enqueue_compute(
             s,
             K_COPY,
@@ -127,7 +126,7 @@ impl HStreams {
     /// virtual-time executor.
     #[allow(clippy::too_many_arguments)]
     pub fn app_dgemm(
-        &mut self,
+        &self,
         s: StreamId,
         a: BufferId,
         b: BufferId,
@@ -138,7 +137,7 @@ impl HStreams {
         accumulate: bool,
     ) -> HsResult<Event> {
         self.ensure_builtins();
-        self.stats_mut().bump("app_dgemm");
+        self.stats().bump("app_dgemm");
         let mut args = Vec::with_capacity(16);
         for v in [m as u32, n as u32, k as u32, u32::from(accumulate)] {
             args.extend_from_slice(&v.to_le_bytes());
@@ -180,7 +179,7 @@ mod tests {
 
     #[test]
     fn app_memset_fills_sink_copy() {
-        let mut hs = rt();
+        let hs = rt();
         let card = DomainId(1);
         let s = hs.stream_create(card, CpuMask::first(2)).expect("stream");
         let b = hs.buffer_create(64, BufProps::default());
@@ -195,7 +194,7 @@ mod tests {
 
     #[test]
     fn app_memcpy_moves_between_buffers() {
-        let mut hs = rt();
+        let hs = rt();
         let host = DomainId::HOST;
         let s = hs.stream_create(host, CpuMask::first(2)).expect("stream");
         let a = hs.buffer_create(64, BufProps::default());
@@ -211,7 +210,7 @@ mod tests {
 
     #[test]
     fn app_memcpy_rejects_length_mismatch() {
-        let mut hs = rt();
+        let hs = rt();
         let s = hs
             .stream_create(DomainId::HOST, CpuMask::first(1))
             .expect("stream");
@@ -222,7 +221,7 @@ mod tests {
 
     #[test]
     fn app_dgemm_computes_product_on_card() {
-        let mut hs = rt();
+        let hs = rt();
         let card = DomainId(1);
         let s = hs.stream_create(card, CpuMask::first(2)).expect("stream");
         let (m, n, k) = (3usize, 4, 2);
@@ -252,7 +251,7 @@ mod tests {
 
     #[test]
     fn app_dgemm_accumulates_when_asked() {
-        let mut hs = rt();
+        let hs = rt();
         let s = hs
             .stream_create(DomainId::HOST, CpuMask::first(2))
             .expect("stream");
@@ -275,7 +274,7 @@ mod tests {
     fn app_calls_have_cost_hints_in_sim() {
         // A big app_dgemm in sim mode must take real virtual time (the cost
         // hint is wired through).
-        let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim);
+        let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim);
         let card = DomainId(1);
         let s = hs.stream_create(card, CpuMask::first(60)).expect("stream");
         let n = 4000usize;

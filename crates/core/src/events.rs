@@ -1,0 +1,330 @@
+//! The global event table: an append-only, segmented store mapping each
+//! [`Event`](crate::types::Event) id to its backend completion handle and
+//! producing stream.
+//!
+//! Three properties drive the design:
+//!
+//! * **No reallocation under readers.** Storage is fixed-size segments
+//!   reached through a preallocated array of `OnceLock`'d pointers, so a
+//!   concurrent reader never observes a `Vec` being regrown. Ids are minted
+//!   with one atomic fetch-add.
+//! * **Mutable slots.** Card-loss replay overwrites an event's backend in
+//!   place (application-held handles transparently track the replayed
+//!   attempt), so each slot guards its payload with a short per-slot lock
+//!   rather than being write-once.
+//! * **Bounded memory.** Completed *successful* events are tombstoned by
+//!   [`EventTable::compact`] — the backend handle (and whatever it retains:
+//!   callbacks, status, sim bookkeeping) is dropped while the slot keeps the
+//!   producing stream, so late waiters still resolve the event as a
+//!   completed success. Failures are never tombstoned: their cause feeds
+//!   poison edges, `wait_any` verdicts and the card-loss replay closure.
+
+use crate::exec::BackendEvent;
+use crate::types::{Event, StreamId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// log2 of the slots per segment.
+const SEG_BITS: u64 = 12;
+/// Slots per segment (4096 · 16 B of slot header ≈ 64 KiB each).
+const SEG_LEN: u64 = 1 << SEG_BITS;
+/// Maximum segments; the pointer array is preallocated (4096 · 8 B = 32 KiB)
+/// so segment lookup is a plain indexed load. Caps a run at ~16.7M events.
+const MAX_SEGS: usize = 4096;
+
+/// Sentinel in `Slot::stream` until the slot is published.
+const UNPUBLISHED: u32 = u32::MAX;
+
+struct Slot {
+    /// Producing stream id, `UNPUBLISHED` until [`EventTable::publish`].
+    /// Stored with `Release` after the payload so an `Acquire` reader that
+    /// sees it set also sees the payload.
+    stream: AtomicU32,
+    /// `Some` while live; `None` after tombstoning (with `stream` still
+    /// set, distinguishing "retired" from "never published").
+    be: Mutex<Option<BackendEvent>>,
+}
+
+/// What a table lookup found.
+pub(crate) enum EventView {
+    /// No such event (out of range, or reserved but not yet published).
+    Missing,
+    /// Pending or completed, backend handle still held.
+    Live(BackendEvent, StreamId),
+    /// Tombstoned: completed successfully and compacted away.
+    Retired(StreamId),
+}
+
+pub(crate) struct EventTable {
+    segs: Box<[OnceLock<Box<[Slot]>>]>,
+    next: AtomicU64,
+    /// Every id below this is retired (scan start for compaction).
+    watermark: AtomicU64,
+    /// Published and not yet tombstoned (occupancy gauge).
+    live: AtomicU64,
+    /// Tombstoned so far (occupancy gauge).
+    retired: AtomicU64,
+    /// Single-compactor guard; contenders skip (compaction is periodic).
+    compactor: Mutex<()>,
+}
+
+/// Occupancy counters surfaced through `HStreams::metrics`.
+pub(crate) struct TableStats {
+    pub reserved: u64,
+    pub live: u64,
+    pub retired: u64,
+    pub watermark: u64,
+}
+
+fn new_segment() -> Box<[Slot]> {
+    (0..SEG_LEN)
+        .map(|_| Slot {
+            stream: AtomicU32::new(UNPUBLISHED),
+            be: Mutex::new(None),
+        })
+        .collect()
+}
+
+impl EventTable {
+    pub fn new() -> EventTable {
+        EventTable {
+            segs: (0..MAX_SEGS).map(|_| OnceLock::new()).collect(),
+            next: AtomicU64::new(0),
+            watermark: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
+            compactor: Mutex::new(()),
+        }
+    }
+
+    /// Ids handed out so far (reserved, not necessarily published).
+    pub fn len(&self) -> u64 {
+        self.next.load(Ordering::Acquire)
+    }
+
+    fn slot(&self, id: u64) -> Option<&Slot> {
+        let seg = (id >> SEG_BITS) as usize;
+        let idx = (id & (SEG_LEN - 1)) as usize;
+        self.segs.get(seg)?.get()?.get(idx)
+    }
+
+    /// Mint the next event id and make sure its segment exists. The id is
+    /// not visible to lookups until [`EventTable::publish`].
+    pub fn reserve(&self) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::AcqRel);
+        let seg = (id >> SEG_BITS) as usize;
+        assert!(
+            seg < MAX_SEGS,
+            "event table exhausted ({} events); raise MAX_SEGS",
+            MAX_SEGS as u64 * SEG_LEN
+        );
+        self.segs[seg].get_or_init(new_segment);
+        id
+    }
+
+    /// Fill a reserved slot. Called once per id, after the backend accepted
+    /// the submission.
+    pub fn publish(&self, id: u64, stream: StreamId, be: BackendEvent) {
+        let slot = self.slot(id).expect("publish of unreserved event id");
+        *slot.be.lock() = Some(be);
+        slot.stream.store(stream.0, Ordering::Release);
+        self.live.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replace a published event's backend in place (card-loss replay). A
+    /// tombstoned slot comes back to life: the replayed attempt is pending
+    /// again.
+    pub fn overwrite(&self, id: u64, be: BackendEvent) {
+        let slot = self.slot(id).expect("overwrite of unreserved event id");
+        debug_assert_ne!(slot.stream.load(Ordering::Acquire), UNPUBLISHED);
+        let mut g = slot.be.lock();
+        if g.is_none() {
+            self.live.fetch_add(1, Ordering::Relaxed);
+            self.retired.fetch_sub(1, Ordering::Relaxed);
+        }
+        *g = Some(be);
+    }
+
+    pub fn view(&self, ev: Event) -> EventView {
+        self.view_id(ev.0)
+    }
+
+    pub fn view_id(&self, id: u64) -> EventView {
+        let Some(slot) = self.slot(id) else {
+            return EventView::Missing;
+        };
+        let s = slot.stream.load(Ordering::Acquire);
+        if s == UNPUBLISHED {
+            return EventView::Missing;
+        }
+        match &*slot.be.lock() {
+            Some(be) => EventView::Live(be.clone(), StreamId(s)),
+            None => EventView::Retired(StreamId(s)),
+        }
+    }
+
+    /// Producing stream of a published event.
+    pub fn stream_of(&self, ev: Event) -> Option<StreamId> {
+        let slot = self.slot(ev.0)?;
+        match slot.stream.load(Ordering::Acquire) {
+            UNPUBLISHED => None,
+            s => Some(StreamId(s)),
+        }
+    }
+
+    /// Tombstone completed successes. `verdict` returns `None` while the
+    /// event is pending, `Some(succeeded)` once complete; only
+    /// `Some(true)` slots are tombstoned. One compactor runs at a time;
+    /// concurrent callers return immediately. The scan starts at the
+    /// retirement watermark (the longest fully-retired prefix), so steady
+    /// state cost is proportional to the live window, not to table length.
+    pub fn compact(&self, verdict: impl Fn(&BackendEvent) -> Option<bool>) {
+        let Some(_g) = self.compactor.try_lock() else {
+            return;
+        };
+        let len = self.len();
+        let start = self.watermark.load(Ordering::Acquire);
+        let mut wm = start;
+        let mut contiguous = true;
+        for id in start..len {
+            let retired_here = match self.slot(id) {
+                None => false, // reserved, segment raced away: treat as live
+                Some(slot) => {
+                    if slot.stream.load(Ordering::Acquire) == UNPUBLISHED {
+                        false // mid-publish on another thread
+                    } else {
+                        let mut g = slot.be.lock();
+                        match &*g {
+                            None => true, // already tombstoned
+                            Some(be) => match verdict(be) {
+                                Some(true) => {
+                                    *g = None;
+                                    self.live.fetch_sub(1, Ordering::Relaxed);
+                                    self.retired.fetch_add(1, Ordering::Relaxed);
+                                    true
+                                }
+                                _ => false, // pending or failed: keep
+                            },
+                        }
+                    }
+                }
+            };
+            if contiguous {
+                if retired_here {
+                    wm = id + 1;
+                } else {
+                    contiguous = false;
+                }
+            }
+        }
+        self.watermark.store(wm, Ordering::Release);
+    }
+
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            reserved: self.len(),
+            live: self.live.load(Ordering::Relaxed),
+            retired: self.retired.load(Ordering::Relaxed),
+            watermark: self.watermark.load(Ordering::Acquire),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hs_coi::CoiEvent;
+
+    fn done_event() -> BackendEvent {
+        let e = CoiEvent::new();
+        e.signal();
+        BackendEvent::Thread(e)
+    }
+
+    fn pending_event() -> BackendEvent {
+        BackendEvent::Thread(CoiEvent::new())
+    }
+
+    #[test]
+    fn reserve_publish_view_roundtrip() {
+        let t = EventTable::new();
+        let id = t.reserve();
+        assert!(matches!(t.view_id(id), EventView::Missing), "unpublished");
+        t.publish(id, StreamId(3), done_event());
+        match t.view_id(id) {
+            EventView::Live(BackendEvent::Thread(e), s) => {
+                assert!(e.is_complete());
+                assert_eq!(s, StreamId(3));
+            }
+            _ => panic!("expected live thread event"),
+        }
+        assert_eq!(t.stream_of(Event(id)), Some(StreamId(3)));
+        assert!(matches!(t.view_id(id + 1), EventView::Missing));
+    }
+
+    #[test]
+    fn ids_are_dense_and_cross_segments() {
+        let t = EventTable::new();
+        let n = SEG_LEN + 10;
+        for i in 0..n {
+            assert_eq!(t.reserve(), i);
+            t.publish(i, StreamId(0), done_event());
+        }
+        assert_eq!(t.len(), n);
+        assert!(matches!(t.view_id(SEG_LEN + 5), EventView::Live(..)));
+    }
+
+    #[test]
+    fn compact_tombstones_successes_keeps_pending() {
+        let t = EventTable::new();
+        for i in 0..10 {
+            let id = t.reserve();
+            let be = if i == 5 {
+                pending_event()
+            } else {
+                done_event()
+            };
+            t.publish(id, StreamId(0), be);
+        }
+        t.compact(|be| match be {
+            BackendEvent::Thread(e) => e.is_complete().then_some(true),
+            BackendEvent::Sim(_) => None,
+        });
+        let st = t.stats();
+        assert_eq!(st.retired, 9);
+        assert_eq!(st.live, 1);
+        assert_eq!(st.watermark, 5, "watermark stops at the pending slot");
+        assert!(matches!(t.view_id(3), EventView::Retired(_)));
+        assert!(matches!(t.view_id(5), EventView::Live(..)));
+    }
+
+    #[test]
+    fn overwrite_revives_a_tombstoned_slot() {
+        let t = EventTable::new();
+        let id = t.reserve();
+        t.publish(id, StreamId(1), done_event());
+        t.compact(|_| Some(true));
+        assert!(matches!(t.view_id(id), EventView::Retired(_)));
+        t.overwrite(id, pending_event());
+        assert!(matches!(t.view_id(id), EventView::Live(..)));
+        let st = t.stats();
+        assert_eq!(st.live, 1);
+        assert_eq!(st.retired, 0);
+    }
+
+    #[test]
+    fn watermark_bounds_live_window_over_many_cycles() {
+        let t = EventTable::new();
+        for _ in 0..100 {
+            for _ in 0..64 {
+                let id = t.reserve();
+                t.publish(id, StreamId(0), done_event());
+            }
+            t.compact(|_| Some(true));
+        }
+        let st = t.stats();
+        assert_eq!(st.live, 0);
+        assert_eq!(st.watermark, st.reserved);
+    }
+}

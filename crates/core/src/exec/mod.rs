@@ -96,19 +96,25 @@ impl BackendEvent {
 }
 
 /// The executor behind an `HStreams` instance.
+///
+/// Every method takes `&self`: the thread executor is internally
+/// synchronized (concurrent submits from N source threads are the point),
+/// and the inherently sequential simulator is serialized behind a mutex —
+/// virtual time has a single global clock, so sim-mode concurrency degrades
+/// to interleaving, which is all the semantics require.
 pub enum Executor {
     Thread(thread::ThreadExec),
-    Sim(Box<sim::SimExec>),
+    Sim(parking_lot::Mutex<Box<sim::SimExec>>),
 }
 
 impl Executor {
     /// Register a new stream's sink resources; streams are indexed densely
     /// in creation order. The full mask flows to the thread executor (its
     /// workgroup is keyed off it); the simulator only needs the width.
-    pub fn add_stream(&mut self, domain_idx: usize, mask: crate::CpuMask) {
+    pub fn add_stream(&self, domain_idx: usize, mask: crate::CpuMask) {
         match self {
             Executor::Thread(t) => t.add_stream(domain_idx, mask),
-            Executor::Sim(s) => s.add_stream(domain_idx, mask.count()),
+            Executor::Sim(s) => s.lock().add_stream(domain_idx, mask.count()),
         }
     }
 
@@ -116,7 +122,7 @@ impl Executor {
     /// `obs` is the action's lifecycle handle (inert when tracing is off);
     /// `opts` carries the deadline and retry budget.
     pub fn submit(
-        &mut self,
+        &self,
         spec: ActionSpec,
         deps: &[BackendEvent],
         obs: hs_obs::ObsAction,
@@ -124,44 +130,46 @@ impl Executor {
     ) -> BackendEvent {
         match self {
             Executor::Thread(t) => BackendEvent::Thread(t.submit(spec, deps, obs, opts)),
-            Executor::Sim(s) => BackendEvent::Sim(s.submit(spec, deps, obs, opts)),
+            Executor::Sim(s) => BackendEvent::Sim(s.lock().submit(spec, deps, obs, opts)),
         }
     }
 
     /// Rebind a stream's sink resources to the host domain (card-loss
     /// degradation). Actions already dispatched are unaffected; subsequent
     /// submissions on the stream run on host resources.
-    pub fn remap_stream_to_host(&mut self, stream_idx: usize) {
+    pub fn remap_stream_to_host(&self, stream_idx: usize) {
         match self {
             Executor::Thread(t) => t.remap_stream_to_host(stream_idx),
-            Executor::Sim(s) => s.remap_stream_to_host(stream_idx),
+            Executor::Sim(s) => s.lock().remap_stream_to_host(stream_idx),
         }
     }
 
     pub fn is_complete(&self, ev: &BackendEvent) -> bool {
         match self {
             Executor::Thread(_) => ev.as_thread().is_complete(),
-            Executor::Sim(s) => s.is_complete(ev.as_sim()),
+            Executor::Sim(s) => s.lock().is_complete(ev.as_sim()),
         }
     }
 
     /// Block (real time or virtual time) until the event completes.
-    pub fn wait(&mut self, ev: &BackendEvent) -> Result<(), FailureCause> {
+    pub fn wait(&self, ev: &BackendEvent) -> Result<(), FailureCause> {
         match self {
             Executor::Thread(_) => ev.as_thread().wait(),
-            Executor::Sim(s) => s.wait(ev.as_sim()),
+            Executor::Sim(s) => s.lock().wait(ev.as_sim()),
         }
     }
 
     /// Wait until any of the events *succeeds*; returns its index. Errors
     /// (with the first failure in list order) only when all have failed.
-    pub fn wait_any(&mut self, evs: &[BackendEvent]) -> Result<usize, FailureCause> {
+    pub fn wait_any(&self, evs: &[BackendEvent]) -> Result<usize, FailureCause> {
         match self {
             Executor::Thread(_) => {
                 let evs: Vec<CoiEvent> = evs.iter().map(|e| e.as_thread().clone()).collect();
                 CoiEvent::wait_any(&evs)
             }
-            Executor::Sim(s) => s.wait_any(&evs.iter().map(|e| e.as_sim()).collect::<Vec<_>>()),
+            Executor::Sim(s) => s
+                .lock()
+                .wait_any(&evs.iter().map(|e| e.as_sim()).collect::<Vec<_>>()),
         }
     }
 
@@ -173,7 +181,7 @@ impl Executor {
                 hs_coi::EventStatus::Failed(c) => Some(c),
                 _ => None,
             },
-            Executor::Sim(s) => s.failure_of(ev.as_sim()),
+            Executor::Sim(s) => s.lock().failure_of(ev.as_sim()),
         }
     }
 
@@ -181,17 +189,17 @@ impl Executor {
     /// no-op on real threads, where callers wait on concrete events
     /// instead. Degradation uses this to settle every in-flight action's
     /// status before selecting the replay set.
-    pub fn run_all(&mut self) {
+    pub fn run_all(&self) {
         if let Executor::Sim(s) = self {
-            s.run_all();
+            s.lock().run_all();
         }
     }
 
     /// Charge synchronous source-side time (buffer instantiation, layered
     /// runtimes' per-task overheads). No-op in real mode.
-    pub fn charge_source(&mut self, dur: hs_sim::Dur) {
+    pub fn charge_source(&self, dur: hs_sim::Dur) {
         if let Executor::Sim(s) = self {
-            s.charge_source(dur);
+            s.lock().charge_source(dur);
         }
     }
 
@@ -199,7 +207,7 @@ impl Executor {
     pub fn now_secs(&self) -> f64 {
         match self {
             Executor::Thread(t) => t.elapsed_secs(),
-            Executor::Sim(s) => s.now_secs(),
+            Executor::Sim(s) => s.lock().now_secs(),
         }
     }
 }

@@ -21,9 +21,9 @@ use hs_coi::{CoiEvent, CoiRuntime, EngineId, EventStatus};
 use hs_fabric::Pacer;
 use hs_machine::PlatformCfg;
 use hs_obs::{ObsAction, ObsHub, ObsPhase};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -191,9 +191,21 @@ impl Drop for TimerWheel {
 const DRAIN_BUDGET: Duration = Duration::from_secs(2);
 
 /// Real-thread executor state.
+///
+/// Submission is `&self` and internally synchronized: the only mutable
+/// state on the hot path is the outstanding-event list (a short mutex) and
+/// the submission counter (an atomic). The dispatch context — everything a
+/// foreign thread needs to launch an action — is *cached* as an `Arc` and
+/// rebuilt only when the stream topology changes (`add_stream`, card-loss
+/// remap), so a submit shares one refcount bump instead of cloning three
+/// vectors of handles.
 pub struct ThreadExec {
     coi: Arc<CoiRuntime>,
-    pipes: Vec<hs_coi::Pipeline>,
+    /// Stream pipelines; mutated only by `add_stream`/`remap_stream_to_host`
+    /// (both rebuild the cached dispatch context under this lock).
+    pipes: Mutex<Vec<hs_coi::Pipeline>>,
+    /// Cached dispatch context, shared by every in-flight action.
+    ctx: RwLock<Arc<DispatchCtx>>,
     /// Per card: [h2d, d2h] workers. Index = card domain index - 1.
     dma: Vec<[DmaWorker; 2]>,
     /// Measurement baseline: stamped at the *first submit*, not at `new()`,
@@ -201,12 +213,12 @@ pub struct ThreadExec {
     started: OnceLock<Instant>,
     /// Completion events of every submitted action, pruned as they
     /// complete; `Drop` drains these before joining workers.
-    outstanding: Vec<CoiEvent>,
+    outstanding: Mutex<Vec<CoiEvent>>,
     obs: ObsHub,
     chaos: ChaosHub,
     /// Monotonic submission counter, used as the deterministic per-action
     /// salt for retry-backoff jitter.
-    submitted: u64,
+    submitted: AtomicU64,
     /// Declared last so sink/DMA threads are gone before the timer thread
     /// (nothing can schedule after them).
     timer: TimerWheel,
@@ -248,7 +260,7 @@ impl ThreadExec {
             .collect();
         let ncards = pacers.len();
         let coi = CoiRuntime::new_with_pacers_chaos(pacers, obs.clone(), chaos.clone());
-        let dma = (0..ncards)
+        let dma: Vec<[DmaWorker; 2]> = (0..ncards)
             .map(|c| {
                 [
                     DmaWorker::spawn(format!("hs-dma-c{c}-h2d")),
@@ -256,16 +268,19 @@ impl ThreadExec {
                 ]
             })
             .collect();
+        let timer = TimerWheel::spawn();
+        let ctx = Arc::new(make_ctx(&coi, &[], &dma, &obs, &chaos, &timer.shared));
         ThreadExec {
             coi,
-            pipes: Vec::new(),
+            pipes: Mutex::new(Vec::new()),
+            ctx: RwLock::new(ctx),
             dma,
             started: OnceLock::new(),
-            outstanding: Vec::new(),
+            outstanding: Mutex::new(Vec::new()),
             obs,
             chaos,
-            submitted: 0,
-            timer: TimerWheel::spawn(),
+            submitted: AtomicU64::new(0),
+            timer,
         }
     }
 
@@ -282,12 +297,14 @@ impl ThreadExec {
     /// degradation). The old pipeline drops: its queued commands drain
     /// against the lost card's windows (their results are discarded by the
     /// replay) and its sink thread joins.
-    pub fn remap_stream_to_host(&mut self, idx: usize) {
-        if idx >= self.pipes.len() {
+    pub fn remap_stream_to_host(&self, idx: usize) {
+        let mut pipes = self.pipes.lock();
+        if idx >= pipes.len() {
             return;
         }
-        let width = self.pipes[idx].width();
-        self.pipes[idx] = self.coi.pipeline_create(EngineId::HOST, width);
+        let width = pipes[idx].width();
+        pipes[idx] = self.coi.pipeline_create(EngineId::HOST, width);
+        self.rebuild_ctx(&pipes);
     }
 
     /// Wall seconds since the first submit (0.0 before any work).
@@ -298,7 +315,7 @@ impl ThreadExec {
             .unwrap_or(0.0)
     }
 
-    pub fn add_stream(&mut self, domain_idx: usize, mask: crate::CpuMask) {
+    pub fn add_stream(&self, domain_idx: usize, mask: crate::CpuMask) {
         // Domain indices correspond 1:1 to COI engines (host = 0). The
         // stream's mask rides down to the pipeline's resident workgroup so
         // width/affinity stay the tuner-visible knobs (paper §II).
@@ -306,28 +323,30 @@ impl ThreadExec {
         let pipe = self
             .coi
             .pipeline_create_masked(EngineId(domain_idx as u16), width, mask.0);
-        self.pipes.push(pipe);
+        let mut pipes = self.pipes.lock();
+        pipes.push(pipe);
+        self.rebuild_ctx(&pipes);
     }
 
     pub fn submit(
-        &mut self,
+        &self,
         spec: ActionSpec,
         deps: &[BackendEvent],
         obs: ObsAction,
         opts: SubmitOpts,
     ) -> CoiEvent {
         self.started.get_or_init(Instant::now);
-        self.submitted += 1;
+        let salt = self.submitted.fetch_add(1, Ordering::Relaxed) + 1;
         let done = CoiEvent::new();
         self.track(done.clone());
         let run = Arc::new(ActionRun {
-            ctx: self.dispatch_ctx(),
+            ctx: self.ctx.read().clone(),
             spec,
             done: done.clone(),
             obs: obs.clone(),
             retry: opts.retry,
             attempts: AtomicU32::new(0),
-            salt: self.submitted,
+            salt,
         });
         if obs.is_enabled() {
             let o = obs.clone();
@@ -404,31 +423,53 @@ impl ThreadExec {
     /// Remember an in-flight completion event, opportunistically pruning
     /// finished ones so the list stays proportional to actual in-flight
     /// work.
-    fn track(&mut self, ev: CoiEvent) {
-        if self.outstanding.len() >= 64 {
-            self.outstanding.retain(|e| !e.is_complete());
+    fn track(&self, ev: CoiEvent) {
+        let mut out = self.outstanding.lock();
+        if out.len() >= 64 {
+            out.retain(|e| !e.is_complete());
         }
-        self.outstanding.push(ev);
+        out.push(ev);
     }
 
-    fn dispatch_ctx(&self) -> DispatchCtx {
-        DispatchCtx {
-            coi: self.coi.clone(),
-            pipes: self.pipes.iter().map(|p| p.sender_handle()).collect(),
-            // Engine each stream's pipeline currently targets (0 = host):
-            // the compute-site chaos consult needs the card to honour
-            // dead-card state, and remapped streams must stop drawing
-            // faults for the lost card.
-            pipe_cards: self.pipes.iter().map(|p| p.engine().0 as u32).collect(),
-            dma: self
-                .dma
-                .iter()
-                .map(|pair| [pair[0].tx.clone(), pair[1].tx.clone()])
-                .collect(),
-            obs: self.obs.clone(),
-            chaos: self.chaos.clone(),
-            timer: self.timer.shared.clone(),
-        }
+    /// Recompute the cached dispatch context after a topology change.
+    /// Called with the pipes lock held so two concurrent mutators cannot
+    /// install contexts out of order.
+    fn rebuild_ctx(&self, pipes: &[hs_coi::Pipeline]) {
+        let ctx = Arc::new(make_ctx(
+            &self.coi,
+            pipes,
+            &self.dma,
+            &self.obs,
+            &self.chaos,
+            &self.timer.shared,
+        ));
+        *self.ctx.write() = ctx;
+    }
+}
+
+fn make_ctx(
+    coi: &Arc<CoiRuntime>,
+    pipes: &[hs_coi::Pipeline],
+    dma: &[[DmaWorker; 2]],
+    obs: &ObsHub,
+    chaos: &ChaosHub,
+    timer: &Arc<TimerShared>,
+) -> DispatchCtx {
+    DispatchCtx {
+        coi: coi.clone(),
+        pipes: pipes.iter().map(|p| p.sender_handle()).collect(),
+        // Engine each stream's pipeline currently targets (0 = host):
+        // the compute-site chaos consult needs the card to honour
+        // dead-card state, and remapped streams must stop drawing
+        // faults for the lost card.
+        pipe_cards: pipes.iter().map(|p| p.engine().0 as u32).collect(),
+        dma: dma
+            .iter()
+            .map(|pair| [pair[0].tx.clone(), pair[1].tx.clone()])
+            .collect(),
+        obs: obs.clone(),
+        chaos: chaos.clone(),
+        timer: timer.clone(),
     }
 }
 
@@ -438,7 +479,7 @@ impl Drop for ThreadExec {
         // and DMA threads, so normally-completing work finishes and only
         // genuinely stuck actions see closed channels.
         let deadline = Instant::now() + DRAIN_BUDGET;
-        for ev in self.outstanding.drain(..) {
+        for ev in self.outstanding.get_mut().drain(..) {
             if ev.wait_deadline(deadline).is_none() {
                 break; // budget exhausted; remaining actions fail on dispatch
             }
@@ -465,7 +506,7 @@ struct DispatchCtx {
 /// consumed) so transient-fault attempts can re-dispatch it, and the
 /// attempt counter feeds both backoff jitter and the obs failure record.
 struct ActionRun {
-    ctx: DispatchCtx,
+    ctx: Arc<DispatchCtx>,
     spec: ActionSpec,
     done: CoiEvent,
     obs: ObsAction,

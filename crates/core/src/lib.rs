@@ -27,13 +27,22 @@
 //! schedule in virtual time with the calibrated cost model of
 //! [`hs_machine`] — the mode used to regenerate the paper's figures.
 //!
+//! ## Concurrent source endpoints
+//!
+//! `HStreams` is a cloneable `Send + Sync` handle: every API takes `&self`,
+//! so N source threads can enqueue into (their own, or shared) streams
+//! concurrently. Per-stream dependence state sits behind fine-grained
+//! per-stream locks; the global event table is append-only and segmented
+//! (no reallocation under readers); card-loss degradation is the one
+//! stop-the-world operation. See DESIGN.md §13 for the locking map.
+//!
 //! ```
 //! use hstreams_core::{Access, CostHint, ExecMode, HStreams, Operand};
 //! use hs_machine::{Device, PlatformCfg};
 //! use std::sync::Arc;
 //!
 //! // A host + one (simulated) coprocessor card.
-//! let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
+//! let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
 //! hs.register("double", Arc::new(|ctx: &mut hstreams_core::TaskCtx| {
 //!     for x in ctx.buf_f64_mut(0) { *x *= 2.0; }
 //! }));
@@ -57,8 +66,10 @@ pub mod app;
 pub mod buffer;
 pub mod cpumask;
 pub mod deps;
+mod events;
 pub mod exec;
 pub mod record;
+pub mod small;
 pub mod stats;
 pub mod stream;
 pub mod types;
@@ -87,12 +98,16 @@ pub use hs_coi::RunFunction as TaskFn;
 use buffer::BufferTable;
 use bytes::Bytes;
 use deps::{Footprint, FootprintItem};
+use events::{EventTable, EventView};
 use exec::{ActionSpec, BackendEvent, Executor, RealXfer, SubmitOpts};
 use hs_coi::EngineId;
 use hs_machine::{Device, DomainRole, PlatformCfg};
 use hs_obs::{ActionMeta, MetricsSnapshot, ObsAction, ObsHub, ObsKind, ObsRecord};
+use parking_lot::{Mutex, RwLock};
 use std::ops::Range;
-use stream::StreamState;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use stream::{DepList, StreamState};
 
 /// Per-action execution options for the `*_opts` enqueue variants.
 #[derive(Clone, Copy, Debug, Default)]
@@ -165,24 +180,40 @@ pub struct DomainInfo {
     pub ram_bytes: u64,
 }
 
-/// The hStreams runtime handle (the source endpoint).
-pub struct HStreams {
+/// Enqueues between amortized event-table / recovery-log compactions.
+const COMPACT_EVERY: u32 = 1024;
+
+/// Shared runtime state behind the [`HStreams`] handle.
+///
+/// Lock order (outer → inner; never acquire leftward while holding
+/// rightward): `world` → `streams` (vec) → per-stream mutex → `buffers` →
+/// `recorder`/`recovery` → event-table slot → sim executor.
+pub(crate) struct Inner {
     platform: PlatformCfg,
     ordering: OrderingMode,
-    streams: Vec<StreamState>,
-    buffers: BufferTable,
-    events: Vec<BackendEvent>,
-    /// Producing stream of each event (same index as `events`).
-    event_streams: Vec<StreamId>,
+    /// The stop-the-world lock: enqueues and stream creation hold it
+    /// shared; card-loss degradation holds it exclusively while it
+    /// quiesces, remaps and replays.
+    world: RwLock<()>,
+    /// Dense stream table; each stream's dependence window has its own
+    /// fine-grained lock so distinct streams enqueue fully concurrently.
+    streams: RwLock<Vec<Arc<Mutex<StreamState>>>>,
+    buffers: RwLock<BufferTable>,
+    /// Append-only segmented event table (see [`events`]).
+    events: EventTable,
     exec: Executor,
     stats: ApiStats,
     /// Sim-mode host shadows for `buffer_write`/`buffer_read`.
-    sim_shadow: std::collections::HashMap<BufferId, Vec<u8>>,
-    /// Built-in app-API kernels registered? (see [`app`]).
-    builtins_registered: bool,
-    /// Live `hsan` action-trace recording (None = off).
+    sim_shadow: Mutex<std::collections::HashMap<BufferId, Vec<u8>>>,
+    /// Built-in app-API kernels registered once (see [`app`]).
+    pub(crate) builtins: std::sync::Once,
+    /// Live `hsan` action-trace recording (None = off). The flag mirrors
+    /// `recorder.is_some()` so the hot path checks one atomic instead of
+    /// taking the lock.
     #[cfg(feature = "hsan-record")]
-    recorder: Option<record::Recorder>,
+    recorder: Mutex<Option<record::Recorder>>,
+    #[cfg(feature = "hsan-record")]
+    recording: std::sync::atomic::AtomicBool,
     /// Action-lifecycle observability hub, shared with both executors and
     /// the COI layer. Disabled (near-zero cost) until [`HStreams::obs_enable`].
     obs: ObsHub,
@@ -192,10 +223,38 @@ pub struct HStreams {
     chaos: ChaosHub,
     /// Replayable record of enqueued actions, kept only while a fault plan
     /// is armed; card-loss degradation replays the affected subset.
-    recovery: Vec<LoggedAction>,
+    recovery: Mutex<Vec<LoggedAction>>,
     /// Cards already degraded (each card degrades at most once).
-    degraded: Vec<u32>,
+    degraded: Mutex<Vec<u32>>,
+    /// Degradation generation: bumped once per completed degradation. Wait
+    /// loops snapshot it before waiting; a failed wait whose snapshot is
+    /// stale re-waits instead of racing a concurrent degradation.
+    degrade_gen: AtomicU64,
+    /// Enqueues since the last amortized compaction.
+    enq_since_compact: AtomicU32,
+    /// Times an enqueue found its stream's lock held (multi-source
+    /// contention probe; surfaced as `frontend.stream_lock.contended`).
+    contended: AtomicU64,
+    /// Stale location-index entries skipped during dependence derivation
+    /// (surfaced as `deps.redundant`).
+    redundant: AtomicU64,
 }
+
+/// The hStreams runtime handle (one source endpoint).
+///
+/// Cloning is cheap (an `Arc` bump) and every method takes `&self`: hand a
+/// clone to each source thread and enqueue concurrently. Dropping the last
+/// clone shuts the executor down.
+#[derive(Clone)]
+pub struct HStreams {
+    inner: Arc<Inner>,
+}
+
+// The entire point of the handle: it crosses threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync + Clone>() {}
+    assert_send_sync::<HStreams>();
+};
 
 impl HStreams {
     /// Initialize the runtime for a platform (out-of-order hStreams
@@ -229,29 +288,35 @@ impl HStreams {
                     chaos.clone(),
                 ))
             }
-            ExecMode::Sim => Executor::Sim(Box::new(exec::sim::SimExec::new_with_obs_chaos(
-                &platform,
-                obs.clone(),
-                chaos.clone(),
+            ExecMode::Sim => Executor::Sim(Mutex::new(Box::new(
+                exec::sim::SimExec::new_with_obs_chaos(&platform, obs.clone(), chaos.clone()),
             ))),
         };
         HStreams {
-            platform,
-            ordering,
-            streams: Vec::new(),
-            buffers: BufferTable::new(),
-            events: Vec::new(),
-            event_streams: Vec::new(),
-            exec,
-            stats: ApiStats::new(),
-            sim_shadow: std::collections::HashMap::new(),
-            builtins_registered: false,
-            #[cfg(feature = "hsan-record")]
-            recorder: None,
-            obs,
-            chaos,
-            recovery: Vec::new(),
-            degraded: Vec::new(),
+            inner: Arc::new(Inner {
+                platform,
+                ordering,
+                world: RwLock::new(()),
+                streams: RwLock::new(Vec::new()),
+                buffers: RwLock::new(BufferTable::new()),
+                events: EventTable::new(),
+                exec,
+                stats: ApiStats::new(),
+                sim_shadow: Mutex::new(std::collections::HashMap::new()),
+                builtins: std::sync::Once::new(),
+                #[cfg(feature = "hsan-record")]
+                recorder: Mutex::new(None),
+                #[cfg(feature = "hsan-record")]
+                recording: std::sync::atomic::AtomicBool::new(false),
+                obs,
+                chaos,
+                recovery: Mutex::new(Vec::new()),
+                degraded: Mutex::new(Vec::new()),
+                degrade_gen: AtomicU64::new(0),
+                enq_since_compact: AtomicU32::new(0),
+                contended: AtomicU64::new(0),
+                redundant: AtomicU64::new(0),
+            }),
         }
     }
 
@@ -263,54 +328,68 @@ impl HStreams {
     /// [`FaultPlan::with_auto_degrade`] is on (the default) — a `CardDead`
     /// fault triggers card-loss degradation on the next wait that observes
     /// it. Also starts the recovery log that degradation replays from.
-    pub fn chaos_install(&mut self, plan: FaultPlan) {
-        self.recovery.clear();
-        self.chaos.arm(plan);
+    pub fn chaos_install(&self, plan: FaultPlan) {
+        self.inner.recovery.lock().clear();
+        self.inner.chaos.arm(plan);
     }
 
     /// Stop injecting faults (already-dead cards stay dead).
-    pub fn chaos_disarm(&mut self) {
-        self.chaos.disarm();
+    pub fn chaos_disarm(&self) {
+        self.inner.chaos.disarm();
     }
 
     /// The fault-injection hub (for inspecting the injected-fault log).
     pub fn chaos(&self) -> &ChaosHub {
-        &self.chaos
+        &self.inner.chaos
     }
 
     /// Cards that have been degraded to the host so far.
-    pub fn degraded_cards(&self) -> &[u32] {
-        &self.degraded
+    pub fn degraded_cards(&self) -> Vec<u32> {
+        self.inner.degraded.lock().clone()
     }
 
     // ----------------------------------------------------- hsan recording
 
+    /// Is an hsan action-trace recording live?
+    #[cfg(feature = "hsan-record")]
+    fn is_recording(&self) -> bool {
+        self.inner.recording.load(Ordering::Acquire)
+    }
+
+    #[cfg(not(feature = "hsan-record"))]
+    fn is_recording(&self) -> bool {
+        false
+    }
+
     /// Start recording the enqueued action graph for the `hsan` sanitizer.
     /// Only available with the `hsan-record` feature; actions enqueued
-    /// before this call are not in the trace.
+    /// before this call are not in the trace. While a recording is live,
+    /// concurrent enqueues serialize on the recorder (the trace is a total
+    /// order in event-id sequence).
     #[cfg(feature = "hsan-record")]
-    pub fn recording_start(&mut self) {
-        self.recorder = Some(record::Recorder::new(
-            self.ordering,
-            self.platform.domains.len(),
+    pub fn recording_start(&self) {
+        *self.inner.recorder.lock() = Some(record::Recorder::new(
+            self.inner.ordering,
+            self.inner.platform.domains.len(),
         ));
+        self.inner.recording.store(true, Ordering::Release);
     }
 
     /// Stop recording and return the trace (None if recording was never
     /// started). Call after synchronizing if completion order matters —
     /// still-pending actions simply have no completion entry.
     #[cfg(feature = "hsan-record")]
-    pub fn recording_take(&mut self) -> Option<record::ActionTrace> {
-        let rec = self.recorder.take()?;
-        let streams = self.streams.len() as u32;
-        let trace = match &self.exec {
+    pub fn recording_take(&self) -> Option<record::ActionTrace> {
+        self.inner.recording.store(false, Ordering::Release);
+        let rec = self.inner.recorder.lock().take()?;
+        let streams = self.inner.streams.read().len() as u32;
+        let trace = match &self.inner.exec {
             Executor::Sim(sim) => {
-                let events = &self.events;
-                rec.into_trace(streams, |ev| {
-                    events.get(ev as usize).and_then(|be| match be {
-                        BackendEvent::Sim(t) => sim.fire_time(*t).map(|t| t.as_nanos()),
-                        BackendEvent::Thread(_) => None,
-                    })
+                rec.into_trace(streams, |ev| match self.inner.events.view_id(ev) {
+                    EventView::Live(BackendEvent::Sim(t), _) => {
+                        sim.lock().fire_time(t).map(|t| t.as_nanos())
+                    }
+                    _ => None,
                 })
             }
             Executor::Thread(_) => rec.into_trace(streams, |_| None),
@@ -322,7 +401,8 @@ impl HStreams {
 
     /// Enumerate domains and their properties.
     pub fn domains(&self) -> Vec<DomainInfo> {
-        self.platform
+        self.inner
+            .platform
             .domains
             .iter()
             .enumerate()
@@ -341,75 +421,81 @@ impl HStreams {
     }
 
     pub fn num_domains(&self) -> usize {
-        self.platform.domains.len()
+        self.inner.platform.domains.len()
     }
 
     pub fn platform(&self) -> &PlatformCfg {
-        &self.platform
+        &self.inner.platform
     }
 
     pub fn ordering(&self) -> OrderingMode {
-        self.ordering
+        self.inner.ordering
     }
 
     // ----------------------------------------------------------- core APIs
 
     /// Create a stream whose sink is bound to `mask` within `domain`
     /// (core-API level: explicit mask per stream).
-    pub fn stream_create(&mut self, domain: DomainId, mask: CpuMask) -> HsResult<StreamId> {
-        self.stats.bump("stream_create");
-        if domain.0 >= self.platform.domains.len() {
+    pub fn stream_create(&self, domain: DomainId, mask: CpuMask) -> HsResult<StreamId> {
+        self.inner.stats.bump("stream_create");
+        if domain.0 >= self.inner.platform.domains.len() {
             return Err(HsError::UnknownDomain(domain));
         }
         if mask.is_empty() {
             return Err(HsError::InvalidArg("stream mask is empty".into()));
         }
-        let id = StreamId(self.streams.len() as u32);
-        self.exec.add_stream(domain.0, mask);
-        self.streams.push(StreamState::new(id, domain, mask));
+        let _world = self.inner.world.read();
+        // Id assignment, executor registration and table insertion are one
+        // critical section: concurrent creators get dense, matching indices.
+        let mut streams = self.inner.streams.write();
+        let id = StreamId(streams.len() as u32);
+        self.inner.exec.add_stream(domain.0, mask);
+        streams.push(Arc::new(Mutex::new(StreamState::new(id, domain, mask))));
         Ok(id)
     }
 
     /// App-API convenience: for each `(domain, n)` divide the domain's cores
     /// evenly among `n` streams. Returns all created stream ids, in argument
     /// order.
-    pub fn app_init(
-        &mut self,
-        streams_per_domain: &[(DomainId, usize)],
-    ) -> HsResult<Vec<StreamId>> {
-        self.stats.bump("app_init");
+    pub fn app_init(&self, streams_per_domain: &[(DomainId, usize)]) -> HsResult<Vec<StreamId>> {
+        self.inner.stats.bump("app_init");
         let mut out = Vec::new();
         for &(domain, n) in streams_per_domain {
-            let cfg = self
+            let cores = self
+                .inner
                 .platform
                 .domains
                 .get(domain.0)
-                .ok_or(HsError::UnknownDomain(domain))?;
-            for mask in CpuMask::partition_evenly(cfg.cores, n) {
+                .ok_or(HsError::UnknownDomain(domain))?
+                .cores;
+            for mask in CpuMask::partition_evenly(cores, n) {
                 out.push(self.stream_create(domain, mask)?);
             }
         }
         Ok(out)
     }
 
-    fn stream(&self, s: StreamId) -> HsResult<&StreamState> {
-        self.streams
+    fn stream_arc(&self, s: StreamId) -> HsResult<Arc<Mutex<StreamState>>> {
+        self.inner
+            .streams
+            .read()
             .get(s.0 as usize)
+            .cloned()
             .ok_or(HsError::UnknownStream(s))
     }
 
     /// The domain a stream's sink lives in.
     pub fn stream_domain(&self, s: StreamId) -> HsResult<DomainId> {
-        Ok(self.stream(s)?.domain)
+        Ok(self.stream_arc(s)?.lock().domain)
     }
 
     /// Cores bound to a stream.
     pub fn stream_cores(&self, s: StreamId) -> HsResult<u32> {
-        Ok(self.stream(s)?.cores())
+        Ok(self.stream_arc(s)?.lock().cores())
     }
 
     pub fn num_streams(&self) -> usize {
-        self.streams.len()
+        self.inner.streams.read().len()
     }
 
     // -------------------------------------------------------------- buffers
@@ -417,12 +503,14 @@ impl HStreams {
     /// Create a buffer of `len` bytes. The host instantiation is created
     /// eagerly (the host is the source of the proxy address space); card
     /// instantiations require explicit [`HStreams::buffer_instantiate`].
-    pub fn buffer_create(&mut self, len: usize, props: BufProps) -> BufferId {
-        self.stats.bump("buffer_create");
-        let id = self.buffers.create(len, props);
+    pub fn buffer_create(&self, len: usize, props: BufProps) -> BufferId {
+        self.inner.stats.bump("buffer_create");
+        let id = self.inner.buffers.write().create(len, props);
         #[cfg(feature = "hsan-record")]
-        if let Some(rec) = &mut self.recorder {
-            rec.push(record::TraceOp::BufferCreate { buffer: id.0, len });
+        if self.is_recording() {
+            if let Some(rec) = self.inner.recorder.lock().as_mut() {
+                rec.push(record::TraceOp::BufferCreate { buffer: id.0, len });
+            }
         }
         self.instantiate_unchecked(id, DomainId::HOST)
             .expect("fresh buffer instantiates on host");
@@ -431,95 +519,133 @@ impl HStreams {
 
     /// Materialize the buffer in `domain` (required before transfers or
     /// computes touch it there — the paper leaves placement to the tuner).
-    pub fn buffer_instantiate(&mut self, buf: BufferId, domain: DomainId) -> HsResult<()> {
-        self.stats.bump("buffer_instantiate");
-        if domain.0 >= self.platform.domains.len() {
+    pub fn buffer_instantiate(&self, buf: BufferId, domain: DomainId) -> HsResult<()> {
+        self.inner.stats.bump("buffer_instantiate");
+        if domain.0 >= self.inner.platform.domains.len() {
             return Err(HsError::UnknownDomain(domain));
         }
         self.instantiate_unchecked(buf, domain)
     }
 
-    fn instantiate_unchecked(&mut self, buf: BufferId, domain: DomainId) -> HsResult<()> {
-        let pooled = self.platform.coi_buffer_pool;
-        let len = self.buffers.get(buf)?.len;
-        if self.buffers.get(buf)?.is_instantiated(domain) {
-            return Ok(());
-        }
-        let inst = match &mut self.exec {
+    fn instantiate_unchecked(&self, buf: BufferId, domain: DomainId) -> HsResult<()> {
+        let pooled = self.inner.platform.coi_buffer_pool;
+        let len = {
+            let buffers = self.inner.buffers.read();
+            let rec = buffers.get(buf)?;
+            if rec.is_instantiated(domain) {
+                return Ok(());
+            }
+            rec.len
+        };
+        // The (possibly slow) allocation runs outside the table lock; the
+        // insert re-checks under the write lock and frees the surplus window
+        // if another thread instantiated the same (buffer, domain) meanwhile.
+        let inst = match &self.inner.exec {
             Executor::Thread(t) => {
                 let w = t
                     .coi()
                     .buffer_alloc(EngineId(domain.0 as u16), len.max(8), pooled);
                 Instantiation::Window(w)
             }
-            Executor::Sim(s) => {
+            Executor::Sim(_) => {
                 // The paper: MIC-side allocation is synchronous (its
                 // asynchrony is "future work"), so it charges the source.
-                s.charge_source(self.platform.cost_model().alloc_dur(pooled));
+                self.inner
+                    .exec
+                    .charge_source(self.inner.platform.cost_model().alloc_dur(pooled));
                 Instantiation::Virtual
             }
         };
-        self.buffers.get_mut(buf)?.inst.insert(domain, inst);
+        let surplus = {
+            let mut buffers = self.inner.buffers.write();
+            match buffers.get_mut(buf) {
+                Ok(rec) if rec.is_instantiated(domain) => Some(inst),
+                Ok(rec) => {
+                    rec.inst.insert(domain, inst);
+                    None
+                }
+                Err(e) => {
+                    // Destroyed while we allocated: release and report.
+                    if let (Instantiation::Window(w), Executor::Thread(t)) =
+                        (inst, &self.inner.exec)
+                    {
+                        t.coi().buffer_free(EngineId(domain.0 as u16), w);
+                    }
+                    return Err(e);
+                }
+            }
+        };
+        if let Some(Instantiation::Window(w)) = surplus {
+            if let Executor::Thread(t) = &self.inner.exec {
+                t.coi().buffer_free(EngineId(domain.0 as u16), w);
+            }
+            return Ok(());
+        }
         #[cfg(feature = "hsan-record")]
-        if let Some(rec) = &mut self.recorder {
-            rec.push(record::TraceOp::BufferInstantiate {
-                buffer: buf.0,
-                domain: domain.0,
-            });
+        if self.is_recording() {
+            if let Some(rec) = self.inner.recorder.lock().as_mut() {
+                rec.push(record::TraceOp::BufferInstantiate {
+                    buffer: buf.0,
+                    domain: domain.0,
+                });
+            }
         }
         Ok(())
     }
 
     /// Destroy a buffer, returning its windows to the COI pool.
-    pub fn buffer_destroy(&mut self, buf: BufferId) -> HsResult<()> {
-        self.stats.bump("buffer_destroy");
-        let len = self.buffers.get(buf)?.len;
+    pub fn buffer_destroy(&self, buf: BufferId) -> HsResult<()> {
+        self.inner.stats.bump("buffer_destroy");
+        let len = self.inner.buffers.read().get(buf)?.len;
         // Wait for any action still touching the buffer.
         let deps = self.conflicting_events(buf, 0..len, true);
         self.wait_events_recovering(&deps)?;
-        let insts = self.buffers.destroy(buf)?;
+        let insts = self.inner.buffers.write().destroy(buf)?;
         #[cfg(feature = "hsan-record")]
-        if let Some(rec) = &mut self.recorder {
-            rec.push(record::TraceOp::BufferDestroy { buffer: buf.0 });
+        if self.is_recording() {
+            if let Some(rec) = self.inner.recorder.lock().as_mut() {
+                rec.push(record::TraceOp::BufferDestroy { buffer: buf.0 });
+            }
         }
-        if let Executor::Thread(t) = &self.exec {
+        if let Executor::Thread(t) = &self.inner.exec {
             for (domain, inst) in insts {
                 if let Instantiation::Window(w) = inst {
                     t.coi().buffer_free(EngineId(domain.0 as u16), w);
                 }
             }
         }
-        self.sim_shadow.remove(&buf);
+        self.inner.sim_shadow.lock().remove(&buf);
         Ok(())
     }
 
     pub fn buffer_len(&self, buf: BufferId) -> HsResult<usize> {
-        Ok(self.buffers.get(buf)?.len)
+        Ok(self.inner.buffers.read().get(buf)?.len)
     }
 
     /// Resolve a proxy address into (buffer, offset) — the source proxy
     /// address translation of the paper.
     pub fn resolve_addr(&self, addr: addrspace::ProxyAddr) -> Option<(BufferId, usize)> {
-        self.buffers.resolve_addr(addr)
+        self.inner.buffers.read().resolve_addr(addr)
     }
 
     /// Proxy base address of a buffer.
     pub fn buffer_addr(&self, buf: BufferId) -> HsResult<addrspace::ProxyAddr> {
-        Ok(self.buffers.get(buf)?.proxy)
+        Ok(self.inner.buffers.read().get(buf)?.proxy)
     }
 
     /// Synchronously write into the buffer's **host** instantiation. Waits
     /// for conflicting in-flight actions first (source↔stream dependences
     /// are explicit in hStreams; this API is the explicit-sync entry point).
-    pub fn buffer_write(&mut self, buf: BufferId, offset: usize, data: &[u8]) -> HsResult<()> {
-        self.stats.bump("buffer_write");
+    pub fn buffer_write(&self, buf: BufferId, offset: usize, data: &[u8]) -> HsResult<()> {
+        self.inner.stats.bump("buffer_write");
         let range = offset..offset + data.len();
-        self.buffers.get(buf)?.check_range(&range)?;
+        self.inner.buffers.read().get(buf)?.check_range(&range)?;
         let deps = self.conflicting_events(buf, range.clone(), true);
         self.wait_events_recovering(&deps)?;
-        match &self.exec {
+        match &self.inner.exec {
             Executor::Thread(t) => {
-                let rec = self.buffers.get(buf)?;
+                let buffers = self.inner.buffers.read();
+                let rec = buffers.get(buf)?;
                 let win = rec.window(DomainId::HOST)?;
                 let mem = t
                     .coi()
@@ -532,9 +658,10 @@ impl HStreams {
                 g.as_mut_slice().copy_from_slice(data);
             }
             Executor::Sim(_) => {
-                let len = self.buffers.get(buf)?.len;
-                let shadow = self.sim_shadow.entry(buf).or_insert_with(|| vec![0; len]);
-                shadow[range].copy_from_slice(data);
+                let len = self.inner.buffers.read().get(buf)?.len;
+                let mut shadow = self.inner.sim_shadow.lock();
+                let bytes = shadow.entry(buf).or_insert_with(|| vec![0; len]);
+                bytes[range].copy_from_slice(data);
             }
         }
         Ok(())
@@ -542,15 +669,16 @@ impl HStreams {
 
     /// Synchronously read from the buffer's **host** instantiation, waiting
     /// for conflicting in-flight actions first.
-    pub fn buffer_read(&mut self, buf: BufferId, offset: usize, out: &mut [u8]) -> HsResult<()> {
-        self.stats.bump("buffer_read");
+    pub fn buffer_read(&self, buf: BufferId, offset: usize, out: &mut [u8]) -> HsResult<()> {
+        self.inner.stats.bump("buffer_read");
         let range = offset..offset + out.len();
-        self.buffers.get(buf)?.check_range(&range)?;
+        self.inner.buffers.read().get(buf)?.check_range(&range)?;
         let deps = self.conflicting_events(buf, range.clone(), false);
         self.wait_events_recovering(&deps)?;
-        match &self.exec {
+        match &self.inner.exec {
             Executor::Thread(t) => {
-                let rec = self.buffers.get(buf)?;
+                let buffers = self.inner.buffers.read();
+                let rec = buffers.get(buf)?;
                 let win = rec.window(DomainId::HOST)?;
                 let mem = t
                     .coi()
@@ -562,7 +690,7 @@ impl HStreams {
                     .map_err(|e| HsError::ExecFailed(e.to_string()))?;
                 out.copy_from_slice(g.as_slice());
             }
-            Executor::Sim(_) => match self.sim_shadow.get(&buf) {
+            Executor::Sim(_) => match self.inner.sim_shadow.lock().get(&buf) {
                 Some(shadow) => out.copy_from_slice(&shadow[range]),
                 None => out.fill(0),
             },
@@ -572,18 +700,13 @@ impl HStreams {
 
     /// `f64` convenience over [`HStreams::buffer_write`] (`offset` in
     /// elements).
-    pub fn buffer_write_f64(&mut self, buf: BufferId, offset: usize, data: &[f64]) -> HsResult<()> {
+    pub fn buffer_write_f64(&self, buf: BufferId, offset: usize, data: &[f64]) -> HsResult<()> {
         let bytes: Vec<u8> = data.iter().flat_map(|x| x.to_le_bytes()).collect();
         self.buffer_write(buf, offset * 8, &bytes)
     }
 
     /// `f64` convenience over [`HStreams::buffer_read`].
-    pub fn buffer_read_f64(
-        &mut self,
-        buf: BufferId,
-        offset: usize,
-        out: &mut [f64],
-    ) -> HsResult<()> {
+    pub fn buffer_read_f64(&self, buf: BufferId, offset: usize, out: &mut [f64]) -> HsResult<()> {
         let mut bytes = vec![0u8; out.len() * 8];
         self.buffer_read(buf, offset * 8, &mut bytes)?;
         for (i, chunk) in bytes.chunks_exact(8).enumerate() {
@@ -595,9 +718,9 @@ impl HStreams {
     // ------------------------------------------------------------ registry
 
     /// Register a sink-side task function, available in every domain.
-    pub fn register(&mut self, name: &str, f: TaskFn) {
-        self.stats.bump("register");
-        if let Executor::Thread(t) = &self.exec {
+    pub fn register(&self, name: &str, f: TaskFn) {
+        self.inner.stats.bump("register");
+        if let Executor::Thread(t) = &self.inner.exec {
             t.coi().register(name, f);
         }
         // Sim mode: tasks never run; names need no resolution.
@@ -605,11 +728,21 @@ impl HStreams {
 
     // ------------------------------------------------------------- actions
 
+    /// Do enqueue-time labels carry content? Skipped (empty) on the bare
+    /// thread-mode fast path: labels only surface through sim traces, obs
+    /// records, hsan recordings and chaos diagnostics.
+    fn wants_labels(&self) -> bool {
+        matches!(self.inner.exec, Executor::Sim(_))
+            || self.inner.obs.is_enabled()
+            || self.inner.chaos.is_armed()
+            || self.is_recording()
+    }
+
     /// Enqueue a compute action. `operands` drive the dependence analysis;
     /// `cost` drives the virtual-time executor ([`CostHint::trivial`] for
     /// real-mode-only code).
     pub fn enqueue_compute(
-        &mut self,
+        &self,
         s: StreamId,
         func: &str,
         args: Bytes,
@@ -622,7 +755,7 @@ impl HStreams {
     /// Like [`HStreams::enqueue_compute`], with a deadline and/or retry
     /// budget.
     pub fn enqueue_compute_opts(
-        &mut self,
+        &self,
         s: StreamId,
         func: &str,
         args: Bytes,
@@ -630,24 +763,30 @@ impl HStreams {
         cost: CostHint,
         opts: ActionOpts,
     ) -> HsResult<Event> {
-        self.stats.bump("enqueue_compute");
-        self.stats.note_compute();
-        let (spec, footprint) = self.build_compute_spec(s, func, args.clone(), operands, cost)?;
-        let logged = self.chaos.is_armed().then(|| LoggedOp::Compute {
-            func: func.to_string(),
-            args,
-            operands: operands.to_vec(),
-            cost,
-        });
-        self.enqueue_common(
-            s,
-            spec,
-            footprint,
-            stream::ActionKind::Normal,
-            &[],
-            opts,
-            logged,
-        )
+        self.inner.stats.bump("enqueue_compute");
+        self.inner.stats.note_compute();
+        let ev = {
+            let _world = self.inner.world.read();
+            let (spec, footprint) =
+                self.build_compute_spec(s, func, args.clone(), operands, cost)?;
+            let logged = self.inner.chaos.is_armed().then(|| LoggedOp::Compute {
+                func: func.to_string(),
+                args,
+                operands: operands.to_vec(),
+                cost,
+            });
+            self.enqueue_common(
+                s,
+                spec,
+                footprint,
+                stream::ActionKind::Normal,
+                &[],
+                opts,
+                logged,
+            )?
+        };
+        self.maybe_compact();
+        Ok(ev)
     }
 
     /// Validate + resolve a compute action against the stream's *current*
@@ -662,16 +801,18 @@ impl HStreams {
         cost: CostHint,
     ) -> HsResult<(ActionSpec, Footprint)> {
         let (domain, device, cores) = {
-            let st = self.stream(s)?;
-            let dev = self.platform.domains[st.domain.0].device;
+            let st_arc = self.stream_arc(s)?;
+            let st = st_arc.lock();
+            let dev = self.inner.platform.domains[st.domain.0].device;
             (st.domain, dev, st.cores())
         };
         // Validate + resolve operands.
         let mut footprint: Footprint = Vec::with_capacity(operands.len());
         let mut bufs: Vec<hs_coi::pipeline::BufAccess> = Vec::new();
-        let real = matches!(self.exec, Executor::Thread(_));
+        let real = matches!(self.inner.exec, Executor::Thread(_));
+        let buffers = self.inner.buffers.read();
         for op in operands {
-            let rec = self.buffers.get(op.buffer)?;
+            let rec = buffers.get(op.buffer)?;
             rec.check_range(&op.range)?;
             if rec.props.read_only && op.access.is_write() {
                 return Err(HsError::InvalidArg(format!(
@@ -708,7 +849,11 @@ impl HStreams {
                 bufs.push((w.id(), op.range.clone(), op.access.is_write()));
             }
         }
-        let label = format!("{}@{}s{}", func, device.short(), s.0);
+        let label = if self.wants_labels() {
+            format!("{}@{}s{}", func, device.short(), s.0)
+        } else {
+            String::new()
+        };
         let spec = ActionSpec::Compute {
             stream_idx: s.0 as usize,
             device,
@@ -726,7 +871,7 @@ impl HStreams {
     /// to `to`'s. Same-domain transfers are aliased away (host-as-target
     /// optimization). Card↔card is rejected; route via the host.
     pub fn enqueue_xfer(
-        &mut self,
+        &self,
         s: StreamId,
         buf: BufferId,
         range: Range<usize>,
@@ -738,7 +883,7 @@ impl HStreams {
 
     /// Like [`HStreams::enqueue_xfer`], with a deadline and/or retry budget.
     pub fn enqueue_xfer_opts(
-        &mut self,
+        &self,
         s: StreamId,
         buf: BufferId,
         range: Range<usize>,
@@ -746,24 +891,31 @@ impl HStreams {
         to: DomainId,
         opts: ActionOpts,
     ) -> HsResult<Event> {
-        self.stats.bump("enqueue_xfer");
-        let (spec, footprint) = self.build_xfer_spec(buf, range.clone(), from, to)?;
-        self.stats.note_transfer(range.len() as u64, from == to);
-        let logged = self.chaos.is_armed().then_some(LoggedOp::Xfer {
-            buf,
-            range,
-            from,
-            to,
-        });
-        self.enqueue_common(
-            s,
-            spec,
-            footprint,
-            stream::ActionKind::Normal,
-            &[],
-            opts,
-            logged,
-        )
+        self.inner.stats.bump("enqueue_xfer");
+        let ev = {
+            let _world = self.inner.world.read();
+            let (spec, footprint) = self.build_xfer_spec(buf, range.clone(), from, to)?;
+            self.inner
+                .stats
+                .note_transfer(range.len() as u64, from == to);
+            let logged = self.inner.chaos.is_armed().then_some(LoggedOp::Xfer {
+                buf,
+                range,
+                from,
+                to,
+            });
+            self.enqueue_common(
+                s,
+                spec,
+                footprint,
+                stream::ActionKind::Normal,
+                &[],
+                opts,
+                logged,
+            )?
+        };
+        self.maybe_compact();
+        Ok(ev)
     }
 
     /// Validate + resolve a transfer (shared by enqueue and card-loss
@@ -776,11 +928,12 @@ impl HStreams {
         to: DomainId,
     ) -> HsResult<(ActionSpec, Footprint)> {
         for d in [from, to] {
-            if d.0 >= self.platform.domains.len() {
+            if d.0 >= self.inner.platform.domains.len() {
                 return Err(HsError::UnknownDomain(d));
             }
         }
-        let rec = self.buffers.get(buf)?;
+        let buffers = self.inner.buffers.read();
+        let rec = buffers.get(buf)?;
         rec.check_range(&range)?;
         for d in [from, to] {
             if !rec.is_instantiated(d) {
@@ -800,7 +953,7 @@ impl HStreams {
         };
         let h2d = !to.is_host();
         let bytes = range.len();
-        let real = if matches!(self.exec, Executor::Thread(_)) && !elide {
+        let real = if matches!(self.inner.exec, Executor::Thread(_)) && !elide {
             let src = rec.window(from)?;
             let dst = rec.window(to)?;
             Some(RealXfer {
@@ -818,12 +971,11 @@ impl HStreams {
                 FootprintItem::new(to, buf, range.clone(), true),
             ]
         };
-        let label = format!(
-            "xfer:{}:d{}->d{}",
-            self.buffers.get(buf)?.label(),
-            from.0,
-            to.0
-        );
+        let label = if self.wants_labels() {
+            format!("xfer:{}:d{}->d{}", rec.label(), from.0, to.0)
+        } else {
+            String::new()
+        };
         let spec = ActionSpec::Transfer {
             card_domain,
             h2d,
@@ -835,19 +987,14 @@ impl HStreams {
     }
 
     /// Transfer from the host instantiation to the stream's sink domain.
-    pub fn xfer_to_sink(
-        &mut self,
-        s: StreamId,
-        buf: BufferId,
-        range: Range<usize>,
-    ) -> HsResult<Event> {
+    pub fn xfer_to_sink(&self, s: StreamId, buf: BufferId, range: Range<usize>) -> HsResult<Event> {
         let to = self.stream_domain(s)?;
         self.enqueue_xfer(s, buf, range, DomainId::HOST, to)
     }
 
     /// Transfer from the stream's sink domain back to the host.
     pub fn xfer_to_source(
-        &mut self,
+        &self,
         s: StreamId,
         buf: BufferId,
         range: Range<usize>,
@@ -861,49 +1008,60 @@ impl HStreams {
     /// Prior actions of `s` are unaffected and keep executing out of order
     /// — this is hStreams' non-serializing cross-stream dependence
     /// mechanism (streams imply nothing about each other by themselves).
-    pub fn enqueue_event_wait(&mut self, s: StreamId, events: &[Event]) -> HsResult<Event> {
-        self.stats.bump("enqueue_event_wait");
-        self.stats.note_sync();
-        for e in events {
-            if e.0 as usize >= self.events.len() {
-                return Err(HsError::UnknownEvent(*e));
+    pub fn enqueue_event_wait(&self, s: StreamId, events: &[Event]) -> HsResult<Event> {
+        self.inner.stats.bump("enqueue_event_wait");
+        self.inner.stats.note_sync();
+        let ev = {
+            let _world = self.inner.world.read();
+            let known = self.inner.events.len();
+            for e in events {
+                if e.0 >= known {
+                    return Err(HsError::UnknownEvent(*e));
+                }
             }
-        }
-        let logged = self.chaos.is_armed().then_some(LoggedOp::Sync);
-        self.enqueue_common(
-            s,
-            ActionSpec::Noop,
-            Vec::new(),
-            stream::ActionKind::EventWait,
-            events,
-            ActionOpts::default(),
-            logged,
-        )
+            let logged = self.inner.chaos.is_armed().then_some(LoggedOp::Sync);
+            self.enqueue_common(
+                s,
+                ActionSpec::Noop,
+                Vec::new(),
+                stream::ActionKind::EventWait,
+                events,
+                ActionOpts::default(),
+                logged,
+            )?
+        };
+        self.maybe_compact();
+        Ok(ev)
     }
 
     /// Enqueue a stream marker: it completes when **every** action already
     /// enqueued in `s` has completed, and later actions in `s` order after
     /// it (CUDA's `cudaEventRecord` shape; also a full intra-stream fence).
-    pub fn enqueue_marker(&mut self, s: StreamId) -> HsResult<Event> {
-        self.stats.bump("enqueue_marker");
-        self.stats.note_sync();
-        let logged = self.chaos.is_armed().then_some(LoggedOp::Sync);
-        self.enqueue_common(
-            s,
-            ActionSpec::Noop,
-            Vec::new(),
-            stream::ActionKind::Marker,
-            &[],
-            ActionOpts::default(),
-            logged,
-        )
+    pub fn enqueue_marker(&self, s: StreamId) -> HsResult<Event> {
+        self.inner.stats.bump("enqueue_marker");
+        self.inner.stats.note_sync();
+        let ev = {
+            let _world = self.inner.world.read();
+            let logged = self.inner.chaos.is_armed().then_some(LoggedOp::Sync);
+            self.enqueue_common(
+                s,
+                ActionSpec::Noop,
+                Vec::new(),
+                stream::ActionKind::Marker,
+                &[],
+                ActionOpts::default(),
+                logged,
+            )?
+        };
+        self.maybe_compact();
+        Ok(ev)
     }
 
     /// The stream that produced an event.
     pub fn event_stream(&self, ev: Event) -> HsResult<StreamId> {
-        self.event_streams
-            .get(ev.0 as usize)
-            .copied()
+        self.inner
+            .events
+            .stream_of(ev)
             .ok_or(HsError::UnknownEvent(ev))
     }
 
@@ -915,25 +1073,33 @@ impl HStreams {
     /// synchronization action is enqueued at all — preserving `s`'s
     /// out-of-order freedom. Returns the barrier's event when one was
     /// needed.
-    pub fn enqueue_cross_wait(&mut self, s: StreamId, events: &[Event]) -> HsResult<Option<Event>> {
+    pub fn enqueue_cross_wait(&self, s: StreamId, events: &[Event]) -> HsResult<Option<Event>> {
         // While an hsan recording is live, already-complete events are kept:
         // waiting on them is a no-op at runtime (fast-path dispatch), but the
         // recorded wait edge is what lets the analyzer prove the dependence
         // was synchronized — pruning it would make a correctly-synced run
         // look racy.
-        #[cfg(feature = "hsan-record")]
-        let keep_complete = self.recorder.is_some();
-        #[cfg(not(feature = "hsan-record"))]
-        let keep_complete = false;
+        let keep_complete = self.is_recording();
         let mut cross = Vec::with_capacity(events.len());
         for e in events {
-            let ps = self.event_stream(*e)?;
-            // A completed *failure* is never pruned: the poison edge must
-            // still reach the dependent.
-            let be = &self.events[e.0 as usize];
-            let live = !self.exec.is_complete(be) || self.exec.failure_of(be).is_some();
-            if ps != s && (keep_complete || live) {
-                cross.push(*e);
+            match self.inner.events.view(*e) {
+                EventView::Missing => return Err(HsError::UnknownEvent(*e)),
+                // Tombstoned = completed success: prunable like any other
+                // complete event.
+                EventView::Retired(ps) => {
+                    if ps != s && keep_complete {
+                        cross.push(*e);
+                    }
+                }
+                EventView::Live(be, ps) => {
+                    // A completed *failure* is never pruned: the poison edge
+                    // must still reach the dependent.
+                    let live = !self.inner.exec.is_complete(&be)
+                        || self.inner.exec.failure_of(&be).is_some();
+                    if ps != s && (keep_complete || live) {
+                        cross.push(*e);
+                    }
+                }
             }
         }
         if cross.is_empty() {
@@ -942,9 +1108,24 @@ impl HStreams {
         Ok(Some(self.enqueue_event_wait(s, &cross)?))
     }
 
+    /// Has this event's action completed **successfully**? This is the
+    /// dependence-window retirement predicate: failed actions never retire,
+    /// so later overlapping enqueues still inherit the poison. Tombstoned
+    /// entries completed successfully by construction.
+    fn event_retired_ok(&self, e: Event) -> bool {
+        match self.inner.events.view(e) {
+            EventView::Retired(_) => true,
+            EventView::Live(be, _) => {
+                self.inner.exec.is_complete(&be) && self.inner.exec.failure_of(&be).is_none()
+            }
+            EventView::Missing => false,
+        }
+    }
+
+    /// The enqueue hot path. Caller holds the world lock (shared).
     #[allow(clippy::too_many_arguments)]
     fn enqueue_common(
-        &mut self,
+        &self,
         s: StreamId,
         spec: ActionSpec,
         footprint: Footprint,
@@ -953,90 +1134,123 @@ impl HStreams {
         opts: ActionOpts,
         logged: Option<LoggedOp>,
     ) -> HsResult<Event> {
-        let idx = s.0 as usize;
-        if idx >= self.streams.len() {
-            return Err(HsError::UnknownStream(s));
-        }
-        self.retire_stream(idx);
+        let inner = &*self.inner;
+        let st_arc = self.stream_arc(s)?;
+        // Fine-grained per-stream window: contention here means multiple
+        // source threads feed the *same* stream (distinct streams never
+        // touch each other's locks on this path).
+        let mut st = match st_arc.try_lock() {
+            Some(g) => g,
+            None => {
+                inner.contended.fetch_add(1, Ordering::Relaxed);
+                st_arc.lock()
+            }
+        };
+        st.retire(|e| self.event_retired_ok(e));
         // EventWait actions depend only on the awaited events (out-of-order
         // mode) — but under StrictFifo they must also chain on the stream's
         // previous action, or the strict chain would break at every wait
         // (the wait could complete before its predecessor, releasing the
         // successor early). Markers depend on everything pending; normal
         // actions on their operand conflicts (or the chain, in strict mode).
-        let mut dep_events = match kind {
-            stream::ActionKind::EventWait => match self.ordering {
-                OrderingMode::OutOfOrder => Vec::new(),
+        let mut dep_events = DepList::new();
+        let redundant = match kind {
+            stream::ActionKind::EventWait => match inner.ordering {
+                OrderingMode::OutOfOrder => 0,
                 OrderingMode::StrictFifo => {
-                    self.streams[idx].find_deps(&footprint, false, self.ordering)
+                    st.find_deps(&footprint, false, inner.ordering, &mut dep_events)
                 }
             },
             stream::ActionKind::Marker => {
-                self.streams[idx].find_deps(&footprint, true, self.ordering)
+                st.find_deps(&footprint, true, inner.ordering, &mut dep_events)
             }
             stream::ActionKind::Normal => {
-                self.streams[idx].find_deps(&footprint, false, self.ordering)
+                st.find_deps(&footprint, false, inner.ordering, &mut dep_events)
             }
         };
+        if redundant != 0 {
+            inner.redundant.fetch_add(redundant, Ordering::Relaxed);
+        }
         dep_events.extend_from_slice(extra_events);
-        dep_events.sort_unstable();
-        dep_events.dedup();
-        let deps: Vec<BackendEvent> = dep_events
-            .iter()
-            .map(|e| self.events[e.0 as usize].clone())
-            .collect();
-        #[cfg(feature = "hsan-record")]
-        let label = self
-            .recorder
-            .as_ref()
-            .map(|_| spec.label().to_string())
-            .unwrap_or_default();
-        // The lifecycle record must be minted *before* submit: the spec is
-        // consumed, and the fast path dispatches (emitting later phases)
-        // inside submit itself.
-        let obs = self.mint_obs(s, &spec, &footprint);
-        let submit_opts = self.submit_opts(&opts);
-        let backend = self.exec.submit(spec, &deps, obs, submit_opts);
-        let ev = Event(self.events.len() as u64);
-        if let Some(op) = logged {
-            self.recovery.push(LoggedAction {
-                ev: ev.0,
-                stream: s,
-                op,
-                deps: dep_events.iter().map(|e| e.0).collect(),
-                wrote: footprint
-                    .iter()
-                    .filter(|f| f.write)
-                    .map(|f| f.domain.0)
-                    .collect(),
-                retry: submit_opts.retry,
-            });
-        }
-        #[cfg(feature = "hsan-record")]
-        if let Some(rec) = &mut self.recorder {
-            if let BackendEvent::Thread(ce) = &backend {
-                rec.completions.track(ce, ev.0);
+        dep_events.sort_dedup();
+        small::with_be_scratch(|bes| {
+            for e in dep_events.iter() {
+                match inner.events.view(*e) {
+                    EventView::Live(be, _) => bes.push(be),
+                    // Tombstoned = completed success: nothing to wait on.
+                    EventView::Retired(_) => {}
+                    // Only reachable for extra_events validated against
+                    // `events.len()` whose slot is mid-publish on another
+                    // thread — which implies the event is not complete;
+                    // treat like a completed dep is wrong, but such an
+                    // event cannot be a *dependence source* either (its
+                    // enqueue has not returned). Intra-stream deps are
+                    // always published (same stream lock).
+                    EventView::Missing => {}
+                }
             }
-            rec.push(record::TraceOp::Enqueue(record::ActionRecord {
-                event: ev.0,
-                stream: s.0,
-                kind,
-                label,
-                footprint: footprint.clone(),
-                waits: extra_events.iter().map(|e| e.0).collect(),
-            }));
-        }
-        self.events.push(backend);
-        self.event_streams.push(s);
-        self.streams[idx].push(ev, footprint, kind);
-        Ok(ev)
+            // While an hsan recording is live, hold the recorder from id
+            // mint to trace push: ops stay in ascending event order, at the
+            // cost of serializing concurrent enqueues for the recording's
+            // duration.
+            #[cfg(feature = "hsan-record")]
+            let mut rec_guard = if inner.recording.load(Ordering::Acquire) {
+                Some(inner.recorder.lock())
+            } else {
+                None
+            };
+            let id = inner.events.reserve();
+            let ev = Event(id);
+            #[cfg(feature = "hsan-record")]
+            let label = rec_guard
+                .as_ref()
+                .map(|_| spec.label().to_string())
+                .unwrap_or_default();
+            // The lifecycle record must be minted *before* submit: the spec
+            // is consumed, and the fast path dispatches (emitting later
+            // phases) inside submit itself.
+            let obs = self.mint_obs(s, &spec, &footprint);
+            let submit_opts = self.submit_opts(&opts);
+            let backend = inner.exec.submit(spec, bes, obs, submit_opts);
+            if let Some(op) = logged {
+                inner.recovery.lock().push(LoggedAction {
+                    ev: id,
+                    stream: s,
+                    op,
+                    deps: dep_events.iter().map(|e| e.0).collect(),
+                    wrote: footprint
+                        .iter()
+                        .filter(|f| f.write)
+                        .map(|f| f.domain.0)
+                        .collect(),
+                    retry: submit_opts.retry,
+                });
+            }
+            #[cfg(feature = "hsan-record")]
+            if let Some(rec) = rec_guard.as_mut().and_then(|g| g.as_mut()) {
+                if let BackendEvent::Thread(ce) = &backend {
+                    rec.completions.track(ce, id);
+                }
+                rec.push(record::TraceOp::Enqueue(record::ActionRecord {
+                    event: id,
+                    stream: s.0,
+                    kind,
+                    label,
+                    footprint: footprint.clone(),
+                    waits: extra_events.iter().map(|e| e.0).collect(),
+                }));
+            }
+            inner.events.publish(id, s, backend);
+            st.push(ev, footprint, kind);
+            Ok(ev)
+        })
     }
 
     /// Build the lifecycle record for an action about to be submitted.
     /// Returns an inert handle (no allocation beyond the `Option`) when
     /// tracing is off.
     fn mint_obs(&self, s: StreamId, spec: &ActionSpec, footprint: &Footprint) -> ObsAction {
-        if !self.obs.is_enabled() {
+        if !self.inner.obs.is_enabled() {
             return ObsAction::disabled();
         }
         let (kind, card, h2d, bytes) = match spec {
@@ -1061,7 +1275,7 @@ impl HStreams {
         };
         // Per-kind enqueue counters surface in `metrics()` for both
         // executors (gauges like DMA queue depth are thread-mode-only).
-        self.obs.counter_add(
+        self.inner.obs.counter_add(
             match kind {
                 ObsKind::Compute => "actions.compute",
                 ObsKind::Transfer => "actions.transfer",
@@ -1078,19 +1292,16 @@ impl HStreams {
             footprint: footprint.len() as u32,
             label: spec.label().to_string(),
         };
-        let t_ns = match &self.exec {
-            Executor::Thread(_) => self.obs.wall_ns(),
-            Executor::Sim(sim) => sim.source_now_ns(),
-        };
-        self.obs.action(meta, t_ns)
+        self.inner.obs.action(meta, self.source_now_ns())
     }
 
-    fn retire_stream(&mut self, idx: usize) {
-        // Split borrows so the completion probe can run inside the stream's
-        // (amortized) retire sweep without materializing a set per enqueue.
-        let events = &self.events;
-        let exec = &self.exec;
-        self.streams[idx].retire(|e| exec.is_complete(&events[e.0 as usize]));
+    /// Source-side "now" in nanoseconds (wall in thread mode, virtual in
+    /// sim mode) for obs timestamps.
+    fn source_now_ns(&self) -> u64 {
+        match &self.inner.exec {
+            Executor::Thread(_) => self.inner.obs.wall_ns(),
+            Executor::Sim(s) => s.lock().source_now_ns(),
+        }
     }
 
     /// Events of pending actions conflicting with a source-side access of
@@ -1103,38 +1314,109 @@ impl HStreams {
             .map(|d| FootprintItem::new(DomainId(d), buf, range.clone(), write))
             .collect();
         let mut deps = Vec::new();
-        for st in &self.streams {
-            deps.extend(st.find_deps(&probe, false, OrderingMode::OutOfOrder));
+        let streams = self.inner.streams.read();
+        let mut tmp = DepList::new();
+        for st in streams.iter() {
+            tmp.clear();
+            let red = st
+                .lock()
+                .find_deps(&probe, false, OrderingMode::OutOfOrder, &mut tmp);
+            if red != 0 {
+                self.inner.redundant.fetch_add(red, Ordering::Relaxed);
+            }
+            deps.extend_from_slice(tmp.as_slice());
         }
         deps.sort_unstable();
         deps.dedup();
         deps
     }
 
+    // ------------------------------------------------------- compaction
+
+    /// Amortized bounded-memory sweep, run outside the enqueue locks.
+    fn maybe_compact(&self) {
+        let n = self.inner.enq_since_compact.fetch_add(1, Ordering::Relaxed);
+        if n % COMPACT_EVERY != COMPACT_EVERY - 1 {
+            return;
+        }
+        self.compact_now();
+    }
+
+    /// Tombstone completed-successful events in the global table (their
+    /// backend handles drop; late waiters still resolve them as successes)
+    /// and, while chaos is armed, prune recovery-log entries that can never
+    /// be replayed. Runs automatically every [`COMPACT_EVERY`] enqueues;
+    /// public so long-running tests and services can force a sweep at a
+    /// quiesce point.
+    pub fn compact_now(&self) {
+        // An hsan recording resolves sim fire-times through the backend
+        // tokens at `recording_take`; don't drop them mid-recording.
+        if self.is_recording() {
+            return;
+        }
+        let inner = &*self.inner;
+        let _world = inner.world.read();
+        inner.events.compact(|be| {
+            if !inner.exec.is_complete(be) {
+                return None;
+            }
+            Some(inner.exec.failure_of(be).is_none())
+        });
+        if inner.chaos.is_armed() {
+            // A recovery entry is dead weight once its action completed
+            // successfully AND all its writes landed in host domains: host
+            // memory survives card loss, and the replay closure only pulls
+            // in producers whose results lived on the lost card. Failed or
+            // pending actions always stay.
+            let mut log = inner.recovery.lock();
+            log.retain(|la| {
+                let done_ok = match inner.events.view_id(la.ev) {
+                    EventView::Retired(_) => true,
+                    EventView::Live(be, _) => {
+                        inner.exec.is_complete(&be) && inner.exec.failure_of(&be).is_none()
+                    }
+                    EventView::Missing => false,
+                };
+                !(done_ok && la.wrote.iter().all(|d| *d == 0))
+            });
+        }
+    }
+
     // ---------------------------------------------------------------- waits
 
     /// Wait for one event, running card-loss degradation (and re-waiting on
     /// the replayed action) when the failure's root cause is a lost card.
-    fn wait_event_recovering(&mut self, ev: Event) -> HsResult<()> {
+    fn wait_event_recovering(&self, ev: Event) -> HsResult<()> {
         loop {
-            let be = self
-                .events
-                .get(ev.0 as usize)
-                .ok_or(HsError::UnknownEvent(ev))?
-                .clone();
-            match self.exec.wait(&be) {
-                Ok(()) => return Ok(()),
-                Err(c) => {
-                    if self.try_degrade(&c)? {
-                        continue; // events[ev] now holds the replayed action
+            // Snapshot the degradation generation *before* inspecting the
+            // event: a degradation completing between our failed wait and
+            // our recovery attempt is detected as a stale snapshot.
+            let gen = self.inner.degrade_gen.load(Ordering::Acquire);
+            match self.inner.events.view(ev) {
+                EventView::Missing => {
+                    if ev.0 < self.inner.events.len() {
+                        // Reserved, publish in flight on another thread.
+                        std::thread::yield_now();
+                        continue;
                     }
-                    return Err(HsError::ActionFailed(c));
+                    return Err(HsError::UnknownEvent(ev));
                 }
+                // Tombstoned: completed successfully and compacted.
+                EventView::Retired(_) => return Ok(()),
+                EventView::Live(be, _) => match self.inner.exec.wait(&be) {
+                    Ok(()) => return Ok(()),
+                    Err(c) => {
+                        if self.try_degrade(&c, gen)? {
+                            continue; // the event now tracks the replayed action
+                        }
+                        return Err(HsError::ActionFailed(c));
+                    }
+                },
             }
         }
     }
 
-    fn wait_events_recovering(&mut self, evs: &[Event]) -> HsResult<()> {
+    fn wait_events_recovering(&self, evs: &[Event]) -> HsResult<()> {
         for ev in evs {
             self.wait_event_recovering(*ev)?;
         }
@@ -1142,14 +1424,14 @@ impl HStreams {
     }
 
     /// Wait for one event.
-    pub fn event_wait(&mut self, ev: Event) -> HsResult<()> {
-        self.stats.bump("event_wait");
+    pub fn event_wait(&self, ev: Event) -> HsResult<()> {
+        self.inner.stats.bump("event_wait");
         self.wait_event_recovering(ev)
     }
 
     /// Wait for all events.
-    pub fn event_wait_all(&mut self, evs: &[Event]) -> HsResult<()> {
-        self.stats.bump("event_wait_all");
+    pub fn event_wait_all(&self, evs: &[Event]) -> HsResult<()> {
+        self.inner.stats.bump("event_wait_all");
         self.wait_events_recovering(evs)
     }
 
@@ -1158,25 +1440,32 @@ impl HStreams {
     /// order (the paper: "waiting on a set of events and being signaled
     /// when one or all the events are finished ... can save CPU spinning
     /// time").
-    pub fn event_wait_any(&mut self, evs: &[Event]) -> HsResult<usize> {
-        self.stats.bump("event_wait_any");
+    pub fn event_wait_any(&self, evs: &[Event]) -> HsResult<usize> {
+        self.inner.stats.bump("event_wait_any");
         if evs.is_empty() {
             return Err(HsError::InvalidArg("wait_any on empty set".into()));
         }
-        loop {
-            let bes: Vec<BackendEvent> = evs
-                .iter()
-                .map(|ev| {
-                    self.events
-                        .get(ev.0 as usize)
-                        .cloned()
-                        .ok_or(HsError::UnknownEvent(*ev))
-                })
-                .collect::<HsResult<_>>()?;
-            match self.exec.wait_any(&bes) {
+        'retry: loop {
+            let gen = self.inner.degrade_gen.load(Ordering::Acquire);
+            let mut bes = Vec::with_capacity(evs.len());
+            for (i, ev) in evs.iter().enumerate() {
+                match self.inner.events.view(*ev) {
+                    EventView::Missing => {
+                        if ev.0 < self.inner.events.len() {
+                            std::thread::yield_now();
+                            continue 'retry;
+                        }
+                        return Err(HsError::UnknownEvent(*ev));
+                    }
+                    // Tombstoned = already a success.
+                    EventView::Retired(_) => return Ok(i),
+                    EventView::Live(be, _) => bes.push(be),
+                }
+            }
+            match self.inner.exec.wait_any(&bes) {
                 Ok(i) => return Ok(i),
                 Err(c) => {
-                    if self.try_degrade(&c)? {
+                    if self.try_degrade(&c, gen)? {
                         continue; // replayed events may yet succeed
                     }
                     return Err(HsError::ActionFailed(c));
@@ -1188,37 +1477,53 @@ impl HStreams {
     // --------------------------------------------- card-loss degradation
 
     /// If `cause` is rooted in a lost card that has not been degraded yet
-    /// (and the armed plan wants auto-degradation), degrade that card and
-    /// return `true` — the caller re-waits on the replayed events.
-    fn try_degrade(&mut self, cause: &FailureCause) -> HsResult<bool> {
+    /// (and the armed plan wants auto-degradation), stop the world, degrade
+    /// that card and return `true` — the caller re-waits on the replayed
+    /// events. `seen_gen` is the degradation generation the caller loaded
+    /// before its failed wait: when stale, another thread already degraded
+    /// and the caller simply re-waits.
+    fn try_degrade(&self, cause: &FailureCause, seen_gen: u64) -> HsResult<bool> {
         let FailureCause::CardLost { card } = *cause.root() else {
             return Ok(false);
         };
-        if !self.chaos.auto_degrade() || self.degraded.contains(&card) {
+        if !self.inner.chaos.auto_degrade() {
             return Ok(false);
         }
-        if card == 0 || card as usize >= self.platform.domains.len() {
+        if card == 0 || card as usize >= self.inner.platform.domains.len() {
+            return Ok(false);
+        }
+        let _world = self.inner.world.write();
+        if self.inner.degrade_gen.load(Ordering::Acquire) != seen_gen {
+            // A degradation completed since the caller's snapshot; its
+            // failed wait may now resolve against a replayed action.
+            return Ok(true);
+        }
+        if self.inner.degraded.lock().contains(&card) {
             return Ok(false);
         }
         self.degrade_card(card)?;
+        self.inner.degrade_gen.fetch_add(1, Ordering::Release);
         Ok(true)
     }
 
     /// Card-loss degradation: quiesce, remap the card's streams to the
     /// host, drop its (lost) buffer instantiations, and replay the affected
-    /// actions from the recovery log against the surviving domains.
-    fn degrade_card(&mut self, card: u32) -> HsResult<()> {
+    /// actions from the recovery log against the surviving domains. Runs
+    /// under the exclusive world lock: no enqueue or stream creation is in
+    /// flight anywhere.
+    fn degrade_card(&self, card: u32) -> HsResult<()> {
+        let inner = &*self.inner;
         let dom = DomainId(card as usize);
-        self.chaos.mark_card_dead(card);
-        self.degraded.push(card);
+        inner.chaos.mark_card_dead(card);
+        inner.degraded.lock().push(card);
         // 1. Quiesce: settle every in-flight action's status. Everything
         //    completes — card ops fail fast against the dead set, failures
         //    poison dependents, and deadlines bound the rest.
-        match &mut self.exec {
-            Executor::Sim(_) => self.exec.run_all(),
+        match &inner.exec {
+            Executor::Sim(_) => inner.exec.run_all(),
             Executor::Thread(_) => {
-                for be in &self.events {
-                    if let BackendEvent::Thread(e) = be {
+                for id in 0..inner.events.len() {
+                    if let EventView::Live(BackendEvent::Thread(e), _) = inner.events.view_id(id) {
                         let _ = e.wait();
                     }
                 }
@@ -1227,26 +1532,33 @@ impl HStreams {
         // 2. Remap the lost card's streams to host sinks. Stream ids stay
         //    valid; subsequent (and replayed) actions resolve on the host.
         let mut remapped = 0u32;
-        for i in 0..self.streams.len() {
-            if self.streams[i].domain == dom {
-                self.streams[i].domain = DomainId::HOST;
-                self.exec.remap_stream_to_host(i);
-                remapped += 1;
+        {
+            let streams = inner.streams.read();
+            for (i, st_arc) in streams.iter().enumerate() {
+                let mut st = st_arc.lock();
+                if st.domain == dom {
+                    st.domain = DomainId::HOST;
+                    inner.exec.remap_stream_to_host(i);
+                    remapped += 1;
+                }
             }
         }
         // 3. Drop the card's buffer instantiations — that memory is gone.
         //    The source proxy (host instantiation) is the recovery copy.
         let mut dropped = 0u32;
         let mut freed = Vec::new();
-        for rec in self.buffers.iter_mut() {
-            if let Some(inst) = rec.inst.remove(&dom) {
-                dropped += 1;
-                if let Instantiation::Window(w) = inst {
-                    freed.push(w);
+        {
+            let mut buffers = inner.buffers.write();
+            for rec in buffers.iter_mut() {
+                if let Some(inst) = rec.inst.remove(&dom) {
+                    dropped += 1;
+                    if let Instantiation::Window(w) = inst {
+                        freed.push(w);
+                    }
                 }
             }
         }
-        if let Executor::Thread(t) = &self.exec {
+        if let Executor::Thread(t) = &inner.exec {
             for w in freed {
                 t.coi().buffer_free(EngineId(card as u16), w);
             }
@@ -1254,12 +1566,10 @@ impl HStreams {
         // 4. Replay the affected actions on the surviving domains.
         let replayed = self.replay_after_loss(dom)?;
         // 5. Surface the event to tuners/tests.
-        let t_ns = match &self.exec {
-            Executor::Thread(_) => self.obs.wall_ns(),
-            Executor::Sim(s) => s.source_now_ns(),
-        };
-        self.obs.degraded(card, remapped, dropped, replayed, t_ns);
-        self.chaos.note(format!(
+        inner
+            .obs
+            .degraded(card, remapped, dropped, replayed, self.source_now_ns());
+        inner.chaos.note(format!(
             "degraded: card {card} lost, {remapped} streams remapped, \
              {dropped} buffers dropped, {replayed} actions replayed"
         ));
@@ -1269,19 +1579,24 @@ impl HStreams {
     /// Select and re-submit the actions invalidated by losing `dom`: every
     /// failed action, plus (transitively) its dependence producers whose
     /// results lived on the lost card. Replays run in original event-id
-    /// order and overwrite `self.events[id]`, so application-held [`Event`]
-    /// handles transparently track the replayed attempt.
-    fn replay_after_loss(&mut self, dom: DomainId) -> HsResult<u32> {
-        let by_ev: std::collections::HashMap<u64, usize> = self
-            .recovery
-            .iter()
-            .enumerate()
-            .map(|(i, la)| (la.ev, i))
-            .collect();
-        let n = self.recovery.len();
+    /// order and overwrite the event-table slot in place, so
+    /// application-held [`Event`] handles transparently track the replayed
+    /// attempt.
+    fn replay_after_loss(&self, dom: DomainId) -> HsResult<u32> {
+        let inner = &*self.inner;
+        // Snapshot under a short lock; the rest of the replay touches
+        // streams/buffers and must respect the lock order.
+        let log: Vec<LoggedAction> = inner.recovery.lock().clone();
+        let by_ev: std::collections::HashMap<u64, usize> =
+            log.iter().enumerate().map(|(i, la)| (la.ev, i)).collect();
+        let n = log.len();
         let mut in_set = vec![false; n];
-        for (i, la) in self.recovery.iter().enumerate() {
-            if self.exec.failure_of(&self.events[la.ev as usize]).is_some() {
+        for (i, la) in log.iter().enumerate() {
+            let failed = match inner.events.view_id(la.ev) {
+                EventView::Live(be, _) => inner.exec.failure_of(&be).is_some(),
+                _ => false, // retired = success; missing = never published
+            };
+            if failed {
                 in_set[i] = true;
             }
         }
@@ -1297,10 +1612,9 @@ impl HStreams {
                 if !in_set[i] {
                     continue;
                 }
-                let deps = self.recovery[i].deps.clone();
-                for d in deps {
-                    if let Some(&j) = by_ev.get(&d) {
-                        if !in_set[j] && self.recovery[j].wrote.contains(&dom.0) {
+                for d in &log[i].deps {
+                    if let Some(&j) = by_ev.get(d) {
+                        if !in_set[j] && log[j].wrote.contains(&dom.0) {
                             in_set[j] = true;
                             changed = true;
                         }
@@ -1310,7 +1624,7 @@ impl HStreams {
         }
         let mut replayed = 0u32;
         for i in (0..n).filter(|&i| in_set[i]) {
-            let la = self.recovery[i].clone();
+            let la = &log[i];
             let s = la.stream;
             let (spec, footprint) = match &la.op {
                 LoggedOp::Compute {
@@ -1336,18 +1650,23 @@ impl HStreams {
             };
             // Ascending id order means replayed dependences already point at
             // their replayed events; untouched dependences are complete
-            // (quiesced) successes.
+            // (quiesced) successes — including tombstoned ones, which need
+            // no backend handle at all.
             let deps: Vec<BackendEvent> = la
                 .deps
                 .iter()
-                .map(|d| self.events[*d as usize].clone())
+                .filter_map(|d| match inner.events.view_id(*d) {
+                    EventView::Live(be, _) => Some(be),
+                    _ => None,
+                })
                 .collect();
             let obs = self.mint_obs(s, &spec, &footprint);
             let opts = SubmitOpts {
                 deadline_ns: None,
                 retry: la.retry,
             };
-            self.events[la.ev as usize] = self.exec.submit(spec, &deps, obs, opts);
+            let backend = inner.exec.submit(spec, &deps, obs, opts);
+            inner.events.overwrite(la.ev, backend);
             replayed += 1;
         }
         Ok(replayed)
@@ -1358,8 +1677,8 @@ impl HStreams {
         SubmitOpts {
             deadline_ns: opts.deadline.map(|d| d.as_nanos() as u64),
             retry: opts.retry.unwrap_or_else(|| {
-                if self.chaos.is_armed() {
-                    self.chaos.default_retry()
+                if self.inner.chaos.is_armed() {
+                    self.inner.chaos.default_retry()
                 } else {
                     RetryPolicy::none()
                 }
@@ -1368,22 +1687,35 @@ impl HStreams {
     }
 
     /// Wait until every action enqueued in `s` has completed.
-    pub fn stream_synchronize(&mut self, s: StreamId) -> HsResult<()> {
-        self.stats.bump("stream_synchronize");
-        let idx = s.0 as usize;
-        if idx >= self.streams.len() {
-            return Err(HsError::UnknownStream(s));
+    ///
+    /// Walks the pending window incrementally (one event at a time under a
+    /// brief stream lock) instead of cloning it, so concurrent enqueuers on
+    /// the same stream are not blocked and memory stays bounded; actions
+    /// enqueued by *other threads* while this wait runs are waited on too.
+    pub fn stream_synchronize(&self, s: StreamId) -> HsResult<()> {
+        self.inner.stats.bump("stream_synchronize");
+        let st_arc = self.stream_arc(s)?;
+        let mut last = None;
+        loop {
+            let next = st_arc.lock().first_pending_after(last);
+            match next {
+                None => break,
+                Some(e) => {
+                    self.wait_event_recovering(e)?;
+                    last = Some(e);
+                }
+            }
         }
-        let evs = self.streams[idx].pending_events();
-        self.wait_events_recovering(&evs)?;
-        self.retire_stream(idx);
+        // Everything observed complete: full sweep so no stale index
+        // entries linger past a synchronize point.
+        st_arc.lock().retire_now(|e| self.event_retired_ok(e));
         Ok(())
     }
 
     /// Wait until every action in every stream has completed.
-    pub fn thread_synchronize(&mut self) -> HsResult<()> {
-        self.stats.bump("thread_synchronize");
-        for i in 0..self.streams.len() {
+    pub fn thread_synchronize(&self) -> HsResult<()> {
+        self.inner.stats.bump("thread_synchronize");
+        for i in 0..self.num_streams() {
             self.stream_synchronize(StreamId(i as u32))?;
         }
         Ok(())
@@ -1392,37 +1724,38 @@ impl HStreams {
     // ------------------------------------------------------------- metrics
 
     pub fn stats(&self) -> &ApiStats {
-        &self.stats
-    }
-
-    pub(crate) fn stats_mut(&mut self) -> &mut ApiStats {
-        &mut self.stats
+        &self.inner.stats
     }
 
     /// Elapsed time: virtual seconds (sim) or wall seconds (threads).
     pub fn now_secs(&self) -> f64 {
-        self.exec.now_secs()
+        self.inner.exec.now_secs()
     }
 
     /// Charge synchronous source time (used by layered runtimes like the
     /// OmpSs reproduction to model their per-task overheads). No-op in real
     /// mode.
-    pub fn charge_source_secs(&mut self, secs: f64) {
-        self.exec.charge_source(hs_sim::Dur::from_secs_f64(secs));
+    pub fn charge_source_secs(&self, secs: f64) {
+        self.inner
+            .exec
+            .charge_source(hs_sim::Dur::from_secs_f64(secs));
     }
 
-    /// Sim-mode execution trace (None in real mode).
-    pub fn trace(&self) -> Option<&hs_sim::Trace> {
-        match &self.exec {
-            Executor::Sim(s) => Some(s.trace()),
+    /// Sim-mode execution trace (None in real mode). An owned snapshot:
+    /// the simulator lives behind the executor lock, so borrowing out of
+    /// it is not possible — and traces are read at analysis time, not on
+    /// hot paths.
+    pub fn trace(&self) -> Option<hs_sim::Trace> {
+        match &self.inner.exec {
+            Executor::Sim(s) => Some(s.lock().trace().clone()),
             Executor::Thread(_) => None,
         }
     }
 
     /// Enable/disable sim-mode span recording.
-    pub fn set_tracing(&mut self, enabled: bool) {
-        if let Executor::Sim(s) = &mut self.exec {
-            s.set_tracing(enabled);
+    pub fn set_tracing(&self, enabled: bool) {
+        if let Executor::Sim(s) = &self.inner.exec {
+            s.lock().set_tracing(enabled);
         }
     }
 
@@ -1431,18 +1764,18 @@ impl HStreams {
     /// Enable/disable action-lifecycle recording (both executor modes).
     /// While disabled — the default — enqueues pay one relaxed atomic load.
     pub fn obs_enable(&self, on: bool) {
-        self.obs.enable(on);
+        self.inner.obs.enable(on);
     }
 
     /// The lifecycle/metrics hub (shared with the executors and COI layer).
     pub fn obs(&self) -> &ObsHub {
-        &self.obs
+        &self.inner.obs
     }
 
     /// Drain the lifecycle records collected so far (for export via
     /// `hs_obs::chrome`).
     pub fn take_obs_records(&self) -> Vec<ObsRecord> {
-        self.obs.take_records()
+        self.inner.obs.take_records()
     }
 
     /// Export the lifecycle records collected so far as Chrome-trace JSON
@@ -1454,13 +1787,34 @@ impl HStreams {
 
     /// A flat metrics snapshot: obs gauges/counters (workgroup occupancy,
     /// DMA queue depths) plus derived DMA link utilization and worker-spawn
-    /// counts in real mode. Mergeable into bench JSON via `hs-bench`.
+    /// counts in real mode, event-table occupancy and front-end contention
+    /// counters in every mode. Mergeable into bench JSON via `hs-bench`.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let mut snap = self.obs.metrics();
-        if let Executor::Thread(t) = &self.exec {
+        let mut snap = self.inner.obs.metrics();
+        let table = self.inner.events.stats();
+        snap.extra
+            .insert("events.reserved".into(), table.reserved as f64);
+        snap.extra.insert("events.live".into(), table.live as f64);
+        snap.extra
+            .insert("events.retired".into(), table.retired as f64);
+        snap.extra
+            .insert("events.watermark".into(), table.watermark as f64);
+        snap.extra.insert(
+            "frontend.stream_lock.contended".into(),
+            self.inner.contended.load(Ordering::Relaxed) as f64,
+        );
+        snap.extra.insert(
+            "deps.redundant".into(),
+            self.inner.redundant.load(Ordering::Relaxed) as f64,
+        );
+        snap.extra.insert(
+            "frontend.recovery.entries".into(),
+            self.inner.recovery.lock().len() as f64,
+        );
+        if let Executor::Thread(t) = &self.inner.exec {
             let fabric = t.coi().fabric();
-            let wall = self.exec.now_secs();
-            for (card_idx, _) in self.platform.cards() {
+            let wall = self.inner.exec.now_secs();
+            for (card_idx, _) in self.inner.platform.cards() {
                 for h2d in [true, false] {
                     let node = hs_fabric::NodeId(card_idx as u16);
                     let stats = fabric.engine(node, h2d).stats();

@@ -4,18 +4,25 @@
 //! used" per programming model. Instrumenting the runtime lets the
 //! `fig3_coding` bench *measure* those counts for our implementations
 //! instead of transcribing them.
+//!
+//! All counters use interior mutability so the concurrent front-end can
+//! bump them through `&self`: the per-name map is a read-mostly
+//! `RwLock<BTreeMap>` of atomics (a write lock is taken only the first time
+//! a given API name appears), the action counters are plain atomics.
 
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counts of API invocations by name.
-#[derive(Clone, Debug, Default)]
+#[derive(Default)]
 pub struct ApiStats {
-    counts: BTreeMap<&'static str, u64>,
-    actions_compute: u64,
-    actions_transfer: u64,
-    actions_sync: u64,
-    bytes_transferred: u64,
-    transfers_elided: u64,
+    counts: RwLock<BTreeMap<&'static str, AtomicU64>>,
+    actions_compute: AtomicU64,
+    actions_transfer: AtomicU64,
+    actions_sync: AtomicU64,
+    bytes_transferred: AtomicU64,
+    transfers_elided: AtomicU64,
 }
 
 impl ApiStats {
@@ -23,64 +30,84 @@ impl ApiStats {
         ApiStats::default()
     }
 
-    pub fn bump(&mut self, api: &'static str) {
-        *self.counts.entry(api).or_insert(0) += 1;
+    pub fn bump(&self, api: &'static str) {
+        if let Some(c) = self.counts.read().get(api) {
+            c.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.counts
+            .write()
+            .entry(api)
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(1, Ordering::Relaxed);
     }
 
-    pub fn note_compute(&mut self) {
-        self.actions_compute += 1;
+    pub fn note_compute(&self) {
+        self.actions_compute.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub fn note_transfer(&mut self, bytes: u64, elided: bool) {
-        self.actions_transfer += 1;
-        self.bytes_transferred += bytes;
+    pub fn note_transfer(&self, bytes: u64, elided: bool) {
+        self.actions_transfer.fetch_add(1, Ordering::Relaxed);
+        self.bytes_transferred.fetch_add(bytes, Ordering::Relaxed);
         if elided {
-            self.transfers_elided += 1;
+            self.transfers_elided.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    pub fn note_sync(&mut self) {
-        self.actions_sync += 1;
+    pub fn note_sync(&self) {
+        self.actions_sync.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Distinct API entry points used.
     pub fn unique_apis(&self) -> usize {
-        self.counts.len()
+        self.counts.read().len()
     }
 
     /// Total API invocations.
     pub fn total_calls(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts
+            .read()
+            .values()
+            .map(|v| v.load(Ordering::Relaxed))
+            .sum()
     }
 
     pub fn count(&self, api: &str) -> u64 {
-        self.counts.get(api).copied().unwrap_or(0)
+        self.counts
+            .read()
+            .get(api)
+            .map(|v| v.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     pub fn computes(&self) -> u64 {
-        self.actions_compute
+        self.actions_compute.load(Ordering::Relaxed)
     }
 
     pub fn transfers(&self) -> u64 {
-        self.actions_transfer
+        self.actions_transfer.load(Ordering::Relaxed)
     }
 
     pub fn syncs(&self) -> u64 {
-        self.actions_sync
+        self.actions_sync.load(Ordering::Relaxed)
     }
 
     pub fn bytes_transferred(&self) -> u64 {
-        self.bytes_transferred
+        self.bytes_transferred.load(Ordering::Relaxed)
     }
 
     /// Host-as-target transfers that were aliased away.
     pub fn transfers_elided(&self) -> u64 {
-        self.transfers_elided
+        self.transfers_elided.load(Ordering::Relaxed)
     }
 
     /// (name, count) rows, sorted by name.
     pub fn rows(&self) -> Vec<(&'static str, u64)> {
-        self.counts.iter().map(|(k, v)| (*k, *v)).collect()
+        self.counts
+            .read()
+            .iter()
+            .map(|(k, v)| (*k, v.load(Ordering::Relaxed)))
+            .collect()
     }
 }
 
@@ -90,7 +117,7 @@ mod tests {
 
     #[test]
     fn bump_and_count() {
-        let mut s = ApiStats::new();
+        let s = ApiStats::new();
         s.bump("stream_create");
         s.bump("stream_create");
         s.bump("buffer_create");
@@ -101,7 +128,7 @@ mod tests {
 
     #[test]
     fn action_counters() {
-        let mut s = ApiStats::new();
+        let s = ApiStats::new();
         s.note_compute();
         s.note_transfer(100, false);
         s.note_transfer(50, true);
@@ -115,11 +142,26 @@ mod tests {
 
     #[test]
     fn rows_sorted_by_name() {
-        let mut s = ApiStats::new();
+        let s = ApiStats::new();
         s.bump("zz");
         s.bump("aa");
         let rows = s.rows();
         assert_eq!(rows[0].0, "aa");
         assert_eq!(rows[1].0, "zz");
+    }
+
+    #[test]
+    fn bump_through_shared_refs_across_threads() {
+        let s = ApiStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        s.bump("enqueue_compute");
+                    }
+                });
+            }
+        });
+        assert_eq!(s.count("enqueue_compute"), 4000);
     }
 }

@@ -10,9 +10,13 @@
 
 use crate::cpumask::CpuMask;
 use crate::deps::Footprint;
+use crate::small::SmallVec;
 use crate::types::{BufferId, DomainId, Event, OrderingMode, StreamId};
 use std::collections::HashMap;
 use std::ops::Range;
+
+/// Dependence list with inline storage for the common small fan-in.
+pub type DepList = SmallVec<Event, 8>;
 
 struct PendingItem {
     event: Event,
@@ -90,12 +94,7 @@ impl StreamState {
         self.since_full_retire += 1;
         let full = self.since_full_retire >= 64 || self.all.len() > 4096;
         if full {
-            self.since_full_retire = 0;
-            self.all.retain(|e| !is_complete(*e));
-            for items in self.by_loc.values_mut() {
-                items.retain(|it| !is_complete(it.event));
-            }
-            self.by_loc.retain(|_, v| !v.is_empty());
+            self.retire_now(&is_complete);
         } else {
             // Prefix trim of the ordered list only (index entries linger
             // until the next full sweep; they only cost redundant deps).
@@ -104,6 +103,23 @@ impl StreamState {
                 self.all.drain(..drop);
             }
         }
+        self.settle_sync_markers(is_complete);
+    }
+
+    /// Unconditional full sweep: prune the ordered list AND the location
+    /// index (used by `stream_synchronize`, where everything just completed
+    /// and stale index entries should not linger).
+    pub fn retire_now(&mut self, is_complete: impl Fn(Event) -> bool) {
+        self.since_full_retire = 0;
+        self.all.retain(|e| !is_complete(*e));
+        for items in self.by_loc.values_mut() {
+            items.retain(|it| !is_complete(it.event));
+        }
+        self.by_loc.retain(|_, v| !v.is_empty());
+        self.settle_sync_markers(is_complete);
+    }
+
+    fn settle_sync_markers(&mut self, is_complete: impl Fn(Event) -> bool) {
         if let Some(b) = self.last_barrier {
             if is_complete(b) {
                 self.last_barrier = None;
@@ -116,39 +132,72 @@ impl StreamState {
         }
     }
 
-    /// Events of all pending actions (for stream synchronize).
-    pub fn pending_events(&self) -> Vec<Event> {
-        self.all.clone()
+    /// Events of all pending actions, in enqueue (= ascending id) order.
+    /// A borrow — callers iterate or copy under the stream's lock.
+    pub fn pending(&self) -> &[Event] {
+        &self.all
+    }
+
+    /// The oldest pending event strictly after `last` (None = from the
+    /// start). Lets `stream_synchronize` walk the pending window one event
+    /// at a time without cloning it.
+    pub fn first_pending_after(&self, last: Option<Event>) -> Option<Event> {
+        match last {
+            None => self.all.first().copied(),
+            Some(l) => {
+                let i = self.all.partition_point(|e| *e <= l);
+                self.all.get(i).copied()
+            }
+        }
     }
 
     /// Dependences a new action with `footprint` must wait for, per the
-    /// ordering mode. Call after [`StreamState::retire`].
+    /// ordering mode, appended to `out`. Call after [`StreamState::retire`].
+    ///
+    /// Returns the number of *stale* location-index entries skipped: items
+    /// whose event precedes the oldest pending one are already complete
+    /// (they linger in `by_loc` between full sweeps) and induce no
+    /// dependence — they are counted instead of re-reported, feeding the
+    /// `deps.redundant` obs counter.
     pub fn find_deps(
-        &self,
+        &mut self,
         footprint: &Footprint,
         barrier: bool,
         mode: OrderingMode,
-    ) -> Vec<Event> {
+        out: &mut DepList,
+    ) -> u64 {
         match mode {
-            OrderingMode::StrictFifo => self.last_event.into_iter().collect(),
+            OrderingMode::StrictFifo => {
+                out.extend_from_slice(self.last_event.as_slice());
+                0
+            }
             OrderingMode::OutOfOrder => {
                 if barrier {
-                    return self.all.clone();
+                    out.extend_from_slice(&self.all);
+                    return 0;
                 }
-                let mut deps: Vec<Event> = self.last_barrier.into_iter().collect();
+                // Everything pending is in `all` (ascending); an index entry
+                // older than the front is a retired leftover.
+                let min_pending = self.all.first().map(|e| e.0).unwrap_or(u64::MAX);
+                let mut redundant = 0u64;
+                out.extend_from_slice(self.last_barrier.as_slice());
                 for item in footprint {
                     if let Some(items) = self.by_loc.get(&(item.domain, item.buffer)) {
                         for p in items {
+                            if p.event.0 < min_pending {
+                                redundant += 1;
+                                continue;
+                            }
                             if p.range.start < item.range.end
                                 && item.range.start < p.range.end
                                 && (p.write || item.write)
                             {
-                                deps.push(p.event);
+                                out.push(p.event);
                             }
                         }
                     }
                 }
-                deps
+                redundant
             }
         }
     }
@@ -201,14 +250,25 @@ mod tests {
         StreamState::new(StreamId(0), DomainId(1), CpuMask::first(4))
     }
 
+    fn deps_of(
+        s: &mut StreamState,
+        fp: &Footprint,
+        barrier: bool,
+        mode: OrderingMode,
+    ) -> Vec<Event> {
+        let mut out = DepList::new();
+        s.find_deps(fp, barrier, mode, &mut out);
+        out.as_slice().to_vec()
+    }
+
     #[test]
     fn ooo_deps_only_on_conflicts() {
         let mut s = stream();
         s.push(Event(0), fp(0, 0..10, true), ActionKind::Normal);
         s.push(Event(1), fp(1, 0..10, true), ActionKind::Normal);
-        let deps = s.find_deps(&fp(0, 5..6, false), false, OrderingMode::OutOfOrder);
+        let deps = deps_of(&mut s, &fp(0, 5..6, false), false, OrderingMode::OutOfOrder);
         assert_eq!(deps, vec![Event(0)], "only the conflicting writer");
-        let none = s.find_deps(&fp(2, 0..10, true), false, OrderingMode::OutOfOrder);
+        let none = deps_of(&mut s, &fp(2, 0..10, true), false, OrderingMode::OutOfOrder);
         assert!(none.is_empty(), "independent action has no deps");
     }
 
@@ -216,7 +276,12 @@ mod tests {
     fn read_read_overlap_is_free() {
         let mut s = stream();
         s.push(Event(0), fp(0, 0..10, false), ActionKind::Normal);
-        let deps = s.find_deps(&fp(0, 0..10, false), false, OrderingMode::OutOfOrder);
+        let deps = deps_of(
+            &mut s,
+            &fp(0, 0..10, false),
+            false,
+            OrderingMode::OutOfOrder,
+        );
         assert!(deps.is_empty());
     }
 
@@ -225,7 +290,7 @@ mod tests {
         let mut s = stream();
         s.push(Event(0), fp(0, 0..10, true), ActionKind::Normal);
         s.push(Event(1), fp(1, 0..10, true), ActionKind::Normal);
-        let deps = s.find_deps(&fp(2, 0..10, true), false, OrderingMode::StrictFifo);
+        let deps = deps_of(&mut s, &fp(2, 0..10, true), false, OrderingMode::StrictFifo);
         assert_eq!(
             deps,
             vec![Event(1)],
@@ -238,16 +303,16 @@ mod tests {
         let mut s = stream();
         s.push(Event(0), fp(0, 0..10, true), ActionKind::Normal);
         s.push(Event(1), fp(1, 0..10, true), ActionKind::Normal);
-        let deps = s.find_deps(&Vec::new(), true, OrderingMode::OutOfOrder);
+        let deps = deps_of(&mut s, &Vec::new(), true, OrderingMode::OutOfOrder);
         assert_eq!(deps, vec![Event(0), Event(1)]);
         s.push(Event(2), Vec::new(), ActionKind::Marker);
-        let later = s.find_deps(&fp(9, 0..1, false), false, OrderingMode::OutOfOrder);
+        let later = deps_of(&mut s, &fp(9, 0..1, false), false, OrderingMode::OutOfOrder);
         assert!(
             later.contains(&Event(2)),
             "later actions order on the marker"
         );
         // And the pre-marker index is dominated: no stale deps besides it.
-        let deps2 = s.find_deps(&fp(0, 0..10, true), false, OrderingMode::OutOfOrder);
+        let deps2 = deps_of(&mut s, &fp(0, 0..10, true), false, OrderingMode::OutOfOrder);
         assert_eq!(deps2, vec![Event(2)]);
     }
 
@@ -258,11 +323,16 @@ mod tests {
         // A light event-wait: later actions order on it, but edges to the
         // pre-wait writer of buffer 0 must survive.
         s.push(Event(1), Vec::new(), ActionKind::EventWait);
-        let deps = s.find_deps(&fp(0, 0..10, false), false, OrderingMode::OutOfOrder);
+        let deps = deps_of(
+            &mut s,
+            &fp(0, 0..10, false),
+            false,
+            OrderingMode::OutOfOrder,
+        );
         assert!(deps.contains(&Event(0)), "RAW edge to the pre-wait writer");
         assert!(deps.contains(&Event(1)), "orders after the wait too");
         // Independent later actions wait only on the event-wait.
-        let ind = s.find_deps(&fp(5, 0..10, true), false, OrderingMode::OutOfOrder);
+        let ind = deps_of(&mut s, &fp(5, 0..10, true), false, OrderingMode::OutOfOrder);
         assert_eq!(ind, vec![Event(1)]);
     }
 
@@ -275,13 +345,60 @@ mod tests {
         s.since_full_retire = 1000;
         s.retire(|e| e == Event(0));
         assert_eq!(s.pending_len(), 1);
-        let deps = s.find_deps(&fp(0, 0..10, false), false, OrderingMode::OutOfOrder);
+        let deps = deps_of(
+            &mut s,
+            &fp(0, 0..10, false),
+            false,
+            OrderingMode::OutOfOrder,
+        );
         assert_eq!(deps, vec![Event(1)], "completed actions induce no deps");
         assert_eq!(s.enqueued(), 2, "retire does not affect the lifetime count");
     }
 
     #[test]
+    fn stale_index_entries_are_skipped_and_counted() {
+        let mut s = stream();
+        s.push(Event(0), fp(0, 0..10, true), ActionKind::Normal);
+        s.push(Event(1), fp(0, 0..10, true), ActionKind::Normal);
+        // Cheap prefix retire: event 0 leaves `all` but stays in `by_loc`.
+        s.retire(|e| e == Event(0));
+        assert_eq!(s.pending_len(), 1);
+        let mut out = DepList::new();
+        let redundant = s.find_deps(
+            &fp(0, 0..10, false),
+            false,
+            OrderingMode::OutOfOrder,
+            &mut out,
+        );
+        assert_eq!(out.as_slice(), &[Event(1)], "stale entry induces no dep");
+        assert_eq!(redundant, 1, "the lingering index entry is counted");
+        // After a full sweep nothing is stale.
+        s.retire_now(|e| e == Event(0));
+        let mut out2 = DepList::new();
+        let r2 = s.find_deps(
+            &fp(0, 0..10, false),
+            false,
+            OrderingMode::OutOfOrder,
+            &mut out2,
+        );
+        assert_eq!(r2, 0);
+    }
+
+    #[test]
+    fn first_pending_after_walks_in_order() {
+        let mut s = stream();
+        for e in [2u64, 5, 9] {
+            s.push(Event(e), fp(0, 0..1, false), ActionKind::Normal);
+        }
+        assert_eq!(s.first_pending_after(None), Some(Event(2)));
+        assert_eq!(s.first_pending_after(Some(Event(2))), Some(Event(5)));
+        assert_eq!(s.first_pending_after(Some(Event(5))), Some(Event(9)));
+        assert_eq!(s.first_pending_after(Some(Event(9))), None);
+    }
+
+    #[test]
     fn prefix_retire_trims_pending_window() {
+        // (uses the amortized retire path)
         let mut s = stream();
         for i in 0..10 {
             s.push(
@@ -300,27 +417,23 @@ mod tests {
         let mut s = stream();
         s.push(Event(0), Vec::new(), ActionKind::Marker);
         s.retire(|e| e == Event(0));
-        let deps = s.find_deps(&fp(0, 0..4, true), false, OrderingMode::OutOfOrder);
+        let deps = deps_of(&mut s, &fp(0, 0..4, true), false, OrderingMode::OutOfOrder);
         assert!(deps.is_empty(), "completed barrier induces no deps");
     }
 
     #[test]
     fn empty_stream_has_no_deps() {
-        let s = stream();
-        assert!(s
-            .find_deps(&fp(0, 0..10, true), false, OrderingMode::OutOfOrder)
-            .is_empty());
-        assert!(s
-            .find_deps(&fp(0, 0..10, true), false, OrderingMode::StrictFifo)
-            .is_empty());
+        let mut s = stream();
+        assert!(deps_of(&mut s, &fp(0, 0..10, true), false, OrderingMode::OutOfOrder).is_empty());
+        assert!(deps_of(&mut s, &fp(0, 0..10, true), false, OrderingMode::StrictFifo).is_empty());
     }
 
     #[test]
-    fn pending_events_lists_all() {
+    fn pending_lists_all_as_borrow() {
         let mut s = stream();
         s.push(Event(3), fp(0, 0..1, false), ActionKind::Normal);
         s.push(Event(5), fp(1, 0..1, false), ActionKind::Normal);
-        assert_eq!(s.pending_events(), vec![Event(3), Event(5)]);
+        assert_eq!(s.pending(), &[Event(3), Event(5)]);
     }
 
     #[test]
@@ -338,13 +451,11 @@ mod tests {
         // A host write to the same buffer conflicts via the host item.
         let host_probe = vec![FootprintItem::new(DomainId(0), BufferId(7), 0..8, true)];
         assert_eq!(
-            s.find_deps(&host_probe, false, OrderingMode::OutOfOrder),
+            deps_of(&mut s, &host_probe, false, OrderingMode::OutOfOrder),
             vec![Event(0)]
         );
         // A different buffer on the card does not.
         let other = vec![FootprintItem::new(DomainId(1), BufferId(8), 0..8, true)];
-        assert!(s
-            .find_deps(&other, false, OrderingMode::OutOfOrder)
-            .is_empty());
+        assert!(deps_of(&mut s, &other, false, OrderingMode::OutOfOrder).is_empty());
     }
 }

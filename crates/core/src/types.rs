@@ -28,7 +28,12 @@ pub struct StreamId(pub u32);
 pub struct BufferId(pub u64);
 
 /// A completion event for an enqueued action.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+///
+/// `Default` exists only so inline dependence lists can zero-fill their
+/// unused slots; `Event(0)` has no sentinel meaning.
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
 pub struct Event(pub u64);
 
 /// Declared access of a compute operand — the basis for the dependence

@@ -1,0 +1,113 @@
+//! Long-run memory boundedness: 100k enqueue/wait cycles must not grow the
+//! event table's live window or the recovery log without bound. The
+//! amortized compactor (every `COMPACT_EVERY` enqueues) tombstones
+//! completed successes and prunes replay-dead recovery entries, so the
+//! live footprint stays proportional to the *pending* window, not to the
+//! total actions ever enqueued.
+
+use bytes::Bytes;
+use hs_machine::{Device, PlatformCfg};
+use hstreams_core::{
+    Access, BufProps, CostHint, CpuMask, DomainId, ExecMode, FaultPlan, HStreams, Operand, TaskCtx,
+};
+use std::sync::Arc;
+
+const CYCLES: usize = 100_000;
+const SYNC_EVERY: usize = 512;
+const SAMPLE_EVERY: usize = 2048;
+/// Generous live-window ceiling: the compactor runs every 1024 enqueues,
+/// so live events are bounded by roughly one compaction period plus the
+/// in-flight pending window — far below this.
+const LIVE_CEILING: f64 = 8_192.0;
+
+fn runtime() -> HStreams {
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
+    hs.register("nop", Arc::new(|_ctx: &mut TaskCtx| {}));
+    hs
+}
+
+fn metric(hs: &HStreams, key: &str) -> f64 {
+    hs.metrics()
+        .rows()
+        .into_iter()
+        .find(|(n, _)| n == key)
+        .map(|(_, v)| v)
+        .unwrap_or(0.0)
+}
+
+/// Drive `CYCLES` enqueue/wait cycles, sampling the live-event gauge and
+/// (when chaos is armed) the recovery-log length at quiesce points.
+/// Returns (peak live, peak recovery entries).
+fn run_cycles(hs: &HStreams) -> (f64, f64) {
+    let s = hs
+        .stream_create(DomainId::HOST, CpuMask::first(1))
+        .expect("stream");
+    let b = hs.buffer_create(4096, BufProps::default());
+    let mut peak_live = 0.0f64;
+    let mut peak_log = 0.0f64;
+    for i in 0..CYCLES {
+        hs.enqueue_compute(
+            s,
+            "nop",
+            Bytes::new(),
+            &[Operand::new(b, 0..4096, Access::InOut)],
+            CostHint::trivial(),
+        )
+        .expect("enqueue");
+        if (i + 1) % SYNC_EVERY == 0 {
+            hs.stream_synchronize(s).expect("sync");
+        }
+        if (i + 1) % SAMPLE_EVERY == 0 {
+            peak_live = peak_live.max(metric(hs, "events.live"));
+            peak_log = peak_log.max(metric(hs, "frontend.recovery.entries"));
+        }
+    }
+    hs.stream_synchronize(s).expect("final sync");
+    (peak_live, peak_log)
+}
+
+#[test]
+fn event_table_memory_is_flat_over_100k_cycles() {
+    let hs = runtime();
+    let (peak_live, _) = run_cycles(&hs);
+    assert!(
+        peak_live < LIVE_CEILING,
+        "live-event window must stay bounded: peak {peak_live} >= {LIVE_CEILING}"
+    );
+    // A final forced sweep at a quiesce point retires everything: the
+    // watermark catches up to the reserved count and no live slots remain.
+    hs.compact_now();
+    let reserved = metric(&hs, "events.reserved");
+    let watermark = metric(&hs, "events.watermark");
+    let live = metric(&hs, "events.live");
+    assert!(reserved >= CYCLES as f64, "all cycles minted events");
+    assert_eq!(
+        watermark, reserved,
+        "watermark reaches the end once everything retired"
+    );
+    assert_eq!(live, 0.0, "no live slots after a quiesced sweep");
+}
+
+/// Same run with a fault plan armed (zero fault rates: the *log*, not the
+/// faults, is under test). The recovery log must not retain one entry per
+/// action: completed host-only actions are replay-dead and get pruned.
+#[test]
+fn recovery_log_is_bounded_while_chaos_is_armed() {
+    let hs = runtime();
+    hs.chaos_install(FaultPlan::new(7));
+    let (peak_live, peak_log) = run_cycles(&hs);
+    assert!(
+        peak_live < LIVE_CEILING,
+        "live-event window bounded under chaos too: peak {peak_live}"
+    );
+    assert!(
+        peak_log < LIVE_CEILING,
+        "recovery log must prune replay-dead entries: peak {peak_log} >= {LIVE_CEILING}"
+    );
+    hs.compact_now();
+    let entries = metric(&hs, "frontend.recovery.entries");
+    assert_eq!(
+        entries, 0.0,
+        "a quiesced sweep empties the log (everything completed on the host)"
+    );
+}

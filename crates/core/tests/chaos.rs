@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn runtime(mode: ExecMode) -> HStreams {
-    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), mode);
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), mode);
     hs.register(
         "bump",
         Arc::new(|ctx: &mut TaskCtx| {
@@ -95,7 +95,7 @@ fn same_seed_injects_identically_across_runs() {
 /// its dependents are poisoned.
 #[test]
 fn deadline_expiry_fails_within_twice_the_deadline_and_poisons() {
-    let mut hs = runtime(ExecMode::Threads);
+    let hs = runtime(ExecMode::Threads);
     let card = DomainId(1);
     let s = hs.stream_create(card, CpuMask::first(1)).expect("stream");
     let deadline = Duration::from_millis(150);
@@ -144,7 +144,7 @@ fn deadline_expiry_fails_within_twice_the_deadline_and_poisons() {
 /// modeled duration exceeds the deadline fails, instantly in wall time.
 #[test]
 fn sim_deadline_is_virtual_time() {
-    let mut hs = runtime(ExecMode::Sim);
+    let hs = runtime(ExecMode::Sim);
     let card = DomainId(1);
     let s = hs.stream_create(card, CpuMask::first(1)).expect("stream");
     let t0 = Instant::now();
@@ -178,7 +178,7 @@ fn sim_deadline_is_virtual_time() {
 #[test]
 fn fatal_injection_is_not_retried() {
     for mode in [ExecMode::Threads, ExecMode::Sim] {
-        let mut hs = runtime(mode);
+        let hs = runtime(mode);
         hs.chaos_install(
             FaultPlan::new(1)
                 .with_trigger(FaultSite::Compute { stream: 0, nth: 1 }, FaultKind::Fatal)

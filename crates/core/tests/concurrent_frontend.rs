@@ -1,0 +1,244 @@
+//! Concurrent multi-source front-end: N source threads share one cloned
+//! `HStreams` handle and enqueue simultaneously — into disjoint streams
+//! (the fast path) and into one shared stream (the contended path) — with
+//! correct results on both executors, and survive racing enqueue/wait
+//! against injected card loss.
+
+use bytes::Bytes;
+use hs_machine::{Device, PlatformCfg};
+use hstreams_core::{
+    Access, BufProps, CostHint, CpuMask, DomainId, ExecMode, FailureCause, FaultKind, FaultPlan,
+    FaultSite, HStreams, HsError, Operand, StreamId, TaskCtx,
+};
+use std::sync::Arc;
+
+fn rt(mode: ExecMode) -> HStreams {
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), mode);
+    hs.register(
+        "addk",
+        Arc::new(|ctx: &mut TaskCtx| {
+            let k = f64::from_le_bytes(ctx.args()[..8].try_into().expect("arg"));
+            for x in ctx.buf_f64_mut(0) {
+                *x += k;
+            }
+        }),
+    );
+    hs
+}
+
+fn metric(hs: &HStreams, key: &str) -> f64 {
+    hs.metrics()
+        .rows()
+        .into_iter()
+        .find(|(n, _)| n == key)
+        .map(|(_, v)| v)
+        .unwrap_or(0.0)
+}
+
+/// Four source threads, each with its own host stream and buffer, enqueue
+/// 200 dependent increments concurrently through clones of one handle. The
+/// final value of every buffer proves no enqueue was lost or misordered.
+#[test]
+fn concurrent_enqueue_disjoint_streams() {
+    for mode in [ExecMode::Threads, ExecMode::Sim] {
+        let hs = rt(mode);
+        let nthreads = 4usize;
+        let per = 200usize;
+        let lanes: Vec<(StreamId, hstreams_core::BufferId)> = (0..nthreads)
+            .map(|_| {
+                let s = hs
+                    .stream_create(DomainId::HOST, CpuMask::first(1))
+                    .expect("stream");
+                let b = hs.buffer_create(8 * 4, BufProps::default());
+                hs.buffer_write_f64(b, 0, &[0.0; 4]).expect("init");
+                (s, b)
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for &(s, b) in &lanes {
+                let hs = hs.clone();
+                scope.spawn(move || {
+                    for _ in 0..per {
+                        hs.enqueue_compute(
+                            s,
+                            "addk",
+                            Bytes::copy_from_slice(&1.0f64.to_le_bytes()),
+                            &[Operand::f64s(b, 0, 4, Access::InOut)],
+                            CostHint::trivial(),
+                        )
+                        .expect("enqueue");
+                    }
+                    hs.stream_synchronize(s).expect("sync");
+                });
+            }
+        });
+        if mode == ExecMode::Threads {
+            for &(_, b) in &lanes {
+                let mut out = [0.0; 4];
+                hs.buffer_read_f64(b, 0, &mut out).expect("read");
+                assert_eq!(out, [per as f64; 4], "{mode:?}");
+            }
+        }
+        assert_eq!(
+            hs.stats().computes(),
+            (nthreads * per) as u64,
+            "every enqueue counted ({mode:?})"
+        );
+    }
+}
+
+/// Four threads feed ONE stream. The per-stream lock serializes the window
+/// updates; the dependence chain over the single shared buffer must still
+/// hold (final value = total increments) and the contention probe must
+/// have observed the fight.
+#[test]
+fn concurrent_enqueue_shared_stream() {
+    let hs = rt(ExecMode::Threads);
+    let s = hs
+        .stream_create(DomainId::HOST, CpuMask::first(2))
+        .expect("stream");
+    let b = hs.buffer_create(8 * 4, BufProps::default());
+    hs.buffer_write_f64(b, 0, &[0.0; 4]).expect("init");
+    let nthreads = 4usize;
+    let per = 250usize;
+    std::thread::scope(|scope| {
+        for _ in 0..nthreads {
+            let hs = hs.clone();
+            scope.spawn(move || {
+                for _ in 0..per {
+                    hs.enqueue_compute(
+                        s,
+                        "addk",
+                        Bytes::copy_from_slice(&1.0f64.to_le_bytes()),
+                        &[Operand::f64s(b, 0, 4, Access::InOut)],
+                        CostHint::trivial(),
+                    )
+                    .expect("enqueue");
+                }
+            });
+        }
+    });
+    hs.stream_synchronize(s).expect("sync");
+    let mut out = [0.0; 4];
+    hs.buffer_read_f64(b, 0, &mut out).expect("read");
+    assert_eq!(out, [(nthreads * per) as f64; 4]);
+    // Not asserted > 0: on a single-core host the threads may serialize
+    // perfectly. Merely read the gauge to prove it is wired.
+    let _ = metric(&hs, "frontend.stream_lock.contended");
+}
+
+/// Cross-thread event edges: each thread enqueues into its own stream but
+/// waits on an event produced by the previous thread's stream, exercising
+/// `enqueue_event_wait` under concurrency (the event table is read from
+/// N threads while others publish).
+#[test]
+fn concurrent_cross_stream_event_waits() {
+    let hs = rt(ExecMode::Threads);
+    let s0 = hs
+        .stream_create(DomainId::HOST, CpuMask::first(1))
+        .expect("s0");
+    let b = hs.buffer_create(8 * 4, BufProps::default());
+    hs.buffer_write_f64(b, 0, &[0.0; 4]).expect("init");
+    let root = hs
+        .enqueue_compute(
+            s0,
+            "addk",
+            Bytes::copy_from_slice(&1.0f64.to_le_bytes()),
+            &[Operand::f64s(b, 0, 4, Access::InOut)],
+            CostHint::trivial(),
+        )
+        .expect("root");
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let hs = hs.clone();
+            scope.spawn(move || {
+                let s = hs
+                    .stream_create(DomainId::HOST, CpuMask::first(1))
+                    .expect("stream");
+                let w = hs.enqueue_event_wait(s, &[root]).expect("wait");
+                hs.event_wait(w).expect("completes");
+            });
+        }
+    });
+    hs.thread_synchronize().expect("sync");
+}
+
+/// Chaos stress (the satellite's racing test): threads hammer enqueue +
+/// wait on card streams while a fault plan kills the card mid-run. Every
+/// thread must come to rest — either its work completed (degradation
+/// replayed it to the host) or it observed a structured failure; nothing
+/// hangs, and the runtime's degraded-card list reflects the loss.
+#[test]
+fn racing_enqueue_wait_against_card_loss() {
+    let hs = rt(ExecMode::Threads);
+    hs.chaos_install(
+        FaultPlan::new(11)
+            .with_trigger(FaultSite::CardOp { card: 1, nth: 40 }, FaultKind::CardDead)
+            .with_auto_degrade(true),
+    );
+    let card = DomainId(1);
+    let nthreads = 4usize;
+    let streams: Vec<StreamId> = (0..nthreads)
+        .map(|_| hs.stream_create(card, CpuMask::first(1)).expect("stream"))
+        .collect();
+    let bufs: Vec<_> = (0..nthreads)
+        .map(|_| {
+            let b = hs.buffer_create(8 * 4, BufProps::default());
+            hs.buffer_instantiate(b, card).expect("inst");
+            hs.buffer_write_f64(b, 0, &[0.0; 4]).expect("init");
+            b
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for t in 0..nthreads {
+            let hs = hs.clone();
+            let (s, b) = (streams[t], bufs[t]);
+            scope.spawn(move || {
+                for i in 0..60usize {
+                    let ev = hs.enqueue_compute(
+                        s,
+                        "addk",
+                        Bytes::copy_from_slice(&1.0f64.to_le_bytes()),
+                        &[Operand::f64s(b, 0, 4, Access::InOut)],
+                        CostHint::trivial(),
+                    );
+                    let ev = match ev {
+                        Ok(ev) => ev,
+                        // Enqueue itself may observe the lost card (e.g.
+                        // instantiation dropped by degradation).
+                        Err(HsError::NotInstantiated(..)) => break,
+                        Err(e) => panic!("unexpected enqueue error: {e}"),
+                    };
+                    if i % 8 == 7 {
+                        match hs.event_wait(ev) {
+                            Ok(()) => {}
+                            Err(HsError::ActionFailed(c)) => {
+                                // Residual failure that degradation could
+                                // not replay (e.g. plan kept the card dead
+                                // before auto-degrade kicked in elsewhere).
+                                assert!(
+                                    matches!(
+                                        c.root(),
+                                        FailureCause::CardLost { .. }
+                                            | FailureCause::Poisoned { .. }
+                                            | FailureCause::Injected { .. }
+                                    ),
+                                    "unexpected cause {c:?}"
+                                );
+                                break;
+                            }
+                            Err(e) => panic!("unexpected wait error: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Every stream settles one way or the other; no hangs.
+    for &s in &streams {
+        let _ = hs.stream_synchronize(s);
+    }
+    assert_eq!(hs.degraded_cards(), vec![1], "card 1 was degraded");
+    assert!(hs.chaos().is_card_dead(1));
+    assert!(!hs.chaos().injected_log().is_empty(), "the trigger fired");
+}

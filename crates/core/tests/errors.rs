@@ -14,7 +14,7 @@ fn rt() -> HStreams {
 
 #[test]
 fn unknown_stream_everywhere() {
-    let mut hs = rt();
+    let hs = rt();
     let buf = hs.buffer_create(64, BufProps::default());
     let ghost = StreamId(42);
     assert!(matches!(
@@ -37,7 +37,7 @@ fn unknown_stream_everywhere() {
 
 #[test]
 fn unknown_buffer_everywhere() {
-    let mut hs = rt();
+    let hs = rt();
     let s = hs
         .stream_create(DomainId(1), CpuMask::first(1))
         .expect("stream");
@@ -62,7 +62,7 @@ fn unknown_buffer_everywhere() {
 
 #[test]
 fn unknown_domain_and_event() {
-    let mut hs = rt();
+    let hs = rt();
     assert!(matches!(
         hs.stream_create(DomainId(7), CpuMask::first(1)),
         Err(HsError::UnknownDomain(_))
@@ -87,7 +87,7 @@ fn unknown_domain_and_event() {
 
 #[test]
 fn out_of_bounds_operands_and_ranges() {
-    let mut hs = rt();
+    let hs = rt();
     let s = hs
         .stream_create(DomainId(1), CpuMask::first(1))
         .expect("stream");
@@ -120,7 +120,7 @@ fn out_of_bounds_operands_and_ranges() {
 
 #[test]
 fn empty_mask_and_wait_any_empty() {
-    let mut hs = rt();
+    let hs = rt();
     assert!(matches!(
         hs.stream_create(DomainId(1), CpuMask::EMPTY),
         Err(HsError::InvalidArg(_))
@@ -133,7 +133,7 @@ fn empty_mask_and_wait_any_empty() {
 
 #[test]
 fn overlapping_operands_within_one_task_are_rejected() {
-    let mut hs = rt();
+    let hs = rt();
     let s = hs
         .stream_create(DomainId(1), CpuMask::first(1))
         .expect("stream");
@@ -172,7 +172,7 @@ fn overlapping_operands_within_one_task_are_rejected() {
 
 #[test]
 fn missing_sink_function_fails_event_not_process() {
-    let mut hs = rt();
+    let hs = rt();
     let s = hs
         .stream_create(DomainId(1), CpuMask::first(1))
         .expect("stream");
@@ -211,7 +211,7 @@ fn missing_sink_function_fails_event_not_process() {
 
 #[test]
 fn double_instantiate_is_idempotent() {
-    let mut hs = rt();
+    let hs = rt();
     let buf = hs.buffer_create(64, BufProps::default());
     hs.buffer_instantiate(buf, DomainId(1)).expect("first");
     hs.buffer_instantiate(buf, DomainId(1))
@@ -220,7 +220,7 @@ fn double_instantiate_is_idempotent() {
 
 #[test]
 fn destroy_waits_for_inflight_actions() {
-    let mut hs = rt();
+    let hs = rt();
     hs.register(
         "slow",
         std::sync::Arc::new(|ctx: &mut hstreams_core::TaskCtx| {
@@ -252,7 +252,7 @@ fn destroy_waits_for_inflight_actions() {
 
 #[test]
 fn use_after_destroy_is_an_error() {
-    let mut hs = rt();
+    let hs = rt();
     let s = hs
         .stream_create(DomainId(1), CpuMask::first(1))
         .expect("stream");

@@ -36,7 +36,7 @@ fn with_timeout<F: FnOnce() + Send + 'static>(secs: u64, f: F) {
 }
 
 fn thread_exec(cards: usize) -> ThreadExec {
-    let mut ex = ThreadExec::new(&PlatformCfg::hetero(Device::Hsw, cards), false);
+    let ex = ThreadExec::new(&PlatformCfg::hetero(Device::Hsw, cards), false);
     ex.add_stream(0, CpuMask::first(1));
     ex.add_stream(1, CpuMask::first(1));
     ex
@@ -58,7 +58,7 @@ fn compute_spec(stream_idx: usize, func: &str) -> ActionSpec {
 #[test]
 fn drop_with_pending_actions_completes_instead_of_hanging() {
     with_timeout(10, || {
-        let mut ex = thread_exec(1);
+        let ex = thread_exec(1);
         ex.coi().register(
             "slow",
             Arc::new(|_ctx: &mut hstreams_core::TaskCtx| {
@@ -100,7 +100,7 @@ fn drop_with_pending_actions_completes_instead_of_hanging() {
 #[test]
 fn late_dispatch_after_drop_fails_the_action_instead_of_panicking() {
     with_timeout(20, || {
-        let mut ex = thread_exec(1);
+        let ex = thread_exec(1);
         let fabric = ex.coi().fabric().clone();
         let src = fabric.register(NodeId(0), 64);
         let dst = fabric.register(NodeId(1), 64);
@@ -134,7 +134,7 @@ fn late_dispatch_after_drop_fails_the_action_instead_of_panicking() {
 
 #[test]
 fn malformed_compute_fails_fast_path_without_panicking() {
-    let mut ex = thread_exec(1);
+    let ex = thread_exec(1);
     let ev = ex.submit(
         compute_spec(99, "nosuch"),
         &[],
@@ -150,7 +150,7 @@ fn malformed_compute_fails_fast_path_without_panicking() {
 
 #[test]
 fn malformed_compute_fails_via_pending_dependence_path() {
-    let mut ex = thread_exec(1);
+    let ex = thread_exec(1);
     let gate = CoiEvent::new();
     let ev = ex.submit(
         compute_spec(99, "nosuch"),
@@ -169,7 +169,7 @@ fn malformed_compute_fails_via_pending_dependence_path() {
 
 #[test]
 fn real_transfer_without_card_domain_fails_not_panics() {
-    let mut ex = thread_exec(1);
+    let ex = thread_exec(1);
     let fabric = ex.coi().fabric().clone();
     let src = fabric.register(NodeId(0), 64);
     let dst = fabric.register(NodeId(1), 64);
@@ -197,7 +197,7 @@ fn real_transfer_without_card_domain_fails_not_panics() {
 
 #[test]
 fn transfer_to_out_of_range_card_fails_not_panics() {
-    let mut ex = thread_exec(1);
+    let ex = thread_exec(1);
     let fabric = ex.coi().fabric().clone();
     let src = fabric.register(NodeId(0), 64);
     let dst = fabric.register(NodeId(1), 64);
@@ -241,7 +241,7 @@ fn each_card_paces_to_its_own_link() {
 
 #[test]
 fn elapsed_baseline_is_first_submit_not_construction() {
-    let mut ex = thread_exec(1);
+    let ex = thread_exec(1);
     std::thread::sleep(Duration::from_millis(60));
     assert_eq!(
         ex.elapsed_secs(),

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn real_runtime() -> HStreams {
-    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
     hs.register(
         "explode",
         Arc::new(|_ctx: &mut TaskCtx| panic!("injected failure")),
@@ -42,7 +42,7 @@ fn poisoned(e: &HsError) -> bool {
 
 #[test]
 fn thread_failure_poisons_whole_chain() {
-    let mut hs = real_runtime();
+    let hs = real_runtime();
     let card = DomainId(1);
     let s = hs.stream_create(card, CpuMask::first(1)).expect("stream");
     let buf = hs.buffer_create(64, BufProps::default());
@@ -84,7 +84,7 @@ fn thread_failure_poisons_whole_chain() {
 
 #[test]
 fn thread_failure_poisons_fan_in_join() {
-    let mut hs = real_runtime();
+    let hs = real_runtime();
     let card = DomainId(1);
     let s1 = hs.stream_create(card, CpuMask::first(1)).expect("s1");
     let s2 = hs.stream_create(card, CpuMask::first(1)).expect("s2");
@@ -186,7 +186,7 @@ fn sim_failure_poisons_chain_and_fan_in() {
 #[test]
 fn wait_any_over_all_failed_set_returns_first_cause() {
     for mode in [ExecMode::Threads, ExecMode::Sim] {
-        let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), mode);
+        let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), mode);
         hs.register("noop", Arc::new(|_ctx: &mut TaskCtx| {}));
         // A non-retryable injected fault on the stream's first compute is
         // the one failure origin that behaves identically on both
@@ -225,7 +225,7 @@ fn wait_any_over_all_failed_set_returns_first_cause() {
 #[test]
 fn drop_with_unsynchronized_work_does_not_panic_or_hang() {
     let h = std::thread::spawn(|| {
-        let mut hs = real_runtime();
+        let hs = real_runtime();
         let card = DomainId(1);
         let s = hs.stream_create(card, CpuMask::first(1)).expect("stream");
         let buf = hs.buffer_create(64, BufProps::default());

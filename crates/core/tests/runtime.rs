@@ -55,7 +55,7 @@ fn k_args(k: f64) -> Bytes {
 
 #[test]
 fn fifo_semantics_raw_chain_on_one_stream() {
-    let mut hs = real_runtime(1);
+    let hs = real_runtime(1);
     let card = DomainId(1);
     let s = hs.stream_create(card, CpuMask::first(2)).expect("stream");
     let buf = hs.buffer_create(8 * 8, BufProps::default());
@@ -88,7 +88,7 @@ fn independent_actions_in_one_stream_may_overlap() {
     // single stream the sink is serial, so here we check *transfer* overtaking:
     // a transfer for an independent buffer completes while a slow compute
     // still runs (the paper's §II example).
-    let mut hs = real_runtime(1);
+    let hs = real_runtime(1);
     let card = DomainId(1);
     let s = hs.stream_create(card, CpuMask::first(2)).expect("stream");
     let a = hs.buffer_create(8 * 8, BufProps::default());
@@ -127,7 +127,7 @@ fn independent_actions_in_one_stream_may_overlap() {
 
 #[test]
 fn cross_stream_requires_explicit_event() {
-    let mut hs = real_runtime(1);
+    let hs = real_runtime(1);
     let card = DomainId(1);
     let s1 = hs.stream_create(card, CpuMask::range(0, 2)).expect("s1");
     let s2 = hs.stream_create(card, CpuMask::range(2, 2)).expect("s2");
@@ -164,7 +164,7 @@ fn cross_stream_requires_explicit_event() {
 
 #[test]
 fn host_as_target_stream_elides_transfers() {
-    let mut hs = real_runtime(1);
+    let hs = real_runtime(1);
     let host = DomainId::HOST;
     let s = hs.stream_create(host, CpuMask::first(4)).expect("stream");
     let buf = hs.buffer_create(8 * 4, BufProps::default());
@@ -190,7 +190,7 @@ fn host_as_target_stream_elides_transfers() {
 
 #[test]
 fn failed_task_poisons_dependents() {
-    let mut hs = real_runtime(1);
+    let hs = real_runtime(1);
     hs.register(
         "explode",
         Arc::new(|_ctx: &mut TaskCtx| panic!("injected failure")),
@@ -232,7 +232,7 @@ fn failed_task_poisons_dependents() {
 
 #[test]
 fn card_to_card_transfer_is_rejected() {
-    let mut hs = real_runtime(2);
+    let hs = real_runtime(2);
     let s = hs
         .stream_create(DomainId(1), CpuMask::first(1))
         .expect("stream");
@@ -247,7 +247,7 @@ fn card_to_card_transfer_is_rejected() {
 
 #[test]
 fn uninstantiated_buffer_is_rejected() {
-    let mut hs = real_runtime(1);
+    let hs = real_runtime(1);
     let s = hs
         .stream_create(DomainId(1), CpuMask::first(1))
         .expect("stream");
@@ -270,7 +270,7 @@ fn uninstantiated_buffer_is_rejected() {
 
 #[test]
 fn read_only_buffer_rejects_writes() {
-    let mut hs = real_runtime(1);
+    let hs = real_runtime(1);
     let s = hs
         .stream_create(DomainId(1), CpuMask::first(1))
         .expect("stream");
@@ -296,7 +296,7 @@ fn read_only_buffer_rejects_writes() {
 
 #[test]
 fn event_wait_any_returns_an_early_finisher() {
-    let mut hs = real_runtime(1);
+    let hs = real_runtime(1);
     let card = DomainId(1);
     let s1 = hs.stream_create(card, CpuMask::range(0, 1)).expect("s1");
     let s2 = hs.stream_create(card, CpuMask::range(1, 1)).expect("s2");
@@ -329,7 +329,7 @@ fn event_wait_any_returns_an_early_finisher() {
 
 #[test]
 fn proxy_addresses_resolve_through_the_api() {
-    let mut hs = real_runtime(1);
+    let hs = real_runtime(1);
     let buf = hs.buffer_create(100, BufProps::default());
     let base = hs.buffer_addr(buf).expect("addr");
     let resolved = hs
@@ -340,7 +340,7 @@ fn proxy_addresses_resolve_through_the_api() {
 
 #[test]
 fn api_stats_count_calls() {
-    let mut hs = real_runtime(1);
+    let hs = real_runtime(1);
     let s = hs
         .stream_create(DomainId(1), CpuMask::first(1))
         .expect("stream");

@@ -16,7 +16,7 @@ fn gemm_hint(flops: f64) -> CostHint {
 /// A pipelined pattern: per iteration, transfer a tile in and compute on the
 /// previous one. Returns the virtual makespan.
 fn pipelined_makespan(ordering: OrderingMode) -> f64 {
-    let mut hs =
+    let hs =
         HStreams::init_with_ordering(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim, ordering);
     let card = DomainId(1);
     let s = hs.stream_create(card, CpuMask::first(15)).expect("stream");
@@ -59,7 +59,7 @@ fn ooo_pipelines_transfers_under_compute() {
 
 #[test]
 fn trace_shows_compute_transfer_overlap() {
-    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim);
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim);
     let card = DomainId(1);
     let s = hs.stream_create(card, CpuMask::first(15)).expect("stream");
     let bytes = 64 << 20;
@@ -90,7 +90,7 @@ fn trace_shows_compute_transfer_overlap() {
 
 #[test]
 fn sim_event_wait_any_picks_earliest() {
-    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Sim);
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Sim);
     let s1 = hs
         .stream_create(DomainId(1), CpuMask::first(60))
         .expect("s1");
@@ -180,7 +180,7 @@ fn sim_time_is_deterministic_across_runs() {
 #[test]
 fn wider_streams_compute_faster_in_sim() {
     let t = |cores: u32| {
-        let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim);
+        let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim);
         let s = hs
             .stream_create(DomainId(1), CpuMask::first(cores))
             .expect("s");

@@ -9,7 +9,7 @@ use hstreams_core::{
 use std::sync::Arc;
 
 fn rt(cards: usize) -> HStreams {
-    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, cards), ExecMode::Threads);
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, cards), ExecMode::Threads);
     hs.register(
         "addk",
         Arc::new(|ctx: &mut TaskCtx| {
@@ -24,7 +24,7 @@ fn rt(cards: usize) -> HStreams {
 
 #[test]
 fn five_hundred_tasks_over_twelve_streams() {
-    let mut hs = rt(2);
+    let hs = rt(2);
     let streams = hs
         .app_init(&[(DomainId(0), 4), (DomainId(1), 4), (DomainId(2), 4)])
         .expect("streams");
@@ -82,7 +82,7 @@ fn five_hundred_tasks_over_twelve_streams() {
 fn deep_cross_stream_event_chain_completes() {
     // A 200-deep chain alternating across streams and domains: progress
     // guarantees under heavy cross-stream synchronization.
-    let mut hs = rt(1);
+    let hs = rt(1);
     let s1 = hs
         .stream_create(DomainId(0), CpuMask::first(2))
         .expect("s1");
@@ -127,7 +127,7 @@ fn deep_cross_stream_event_chain_completes() {
 
 #[test]
 fn wait_any_over_many_events_makes_progress() {
-    let mut hs = rt(1);
+    let hs = rt(1);
     let s = hs
         .stream_create(DomainId(1), CpuMask::first(4))
         .expect("stream");

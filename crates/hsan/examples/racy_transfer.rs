@@ -19,7 +19,7 @@ use hstreams_core::{BufProps, DomainId, ExecMode, HStreams};
 
 fn main() {
     let fixed = std::env::args().any(|a| a == "--fixed");
-    let mut hs = HStreams::init(PlatformCfg::offload(Device::Hsw, 1), ExecMode::Sim);
+    let hs = HStreams::init(PlatformCfg::offload(Device::Hsw, 1), ExecMode::Sim);
     hs.recording_start();
 
     let card = DomainId(1);

@@ -1,0 +1,203 @@
+//! Differential property: N source threads enqueueing concurrently through
+//! clones of one `HStreams` handle must be *hsan-equivalent* to the same
+//! programs replayed serially — the per-stream projection of the recorded
+//! trace is identical (same actions, same footprints, same within-stream
+//! wait edges), and the analyzer finds both traces clean. Run on both
+//! executors.
+//!
+//! This is the correctness contract of the concurrent front-end: source
+//! threads may interleave arbitrarily in the global trace, but each
+//! stream's program order — the thing the paper's FIFO semantic is stated
+//! in terms of — is exactly what its source thread enqueued.
+
+use bytes::Bytes;
+use hs_machine::{Device, PlatformCfg};
+use hstreams_core::{
+    Access, BufProps, BufferId, CostHint, CpuMask, DomainId, Event, ExecMode, HStreams, Operand,
+    StreamId, TaskCtx,
+};
+use std::sync::Arc;
+
+const NTHREADS: usize = 4;
+const OPS_PER_THREAD: usize = 120;
+const BUFS_PER_THREAD: usize = 3;
+const BUF_LEN: usize = 4096;
+
+/// One generated front-end call. `buf`/`prev` index into the thread's own
+/// buffers / previously produced events, so the program is runtime-independent.
+#[derive(Clone, Copy)]
+enum Op {
+    Compute {
+        buf: usize,
+        chunk: usize,
+        access: Access,
+    },
+    Marker,
+    WaitPrev {
+        back: usize,
+    },
+}
+
+/// Tiny deterministic LCG (same constants as glibc's) — the property must
+/// not depend on an RNG crate.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn gen_program(seed: u64) -> Vec<Op> {
+    let mut rng = Lcg(seed);
+    (0..OPS_PER_THREAD)
+        .map(|i| match rng.next() % 8 {
+            0 => Op::Marker,
+            1 if i > 0 => Op::WaitPrev {
+                back: (rng.next() as usize % i.min(8)).max(1),
+            },
+            r => Op::Compute {
+                buf: rng.next() as usize % BUFS_PER_THREAD,
+                chunk: 1 + rng.next() as usize % 4,
+                access: match r % 3 {
+                    0 => Access::In,
+                    1 => Access::Out,
+                    _ => Access::InOut,
+                },
+            },
+        })
+        .collect()
+}
+
+fn runtime(mode: ExecMode) -> HStreams {
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), mode);
+    hs.register("mix", Arc::new(|_ctx: &mut TaskCtx| {}));
+    hs
+}
+
+/// Enqueue `prog` into `stream`, tracking produced events for WaitPrev.
+fn interpret(hs: &HStreams, stream: StreamId, bufs: &[BufferId], prog: &[Op]) {
+    let mut produced: Vec<Event> = Vec::with_capacity(prog.len());
+    for op in prog {
+        let ev = match *op {
+            Op::Compute { buf, chunk, access } => hs
+                .enqueue_compute(
+                    stream,
+                    "mix",
+                    Bytes::new(),
+                    &[Operand::new(bufs[buf], 0..chunk * 1024, access)],
+                    CostHint::trivial(),
+                )
+                .expect("compute"),
+            Op::Marker => hs.enqueue_marker(stream).expect("marker"),
+            Op::WaitPrev { back } => {
+                let target = produced[produced.len() - back.min(produced.len())];
+                hs.enqueue_event_wait(stream, &[target]).expect("wait")
+            }
+        };
+        produced.push(ev);
+    }
+}
+
+/// A runtime-independent rendering of one stream's recorded program: the
+/// action's kind + label + footprint, with wait edges rewritten from global
+/// event ids to (stream, within-stream index) — the only form comparable
+/// across runs whose global enqueue interleavings differ.
+fn stream_projections(trace: &hsan::ActionTrace) -> Vec<Vec<String>> {
+    let mut index_of: std::collections::HashMap<u64, (u32, usize)> = Default::default();
+    let mut per_stream: Vec<Vec<String>> = vec![Vec::new(); trace.streams as usize];
+    for a in trace.actions() {
+        let idx = per_stream[a.stream as usize].len();
+        index_of.insert(a.event, (a.stream, idx));
+        let waits: Vec<(u32, usize)> = a
+            .waits
+            .iter()
+            .map(|w| *index_of.get(w).expect("wait targets a recorded action"))
+            .collect();
+        per_stream[a.stream as usize].push(format!(
+            "{:?} {} {:?} waits={:?}",
+            a.kind, a.label, a.footprint, waits
+        ));
+    }
+    per_stream
+}
+
+/// Run the generated programs with `threads` source threads (1 = serial
+/// replay) and return the recorded trace.
+fn run(mode: ExecMode, concurrent: bool) -> hsan::ActionTrace {
+    let hs = runtime(mode);
+    // Streams and buffers are created on the main thread, in a fixed order,
+    // *before* recording starts: both runs then see identical ids.
+    let lanes: Vec<(StreamId, Vec<BufferId>)> = (0..NTHREADS)
+        .map(|_| {
+            let s = hs
+                .stream_create(DomainId::HOST, CpuMask::first(1))
+                .expect("stream");
+            let bufs = (0..BUFS_PER_THREAD)
+                .map(|_| hs.buffer_create(BUF_LEN, BufProps::default()))
+                .collect();
+            (s, bufs)
+        })
+        .collect();
+    let progs: Vec<Vec<Op>> = (0..NTHREADS)
+        .map(|t| gen_program(0xC0FFEE + t as u64))
+        .collect();
+    hs.recording_start();
+    if concurrent {
+        std::thread::scope(|scope| {
+            for (t, (s, bufs)) in lanes.iter().enumerate() {
+                let hs = hs.clone();
+                let prog = &progs[t];
+                scope.spawn(move || interpret(&hs, *s, bufs, prog));
+            }
+        });
+    } else {
+        for (t, (s, bufs)) in lanes.iter().enumerate() {
+            interpret(&hs, *s, bufs, &progs[t]);
+        }
+    }
+    hs.thread_synchronize().expect("sync");
+    hs.recording_take().expect("recording was on")
+}
+
+#[test]
+fn concurrent_enqueue_is_hsan_equivalent_to_serial_replay() {
+    for mode in [ExecMode::Threads, ExecMode::Sim] {
+        let concurrent = run(mode, true);
+        let serial = run(mode, false);
+        assert_eq!(
+            concurrent.actions().count(),
+            NTHREADS * OPS_PER_THREAD,
+            "no enqueue lost ({mode:?})"
+        );
+        let proj_c = stream_projections(&concurrent);
+        let proj_s = stream_projections(&serial);
+        assert_eq!(
+            proj_c, proj_s,
+            "per-stream projections must be interleaving-independent ({mode:?})"
+        );
+        let rep_c = hsan::check(&concurrent);
+        let rep_s = hsan::check(&serial);
+        assert!(rep_c.is_clean(), "{mode:?} concurrent: {rep_c}");
+        assert!(rep_s.is_clean(), "{mode:?} serial: {rep_s}");
+    }
+}
+
+/// The global trace of a concurrent run is itself a valid program order:
+/// every wait refers to an already-recorded event (no torn publication of
+/// the recorder under concurrency).
+#[test]
+fn concurrent_trace_wait_edges_point_backwards() {
+    let trace = run(ExecMode::Threads, true);
+    let mut seen = std::collections::HashSet::new();
+    for a in trace.actions() {
+        for w in &a.waits {
+            assert!(seen.contains(w), "wait on event {w} recorded before it");
+        }
+        seen.insert(a.event);
+    }
+}

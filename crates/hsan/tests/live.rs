@@ -141,7 +141,7 @@ fn recording_can_restart_and_traces_are_independent() {
 fn destroyed_buffer_lifecycle_is_clean_when_properly_synced() {
     // buffer_destroy waits for in-flight actions, so a live run can never
     // produce a use-after-free — assert the trace agrees.
-    let mut hs = offload(ExecMode::Threads);
+    let hs = offload(ExecMode::Threads);
     hs.recording_start();
     let card = DomainId(1);
     let streams = hs.app_init(&[(card, 1)]).expect("stream");

@@ -185,7 +185,7 @@ impl OmpSs {
             .unwrap_or(f64::INFINITY);
         let mut be = match backend {
             Backend::HStreams => {
-                let mut hs = HStreams::init(platform, mode);
+                let hs = HStreams::init(platform, mode);
                 let mut streams = vec![Vec::new(); ndom];
                 for d in hs.domains() {
                     let n = streams_per_device.min(d.cores as usize).max(1);
@@ -372,7 +372,7 @@ impl OmpSs {
     }
 
     /// Sim-mode execution trace (either backend).
-    pub fn trace(&self) -> Option<&hs_sim::Trace> {
+    pub fn trace(&self) -> Option<hs_sim::Trace> {
         match &self.be {
             Be::Hs { hs, .. } => hs.trace(),
             Be::Cu { cu, .. } => cu.trace(),

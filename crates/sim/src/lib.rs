@@ -37,7 +37,7 @@ use server::{LinkState, SemState, ServerState};
 use token::TokenState;
 
 /// A callback scheduled to run at a virtual time.
-type Callback = Box<dyn FnOnce(&mut Sim)>;
+type Callback = Box<dyn FnOnce(&mut Sim) + Send>;
 
 struct Scheduled {
     at: Time,
@@ -128,13 +128,13 @@ impl Sim {
     }
 
     /// Schedule `cb` to run `delay` after the current time.
-    pub fn schedule<F: FnOnce(&mut Sim) + 'static>(&mut self, delay: Dur, cb: F) {
+    pub fn schedule<F: FnOnce(&mut Sim) + Send + 'static>(&mut self, delay: Dur, cb: F) {
         let at = self.now + delay;
         self.schedule_at(at, cb);
     }
 
     /// Schedule `cb` at an absolute virtual time (clamped to `now`).
-    pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: Time, cb: F) {
+    pub fn schedule_at<F: FnOnce(&mut Sim) + Send + 'static>(&mut self, at: Time, cb: F) {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -245,7 +245,7 @@ impl Sim {
     }
 
     /// Run `cb` when `tok` fires (immediately-scheduled if already fired).
-    pub fn token_on_fire<F: FnOnce(&mut Sim) + 'static>(&mut self, tok: Token, cb: F) {
+    pub fn token_on_fire<F: FnOnce(&mut Sim) + Send + 'static>(&mut self, tok: Token, cb: F) {
         if self.tokens[tok.index()].fired {
             self.schedule_at(self.now, cb);
         } else {
@@ -255,7 +255,7 @@ impl Sim {
 
     /// Run `cb` once **all** of `toks` have fired. With an empty list the
     /// callback runs at the current time.
-    pub fn when_all<F: FnOnce(&mut Sim) + 'static>(&mut self, toks: &[Token], cb: F) {
+    pub fn when_all<F: FnOnce(&mut Sim) + Send + 'static>(&mut self, toks: &[Token], cb: F) {
         let pending: Vec<Token> = toks
             .iter()
             .copied()
@@ -266,16 +266,17 @@ impl Sim {
             return;
         }
         // Shared countdown; the last firing token runs the callback.
+        // (Sync primitives only because callbacks must be `Send` so the
+        // simulator can live behind a lock — execution stays single-threaded.)
         let n = pending.len();
-        let counter = std::rc::Rc::new(std::cell::Cell::new(n));
-        let cb_cell = std::rc::Rc::new(std::cell::RefCell::new(Some(cb)));
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(n));
+        let cb_cell = std::sync::Arc::new(std::sync::Mutex::new(Some(cb)));
         for t in pending {
             let counter = counter.clone();
             let cb_cell = cb_cell.clone();
             self.token_on_fire(t, move |sim| {
-                counter.set(counter.get() - 1);
-                if counter.get() == 0 {
-                    if let Some(f) = cb_cell.borrow_mut().take() {
+                if counter.fetch_sub(1, std::sync::atomic::Ordering::Relaxed) == 1 {
+                    if let Some(f) = cb_cell.lock().expect("when_all cell").take() {
                         f(sim);
                     }
                 }
@@ -297,12 +298,11 @@ impl Sim {
             self.token_fire(out);
             return out;
         }
-        let fired = std::rc::Rc::new(std::cell::Cell::new(false));
+        let fired = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
         for &t in toks {
             let fired = fired.clone();
             self.token_on_fire(t, move |sim| {
-                if !fired.get() {
-                    fired.set(true);
+                if !fired.swap(true, std::sync::atomic::Ordering::Relaxed) {
                     sim.token_fire(out);
                 }
             });
@@ -518,6 +518,27 @@ impl Sim {
     }
 }
 
+/// Test-only shared cell: `Cell`-style get/set that satisfies the `Send`
+/// bound scheduled callbacks now carry.
+#[cfg(test)]
+pub(crate) mod testcell {
+    pub(crate) struct SyncCell<T>(std::sync::Mutex<T>);
+
+    impl<T: Copy> SyncCell<T> {
+        pub(crate) fn new(v: T) -> std::sync::Arc<Self> {
+            std::sync::Arc::new(SyncCell(std::sync::Mutex::new(v)))
+        }
+
+        pub(crate) fn get(&self) -> T {
+            *self.0.lock().expect("test cell")
+        }
+
+        pub(crate) fn set(&self, v: T) {
+            *self.0.lock().expect("test cell") = v;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,7 +547,7 @@ mod tests {
     fn time_starts_at_zero_and_advances() {
         let mut sim = Sim::new();
         assert_eq!(sim.now(), Time::ZERO);
-        let hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let hits = crate::testcell::SyncCell::new(0);
         let h = hits.clone();
         sim.schedule(Dur::from_micros(5), move |s| {
             assert_eq!(s.now(), Time::ZERO + Dur::from_micros(5));
@@ -540,20 +561,22 @@ mod tests {
     #[test]
     fn same_time_events_run_in_insertion_order() {
         let mut sim = Sim::new();
-        let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let order = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         for i in 0..10 {
             let order = order.clone();
-            sim.schedule(Dur::from_nanos(100), move |_| order.borrow_mut().push(i));
+            sim.schedule(Dur::from_nanos(100), move |_| {
+                order.lock().expect("order").push(i)
+            });
         }
         sim.run();
-        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+        assert_eq!(*order.lock().expect("order"), (0..10).collect::<Vec<_>>());
     }
 
     #[test]
     fn token_fire_wakes_waiters() {
         let mut sim = Sim::new();
         let tok = sim.token_create();
-        let woke = std::rc::Rc::new(std::cell::Cell::new(false));
+        let woke = crate::testcell::SyncCell::new(false);
         let w = woke.clone();
         sim.token_on_fire(tok, move |_| w.set(true));
         assert!(!sim.token_fired(tok));
@@ -570,7 +593,7 @@ mod tests {
     fn token_on_fire_after_fired_still_runs() {
         let mut sim = Sim::new();
         let tok = sim.token_fired_now();
-        let woke = std::rc::Rc::new(std::cell::Cell::new(false));
+        let woke = crate::testcell::SyncCell::new(false);
         let w = woke.clone();
         sim.token_on_fire(tok, move |_| w.set(true));
         sim.run();
@@ -583,7 +606,7 @@ mod tests {
         let a = sim.timer(Dur::from_micros(3));
         let b = sim.timer(Dur::from_micros(7));
         let c = sim.timer(Dur::from_micros(5));
-        let fired_at = std::rc::Rc::new(std::cell::Cell::new(Time::ZERO));
+        let fired_at = crate::testcell::SyncCell::new(Time::ZERO);
         let f = fired_at.clone();
         sim.when_all(&[a, b, c], move |s| f.set(s.now()));
         sim.run();
@@ -593,7 +616,7 @@ mod tests {
     #[test]
     fn when_all_empty_fires_immediately() {
         let mut sim = Sim::new();
-        let hit = std::rc::Rc::new(std::cell::Cell::new(false));
+        let hit = crate::testcell::SyncCell::new(false);
         let h = hit.clone();
         sim.when_all(&[], move |_| h.set(true));
         sim.run();
@@ -704,7 +727,7 @@ mod tests {
     #[test]
     fn run_until_respects_boundary() {
         let mut sim = Sim::new();
-        let hit = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let hit = crate::testcell::SyncCell::new(0u32);
         for us in [1u64, 2, 3] {
             let hit = hit.clone();
             sim.schedule(Dur::from_micros(us), move |_| {

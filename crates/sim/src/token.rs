@@ -24,7 +24,7 @@ impl Token {
 }
 
 /// A queued wake-up callback.
-type Waiter = Box<dyn FnOnce(&mut Sim)>;
+type Waiter = Box<dyn FnOnce(&mut Sim) + Send>;
 
 pub(crate) struct TokenState {
     pub fired: bool,
@@ -59,7 +59,7 @@ mod tests {
     fn multiple_waiters_all_wake() {
         let mut sim = Sim::new();
         let tok = sim.token_create();
-        let count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let count = crate::testcell::SyncCell::new(0);
         for _ in 0..5 {
             let c = count.clone();
             sim.token_on_fire(tok, move |_| c.set(c.get() + 1));

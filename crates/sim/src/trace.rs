@@ -43,7 +43,7 @@ impl TraceSpan {
 }
 
 /// An append-only trace of spans.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Trace {
     spans: Vec<TraceSpan>,
     enabled: bool,

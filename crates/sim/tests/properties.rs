@@ -114,13 +114,13 @@ proptest! {
     #[test]
     fn execution_times_are_monotone(delays in proptest::collection::vec(0u64..100_000, 1..50)) {
         let mut sim = Sim::new();
-        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         for d in &delays {
             let seen = seen.clone();
-            sim.schedule(Dur::from_nanos(*d), move |s| seen.borrow_mut().push(s.now()));
+            sim.schedule(Dur::from_nanos(*d), move |s| seen.lock().expect("seen").push(s.now()));
         }
         sim.run();
-        let times = seen.borrow();
+        let times = seen.lock().expect("seen");
         for w in times.windows(2) {
             prop_assert!(w[0] <= w[1]);
         }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 fn main() {
     // Host (HSW) + 1 KNC-like card, real threads, data moved for real.
-    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
 
     // Discover domains (the paper: domains are discoverable/enumerable).
     println!("domains:");

@@ -11,7 +11,7 @@ use hstreams_core::{
 };
 
 fn build(ordering: OrderingMode) -> HStreams {
-    let mut hs =
+    let hs =
         HStreams::init_with_ordering(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Sim, ordering);
     let card = DomainId(1);
     let s = hs.stream_create(card, CpuMask::first(30)).expect("stream");

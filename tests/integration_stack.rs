@@ -67,7 +67,7 @@ fn coi_layer_runs_functions_and_survives_pipeline_churn() {
 
 #[test]
 fn hstreams_over_coi_over_fabric_round_trip_with_pool_reuse() {
-    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Threads);
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Threads);
     hs.register(
         "negate",
         Arc::new(|ctx: &mut TaskCtx| {
@@ -109,7 +109,7 @@ fn hstreams_over_coi_over_fabric_round_trip_with_pool_reuse() {
 #[test]
 fn paced_mode_still_computes_correctly() {
     // ThreadsPaced stretches transfers to PCIe speed; semantics unchanged.
-    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::ThreadsPaced);
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::ThreadsPaced);
     hs.register(
         "fill9",
         Arc::new(|ctx: &mut TaskCtx| ctx.buf_f64_mut(0).fill(9.0)),
@@ -143,7 +143,7 @@ fn paced_mode_still_computes_correctly() {
 
 #[test]
 fn many_streams_many_buffers_stress() {
-    let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Threads);
+    let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Threads);
     hs.register(
         "inc",
         Arc::new(|ctx: &mut TaskCtx| {
