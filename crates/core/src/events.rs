@@ -20,10 +20,9 @@
 //!   poison edges, `wait_any` verdicts and the card-loss replay closure.
 
 use crate::exec::BackendEvent;
+use crate::lockorder::{self, LockClass};
+use crate::sync::{AtomicU32, AtomicU64, Mutex, OnceLock, Ordering};
 use crate::types::{Event, StreamId};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::OnceLock;
 
 /// log2 of the slots per segment.
 const SEG_BITS: u64 = 12;
@@ -47,7 +46,7 @@ struct Slot {
 }
 
 /// What a table lookup found.
-pub(crate) enum EventView {
+pub enum EventView {
     /// No such event (out of range, or reserved but not yet published).
     Missing,
     /// Pending or completed, backend handle still held.
@@ -56,21 +55,41 @@ pub(crate) enum EventView {
     Retired(StreamId),
 }
 
-pub(crate) struct EventTable {
+pub struct EventTable {
     segs: Box<[OnceLock<Box<[Slot]>>]>,
     next: AtomicU64,
     /// Every id below this is retired (scan start for compaction).
+    /// Monotone except for [`EventTable::overwrite`], which rewinds it when
+    /// card-loss replay revives a tombstoned slot below it.
     watermark: AtomicU64,
-    /// Published and not yet tombstoned (occupancy gauge).
-    live: AtomicU64,
-    /// Tombstoned so far (occupancy gauge).
-    retired: AtomicU64,
+    /// Packed occupancy gauge: live count (published, not tombstoned) in
+    /// the low 32 bits, retired (tombstoned) count in the high 32. One
+    /// word so the two counts move in a single atomic step and
+    /// [`EventTable::stats`] can never read a torn live/retired pair
+    /// (MAX_SEGS·SEG_LEN ≈ 16.7M ≪ 2³², so neither half can overflow).
+    occupancy: AtomicU64,
     /// Single-compactor guard; contenders skip (compaction is periodic).
     compactor: Mutex<()>,
+    /// Debug-only tripwire for the quiesce contract: `overwrite` (which
+    /// runs under the world *write* lock during degradation) must never
+    /// race `compact` (which runs under the world *read* lock).
+    #[cfg(debug_assertions)]
+    compacting: crate::sync::AtomicBool,
+}
+
+/// Packed-occupancy step for one live → retired transition: adding
+/// `2³² − 1` to the packed word is `live −= 1, retired += 1` in one RMW
+/// (the low-half borrow carries into the high half); subtracting it is the
+/// reverse (un-retire). Sound only while `live ≥ 1` resp. `retired ≥ 1`,
+/// which the per-slot lock guarantees (see `publish`/`compact`/`overwrite`).
+const RETIRE_STEP: u64 = (1 << 32) - 1;
+
+fn unpack_occupancy(packed: u64) -> (u64, u64) {
+    (packed & 0xFFFF_FFFF, packed >> 32)
 }
 
 /// Occupancy counters surfaced through `HStreams::metrics`.
-pub(crate) struct TableStats {
+pub struct TableStats {
     pub reserved: u64,
     pub live: u64,
     pub retired: u64,
@@ -92,14 +111,20 @@ impl EventTable {
             segs: (0..MAX_SEGS).map(|_| OnceLock::new()).collect(),
             next: AtomicU64::new(0),
             watermark: AtomicU64::new(0),
-            live: AtomicU64::new(0),
-            retired: AtomicU64::new(0),
+            occupancy: AtomicU64::new(0),
             compactor: Mutex::new(()),
+            #[cfg(debug_assertions)]
+            compacting: crate::sync::AtomicBool::new(false),
         }
     }
 
     /// Ids handed out so far (reserved, not necessarily published).
     pub fn len(&self) -> u64 {
+        // Acquire: pairs with the AcqRel fetch_add in `reserve`, so a
+        // thread that learned an id through this bound also sees the
+        // side effects sequenced before that id's reservation. (The
+        // segment itself is published by the `OnceLock`, which carries its
+        // own synchronization — this pairing is belt on top of braces.)
         self.next.load(Ordering::Acquire)
     }
 
@@ -112,6 +137,11 @@ impl EventTable {
     /// Mint the next event id and make sure its segment exists. The id is
     /// not visible to lookups until [`EventTable::publish`].
     pub fn reserve(&self) -> u64 {
+        // AcqRel: the release half pairs with the Acquire load in `len`
+        // (see there); the acquire half orders this mint after any prior
+        // reservation whose count we observe. A plain counter would only
+        // need Relaxed — kept strong because `compact` uses `len` as its
+        // scan bound.
         let id = self.next.fetch_add(1, Ordering::AcqRel);
         let seg = (id >> SEG_BITS) as usize;
         assert!(
@@ -127,21 +157,59 @@ impl EventTable {
     /// the submission.
     pub fn publish(&self, id: u64, stream: StreamId, be: BackendEvent) {
         let slot = self.slot(id).expect("publish of unreserved event id");
-        *slot.be.lock() = Some(be);
+        let _lo = lockorder::acquiring(LockClass::EventSlot);
+        let mut g = slot.be.lock();
+        debug_assert!(g.is_none(), "double publish of event {id}");
+        *g = Some(be);
+        // live += 1 under the slot lock, before it is released: tombstoning
+        // (live -= 1, in `compact`) also runs under the slot lock, so the
+        // decrement can never land before this increment and the gauge can
+        // never transiently underflow. (Bumping it after releasing the lock
+        // *would* underflow — the `loom_publish_vs_compact` observer thread
+        // catches exactly that mutation.) Relaxed is enough: the lock
+        // serializes the RMW pair and the gauge feeds metrics only.
+        self.occupancy.fetch_add(1, Ordering::Relaxed);
+        // Publication point. Release: pairs with the Acquire loads in
+        // `view_id`/`stream_of`/`compact`, so a reader that observes the
+        // stream id also observes the payload written above (`stream_of`
+        // reads no other field, but `view_id` relies on it for the
+        // Missing-vs-Retired distinction on a tombstoned slot).
         slot.stream.store(stream.0, Ordering::Release);
-        self.live.fetch_add(1, Ordering::Relaxed);
+        // The slot lock is held across the store: every slot state
+        // transition (publish, tombstone, revive) is serialized by it.
     }
 
     /// Replace a published event's backend in place (card-loss replay). A
     /// tombstoned slot comes back to life: the replayed attempt is pending
-    /// again.
+    /// again, and the retirement watermark is rewound below it so a later
+    /// sweep re-tombstones the slot when it completes again (without the
+    /// rewind the revived backend would sit below the scan start forever).
+    ///
+    /// Quiesce contract: callers run under the world *write* lock
+    /// (degradation is stop-the-world), so no compactor — which holds the
+    /// world *read* lock — is ever concurrent. Checked in debug builds via
+    /// the `compacting` tripwire.
     pub fn overwrite(&self, id: u64, be: BackendEvent) {
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            !self.compacting.load(Ordering::Relaxed),
+            "overwrite racing compact violates the world-lock quiesce contract"
+        );
         let slot = self.slot(id).expect("overwrite of unreserved event id");
+        // Acquire: pairs with publish's Release store — overwrite is only
+        // legal on a slot whose publication we have observed.
         debug_assert_ne!(slot.stream.load(Ordering::Acquire), UNPUBLISHED);
+        let _lo = lockorder::acquiring(LockClass::EventSlot);
         let mut g = slot.be.lock();
         if g.is_none() {
-            self.live.fetch_add(1, Ordering::Relaxed);
-            self.retired.fetch_sub(1, Ordering::Relaxed);
+            // Un-retire: live += 1, retired -= 1 in one packed step. The
+            // slot lock serializes this with the tombstone that set `None`,
+            // so retired ≥ 1 here and the subtraction cannot borrow across
+            // the halves. Relaxed: gauge only, ordering via the slot lock.
+            self.occupancy.fetch_sub(RETIRE_STEP, Ordering::Relaxed);
+            // AcqRel for the RMW handshake with other rewinds; the next
+            // compactor re-reads the watermark under the compactor mutex.
+            self.watermark.fetch_min(id, Ordering::AcqRel);
         }
         *g = Some(be);
     }
@@ -154,10 +222,15 @@ impl EventTable {
         let Some(slot) = self.slot(id) else {
             return EventView::Missing;
         };
+        // Acquire: pairs with publish's Release store. Observing the
+        // stream id set means the payload write is visible, so a `None`
+        // under the slot lock below can only mean "tombstoned", never
+        // "not yet published" — the Missing/Retired distinction.
         let s = slot.stream.load(Ordering::Acquire);
         if s == UNPUBLISHED {
             return EventView::Missing;
         }
+        let _lo = lockorder::acquiring(LockClass::EventSlot);
         match &*slot.be.lock() {
             Some(be) => EventView::Live(be.clone(), StreamId(s)),
             None => EventView::Retired(StreamId(s)),
@@ -167,6 +240,8 @@ impl EventTable {
     /// Producing stream of a published event.
     pub fn stream_of(&self, ev: Event) -> Option<StreamId> {
         let slot = self.slot(ev.0)?;
+        // Acquire: pairs with publish's Release store (same as `view_id`;
+        // here it only gates publication visibility — no payload read).
         match slot.stream.load(Ordering::Acquire) {
             UNPUBLISHED => None,
             s => Some(StreamId(s)),
@@ -180,10 +255,17 @@ impl EventTable {
     /// retirement watermark (the longest fully-retired prefix), so steady
     /// state cost is proportional to the live window, not to table length.
     pub fn compact(&self, verdict: impl Fn(&BackendEvent) -> Option<bool>) {
+        let _lo = lockorder::acquiring(LockClass::Compactor);
         let Some(_g) = self.compactor.try_lock() else {
             return;
         };
+        #[cfg(debug_assertions)]
+        self.compacting.store(true, Ordering::Relaxed);
         let len = self.len();
+        // Acquire: pairs with the Release store below (a previous
+        // compactor's watermark) and with overwrite's rewind; the compactor
+        // mutex already orders compactor-to-compactor handoffs — the
+        // pairing additionally covers the lock-free metrics reader.
         let start = self.watermark.load(Ordering::Acquire);
         let mut wm = start;
         let mut contiguous = true;
@@ -191,17 +273,27 @@ impl EventTable {
             let retired_here = match self.slot(id) {
                 None => false, // reserved, segment raced away: treat as live
                 Some(slot) => {
+                    // Acquire: pairs with publish's Release store — only
+                    // published slots are candidates; a mid-publish slot
+                    // (payload written, stream not yet stored) is skipped
+                    // and retried next sweep.
                     if slot.stream.load(Ordering::Acquire) == UNPUBLISHED {
                         false // mid-publish on another thread
                     } else {
+                        let _lo = lockorder::acquiring(LockClass::EventSlot);
                         let mut g = slot.be.lock();
                         match &*g {
                             None => true, // already tombstoned
                             Some(be) => match verdict(be) {
                                 Some(true) => {
                                     *g = None;
-                                    self.live.fetch_sub(1, Ordering::Relaxed);
-                                    self.retired.fetch_add(1, Ordering::Relaxed);
+                                    // live -= 1, retired += 1 in one packed
+                                    // step under the slot lock; publish
+                                    // incremented live before this slot
+                                    // became visible, so live ≥ 1 and the
+                                    // borrow stays within the low half.
+                                    // Relaxed: gauge only (see publish).
+                                    self.occupancy.fetch_add(RETIRE_STEP, Ordering::Relaxed);
                                     true
                                 }
                                 _ => false, // pending or failed: keep
@@ -218,14 +310,25 @@ impl EventTable {
                 }
             }
         }
+        // Release: pairs with the Acquire loads above/in `stats`. The
+        // watermark only ever covers slots this sweep (or a predecessor
+        // under the same mutex) observed as retired — never a live or
+        // failed slot, the invariant the loom models check.
         self.watermark.store(wm, Ordering::Release);
+        #[cfg(debug_assertions)]
+        self.compacting.store(false, Ordering::Relaxed);
     }
 
     pub fn stats(&self) -> TableStats {
+        // Single load of the packed word: the live/retired pair is always
+        // internally consistent, even against concurrent retirement (the
+        // old two-counter scheme could tear between the two reads).
+        let (live, retired) = unpack_occupancy(self.occupancy.load(Ordering::Relaxed));
         TableStats {
             reserved: self.len(),
-            live: self.live.load(Ordering::Relaxed),
-            retired: self.retired.load(Ordering::Relaxed),
+            live,
+            retired,
+            // Acquire: pairs with compact's Release store (metrics-only).
             watermark: self.watermark.load(Ordering::Acquire),
         }
     }
@@ -244,6 +347,26 @@ mod tests {
 
     fn pending_event() -> BackendEvent {
         BackendEvent::Thread(CoiEvent::new())
+    }
+
+    fn failed_event() -> BackendEvent {
+        let e = CoiEvent::new();
+        e.fail("injected");
+        BackendEvent::Thread(e)
+    }
+
+    /// The thread-mode compaction verdict, as `HStreams::compact_now`
+    /// states it: pending → `None`, success → `Some(true)`, failure →
+    /// `Some(false)` (kept: failures feed poison edges and replay).
+    fn thread_verdict(be: &BackendEvent) -> Option<bool> {
+        match be {
+            BackendEvent::Thread(e) => match e.status() {
+                hs_coi::EventStatus::Pending => None,
+                hs_coi::EventStatus::Done => Some(true),
+                hs_coi::EventStatus::Failed(_) => Some(false),
+            },
+            BackendEvent::Sim(_) => None,
+        }
     }
 
     #[test]
@@ -326,5 +449,323 @@ mod tests {
         let st = t.stats();
         assert_eq!(st.live, 0);
         assert_eq!(st.watermark, st.reserved);
+    }
+
+    #[test]
+    fn failed_events_survive_compaction() {
+        let t = EventTable::new();
+        for i in 0..6 {
+            let id = t.reserve();
+            let be = if i == 2 { failed_event() } else { done_event() };
+            t.publish(id, StreamId(0), be);
+        }
+        t.compact(thread_verdict);
+        let st = t.stats();
+        assert_eq!(st.retired, 5);
+        assert_eq!(st.live, 1);
+        assert_eq!(st.watermark, 2, "watermark stops below the failure");
+        assert!(matches!(t.view_id(2), EventView::Live(..)));
+    }
+
+    /// Regression: card-loss replay revives a slot *below* the watermark;
+    /// without the watermark rewind in `overwrite` the revived backend
+    /// would sit below the scan start forever and never be re-collected.
+    #[test]
+    fn overwrite_below_watermark_rewinds_the_sweep() {
+        let t = EventTable::new();
+        for _ in 0..8 {
+            let id = t.reserve();
+            t.publish(id, StreamId(0), done_event());
+        }
+        t.compact(thread_verdict);
+        assert_eq!(t.stats().watermark, 8);
+        // Replay revives id 3 as pending again.
+        t.overwrite(3, pending_event());
+        let st = t.stats();
+        assert_eq!(st.watermark, 3, "watermark rewound to the revived slot");
+        assert_eq!(st.live, 1);
+        assert_eq!(st.retired, 7);
+        // Still pending: a sweep keeps it, watermark stays put.
+        t.compact(thread_verdict);
+        assert!(matches!(t.view_id(3), EventView::Live(..)));
+        assert_eq!(t.stats().watermark, 3);
+        // The replayed attempt completes; the next sweep re-retires it and
+        // the watermark recovers the full prefix.
+        t.overwrite(3, done_event());
+        t.compact(thread_verdict);
+        let st = t.stats();
+        assert_eq!(st.live, 0);
+        assert_eq!(st.retired, 8);
+        assert_eq!(st.watermark, 8);
+    }
+
+    /// Event-table invariants under arbitrary publish / complete / fail /
+    /// compact / revive sequences, checked against a shadow model after
+    /// every op:
+    ///
+    /// * `watermark ≤ next` (reserved);
+    /// * `live + retired == published` (the packed gauge balances);
+    /// * every id below the watermark is retired;
+    /// * failed events are never retired.
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        enum Shadow {
+            Pending,
+            Done,
+            Failed,
+            Retired,
+        }
+
+        fn check(t: &EventTable, shadow: &[Shadow]) {
+            let st = t.stats();
+            assert_eq!(st.reserved, shadow.len() as u64);
+            assert!(st.watermark <= st.reserved, "watermark past next");
+            let live_shadow = shadow
+                .iter()
+                .filter(|s| !matches!(s, Shadow::Retired))
+                .count() as u64;
+            let retired_shadow = shadow
+                .iter()
+                .filter(|s| matches!(s, Shadow::Retired))
+                .count() as u64;
+            assert_eq!(st.live, live_shadow, "live gauge drifted");
+            assert_eq!(st.retired, retired_shadow, "retired gauge drifted");
+            assert_eq!(
+                st.live + st.retired,
+                shadow.len() as u64,
+                "gauge unbalanced"
+            );
+            for (id, s) in shadow.iter().enumerate() {
+                let view = t.view_id(id as u64);
+                if (id as u64) < st.watermark {
+                    assert!(
+                        matches!(view, EventView::Retired(_)),
+                        "watermark passed non-retired id {id} ({s:?})"
+                    );
+                }
+                match s {
+                    Shadow::Retired => {
+                        assert!(matches!(view, EventView::Retired(_)))
+                    }
+                    _ => assert!(
+                        matches!(view, EventView::Live(..)),
+                        "non-retired id {id} ({s:?}) not live"
+                    ),
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+            #[test]
+            fn table_invariants_hold_under_arbitrary_ops(ops in proptest::collection::vec(0u8..7, 1..100)) {
+                let t = EventTable::new();
+                let mut shadow: Vec<Shadow> = Vec::new();
+                let mut handles: Vec<CoiEvent> = Vec::new();
+                for op in ops {
+                    match op {
+                        // Publish an already-completed success.
+                        0 => {
+                            let id = t.reserve();
+                            t.publish(id, StreamId(0), done_event());
+                            shadow.push(Shadow::Done);
+                            handles.push(CoiEvent::done());
+                        }
+                        // Publish a pending action, keep the handle.
+                        1 => {
+                            let e = CoiEvent::new();
+                            let id = t.reserve();
+                            t.publish(id, StreamId(0), BackendEvent::Thread(e.clone()));
+                            shadow.push(Shadow::Pending);
+                            handles.push(e);
+                        }
+                        // Publish an already-failed action.
+                        2 => {
+                            let id = t.reserve();
+                            t.publish(id, StreamId(0), failed_event());
+                            shadow.push(Shadow::Failed);
+                            handles.push(CoiEvent::done());
+                        }
+                        // Complete the oldest pending action.
+                        3 => {
+                            if let Some(i) = shadow.iter().position(|s| *s == Shadow::Pending) {
+                                handles[i].signal();
+                                shadow[i] = Shadow::Done;
+                            }
+                        }
+                        // Fail the oldest pending action.
+                        4 => {
+                            if let Some(i) = shadow.iter().position(|s| *s == Shadow::Pending) {
+                                handles[i].fail("injected");
+                                shadow[i] = Shadow::Failed;
+                            }
+                        }
+                        // Sweep: completed successes tombstone.
+                        5 => {
+                            t.compact(thread_verdict);
+                            for s in shadow.iter_mut() {
+                                if *s == Shadow::Done {
+                                    *s = Shadow::Retired;
+                                }
+                            }
+                        }
+                        // Card-loss replay: revive the oldest retired slot.
+                        _ => {
+                            if let Some(i) = shadow.iter().position(|s| *s == Shadow::Retired) {
+                                let e = CoiEvent::new();
+                                t.overwrite(i as u64, BackendEvent::Thread(e.clone()));
+                                shadow[i] = Shadow::Pending;
+                                handles[i] = e;
+                            }
+                        }
+                    }
+                    check(&t, &shadow);
+                }
+            }
+        }
+    }
+}
+
+/// Exhaustive interleaving models of the table's lock-free protocols, run
+/// with `RUSTFLAGS="--cfg loom" cargo test -p hstreams-core --lib loom_`.
+/// See DESIGN.md §14 for what these do and don't prove.
+#[cfg(all(test, loom))]
+mod loom_models {
+    use super::*;
+    use crate::sync::{Arc, RwLock};
+    use hs_coi::CoiEvent;
+
+    fn done_event() -> BackendEvent {
+        let e = CoiEvent::new();
+        e.signal();
+        BackendEvent::Thread(e)
+    }
+
+    fn thread_verdict(be: &BackendEvent) -> Option<bool> {
+        match be {
+            BackendEvent::Thread(e) => match e.status() {
+                hs_coi::EventStatus::Pending => None,
+                hs_coi::EventStatus::Done => Some(true),
+                hs_coi::EventStatus::Failed(_) => Some(false),
+            },
+            BackendEvent::Sim(_) => None,
+        }
+    }
+
+    /// Publish racing a reader: the Release store / Acquire load pairing
+    /// means the reader sees either Missing (not yet published) or the
+    /// fully-written payload with the right stream id — never a torn
+    /// UNPUBLISHED/payload mix, and never a spurious Retired.
+    #[test]
+    fn loom_publish_vs_reader() {
+        loom::model(|| {
+            let t = Arc::new(EventTable::new());
+            let id = t.reserve();
+            let t2 = t.clone();
+            let reader = loom::thread::spawn(move || match t2.view_id(id) {
+                EventView::Missing => {} // published later: fine
+                EventView::Live(BackendEvent::Thread(e), s) => {
+                    assert_eq!(s, StreamId(7), "stream id torn");
+                    assert!(e.is_complete(), "payload not visible with stream id");
+                }
+                EventView::Live(..) => panic!("wrong backend variant"),
+                EventView::Retired(_) => panic!("retired without any compact"),
+            });
+            t.publish(id, StreamId(7), done_event());
+            reader.join().unwrap();
+            assert!(matches!(t.view_id(id), EventView::Live(..)));
+            let st = t.stats();
+            assert_eq!((st.live, st.retired), (1, 0));
+        });
+    }
+
+    /// Publish racing the compactor: on every interleaving the watermark
+    /// never passes a live or unpublished slot and the packed occupancy
+    /// gauge stays balanced (the old two-counter scheme could transiently
+    /// underflow `live` here).
+    #[test]
+    fn loom_publish_vs_compact() {
+        // Three threads: exhaustive exploration blows the schedule budget,
+        // so bound preemptions CHESS-style (2 catches the torn-gauge and
+        // underflow interleavings; an env bound may tighten it further).
+        let mut b = loom::model::Builder::new();
+        b.preemption_bound = Some(b.preemption_bound.map_or(2, |p| p.min(2)));
+        b.check(|| {
+            let t = Arc::new(EventTable::new());
+            let id0 = t.reserve();
+            t.publish(id0, StreamId(0), done_event());
+            let id1 = t.reserve();
+            let t2 = t.clone();
+            let publisher = loom::thread::spawn(move || {
+                t2.publish(id1, StreamId(1), done_event());
+            });
+            // Concurrent metrics reader: the torn-snapshot victim. With
+            // the pre-fix protocol (live incremented *after* the slot
+            // becomes visible, on a separate counter) this observer can
+            // catch `live` mid-underflow at ~2⁶⁴.
+            let t3 = t.clone();
+            let observer = loom::thread::spawn(move || {
+                let st = t3.stats();
+                assert!(st.live <= 2, "live gauge underflowed: {}", st.live);
+                assert!(st.retired <= 2, "retired gauge overran: {}", st.retired);
+                assert!(st.live + st.retired <= 2, "gauge counted unpublished slots");
+            });
+            t.compact(thread_verdict);
+            publisher.join().unwrap();
+            observer.join().unwrap();
+            let st = t.stats();
+            assert!(st.watermark <= st.reserved);
+            assert_eq!(st.live + st.retired, 2, "gauge unbalanced after race");
+            for id in 0..st.watermark {
+                assert!(
+                    matches!(t.view_id(id), EventView::Retired(_)),
+                    "watermark passed a non-retired slot"
+                );
+            }
+            // A quiesced sweep finishes the job deterministically.
+            t.compact(thread_verdict);
+            let st = t.stats();
+            assert_eq!((st.live, st.retired, st.watermark), (0, 2, 2));
+        });
+    }
+
+    /// Un-retire (card-loss replay) against the sweep, under the world
+    /// RwLock protocol `HStreams` uses: replay holds the write lock,
+    /// compactors hold read locks. On every interleaving the revived slot
+    /// is re-collected (watermark rewind) and the gauge balances.
+    #[test]
+    fn loom_unretire_vs_sweep() {
+        loom::model(|| {
+            let world = Arc::new(RwLock::new(()));
+            let t = Arc::new(EventTable::new());
+            for _ in 0..2 {
+                let id = t.reserve();
+                t.publish(id, StreamId(0), done_event());
+            }
+            t.compact(thread_verdict);
+            assert_eq!(t.stats().watermark, 2);
+            let (t2, w2) = (t.clone(), world.clone());
+            let degrader = loom::thread::spawn(move || {
+                let _w = w2.write(); // stop-the-world, as in degrade_card
+                t2.overwrite(0, done_event());
+            });
+            {
+                let _w = world.read(); // as in compact_now
+                t.compact(thread_verdict);
+            }
+            degrader.join().unwrap();
+            {
+                let _w = world.read();
+                t.compact(thread_verdict);
+            }
+            let st = t.stats();
+            assert_eq!(st.live, 0, "revived slot never re-collected");
+            assert_eq!(st.retired, 2);
+            assert_eq!(st.watermark, 2, "watermark stuck below revived slot");
+        });
     }
 }

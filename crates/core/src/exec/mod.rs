@@ -14,7 +14,9 @@ use hs_coi::CoiEvent;
 use hs_machine::Device;
 use hs_sim::Token;
 
+use crate::lockorder::LockClass;
 use crate::types::CostHint;
+use crate::with_class;
 
 /// Per-submission execution options (deadline + retry budget).
 #[derive(Clone, Copy, Debug, Default)]
@@ -104,7 +106,7 @@ impl BackendEvent {
 /// to interleaving, which is all the semantics require.
 pub enum Executor {
     Thread(thread::ThreadExec),
-    Sim(parking_lot::Mutex<Box<sim::SimExec>>),
+    Sim(crate::sync::Mutex<Box<sim::SimExec>>),
 }
 
 impl Executor {
@@ -114,7 +116,9 @@ impl Executor {
     pub fn add_stream(&self, domain_idx: usize, mask: crate::CpuMask) {
         match self {
             Executor::Thread(t) => t.add_stream(domain_idx, mask),
-            Executor::Sim(s) => s.lock().add_stream(domain_idx, mask.count()),
+            Executor::Sim(s) => with_class(LockClass::SimExec, || {
+                s.lock().add_stream(domain_idx, mask.count())
+            }),
         }
     }
 
@@ -130,7 +134,9 @@ impl Executor {
     ) -> BackendEvent {
         match self {
             Executor::Thread(t) => BackendEvent::Thread(t.submit(spec, deps, obs, opts)),
-            Executor::Sim(s) => BackendEvent::Sim(s.lock().submit(spec, deps, obs, opts)),
+            Executor::Sim(s) => BackendEvent::Sim(with_class(LockClass::SimExec, || {
+                s.lock().submit(spec, deps, obs, opts)
+            })),
         }
     }
 
@@ -140,14 +146,18 @@ impl Executor {
     pub fn remap_stream_to_host(&self, stream_idx: usize) {
         match self {
             Executor::Thread(t) => t.remap_stream_to_host(stream_idx),
-            Executor::Sim(s) => s.lock().remap_stream_to_host(stream_idx),
+            Executor::Sim(s) => with_class(LockClass::SimExec, || {
+                s.lock().remap_stream_to_host(stream_idx)
+            }),
         }
     }
 
     pub fn is_complete(&self, ev: &BackendEvent) -> bool {
         match self {
             Executor::Thread(_) => ev.as_thread().is_complete(),
-            Executor::Sim(s) => s.lock().is_complete(ev.as_sim()),
+            Executor::Sim(s) => {
+                with_class(LockClass::SimExec, || s.lock().is_complete(ev.as_sim()))
+            }
         }
     }
 
@@ -155,7 +165,7 @@ impl Executor {
     pub fn wait(&self, ev: &BackendEvent) -> Result<(), FailureCause> {
         match self {
             Executor::Thread(_) => ev.as_thread().wait(),
-            Executor::Sim(s) => s.lock().wait(ev.as_sim()),
+            Executor::Sim(s) => with_class(LockClass::SimExec, || s.lock().wait(ev.as_sim())),
         }
     }
 
@@ -167,9 +177,10 @@ impl Executor {
                 let evs: Vec<CoiEvent> = evs.iter().map(|e| e.as_thread().clone()).collect();
                 CoiEvent::wait_any(&evs)
             }
-            Executor::Sim(s) => s
-                .lock()
-                .wait_any(&evs.iter().map(|e| e.as_sim()).collect::<Vec<_>>()),
+            Executor::Sim(s) => with_class(LockClass::SimExec, || {
+                s.lock()
+                    .wait_any(&evs.iter().map(|e| e.as_sim()).collect::<Vec<_>>())
+            }),
         }
     }
 
@@ -181,7 +192,7 @@ impl Executor {
                 hs_coi::EventStatus::Failed(c) => Some(c),
                 _ => None,
             },
-            Executor::Sim(s) => s.lock().failure_of(ev.as_sim()),
+            Executor::Sim(s) => with_class(LockClass::SimExec, || s.lock().failure_of(ev.as_sim())),
         }
     }
 
@@ -191,7 +202,7 @@ impl Executor {
     /// status before selecting the replay set.
     pub fn run_all(&self) {
         if let Executor::Sim(s) = self {
-            s.lock().run_all();
+            with_class(LockClass::SimExec, || s.lock().run_all());
         }
     }
 
@@ -199,7 +210,7 @@ impl Executor {
     /// runtimes' per-task overheads). No-op in real mode.
     pub fn charge_source(&self, dur: hs_sim::Dur) {
         if let Executor::Sim(s) = self {
-            s.lock().charge_source(dur);
+            with_class(LockClass::SimExec, || s.lock().charge_source(dur));
         }
     }
 
@@ -207,7 +218,7 @@ impl Executor {
     pub fn now_secs(&self) -> f64 {
         match self {
             Executor::Thread(t) => t.elapsed_secs(),
-            Executor::Sim(s) => s.lock().now_secs(),
+            Executor::Sim(s) => with_class(LockClass::SimExec, || s.lock().now_secs()),
         }
     }
 }

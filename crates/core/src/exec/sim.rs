@@ -19,11 +19,11 @@
 //! deadlines) — after the depending action was already submitted.
 
 use super::{ActionSpec, SubmitOpts};
+use crate::sync::Mutex;
 use hs_chaos::{ChaosHub, FailureCause, Injection, RetryPolicy};
 use hs_machine::{CostModel, Device, PlatformCfg};
 use hs_obs::{ObsAction, ObsHub, ObsPhase};
 use hs_sim::{Dur, SemId, ServerId, Sim, SpanKind, Time, Token, Trace};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -15,16 +15,16 @@
 //! thread happened to run the dispatch callback.
 
 use super::{ActionSpec, BackendEvent, SubmitOpts};
+use crate::sync::{
+    Arc, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, OnceLock, Ordering, RwLock,
+};
 use crossbeam::channel::{unbounded, Sender};
 use hs_chaos::{ChaosHub, FailureCause, Injection, RetryPolicy};
 use hs_coi::{CoiEvent, CoiRuntime, EngineId, EventStatus};
 use hs_fabric::Pacer;
 use hs_machine::PlatformCfg;
 use hs_obs::{ObsAction, ObsHub, ObsPhase};
-use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 

@@ -66,12 +66,20 @@ pub mod app;
 pub mod buffer;
 pub mod cpumask;
 pub mod deps;
+/// Segmented event table. Private in normal builds; public under
+/// `--cfg loom` so the model suite (`tests/loom_frontend.rs`) can drive
+/// the publish/compact protocol directly.
+#[cfg(not(loom))]
 mod events;
+#[cfg(loom)]
+pub mod events;
 pub mod exec;
+pub mod lockorder;
 pub mod record;
 pub mod small;
 pub mod stats;
 pub mod stream;
+pub mod sync;
 pub mod types;
 
 pub use buffer::{BufProps, Instantiation, MemType};
@@ -103,11 +111,10 @@ use exec::{ActionSpec, BackendEvent, Executor, RealXfer, SubmitOpts};
 use hs_coi::EngineId;
 use hs_machine::{Device, DomainRole, PlatformCfg};
 use hs_obs::{ActionMeta, MetricsSnapshot, ObsAction, ObsHub, ObsKind, ObsRecord};
-use parking_lot::{Mutex, RwLock};
+use lockorder::LockClass;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
 use stream::{DepList, StreamState};
+use sync::{Arc, AtomicU32, AtomicU64, Mutex, Once, Ordering, RwLock};
 
 /// Per-action execution options for the `*_opts` enqueue variants.
 #[derive(Clone, Copy, Debug, Default)]
@@ -183,6 +190,16 @@ pub struct DomainInfo {
 /// Enqueues between amortized event-table / recovery-log compactions.
 const COMPACT_EVERY: u32 = 1024;
 
+/// Witness a lock-class acquisition for exactly the duration of `f` — for
+/// sites where the guard is a statement temporary. Sites that bind the
+/// guard to a local place a matching `lockorder::acquiring` binding inline
+/// instead, so the witness lifetime tracks the guard lifetime.
+#[inline]
+pub(crate) fn with_class<R>(class: LockClass, f: impl FnOnce() -> R) -> R {
+    let _witness = lockorder::acquiring(class);
+    f()
+}
+
 /// Shared runtime state behind the [`HStreams`] handle.
 ///
 /// Lock order (outer → inner; never acquire leftward while holding
@@ -206,14 +223,14 @@ pub(crate) struct Inner {
     /// Sim-mode host shadows for `buffer_write`/`buffer_read`.
     sim_shadow: Mutex<std::collections::HashMap<BufferId, Vec<u8>>>,
     /// Built-in app-API kernels registered once (see [`app`]).
-    pub(crate) builtins: std::sync::Once,
+    pub(crate) builtins: Once,
     /// Live `hsan` action-trace recording (None = off). The flag mirrors
     /// `recorder.is_some()` so the hot path checks one atomic instead of
     /// taking the lock.
     #[cfg(feature = "hsan-record")]
     recorder: Mutex<Option<record::Recorder>>,
     #[cfg(feature = "hsan-record")]
-    recording: std::sync::atomic::AtomicBool,
+    recording: crate::sync::AtomicBool,
     /// Action-lifecycle observability hub, shared with both executors and
     /// the COI layer. Disabled (near-zero cost) until [`HStreams::obs_enable`].
     obs: ObsHub,
@@ -303,11 +320,11 @@ impl HStreams {
                 exec,
                 stats: ApiStats::new(),
                 sim_shadow: Mutex::new(std::collections::HashMap::new()),
-                builtins: std::sync::Once::new(),
+                builtins: Once::new(),
                 #[cfg(feature = "hsan-record")]
                 recorder: Mutex::new(None),
                 #[cfg(feature = "hsan-record")]
-                recording: std::sync::atomic::AtomicBool::new(false),
+                recording: crate::sync::AtomicBool::new(false),
                 obs,
                 chaos,
                 recovery: Mutex::new(Vec::new()),
@@ -329,7 +346,7 @@ impl HStreams {
     /// fault triggers card-loss degradation on the next wait that observes
     /// it. Also starts the recovery log that degradation replays from.
     pub fn chaos_install(&self, plan: FaultPlan) {
-        self.inner.recovery.lock().clear();
+        with_class(LockClass::Recovery, || self.inner.recovery.lock().clear());
         self.inner.chaos.arm(plan);
     }
 
@@ -345,7 +362,7 @@ impl HStreams {
 
     /// Cards that have been degraded to the host so far.
     pub fn degraded_cards(&self) -> Vec<u32> {
-        self.inner.degraded.lock().clone()
+        with_class(LockClass::Degraded, || self.inner.degraded.lock().clone())
     }
 
     // ----------------------------------------------------- hsan recording
@@ -368,10 +385,9 @@ impl HStreams {
     /// order in event-id sequence).
     #[cfg(feature = "hsan-record")]
     pub fn recording_start(&self) {
-        *self.inner.recorder.lock() = Some(record::Recorder::new(
-            self.inner.ordering,
-            self.inner.platform.domains.len(),
-        ));
+        *with_class(LockClass::Recorder, || self.inner.recorder.lock()) = Some(
+            record::Recorder::new(self.inner.ordering, self.inner.platform.domains.len()),
+        );
         self.inner.recording.store(true, Ordering::Release);
     }
 
@@ -381,13 +397,14 @@ impl HStreams {
     #[cfg(feature = "hsan-record")]
     pub fn recording_take(&self) -> Option<record::ActionTrace> {
         self.inner.recording.store(false, Ordering::Release);
-        let rec = self.inner.recorder.lock().take()?;
-        let streams = self.inner.streams.read().len() as u32;
+        let rec = with_class(LockClass::Recorder, || self.inner.recorder.lock().take())?;
+        let streams = with_class(LockClass::Streams, || self.inner.streams.read().len()) as u32;
         let trace = match &self.inner.exec {
             Executor::Sim(sim) => {
                 rec.into_trace(streams, |ev| match self.inner.events.view_id(ev) {
                     EventView::Live(BackendEvent::Sim(t), _) => {
-                        sim.lock().fire_time(t).map(|t| t.as_nanos())
+                        with_class(LockClass::SimExec, || sim.lock().fire_time(t))
+                            .map(|t| t.as_nanos())
                     }
                     _ => None,
                 })
@@ -444,9 +461,11 @@ impl HStreams {
         if mask.is_empty() {
             return Err(HsError::InvalidArg("stream mask is empty".into()));
         }
+        let _lo_world = lockorder::acquiring(LockClass::World);
         let _world = self.inner.world.read();
         // Id assignment, executor registration and table insertion are one
         // critical section: concurrent creators get dense, matching indices.
+        let _lo_streams = lockorder::acquiring(LockClass::Streams);
         let mut streams = self.inner.streams.write();
         let id = StreamId(streams.len() as u32);
         self.inner.exec.add_stream(domain.0, mask);
@@ -476,26 +495,26 @@ impl HStreams {
     }
 
     fn stream_arc(&self, s: StreamId) -> HsResult<Arc<Mutex<StreamState>>> {
-        self.inner
-            .streams
-            .read()
-            .get(s.0 as usize)
-            .cloned()
-            .ok_or(HsError::UnknownStream(s))
+        with_class(LockClass::Streams, || {
+            self.inner.streams.read().get(s.0 as usize).cloned()
+        })
+        .ok_or(HsError::UnknownStream(s))
     }
 
     /// The domain a stream's sink lives in.
     pub fn stream_domain(&self, s: StreamId) -> HsResult<DomainId> {
-        Ok(self.stream_arc(s)?.lock().domain)
+        let st = self.stream_arc(s)?;
+        Ok(with_class(LockClass::Stream, || st.lock().domain))
     }
 
     /// Cores bound to a stream.
     pub fn stream_cores(&self, s: StreamId) -> HsResult<u32> {
-        Ok(self.stream_arc(s)?.lock().cores())
+        let st = self.stream_arc(s)?;
+        Ok(with_class(LockClass::Stream, || st.lock().cores()))
     }
 
     pub fn num_streams(&self) -> usize {
-        self.inner.streams.read().len()
+        with_class(LockClass::Streams, || self.inner.streams.read().len())
     }
 
     // -------------------------------------------------------------- buffers
@@ -505,12 +524,16 @@ impl HStreams {
     /// instantiations require explicit [`HStreams::buffer_instantiate`].
     pub fn buffer_create(&self, len: usize, props: BufProps) -> BufferId {
         self.inner.stats.bump("buffer_create");
-        let id = self.inner.buffers.write().create(len, props);
+        let id = with_class(LockClass::Buffers, || {
+            self.inner.buffers.write().create(len, props)
+        });
         #[cfg(feature = "hsan-record")]
         if self.is_recording() {
-            if let Some(rec) = self.inner.recorder.lock().as_mut() {
-                rec.push(record::TraceOp::BufferCreate { buffer: id.0, len });
-            }
+            with_class(LockClass::Recorder, || {
+                if let Some(rec) = self.inner.recorder.lock().as_mut() {
+                    rec.push(record::TraceOp::BufferCreate { buffer: id.0, len });
+                }
+            });
         }
         self.instantiate_unchecked(id, DomainId::HOST)
             .expect("fresh buffer instantiates on host");
@@ -530,6 +553,7 @@ impl HStreams {
     fn instantiate_unchecked(&self, buf: BufferId, domain: DomainId) -> HsResult<()> {
         let pooled = self.inner.platform.coi_buffer_pool;
         let len = {
+            let _lo = lockorder::acquiring(LockClass::Buffers);
             let buffers = self.inner.buffers.read();
             let rec = buffers.get(buf)?;
             if rec.is_instantiated(domain) {
@@ -557,6 +581,7 @@ impl HStreams {
             }
         };
         let surplus = {
+            let _lo = lockorder::acquiring(LockClass::Buffers);
             let mut buffers = self.inner.buffers.write();
             match buffers.get_mut(buf) {
                 Ok(rec) if rec.is_instantiated(domain) => Some(inst),
@@ -583,12 +608,14 @@ impl HStreams {
         }
         #[cfg(feature = "hsan-record")]
         if self.is_recording() {
-            if let Some(rec) = self.inner.recorder.lock().as_mut() {
-                rec.push(record::TraceOp::BufferInstantiate {
-                    buffer: buf.0,
-                    domain: domain.0,
-                });
-            }
+            with_class(LockClass::Recorder, || {
+                if let Some(rec) = self.inner.recorder.lock().as_mut() {
+                    rec.push(record::TraceOp::BufferInstantiate {
+                        buffer: buf.0,
+                        domain: domain.0,
+                    });
+                }
+            });
         }
         Ok(())
     }
@@ -596,16 +623,22 @@ impl HStreams {
     /// Destroy a buffer, returning its windows to the COI pool.
     pub fn buffer_destroy(&self, buf: BufferId) -> HsResult<()> {
         self.inner.stats.bump("buffer_destroy");
-        let len = self.inner.buffers.read().get(buf)?.len;
+        let len = with_class(LockClass::Buffers, || {
+            self.inner.buffers.read().get(buf).map(|r| r.len)
+        })?;
         // Wait for any action still touching the buffer.
         let deps = self.conflicting_events(buf, 0..len, true);
         self.wait_events_recovering(&deps)?;
-        let insts = self.inner.buffers.write().destroy(buf)?;
+        let insts = with_class(LockClass::Buffers, || {
+            self.inner.buffers.write().destroy(buf)
+        })?;
         #[cfg(feature = "hsan-record")]
         if self.is_recording() {
-            if let Some(rec) = self.inner.recorder.lock().as_mut() {
-                rec.push(record::TraceOp::BufferDestroy { buffer: buf.0 });
-            }
+            with_class(LockClass::Recorder, || {
+                if let Some(rec) = self.inner.recorder.lock().as_mut() {
+                    rec.push(record::TraceOp::BufferDestroy { buffer: buf.0 });
+                }
+            });
         }
         if let Executor::Thread(t) = &self.inner.exec {
             for (domain, inst) in insts {
@@ -614,23 +647,31 @@ impl HStreams {
                 }
             }
         }
-        self.inner.sim_shadow.lock().remove(&buf);
+        with_class(LockClass::SimShadow, || {
+            self.inner.sim_shadow.lock().remove(&buf)
+        });
         Ok(())
     }
 
     pub fn buffer_len(&self, buf: BufferId) -> HsResult<usize> {
-        Ok(self.inner.buffers.read().get(buf)?.len)
+        with_class(LockClass::Buffers, || {
+            self.inner.buffers.read().get(buf).map(|r| r.len)
+        })
     }
 
     /// Resolve a proxy address into (buffer, offset) — the source proxy
     /// address translation of the paper.
     pub fn resolve_addr(&self, addr: addrspace::ProxyAddr) -> Option<(BufferId, usize)> {
-        self.inner.buffers.read().resolve_addr(addr)
+        with_class(LockClass::Buffers, || {
+            self.inner.buffers.read().resolve_addr(addr)
+        })
     }
 
     /// Proxy base address of a buffer.
     pub fn buffer_addr(&self, buf: BufferId) -> HsResult<addrspace::ProxyAddr> {
-        Ok(self.inner.buffers.read().get(buf)?.proxy)
+        with_class(LockClass::Buffers, || {
+            self.inner.buffers.read().get(buf).map(|r| r.proxy)
+        })
     }
 
     /// Synchronously write into the buffer's **host** instantiation. Waits
@@ -639,11 +680,14 @@ impl HStreams {
     pub fn buffer_write(&self, buf: BufferId, offset: usize, data: &[u8]) -> HsResult<()> {
         self.inner.stats.bump("buffer_write");
         let range = offset..offset + data.len();
-        self.inner.buffers.read().get(buf)?.check_range(&range)?;
+        with_class(LockClass::Buffers, || {
+            self.inner.buffers.read().get(buf)?.check_range(&range)
+        })?;
         let deps = self.conflicting_events(buf, range.clone(), true);
         self.wait_events_recovering(&deps)?;
         match &self.inner.exec {
             Executor::Thread(t) => {
+                let _lo = lockorder::acquiring(LockClass::Buffers);
                 let buffers = self.inner.buffers.read();
                 let rec = buffers.get(buf)?;
                 let win = rec.window(DomainId::HOST)?;
@@ -658,7 +702,10 @@ impl HStreams {
                 g.as_mut_slice().copy_from_slice(data);
             }
             Executor::Sim(_) => {
-                let len = self.inner.buffers.read().get(buf)?.len;
+                let len = with_class(LockClass::Buffers, || {
+                    self.inner.buffers.read().get(buf).map(|r| r.len)
+                })?;
+                let _lo = lockorder::acquiring(LockClass::SimShadow);
                 let mut shadow = self.inner.sim_shadow.lock();
                 let bytes = shadow.entry(buf).or_insert_with(|| vec![0; len]);
                 bytes[range].copy_from_slice(data);
@@ -672,11 +719,14 @@ impl HStreams {
     pub fn buffer_read(&self, buf: BufferId, offset: usize, out: &mut [u8]) -> HsResult<()> {
         self.inner.stats.bump("buffer_read");
         let range = offset..offset + out.len();
-        self.inner.buffers.read().get(buf)?.check_range(&range)?;
+        with_class(LockClass::Buffers, || {
+            self.inner.buffers.read().get(buf)?.check_range(&range)
+        })?;
         let deps = self.conflicting_events(buf, range.clone(), false);
         self.wait_events_recovering(&deps)?;
         match &self.inner.exec {
             Executor::Thread(t) => {
+                let _lo = lockorder::acquiring(LockClass::Buffers);
                 let buffers = self.inner.buffers.read();
                 let rec = buffers.get(buf)?;
                 let win = rec.window(DomainId::HOST)?;
@@ -690,10 +740,13 @@ impl HStreams {
                     .map_err(|e| HsError::ExecFailed(e.to_string()))?;
                 out.copy_from_slice(g.as_slice());
             }
-            Executor::Sim(_) => match self.inner.sim_shadow.lock().get(&buf) {
-                Some(shadow) => out.copy_from_slice(&shadow[range]),
-                None => out.fill(0),
-            },
+            Executor::Sim(_) => {
+                let _lo = lockorder::acquiring(LockClass::SimShadow);
+                match self.inner.sim_shadow.lock().get(&buf) {
+                    Some(shadow) => out.copy_from_slice(&shadow[range]),
+                    None => out.fill(0),
+                }
+            }
         }
         Ok(())
     }
@@ -766,6 +819,7 @@ impl HStreams {
         self.inner.stats.bump("enqueue_compute");
         self.inner.stats.note_compute();
         let ev = {
+            let _lo_world = lockorder::acquiring(LockClass::World);
             let _world = self.inner.world.read();
             let (spec, footprint) =
                 self.build_compute_spec(s, func, args.clone(), operands, cost)?;
@@ -802,6 +856,7 @@ impl HStreams {
     ) -> HsResult<(ActionSpec, Footprint)> {
         let (domain, device, cores) = {
             let st_arc = self.stream_arc(s)?;
+            let _lo = lockorder::acquiring(LockClass::Stream);
             let st = st_arc.lock();
             let dev = self.inner.platform.domains[st.domain.0].device;
             (st.domain, dev, st.cores())
@@ -810,6 +865,7 @@ impl HStreams {
         let mut footprint: Footprint = Vec::with_capacity(operands.len());
         let mut bufs: Vec<hs_coi::pipeline::BufAccess> = Vec::new();
         let real = matches!(self.inner.exec, Executor::Thread(_));
+        let _lo_buffers = lockorder::acquiring(LockClass::Buffers);
         let buffers = self.inner.buffers.read();
         for op in operands {
             let rec = buffers.get(op.buffer)?;
@@ -893,6 +949,7 @@ impl HStreams {
     ) -> HsResult<Event> {
         self.inner.stats.bump("enqueue_xfer");
         let ev = {
+            let _lo_world = lockorder::acquiring(LockClass::World);
             let _world = self.inner.world.read();
             let (spec, footprint) = self.build_xfer_spec(buf, range.clone(), from, to)?;
             self.inner
@@ -932,6 +989,7 @@ impl HStreams {
                 return Err(HsError::UnknownDomain(d));
             }
         }
+        let _lo_buffers = lockorder::acquiring(LockClass::Buffers);
         let buffers = self.inner.buffers.read();
         let rec = buffers.get(buf)?;
         rec.check_range(&range)?;
@@ -1012,6 +1070,7 @@ impl HStreams {
         self.inner.stats.bump("enqueue_event_wait");
         self.inner.stats.note_sync();
         let ev = {
+            let _lo_world = lockorder::acquiring(LockClass::World);
             let _world = self.inner.world.read();
             let known = self.inner.events.len();
             for e in events {
@@ -1041,6 +1100,7 @@ impl HStreams {
         self.inner.stats.bump("enqueue_marker");
         self.inner.stats.note_sync();
         let ev = {
+            let _lo_world = lockorder::acquiring(LockClass::World);
             let _world = self.inner.world.read();
             let logged = self.inner.chaos.is_armed().then_some(LoggedOp::Sync);
             self.enqueue_common(
@@ -1139,6 +1199,7 @@ impl HStreams {
         // Fine-grained per-stream window: contention here means multiple
         // source threads feed the *same* stream (distinct streams never
         // touch each other's locks on this path).
+        let _lo_stream = lockorder::acquiring(LockClass::Stream);
         let mut st = match st_arc.try_lock() {
             Some(g) => g,
             None => {
@@ -1194,10 +1255,11 @@ impl HStreams {
             // cost of serializing concurrent enqueues for the recording's
             // duration.
             #[cfg(feature = "hsan-record")]
-            let mut rec_guard = if inner.recording.load(Ordering::Acquire) {
-                Some(inner.recorder.lock())
+            let (_lo_rec, mut rec_guard) = if inner.recording.load(Ordering::Acquire) {
+                let lo = lockorder::acquiring(LockClass::Recorder);
+                (Some(lo), Some(inner.recorder.lock()))
             } else {
-                None
+                (None, None)
             };
             let id = inner.events.reserve();
             let ev = Event(id);
@@ -1213,17 +1275,19 @@ impl HStreams {
             let submit_opts = self.submit_opts(&opts);
             let backend = inner.exec.submit(spec, bes, obs, submit_opts);
             if let Some(op) = logged {
-                inner.recovery.lock().push(LoggedAction {
-                    ev: id,
-                    stream: s,
-                    op,
-                    deps: dep_events.iter().map(|e| e.0).collect(),
-                    wrote: footprint
-                        .iter()
-                        .filter(|f| f.write)
-                        .map(|f| f.domain.0)
-                        .collect(),
-                    retry: submit_opts.retry,
+                with_class(LockClass::Recovery, || {
+                    inner.recovery.lock().push(LoggedAction {
+                        ev: id,
+                        stream: s,
+                        op,
+                        deps: dep_events.iter().map(|e| e.0).collect(),
+                        wrote: footprint
+                            .iter()
+                            .filter(|f| f.write)
+                            .map(|f| f.domain.0)
+                            .collect(),
+                        retry: submit_opts.retry,
+                    })
                 });
             }
             #[cfg(feature = "hsan-record")]
@@ -1314,13 +1378,15 @@ impl HStreams {
             .map(|d| FootprintItem::new(DomainId(d), buf, range.clone(), write))
             .collect();
         let mut deps = Vec::new();
+        let _lo_streams = lockorder::acquiring(LockClass::Streams);
         let streams = self.inner.streams.read();
         let mut tmp = DepList::new();
         for st in streams.iter() {
             tmp.clear();
-            let red = st
-                .lock()
-                .find_deps(&probe, false, OrderingMode::OutOfOrder, &mut tmp);
+            let red = with_class(LockClass::Stream, || {
+                st.lock()
+                    .find_deps(&probe, false, OrderingMode::OutOfOrder, &mut tmp)
+            });
             if red != 0 {
                 self.inner.redundant.fetch_add(red, Ordering::Relaxed);
             }
@@ -1355,6 +1421,7 @@ impl HStreams {
             return;
         }
         let inner = &*self.inner;
+        let _lo_world = lockorder::acquiring(LockClass::World);
         let _world = inner.world.read();
         inner.events.compact(|be| {
             if !inner.exec.is_complete(be) {
@@ -1368,6 +1435,7 @@ impl HStreams {
             // memory survives card loss, and the replay closure only pulls
             // in producers whose results lived on the lost card. Failed or
             // pending actions always stay.
+            let _lo = lockorder::acquiring(LockClass::Recovery);
             let mut log = inner.recovery.lock();
             log.retain(|la| {
                 let done_ok = match inner.events.view_id(la.ev) {
@@ -1492,13 +1560,16 @@ impl HStreams {
         if card == 0 || card as usize >= self.inner.platform.domains.len() {
             return Ok(false);
         }
+        let _lo_world = lockorder::acquiring(LockClass::World);
         let _world = self.inner.world.write();
         if self.inner.degrade_gen.load(Ordering::Acquire) != seen_gen {
             // A degradation completed since the caller's snapshot; its
             // failed wait may now resolve against a replayed action.
             return Ok(true);
         }
-        if self.inner.degraded.lock().contains(&card) {
+        if with_class(LockClass::Degraded, || {
+            self.inner.degraded.lock().contains(&card)
+        }) {
             return Ok(false);
         }
         self.degrade_card(card)?;
@@ -1515,7 +1586,7 @@ impl HStreams {
         let inner = &*self.inner;
         let dom = DomainId(card as usize);
         inner.chaos.mark_card_dead(card);
-        inner.degraded.lock().push(card);
+        with_class(LockClass::Degraded, || inner.degraded.lock().push(card));
         // 1. Quiesce: settle every in-flight action's status. Everything
         //    completes — card ops fail fast against the dead set, failures
         //    poison dependents, and deadlines bound the rest.
@@ -1533,8 +1604,10 @@ impl HStreams {
         //    valid; subsequent (and replayed) actions resolve on the host.
         let mut remapped = 0u32;
         {
+            let _lo_streams = lockorder::acquiring(LockClass::Streams);
             let streams = inner.streams.read();
             for (i, st_arc) in streams.iter().enumerate() {
+                let _lo_stream = lockorder::acquiring(LockClass::Stream);
                 let mut st = st_arc.lock();
                 if st.domain == dom {
                     st.domain = DomainId::HOST;
@@ -1548,6 +1621,7 @@ impl HStreams {
         let mut dropped = 0u32;
         let mut freed = Vec::new();
         {
+            let _lo_buffers = lockorder::acquiring(LockClass::Buffers);
             let mut buffers = inner.buffers.write();
             for rec in buffers.iter_mut() {
                 if let Some(inst) = rec.inst.remove(&dom) {
@@ -1586,7 +1660,8 @@ impl HStreams {
         let inner = &*self.inner;
         // Snapshot under a short lock; the rest of the replay touches
         // streams/buffers and must respect the lock order.
-        let log: Vec<LoggedAction> = inner.recovery.lock().clone();
+        let log: Vec<LoggedAction> =
+            with_class(LockClass::Recovery, || inner.recovery.lock().clone());
         let by_ev: std::collections::HashMap<u64, usize> =
             log.iter().enumerate().map(|(i, la)| (la.ev, i)).collect();
         let n = log.len();
@@ -1697,7 +1772,9 @@ impl HStreams {
         let st_arc = self.stream_arc(s)?;
         let mut last = None;
         loop {
-            let next = st_arc.lock().first_pending_after(last);
+            let next = with_class(LockClass::Stream, || {
+                st_arc.lock().first_pending_after(last)
+            });
             match next {
                 None => break,
                 Some(e) => {
@@ -1708,7 +1785,9 @@ impl HStreams {
         }
         // Everything observed complete: full sweep so no stale index
         // entries linger past a synchronize point.
-        st_arc.lock().retire_now(|e| self.event_retired_ok(e));
+        with_class(LockClass::Stream, || {
+            st_arc.lock().retire_now(|e| self.event_retired_ok(e))
+        });
         Ok(())
     }
 
@@ -1809,7 +1888,7 @@ impl HStreams {
         );
         snap.extra.insert(
             "frontend.recovery.entries".into(),
-            self.inner.recovery.lock().len() as f64,
+            with_class(LockClass::Recovery, || self.inner.recovery.lock().len()) as f64,
         );
         if let Executor::Thread(t) = &self.inner.exec {
             let fabric = t.coi().fabric();

@@ -1,0 +1,280 @@
+//! Lock-order witness: records which lock *classes* are held at each
+//! acquisition, for offline analysis by `hsan lock-order`.
+//!
+//! The runtime's deadlock-freedom argument is a total order on its lock
+//! classes (DESIGN.md §13): every thread acquires locks in ascending
+//! [`LockClass::rank`] order, so a cycle in the waits-for graph is
+//! impossible. This module makes that argument *checkable*: acquisition
+//! sites call [`acquiring`] just before taking the lock; while recording is
+//! [`enable`]d, every (held-class → acquired-class) pair is accumulated
+//! into a global edge multiset, and [`edges_json`] serializes it for the
+//! `hsan lock-order` subcommand, which reports rank inversions and cycles.
+//!
+//! The class list and ranks live here — in the runtime, next to the locks
+//! they describe — and `hsan` imports them, so the checker can never drift
+//! from the code it checks.
+//!
+//! Costs: with the `lock-order` feature off (the default) the hooks are
+//! empty inline functions and vanish entirely. With the feature on but
+//! recording disabled, each site costs one relaxed atomic load. Recording
+//! itself takes a global `std::sync::Mutex` per acquisition — strictly a
+//! diagnostics mode, never a production configuration. The witness
+//! structures use plain `std` primitives (not [`crate::sync`]): they are
+//! observer infrastructure, not part of the protocol under verification,
+//! and must not add schedule points to loom models.
+
+/// One lock class from the documented order. Ranks ascend in legal
+/// acquisition order: while holding a class of rank *r*, only classes of
+/// rank strictly greater than *r* may be acquired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum LockClass {
+    /// The stop-the-world RwLock (`Inner::world`).
+    World = 0,
+    /// The stream-table RwLock (`Inner::streams`, the vec itself).
+    Streams = 1,
+    /// A per-stream window mutex (`Arc<Mutex<StreamState>>`).
+    Stream = 2,
+    /// The buffer-table RwLock (`Inner::buffers`).
+    Buffers = 3,
+    /// The hsan action-trace recorder (`Inner::recorder`).
+    Recorder = 4,
+    /// The replay log (`Inner::recovery`).
+    Recovery = 5,
+    /// The degraded-cards list (`Inner::degraded`).
+    Degraded = 6,
+    /// Sim-mode host shadow map (`Inner::sim_shadow`).
+    SimShadow = 7,
+    /// The single-compactor guard (`EventTable::compactor`).
+    Compactor = 8,
+    /// A per-slot event-table mutex (`Slot::be`).
+    EventSlot = 9,
+    /// The serialized virtual-time executor (`Executor::Sim`).
+    SimExec = 10,
+}
+
+impl LockClass {
+    /// Every class, in rank order.
+    pub const ALL: [LockClass; 11] = [
+        LockClass::World,
+        LockClass::Streams,
+        LockClass::Stream,
+        LockClass::Buffers,
+        LockClass::Recorder,
+        LockClass::Recovery,
+        LockClass::Degraded,
+        LockClass::SimShadow,
+        LockClass::Compactor,
+        LockClass::EventSlot,
+        LockClass::SimExec,
+    ];
+
+    /// Position in the total acquisition order (0 = outermost).
+    pub fn rank(self) -> u8 {
+        self as u8
+    }
+
+    /// Stable wire name used in the edges JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockClass::World => "world",
+            LockClass::Streams => "streams",
+            LockClass::Stream => "stream",
+            LockClass::Buffers => "buffers",
+            LockClass::Recorder => "recorder",
+            LockClass::Recovery => "recovery",
+            LockClass::Degraded => "degraded",
+            LockClass::SimShadow => "sim_shadow",
+            LockClass::Compactor => "compactor",
+            LockClass::EventSlot => "event_slot",
+            LockClass::SimExec => "sim_exec",
+        }
+    }
+
+    /// Inverse of [`LockClass::name`].
+    pub fn from_name(name: &str) -> Option<LockClass> {
+        LockClass::ALL.iter().copied().find(|c| c.name() == name)
+    }
+}
+
+/// RAII witness for one held lock: created by [`acquiring`] immediately
+/// before the acquisition, dropped with (or after) the lock guard.
+/// With the `lock-order` feature off this is a zero-sized no-op.
+#[must_use = "bind to a local so the class stays on the held stack while the lock is held"]
+pub struct Acquired {
+    #[cfg(feature = "lock-order")]
+    class: Option<LockClass>,
+}
+
+#[cfg(feature = "lock-order")]
+mod imp {
+    use super::{Acquired, LockClass};
+    use crate::sync::{AtomicBool, Ordering};
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    use std::sync::Mutex as StdMutex;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    /// (held, acquired) → occurrences, across all threads since `clear`.
+    static EDGES: StdMutex<BTreeMap<(LockClass, LockClass), u64>> = StdMutex::new(BTreeMap::new());
+
+    thread_local! {
+        /// Classes this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<LockClass>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Start recording acquisition edges (global, all threads).
+    pub fn enable() {
+        ENABLED.store(true, Ordering::Release);
+    }
+
+    /// Stop recording. Edges already recorded are kept until [`clear`].
+    pub fn disable() {
+        ENABLED.store(false, Ordering::Release);
+    }
+
+    /// Drop all recorded edges.
+    pub fn clear() {
+        EDGES.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Snapshot of the recorded edges as `(held, acquired, count)` rows.
+    pub fn edges() -> Vec<(LockClass, LockClass, u64)> {
+        EDGES
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(&(h, a), &n)| (h, a, n))
+            .collect()
+    }
+
+    /// The recorded edges in the `hsan lock-order` input format.
+    pub fn edges_json() -> String {
+        let rows = edges();
+        let mut s = String::from("{\n  \"edges\": [\n");
+        for (i, (h, a, n)) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"from\": \"{}\", \"to\": \"{}\", \"count\": {n}}}{comma}",
+                h.name(),
+                a.name()
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    pub fn acquiring(class: LockClass) -> Acquired {
+        if !ENABLED.load(Ordering::Acquire) {
+            return Acquired { class: None };
+        }
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if !held.is_empty() {
+                let mut edges = EDGES.lock().unwrap_or_else(|e| e.into_inner());
+                for &h in held.iter() {
+                    *edges.entry((h, class)).or_insert(0) += 1;
+                }
+            }
+            held.push(class);
+        });
+        Acquired { class: Some(class) }
+    }
+
+    impl Drop for Acquired {
+        fn drop(&mut self) {
+            let Some(class) = self.class else { return };
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                // Guards usually drop LIFO, but `drop(g)` patterns may
+                // release out of order: remove the *last* matching entry.
+                if let Some(i) = held.iter().rposition(|&c| c == class) {
+                    held.remove(i);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(feature = "lock-order")]
+pub use imp::{clear, disable, edges, edges_json, enable};
+
+#[cfg(feature = "lock-order")]
+pub use imp::acquiring;
+
+/// Witness an acquisition of `class` (no-op: `lock-order` feature is off).
+#[cfg(not(feature = "lock-order"))]
+#[inline(always)]
+pub fn acquiring(_class: LockClass) -> Acquired {
+    Acquired {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_dense_and_names_round_trip() {
+        for (i, c) in LockClass::ALL.iter().enumerate() {
+            assert_eq!(c.rank() as usize, i);
+            assert_eq!(LockClass::from_name(c.name()), Some(*c));
+        }
+        assert_eq!(LockClass::from_name("no-such-lock"), None);
+    }
+
+    /// One sequential test: the edge multiset and enable flag are global,
+    /// so splitting these scenarios across `#[test]`s would race under the
+    /// parallel test runner.
+    #[cfg(feature = "lock-order")]
+    #[test]
+    fn records_held_to_acquired_edges() {
+        clear();
+        enable();
+        {
+            let _w = acquiring(LockClass::World);
+            let _s = acquiring(LockClass::Stream);
+            let _e = acquiring(LockClass::EventSlot);
+        }
+        disable();
+        assert_eq!(
+            edges(),
+            vec![
+                (LockClass::World, LockClass::Stream, 1),
+                (LockClass::World, LockClass::EventSlot, 1),
+                (LockClass::Stream, LockClass::EventSlot, 1),
+            ]
+        );
+        // Disabled: nothing further is recorded.
+        {
+            let _w = acquiring(LockClass::World);
+            let _s = acquiring(LockClass::Streams);
+        }
+        assert_eq!(edges().len(), 3);
+        let json = edges_json();
+        assert!(json.contains("\"from\": \"world\""), "{json}");
+        assert!(json.contains("\"to\": \"event_slot\""), "{json}");
+
+        // Out-of-order guard drop: dropping the outer guard first takes
+        // `world` off the held stack, so the next acquisition records an
+        // edge from `stream` only.
+        clear();
+        enable();
+        let w = acquiring(LockClass::World);
+        let s = acquiring(LockClass::Stream);
+        drop(w);
+        let _b = acquiring(LockClass::Buffers);
+        drop(s);
+        disable();
+        assert_eq!(
+            edges(),
+            vec![
+                (LockClass::World, LockClass::Stream, 1),
+                (LockClass::Stream, LockClass::Buffers, 1),
+            ]
+        );
+        clear();
+        assert!(edges().is_empty());
+    }
+}

@@ -10,9 +10,8 @@
 //! `RwLock<BTreeMap>` of atomics (a write lock is taken only the first time
 //! a given API name appears), the action counters are plain atomics.
 
-use parking_lot::RwLock;
+use crate::sync::{AtomicU64, Ordering, RwLock};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counts of API invocations by name.
 #[derive(Default)]

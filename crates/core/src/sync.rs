@@ -1,0 +1,34 @@
+//! Sync-primitive facade: the single place crates/core imports
+//! synchronization types from.
+//!
+//! Normal builds re-export `parking_lot`'s locks and `std`'s atomics /
+//! once-cells. Under `RUSTFLAGS="--cfg loom"` every one of these resolves
+//! to the `loom` model checker's schedule-point-instrumented equivalents
+//! instead, which is what makes the front-end protocols model-checkable
+//! (see DESIGN.md §14 and `tests/loom_frontend.rs`).
+//!
+//! Rules enforced by `crates/core/tests/sync_shim_guard.rs`:
+//!
+//! * No file in crates/core other than this one may import
+//!   `std::sync::atomic` or `parking_lot` directly — a direct import would
+//!   silently opt that code out of model checking and rot the shim.
+//! * `std::sync::{Arc, mpsc, …}` (non-atomic, non-lock) remain fair game;
+//!   `Arc` is re-exported here for convenience but not required.
+//!
+//! The API shape is the intersection the workspace uses: `lock()` returns
+//! the guard directly (no poisoning), `try_lock` returns `Option`,
+//! `Condvar::wait_for` returns a `WaitTimeoutResult`.
+
+#[cfg(not(loom))]
+pub use parking_lot::{Condvar, Mutex, RwLock, WaitTimeoutResult};
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub use std::sync::{Once, OnceLock};
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+#[cfg(loom)]
+pub use loom::sync::{Condvar, Mutex, Once, OnceLock, RwLock, WaitTimeoutResult};
+
+pub use std::sync::Arc;

@@ -1,0 +1,69 @@
+//! Source-level guard: every sync primitive in `hstreams-core` must come
+//! through the `crate::sync` facade, which swaps in `loom`'s model-checked
+//! types under `cfg(loom)`. A direct `std::sync::atomic` or `parking_lot`
+//! use anywhere else would silently escape the loom models — the code
+//! would still compile and pass, but its interleavings would never be
+//! explored. This test greps the crate's sources and fails on any bypass.
+//!
+//! Allowed exceptions:
+//! * `src/sync.rs` — the facade itself re-exports the real primitives.
+//! * `std::sync::Mutex` in `src/lockorder.rs` — observer infrastructure
+//!   documented as deliberately *not* part of the protocol under
+//!   verification (it must not add schedule points to the models). The
+//!   atomic it uses still comes from `crate::sync`.
+
+use std::path::Path;
+
+/// Patterns that mean "bypassed the shim". `std::sync::Mutex`/`RwLock`/
+/// `Condvar` are intentionally not on the list: the facade maps those to
+/// `parking_lot`, so a std lock is an odd choice but not a model-soundness
+/// hole, and lockorder.rs uses one on purpose.
+const FORBIDDEN: &[&str] = &["std::sync::atomic", "parking_lot"];
+
+#[test]
+fn core_uses_the_sync_facade_exclusively() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut files = Vec::new();
+    collect_rs(&src, &mut files);
+    assert!(
+        files.iter().any(|p| p.ends_with("sync.rs")),
+        "source scan found no sync.rs — wrong directory?"
+    );
+    let mut violations = Vec::new();
+    for path in &files {
+        if path.file_name().is_some_and(|n| n == "sync.rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        for (lineno, line) in text.lines().enumerate() {
+            for pat in FORBIDDEN {
+                if line.contains(pat) {
+                    violations.push(format!(
+                        "{}:{}: `{pat}`: {}",
+                        path.display(),
+                        lineno + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "sync primitives must come through crate::sync (loom swaps it out \
+         under cfg(loom); direct uses escape the models):\n{}",
+        violations.join("\n")
+    );
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable src dir") {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

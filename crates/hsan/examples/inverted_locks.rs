@@ -1,0 +1,30 @@
+//! An intentionally *broken* lock-acquisition pattern, as a positive test
+//! for `hsan lock-order`: acquire a per-stream mutex, then the world
+//! RwLock while still holding it — the inverse of the documented order
+//! (DESIGN.md §13), and one half of a classic AB/BA deadlock against any
+//! thread that acquires them the right way round.
+//!
+//! Prints the recorded edge graph; pipe it to the checker, which must exit 1:
+//!
+//! ```text
+//! cargo run -p hsan --example inverted_locks | cargo run -p hsan -- lock-order -
+//! ```
+
+use hstreams_core::lockorder::{self, LockClass};
+
+fn main() {
+    lockorder::enable();
+    {
+        // The legal direction, as the runtime's enqueue path does it…
+        let _world = lockorder::acquiring(LockClass::World);
+        let _stream = lockorder::acquiring(LockClass::Stream);
+        let _slot = lockorder::acquiring(LockClass::EventSlot);
+    }
+    {
+        // …and the inversion: world acquired while a stream mutex is held.
+        let _stream = lockorder::acquiring(LockClass::Stream);
+        let _world = lockorder::acquiring(LockClass::World);
+    }
+    lockorder::disable();
+    print!("{}", lockorder::edges_json());
+}

@@ -130,9 +130,9 @@ fn quote(s: &str) -> String {
 
 // ------------------------------------------------------------------ parsing
 
-/// A parsed JSON value (only what the trace schema needs).
+/// A parsed JSON value (only what the trace and edge schemas need).
 #[derive(Clone, Debug, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Null,
     Bool(bool),
     Num(f64),
@@ -147,20 +147,20 @@ pub fn from_json(text: &str) -> Result<ActionTrace, String> {
     trace_from_value(&value)
 }
 
-struct Parser<'a> {
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Parser<'a> {
+    pub(crate) fn new(text: &'a str) -> Parser<'a> {
         Parser {
             bytes: text.as_bytes(),
             pos: 0,
         }
     }
 
-    fn parse(mut self) -> Result<Value, String> {
+    pub(crate) fn parse(mut self) -> Result<Value, String> {
         let v = self.value()?;
         self.skip_ws();
         if self.pos != self.bytes.len() {
@@ -469,7 +469,7 @@ fn op_from_value(v: &Value) -> Result<TraceOp, String> {
     }
 }
 
-fn check_keys(obj: &BTreeMap<String, Value>, allowed: &[&str]) -> Result<(), String> {
+pub(crate) fn check_keys(obj: &BTreeMap<String, Value>, allowed: &[&str]) -> Result<(), String> {
     for k in obj.keys() {
         if !allowed.contains(&k.as_str()) {
             return Err(format!("unknown key '{k}' (allowed: {allowed:?})"));
@@ -478,32 +478,32 @@ fn check_keys(obj: &BTreeMap<String, Value>, allowed: &[&str]) -> Result<(), Str
     Ok(())
 }
 
-fn get<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v Value, String> {
+pub(crate) fn get<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v Value, String> {
     obj.get(key).ok_or_else(|| format!("missing key '{key}'"))
 }
 
-fn as_obj<'v>(v: &'v Value, what: &str) -> Result<&'v BTreeMap<String, Value>, String> {
+pub(crate) fn as_obj<'v>(v: &'v Value, what: &str) -> Result<&'v BTreeMap<String, Value>, String> {
     match v {
         Value::Obj(m) => Ok(m),
         _ => Err(format!("{what} must be an object")),
     }
 }
 
-fn as_arr<'v>(v: &'v Value, what: &str) -> Result<&'v [Value], String> {
+pub(crate) fn as_arr<'v>(v: &'v Value, what: &str) -> Result<&'v [Value], String> {
     match v {
         Value::Arr(a) => Ok(a),
         _ => Err(format!("{what} must be an array")),
     }
 }
 
-fn as_str<'v>(v: &'v Value, what: &str) -> Result<&'v str, String> {
+pub(crate) fn as_str<'v>(v: &'v Value, what: &str) -> Result<&'v str, String> {
     match v {
         Value::Str(s) => Ok(s),
         _ => Err(format!("{what} must be a string")),
     }
 }
 
-fn get_str<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v str, String> {
+pub(crate) fn get_str<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v str, String> {
     as_str(get(obj, key)?, key)
 }
 
@@ -514,7 +514,7 @@ fn num_u64(v: &Value, what: &str) -> Result<u64, String> {
     }
 }
 
-fn get_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
+pub(crate) fn get_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
     num_u64(get(obj, key)?, key)
 }
 

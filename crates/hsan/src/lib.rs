@@ -26,6 +26,7 @@
 
 pub mod hb;
 pub mod json;
+pub mod lockorder;
 pub mod simtrace;
 
 use hstreams_core::record::{ActionRecord, TraceOp};

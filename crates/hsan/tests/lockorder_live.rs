@@ -1,0 +1,59 @@
+//! Live round-trip of the lock-order witness: record acquisitions through
+//! `hstreams_core::lockorder` (the real recorder, not hand-written JSON),
+//! serialize with `edges_json`, and check with `hsan::lockorder` — the
+//! same path the CLI takes. The witness state is global, so everything
+//! runs in one sequential `#[test]`.
+
+use hstreams_core::lockorder::{self, LockClass};
+
+#[test]
+fn recorded_edges_round_trip_through_the_checker() {
+    // A well-ordered nesting: clean report.
+    lockorder::clear();
+    lockorder::enable();
+    {
+        let _world = lockorder::acquiring(LockClass::World);
+        let _stream = lockorder::acquiring(LockClass::Stream);
+        let _slot = lockorder::acquiring(LockClass::EventSlot);
+    }
+    lockorder::disable();
+    let report = hsan::lockorder::check_json(&lockorder::edges_json()).expect("edges parse");
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.edges.len(), 3);
+
+    // The inverted_locks example's pattern: a stream mutex held across a
+    // world acquisition. The checker must flag both the rank inversion and
+    // the world -> stream -> world deadlock cycle.
+    lockorder::clear();
+    lockorder::enable();
+    {
+        let _world = lockorder::acquiring(LockClass::World);
+        let _stream = lockorder::acquiring(LockClass::Stream);
+    }
+    {
+        let _stream = lockorder::acquiring(LockClass::Stream);
+        let _world = lockorder::acquiring(LockClass::World);
+    }
+    lockorder::disable();
+    let report = hsan::lockorder::check_json(&lockorder::edges_json()).expect("edges parse");
+    assert!(!report.is_clean(), "inversion not flagged:\n{report}");
+    assert!(
+        report.findings.iter().any(|f| matches!(
+            f,
+            hsan::lockorder::LockOrderFinding::RankInversion {
+                held: LockClass::Stream,
+                acquired: LockClass::World,
+                ..
+            }
+        )),
+        "{report}"
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| matches!(f, hsan::lockorder::LockOrderFinding::Cycle { .. })),
+        "{report}"
+    );
+    lockorder::clear();
+}

@@ -1,0 +1,248 @@
+//! Offline shim of the [loom] concurrency model checker.
+//!
+//! The build container has no crates.io access, so this workspace member
+//! stands in for the real `loom` crate with the API subset the repository
+//! uses: `loom::model` / `loom::model::Builder`, `loom::thread::{spawn,
+//! yield_now, JoinHandle}`, and `loom::sync::{Arc, Mutex, RwLock, Condvar,
+//! OnceLock, Once, atomic::*}`.
+//!
+//! # What it actually checks
+//!
+//! Inside [`model`], threads run **cooperatively serialized**: exactly one
+//! model thread executes at a time, and every synchronization operation
+//! (atomic access, lock acquire, condvar op, spawn/join/yield) is a
+//! *schedule point* where the scheduler may switch threads. A DFS explorer
+//! enumerates every reachable schedule (optionally bounded in the number of
+//! preemptions, CHESS-style), re-running the model body once per schedule.
+//! Assertion failures and panics on any schedule fail the test with the
+//! schedule still loaded, deadlocks are detected and reported with each
+//! thread's blocked state, and `Condvar::wait_for` waiters are rescued (as
+//! timeouts) rather than counted as deadlocked.
+//!
+//! # Fidelity caveats vs. real loom
+//!
+//! * **Sequentially consistent exploration only.** All atomics execute with
+//!   `SeqCst` semantics regardless of the `Ordering` passed; the shim
+//!   explores *interleavings*, not weak-memory *reorderings*. It therefore
+//!   catches lost-update, atomicity, lock-order and lost-wakeup bugs, but
+//!   cannot catch a bug that requires an `Acquire`/`Release` pairing to be
+//!   too weak. ThreadSanitizer CI covers part of that gap.
+//! * Models must be **deterministic** given the schedule (no wall-clock, no
+//!   ambient randomness); replay divergence is detected and reported.
+//! * Model threads must not share loom-shimmed primitives with free-running
+//!   OS threads spawned via `std::thread` — those bypass the scheduler and
+//!   would block the whole process. Keep models self-contained.
+//!
+//! Outside an active model every type passes through to `std::sync` with
+//! its ordinary behavior, so a `--cfg loom` build still runs the regular
+//! (non-model) test suite correctly.
+//!
+//! Environment knobs: `LOOM_MAX_PREEMPTIONS` (default unbounded) seeds
+//! [`model::Builder::preemption_bound`], `LOOM_MAX_ITERATIONS` (default
+//! 200 000) caps explored schedules per model (exceeding it panics rather
+//! than passing vacuously), `LOOM_LOG=1` prints the schedule count.
+//!
+//! [loom]: https://docs.rs/loom
+
+pub mod model;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+    use super::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A non-atomic read-modify-write race must be caught: with two threads
+    /// doing load-then-store increments there is a schedule where one
+    /// update is lost, so asserting the sum is 2 has to fail.
+    #[test]
+    fn finds_lost_update_race() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            crate::model(|| {
+                let n = Arc::new(AtomicU64::new(0));
+                let n2 = n.clone();
+                let t = crate::thread::spawn(move || {
+                    let v = n2.load(Ordering::SeqCst);
+                    n2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            });
+        }));
+        assert!(r.is_err(), "model failed to find the lost-update schedule");
+    }
+
+    /// The same increment under a mutex is race-free on every schedule.
+    #[test]
+    fn mutex_increment_is_exhaustively_safe() {
+        crate::model(|| {
+            let n = Arc::new(Mutex::new(0u64));
+            let n2 = n.clone();
+            let t = crate::thread::spawn(move || {
+                *n2.lock() += 1;
+            });
+            *n.lock() += 1;
+            t.join().unwrap();
+            assert_eq!(*n.lock(), 2);
+        });
+    }
+
+    /// Atomic fetch_add is likewise safe without a lock.
+    #[test]
+    fn fetch_add_is_atomic() {
+        crate::model(|| {
+            let n = Arc::new(AtomicU32::new(0));
+            let n2 = n.clone();
+            let t = crate::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    /// Classic ABBA lock inversion must be reported as a deadlock on the
+    /// schedule where both threads hold their first lock.
+    #[test]
+    fn detects_abba_deadlock() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            crate::model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (a.clone(), b.clone());
+                let t = crate::thread::spawn(move || {
+                    let _gb = b2.lock();
+                    let _ga = a2.lock();
+                });
+                {
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                }
+                t.join().unwrap();
+            });
+        }));
+        let msg = match r {
+            Err(p) => *p.downcast::<String>().expect("panic payload"),
+            Ok(()) => panic!("model failed to find the ABBA deadlock"),
+        };
+        assert!(msg.contains("deadlock"), "unexpected panic: {msg}");
+    }
+
+    /// Condvar handoff with a predicate loop completes on every schedule,
+    /// including ones where the notify lands before the wait.
+    #[test]
+    fn condvar_handoff_completes() {
+        crate::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = pair.clone();
+            let t = crate::thread::spawn(move || {
+                *pair2.0.lock() = true;
+                pair2.1.notify_one();
+            });
+            {
+                let mut ready = pair.0.lock();
+                while !*ready {
+                    // Timed wait: on schedules where the notify already
+                    // happened this would otherwise deadlock; the rescue
+                    // turns it into a timeout and the predicate re-check
+                    // sees the flag.
+                    let _ = pair
+                        .1
+                        .wait_for(&mut ready, std::time::Duration::from_millis(1));
+                }
+            }
+            t.join().unwrap();
+        });
+    }
+
+    /// RwLock: a writer is mutually exclusive with readers; two readers
+    /// may interleave freely. The invariant (both halves equal) holds on
+    /// every schedule.
+    #[test]
+    fn rwlock_writer_excludes_readers() {
+        crate::model(|| {
+            let v = Arc::new(RwLock::new((0u32, 0u32)));
+            let v2 = v.clone();
+            let t = crate::thread::spawn(move || {
+                let mut g = v2.write();
+                g.0 += 1;
+                g.1 += 1;
+            });
+            {
+                let g = v.read();
+                assert_eq!(g.0, g.1, "torn write observed through RwLock");
+            }
+            t.join().unwrap();
+        });
+    }
+
+    /// OnceLock initializes exactly once even when two threads race to set.
+    #[test]
+    fn oncelock_single_initialization() {
+        crate::model(|| {
+            let c = Arc::new(OnceLock::new());
+            let c2 = c.clone();
+            let t = crate::thread::spawn(move || c2.set(2u32).is_ok());
+            let mine = c.set(1u32).is_ok();
+            let theirs = t.join().unwrap();
+            assert!(mine ^ theirs, "exactly one set must win");
+            let v = *c.get().expect("initialized");
+            assert!(v == 1 || v == 2);
+        });
+    }
+
+    /// join() returns the child's value.
+    #[test]
+    fn join_returns_value() {
+        crate::model(|| {
+            let t = crate::thread::spawn(|| 7u32);
+            assert_eq!(t.join().unwrap(), 7);
+        });
+    }
+
+    /// Outside a model everything passes through to std and just works.
+    #[test]
+    fn passthrough_outside_model() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        let rw = RwLock::new(3u32);
+        assert_eq!(*rw.read(), 3);
+        *rw.write() = 4;
+        assert_eq!(*rw.read(), 4);
+        let a = AtomicU64::new(0);
+        a.fetch_add(5, Ordering::AcqRel);
+        assert_eq!(a.load(Ordering::Acquire), 5);
+        let o: OnceLock<u32> = OnceLock::new();
+        assert_eq!(*o.get_or_init(|| 9), 9);
+        assert!(o.set(10).is_err());
+        let t = crate::thread::spawn(|| 11u32);
+        assert_eq!(t.join().unwrap(), 11);
+    }
+
+    /// A bounded model with preemption_bound(0) still runs to completion
+    /// (pure context-switch-on-block schedules only).
+    #[test]
+    fn builder_preemption_bound_zero() {
+        let mut b = crate::model::Builder::new();
+        b.preemption_bound = Some(0);
+        b.check(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = n.clone();
+            let t = crate::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+}

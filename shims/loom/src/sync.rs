@@ -1,0 +1,509 @@
+//! `loom::sync`: model-aware synchronization primitives.
+//!
+//! API shape mirrors this workspace's `parking_lot` shim (guards returned
+//! directly, `try_lock -> Option`, `Condvar::wait_for` returning
+//! [`WaitTimeoutResult`]) plus `std`'s `OnceLock`/`Once` and the atomic
+//! integer types. Inside a model every operation is a schedule point and
+//! blocking is mediated by the scheduler; outside a model everything
+//! passes straight through to `std::sync` (poisoning is swallowed, like
+//! the `parking_lot` shim).
+
+use crate::sched::{current, Ctx, Wait};
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::{
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+    RwLock as StdRwLock, RwLockReadGuard as StdRwLockReadGuard,
+    RwLockWriteGuard as StdRwLockWriteGuard, TryLockError,
+};
+use std::time::Duration;
+
+pub use std::sync::Arc;
+
+pub mod atomic;
+
+fn recover<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+fn try_recover<G>(r: Result<G, TryLockError<G>>) -> Option<G> {
+    match r {
+        Ok(g) => Some(g),
+        Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
+    }
+}
+
+/// Treat the calling site as a schedule point when inside a model.
+/// Returns the model context so callers can block through the scheduler.
+pub(crate) fn schedule_point() -> Option<Ctx> {
+    let ctx = current();
+    if let Some(c) = &ctx {
+        c.sched.yield_point(c.tid);
+    }
+    ctx
+}
+
+static NEXT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Resource id assigned on first use, so constructors stay `const`.
+struct LazyId(std::sync::atomic::AtomicU64);
+
+impl LazyId {
+    const fn new() -> LazyId {
+        LazyId(std::sync::atomic::AtomicU64::new(0))
+    }
+
+    fn get(&self) -> u64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let v = self.0.load(Relaxed);
+        if v != 0 {
+            return v;
+        }
+        let id = NEXT_ID.fetch_add(1, Relaxed);
+        match self.0.compare_exchange(0, id, Relaxed, Relaxed) {
+            Ok(_) => id,
+            Err(cur) => cur,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- Mutex --
+
+pub struct Mutex<T: ?Sized> {
+    id: LazyId,
+    inner: StdMutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            id: LazyId::new(),
+            inner: StdMutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        recover(self.inner.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn raw_lock(&self, ctx: &Ctx) -> StdMutexGuard<'_, T> {
+        loop {
+            if let Some(g) = try_recover(self.inner.try_lock()) {
+                return g;
+            }
+            ctx.sched.block_on(ctx.tid, Wait::Resource(self.id.get()));
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let inner = match schedule_point() {
+            Some(ctx) => self.raw_lock(&ctx),
+            None => recover(self.inner.lock()),
+        };
+        MutexGuard {
+            lock: self,
+            inner: Some(inner),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        schedule_point();
+        try_recover(self.inner.try_lock()).map(|g| MutexGuard {
+            lock: self,
+            inner: Some(g),
+        })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        recover(self.inner.get_mut())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            // Wake scheduler-parked contenders; deliberately NOT a schedule
+            // point (guards drop during unwinding too).
+            if let Some(ctx) = current() {
+                ctx.sched.release_resource(self.lock.id.get());
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- RwLock --
+
+pub struct RwLock<T: ?Sized> {
+    id: LazyId,
+    inner: StdRwLock<T>,
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<StdRwLockReadGuard<'a, T>>,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<StdRwLockWriteGuard<'a, T>>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(t: T) -> RwLock<T> {
+        RwLock {
+            id: LazyId::new(),
+            inner: StdRwLock::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        recover(self.inner.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let inner = match schedule_point() {
+            Some(ctx) => loop {
+                if let Some(g) = try_recover(self.inner.try_read()) {
+                    break g;
+                }
+                ctx.sched.block_on(ctx.tid, Wait::Resource(self.id.get()));
+            },
+            None => recover(self.inner.read()),
+        };
+        RwLockReadGuard {
+            lock: self,
+            inner: Some(inner),
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let inner = match schedule_point() {
+            Some(ctx) => loop {
+                if let Some(g) = try_recover(self.inner.try_write()) {
+                    break g;
+                }
+                ctx.sched.block_on(ctx.tid, Wait::Resource(self.id.get()));
+            },
+            None => recover(self.inner.write()),
+        };
+        RwLockWriteGuard {
+            lock: self,
+            inner: Some(inner),
+        }
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        schedule_point();
+        try_recover(self.inner.try_read()).map(|g| RwLockReadGuard {
+            lock: self,
+            inner: Some(g),
+        })
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        schedule_point();
+        try_recover(self.inner.try_write()).map(|g| RwLockWriteGuard {
+            lock: self,
+            inner: Some(g),
+        })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        recover(self.inner.get_mut())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            if let Some(ctx) = current() {
+                ctx.sched.release_resource(self.lock.id.get());
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            if let Some(ctx) = current() {
+                ctx.sched.release_resource(self.lock.id.get());
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- Condvar --
+
+/// Result of [`Condvar::wait_for`].
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+pub struct Condvar {
+    id: LazyId,
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            id: LazyId::new(),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match schedule_point() {
+            Some(ctx) => {
+                let lock = guard.lock;
+                drop(guard.inner.take().expect("guard present"));
+                ctx.sched.release_resource(lock.id.get());
+                ctx.sched.block_on(
+                    ctx.tid,
+                    Wait::Cond {
+                        cv: self.id.get(),
+                        timed: false,
+                    },
+                );
+                guard.inner = Some(lock.raw_lock(&ctx));
+            }
+            None => {
+                let g = guard.inner.take().expect("guard present");
+                guard.inner = Some(recover(self.inner.wait(g)));
+            }
+        }
+    }
+
+    /// Timed wait. Inside a model there is no clock: the waiter "times
+    /// out" exactly when the model would otherwise deadlock (every other
+    /// thread blocked), which conservatively covers the timeout-driven
+    /// recovery paths.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        match schedule_point() {
+            Some(ctx) => {
+                let lock = guard.lock;
+                drop(guard.inner.take().expect("guard present"));
+                ctx.sched.release_resource(lock.id.get());
+                let rescued = ctx.sched.block_on(
+                    ctx.tid,
+                    Wait::Cond {
+                        cv: self.id.get(),
+                        timed: true,
+                    },
+                );
+                guard.inner = Some(lock.raw_lock(&ctx));
+                WaitTimeoutResult(rescued)
+            }
+            None => {
+                let g = guard.inner.take().expect("guard present");
+                let (g, r) = recover(self.inner.wait_timeout(g, timeout));
+                guard.inner = Some(g);
+                WaitTimeoutResult(r.timed_out())
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match schedule_point() {
+            Some(ctx) => ctx.sched.notify_cond(self.id.get(), false),
+            None => self.inner.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match schedule_point() {
+            Some(ctx) => ctx.sched.notify_cond(self.id.get(), true),
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+// ------------------------------------------------------- OnceLock / Once --
+
+/// Write-once cell; initialization races are resolved through the model
+/// scheduler (via the internal mutex and flag) so they are explored like
+/// any other interleaving.
+pub struct OnceLock<T> {
+    init: Mutex<()>,
+    set: atomic::AtomicBool,
+    value: UnsafeCell<Option<T>>,
+}
+
+// SAFETY: the value is written exactly once, before `set` flips true under
+// `init`; afterwards only shared references are handed out. With T: Send +
+// Sync the container can be shared, with T: Send it can be moved.
+unsafe impl<T: Send + Sync> Sync for OnceLock<T> {}
+// SAFETY: see above — moving the container moves the (Send) value.
+unsafe impl<T: Send> Send for OnceLock<T> {}
+
+impl<T> OnceLock<T> {
+    pub const fn new() -> OnceLock<T> {
+        OnceLock {
+            init: Mutex::new(()),
+            set: atomic::AtomicBool::new(false),
+            value: UnsafeCell::new(None),
+        }
+    }
+
+    pub fn get(&self) -> Option<&T> {
+        if self.set.load(atomic::Ordering::Acquire) {
+            // SAFETY: `set` is flipped true (release) only after the single
+            // write to `value` completed, and `value` is never written
+            // again, so a shared reference cannot alias a mutation.
+            unsafe { (*self.value.get()).as_ref() }
+        } else {
+            None
+        }
+    }
+
+    pub fn set(&self, v: T) -> Result<(), T> {
+        let _g = self.init.lock();
+        if self.set.load(atomic::Ordering::Acquire) {
+            return Err(v);
+        }
+        // SAFETY: `init` is held and `set` is false, so this is the unique
+        // write; readers only dereference after observing `set == true`.
+        unsafe {
+            *self.value.get() = Some(v);
+        }
+        self.set.store(true, atomic::Ordering::Release);
+        Ok(())
+    }
+
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        if self.get().is_none() {
+            let _g = self.init.lock();
+            if !self.set.load(atomic::Ordering::Acquire) {
+                let v = f();
+                // SAFETY: as in `set` — unique write under `init`, no
+                // readers until the release store below.
+                unsafe {
+                    *self.value.get() = Some(v);
+                }
+                self.set.store(true, atomic::Ordering::Release);
+            }
+        }
+        self.get().expect("just initialized")
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> OnceLock<T> {
+        OnceLock::new()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("OnceLock").field(&self.get()).finish()
+    }
+}
+
+/// `std::sync::Once` stand-in built on [`OnceLock`].
+pub struct Once {
+    inner: OnceLock<()>,
+}
+
+impl Once {
+    pub const fn new() -> Once {
+        Once {
+            inner: OnceLock::new(),
+        }
+    }
+
+    pub fn call_once<F: FnOnce()>(&self, f: F) {
+        self.inner.get_or_init(f);
+    }
+
+    pub fn is_completed(&self) -> bool {
+        self.inner.get().is_some()
+    }
+}
+
+impl Default for Once {
+    fn default() -> Once {
+        Once::new()
+    }
+}

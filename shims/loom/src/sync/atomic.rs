@@ -1,0 +1,160 @@
+//! `loom::sync::atomic`: atomics whose every access is a schedule point.
+//!
+//! Inside a model all operations execute with `SeqCst` semantics — the
+//! shim explores interleavings, not weak-memory reorderings (see crate
+//! docs). `compare_exchange_weak` never fails spuriously in a model
+//! (spurious failure is hardware nondeterminism, which would break
+//! deterministic replay). Outside a model the caller's ordering is passed
+//! through unchanged.
+
+use super::schedule_point;
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! atomic_common {
+    ($name:ident, $prim:ty) => {
+        pub struct $name {
+            inner: std::sync::atomic::$name,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> $name {
+                $name {
+                    inner: std::sync::atomic::$name::new(v),
+                }
+            }
+
+            fn ord(order: Ordering) -> Ordering {
+                if schedule_point().is_some() {
+                    Ordering::SeqCst
+                } else {
+                    order
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $prim {
+                self.inner.load(Self::ord(order))
+            }
+
+            pub fn store(&self, val: $prim, order: Ordering) {
+                self.inner.store(val, Self::ord(order))
+            }
+
+            pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                self.inner.swap(val, Self::ord(order))
+            }
+
+            pub fn fetch_and(&self, val: $prim, order: Ordering) -> $prim {
+                self.inner.fetch_and(val, Self::ord(order))
+            }
+
+            pub fn fetch_or(&self, val: $prim, order: Ordering) -> $prim {
+                self.inner.fetch_or(val, Self::ord(order))
+            }
+
+            pub fn fetch_xor(&self, val: $prim, order: Ordering) -> $prim {
+                self.inner.fetch_xor(val, Self::ord(order))
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                if schedule_point().is_some() {
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                } else {
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            /// In a model this is the strong variant: spurious failure is
+            /// nondeterminism the replayer cannot reproduce.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                if schedule_point().is_some() {
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                } else {
+                    self.inner
+                        .compare_exchange_weak(current, new, success, failure)
+                }
+            }
+
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Raw load on purpose: Debug must not perturb the schedule.
+                std::fmt::Debug::fmt(&self.inner, f)
+            }
+        }
+    };
+}
+
+macro_rules! atomic_int_ext {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                self.inner.fetch_add(val, Self::ord(order))
+            }
+
+            pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                self.inner.fetch_sub(val, Self::ord(order))
+            }
+
+            pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
+                self.inner.fetch_max(val, Self::ord(order))
+            }
+
+            pub fn fetch_min(&self, val: $prim, order: Ordering) -> $prim {
+                self.inner.fetch_min(val, Self::ord(order))
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(0)
+            }
+        }
+    };
+}
+
+atomic_common!(AtomicBool, bool);
+atomic_common!(AtomicU32, u32);
+atomic_common!(AtomicU64, u64);
+atomic_common!(AtomicUsize, usize);
+
+atomic_int_ext!(AtomicU32, u32);
+atomic_int_ext!(AtomicU64, u64);
+atomic_int_ext!(AtomicUsize, usize);
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+/// Memory fence; a schedule point (and `SeqCst`) inside a model.
+pub fn fence(order: Ordering) {
+    if schedule_point().is_some() {
+        std::sync::atomic::fence(Ordering::SeqCst)
+    } else {
+        std::sync::atomic::fence(order)
+    }
+}
