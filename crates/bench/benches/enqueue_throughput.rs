@@ -1,24 +1,37 @@
 //! Source-endpoint throughput: how many actions per second the front-end
-//! can enqueue, single-threaded and (post-refactor) from N concurrent
-//! source threads driving disjoint streams.
+//! can enqueue, single-threaded and from N concurrent source threads
+//! driving disjoint streams, through both the single-action path
+//! (`config: "id_block"`) and the batched `enqueue_many` path
+//! (`config: "batch"`).
 //!
-//! Writes `BENCH_enqueue.json` at the workspace root. `HS_BENCH_SMOKE=1`
-//! shrinks the run for CI; `HS_BENCH_CHECK=1` additionally compares the
-//! measured single-thread rate against the committed artifact and fails
-//! loudly on a >20% regression.
+//! Writes `BENCH_enqueue.json` at the workspace root. Every row carries
+//! contention evidence next to the rate: `frontend.stream_lock.contended`,
+//! `id_rmw_per_action` (global id-allocation RMWs amortized over actions —
+//! 1.0 before per-thread id blocks, ~1/32 after), and `deps.redundant`.
+//!
+//! Env knobs:
+//! * `HS_BENCH_SMOKE=1` shrinks the run for CI;
+//! * `HS_BENCH_CHECK=1` compares the measured single-thread rate against
+//!   the committed artifact and fails loudly on a >20% regression;
+//! * `HS_BENCH_SCALE_GATE=1` enforces the scaling acceptance gate:
+//!   aggregate throughput non-decreasing from 1→2 source threads when the
+//!   host has ≥2 cores; on a 1-core runner the gate is skipped with a
+//!   notice and the contention counters are gated instead (id RMWs per
+//!   action must stay well below the pre-PR 1.0).
 
 use bytes::Bytes;
 use hs_bench::{f, write_bench_json, JsonRecord, Table};
 use hs_machine::{Device, PlatformCfg};
 use hstreams_core::{
-    Access, BufProps, CostHint, CpuMask, DomainId, ExecMode, HStreams, Operand, OrderingMode,
-    StreamId,
+    Access, BatchAction, BufProps, CostHint, CpuMask, DomainId, ExecMode, HStreams, Operand,
+    OrderingMode, StreamId,
 };
 use std::sync::Arc;
 
 const STREAMS_PER_THREAD: usize = 2;
 const BUFS_PER_STREAM: usize = 8;
 const SYNC_EVERY: usize = 512;
+const BATCH: usize = 64;
 
 fn runtime(ordering: OrderingMode) -> HStreams {
     let hs = HStreams::init_with_ordering(
@@ -70,17 +83,75 @@ fn drive(hs: &HStreams, lane: &Lane, actions: usize) {
     hs.stream_synchronize(lane.stream).expect("sync");
 }
 
+/// Like [`drive`], but through `enqueue_many` in chunks of [`BATCH`]: one
+/// window lock, one executor hand-off, one publish pass per chunk.
+fn drive_batched(hs: &HStreams, lane: &Lane, actions: usize) {
+    let mut chunk: Vec<BatchAction> = Vec::with_capacity(BATCH);
+    for i in 0..actions {
+        let buf = lane.bufs[i % BUFS_PER_STREAM];
+        chunk.push(BatchAction::Compute {
+            func: "nop".into(),
+            args: Bytes::new(),
+            operands: vec![Operand::new(buf, 0..4096, Access::InOut)],
+            cost: CostHint::trivial(),
+        });
+        let boundary = (i + 1) % SYNC_EVERY == 0;
+        if chunk.len() == BATCH || boundary {
+            hs.enqueue_many(lane.stream, std::mem::take(&mut chunk))
+                .expect("batch");
+        }
+        if boundary {
+            hs.stream_synchronize(lane.stream).expect("sync");
+        }
+    }
+    if !chunk.is_empty() {
+        hs.enqueue_many(lane.stream, chunk).expect("batch");
+    }
+    hs.stream_synchronize(lane.stream).expect("sync");
+}
+
+/// Contention evidence for one measurement, pulled from the runtime's
+/// metrics after the run (counters cover the runtime's whole lifetime,
+/// warmup included — the ratios are what matter).
+struct Evidence {
+    lock_contended: f64,
+    id_rmw_per_action: f64,
+    deps_redundant: f64,
+}
+
+fn evidence(hs: &HStreams) -> Evidence {
+    let rows = hs.metrics().rows();
+    let get = |key: &str| {
+        rows.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let reserved = get("events.reserved").max(1.0);
+    Evidence {
+        lock_contended: get("frontend.stream_lock.contended"),
+        id_rmw_per_action: get("events.id_block.mints") / reserved,
+        deps_redundant: get("deps.redundant"),
+    }
+}
+
 /// One measurement: `threads` source threads, each driving its own lanes
-/// on one shared runtime. Returns aggregate actions/sec.
-fn measure(threads: usize, actions_per_thread: usize, ordering: OrderingMode) -> f64 {
+/// on one shared runtime. Returns (aggregate actions/sec, evidence).
+fn measure(
+    threads: usize,
+    actions_per_thread: usize,
+    ordering: OrderingMode,
+    batched: bool,
+) -> (f64, Evidence) {
     let hs = runtime(ordering);
     let lanes: Vec<Vec<Lane>> = (0..threads)
         .map(|_| make_lanes(&hs, STREAMS_PER_THREAD))
         .collect();
+    let go = if batched { drive_batched } else { drive };
     // Warm the sink pipelines so spawn cost stays out of the measurement.
     for tl in &lanes {
         for lane in tl {
-            drive(&hs, lane, SYNC_EVERY.min(actions_per_thread));
+            go(&hs, lane, SYNC_EVERY.min(actions_per_thread));
         }
     }
     let total = threads * actions_per_thread;
@@ -88,7 +159,7 @@ fn measure(threads: usize, actions_per_thread: usize, ordering: OrderingMode) ->
     if threads == 1 {
         let per_lane = actions_per_thread / STREAMS_PER_THREAD;
         for lane in &lanes[0] {
-            drive(&hs, lane, per_lane);
+            go(&hs, lane, per_lane);
         }
     } else {
         std::thread::scope(|scope| {
@@ -97,13 +168,14 @@ fn measure(threads: usize, actions_per_thread: usize, ordering: OrderingMode) ->
                 scope.spawn(move || {
                     let per_lane = actions_per_thread / STREAMS_PER_THREAD;
                     for lane in tl {
-                        drive(&hs, lane, per_lane);
+                        go(&hs, lane, per_lane);
                     }
                 });
             }
         });
     }
-    total as f64 / start.elapsed().as_secs_f64()
+    let rate = total as f64 / start.elapsed().as_secs_f64();
+    (rate, evidence(&hs))
 }
 
 fn ordering_tag(o: OrderingMode) -> &'static str {
@@ -142,69 +214,171 @@ fn check_regression(measured: f64) {
         .expect("HS_BENCH_CHECK: committed BENCH_enqueue.json must exist");
     let row = committed
         .lines()
-        .find(|l| l.contains("\"name\": \"single_thread\""))
-        .expect("committed BENCH_enqueue.json has a single_thread row");
+        .find(|l| {
+            l.contains("\"name\": \"single_thread\"") && l.contains("\"config\": \"id_block\"")
+        })
+        .expect("committed BENCH_enqueue.json has a single_thread id_block row");
     let reference = json_value(row, "actions_per_sec").expect("row has actions_per_sec");
-    let floor = 0.8 * reference;
+    // The committed artifact comes from a full-length run; a smoke run is
+    // both shorter (warmup is a larger share) and noisier, so it gets a
+    // deeper floor — it still catches order-of-magnitude regressions
+    // (e.g. the pre-PR global-RMW path) without flaking on jitter.
+    let frac = if std::env::var("HS_BENCH_SMOKE").is_ok() {
+        0.5
+    } else {
+        0.8
+    };
+    let floor = frac * reference;
     println!(
         "regression check: measured {measured:.0} vs committed {reference:.0} (floor {floor:.0})"
     );
     assert!(
         measured >= floor,
-        "single-thread enqueue throughput regressed >20%: {measured:.0} < {floor:.0} actions/sec"
+        "single-thread enqueue throughput regressed below {frac:.0}x of the committed \
+         rate: {measured:.0} < {floor:.0} actions/sec"
     );
+}
+
+/// The concurrency-smoke scaling gate (CI): with ≥2 host cores, aggregate
+/// throughput must be non-decreasing from 1→2 source threads; on a 1-core
+/// runner parallel sources can only interleave, so the gate is skipped
+/// with a notice and the contention counters are gated instead.
+fn scale_gate(cores: usize, rate_1t: f64, rate_2t: Option<f64>, ev_1t: &Evidence) {
+    if cores >= 2 {
+        let r2 = rate_2t.expect("scale gate needs the 2-thread measurement");
+        // 5% measurement-noise allowance on "non-decreasing".
+        let floor = 0.95 * rate_1t;
+        println!("scale gate: 1T {rate_1t:.0} -> 2T {r2:.0} actions/s (floor {floor:.0})");
+        assert!(
+            r2 >= floor,
+            "aggregate enqueue throughput decreased from 1 to 2 source threads: \
+             {r2:.0} < {floor:.0} actions/s"
+        );
+    } else {
+        println!(
+            "NOTICE: scale gate skipped — 1-core runner cannot scale source \
+             threads; gating contention counters instead"
+        );
+        println!(
+            "  id_rmw_per_action = {:.4} (pre-PR: 1.0), stream_lock.contended = {}",
+            ev_1t.id_rmw_per_action, ev_1t.lock_contended
+        );
+        assert!(
+            ev_1t.id_rmw_per_action <= 0.5,
+            "per-thread id blocks should amortize the global id RMW well below \
+             1 per action; measured {:.4}",
+            ev_1t.id_rmw_per_action
+        );
+    }
 }
 
 fn main() {
     let smoke = std::env::var("HS_BENCH_SMOKE").is_ok();
     let check = std::env::var("HS_BENCH_CHECK").is_ok();
+    let gate = std::env::var("HS_BENCH_SCALE_GATE").is_ok();
     let actions = if smoke { 8 * 1024 } else { 64 * 1024 };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut records = Vec::new();
-    let mut table = Table::new(vec!["threads", "ordering", "actions/s", "vs 1T"]);
+    let mut table = Table::new(vec![
+        "threads",
+        "config",
+        "ordering",
+        "actions/s",
+        "vs 1T",
+        "rmw/act",
+        "contended",
+    ]);
 
     let mut single = 0.0;
-    for ordering in [OrderingMode::OutOfOrder, OrderingMode::StrictFifo] {
-        let thread_counts: &[usize] = if ordering == OrderingMode::OutOfOrder {
-            &[1, 2, 4, 8]
-        } else {
-            &[1]
-        };
-        let mut base = 0.0;
-        for &t in thread_counts {
-            if smoke && t > 2 {
+    let mut single_fifo = 0.0;
+    let mut single_ev = None;
+    let mut rate_2t = None;
+    for (config, batched) in [("id_block", false), ("batch", true)] {
+        for ordering in [OrderingMode::OutOfOrder, OrderingMode::StrictFifo] {
+            // FIFO ordering only matters single-threaded (the fifo/ooo gap
+            // row); the scaling story is out-of-order.
+            let thread_counts: &[usize] = if ordering == OrderingMode::OutOfOrder {
+                &[1, 2, 4, 8]
+            } else if batched {
                 continue;
-            }
-            let rate = measure(t, actions / t.min(4), ordering);
-            if t == 1 {
-                base = rate;
-                if ordering == OrderingMode::OutOfOrder {
-                    single = rate;
-                }
-            }
-            table.row(vec![
-                format!("{t}"),
-                ordering_tag(ordering).to_string(),
-                f(rate),
-                format!("{:.2}x", rate / base),
-            ]);
-            let name = if t == 1 {
-                "single_thread".to_string()
             } else {
-                format!("threads_{t}")
+                &[1]
             };
-            records.push(
-                JsonRecord::new(format!("{name}_{}", ordering_tag(ordering)), actions, 0.0)
-                    .with_name(name)
-                    .with_source_threads(t)
-                    .with_ordering(ordering_tag(ordering))
-                    .with_metrics(vec![
-                        ("actions_per_sec".to_string(), rate),
-                        ("host_cores".to_string(), cores as f64),
-                    ]),
-            );
+            let mut base = 0.0;
+            for &t in thread_counts {
+                if smoke && t > 2 {
+                    continue;
+                }
+                let (rate, ev) = measure(t, actions / t.min(4), ordering, batched);
+                if t == 1 {
+                    base = rate;
+                    if ordering == OrderingMode::OutOfOrder && !batched {
+                        single = rate;
+                        single_ev = Some(Evidence {
+                            lock_contended: ev.lock_contended,
+                            id_rmw_per_action: ev.id_rmw_per_action,
+                            deps_redundant: ev.deps_redundant,
+                        });
+                    }
+                    if ordering == OrderingMode::StrictFifo && !batched {
+                        single_fifo = rate;
+                    }
+                }
+                if t == 2 && ordering == OrderingMode::OutOfOrder && !batched {
+                    rate_2t = Some(rate);
+                }
+                table.row(vec![
+                    format!("{t}"),
+                    config.to_string(),
+                    ordering_tag(ordering).to_string(),
+                    f(rate),
+                    format!("{:.2}x", rate / base),
+                    format!("{:.4}", ev.id_rmw_per_action),
+                    format!("{:.0}", ev.lock_contended),
+                ]);
+                let name = if t == 1 {
+                    "single_thread".to_string()
+                } else {
+                    format!("threads_{t}")
+                };
+                records.push(
+                    JsonRecord::new(format!("{name}_{config}"), actions, 0.0)
+                        .with_name(name)
+                        .with_source_threads(t)
+                        .with_ordering(ordering_tag(ordering))
+                        .with_config(config)
+                        .with_metrics(vec![
+                            ("actions_per_sec".to_string(), rate),
+                            ("host_cores".to_string(), cores as f64),
+                            ("stream_lock_contended".to_string(), ev.lock_contended),
+                            ("id_rmw_per_action".to_string(), ev.id_rmw_per_action),
+                            ("deps_redundant".to_string(), ev.deps_redundant),
+                        ]),
+                );
+            }
         }
+    }
+    // The fifo-vs-ooo gap row: strict FIFO skips dependence analysis, so a
+    // small edge is structural — but ooo must stay well under the pre-PR
+    // ~1.3x gap, which was avoidable index-scan work (since pruned: the
+    // two paths now measure equal up to noise). The bound leaves headroom
+    // for single-run jitter on small hosts (±10% run-to-run on a 1-core
+    // box) while still catching a systematic regression.
+    if single > 0.0 && single_fifo > 0.0 {
+        let gap = single_fifo / single;
+        records.push(
+            JsonRecord::new("fifo_ooo_gap", actions, 0.0)
+                .with_source_threads(1)
+                .with_config("id_block")
+                .with_metrics(vec![("gap".to_string(), gap)]),
+        );
+        println!("\nfifo/ooo single-thread gap: {gap:.3}x (bound 1.25x)");
+        assert!(
+            gap <= 1.25,
+            "single-thread fifo ({single_fifo:.0}/s) outpaces ooo ({single:.0}/s) by \
+             {gap:.2}x — the ooo dependence-analysis path has regressed"
+        );
     }
     let baseline = pre_pr_baseline();
     if baseline > 0.0 {
@@ -212,16 +386,31 @@ fn main() {
             JsonRecord::new("pre_pr_baseline", actions, 0.0)
                 .with_source_threads(1)
                 .with_ordering("ooo")
-                .with_metrics(vec![("actions_per_sec".to_string(), baseline)]),
+                .with_config("pre_pr")
+                .with_metrics(vec![
+                    ("actions_per_sec".to_string(), baseline),
+                    ("host_cores".to_string(), cores as f64),
+                ]),
         );
         table.row(vec![
             "1 (pre-PR)".to_string(),
+            "pre_pr".to_string(),
             "ooo".to_string(),
             f(baseline),
             format!("{:.2}x", single / baseline),
+            "1.0000".to_string(),
+            "-".to_string(),
         ]);
     }
     table.print("enqueue throughput (thread executor, host streams)");
+    if gate {
+        scale_gate(
+            cores,
+            single,
+            rate_2t,
+            single_ev.as_ref().expect("1-thread measurement ran"),
+        );
+    }
     if check {
         check_regression(single);
     } else if !smoke {

@@ -67,6 +67,12 @@ pub struct JsonRecord {
     /// Intra-stream ordering mode the runtime ran with (`"ooo"` /
     /// `"fifo"`; emitted as an `ordering` key when set).
     pub ordering: Option<String>,
+    /// Front-end configuration that produced the row (`"id_block"` for the
+    /// per-thread id-block single-enqueue path, `"batch"` for
+    /// `enqueue_many`, `"pre_pr"` for the recorded pre-refactor baseline;
+    /// emitted as a `config` key when set) — keeps trajectory rows
+    /// comparable across PRs as the front-end evolves.
+    pub config: Option<String>,
     /// Extra observability columns (queue depths, occupancy, utilization)
     /// from an `hs_obs::MetricsSnapshot` — empty for plain measurements.
     pub metrics: Vec<(String, f64)>,
@@ -80,6 +86,7 @@ impl JsonRecord {
             gflops,
             source_threads: None,
             ordering: None,
+            config: None,
             metrics: Vec::new(),
         }
     }
@@ -101,6 +108,12 @@ impl JsonRecord {
     /// Record the intra-stream ordering mode (`"ooo"` / `"fifo"`).
     pub fn with_ordering(mut self, ordering: impl Into<String>) -> JsonRecord {
         self.ordering = Some(ordering.into());
+        self
+    }
+
+    /// Record the front-end configuration (`"id_block"` / `"batch"` / …).
+    pub fn with_config(mut self, config: impl Into<String>) -> JsonRecord {
+        self.config = Some(config.into());
         self
     }
 
@@ -160,6 +173,10 @@ pub fn write_bench_json(path: &str, records: &[JsonRecord]) {
         if let Some(o) = &r.ordering {
             assert_json_safe(o);
             out.push_str(&format!(", \"ordering\": \"{o}\""));
+        }
+        if let Some(c) = &r.config {
+            assert_json_safe(c);
+            out.push_str(&format!(", \"config\": \"{c}\""));
         }
         for (k, v) in &r.metrics {
             assert_json_safe(k);

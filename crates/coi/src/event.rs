@@ -2,6 +2,7 @@
 
 use hs_chaos::FailureCause;
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Observable status of an event.
@@ -18,6 +19,15 @@ struct EventCore {
     status: Mutex<EventStatus>,
     cv: Condvar,
     callbacks: Mutex<Vec<Callback>>,
+    /// Lock-free completion flag, set (under the status lock) when the
+    /// status leaves `Pending`. `is_complete` polls — retire sweeps and
+    /// outstanding-list pruning call it once per action — so the common
+    /// "already done" answer must not take the status mutex.
+    done: AtomicBool,
+    /// Companion to `done`: set before it when completion is a failure, so
+    /// `completed_ok` can answer lock-free too (reads are ordered by
+    /// `done`'s Release/Acquire pair).
+    failed: AtomicBool,
 }
 
 /// A shareable one-shot completion event. Cloning shares the same core.
@@ -39,6 +49,8 @@ impl CoiEvent {
                 status: Mutex::new(EventStatus::Pending),
                 cv: Condvar::new(),
                 callbacks: Mutex::new(Vec::new()),
+                done: AtomicBool::new(false),
+                failed: AtomicBool::new(false),
             }),
         }
     }
@@ -70,6 +82,10 @@ impl CoiEvent {
             }
             *st = new;
             final_status = st.clone();
+            if matches!(*st, EventStatus::Failed(_)) {
+                self.core.failed.store(true, Ordering::Relaxed);
+            }
+            self.core.done.store(true, Ordering::Release);
             self.core.cv.notify_all();
         }
         // Run callbacks outside the status lock; new registrations observe
@@ -104,7 +120,23 @@ impl CoiEvent {
     }
 
     pub fn is_complete(&self) -> bool {
+        // Fast path: the flag is set under the status lock before any
+        // waiter/callback can observe completion, so a true read here is
+        // never stale. A false read falls back to the locked check — the
+        // caller may be racing the completing thread.
+        if self.core.done.load(Ordering::Acquire) {
+            return true;
+        }
         !matches!(self.status(), EventStatus::Pending)
+    }
+
+    /// Completed *successfully*? Lock-free when already complete (the
+    /// retirement predicate calls this once per pending action per enqueue).
+    pub fn completed_ok(&self) -> bool {
+        if self.core.done.load(Ordering::Acquire) {
+            return !self.core.failed.load(Ordering::Relaxed);
+        }
+        matches!(self.status(), EventStatus::Done)
     }
 
     /// Block until complete; `Err` carries the failure cause.

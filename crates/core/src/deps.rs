@@ -54,6 +54,16 @@ pub fn footprints_conflict(a: &Footprint, b: &Footprint) -> bool {
     a.iter().any(|x| b.iter().any(|y| items_conflict(x, y)))
 }
 
+/// Does `outer` fully contain `inner`? Used by the stream window's
+/// dominated-entry pruning: a *write* whose range covers an older pending
+/// item subsumes it for all future dependence queries (any future action
+/// that would conflict with the covered item also overlaps — and therefore
+/// conflicts with — the covering write, which itself depends on the covered
+/// item; transitivity carries the edge).
+pub fn covers(outer: &Range<usize>, inner: &Range<usize>) -> bool {
+    outer.start <= inner.start && inner.end <= outer.end
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +144,15 @@ mod tests {
         let a = vec![item(1, 0, 0..10, false), item(1, 1, 0..10, true)];
         let b = vec![item(1, 2, 0..10, true), item(1, 1, 5..6, false)];
         assert!(footprints_conflict(&a, &b), "conflict via buffer 1");
+    }
+
+    #[test]
+    fn covers_is_containment_not_overlap() {
+        assert!(covers(&(0..10), &(0..10)), "equal ranges cover");
+        assert!(covers(&(0..10), &(3..7)));
+        assert!(covers(&(0..10), &(5..5)), "empty inner is covered");
+        assert!(!covers(&(0..10), &(5..15)), "overlap is not containment");
+        assert!(!covers(&(3..7), &(0..10)), "not symmetric");
+        assert!(!covers(&(0..10), &(10..12)), "disjoint");
     }
 }

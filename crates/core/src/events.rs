@@ -2,12 +2,20 @@
 //! [`Event`](crate::types::Event) id to its backend completion handle and
 //! producing stream.
 //!
-//! Three properties drive the design:
+//! Four properties drive the design:
 //!
 //! * **No reallocation under readers.** Storage is fixed-size segments
 //!   reached through a preallocated array of `OnceLock`'d pointers, so a
-//!   concurrent reader never observes a `Vec` being regrown. Ids are minted
-//!   with one atomic fetch-add.
+//!   concurrent reader never observes a `Vec` being regrown.
+//! * **Per-thread id blocks.** Ids are minted in blocks of [`ID_BLOCK`]
+//!   (one `fetch_add` per block, held in a thread-local cell), so N source
+//!   threads do not serialize on one counter cache line per action. The
+//!   watermark/compaction sweep still sees a dense id space because
+//!   untaken block tails are handed back as *tombstones*: on thread exit,
+//!   on [`EventTable::drain_blocks`] (called before each periodic
+//!   compaction and when an hsan recording starts), the unspent range of
+//!   every registered cell is stolen and its slots marked retired-unused,
+//!   so the retirement watermark never stalls on a gap.
 //! * **Mutable slots.** Card-loss replay overwrites an event's backend in
 //!   place (application-held handles transparently track the replayed
 //!   attempt), so each slot guards its payload with a short per-slot lock
@@ -18,11 +26,17 @@
 //!   producing stream, so late waiters still resolve the event as a
 //!   completed success. Failures are never tombstoned: their cause feeds
 //!   poison edges, `wait_any` verdicts and the card-loss replay closure.
+//!
+//! The occupancy gauge is sharded ([`OCC_SHARDS`] cache-padded packed
+//! words, folded on read) so concurrent publishers on different id blocks
+//! do not bounce a single counter line.
 
 use crate::exec::BackendEvent;
 use crate::lockorder::{self, LockClass};
-use crate::sync::{AtomicU32, AtomicU64, Mutex, OnceLock, Ordering};
+use crate::sync::{Arc, AtomicBool, AtomicU32, AtomicU64, Mutex, OnceLock, Ordering};
 use crate::types::{Event, StreamId};
+use crossbeam::utils::CachePadded;
+use std::ops::Range;
 
 /// log2 of the slots per segment.
 const SEG_BITS: u64 = 12;
@@ -32,11 +46,34 @@ const SEG_LEN: u64 = 1 << SEG_BITS;
 /// so segment lookup is a plain indexed load. Caps a run at ~16.7M events.
 const MAX_SEGS: usize = 4096;
 
+/// log2 of [`ID_BLOCK`]. Also the occupancy shard stride: one block maps to
+/// one shard, so a given id's publish/retire/revive steps all hit the same
+/// packed word and the borrow-carry arithmetic stays shard-local.
+#[cfg(not(loom))]
+const BLOCK_BITS: u64 = 5;
+#[cfg(loom)]
+const BLOCK_BITS: u64 = 2;
+
+/// Ids reserved per thread-local block mint (one shared RMW per this many
+/// enqueues). Small under loom so the take-vs-steal model stays tractable.
+pub(crate) const ID_BLOCK: u64 = 1 << BLOCK_BITS;
+
+/// Occupancy gauge shards (folded on read).
+#[cfg(not(loom))]
+const OCC_SHARDS: usize = 8;
+#[cfg(loom)]
+const OCC_SHARDS: usize = 2;
+
 /// Sentinel in `Slot::stream` until the slot is published.
 const UNPUBLISHED: u32 = u32::MAX;
+/// Sentinel in `Slot::stream` for a reserved-but-never-used id handed back
+/// by a block drain. Reads as `Retired` (no producing stream exists; the id
+/// was never returned from `reserve`, so nothing legitimately waits on it).
+const TOMBSTONE: u32 = u32::MAX - 1;
 
 struct Slot {
-    /// Producing stream id, `UNPUBLISHED` until [`EventTable::publish`].
+    /// Producing stream id; `UNPUBLISHED` until [`EventTable::publish`],
+    /// `TOMBSTONE` for an untaken block-tail id handed back by a drain.
     /// Stored with `Release` after the payload so an `Acquire` reader that
     /// sees it set also sees the payload.
     stream: AtomicU32,
@@ -51,30 +88,9 @@ pub enum EventView {
     Missing,
     /// Pending or completed, backend handle still held.
     Live(BackendEvent, StreamId),
-    /// Tombstoned: completed successfully and compacted away.
+    /// Tombstoned: completed successfully and compacted away (or a
+    /// never-used block-tail id handed back by a drain).
     Retired(StreamId),
-}
-
-pub struct EventTable {
-    segs: Box<[OnceLock<Box<[Slot]>>]>,
-    next: AtomicU64,
-    /// Every id below this is retired (scan start for compaction).
-    /// Monotone except for [`EventTable::overwrite`], which rewinds it when
-    /// card-loss replay revives a tombstoned slot below it.
-    watermark: AtomicU64,
-    /// Packed occupancy gauge: live count (published, not tombstoned) in
-    /// the low 32 bits, retired (tombstoned) count in the high 32. One
-    /// word so the two counts move in a single atomic step and
-    /// [`EventTable::stats`] can never read a torn live/retired pair
-    /// (MAX_SEGS·SEG_LEN ≈ 16.7M ≪ 2³², so neither half can overflow).
-    occupancy: AtomicU64,
-    /// Single-compactor guard; contenders skip (compaction is periodic).
-    compactor: Mutex<()>,
-    /// Debug-only tripwire for the quiesce contract: `overwrite` (which
-    /// runs under the world *write* lock during degradation) must never
-    /// race `compact` (which runs under the world *read* lock).
-    #[cfg(debug_assertions)]
-    compacting: crate::sync::AtomicBool,
 }
 
 /// Packed-occupancy step for one live → retired transition: adding
@@ -83,6 +99,9 @@ pub struct EventTable {
 /// reverse (un-retire). Sound only while `live ≥ 1` resp. `retired ≥ 1`,
 /// which the per-slot lock guarantees (see `publish`/`compact`/`overwrite`).
 const RETIRE_STEP: u64 = (1 << 32) - 1;
+/// Packed-occupancy step for tombstoning a never-published id: retired += 1
+/// with live untouched (the id was never live).
+const TOMBSTONE_STEP: u64 = 1 << 32;
 
 fn unpack_occupancy(packed: u64) -> (u64, u64) {
     (packed & 0xFFFF_FFFF, packed >> 32)
@@ -94,6 +113,10 @@ pub struct TableStats {
     pub live: u64,
     pub retired: u64,
     pub watermark: u64,
+    /// Id blocks minted so far (block-mode shared RMWs on the id counter).
+    pub mints: u64,
+    /// Reserved-but-never-used ids handed back as tombstones by drains.
+    pub tombstoned: u64,
 }
 
 fn new_segment() -> Box<[Slot]> {
@@ -105,22 +128,188 @@ fn new_segment() -> Box<[Slot]> {
         .collect()
 }
 
-impl EventTable {
-    pub fn new() -> EventTable {
-        EventTable {
-            segs: (0..MAX_SEGS).map(|_| OnceLock::new()).collect(),
-            next: AtomicU64::new(0),
-            watermark: AtomicU64::new(0),
-            occupancy: AtomicU64::new(0),
-            compactor: Mutex::new(()),
-            #[cfg(debug_assertions)]
-            compacting: crate::sync::AtomicBool::new(false),
+/// One thread's current id block, packed `next | end << 32` (empty when
+/// `next ≥ end`). The owning thread `take`s and `refill`s; a drain `steal`s
+/// the whole remaining range in one swap. The CAS-vs-swap atomicity is what
+/// makes the handoff safe: an id is observed by exactly one side — either
+/// the owner's `take` wins the CAS (and the stealer gets the rest), or the
+/// steal's swap lands first (and the owner's CAS fails, re-loads an empty
+/// cell and mints a fresh block). Modeled by `loom_block_take_vs_steal`.
+struct IdBlockCell {
+    state: AtomicU64,
+}
+
+impl IdBlockCell {
+    fn new() -> IdBlockCell {
+        IdBlockCell {
+            state: AtomicU64::new(0),
         }
     }
 
-    /// Ids handed out so far (reserved, not necessarily published).
-    pub fn len(&self) -> u64 {
-        // Acquire: pairs with the AcqRel fetch_add in `reserve`, so a
+    /// Owner-only: take the next id of the current block, if any.
+    fn take(&self) -> Option<u64> {
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            let (next, end) = (cur & 0xFFFF_FFFF, cur >> 32);
+            if next >= end {
+                return None;
+            }
+            // Relaxed is enough on the owner side: the owner minted the
+            // block itself (program order covers the segment init).
+            match self.state.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(next),
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Drain-side: empty the cell, returning the untaken range (if any).
+    /// Acquire pairs with `refill`'s Release so the stolen ids' segments
+    /// (initialized by the minting thread before the refill) are visible
+    /// to the tombstoning drain.
+    fn steal(&self) -> Option<Range<u64>> {
+        let old = self.state.swap(0, Ordering::Acquire);
+        let (next, end) = (old & 0xFFFF_FFFF, old >> 32);
+        (next < end).then_some(next..end)
+    }
+
+    /// Owner-only: install a freshly minted block. Release: see `steal`.
+    /// A steal racing a refill harmlessly takes the whole fresh block; the
+    /// owner's next `take` fails and re-mints.
+    fn refill(&self, start: u64, end: u64) {
+        self.state.store(start | (end << 32), Ordering::Release);
+    }
+}
+
+/// The table state proper. Behind an `Arc` so thread-local block cells can
+/// hold a `Weak` back-reference and hand their unspent ids back when the
+/// thread exits (without keeping a dropped table alive).
+struct Shared {
+    segs: Box<[OnceLock<Box<[Slot]>>]>,
+    next: AtomicU64,
+    /// Every id below this is retired (scan start for compaction).
+    /// Monotone except for [`EventTable::overwrite`], which rewinds it when
+    /// card-loss replay revives a tombstoned slot below it.
+    watermark: AtomicU64,
+    /// Sharded packed occupancy gauge: per shard, live count (published,
+    /// not tombstoned) in the low 32 bits, retired (tombstoned) count in
+    /// the high 32. One word per shard so the two counts move in a single
+    /// atomic step; [`EventTable::stats`] folds the shards (total ids ≪
+    /// 2³², so the halves never carry into each other under summation).
+    /// Shard = block index mod [`OCC_SHARDS`]: all of one id's transitions
+    /// hit one word, and publishers on different blocks hit different
+    /// cache lines.
+    occupancy: Box<[CachePadded<AtomicU64>]>,
+    /// Single-compactor guard; contenders skip (compaction is periodic).
+    compactor: Mutex<()>,
+    /// Registered per-thread id-block cells (for drains). Guarded by
+    /// [`LockClass::IdBlocks`].
+    blocks: Mutex<Vec<Arc<IdBlockCell>>>,
+    /// Blocks minted (the block-mode shared-RMW count — the per-action
+    /// contended-RMW metric the bench records is `mints / actions`).
+    mints: AtomicU64,
+    /// Never-used ids handed back as tombstones.
+    tombstoned: AtomicU64,
+    /// Dense-mint mode: `reserve` bypasses the block cells and mints single
+    /// sequential ids. On while an hsan recording is live (the trace is a
+    /// total order in ascending event-id sequence, which per-thread blocks
+    /// would break).
+    dense: AtomicBool,
+    /// Identity of this table for the thread-local cell lookup.
+    #[cfg(not(loom))]
+    uid: u64,
+    /// Debug-only tripwire for the quiesce contract: `overwrite` (which
+    /// runs under the world *write* lock during degradation) must never
+    /// race `compact` (which runs under the world *read* lock).
+    #[cfg(debug_assertions)]
+    compacting: AtomicBool,
+}
+
+pub struct EventTable {
+    shared: Arc<Shared>,
+}
+
+#[cfg(not(loom))]
+fn next_uid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(not(loom))]
+mod tls {
+    //! Per-thread id-block cells, keyed by table uid. Entries hold a `Weak`
+    //! table reference: on thread exit the destructor steals each cell's
+    //! unspent range, tombstones it in the (still-live) table and
+    //! deregisters the cell — the block-drain handoff that keeps the id
+    //! space dense for the watermark sweep.
+
+    use super::{IdBlockCell, Shared};
+    use crate::sync::Arc;
+    use std::cell::RefCell;
+    use std::sync::Weak;
+
+    struct Entry {
+        uid: u64,
+        table: Weak<Shared>,
+        cell: Arc<IdBlockCell>,
+    }
+
+    struct ThreadBlocks {
+        entries: Vec<Entry>,
+    }
+
+    impl Drop for ThreadBlocks {
+        fn drop(&mut self) {
+            for e in self.entries.drain(..) {
+                if let Some(sh) = e.table.upgrade() {
+                    if let Some(r) = e.cell.steal() {
+                        sh.tombstone_unused(r);
+                    }
+                    sh.deregister(&e.cell);
+                }
+            }
+        }
+    }
+
+    thread_local! {
+        static BLOCKS: RefCell<ThreadBlocks> =
+            const { RefCell::new(ThreadBlocks { entries: Vec::new() }) };
+    }
+
+    /// Run `f` with this thread's cell for `shared`, creating + registering
+    /// it on first use (and pruning cells of dropped tables).
+    pub(super) fn with_cell<R>(shared: &Arc<Shared>, f: impl FnOnce(&IdBlockCell) -> R) -> R {
+        BLOCKS.with(|b| {
+            let mut b = b.borrow_mut();
+            let i = match b.entries.iter().position(|e| e.uid == shared.uid) {
+                Some(i) => i,
+                None => {
+                    b.entries.retain(|e| e.table.strong_count() > 0);
+                    let cell = Arc::new(IdBlockCell::new());
+                    shared.register(cell.clone());
+                    b.entries.push(Entry {
+                        uid: shared.uid,
+                        table: Arc::downgrade(shared),
+                        cell,
+                    });
+                    b.entries.len() - 1
+                }
+            };
+            f(&b.entries[i].cell)
+        })
+    }
+}
+
+impl Shared {
+    /// Ids handed out so far (reserved, not necessarily published; in block
+    /// mode, rounded up to the last minted block's end).
+    fn len(&self) -> u64 {
+        // Acquire: pairs with the AcqRel fetch_add in the mint paths, so a
         // thread that learned an id through this bound also sees the
         // side effects sequenced before that id's reservation. (The
         // segment itself is published by the `OnceLock`, which carries its
@@ -134,14 +323,17 @@ impl EventTable {
         self.segs.get(seg)?.get()?.get(idx)
     }
 
-    /// Mint the next event id and make sure its segment exists. The id is
-    /// not visible to lookups until [`EventTable::publish`].
-    pub fn reserve(&self) -> u64 {
+    /// The occupancy shard a given id's gauge transitions land in.
+    fn occ(&self, id: u64) -> &AtomicU64 {
+        &self.occupancy[((id >> BLOCK_BITS) as usize) % OCC_SHARDS]
+    }
+
+    /// Dense mint: one id per shared RMW (recording mode, and all loom
+    /// builds — the frontier models rely on a gap-free id space).
+    fn reserve_dense(&self) -> u64 {
         // AcqRel: the release half pairs with the Acquire load in `len`
         // (see there); the acquire half orders this mint after any prior
-        // reservation whose count we observe. A plain counter would only
-        // need Relaxed — kept strong because `compact` uses `len` as its
-        // scan bound.
+        // reservation whose count we observe.
         let id = self.next.fetch_add(1, Ordering::AcqRel);
         let seg = (id >> SEG_BITS) as usize;
         assert!(
@@ -153,13 +345,163 @@ impl EventTable {
         id
     }
 
+    /// Mint a fresh [`ID_BLOCK`]-sized id block (one shared RMW) and make
+    /// sure its segments exist (a block spans at most two).
+    fn mint_block(&self) -> (u64, u64) {
+        let start = self.next.fetch_add(ID_BLOCK, Ordering::AcqRel);
+        let last_seg = ((start + ID_BLOCK - 1) >> SEG_BITS) as usize;
+        assert!(
+            last_seg < MAX_SEGS,
+            "event table exhausted ({} events); raise MAX_SEGS",
+            MAX_SEGS as u64 * SEG_LEN
+        );
+        self.segs[(start >> SEG_BITS) as usize].get_or_init(new_segment);
+        self.segs[last_seg].get_or_init(new_segment);
+        self.mints.fetch_add(1, Ordering::Relaxed);
+        (start, start + ID_BLOCK)
+    }
+
+    /// Mark a stolen (reserved, never handed out) id range as retired. The
+    /// slots read as `Retired` and the compaction sweep's watermark passes
+    /// them — the dense-id-space guarantee behind block minting.
+    fn tombstone_unused(&self, range: Range<u64>) {
+        for id in range.clone() {
+            let slot = self.slot(id).expect("tombstone of unreserved id");
+            let _lo = lockorder::acquiring(LockClass::EventSlot);
+            let g = slot.be.lock();
+            debug_assert!(g.is_none(), "tombstone of a published slot {id}");
+            debug_assert_eq!(
+                slot.stream.load(Ordering::Acquire),
+                UNPUBLISHED,
+                "tombstone of a published/tombstoned slot {id}"
+            );
+            // retired += 1, live untouched (never published) — under the
+            // slot lock, like every other slot state transition.
+            self.occ(id).fetch_add(TOMBSTONE_STEP, Ordering::Relaxed);
+            slot.stream.store(TOMBSTONE, Ordering::Release);
+            drop(g);
+        }
+        self.tombstoned
+            .fetch_add(range.end - range.start, Ordering::Relaxed);
+    }
+
+    #[cfg(not(loom))]
+    fn register(&self, cell: Arc<IdBlockCell>) {
+        let _lo = lockorder::acquiring(LockClass::IdBlocks);
+        self.blocks.lock().push(cell);
+    }
+
+    #[cfg(not(loom))]
+    fn deregister(&self, cell: &Arc<IdBlockCell>) {
+        let _lo = lockorder::acquiring(LockClass::IdBlocks);
+        self.blocks.lock().retain(|c| !Arc::ptr_eq(c, cell));
+    }
+}
+
+impl EventTable {
+    pub fn new() -> EventTable {
+        EventTable {
+            shared: Arc::new(Shared {
+                segs: (0..MAX_SEGS).map(|_| OnceLock::new()).collect(),
+                next: AtomicU64::new(0),
+                watermark: AtomicU64::new(0),
+                occupancy: (0..OCC_SHARDS)
+                    .map(|_| CachePadded::new(AtomicU64::new(0)))
+                    .collect(),
+                compactor: Mutex::new(()),
+                blocks: Mutex::new(Vec::new()),
+                mints: AtomicU64::new(0),
+                tombstoned: AtomicU64::new(0),
+                dense: AtomicBool::new(false),
+                #[cfg(not(loom))]
+                uid: next_uid(),
+                #[cfg(debug_assertions)]
+                compacting: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Ids handed out so far (reserved, not necessarily published; in block
+    /// mode this is the last minted block's end, so it over-counts by at
+    /// most [`ID_BLOCK`] per active source thread between drains).
+    pub fn len(&self) -> u64 {
+        self.shared.len()
+    }
+
+    /// Mint the next event id and make sure its segment exists. The id is
+    /// not visible to lookups until [`EventTable::publish`].
+    ///
+    /// Fast path: one CAS on this thread's cached id block; a shared RMW
+    /// only every [`ID_BLOCK`] calls (block mint). Dense mode (hsan
+    /// recording live) bypasses the cells — the trace needs ascending ids.
+    #[cfg(not(loom))]
+    pub fn reserve(&self) -> u64 {
+        if self.shared.dense.load(Ordering::Relaxed) {
+            return self.shared.reserve_dense();
+        }
+        tls::with_cell(&self.shared, |cell| loop {
+            if let Some(id) = cell.take() {
+                return id;
+            }
+            let (start, end) = self.shared.mint_block();
+            cell.refill(start, end);
+        })
+    }
+
+    /// Under loom every reserve is dense: the frontier models assert a
+    /// gap-free id space, and loom threads are too short-lived for block
+    /// amortization to matter. The block protocol itself is modeled
+    /// directly by `loom_block_take_vs_steal`.
+    #[cfg(loom)]
+    pub fn reserve(&self) -> u64 {
+        self.shared.reserve_dense()
+    }
+
+    /// Switch between dense single-id minting (ascending ids; required
+    /// while an hsan recording is live) and block minting. Call
+    /// [`EventTable::drain_blocks`] after enabling so already-cached block
+    /// ids don't surface later out of order.
+    #[cfg_attr(not(feature = "hsan-record"), allow(dead_code))]
+    pub fn set_dense(&self, on: bool) {
+        self.shared.dense.store(on, Ordering::Release);
+    }
+
+    /// Steal every registered thread-block's unspent ids and tombstone
+    /// them, restoring a dense id space for the watermark sweep. Owners
+    /// race safely (CAS-vs-swap) and simply mint fresh blocks. Called
+    /// before periodic compaction and when an hsan recording starts.
+    pub fn drain_blocks(&self) {
+        let cells: Vec<Arc<IdBlockCell>> = {
+            let _lo = lockorder::acquiring(LockClass::IdBlocks);
+            self.shared.blocks.lock().clone()
+        };
+        for cell in cells {
+            if let Some(r) = cell.steal() {
+                self.shared.tombstone_unused(r);
+            }
+        }
+    }
+
+    /// Id blocks minted so far (drives the amortized-compaction cadence).
+    pub fn mints(&self) -> u64 {
+        self.shared.mints.load(Ordering::Relaxed)
+    }
+
     /// Fill a reserved slot. Called once per id, after the backend accepted
     /// the submission.
     pub fn publish(&self, id: u64, stream: StreamId, be: BackendEvent) {
-        let slot = self.slot(id).expect("publish of unreserved event id");
+        let slot = self
+            .shared
+            .slot(id)
+            .expect("publish of unreserved event id");
         let _lo = lockorder::acquiring(LockClass::EventSlot);
         let mut g = slot.be.lock();
         debug_assert!(g.is_none(), "double publish of event {id}");
+        debug_assert_eq!(
+            slot.stream.load(Ordering::Acquire),
+            UNPUBLISHED,
+            "publish of a tombstoned event id {id}"
+        );
         *g = Some(be);
         // live += 1 under the slot lock, before it is released: tombstoning
         // (live -= 1, in `compact`) also runs under the slot lock, so the
@@ -168,7 +510,7 @@ impl EventTable {
         // *would* underflow — the `loom_publish_vs_compact` observer thread
         // catches exactly that mutation.) Relaxed is enough: the lock
         // serializes the RMW pair and the gauge feeds metrics only.
-        self.occupancy.fetch_add(1, Ordering::Relaxed);
+        self.shared.occ(id).fetch_add(1, Ordering::Relaxed);
         // Publication point. Release: pairs with the Acquire loads in
         // `view_id`/`stream_of`/`compact`, so a reader that observes the
         // stream id also observes the payload written above (`stream_of`
@@ -192,10 +534,13 @@ impl EventTable {
     pub fn overwrite(&self, id: u64, be: BackendEvent) {
         #[cfg(debug_assertions)]
         debug_assert!(
-            !self.compacting.load(Ordering::Relaxed),
+            !self.shared.compacting.load(Ordering::Relaxed),
             "overwrite racing compact violates the world-lock quiesce contract"
         );
-        let slot = self.slot(id).expect("overwrite of unreserved event id");
+        let slot = self
+            .shared
+            .slot(id)
+            .expect("overwrite of unreserved event id");
         // Acquire: pairs with publish's Release store — overwrite is only
         // legal on a slot whose publication we have observed.
         debug_assert_ne!(slot.stream.load(Ordering::Acquire), UNPUBLISHED);
@@ -206,10 +551,12 @@ impl EventTable {
             // slot lock serializes this with the tombstone that set `None`,
             // so retired ≥ 1 here and the subtraction cannot borrow across
             // the halves. Relaxed: gauge only, ordering via the slot lock.
-            self.occupancy.fetch_sub(RETIRE_STEP, Ordering::Relaxed);
+            self.shared
+                .occ(id)
+                .fetch_sub(RETIRE_STEP, Ordering::Relaxed);
             // AcqRel for the RMW handshake with other rewinds; the next
             // compactor re-reads the watermark under the compactor mutex.
-            self.watermark.fetch_min(id, Ordering::AcqRel);
+            self.shared.watermark.fetch_min(id, Ordering::AcqRel);
         }
         *g = Some(be);
     }
@@ -219,7 +566,7 @@ impl EventTable {
     }
 
     pub fn view_id(&self, id: u64) -> EventView {
-        let Some(slot) = self.slot(id) else {
+        let Some(slot) = self.shared.slot(id) else {
             return EventView::Missing;
         };
         // Acquire: pairs with publish's Release store. Observing the
@@ -237,13 +584,33 @@ impl EventTable {
         }
     }
 
+    /// Clone-free retirement probe: applies `ok` to the live payload under
+    /// the slot lock instead of cloning it out (the dependence-window sweep
+    /// calls this once per pending action per enqueue). Tombstoned slots
+    /// are retired successes by construction; unpublished or missing ids
+    /// are not retired.
+    pub fn retired_ok(&self, ev: Event, ok: impl FnOnce(&BackendEvent) -> bool) -> bool {
+        let Some(slot) = self.shared.slot(ev.0) else {
+            return false;
+        };
+        // Acquire: pairs with publish's Release store (see `view_id`).
+        if slot.stream.load(Ordering::Acquire) == UNPUBLISHED {
+            return false;
+        }
+        let _lo = lockorder::acquiring(LockClass::EventSlot);
+        match &*slot.be.lock() {
+            Some(be) => ok(be),
+            None => true,
+        }
+    }
+
     /// Producing stream of a published event.
     pub fn stream_of(&self, ev: Event) -> Option<StreamId> {
-        let slot = self.slot(ev.0)?;
+        let slot = self.shared.slot(ev.0)?;
         // Acquire: pairs with publish's Release store (same as `view_id`;
         // here it only gates publication visibility — no payload read).
         match slot.stream.load(Ordering::Acquire) {
-            UNPUBLISHED => None,
+            UNPUBLISHED | TOMBSTONE => None,
             s => Some(StreamId(s)),
         }
     }
@@ -256,27 +623,29 @@ impl EventTable {
     /// state cost is proportional to the live window, not to table length.
     pub fn compact(&self, verdict: impl Fn(&BackendEvent) -> Option<bool>) {
         let _lo = lockorder::acquiring(LockClass::Compactor);
-        let Some(_g) = self.compactor.try_lock() else {
+        let Some(_g) = self.shared.compactor.try_lock() else {
             return;
         };
         #[cfg(debug_assertions)]
-        self.compacting.store(true, Ordering::Relaxed);
+        self.shared.compacting.store(true, Ordering::Relaxed);
         let len = self.len();
         // Acquire: pairs with the Release store below (a previous
         // compactor's watermark) and with overwrite's rewind; the compactor
         // mutex already orders compactor-to-compactor handoffs — the
         // pairing additionally covers the lock-free metrics reader.
-        let start = self.watermark.load(Ordering::Acquire);
+        let start = self.shared.watermark.load(Ordering::Acquire);
         let mut wm = start;
         let mut contiguous = true;
         for id in start..len {
-            let retired_here = match self.slot(id) {
+            let retired_here = match self.shared.slot(id) {
                 None => false, // reserved, segment raced away: treat as live
                 Some(slot) => {
                     // Acquire: pairs with publish's Release store — only
                     // published slots are candidates; a mid-publish slot
                     // (payload written, stream not yet stored) is skipped
-                    // and retried next sweep.
+                    // and retried next sweep. An untaken block id reads
+                    // UNPUBLISHED too and stops the contiguous prefix —
+                    // until a drain tombstones it.
                     if slot.stream.load(Ordering::Acquire) == UNPUBLISHED {
                         false // mid-publish on another thread
                     } else {
@@ -293,7 +662,9 @@ impl EventTable {
                                     // became visible, so live ≥ 1 and the
                                     // borrow stays within the low half.
                                     // Relaxed: gauge only (see publish).
-                                    self.occupancy.fetch_add(RETIRE_STEP, Ordering::Relaxed);
+                                    self.shared
+                                        .occ(id)
+                                        .fetch_add(RETIRE_STEP, Ordering::Relaxed);
                                     true
                                 }
                                 _ => false, // pending or failed: keep
@@ -314,27 +685,38 @@ impl EventTable {
         // watermark only ever covers slots this sweep (or a predecessor
         // under the same mutex) observed as retired — never a live or
         // failed slot, the invariant the loom models check.
-        self.watermark.store(wm, Ordering::Release);
+        self.shared.watermark.store(wm, Ordering::Release);
         #[cfg(debug_assertions)]
-        self.compacting.store(false, Ordering::Relaxed);
+        self.shared.compacting.store(false, Ordering::Relaxed);
     }
 
     pub fn stats(&self) -> TableStats {
-        // Single load of the packed word: the live/retired pair is always
-        // internally consistent, even against concurrent retirement (the
-        // old two-counter scheme could tear between the two reads).
-        let (live, retired) = unpack_occupancy(self.occupancy.load(Ordering::Relaxed));
+        // Fold the shards. Each shard's packed word is internally
+        // consistent (every id-state transition is a single RMW on its
+        // shard); the halves cannot carry into each other under summation
+        // because total ids ≪ 2³². The fold is a snapshot across shards —
+        // fine for a metrics gauge.
+        let mut packed = 0u64;
+        for c in self.shared.occupancy.iter() {
+            packed = packed.wrapping_add(c.load(Ordering::Relaxed));
+        }
+        let (live, retired) = unpack_occupancy(packed);
         TableStats {
             reserved: self.len(),
             live,
             retired,
             // Acquire: pairs with compact's Release store (metrics-only).
-            watermark: self.watermark.load(Ordering::Acquire),
+            watermark: self.shared.watermark.load(Ordering::Acquire),
+            mints: self.shared.mints.load(Ordering::Relaxed),
+            tombstoned: self.shared.tombstoned.load(Ordering::Relaxed),
         }
     }
 }
 
-#[cfg(test)]
+// Under `--cfg loom` the loom models below replace these (the std unit
+// tests drive block arithmetic sized for real runs, e.g. `ID_BLOCK - 5`,
+// which loom's tiny test blocks would underflow).
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use hs_coi::CoiEvent;
@@ -391,11 +773,92 @@ mod tests {
         let t = EventTable::new();
         let n = SEG_LEN + 10;
         for i in 0..n {
+            // One thread's takes are sequential: block minting keeps ids
+            // dense for a single source thread.
             assert_eq!(t.reserve(), i);
             t.publish(i, StreamId(0), done_event());
         }
-        assert_eq!(t.len(), n);
+        // Block-rounded: at most one block of unspent ids outstanding.
+        assert!(t.len() >= n && t.len() - n < ID_BLOCK);
         assert!(matches!(t.view_id(SEG_LEN + 5), EventView::Live(..)));
+        // The sharded gauge folds across many blocks (> OCC_SHARDS).
+        let st = t.stats();
+        assert_eq!(st.live, n);
+        assert_eq!(st.retired, 0);
+    }
+
+    #[test]
+    fn drain_tombstones_untaken_tail() {
+        let t = EventTable::new();
+        for i in 0..5u64 {
+            let id = t.reserve();
+            assert_eq!(id, i);
+            t.publish(id, StreamId(0), done_event());
+        }
+        // Hand the current block's unspent tail back.
+        t.drain_blocks();
+        let st = t.stats();
+        assert_eq!(st.live, 5);
+        assert_eq!(st.retired, ID_BLOCK - 5, "tail tombstoned");
+        assert_eq!(st.tombstoned, ID_BLOCK - 5);
+        assert!(matches!(t.view_id(7), EventView::Retired(_)));
+        // The sweep passes the tombstoned tail: the id space stays dense.
+        t.compact(thread_verdict);
+        assert_eq!(t.stats().watermark, ID_BLOCK);
+        // The drained cell refills from a fresh block.
+        assert_eq!(t.reserve(), ID_BLOCK);
+    }
+
+    #[test]
+    fn dense_mode_mints_single_sequential_ids() {
+        let t = EventTable::new();
+        t.set_dense(true);
+        assert_eq!(t.reserve(), 0);
+        assert_eq!(t.reserve(), 1);
+        assert_eq!(t.len(), 2, "dense mode reserves exactly what it mints");
+        t.set_dense(false);
+        // Back to blocks: the next reserve mints from the dense frontier.
+        assert_eq!(t.reserve(), 2);
+        assert_eq!(t.len(), 2 + ID_BLOCK);
+    }
+
+    #[test]
+    fn concurrent_reserves_are_unique_and_drain_on_thread_exit() {
+        let t = EventTable::new();
+        const THREADS: usize = 4;
+        const PER: usize = 100;
+        let ids: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..PER)
+                            .map(|_| {
+                                let id = t.reserve();
+                                t.publish(id, StreamId(0), done_event());
+                                id
+                            })
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), THREADS * PER, "duplicate ids handed out");
+        // Thread exit handed every unspent tail back as tombstones: the
+        // sweep retires the entire reserved range, no gaps.
+        let st = t.stats();
+        assert_eq!(st.live, (THREADS * PER) as u64);
+        assert_eq!(st.live + st.retired, st.reserved, "dense after drain");
+        t.compact(thread_verdict);
+        let st = t.stats();
+        assert_eq!(st.live, 0);
+        assert_eq!(st.watermark, st.reserved, "watermark stalled on a gap");
     }
 
     #[test]
@@ -521,7 +984,8 @@ mod tests {
 
         fn check(t: &EventTable, shadow: &[Shadow]) {
             let st = t.stats();
-            assert_eq!(st.reserved, shadow.len() as u64);
+            // Block minting reserves ahead: at least every shadowed id.
+            assert!(st.reserved >= shadow.len() as u64);
             assert!(st.watermark <= st.reserved, "watermark past next");
             let live_shadow = shadow
                 .iter()
@@ -766,6 +1230,62 @@ mod loom_models {
             assert_eq!(st.live, 0, "revived slot never re-collected");
             assert_eq!(st.retired, 2);
             assert_eq!(st.watermark, 2, "watermark stuck below revived slot");
+        });
+    }
+
+    /// The id-block handoff protocol: an owner `take`ing from its cell
+    /// (re-minting when empty) races a drain `steal`ing the cell. The
+    /// CAS-vs-swap atomicity must hand every reserved id to exactly one
+    /// side: the published id stays live (a torn steal would tombstone a
+    /// taken id and unbalance the gauge), and after the final drain the
+    /// whole reserved range is accounted for — the sweep's watermark
+    /// reaches the frontier with no gaps.
+    #[test]
+    fn loom_block_take_vs_steal() {
+        loom::model(|| {
+            let t = Arc::new(EventTable::new());
+            let cell = Arc::new(IdBlockCell::new());
+            let (s, e) = t.shared.mint_block();
+            cell.refill(s, e);
+            let (t2, c2) = (t.clone(), cell.clone());
+            let taker = loom::thread::spawn(move || {
+                let id = loop {
+                    if let Some(id) = c2.take() {
+                        break id;
+                    }
+                    // Cell stolen underneath us: mint a fresh block, as
+                    // `reserve` does.
+                    let (s, e) = t2.shared.mint_block();
+                    c2.refill(s, e);
+                };
+                t2.publish(id, StreamId(0), done_event());
+                id
+            });
+            // The drain (as run before a periodic compaction).
+            if let Some(r) = cell.steal() {
+                t.shared.tombstone_unused(r);
+            }
+            let id = taker.join().unwrap();
+            // Quiesced: drain whatever the owner still holds.
+            if let Some(r) = cell.steal() {
+                t.shared.tombstone_unused(r);
+            }
+            assert!(
+                matches!(t.view_id(id), EventView::Live(..)),
+                "taken id {id} was tombstoned by the drain"
+            );
+            let st = t.stats();
+            assert_eq!(st.live, 1);
+            assert_eq!(
+                st.live + st.retired,
+                st.reserved,
+                "an id leaked from the take/steal handoff"
+            );
+            t.compact(thread_verdict);
+            let st = t.stats();
+            assert_eq!(st.live, 0);
+            assert_eq!(st.retired, st.reserved);
+            assert_eq!(st.watermark, st.reserved, "sweep stalled on a gap");
         });
     }
 }

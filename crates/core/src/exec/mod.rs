@@ -74,6 +74,28 @@ impl ActionSpec {
     }
 }
 
+/// One dependence of a batched submission.
+pub enum BatchDep {
+    /// An event that already exists in the table (pre-batch producer).
+    External(BackendEvent),
+    /// The batch's own item at this index (must precede the depender):
+    /// resolved against the batch's freshly minted completion events, so
+    /// intra-batch edges never round-trip through the event table.
+    Internal(usize),
+}
+
+/// Per-item completion-event hook for [`Executor::submit_batch`]: called
+/// with (batch index, completion event) after creation, before wiring.
+pub type BatchObserver<'a> = &'a dyn Fn(usize, &CoiEvent);
+
+/// One action of a batched submission ([`Executor::submit_batch`]).
+pub struct BatchSubmitItem {
+    pub spec: ActionSpec,
+    pub deps: Vec<BatchDep>,
+    pub obs: hs_obs::ObsAction,
+    pub opts: SubmitOpts,
+}
+
 /// Backend completion handle.
 #[derive(Clone)]
 pub enum BackendEvent {
@@ -140,6 +162,51 @@ impl Executor {
         }
     }
 
+    /// Submit a batch of actions in one executor round-trip; returns their
+    /// completion events, index-aligned with `items`. Thread mode amortizes
+    /// the shared-state traffic (one counter RMW, one outstanding-list
+    /// lock, one context read for the whole batch); sim mode takes the
+    /// executor mutex once instead of per action. Intra-batch dependences
+    /// ([`BatchDep::Internal`]) must point at earlier items.
+    ///
+    /// `observe` (thread mode only) is invoked with each item's completion
+    /// event *after creation but before any dependence wiring*. Observers
+    /// that register `on_complete` callbacks (the hsan completion log) must
+    /// come first in each event's callback list: an intra-batch dependence
+    /// countdown can dispatch-and-complete a dependent synchronously inside
+    /// its producer's callback drain, and a later-registered observer on the
+    /// producer would then record the completions inverted.
+    pub fn submit_batch(
+        &self,
+        items: Vec<BatchSubmitItem>,
+        observe: Option<BatchObserver<'_>>,
+    ) -> Vec<BackendEvent> {
+        match self {
+            Executor::Thread(t) => t
+                .submit_batch(items, observe)
+                .into_iter()
+                .map(BackendEvent::Thread)
+                .collect(),
+            Executor::Sim(s) => with_class(LockClass::SimExec, || {
+                let mut sim = s.lock();
+                let mut out: Vec<BackendEvent> = Vec::with_capacity(items.len());
+                for item in items {
+                    let deps: Vec<BackendEvent> = item
+                        .deps
+                        .iter()
+                        .map(|d| match d {
+                            BatchDep::External(be) => be.clone(),
+                            BatchDep::Internal(j) => out[*j].clone(),
+                        })
+                        .collect();
+                    let tok = sim.submit(item.spec, &deps, item.obs, item.opts);
+                    out.push(BackendEvent::Sim(tok));
+                }
+                out
+            }),
+        }
+    }
+
     /// Rebind a stream's sink resources to the host domain (card-loss
     /// degradation). Actions already dispatched are unaffected; subsequent
     /// submissions on the stream run on host resources.
@@ -158,6 +225,19 @@ impl Executor {
             Executor::Sim(s) => {
                 with_class(LockClass::SimExec, || s.lock().is_complete(ev.as_sim()))
             }
+        }
+    }
+
+    /// `is_complete && failure_of(..).is_none()` in one query. This is the
+    /// dependence-window retirement predicate, called once per pending
+    /// action per enqueue — the thread backend answers lock-free.
+    pub fn completed_ok(&self, ev: &BackendEvent) -> bool {
+        match self {
+            Executor::Thread(_) => ev.as_thread().completed_ok(),
+            Executor::Sim(s) => with_class(LockClass::SimExec, || {
+                let g = s.lock();
+                g.is_complete(ev.as_sim()) && g.failure_of(ev.as_sim()).is_none()
+            }),
         }
     }
 

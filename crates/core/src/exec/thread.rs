@@ -339,8 +339,86 @@ impl ThreadExec {
         let salt = self.submitted.fetch_add(1, Ordering::Relaxed) + 1;
         let done = CoiEvent::new();
         self.track(done.clone());
+        let deps: Vec<CoiEvent> = deps.iter().map(|d| d.as_thread().clone()).collect();
+        self.wire(spec, &deps, obs, opts, self.ctx.read().clone(), &done, salt);
+        done
+    }
+
+    /// Submit a whole batch, amortizing the per-submit shared-state traffic:
+    /// one submission-counter RMW (salts are the batch's ordinal range), one
+    /// outstanding-list lock, one dispatch-context read-lock for all items.
+    /// [`BatchDep::Internal`] dependences resolve against the batch's own
+    /// completion events, which exist up front — an item may depend on any
+    /// earlier item of the same batch.
+    pub fn submit_batch(
+        &self,
+        items: Vec<super::BatchSubmitItem>,
+        observe: Option<super::BatchObserver<'_>>,
+    ) -> Vec<CoiEvent> {
+        self.started.get_or_init(Instant::now);
+        let salt0 = self
+            .submitted
+            .fetch_add(items.len() as u64, Ordering::Relaxed)
+            + 1;
+        let ctx = self.ctx.read().clone();
+        let dones: Vec<CoiEvent> = items.iter().map(|_| CoiEvent::new()).collect();
+        // Observers register before any wiring: their completion callbacks
+        // must precede dependence countdowns in each event's callback list
+        // (see `Executor::submit_batch`).
+        if let Some(observe) = observe {
+            for (i, d) in dones.iter().enumerate() {
+                observe(i, d);
+            }
+        }
+        {
+            let mut out = self.outstanding.lock();
+            if out.len() + dones.len() >= 64 {
+                out.retain(|e| !e.is_complete());
+            }
+            out.extend(dones.iter().cloned());
+        }
+        for (i, item) in items.into_iter().enumerate() {
+            let deps: Vec<CoiEvent> = item
+                .deps
+                .iter()
+                .map(|d| match d {
+                    super::BatchDep::External(be) => be.as_thread().clone(),
+                    super::BatchDep::Internal(j) => {
+                        debug_assert!(*j < i, "batch dep must point at an earlier item");
+                        dones[*j].clone()
+                    }
+                })
+                .collect();
+            self.wire(
+                item.spec,
+                &deps,
+                item.obs,
+                item.opts,
+                ctx.clone(),
+                &dones[i],
+                salt0 + i as u64,
+            );
+        }
+        dones
+    }
+
+    /// Shared tail of `submit`/`submit_batch`: attach observability and
+    /// deadline hooks to `done`, then dispatch now or park the action on a
+    /// dependence countdown.
+    #[allow(clippy::too_many_arguments)]
+    fn wire(
+        &self,
+        spec: ActionSpec,
+        deps: &[CoiEvent],
+        obs: ObsAction,
+        opts: SubmitOpts,
+        ctx: Arc<DispatchCtx>,
+        done: &CoiEvent,
+        salt: u64,
+    ) {
+        let done = done.clone();
         let run = Arc::new(ActionRun {
-            ctx: self.ctx.read().clone(),
+            ctx,
             spec,
             done: done.clone(),
             obs: obs.clone(),
@@ -370,21 +448,26 @@ impl ThreadExec {
                 Box::new(move || d.fail(FailureCause::Timeout { deadline_ns: ns })),
             );
         }
-        let pending: Vec<&CoiEvent> = deps
-            .iter()
-            .map(BackendEvent::as_thread)
-            .filter(|e| !e.is_complete())
-            .collect();
-        // Fast path: everything already complete (or failed).
+        // Partition deps in one pass: successfully-completed ones answer
+        // via the lock-free flag; only still-pending or failed ones pay the
+        // status lock.
+        let mut pending: Vec<&CoiEvent> = Vec::new();
         for d in deps {
-            if let EventStatus::Failed(m) = d.as_thread().status() {
-                done.fail(FailureCause::poisoned_by(m.clone()));
-                return done;
+            if d.completed_ok() {
+                continue;
+            }
+            match d.status() {
+                EventStatus::Failed(m) => {
+                    done.fail(FailureCause::poisoned_by(m.clone()));
+                    return;
+                }
+                EventStatus::Pending => pending.push(d),
+                EventStatus::Done => {}
             }
         }
         if pending.is_empty() {
             dispatch_attempt(run);
-            return done;
+            return;
         }
         // Countdown: the last completing dependence dispatches. The runner
         // is stashed in an Arc so whichever thread finishes last can run it.
@@ -417,7 +500,6 @@ impl ThreadExec {
                 }
             });
         }
-        done
     }
 
     /// Remember an in-flight completion event, opportunistically pruning

@@ -112,9 +112,10 @@ use hs_coi::EngineId;
 use hs_machine::{Device, DomainRole, PlatformCfg};
 use hs_obs::{ActionMeta, MetricsSnapshot, ObsAction, ObsHub, ObsKind, ObsRecord};
 use lockorder::LockClass;
+use stats::ShardedU64;
 use std::ops::Range;
 use stream::{DepList, StreamState};
-use sync::{Arc, AtomicU32, AtomicU64, Mutex, Once, Ordering, RwLock};
+use sync::{Arc, AtomicU64, Mutex, Once, Ordering, RwLock};
 
 /// Per-action execution options for the `*_opts` enqueue variants.
 #[derive(Clone, Copy, Debug, Default)]
@@ -127,6 +128,35 @@ pub struct ActionOpts {
     /// Retry budget for transient injected faults. Defaults to the armed
     /// fault plan's policy (or no retries when chaos is off).
     pub retry: Option<RetryPolicy>,
+}
+
+/// One action of a batched [`HStreams::enqueue_many`] submission, in
+/// source terms. The batch is validated all-or-nothing, analyzed
+/// incrementally under **one** stream-window lock, and submitted to the
+/// executor in one round-trip.
+#[derive(Clone)]
+pub enum BatchAction {
+    /// [`HStreams::enqueue_compute`].
+    Compute {
+        func: String,
+        args: Bytes,
+        operands: Vec<Operand>,
+        cost: CostHint,
+    },
+    /// [`HStreams::enqueue_xfer`].
+    Xfer {
+        buf: BufferId,
+        range: Range<usize>,
+        from: DomainId,
+        to: DomainId,
+    },
+    /// [`HStreams::enqueue_marker`].
+    Marker,
+    /// [`HStreams::enqueue_event_wait`]. The awaited events must exist
+    /// *before* the batch (batch-internal ids are not knowable by the
+    /// caller — intra-batch ordering is already carried by the FIFO +
+    /// operand semantics).
+    EventWait { events: Vec<Event> },
 }
 
 /// What an enqueued action was, in source terms — enough to re-enqueue it
@@ -148,6 +178,16 @@ enum LoggedOp {
     /// Event waits and markers: pure synchronization, replayed as a noop
     /// over the (possibly replayed) dependence events.
     Sync,
+}
+
+/// A batch item that passed validation, awaiting the windowed phase of
+/// [`HStreams::enqueue_batch_common`].
+struct BuiltAction {
+    spec: ActionSpec,
+    footprint: Footprint,
+    kind: stream::ActionKind,
+    waits: Vec<Event>,
+    logged: Option<LoggedOp>,
 }
 
 /// One recovery-log entry: the op, its enqueue-time dependences and which
@@ -189,6 +229,19 @@ pub struct DomainInfo {
 
 /// Enqueues between amortized event-table / recovery-log compactions.
 const COMPACT_EVERY: u32 = 1024;
+
+/// [`COMPACT_EVERY`] expressed in id-block mints: the compaction cadence is
+/// observed through the event table's block-mint counter (one mint per
+/// [`events::ID_BLOCK`] reserves), which the enqueue path already pays for.
+/// `max(1)` keeps the cadence sane under loom's tiny test blocks.
+const COMPACT_BLOCKS: u64 = {
+    let blocks = COMPACT_EVERY as u64 / events::ID_BLOCK;
+    if blocks == 0 {
+        1
+    } else {
+        blocks
+    }
+};
 
 /// Witness a lock-class acquisition for exactly the duration of `f` — for
 /// sites where the guard is a statement temporary. Sites that bind the
@@ -247,14 +300,20 @@ pub(crate) struct Inner {
     /// loops snapshot it before waiting; a failed wait whose snapshot is
     /// stale re-waits instead of racing a concurrent degradation.
     degrade_gen: AtomicU64,
-    /// Enqueues since the last amortized compaction.
-    enq_since_compact: AtomicU32,
+    /// Event-table *block-mint* count at which the next amortized
+    /// compaction is due. Driven off the table's existing mint counter so
+    /// the per-action check is two relaxed loads and zero RMWs (the old
+    /// per-enqueue counter was itself a shared hot-path RMW; one thread's
+    /// CAS here claims the whole compaction).
+    compact_due: AtomicU64,
     /// Times an enqueue found its stream's lock held (multi-source
     /// contention probe; surfaced as `frontend.stream_lock.contended`).
-    contended: AtomicU64,
+    /// Thread-striped: losing the race to a lock must not also mean
+    /// bouncing a shared counter line.
+    contended: ShardedU64,
     /// Stale location-index entries skipped during dependence derivation
     /// (surfaced as `deps.redundant`).
-    redundant: AtomicU64,
+    redundant: ShardedU64,
 }
 
 /// The hStreams runtime handle (one source endpoint).
@@ -330,9 +389,9 @@ impl HStreams {
                 recovery: Mutex::new(Vec::new()),
                 degraded: Mutex::new(Vec::new()),
                 degrade_gen: AtomicU64::new(0),
-                enq_since_compact: AtomicU32::new(0),
-                contended: AtomicU64::new(0),
-                redundant: AtomicU64::new(0),
+                compact_due: AtomicU64::new(COMPACT_BLOCKS),
+                contended: ShardedU64::new(),
+                redundant: ShardedU64::new(),
             }),
         }
     }
@@ -385,6 +444,13 @@ impl HStreams {
     /// order in event-id sequence).
     #[cfg(feature = "hsan-record")]
     pub fn recording_start(&self) {
+        // The trace is a total order in event-id sequence, so ids minted
+        // while recording must be gap-free ascending: hand every thread's
+        // private id block back (unused tails tombstone) and switch the
+        // allocator to sequential single-id mints — both *before* the
+        // recording flag is released to concurrent enqueuers.
+        self.inner.events.set_dense(true);
+        self.inner.events.drain_blocks();
         *with_class(LockClass::Recorder, || self.inner.recorder.lock()) = Some(
             record::Recorder::new(self.inner.ordering, self.inner.platform.domains.len()),
         );
@@ -397,7 +463,12 @@ impl HStreams {
     #[cfg(feature = "hsan-record")]
     pub fn recording_take(&self) -> Option<record::ActionTrace> {
         self.inner.recording.store(false, Ordering::Release);
-        let rec = with_class(LockClass::Recorder, || self.inner.recorder.lock().take())?;
+        let rec = with_class(LockClass::Recorder, || self.inner.recorder.lock().take());
+        // Back to block-mode id minting only once the recorder is gone: an
+        // enqueue that raced the flag store serialized on the recorder lock
+        // above and therefore minted its (dense) id before this point.
+        self.inner.events.set_dense(false);
+        let rec = rec?;
         let streams = with_class(LockClass::Streams, || self.inner.streams.read().len()) as u32;
         let trace = match &self.inner.exec {
             Executor::Sim(sim) => {
@@ -1117,6 +1188,295 @@ impl HStreams {
         Ok(ev)
     }
 
+    /// Enqueue a batch of actions on one stream in a single front-end
+    /// round-trip. Semantically identical to calling the per-action
+    /// enqueues in order (same dependences, same event graph, same
+    /// recorded trace), but the shared-state traffic is amortized across
+    /// the batch: one world-lock share, one stream-window lock (with one
+    /// retirement sweep), one executor hand-off, one recovery-log lock —
+    /// and intra-batch dependences are wired directly to the batch's
+    /// freshly minted backend events without re-reading the event table.
+    ///
+    /// Returns the actions' events, index-aligned with `actions`. On any
+    /// validation error nothing is enqueued (all-or-nothing).
+    pub fn enqueue_many(&self, s: StreamId, actions: Vec<BatchAction>) -> HsResult<Vec<Event>> {
+        self.enqueue_many_opts(s, actions, ActionOpts::default())
+    }
+
+    /// Like [`HStreams::enqueue_many`], with a deadline and/or retry
+    /// budget applied to every action of the batch.
+    pub fn enqueue_many_opts(
+        &self,
+        s: StreamId,
+        actions: Vec<BatchAction>,
+        opts: ActionOpts,
+    ) -> HsResult<Vec<Event>> {
+        self.inner.stats.bump("enqueue_many");
+        if actions.is_empty() {
+            return Ok(Vec::new());
+        }
+        let inner = &*self.inner;
+        let evs = {
+            let _lo_world = lockorder::acquiring(LockClass::World);
+            let _world = inner.world.read();
+            // Phase 1: validate + resolve every action before touching the
+            // stream window, so an invalid item enqueues nothing.
+            let known = inner.events.len();
+            let armed = inner.chaos.is_armed();
+            let mut built: Vec<BuiltAction> = Vec::with_capacity(actions.len());
+            for a in actions {
+                match a {
+                    BatchAction::Compute {
+                        func,
+                        args,
+                        operands,
+                        cost,
+                    } => {
+                        inner.stats.note_compute();
+                        let (spec, footprint) =
+                            self.build_compute_spec(s, &func, args.clone(), &operands, cost)?;
+                        let logged = armed.then_some(LoggedOp::Compute {
+                            func,
+                            args,
+                            operands,
+                            cost,
+                        });
+                        built.push(BuiltAction {
+                            spec,
+                            footprint,
+                            kind: stream::ActionKind::Normal,
+                            waits: Vec::new(),
+                            logged,
+                        });
+                    }
+                    BatchAction::Xfer {
+                        buf,
+                        range,
+                        from,
+                        to,
+                    } => {
+                        let (spec, footprint) =
+                            self.build_xfer_spec(buf, range.clone(), from, to)?;
+                        inner.stats.note_transfer(range.len() as u64, from == to);
+                        let logged = armed.then_some(LoggedOp::Xfer {
+                            buf,
+                            range,
+                            from,
+                            to,
+                        });
+                        built.push(BuiltAction {
+                            spec,
+                            footprint,
+                            kind: stream::ActionKind::Normal,
+                            waits: Vec::new(),
+                            logged,
+                        });
+                    }
+                    BatchAction::Marker => {
+                        inner.stats.note_sync();
+                        built.push(BuiltAction {
+                            spec: ActionSpec::Noop,
+                            footprint: Vec::new(),
+                            kind: stream::ActionKind::Marker,
+                            waits: Vec::new(),
+                            logged: armed.then_some(LoggedOp::Sync),
+                        });
+                    }
+                    BatchAction::EventWait { events } => {
+                        inner.stats.note_sync();
+                        for e in &events {
+                            if e.0 >= known {
+                                return Err(HsError::UnknownEvent(*e));
+                            }
+                        }
+                        built.push(BuiltAction {
+                            spec: ActionSpec::Noop,
+                            footprint: Vec::new(),
+                            kind: stream::ActionKind::EventWait,
+                            waits: events,
+                            logged: armed.then_some(LoggedOp::Sync),
+                        });
+                    }
+                }
+            }
+            self.enqueue_batch_common(s, built, opts)?
+        };
+        self.maybe_compact();
+        Ok(evs)
+    }
+
+    /// The batched enqueue hot path. Caller holds the world lock (shared)
+    /// and has fully validated `items`. Mirrors [`Self::enqueue_common`]
+    /// exactly in per-item semantics; the difference is amortization:
+    ///
+    /// * **one** stream-window lock and **one** retirement sweep;
+    /// * per-item dependence analysis is still incremental (item *i* is
+    ///   pushed into the window before item *i+1*'s `find_deps`), but
+    ///   dependences on the batch's own items resolve to
+    ///   [`exec::BatchDep::Internal`] — no event-table round-trip;
+    /// * **one** executor hand-off ([`Executor::submit_batch`]);
+    /// * **one** recovery-log lock for all logged items;
+    /// * all events publish before the stream lock is released, so
+    ///   concurrent observers never see a window entry without its slot.
+    fn enqueue_batch_common(
+        &self,
+        s: StreamId,
+        items: Vec<BuiltAction>,
+        opts: ActionOpts,
+    ) -> HsResult<Vec<Event>> {
+        let inner = &*self.inner;
+        let st_arc = self.stream_arc(s)?;
+        let submit_opts = self.submit_opts(&opts);
+        // One timestamp for the whole batch (sim mode: one executor lock).
+        let now_ns = inner.obs.is_enabled().then(|| self.source_now_ns());
+        let _lo_stream = lockorder::acquiring(LockClass::Stream);
+        let mut st = match st_arc.try_lock() {
+            Some(g) => g,
+            None => {
+                inner.contended.incr();
+                st_arc.lock()
+            }
+        };
+        st.retire(|e| self.event_retired_ok(e));
+        // Hold the recorder across the whole batch: its ops land in the
+        // trace as one contiguous ascending id run.
+        #[cfg(feature = "hsan-record")]
+        let (_lo_rec, mut rec_guard) = if inner.recording.load(Ordering::Acquire) {
+            let lo = lockorder::acquiring(LockClass::Recorder);
+            (Some(lo), Some(inner.recorder.lock()))
+        } else {
+            (None, None)
+        };
+        let n = items.len();
+        let mut ids: Vec<u64> = Vec::with_capacity(n);
+        let mut batch: Vec<exec::BatchSubmitItem> = Vec::with_capacity(n);
+        let mut logs: Vec<LoggedAction> = Vec::new();
+        let mut dep_events = DepList::new();
+        for item in items {
+            let BuiltAction {
+                spec,
+                footprint,
+                kind,
+                waits,
+                logged,
+            } = item;
+            dep_events.clear();
+            let redundant = match kind {
+                stream::ActionKind::EventWait => match inner.ordering {
+                    OrderingMode::OutOfOrder => {
+                        // Chain on the pending barrier: the wait will
+                        // replace it as `last_barrier`, and without this
+                        // edge a marker's gate would be severed for every
+                        // action enqueued after the wait.
+                        dep_events.extend_from_slice(st.sync_chain().as_slice());
+                        0
+                    }
+                    OrderingMode::StrictFifo => {
+                        st.find_deps(&footprint, false, inner.ordering, &mut dep_events)
+                    }
+                },
+                stream::ActionKind::Marker => {
+                    st.find_deps(&footprint, true, inner.ordering, &mut dep_events)
+                }
+                stream::ActionKind::Normal => {
+                    st.find_deps(&footprint, false, inner.ordering, &mut dep_events)
+                }
+            };
+            if redundant != 0 {
+                inner.redundant.add(redundant);
+            }
+            dep_events.extend_from_slice(&waits);
+            dep_events.sort_dedup();
+            // Intra-batch dependences point at reserved-but-unpublished
+            // slots; route them straight to the batch's own completion
+            // events. Everything else resolves through the table as usual.
+            let mut deps: Vec<exec::BatchDep> = Vec::with_capacity(dep_events.len());
+            for e in dep_events.iter() {
+                if let Some(j) = ids.iter().position(|&id| id == e.0) {
+                    deps.push(exec::BatchDep::Internal(j));
+                    continue;
+                }
+                match inner.events.view(*e) {
+                    EventView::Live(be, _) => deps.push(exec::BatchDep::External(be)),
+                    // Tombstoned = completed success: nothing to wait on.
+                    EventView::Retired(_) => {}
+                    EventView::Missing => {}
+                }
+            }
+            let id = inner.events.reserve();
+            let ev = Event(id);
+            let obs = self.mint_obs_at(s, &spec, &footprint, now_ns);
+            if let Some(op) = logged {
+                logs.push(LoggedAction {
+                    ev: id,
+                    stream: s,
+                    op,
+                    deps: dep_events.iter().map(|e| e.0).collect(),
+                    wrote: footprint
+                        .iter()
+                        .filter(|f| f.write)
+                        .map(|f| f.domain.0)
+                        .collect(),
+                    retry: submit_opts.retry,
+                });
+            }
+            #[cfg(feature = "hsan-record")]
+            if let Some(rec) = rec_guard.as_mut().and_then(|g| g.as_mut()) {
+                rec.push(record::TraceOp::Enqueue(record::ActionRecord {
+                    event: id,
+                    stream: s.0,
+                    kind,
+                    label: spec.label().to_string(),
+                    footprint: footprint.clone(),
+                    waits: waits.iter().map(|e| e.0).collect(),
+                }));
+            }
+            ids.push(id);
+            batch.push(exec::BatchSubmitItem {
+                spec,
+                deps,
+                obs,
+                opts: submit_opts,
+            });
+            // Window the item *now* so the next item's find_deps sees it.
+            st.push(ev, footprint, kind);
+        }
+        // Phase 3: one executor round-trip for the whole batch. While a
+        // recording is live, the completion log hooks each item's done
+        // event *before* its dependents wire onto it — registering after
+        // (as a post-submit loop would) records synchronously-dispatched
+        // dependents ahead of their producers, inverting the observed
+        // completion order.
+        #[cfg(feature = "hsan-record")]
+        let comp_log = rec_guard
+            .as_ref()
+            .and_then(|g| g.as_ref())
+            .map(|rec| rec.completions.clone());
+        #[cfg(feature = "hsan-record")]
+        let ids_ref: &[u64] = &ids;
+        #[cfg(feature = "hsan-record")]
+        let track = comp_log
+            .as_ref()
+            .map(|log| move |i: usize, ce: &hs_coi::CoiEvent| log.track(ce, ids_ref[i]));
+        #[cfg(feature = "hsan-record")]
+        let backends = inner.exec.submit_batch(
+            batch,
+            track
+                .as_ref()
+                .map(|t| t as &dyn Fn(usize, &hs_coi::CoiEvent)),
+        );
+        #[cfg(not(feature = "hsan-record"))]
+        let backends = inner.exec.submit_batch(batch, None);
+        if !logs.is_empty() {
+            with_class(LockClass::Recovery, || inner.recovery.lock().extend(logs));
+        }
+        // Phase 4: publish everything before the stream lock drops.
+        for (id, be) in ids.iter().zip(backends) {
+            inner.events.publish(*id, s, be);
+        }
+        Ok(ids.into_iter().map(Event).collect())
+    }
+
     /// The stream that produced an event.
     pub fn event_stream(&self, ev: Event) -> HsResult<StreamId> {
         self.inner
@@ -1154,8 +1514,7 @@ impl HStreams {
                 EventView::Live(be, ps) => {
                     // A completed *failure* is never pruned: the poison edge
                     // must still reach the dependent.
-                    let live = !self.inner.exec.is_complete(&be)
-                        || self.inner.exec.failure_of(&be).is_some();
+                    let live = !self.inner.exec.completed_ok(&be);
                     if ps != s && (keep_complete || live) {
                         cross.push(*e);
                     }
@@ -1173,13 +1532,12 @@ impl HStreams {
     /// so later overlapping enqueues still inherit the poison. Tombstoned
     /// entries completed successfully by construction.
     fn event_retired_ok(&self, e: Event) -> bool {
-        match self.inner.events.view(e) {
-            EventView::Retired(_) => true,
-            EventView::Live(be, _) => {
-                self.inner.exec.is_complete(&be) && self.inner.exec.failure_of(&be).is_none()
-            }
-            EventView::Missing => false,
-        }
+        // Probe under the slot lock — no payload clone. Lock order is
+        // respected: EventSlot precedes SimExec, which `completed_ok` may
+        // take for the sim backend.
+        self.inner
+            .events
+            .retired_ok(e, |be| self.inner.exec.completed_ok(be))
     }
 
     /// The enqueue hot path. Caller holds the world lock (shared).
@@ -1203,21 +1561,27 @@ impl HStreams {
         let mut st = match st_arc.try_lock() {
             Some(g) => g,
             None => {
-                inner.contended.fetch_add(1, Ordering::Relaxed);
+                inner.contended.incr();
                 st_arc.lock()
             }
         };
         st.retire(|e| self.event_retired_ok(e));
-        // EventWait actions depend only on the awaited events (out-of-order
-        // mode) — but under StrictFifo they must also chain on the stream's
-        // previous action, or the strict chain would break at every wait
-        // (the wait could complete before its predecessor, releasing the
-        // successor early). Markers depend on everything pending; normal
-        // actions on their operand conflicts (or the chain, in strict mode).
+        // EventWait actions depend on the awaited events plus the pending
+        // sync barrier, if any (out-of-order mode: the wait replaces
+        // `last_barrier`, so it must chain on the old one or a marker's
+        // gate would be severed for post-wait actions) — and under
+        // StrictFifo on the stream's previous action, or the strict chain
+        // would break at every wait (the wait could complete before its
+        // predecessor, releasing the successor early). Markers depend on
+        // everything pending; normal actions on their operand conflicts
+        // (or the chain, in strict mode).
         let mut dep_events = DepList::new();
         let redundant = match kind {
             stream::ActionKind::EventWait => match inner.ordering {
-                OrderingMode::OutOfOrder => 0,
+                OrderingMode::OutOfOrder => {
+                    dep_events.extend_from_slice(st.sync_chain().as_slice());
+                    0
+                }
                 OrderingMode::StrictFifo => {
                     st.find_deps(&footprint, false, inner.ordering, &mut dep_events)
                 }
@@ -1230,7 +1594,7 @@ impl HStreams {
             }
         };
         if redundant != 0 {
-            inner.redundant.fetch_add(redundant, Ordering::Relaxed);
+            inner.redundant.add(redundant);
         }
         dep_events.extend_from_slice(extra_events);
         dep_events.sort_dedup();
@@ -1314,6 +1678,20 @@ impl HStreams {
     /// Returns an inert handle (no allocation beyond the `Option`) when
     /// tracing is off.
     fn mint_obs(&self, s: StreamId, spec: &ActionSpec, footprint: &Footprint) -> ObsAction {
+        self.mint_obs_at(s, spec, footprint, None)
+    }
+
+    /// [`Self::mint_obs`] with an optional pre-captured source timestamp:
+    /// a batch stamps all its actions with one `source_now_ns` reading
+    /// instead of one clock round-trip (and, in sim mode, one executor
+    /// lock) per action.
+    fn mint_obs_at(
+        &self,
+        s: StreamId,
+        spec: &ActionSpec,
+        footprint: &Footprint,
+        now_ns: Option<u64>,
+    ) -> ObsAction {
         if !self.inner.obs.is_enabled() {
             return ObsAction::disabled();
         }
@@ -1356,7 +1734,8 @@ impl HStreams {
             footprint: footprint.len() as u32,
             label: spec.label().to_string(),
         };
-        self.inner.obs.action(meta, self.source_now_ns())
+        let now = now_ns.unwrap_or_else(|| self.source_now_ns());
+        self.inner.obs.action(meta, now)
     }
 
     /// Source-side "now" in nanoseconds (wall in thread mode, virtual in
@@ -1388,7 +1767,7 @@ impl HStreams {
                     .find_deps(&probe, false, OrderingMode::OutOfOrder, &mut tmp)
             });
             if red != 0 {
-                self.inner.redundant.fetch_add(red, Ordering::Relaxed);
+                self.inner.redundant.add(red);
             }
             deps.extend_from_slice(tmp.as_slice());
         }
@@ -1400,12 +1779,31 @@ impl HStreams {
     // ------------------------------------------------------- compaction
 
     /// Amortized bounded-memory sweep, run outside the enqueue locks.
+    ///
+    /// Cadence is observed through the event table's block-mint counter
+    /// rather than a dedicated per-enqueue counter: the common case is two
+    /// relaxed loads and **zero** shared RMWs per action, and the CAS —
+    /// attempted only once per [`COMPACT_BLOCKS`] mints — elects a single
+    /// compacting thread.
     fn maybe_compact(&self) {
-        let n = self.inner.enq_since_compact.fetch_add(1, Ordering::Relaxed);
-        if n % COMPACT_EVERY != COMPACT_EVERY - 1 {
+        let inner = &*self.inner;
+        let mints = inner.events.mints();
+        let due = inner.compact_due.load(Ordering::Relaxed);
+        if mints < due {
             return;
         }
-        self.compact_now();
+        if inner
+            .compact_due
+            .compare_exchange(
+                due,
+                mints + COMPACT_BLOCKS,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            self.compact_now();
+        }
     }
 
     /// Tombstone completed-successful events in the global table (their
@@ -1423,6 +1821,10 @@ impl HStreams {
         let inner = &*self.inner;
         let _lo_world = lockorder::acquiring(LockClass::World);
         let _world = inner.world.read();
+        // Hand back every thread's private id block first: unused tail ids
+        // tombstone, so the watermark below can sweep past them instead of
+        // stalling at the first untaken id. Threads re-mint on next use.
+        inner.events.drain_blocks();
         inner.events.compact(|be| {
             if !inner.exec.is_complete(be) {
                 return None;
@@ -1440,9 +1842,7 @@ impl HStreams {
             log.retain(|la| {
                 let done_ok = match inner.events.view_id(la.ev) {
                     EventView::Retired(_) => true,
-                    EventView::Live(be, _) => {
-                        inner.exec.is_complete(&be) && inner.exec.failure_of(&be).is_none()
-                    }
+                    EventView::Live(be, _) => inner.exec.completed_ok(&be),
                     EventView::Missing => false,
                 };
                 !(done_ok && la.wrote.iter().all(|d| *d == 0))
@@ -1878,14 +2278,16 @@ impl HStreams {
             .insert("events.retired".into(), table.retired as f64);
         snap.extra
             .insert("events.watermark".into(), table.watermark as f64);
+        snap.extra
+            .insert("events.id_block.mints".into(), table.mints as f64);
+        snap.extra
+            .insert("events.id_block.tombstoned".into(), table.tombstoned as f64);
         snap.extra.insert(
             "frontend.stream_lock.contended".into(),
-            self.inner.contended.load(Ordering::Relaxed) as f64,
+            self.inner.contended.get() as f64,
         );
-        snap.extra.insert(
-            "deps.redundant".into(),
-            self.inner.redundant.load(Ordering::Relaxed) as f64,
-        );
+        snap.extra
+            .insert("deps.redundant".into(), self.inner.redundant.get() as f64);
         snap.extra.insert(
             "frontend.recovery.entries".into(),
             with_class(LockClass::Recovery, || self.inner.recovery.lock().len()) as f64,

@@ -47,15 +47,18 @@ pub enum LockClass {
     SimShadow = 7,
     /// The single-compactor guard (`EventTable::compactor`).
     Compactor = 8,
+    /// The per-table id-block registry (`events::Shared::blocks`): the list
+    /// of per-thread id-block cells a drain sweeps before compaction.
+    IdBlocks = 9,
     /// A per-slot event-table mutex (`Slot::be`).
-    EventSlot = 9,
+    EventSlot = 10,
     /// The serialized virtual-time executor (`Executor::Sim`).
-    SimExec = 10,
+    SimExec = 11,
 }
 
 impl LockClass {
     /// Every class, in rank order.
-    pub const ALL: [LockClass; 11] = [
+    pub const ALL: [LockClass; 12] = [
         LockClass::World,
         LockClass::Streams,
         LockClass::Stream,
@@ -65,6 +68,7 @@ impl LockClass {
         LockClass::Degraded,
         LockClass::SimShadow,
         LockClass::Compactor,
+        LockClass::IdBlocks,
         LockClass::EventSlot,
         LockClass::SimExec,
     ];
@@ -86,6 +90,7 @@ impl LockClass {
             LockClass::Degraded => "degraded",
             LockClass::SimShadow => "sim_shadow",
             LockClass::Compactor => "compactor",
+            LockClass::IdBlocks => "id_blocks",
             LockClass::EventSlot => "event_slot",
             LockClass::SimExec => "sim_exec",
         }

@@ -9,11 +9,53 @@
 //! cleared wholesale.
 
 use crate::cpumask::CpuMask;
-use crate::deps::Footprint;
+use crate::deps::{covers, Footprint};
 use crate::small::SmallVec;
 use crate::types::{BufferId, DomainId, Event, OrderingMode, StreamId};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::ops::Range;
+
+/// Hasher for the location index. The key is two small dense ids; the
+/// default SipHash costs more than the probe it guards on the per-action
+/// dependence-analysis path, so mix the words with one multiply-xor round
+/// (Fibonacci-hashing constant) instead. Not DoS-resistant — the keys are
+/// runtime-internal ids, not attacker input.
+#[derive(Default)]
+struct LocHasher(u64);
+
+impl Hasher for LocHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+}
+
+impl LocHasher {
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+}
+
+type LocMap<V> = HashMap<(DomainId, BufferId), V, BuildHasherDefault<LocHasher>>;
 
 /// Dependence list with inline storage for the common small fan-in.
 pub type DepList = SmallVec<Event, 8>;
@@ -44,7 +86,7 @@ pub struct StreamState {
     pub domain: DomainId,
     pub mask: CpuMask,
     /// Pending items indexed by touched location.
-    by_loc: HashMap<(DomainId, BufferId), Vec<PendingItem>>,
+    by_loc: LocMap<Vec<PendingItem>>,
     /// Every pending (not yet observed complete) event, in enqueue order.
     all: Vec<Event>,
     /// The most recent pending sync action (event-wait or marker): later
@@ -52,6 +94,13 @@ pub struct StreamState {
     last_barrier: Option<Event>,
     /// Most recent pending action (strict-FIFO chaining).
     last_event: Option<Event>,
+    /// A *floor* on the pending ids: `<=` every id in `all`, recomputed
+    /// exactly on full sweeps, only lowered by pushes in between. Index
+    /// entries below it are provably retired leftovers (stale-skip); a
+    /// floor that lags merely forgoes some skips, never drops a pending
+    /// dependence — with per-thread id blocks, enqueue order is not id
+    /// order, so `all.first()` stopped being a valid minimum.
+    min_pending: u64,
     enqueued: u64,
     since_full_retire: u32,
 }
@@ -62,10 +111,11 @@ impl StreamState {
             id,
             domain,
             mask,
-            by_loc: HashMap::new(),
+            by_loc: LocMap::default(),
             all: Vec::new(),
             last_barrier: None,
             last_event: None,
+            min_pending: u64::MAX,
             enqueued: 0,
             since_full_retire: 0,
         }
@@ -101,6 +151,9 @@ impl StreamState {
             let drop = self.all.iter().take_while(|e| is_complete(**e)).count();
             if drop > 0 {
                 self.all.drain(..drop);
+                // The drain already moved every survivor; refreshing the
+                // pending-id floor over them is asymptotically free.
+                self.min_pending = self.all.iter().map(|e| e.0).min().unwrap_or(u64::MAX);
             }
         }
         self.settle_sync_markers(is_complete);
@@ -116,6 +169,8 @@ impl StreamState {
             items.retain(|it| !is_complete(it.event));
         }
         self.by_loc.retain(|_, v| !v.is_empty());
+        // The index was just swept, so the floor can be exact again.
+        self.min_pending = self.all.iter().map(|e| e.0).min().unwrap_or(u64::MAX);
         self.settle_sync_markers(is_complete);
     }
 
@@ -132,23 +187,35 @@ impl StreamState {
         }
     }
 
-    /// Events of all pending actions, in enqueue (= ascending id) order.
+    /// The pending sync action (marker or event-wait) an out-of-order
+    /// event-wait must chain on. `push` *replaces* `last_barrier`, so a
+    /// wait that did not order after the previous barrier would sever a
+    /// marker's gate for everything enqueued after the wait (later actions
+    /// order on the newest sync action only, relying on this sync-to-sync
+    /// chain for the older ones).
+    pub fn sync_chain(&self) -> Option<Event> {
+        self.last_barrier
+    }
+
+    /// Events of all pending actions, in enqueue order. NOT necessarily
+    /// ascending by id: concurrent sources mint ids from per-thread blocks,
+    /// so interleaved enqueues on one stream produce non-monotone id runs.
     /// A borrow — callers iterate or copy under the stream's lock.
     pub fn pending(&self) -> &[Event] {
         &self.all
     }
 
-    /// The oldest pending event strictly after `last` (None = from the
+    /// The lowest-id pending event strictly after `last` (None = from the
     /// start). Lets `stream_synchronize` walk the pending window one event
-    /// at a time without cloning it.
+    /// at a time without cloning it — by id, not by enqueue position, so
+    /// the walk terminates even though enqueue order is not id order and
+    /// concurrent enqueuers keep appending.
     pub fn first_pending_after(&self, last: Option<Event>) -> Option<Event> {
-        match last {
-            None => self.all.first().copied(),
-            Some(l) => {
-                let i = self.all.partition_point(|e| *e <= l);
-                self.all.get(i).copied()
-            }
-        }
+        self.all
+            .iter()
+            .copied()
+            .filter(|e| last.is_none_or(|l| *e > l))
+            .min()
     }
 
     /// Dependences a new action with `footprint` must wait for, per the
@@ -176,9 +243,12 @@ impl StreamState {
                     out.extend_from_slice(&self.all);
                     return 0;
                 }
-                // Everything pending is in `all` (ascending); an index entry
-                // older than the front is a retired leftover.
-                let min_pending = self.all.first().map(|e| e.0).unwrap_or(u64::MAX);
+                // An index entry below the pending-id floor cannot be
+                // pending: it is a retired leftover and induces no
+                // dependence. (An already-retired entry *above* the floor
+                // merely resolves to a completed event downstream — safe,
+                // just not counted as redundant.)
+                let min_pending = self.min_pending;
                 let mut redundant = 0u64;
                 out.extend_from_slice(self.last_barrier.as_slice());
                 for item in footprint {
@@ -220,20 +290,41 @@ impl StreamState {
             }
             ActionKind::Normal => {
                 for item in footprint {
-                    self.by_loc
-                        .entry((item.domain, item.buffer))
-                        .or_default()
-                        .push(PendingItem {
-                            event,
-                            range: item.range,
-                            write: item.write,
-                        });
+                    let bucket = self.by_loc.entry((item.domain, item.buffer)).or_default();
+                    if item.write {
+                        // Dominated-entry pruning: this write covers (and —
+                        // because it writes — conflicts with) every entry
+                        // whose range it contains, so the just-computed dep
+                        // list already orders it after them; and any future
+                        // action conflicting with a covered entry overlaps
+                        // this write's range too, so the transitive edge
+                        // through this event preserves the ordering. Without
+                        // this, repeated whole-buffer writers (the common
+                        // streaming pattern) grow the bucket — and every
+                        // later dependence scan — linearly with the pending
+                        // window. A covering *read* must not prune: it
+                        // doesn't conflict with a covered read, so a future
+                        // writer's WAR edge would have no transitive carrier.
+                        bucket.retain(|p| !covers(&item.range, &p.range));
+                    }
+                    bucket.push(PendingItem {
+                        event,
+                        range: item.range,
+                        write: item.write,
+                    });
                 }
             }
         }
         self.all.push(event);
+        self.min_pending = self.min_pending.min(event.0);
         self.last_event = Some(event);
         self.enqueued += 1;
+    }
+
+    /// Total location-index entries (test visibility into pruning).
+    #[cfg(test)]
+    fn index_entries(&self) -> usize {
+        self.by_loc.values().map(|v| v.len()).sum()
     }
 }
 
@@ -358,8 +449,9 @@ mod tests {
     #[test]
     fn stale_index_entries_are_skipped_and_counted() {
         let mut s = stream();
+        // Overlapping but non-covering writes: neither prunes the other.
         s.push(Event(0), fp(0, 0..10, true), ActionKind::Normal);
-        s.push(Event(1), fp(0, 0..10, true), ActionKind::Normal);
+        s.push(Event(1), fp(0, 5..15, true), ActionKind::Normal);
         // Cheap prefix retire: event 0 leaves `all` but stays in `by_loc`.
         s.retire(|e| e == Event(0));
         assert_eq!(s.pending_len(), 1);
@@ -382,6 +474,64 @@ mod tests {
             &mut out2,
         );
         assert_eq!(r2, 0);
+    }
+
+    #[test]
+    fn covering_writer_prunes_dominated_entries() {
+        let mut s = stream();
+        // The whole-buffer-rewrite streaming pattern: each writer covers
+        // its predecessor, so the index holds exactly one entry however
+        // deep the pending window gets.
+        for i in 0..50 {
+            s.push(Event(i), fp(0, 0..4096, true), ActionKind::Normal);
+        }
+        assert_eq!(s.index_entries(), 1, "dominated entries pruned");
+        assert_eq!(s.pending_len(), 50, "the ordered window is untouched");
+        let deps = deps_of(
+            &mut s,
+            &fp(0, 0..4096, true),
+            false,
+            OrderingMode::OutOfOrder,
+        );
+        assert_eq!(deps, vec![Event(49)], "newest writer carries the chain");
+        // A partial write covers nothing: both entries stay.
+        s.push(Event(50), fp(0, 100..200, true), ActionKind::Normal);
+        assert_eq!(s.index_entries(), 2);
+    }
+
+    #[test]
+    fn covering_read_does_not_prune() {
+        let mut s = stream();
+        s.push(Event(0), fp(0, 2..8, true), ActionKind::Normal);
+        // A covering read: the write entry underneath must survive, or a
+        // future writer would lose its WAR carrier... and so must peer
+        // reads (read-read is free, so the covering read carries no edge).
+        s.push(Event(1), fp(0, 0..10, false), ActionKind::Normal);
+        assert_eq!(s.index_entries(), 2);
+        let deps = deps_of(&mut s, &fp(0, 0..10, true), false, OrderingMode::OutOfOrder);
+        assert!(deps.contains(&Event(0)), "WAW edge to the covered writer");
+        assert!(deps.contains(&Event(1)), "WAR edge to the covering reader");
+    }
+
+    #[test]
+    fn pruned_entry_ordering_survives_transitively() {
+        // The soundness argument behind pruning, end to end: A(write 0..8),
+        // B(write 0..10, covers A), then C conflicting with A's range. C
+        // must order after B (its dep), and B after A (B's dep) — the edge
+        // to A is carried transitively even though A left the index.
+        let mut s = stream();
+        s.push(Event(0), fp(0, 0..8, true), ActionKind::Normal);
+        let mut b_deps = DepList::new();
+        s.find_deps(
+            &fp(0, 0..10, true),
+            false,
+            OrderingMode::OutOfOrder,
+            &mut b_deps,
+        );
+        assert_eq!(b_deps.as_slice(), &[Event(0)], "B depends on covered A");
+        s.push(Event(1), fp(0, 0..10, true), ActionKind::Normal);
+        let c = deps_of(&mut s, &fp(0, 3..5, false), false, OrderingMode::OutOfOrder);
+        assert_eq!(c, vec![Event(1)], "C reaches A through B");
     }
 
     #[test]

@@ -68,6 +68,28 @@ impl Frontend {
         id
     }
 
+    /// One `enqueue_batch_common`-shaped batch: same lock sequence as
+    /// [`Frontend::enqueue`], but K slots are reserved and windowed
+    /// incrementally and *all* of them publish before the stream lock
+    /// drops (the batch publish ordering contract, DESIGN.md §13).
+    fn enqueue_batch(&self, s: usize, k: usize) -> Vec<u64> {
+        let _world = self.world.read();
+        let st_arc = { self.streams.read()[s].clone() };
+        let mut st = st_arc.lock();
+        let mut ids = Vec::with_capacity(k);
+        for _ in 0..k {
+            let id = self.events.reserve();
+            st.push(Event(id), Vec::new(), ActionKind::Normal);
+            ids.push(id);
+        }
+        // One executor round-trip for the whole batch, then publish
+        // everything while the window lock is still held.
+        for &id in &ids {
+            self.events.publish(id, StreamId(s as u32), done_event());
+        }
+        ids
+    }
+
     /// The `degrade_card` prefix: exclusive world lock, then walk the
     /// stream table (shared) taking each stream's mutex — the same
     /// acquisition sequence as the remap step. Asserts the stop-the-world
@@ -146,6 +168,38 @@ fn loom_two_streams_vs_degrade_bounded() {
         }
         let st = fe.events.stats();
         assert_eq!((st.live, st.retired), (2, 0));
+    });
+}
+
+/// A batched enqueue racing stop-the-world degradation, exhaustively
+/// explored. The batch reserves and windows its slots one by one but
+/// holds the shared world lock (and the stream mutex) from first reserve
+/// to last publish — so the degrader must see the batch all-or-nothing:
+/// zero or K events, never a prefix, and never a reserved-but-unpublished
+/// slot.
+#[test]
+fn loom_batch_publish_vs_degrade() {
+    loom::model(|| {
+        let fe = Arc::new(Frontend::new(1));
+        let fe2 = fe.clone();
+        let batch = loom::thread::spawn(move || fe2.enqueue_batch(0, 2));
+        let seen = fe.degrade_scan();
+        assert!(
+            seen == 0 || seen == 2,
+            "degrader saw a torn batch: {seen} of 2 events"
+        );
+        let ids = batch.join().unwrap();
+        assert_eq!(ids.len(), 2);
+        for id in ids {
+            assert!(
+                matches!(fe.events.view_id(id), EventView::Live(..)),
+                "batch event lost across degradation"
+            );
+        }
+        let st = fe.events.stats();
+        assert_eq!((st.live, st.retired), (2, 0));
+        assert_eq!(st.live + st.retired, st.reserved, "gauge unbalanced");
+        assert_eq!(fe.streams.read()[0].lock().enqueued(), 2);
     });
 }
 

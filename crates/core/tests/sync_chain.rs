@@ -1,0 +1,80 @@
+//! Regression: an out-of-order event-wait must not sever a marker's gate.
+//!
+//! `StreamState::push` replaces `last_barrier` when an event-wait is
+//! enqueued. Before the sync-to-sync chain, an action enqueued after
+//! `marker; wait(root)` depended only on the wait — whose own dependences
+//! are just the (long-complete) awaited events — so it raced everything the
+//! marker was supposed to fence. The race only fired when the sink lagged
+//! the source (otherwise every dependence was already complete at enqueue
+//! time and execution was incidentally serial), hence the repetition loop.
+
+use bytes::Bytes;
+use hs_machine::{Device, PlatformCfg};
+use hstreams_core::{
+    Access, BufProps, CostHint, CpuMask, DomainId, ExecMode, HStreams, Operand, TaskCtx,
+};
+use std::sync::Arc;
+
+const N: usize = 4;
+
+#[test]
+fn event_wait_does_not_sever_marker_gate() {
+    let mut seen = std::collections::BTreeMap::new();
+    for _ in 0..150 {
+        let hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
+        hs.register(
+            "addk",
+            Arc::new(|ctx: &mut TaskCtx| {
+                let k = f64::from_le_bytes(ctx.args()[..8].try_into().unwrap());
+                for x in ctx.buf_f64_mut(0) {
+                    *x += k;
+                }
+            }),
+        );
+        let s = hs.stream_create(DomainId(1), CpuMask::first(2)).unwrap();
+        let b = hs.buffer_create(8 * N, BufProps::default());
+        hs.buffer_instantiate(b, DomainId(1)).unwrap();
+        hs.buffer_write_f64(b, 0, &[1.0; N]).unwrap();
+        let root = hs.xfer_to_sink(s, b, 0..8 * N).unwrap();
+
+        let addk = |k: f64| {
+            hs.enqueue_compute(
+                s,
+                "addk",
+                Bytes::copy_from_slice(&k.to_le_bytes()),
+                &[Operand::f64s(b, 0, N, Access::InOut)],
+                CostHint::trivial(),
+            )
+            .unwrap();
+        };
+
+        // card: 1 → +1 → +2 → reset to host copy (1) twice → fence →
+        // +4 → +2 → read back: host must always see 7.
+        hs.enqueue_xfer(s, b, 0..8 * N, DomainId(1), DomainId::HOST)
+            .unwrap();
+        addk(1.0);
+        hs.enqueue_event_wait(s, &[root]).unwrap();
+        addk(2.0);
+        hs.enqueue_xfer(s, b, 0..8 * N, DomainId::HOST, DomainId(1))
+            .unwrap();
+        hs.enqueue_xfer(s, b, 0..8 * N, DomainId::HOST, DomainId(1))
+            .unwrap();
+        hs.enqueue_marker(s).unwrap();
+        hs.enqueue_event_wait(s, &[root]).unwrap();
+        addk(4.0);
+        hs.enqueue_event_wait(s, &[root]).unwrap();
+        addk(2.0);
+        hs.enqueue_xfer(s, b, 0..8 * N, DomainId(1), DomainId::HOST)
+            .unwrap();
+        hs.thread_synchronize().unwrap();
+
+        let mut out = [0.0; N];
+        hs.buffer_read_f64(b, 0, &mut out).unwrap();
+        *seen.entry(out[0].to_bits()).or_insert(0u32) += 1;
+    }
+    assert_eq!(
+        seen,
+        [(7.0f64.to_bits(), 150)].into_iter().collect(),
+        "non-serial interleavings leaked through the marker"
+    );
+}

@@ -86,9 +86,20 @@ impl<'t> HbGraph<'t> {
                         }
                     }
                     OrderingMode::OutOfOrder => match actions[i].kind {
-                        // Cross-stream sync only: no intra-stream ordering
-                        // against prior actions (the non-serializing wait).
-                        ActionKind::EventWait => {}
+                        // Cross-stream sync: non-serializing against prior
+                        // *normal* actions, but chained on the previous sync
+                        // action — the wait supersedes it as the stream's
+                        // gate, so without this edge a marker's dominance
+                        // over post-wait actions would be severed (the
+                        // runtime wires the same sync-to-sync chain).
+                        ActionKind::EventWait => {
+                            for &j in order[..k].iter().rev() {
+                                if actions[j].kind != ActionKind::Normal {
+                                    preds[i].push(j);
+                                    break;
+                                }
+                            }
+                        }
                         // A marker dominates everything enqueued before it;
                         // edges to actions before the previous marker are
                         // implied transitively.

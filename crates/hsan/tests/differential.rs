@@ -13,8 +13,8 @@
 use bytes::Bytes;
 use hs_machine::{Device, PlatformCfg};
 use hstreams_core::{
-    Access, BufProps, BufferId, CostHint, CpuMask, DomainId, Event, ExecMode, HStreams, Operand,
-    StreamId, TaskCtx,
+    Access, BatchAction, BufProps, BufferId, CostHint, CpuMask, DomainId, Event, ExecMode,
+    HStreams, Operand, StreamId, TaskCtx,
 };
 use std::sync::Arc;
 
@@ -103,6 +103,51 @@ fn interpret(hs: &HStreams, stream: StreamId, bufs: &[BufferId], prog: &[Op]) {
     }
 }
 
+/// Like [`interpret`], but through `enqueue_many`: ops accumulate into
+/// batches of at most 16, flushed early before each `WaitPrev` (the
+/// awaited event must exist before its batch — batch-internal ids are not
+/// knowable by the caller). One event per op, in program order, exactly
+/// as the one-at-a-time interpretation produces.
+fn interpret_batched(hs: &HStreams, stream: StreamId, bufs: &[BufferId], prog: &[Op]) {
+    fn flush(
+        hs: &HStreams,
+        stream: StreamId,
+        pending: &mut Vec<BatchAction>,
+        produced: &mut Vec<Event>,
+    ) {
+        if !pending.is_empty() {
+            let evs = hs
+                .enqueue_many(stream, std::mem::take(pending))
+                .expect("batch");
+            produced.extend(evs);
+        }
+    }
+    let mut produced: Vec<Event> = Vec::with_capacity(prog.len());
+    let mut pending: Vec<BatchAction> = Vec::new();
+    for op in prog {
+        match *op {
+            Op::Compute { buf, chunk, access } => pending.push(BatchAction::Compute {
+                func: "mix".into(),
+                args: Bytes::new(),
+                operands: vec![Operand::new(bufs[buf], 0..chunk * 1024, access)],
+                cost: CostHint::trivial(),
+            }),
+            Op::Marker => pending.push(BatchAction::Marker),
+            Op::WaitPrev { back } => {
+                flush(hs, stream, &mut pending, &mut produced);
+                let target = produced[produced.len() - back.min(produced.len())];
+                pending.push(BatchAction::EventWait {
+                    events: vec![target],
+                });
+            }
+        }
+        if pending.len() >= 16 {
+            flush(hs, stream, &mut pending, &mut produced);
+        }
+    }
+    flush(hs, stream, &mut pending, &mut produced);
+}
+
 /// A runtime-independent rendering of one stream's recorded program: the
 /// action's kind + label + footprint, with wait edges rewritten from global
 /// event ids to (stream, within-stream index) — the only form comparable
@@ -126,9 +171,19 @@ fn stream_projections(trace: &hsan::ActionTrace) -> Vec<Vec<String>> {
     per_stream
 }
 
-/// Run the generated programs with `threads` source threads (1 = serial
-/// replay) and return the recorded trace.
-fn run(mode: ExecMode, concurrent: bool) -> hsan::ActionTrace {
+/// How the generated programs are driven through the runtime.
+#[derive(Clone, Copy, PartialEq)]
+enum Style {
+    /// N source threads, one `enqueue_*` call per op.
+    Concurrent,
+    /// Main thread, one `enqueue_*` call per op.
+    Serial,
+    /// N source threads, ops chunked through `enqueue_many`.
+    Batched,
+}
+
+/// Run the generated programs and return the recorded trace.
+fn run(mode: ExecMode, style: Style) -> hsan::ActionTrace {
     let hs = runtime(mode);
     // Streams and buffers are created on the main thread, in a fixed order,
     // *before* recording starts: both runs then see identical ids.
@@ -147,17 +202,23 @@ fn run(mode: ExecMode, concurrent: bool) -> hsan::ActionTrace {
         .map(|t| gen_program(0xC0FFEE + t as u64))
         .collect();
     hs.recording_start();
-    if concurrent {
-        std::thread::scope(|scope| {
+    match style {
+        Style::Concurrent | Style::Batched => {
+            std::thread::scope(|scope| {
+                for (t, (s, bufs)) in lanes.iter().enumerate() {
+                    let hs = hs.clone();
+                    let prog = &progs[t];
+                    scope.spawn(move || match style {
+                        Style::Batched => interpret_batched(&hs, *s, bufs, prog),
+                        _ => interpret(&hs, *s, bufs, prog),
+                    });
+                }
+            });
+        }
+        Style::Serial => {
             for (t, (s, bufs)) in lanes.iter().enumerate() {
-                let hs = hs.clone();
-                let prog = &progs[t];
-                scope.spawn(move || interpret(&hs, *s, bufs, prog));
+                interpret(&hs, *s, bufs, &progs[t]);
             }
-        });
-    } else {
-        for (t, (s, bufs)) in lanes.iter().enumerate() {
-            interpret(&hs, *s, bufs, &progs[t]);
         }
     }
     hs.thread_synchronize().expect("sync");
@@ -167,8 +228,8 @@ fn run(mode: ExecMode, concurrent: bool) -> hsan::ActionTrace {
 #[test]
 fn concurrent_enqueue_is_hsan_equivalent_to_serial_replay() {
     for mode in [ExecMode::Threads, ExecMode::Sim] {
-        let concurrent = run(mode, true);
-        let serial = run(mode, false);
+        let concurrent = run(mode, Style::Concurrent);
+        let serial = run(mode, Style::Serial);
         assert_eq!(
             concurrent.actions().count(),
             NTHREADS * OPS_PER_THREAD,
@@ -187,17 +248,46 @@ fn concurrent_enqueue_is_hsan_equivalent_to_serial_replay() {
     }
 }
 
+/// Batched enqueues (N concurrent source threads chunking through
+/// `enqueue_many`) are hsan-equivalent to the serial one-at-a-time replay:
+/// identical per-stream projections, and the analyzer finds the batched
+/// trace clean. This is the trace-level half of the batch==singles
+/// differential (the data-level half lives in the core crate).
+#[test]
+fn batched_enqueue_is_hsan_equivalent_to_serial_replay() {
+    for mode in [ExecMode::Threads, ExecMode::Sim] {
+        let batched = run(mode, Style::Batched);
+        let serial = run(mode, Style::Serial);
+        assert_eq!(
+            batched.actions().count(),
+            NTHREADS * OPS_PER_THREAD,
+            "no batched enqueue lost ({mode:?})"
+        );
+        let proj_b = stream_projections(&batched);
+        let proj_s = stream_projections(&serial);
+        assert_eq!(
+            proj_b, proj_s,
+            "batched per-stream projections must match singles ({mode:?})"
+        );
+        let rep = hsan::check(&batched);
+        assert!(rep.is_clean(), "{mode:?} batched: {rep}");
+    }
+}
+
 /// The global trace of a concurrent run is itself a valid program order:
 /// every wait refers to an already-recorded event (no torn publication of
-/// the recorder under concurrency).
+/// the recorder under concurrency). Batched runs hold the recorder across
+/// each chunk, so their chunks additionally appear contiguously.
 #[test]
 fn concurrent_trace_wait_edges_point_backwards() {
-    let trace = run(ExecMode::Threads, true);
-    let mut seen = std::collections::HashSet::new();
-    for a in trace.actions() {
-        for w in &a.waits {
-            assert!(seen.contains(w), "wait on event {w} recorded before it");
+    for style in [Style::Concurrent, Style::Batched] {
+        let trace = run(ExecMode::Threads, style);
+        let mut seen = std::collections::HashSet::new();
+        for a in trace.actions() {
+            for w in &a.waits {
+                assert!(seen.contains(w), "wait on event {w} recorded before it");
+            }
+            seen.insert(a.event);
         }
-        seen.insert(a.event);
     }
 }

@@ -1,8 +1,8 @@
-//! Offline shim for `crossbeam`: only the `channel` module surface this
-//! workspace uses, mapped onto `std::sync::mpsc` (whose modern
-//! implementation is itself derived from crossbeam-channel). `unbounded`
-//! is `mpsc::channel`; the error and endpoint types share names with the
-//! crossbeam originals.
+//! Offline shim for `crossbeam`: only the `channel` and `utils` module
+//! surfaces this workspace uses. Channels map onto `std::sync::mpsc`
+//! (whose modern implementation is itself derived from crossbeam-channel);
+//! `utils::CachePadded` is the alignment wrapper, re-implemented. Error
+//! and endpoint types share names with the crossbeam originals.
 
 pub mod channel {
     pub use std::sync::mpsc::{Receiver, Sender};
@@ -14,9 +14,64 @@ pub mod channel {
     }
 }
 
+pub mod utils {
+    /// Pads and aligns a value to (at least) a cache line so adjacent
+    /// array elements never share one — the false-sharing fence used by
+    /// sharded hot counters. 128 bytes covers the adjacent-line prefetcher
+    /// on modern x86 (crossbeam uses the same figure there) and is a safe
+    /// over-estimate elsewhere.
+    #[derive(Debug, Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> CachePadded<T> {
+            CachePadded::new(value)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::*;
+    use super::utils::CachePadded;
+
+    #[test]
+    fn cache_padded_is_line_aligned_and_derefs() {
+        let cells: [CachePadded<u64>; 2] = [CachePadded::new(1), CachePadded::new(2)];
+        assert_eq!(*cells[0] + *cells[1], 3);
+        let a = &cells[0] as *const _ as usize;
+        let b = &cells[1] as *const _ as usize;
+        assert_eq!(a % 128, 0);
+        assert!(b - a >= 128, "adjacent cells share a cache line");
+        assert_eq!(CachePadded::new(7u32).into_inner(), 7);
+    }
 
     #[test]
     fn unbounded_round_trip() {
