@@ -1,0 +1,40 @@
+//! `hs-worker` — a card as a process.
+//!
+//! Hosts the worker side of the hs-fabric framed protocol: window
+//! allocation, checksummed H2D/D2H transfers and kernel execution, with
+//! the full `hs-apps` kernel table registered so matmul/Cholesky tiles
+//! run in-process here instead of in the host runtime.
+//!
+//! Usage:
+//!   hs-worker --uds /path/to/socket
+//!   hs-worker --tcp 127.0.0.1:7070
+
+use hs_coi::FnRegistry;
+
+fn usage() -> ! {
+    eprintln!("usage: hs-worker --uds PATH | --tcp ADDR");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (mode, addr) = match (args.next(), args.next()) {
+        (Some(m), Some(a)) => (m, a),
+        _ => usage(),
+    };
+
+    let registry = std::sync::Arc::new(FnRegistry::new());
+    for (name, f) in hs_apps::kernels::kernel_table() {
+        registry.register(name, f);
+    }
+
+    let res = match mode.as_str() {
+        "--uds" => hs_coi::serve_uds(std::path::Path::new(&addr), registry),
+        "--tcp" => hs_coi::serve_tcp(&addr, registry),
+        _ => usage(),
+    };
+    if let Err(e) = res {
+        eprintln!("hs-worker: {e}");
+        std::process::exit(1);
+    }
+}

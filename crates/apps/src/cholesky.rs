@@ -90,6 +90,9 @@ pub struct CholResult {
     pub secs: f64,
     pub gflops: f64,
     pub max_err: Option<f64>,
+    /// FNV-1a over the factor's f64 bits, upper triangle zeroed (None when
+    /// not verified). Equal checksums across transports ⇒ bit-identity.
+    pub checksum: Option<u64>,
 }
 
 fn cost(kind: KernelKind, fl: f64, tile: usize) -> CostHint {
@@ -487,19 +490,23 @@ pub fn run(hs: &mut HStreams, cfg: &CholConfig) -> HsResult<CholResult> {
     hs.thread_synchronize()?;
     let secs = hs.now_secs() - t0;
 
-    let max_err = if let Some(a) = a_ref {
+    let (max_err, checksum) = if let Some(a) = a_ref {
         let mut l = ta.read_matrix(hs)?;
         zero_upper(l.as_mut_slice(), cfg.n);
         let r = reconstruct_llt(l.as_slice(), cfg.n);
-        Some(max_abs_diff(r.as_slice(), a.as_slice()))
+        (
+            Some(max_abs_diff(r.as_slice(), a.as_slice())),
+            Some(crate::remote::checksum_f64s(l.as_slice())),
+        )
     } else {
-        None
+        (None, None)
     };
 
     Ok(CholResult {
         secs,
         gflops: flops::gflops(flops::cholesky_total(cfg.n), secs),
         max_err,
+        checksum,
     })
 }
 
@@ -610,7 +617,7 @@ pub fn run_ompss(
     o.taskwait()?;
     let secs = o.now_secs() - t0;
 
-    let max_err = if let Some(a) = a_ref {
+    let (max_err, checksum) = if let Some(a) = a_ref {
         let mut tiles = vec![Vec::new(); nt * nt];
         for i in 0..nt {
             for j in 0..nt {
@@ -624,15 +631,19 @@ pub fn run_ompss(
         let mut l = map.unpack(&tiles);
         zero_upper(l.as_mut_slice(), n);
         let r = reconstruct_llt(l.as_slice(), n);
-        Some(max_abs_diff(r.as_slice(), a.as_slice()))
+        (
+            Some(max_abs_diff(r.as_slice(), a.as_slice())),
+            Some(crate::remote::checksum_f64s(l.as_slice())),
+        )
     } else {
-        None
+        (None, None)
     };
 
     Ok(CholResult {
         secs,
         gflops: flops::gflops(flops::cholesky_total(n), secs),
         max_err,
+        checksum,
     })
 }
 

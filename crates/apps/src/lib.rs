@@ -21,6 +21,7 @@ pub mod cholesky;
 pub mod kernels;
 pub mod lu;
 pub mod matmul;
+pub mod remote;
 pub mod rtm;
 pub mod solver;
 pub mod tilebuf;

@@ -62,6 +62,9 @@ pub struct MatmulResult {
     pub gflops: f64,
     /// Real-mode verification error (None when not verified).
     pub max_err: Option<f64>,
+    /// FNV-1a over the result matrix's f64 bits (None when not verified).
+    /// Equal checksums across transports ⇒ bit-identical results.
+    pub checksum: Option<u64>,
 }
 
 /// Assign `nt` panels to devices by weight (largest remainder).
@@ -266,19 +269,23 @@ pub fn run(hs: &mut HStreams, cfg: &MatmulConfig) -> HsResult<MatmulResult> {
     hs.thread_synchronize()?;
     let secs = hs.now_secs() - t0;
 
-    let max_err = match (a_ref, b_ref) {
+    let (max_err, checksum) = match (a_ref, b_ref) {
         (Some(a), Some(b)) => {
             let c = tc.read_matrix(hs)?;
             let expect = a.matmul_ref(&b);
-            Some(max_abs_diff(c.as_slice(), expect.as_slice()))
+            (
+                Some(max_abs_diff(c.as_slice(), expect.as_slice())),
+                Some(crate::remote::checksum_f64s(c.as_slice())),
+            )
         }
-        _ => None,
+        _ => (None, None),
     };
 
     Ok(MatmulResult {
         secs,
         gflops: flops::gflops(flops::matmul_total(cfg.n), secs),
         max_err,
+        checksum,
     })
 }
 

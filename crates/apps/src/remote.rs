@@ -1,0 +1,137 @@
+//! Remote-domain harness: spawn and manage `hs-worker` card processes.
+//!
+//! A remote domain is a card hosted by a separate worker process speaking
+//! the hs-fabric framed protocol over a Unix (or TCP) socket. This module
+//! is the process-management half the apps, examples and tests share:
+//! locate the `hs-worker` binary, spawn it on a fresh socket, wait for the
+//! socket to accept, and — for the chaos tests — `kill -9` it mid-run to
+//! make `CardLost` literal.
+
+use hstreams_core::Endpoint;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// FNV-1a over the little-endian bytes of `xs` — the bit-identity
+/// fingerprint the differential tests compare across Local and Remote
+/// transports (equal checksums ⇒ bit-identical results).
+pub fn checksum_f64s(xs: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in xs {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Locate the `hs-worker` binary: `HS_WORKER_BIN` wins (CI sets it), else
+/// walk up from the current executable (tests and examples live in
+/// `target/<profile>/{deps,examples}/…`, the worker in `target/<profile>/`).
+pub fn worker_bin() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("HS_WORKER_BIN") {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    for dir in exe.ancestors().skip(1) {
+        let cand = dir.join("hs-worker");
+        if cand.is_file() {
+            return Some(cand);
+        }
+    }
+    None
+}
+
+/// A spawned worker process bound to a Unix socket. Dropping kills the
+/// process (SIGKILL) and removes the socket file.
+pub struct WorkerProc {
+    child: Child,
+    sock: PathBuf,
+}
+
+impl WorkerProc {
+    /// Spawn `hs-worker` on a fresh socket under the system temp dir and
+    /// wait (bounded) until the socket exists. Returns `None` when the
+    /// binary cannot be found — callers skip rather than fail, so plain
+    /// `cargo test -p <crate>` without a prebuilt worker stays green.
+    pub fn spawn() -> Option<WorkerProc> {
+        Self::spawn_with(&worker_bin()?)
+    }
+
+    /// Like [`WorkerProc::spawn`], with an explicit binary path —
+    /// integration tests of this package pass
+    /// `env!("CARGO_BIN_EXE_hs-worker")`, which Cargo guarantees is built.
+    pub fn spawn_with(bin: &std::path::Path) -> Option<WorkerProc> {
+        let sock = std::env::temp_dir().join(format!(
+            "hs-worker-{}-{:x}.sock",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        let _ = std::fs::remove_file(&sock);
+        let child = Command::new(bin)
+            .arg("--uds")
+            .arg(&sock)
+            .stdin(Stdio::null())
+            .spawn()
+            .ok()?;
+        let mut w = WorkerProc { child, sock };
+        // The connect path retries too; this wait just keeps startup
+        // failures (bad binary, no socket) visible here rather than as a
+        // connect timeout later.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !w.sock.exists() {
+            if Instant::now() > deadline || w.child.try_wait().ok().flatten().is_some() {
+                return None; // Drop kills the child if it is still up
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Some(w)
+    }
+
+    /// The endpoint a runtime connects to.
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::Uds(self.sock.clone())
+    }
+
+    /// SIGKILL the worker — no shutdown handshake, no flush: the literal
+    /// "card lost" the chaos machinery models.
+    pub fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Is the worker still running?
+    pub fn alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        self.kill9();
+        let _ = std::fs::remove_file(&self.sock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_order_and_bit_sensitive() {
+        let a = checksum_f64s(&[1.0, 2.0, 3.0]);
+        let b = checksum_f64s(&[1.0, 3.0, 2.0]);
+        assert_ne!(a, b);
+        // -0.0 == 0.0 numerically but differs bitwise; the checksum must
+        // see the difference, since the tests assert bit-identity.
+        assert_ne!(checksum_f64s(&[0.0]), checksum_f64s(&[-0.0]));
+        assert_eq!(a, checksum_f64s(&[1.0, 2.0, 3.0]));
+    }
+}

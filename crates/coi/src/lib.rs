@@ -26,16 +26,18 @@ pub mod event;
 pub mod pipeline;
 pub mod pool;
 pub mod registry;
+pub mod server;
 pub mod workgroup;
 
 pub use event::{CoiEvent, CompletionLog, EventStatus};
-pub use pipeline::{Pipeline, PipelineHandle, RunCtx};
+pub use pipeline::{execute_on, Pipeline, PipelineHandle, RunCtx};
 pub use pool::{BufferPool, PoolStats, PooledWindow};
 pub use registry::{FnRegistry, RunFunction};
+pub use server::{serve_tcp, serve_uds, WorkerState};
 pub use workgroup::{worker_spawn_count, Workgroup};
 
 use hs_chaos::ChaosHub;
-use hs_fabric::{Fabric, NodeId, Pacer, WindowId};
+use hs_fabric::{Endpoint, Fabric, NodeId, Pacer, WindowId};
 use hs_obs::ObsHub;
 use std::sync::Arc;
 
@@ -91,6 +93,36 @@ impl CoiRuntime {
             per_card,
             chaos.clone(),
         ));
+        Self::with_fabric(fabric, n_engines, obs, chaos)
+    }
+
+    /// Like [`Self::new_with_pacers_chaos`], with some card engines backed
+    /// by out-of-process workers: `remotes` maps engine index (1-based; the
+    /// host cannot be remote) to the worker's endpoint. Connecting is
+    /// synchronous — a worker that never comes up is an error here, while a
+    /// worker that dies *later* surfaces as `CardLost` at first use.
+    pub fn new_with_endpoints(
+        per_card: Vec<Pacer>,
+        obs: ObsHub,
+        chaos: ChaosHub,
+        remotes: &[(usize, Endpoint)],
+    ) -> std::io::Result<Arc<CoiRuntime>> {
+        let n_engines = per_card.len() + 1;
+        let fabric = Arc::new(Fabric::new_with_endpoints(
+            n_engines,
+            per_card,
+            chaos.clone(),
+            remotes,
+        )?);
+        Ok(Self::with_fabric(fabric, n_engines, obs, chaos))
+    }
+
+    fn with_fabric(
+        fabric: Arc<Fabric>,
+        n_engines: usize,
+        obs: ObsHub,
+        chaos: ChaosHub,
+    ) -> Arc<CoiRuntime> {
         let pools = (0..n_engines).map(|_| BufferPool::new()).collect();
         Arc::new(CoiRuntime {
             fabric,

@@ -12,12 +12,14 @@
 //! out of order while the pipeline itself stays simple.
 
 use crate::event::CoiEvent;
+use crate::registry::FnRegistry;
 use crate::workgroup::Workgroup;
 use crate::{CoiRuntime, EngineId};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
 use hs_chaos::FailureCause;
-use hs_fabric::{RangeGuard, WindowId};
+use hs_fabric::transport::{ExecReply, ExecRequest, TransportError};
+use hs_fabric::{NodeId, RangeGuard, WindowId, WindowMem};
 use hs_obs::{ObsAction, ObsPhase};
 use std::ops::Range;
 use std::sync::Arc;
@@ -273,11 +275,15 @@ fn execute(
     bufs: &[BufAccess],
     wg: &Arc<Workgroup>,
 ) -> Result<(), FailureCause> {
-    let f = rt
-        .registry()
-        .lookup(name)
-        .ok_or_else(|| FailureCause::Malformed(format!("no run function named '{name}'")))?;
-    // Hold Arc<WindowMem> references for the duration of the call.
+    // Any operand living on a remote node routes the whole task through the
+    // wire (the worker process owns that memory — there is no local view).
+    let remote = bufs
+        .iter()
+        .map(|(w, _, _)| w.node)
+        .find(|&n| rt.fabric().is_remote(n));
+    if let Some(node) = remote {
+        return execute_remote(rt, node, name, args, bufs, wg);
+    }
     let mems: Vec<_> = bufs
         .iter()
         .map(|(w, _, _)| {
@@ -286,14 +292,41 @@ fn execute(
             })
         })
         .collect::<Result<_, _>>()?;
+    let ops: Vec<(Arc<WindowMem>, Range<usize>, bool)> = mems
+        .into_iter()
+        .zip(bufs)
+        .map(|(m, (_, r, wr))| (m, r.clone(), *wr))
+        .collect();
     // Acquire operand guards in canonical (window, offset) order so pipelines
     // racing on the same operands cannot deadlock, then restore call order.
     let mut order: Vec<usize> = (0..bufs.len()).collect();
     order.sort_by_key(|&i| (bufs[i].0, bufs[i].1.start));
-    let mut guards: Vec<Option<RangeGuard<'_>>> = (0..bufs.len()).map(|_| None).collect();
-    for i in order {
-        let (_, range, write) = &bufs[i];
-        let g = mems[i]
+    execute_on(rt.registry(), name, args, &ops, &order, wg)
+}
+
+/// Run a registered function against already-resolved operand memories.
+///
+/// This is the sink-side core shared by the in-process path above and the
+/// remote worker server ([`crate::server`]): look the function up, take the
+/// operand range locks in `acquire_order` (callers pass a canonical
+/// (window, offset) order so concurrent pipelines cannot deadlock), and call
+/// it with a [`RunCtx`] built over the guards.
+pub fn execute_on(
+    registry: &FnRegistry,
+    name: &str,
+    args: &[u8],
+    ops: &[(Arc<WindowMem>, Range<usize>, bool)],
+    acquire_order: &[usize],
+    wg: &Arc<Workgroup>,
+) -> Result<(), FailureCause> {
+    let f = registry
+        .lookup(name)
+        .ok_or_else(|| FailureCause::Malformed(format!("no run function named '{name}'")))?;
+    debug_assert_eq!(acquire_order.len(), ops.len());
+    let mut guards: Vec<Option<RangeGuard<'_>>> = (0..ops.len()).map(|_| None).collect();
+    for &i in acquire_order {
+        let (mem, range, write) = &ops[i];
+        let g = mem
             .lock_range(range.clone(), *write)
             .map_err(|e| FailureCause::Exec(format!("run function '{name}': {e}")))?;
         guards[i] = Some(g);
@@ -308,6 +341,110 @@ fn execute(
         wg: wg.clone(),
     };
     f(&mut ctx);
+    Ok(())
+}
+
+/// Map a transport failure on `node` to the cause the executor understands:
+/// a closed/poisoned link is the literal card loss the chaos layer models.
+fn wire_cause(node: NodeId, e: TransportError) -> FailureCause {
+    match e {
+        TransportError::Closed(_) => FailureCause::CardLost {
+            card: node.0 as u32,
+        },
+        other => FailureCause::Exec(format!("remote exec on node {}: {other}", node.0)),
+    }
+}
+
+/// Execute a task whose operands live (at least partly) on remote `node`.
+///
+/// Fast path: every operand is on `node` and the worker knows the function —
+/// one `Exec` frame, zero data motion. Fallback (worker replies `UnknownFn`,
+/// e.g. a closure registered only host-side, or operands are mixed
+/// host/remote): fetch the remote operand bytes into private scratch
+/// windows, run the function locally, and write back the write-operands.
+/// The fallback uses the raw transport (not the DMA engines) so the
+/// `dma.cN.*` gauges keep meaning "buffer instantiation traffic" and stay
+/// comparable between Local and Remote transports.
+fn execute_remote(
+    rt: &CoiRuntime,
+    node: NodeId,
+    name: &str,
+    args: &Bytes,
+    bufs: &[BufAccess],
+    wg: &Arc<Workgroup>,
+) -> Result<(), FailureCause> {
+    for (w, _, _) in bufs {
+        if rt.fabric().is_remote(w.node) && w.node != node {
+            return Err(FailureCause::Malformed(format!(
+                "run function '{name}': operands span remote nodes {} and {}",
+                node.0, w.node.0
+            )));
+        }
+    }
+    let t = rt.fabric().transport(node).clone();
+    if bufs.iter().all(|(w, _, _)| w.node == node) {
+        let raw: Vec<(u64, u64, u64, bool)> = bufs
+            .iter()
+            .map(|(w, r, wr)| (w.raw(), r.start as u64, r.end as u64, *wr))
+            .collect();
+        let req = ExecRequest {
+            name,
+            args,
+            width: wg.width() as u32,
+            bufs: &raw,
+        };
+        match t.exec(&req) {
+            Ok(ExecReply::Done) => return Ok(()),
+            Ok(ExecReply::UnknownFn) => {} // fall through to fetch-compute-writeback
+            Ok(ExecReply::Failed(msg)) => {
+                return Err(match msg.strip_prefix("panic: ") {
+                    Some(p) => FailureCause::SinkPanic(p.to_string()),
+                    None => FailureCause::Exec(format!("remote exec '{name}': {msg}")),
+                })
+            }
+            Err(e) => return Err(wire_cause(node, e)),
+        }
+    }
+    // Fetch-compute-writeback: remote operands become private scratch
+    // windows (no lock contention — each call gets fresh ones), local
+    // operands keep their real memories and canonical lock order.
+    let mut ops: Vec<(Arc<WindowMem>, Range<usize>, bool)> = Vec::with_capacity(bufs.len());
+    let mut fetched: Vec<usize> = Vec::new();
+    for (i, (w, range, wr)) in bufs.iter().enumerate() {
+        if w.node == node {
+            let len = range.len();
+            let scratch = Arc::new(WindowMem::new(len));
+            {
+                let mut g = scratch
+                    .lock_range(0..len, true)
+                    .map_err(|e| FailureCause::Exec(format!("scratch for '{name}': {e}")))?;
+                t.read(w.raw(), range.start, g.as_mut_slice())
+                    .map_err(|e| wire_cause(node, e))?;
+            }
+            ops.push((scratch, 0..len, *wr));
+            fetched.push(i);
+        } else {
+            let mem = rt.fabric().window(*w).ok_or_else(|| {
+                FailureCause::Exec(format!("run function '{name}': window {w:?} gone"))
+            })?;
+            ops.push((mem, range.clone(), *wr));
+        }
+    }
+    // Scratch windows are private, so ordering only matters among the real
+    // (local) operands — the canonical (window, offset) sort keeps them safe.
+    let mut order: Vec<usize> = (0..bufs.len()).collect();
+    order.sort_by_key(|&i| (bufs[i].0, bufs[i].1.start));
+    execute_on(rt.registry(), name, args, &ops, &order, wg)?;
+    for i in fetched {
+        let (scratch, srange, wr) = &ops[i];
+        if *wr {
+            let g = scratch
+                .lock_range(srange.clone(), false)
+                .map_err(|e| FailureCause::Exec(format!("scratch for '{name}': {e}")))?;
+            t.write(bufs[i].0.raw(), bufs[i].1.start, g.as_slice())
+                .map_err(|e| wire_cause(node, e))?;
+        }
+    }
     Ok(())
 }
 

@@ -72,13 +72,11 @@ impl BufferPool {
         let class = Self::class_of(len);
         if let Some(id) = self.free.lock().get_mut(&class).and_then(Vec::pop) {
             self.stats.lock().hits += 1;
-            // Reused windows must look freshly allocated.
-            if let Some(mem) = fabric.window(id) {
-                let mut g = mem
-                    .lock_range(0..mem.len(), true)
-                    .expect("full-window zeroing is in bounds");
-                g.as_mut_slice().fill(0);
-            }
+            // Reused windows must look freshly allocated. `Fabric::zero`
+            // reaches remote windows too (a plain `window()` lookup returns
+            // `None` for those and would silently hand back stale bytes);
+            // a dead remote fails here, which first use would surface anyway.
+            let _ = fabric.zero(id);
             return PooledWindow { id, class };
         }
         self.stats.lock().misses += 1;

@@ -1,0 +1,451 @@
+//! Worker-side protocol server: a card as a separate process.
+//!
+//! `hs-worker` (see `hs-apps`) hosts this loop. The host's
+//! [`hs_fabric::RemoteDomain`] opens a small pool of connections (control,
+//! H2D, D2H, exec) and speaks the length-prefixed framed protocol from
+//! [`hs_fabric::proto`]; each accepted connection gets its own thread here,
+//! so transfers genuinely overlap compute — the same property the in-process
+//! fabric gets from per-direction DMA channels.
+//!
+//! Window memory on the worker is real [`WindowMem`]s with the same range
+//! locks as the in-process arena, so concurrent H2D writes and exec operand
+//! access are checked by construction rather than by trust in the host.
+//! Run functions resolve against a worker-local [`FnRegistry`] — the
+//! process-boundary analogue of COI loading a sink binary — and execute
+//! through the exact sink path the in-process pipelines use
+//! ([`crate::pipeline::execute_on`]).
+
+use crate::pipeline::execute_on;
+use crate::registry::FnRegistry;
+use crate::workgroup::Workgroup;
+use hs_fabric::proto::{self, ExecStatus, Kind};
+use hs_fabric::WindowMem;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::ops::Range;
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Shared state of one worker process: its window table, its function
+/// registry, and a cache of expansion pools keyed by requested width.
+pub struct WorkerState {
+    windows: RwLock<HashMap<u64, Arc<WindowMem>>>,
+    registry: Arc<FnRegistry>,
+    wgs: Mutex<HashMap<usize, Arc<Workgroup>>>,
+}
+
+impl WorkerState {
+    pub fn new(registry: Arc<FnRegistry>) -> Arc<WorkerState> {
+        Arc::new(WorkerState {
+            windows: RwLock::new(HashMap::new()),
+            registry,
+            wgs: Mutex::new(HashMap::new()),
+        })
+    }
+
+    pub fn registry(&self) -> &Arc<FnRegistry> {
+        &self.registry
+    }
+
+    /// Number of live windows (diagnostics/tests).
+    pub fn window_count(&self) -> usize {
+        self.windows.read().len()
+    }
+
+    /// The resident expansion pool for tasks of `width` — built on first
+    /// use, reused after, mirroring the per-pipeline pools host-side.
+    fn workgroup(&self, width: usize) -> Arc<Workgroup> {
+        let mut wgs = self.wgs.lock();
+        wgs.entry(width)
+            .or_insert_with(|| Arc::new(Workgroup::new(width, format!("wrk{width}"), None)))
+            .clone()
+    }
+
+    fn window(&self, win: u64) -> Result<Arc<WindowMem>, String> {
+        self.windows
+            .read()
+            .get(&win)
+            .cloned()
+            .ok_or_else(|| format!("no such window {win}"))
+    }
+
+    fn alloc(&self, win: u64, len: usize) -> Result<(), String> {
+        match self.windows.write().entry(win) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                Err(format!("window {win} already allocated"))
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Arc::new(WindowMem::new(len)));
+                Ok(())
+            }
+        }
+    }
+
+    fn free(&self, win: u64) -> Result<(), String> {
+        self.windows
+            .write()
+            .remove(&win)
+            .map(drop)
+            .ok_or_else(|| format!("no such window {win}"))
+    }
+
+    fn checked_range(mem: &WindowMem, off: usize, len: usize) -> Result<Range<usize>, String> {
+        let end = off.checked_add(len).filter(|&e| e <= mem.len());
+        match end {
+            Some(end) => Ok(off..end),
+            None => Err(format!(
+                "range {off}..{} out of bounds for window of {}",
+                off.wrapping_add(len),
+                mem.len()
+            )),
+        }
+    }
+
+    /// Store an H2D payload; returns the CRC of the bytes as stored (read
+    /// back from the window, so the ack is a genuine end-to-end check).
+    fn write(&self, win: u64, off: usize, data: &[u8]) -> Result<u32, String> {
+        let mem = self.window(win)?;
+        let range = Self::checked_range(&mem, off, data.len())?;
+        if data.is_empty() {
+            return Ok(proto::crc32(&[]));
+        }
+        let mut g = mem.lock_range(range, true).map_err(|e| e.to_string())?;
+        g.as_mut_slice().copy_from_slice(data);
+        Ok(proto::crc32(g.as_slice()))
+    }
+
+    fn read(&self, win: u64, off: usize, len: usize) -> Result<Vec<u8>, String> {
+        let mem = self.window(win)?;
+        let range = Self::checked_range(&mem, off, len)?;
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let g = mem.lock_range(range, false).map_err(|e| e.to_string())?;
+        Ok(g.as_slice().to_vec())
+    }
+
+    fn zero(&self, win: u64) -> Result<(), String> {
+        let mem = self.window(win)?;
+        if mem.is_empty() {
+            return Ok(());
+        }
+        let mut g = mem
+            .lock_range(0..mem.len(), true)
+            .map_err(|e| e.to_string())?;
+        g.as_mut_slice().fill(0);
+        Ok(())
+    }
+
+    /// Run an `Exec` request; the (status, message) pair becomes the
+    /// `ExecAck`. Panics are caught so a buggy kernel fails one task, not
+    /// the worker — exactly the host-side sink contract.
+    fn exec(&self, payload: &[u8]) -> (ExecStatus, String) {
+        let Some(fr) = proto::decode_exec(payload) else {
+            return (ExecStatus::Failed, "malformed Exec payload".to_string());
+        };
+        if !self.registry.contains(fr.name) {
+            return (ExecStatus::UnknownFn, String::new());
+        }
+        let mut ops: Vec<(Arc<WindowMem>, Range<usize>, bool)> = Vec::with_capacity(fr.bufs.len());
+        for &(win, start, end, write) in &fr.bufs {
+            let mem = match self.window(win) {
+                Ok(m) => m,
+                Err(msg) => return (ExecStatus::Failed, msg),
+            };
+            ops.push((mem, start as usize..end as usize, write));
+        }
+        // Canonical (window, offset) acquire order — concurrent execs from
+        // racing host pipelines must not deadlock on shared operands, same
+        // invariant as the host-side sink path.
+        let mut order: Vec<usize> = (0..fr.bufs.len()).collect();
+        order.sort_by_key(|&i| (fr.bufs[i].0, fr.bufs[i].1));
+        let wg = self.workgroup((fr.width.max(1)) as usize);
+        let name = fr.name;
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_on(&self.registry, name, fr.args, &ops, &order, &wg)
+        }));
+        match r {
+            Ok(Ok(())) => (ExecStatus::Ok, String::new()),
+            Ok(Err(cause)) => (ExecStatus::Failed, cause.to_string()),
+            Err(p) => (
+                ExecStatus::Failed,
+                format!("panic: {}", panic_text(p.as_ref())),
+            ),
+        }
+    }
+}
+
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string payload>".to_string()
+    }
+}
+
+/// Serve one connection until EOF/`Shutdown`. Every request frame gets
+/// exactly one reply frame; worker-side failures of a request become `Err`
+/// frames (the connection survives), protocol violations end the
+/// connection.
+pub fn serve_conn<S: Read + Write>(state: &Arc<WorkerState>, mut s: S) -> std::io::Result<()> {
+    loop {
+        let (kind, payload, _) = match proto::recv_frame(&mut s) {
+            Ok(f) => f,
+            // Client hung up between requests: a normal end of session.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let mut c = proto::Cursor::new(&payload);
+        match kind {
+            Kind::Hello => {
+                let mut p = Vec::with_capacity(2);
+                proto::put_u16(&mut p, proto::VERSION);
+                proto::send_frame(&mut s, Kind::HelloAck, &p)?;
+            }
+            Kind::Ping => {
+                proto::send_frame(&mut s, Kind::Pong, &[])?;
+            }
+            Kind::Shutdown => {
+                proto::send_frame(&mut s, Kind::Ack, &[])?;
+                return Ok(());
+            }
+            Kind::Alloc => {
+                let r = match (c.get_u64(), c.get_u64()) {
+                    (Some(win), Some(len)) => state.alloc(win, len as usize),
+                    _ => Err("malformed Alloc".to_string()),
+                };
+                reply_ack(&mut s, r)?;
+            }
+            Kind::Free => {
+                let r = match c.get_u64() {
+                    Some(win) => state.free(win),
+                    None => Err("malformed Free".to_string()),
+                };
+                reply_ack(&mut s, r)?;
+            }
+            Kind::Zero => {
+                let r = match c.get_u64() {
+                    Some(win) => state.zero(win),
+                    None => Err("malformed Zero".to_string()),
+                };
+                reply_ack(&mut s, r)?;
+            }
+            Kind::Write => match (c.get_u64(), c.get_u64()) {
+                (Some(win), Some(off)) => match state.write(win, off as usize, c.rest()) {
+                    Ok(crc) => {
+                        let mut p = Vec::with_capacity(4);
+                        proto::put_u32(&mut p, crc);
+                        proto::send_frame(&mut s, Kind::WriteAck, &p)?;
+                    }
+                    Err(msg) => {
+                        proto::send_frame(&mut s, Kind::Err, msg.as_bytes())?;
+                    }
+                },
+                _ => {
+                    proto::send_frame(&mut s, Kind::Err, b"malformed Write")?;
+                }
+            },
+            Kind::Read => {
+                let r = match (c.get_u64(), c.get_u64(), c.get_u64()) {
+                    (Some(win), Some(off), Some(len)) => {
+                        state.read(win, off as usize, len as usize)
+                    }
+                    _ => Err("malformed Read".to_string()),
+                };
+                match r {
+                    Ok(data) => {
+                        proto::send_frame(&mut s, Kind::ReadData, &data)?;
+                    }
+                    Err(msg) => {
+                        proto::send_frame(&mut s, Kind::Err, msg.as_bytes())?;
+                    }
+                }
+            }
+            Kind::Exec => {
+                let (status, msg) = state.exec(&payload);
+                let mut p = Vec::with_capacity(1 + msg.len());
+                p.push(status as u8);
+                p.extend_from_slice(msg.as_bytes());
+                proto::send_frame(&mut s, Kind::ExecAck, &p)?;
+            }
+            other => {
+                // Reply-kinds arriving as requests are a protocol violation.
+                proto::send_frame(
+                    &mut s,
+                    Kind::Err,
+                    format!("unexpected request frame {other:?}").as_bytes(),
+                )?;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected request frame {other:?}"),
+                ));
+            }
+        }
+    }
+}
+
+/// `Ack` on success, `Err` frame with the message otherwise.
+fn reply_ack(s: &mut impl Write, r: Result<(), String>) -> std::io::Result<()> {
+    match r {
+        Ok(()) => proto::send_frame(s, Kind::Ack, &[]).map(drop),
+        Err(msg) => proto::send_frame(s, Kind::Err, msg.as_bytes()).map(drop),
+    }
+}
+
+/// Accept connections on a Unix socket forever, a thread per connection.
+/// Replaces any stale socket file at `path`.
+pub fn serve_uds(path: &Path, registry: Arc<FnRegistry>) -> std::io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let state = WorkerState::new(registry);
+    for conn in listener.incoming() {
+        let Ok(conn) = conn else { continue };
+        let st = state.clone();
+        std::thread::Builder::new()
+            .name("hs-worker-conn".to_string())
+            .spawn(move || {
+                let _ = serve_conn(&st, conn);
+            })?;
+    }
+    Ok(())
+}
+
+/// Accept TCP connections forever, a thread per connection.
+pub fn serve_tcp(addr: &str, registry: Arc<FnRegistry>) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    let state = WorkerState::new(registry);
+    accept_tcp(listener, state)
+}
+
+/// Bind `addr` (use port 0 for ephemeral), serve in a background thread,
+/// and return the bound address — the in-process harness for transport
+/// tests.
+pub fn spawn_tcp_server(addr: &str, registry: Arc<FnRegistry>) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let state = WorkerState::new(registry);
+    std::thread::Builder::new()
+        .name("hs-worker-tcp".to_string())
+        .spawn(move || {
+            let _ = accept_tcp(listener, state);
+        })?;
+    Ok(bound)
+}
+
+fn accept_tcp(listener: TcpListener, state: Arc<WorkerState>) -> std::io::Result<()> {
+    for conn in listener.incoming() {
+        let Ok(conn) = conn else { continue };
+        let _ = conn.set_nodelay(true);
+        let st = state.clone();
+        std::thread::Builder::new()
+            .name("hs-worker-conn".to_string())
+            .spawn(move || {
+                let _ = serve_conn(&st, conn);
+            })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::RunCtx;
+    use hs_chaos::ChaosHub;
+    use hs_fabric::transport::{ExecReply, ExecRequest, Transport};
+    use hs_fabric::{Endpoint, RemoteDomain};
+
+    fn test_registry() -> Arc<FnRegistry> {
+        let r = FnRegistry::new();
+        r.register(
+            "add1",
+            Arc::new(|ctx: &mut RunCtx| {
+                for b in ctx.buf_mut(0).iter_mut() {
+                    *b = b.wrapping_add(1);
+                }
+            }),
+        );
+        r.register(
+            "boom",
+            Arc::new(|_ctx: &mut RunCtx| panic!("kernel exploded")),
+        );
+        Arc::new(r)
+    }
+
+    #[test]
+    fn tcp_round_trip_write_exec_read() {
+        let addr = spawn_tcp_server("127.0.0.1:0", test_registry()).expect("bind");
+        let chaos = ChaosHub::default();
+        let t = RemoteDomain::connect(&Endpoint::Tcp(addr.to_string()), 1, chaos).expect("connect");
+        t.alloc(7, 16).expect("alloc");
+        t.write(7, 0, &[41u8; 16]).expect("write");
+        let reply = t
+            .exec(&ExecRequest {
+                name: "add1",
+                args: &[],
+                width: 1,
+                bufs: &[(7, 0, 16, true)],
+            })
+            .expect("exec rpc");
+        assert_eq!(reply, ExecReply::Done);
+        let mut out = [0u8; 16];
+        t.read(7, 0, &mut out).expect("read");
+        assert_eq!(out, [42u8; 16]);
+        assert!(t.ping().is_ok());
+    }
+
+    #[test]
+    fn worker_errors_are_frames_not_disconnects() {
+        let addr = spawn_tcp_server("127.0.0.1:0", test_registry()).expect("bind");
+        let chaos = ChaosHub::default();
+        let t = RemoteDomain::connect(&Endpoint::Tcp(addr.to_string()), 1, chaos.clone())
+            .expect("connect");
+        // Missing window: typed error, link stays up and unpoisoned.
+        let err = t.write(99, 0, &[1]).expect_err("no such window");
+        assert!(matches!(
+            err,
+            hs_fabric::transport::TransportError::NoSuchWindow(99)
+        ));
+        // Out-of-bounds write: typed error, link stays up.
+        t.alloc(1, 8).expect("alloc");
+        let err = t.write(1, 4, &[0u8; 8]).expect_err("oob");
+        assert!(matches!(
+            err,
+            hs_fabric::transport::TransportError::OutOfBounds
+        ));
+        // Unknown function and panicking function: both are ExecAck
+        // statuses, not transport failures.
+        let r = t
+            .exec(&ExecRequest {
+                name: "nope",
+                args: &[],
+                width: 1,
+                bufs: &[],
+            })
+            .expect("exec rpc");
+        assert_eq!(r, ExecReply::UnknownFn);
+        let r = t
+            .exec(&ExecRequest {
+                name: "boom",
+                args: &[],
+                width: 1,
+                bufs: &[(1, 0, 8, true)],
+            })
+            .expect("exec rpc");
+        match r {
+            ExecReply::Failed(msg) => assert!(msg.contains("kernel exploded"), "msg: {msg}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // After all that, the card must still be healthy.
+        assert!(chaos.dead_cards().is_empty());
+        t.zero(1).expect("zero");
+        let mut out = [9u8; 8];
+        t.read(1, 0, &mut out).expect("read");
+        assert_eq!(out, [0u8; 8]);
+        assert!(t.free(1).expect("free rpc"));
+    }
+}

@@ -487,6 +487,18 @@ impl EventTable {
         self.shared.mints.load(Ordering::Relaxed)
     }
 
+    /// Hand back ids that were [`EventTable::reserve`]d but will never be
+    /// published — a batch enqueue that validated, reserved, and then
+    /// failed before submit. The slots retire immediately (they read as
+    /// `Retired`, i.e. completed success, so nothing acquires a dependence
+    /// edge on them) and the compaction watermark crosses them instead of
+    /// stalling forever on a slot no one will ever fill.
+    pub fn tombstone_reserved(&self, ids: impl IntoIterator<Item = u64>) {
+        for id in ids {
+            self.shared.tombstone_unused(id..id + 1);
+        }
+    }
+
     /// Fill a reserved slot. Called once per id, after the backend accepted
     /// the submission.
     pub fn publish(&self, id: u64, stream: StreamId, be: BackendEvent) {

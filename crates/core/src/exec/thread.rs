@@ -245,6 +245,24 @@ impl ThreadExec {
         obs: ObsHub,
         chaos: ChaosHub,
     ) -> ThreadExec {
+        Self::new_with_remotes(platform, paced, obs, chaos, &[])
+            .expect("in-process executor construction is infallible")
+    }
+
+    /// Like [`Self::new_with_obs_chaos`], with some card domains hosted by
+    /// out-of-process workers: `remotes` maps card engine index (1-based —
+    /// the host is engine 0 and cannot be remote) to the worker's endpoint.
+    /// Connecting is synchronous, so a worker that never comes up errors
+    /// here; one that dies later surfaces as `CardLost` at first use. The
+    /// card's pacer still models the link *on top of* measured wire time
+    /// (see `DmaEngine::run_wire`), so paced runs stay meaningful.
+    pub fn new_with_remotes(
+        platform: &PlatformCfg,
+        paced: bool,
+        obs: ObsHub,
+        chaos: ChaosHub,
+        remotes: &[(usize, hs_fabric::Endpoint)],
+    ) -> std::io::Result<ThreadExec> {
         // Each card paces to its *own* link: heterogeneous platforms mix
         // e.g. a PCIe card with a slower fabric-attached remote node.
         let pacers: Vec<Pacer> = platform
@@ -259,7 +277,11 @@ impl ThreadExec {
             })
             .collect();
         let ncards = pacers.len();
-        let coi = CoiRuntime::new_with_pacers_chaos(pacers, obs.clone(), chaos.clone());
+        let coi = if remotes.is_empty() {
+            CoiRuntime::new_with_pacers_chaos(pacers, obs.clone(), chaos.clone())
+        } else {
+            CoiRuntime::new_with_endpoints(pacers, obs.clone(), chaos.clone(), remotes)?
+        };
         let dma: Vec<[DmaWorker; 2]> = (0..ncards)
             .map(|c| {
                 [
@@ -270,7 +292,7 @@ impl ThreadExec {
             .collect();
         let timer = TimerWheel::spawn();
         let ctx = Arc::new(make_ctx(&coi, &[], &dma, &obs, &chaos, &timer.shared));
-        ThreadExec {
+        Ok(ThreadExec {
             coi,
             pipes: Mutex::new(Vec::new()),
             ctx: RwLock::new(ctx),
@@ -281,7 +303,7 @@ impl ThreadExec {
             chaos,
             submitted: AtomicU64::new(0),
             timer,
-        }
+        })
     }
 
     pub fn coi(&self) -> &Arc<CoiRuntime> {
@@ -561,9 +583,27 @@ impl Drop for ThreadExec {
         // and DMA threads, so normally-completing work finishes and only
         // genuinely stuck actions see closed channels.
         let deadline = Instant::now() + DRAIN_BUDGET;
-        for ev in self.outstanding.get_mut().drain(..) {
+        let out = self.outstanding.get_mut();
+        for ev in out.iter() {
+            // A dead card completes nothing: once the chaos hub knows one
+            // is gone (a remote worker died, say), stop waiting — spending
+            // the budget per event would turn one lost worker into a
+            // multi-second shutdown hang.
+            if !self.chaos.dead_cards().is_empty() {
+                break;
+            }
             if ev.wait_deadline(deadline).is_none() {
                 break; // budget exhausted; remaining actions fail on dispatch
+            }
+        }
+        // Whatever is still incomplete after the drain gets the literal
+        // cause when a card is down, so late waiters see `CardLost`, not a
+        // silent hang.
+        if let Some(&card) = self.chaos.dead_cards().first() {
+            for ev in out.drain(..) {
+                if !ev.is_complete() {
+                    ev.fail(FailureCause::CardLost { card });
+                }
             }
         }
         // Fields then drop in declaration order: pipelines (join their sink

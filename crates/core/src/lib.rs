@@ -96,6 +96,7 @@ pub use types::{
 /// [`RetryPolicy`]s via [`ActionOpts`], and inspect structured
 /// [`FailureCause`]s from [`HsError::ActionFailed`].
 pub use hs_chaos::{ChaosHub, FailureCause, FaultKind, FaultPlan, FaultSite, RetryPolicy, Trigger};
+pub use hs_fabric::Endpoint;
 
 /// Task execution context (re-exported from the COI layer): operand views,
 /// argument bytes, stream width and `par_for`.
@@ -188,6 +189,49 @@ struct BuiltAction {
     kind: stream::ActionKind,
     waits: Vec<Event>,
     logged: Option<LoggedOp>,
+}
+
+/// Ids reserved for an in-flight batch enqueue. While armed, dropping the
+/// guard hands every id back as a tombstone ([`EventTable::tombstone_reserved`]);
+/// the success path [`ReservedIds::disarm`]s once publishing is guaranteed.
+/// This is what keeps a failing (or panicking) batch from leaving
+/// reserved-but-never-published slots that stall the retirement watermark.
+struct ReservedIds<'a> {
+    events: &'a EventTable,
+    ids: Vec<u64>,
+    armed: bool,
+}
+
+impl<'a> ReservedIds<'a> {
+    fn new(events: &'a EventTable, cap: usize) -> ReservedIds<'a> {
+        ReservedIds {
+            events,
+            ids: Vec::with_capacity(cap),
+            armed: true,
+        }
+    }
+
+    fn push(&mut self, id: u64) {
+        self.ids.push(id);
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Take the ids out of the guard; they are now the caller's to publish.
+    fn disarm(mut self) -> Vec<u64> {
+        self.armed = false;
+        std::mem::take(&mut self.ids)
+    }
+}
+
+impl Drop for ReservedIds<'_> {
+    fn drop(&mut self) {
+        if self.armed && !self.ids.is_empty() {
+            self.events.tombstone_reserved(self.ids.iter().copied());
+        }
+    }
 }
 
 /// One recovery-log entry: the op, its enqueue-time dependences and which
@@ -347,28 +391,57 @@ impl HStreams {
         mode: ExecMode,
         ordering: OrderingMode,
     ) -> HStreams {
+        Self::init_full(platform, mode, ordering, &[])
+            .expect("in-process runtime construction is infallible")
+    }
+
+    /// Initialize with some card domains hosted by out-of-process workers
+    /// (`hs-worker` processes reached over Unix/TCP sockets). `remotes`
+    /// maps card domain index (1-based; domain 0, the host, cannot be
+    /// remote) to the worker's endpoint. Only thread-backed modes can talk
+    /// to a wire; [`ExecMode::Sim`] returns [`HsError::InvalidArg`].
+    /// Connection failures surface as [`HsError::ExecFailed`] — a worker
+    /// that dies *after* init surfaces as `CardLost` at first use and
+    /// drives the normal degradation path.
+    pub fn init_remote(
+        platform: PlatformCfg,
+        mode: ExecMode,
+        remotes: &[(usize, Endpoint)],
+    ) -> HsResult<HStreams> {
+        if matches!(mode, ExecMode::Sim) {
+            return Err(HsError::InvalidArg(
+                "remote domains require a thread-backed exec mode".to_string(),
+            ));
+        }
+        Self::init_full(platform, mode, OrderingMode::OutOfOrder, remotes)
+    }
+
+    fn init_full(
+        platform: PlatformCfg,
+        mode: ExecMode,
+        ordering: OrderingMode,
+        remotes: &[(usize, Endpoint)],
+    ) -> HsResult<HStreams> {
         let obs = ObsHub::new();
         let chaos = ChaosHub::new();
-        let exec = match mode {
-            ExecMode::Threads => Executor::Thread(exec::thread::ThreadExec::new_with_obs_chaos(
+        let connect = |paced: bool| {
+            exec::thread::ThreadExec::new_with_remotes(
                 &platform,
-                false,
+                paced,
                 obs.clone(),
                 chaos.clone(),
-            )),
-            ExecMode::ThreadsPaced => {
-                Executor::Thread(exec::thread::ThreadExec::new_with_obs_chaos(
-                    &platform,
-                    true,
-                    obs.clone(),
-                    chaos.clone(),
-                ))
-            }
+                remotes,
+            )
+            .map_err(|e| HsError::ExecFailed(format!("connecting remote domains: {e}")))
+        };
+        let exec = match mode {
+            ExecMode::Threads => Executor::Thread(connect(false)?),
+            ExecMode::ThreadsPaced => Executor::Thread(connect(true)?),
             ExecMode::Sim => Executor::Sim(Mutex::new(Box::new(
                 exec::sim::SimExec::new_with_obs_chaos(&platform, obs.clone(), chaos.clone()),
             ))),
         };
-        HStreams {
+        Ok(HStreams {
             inner: Arc::new(Inner {
                 platform,
                 ordering,
@@ -393,7 +466,7 @@ impl HStreams {
                 contended: ShardedU64::new(),
                 redundant: ShardedU64::new(),
             }),
-        }
+        })
     }
 
     // ------------------------------------------------------ fault injection
@@ -1220,8 +1293,10 @@ impl HStreams {
             let _lo_world = lockorder::acquiring(LockClass::World);
             let _world = inner.world.read();
             // Phase 1: validate + resolve every action before touching the
-            // stream window, so an invalid item enqueues nothing.
-            let known = inner.events.len();
+            // stream window, so an invalid item enqueues nothing. (EventWait
+            // ids are the exception: they are checked against the table in
+            // phase 2, where the batch's own reservations are visible — see
+            // `enqueue_batch_common`.)
             let armed = inner.chaos.is_armed();
             let mut built: Vec<BuiltAction> = Vec::with_capacity(actions.len());
             for a in actions {
@@ -1284,11 +1359,6 @@ impl HStreams {
                     }
                     BatchAction::EventWait { events } => {
                         inner.stats.note_sync();
-                        for e in &events {
-                            if e.0 >= known {
-                                return Err(HsError::UnknownEvent(*e));
-                            }
-                        }
                         built.push(BuiltAction {
                             spec: ActionSpec::Noop,
                             footprint: Vec::new(),
@@ -1348,11 +1418,18 @@ impl HStreams {
             (None, None)
         };
         let n = items.len();
-        let mut ids: Vec<u64> = Vec::with_capacity(n);
+        // Drop-guard over the reserved ids: if this loop exits early (the
+        // wait validation below) or panics, every id reserved so far is
+        // handed back as a tombstone — a reserved-but-never-published slot
+        // would otherwise stall the retirement watermark forever.
+        let mut ids = ReservedIds::new(&inner.events, n);
         let mut batch: Vec<exec::BatchSubmitItem> = Vec::with_capacity(n);
         let mut logs: Vec<LoggedAction> = Vec::new();
+        #[cfg(feature = "hsan-record")]
+        let mut rec_buf: Vec<record::ActionRecord> = Vec::new();
+        let mut abort: Option<HsError> = None;
         let mut dep_events = DepList::new();
-        for item in items {
+        'items: for item in items {
             let BuiltAction {
                 spec,
                 footprint,
@@ -1360,6 +1437,17 @@ impl HStreams {
                 waits,
                 logged,
             } = item;
+            // Wait ids are validated here, not in phase 1: earlier batch
+            // items have already reserved their slots by now, so a failure
+            // at item i > 0 genuinely exercises the tombstone guard (and
+            // the table can only have grown since phase 1, so nothing that
+            // would have passed there fails here).
+            for e in &waits {
+                if e.0 >= inner.events.len() {
+                    abort = Some(HsError::UnknownEvent(*e));
+                    break 'items;
+                }
+            }
             dep_events.clear();
             let redundant = match kind {
                 stream::ActionKind::EventWait => match inner.ordering {
@@ -1392,7 +1480,7 @@ impl HStreams {
             // events. Everything else resolves through the table as usual.
             let mut deps: Vec<exec::BatchDep> = Vec::with_capacity(dep_events.len());
             for e in dep_events.iter() {
-                if let Some(j) = ids.iter().position(|&id| id == e.0) {
+                if let Some(j) = ids.as_slice().iter().position(|&id| id == e.0) {
                     deps.push(exec::BatchDep::Internal(j));
                     continue;
                 }
@@ -1420,16 +1508,21 @@ impl HStreams {
                     retry: submit_opts.retry,
                 });
             }
+            // Recorder entries are buffered and pushed only once the whole
+            // batch is through validation: an aborted batch must leave no
+            // enqueue records for actions that never submitted (their ids
+            // tombstone, and the trace would otherwise name events with no
+            // completion).
             #[cfg(feature = "hsan-record")]
-            if let Some(rec) = rec_guard.as_mut().and_then(|g| g.as_mut()) {
-                rec.push(record::TraceOp::Enqueue(record::ActionRecord {
+            if rec_guard.as_ref().is_some_and(|g| g.is_some()) {
+                rec_buf.push(record::ActionRecord {
                     event: id,
                     stream: s.0,
                     kind,
                     label: spec.label().to_string(),
                     footprint: footprint.clone(),
                     waits: waits.iter().map(|e| e.0).collect(),
-                }));
+                });
             }
             ids.push(id);
             batch.push(exec::BatchSubmitItem {
@@ -1440,6 +1533,22 @@ impl HStreams {
             });
             // Window the item *now* so the next item's find_deps sees it.
             st.push(ev, footprint, kind);
+        }
+        if let Some(err) = abort {
+            // All-or-nothing: nothing was submitted (submit_batch is below)
+            // and nothing published. Dropping the guard tombstones every
+            // reserved id, so earlier items' window entries read as retired
+            // (completed success — no dependence edges form on them) and
+            // the next retire sweep clears them.
+            drop(ids);
+            return Err(err);
+        }
+        let ids = ids.disarm();
+        #[cfg(feature = "hsan-record")]
+        if let Some(rec) = rec_guard.as_mut().and_then(|g| g.as_mut()) {
+            for r in rec_buf {
+                rec.push(record::TraceOp::Enqueue(r));
+            }
         }
         // Phase 3: one executor round-trip for the whole batch. While a
         // recording is live, the completion log hooks each item's done
@@ -2311,6 +2420,24 @@ impl HStreams {
                         );
                     }
                 }
+            }
+            // Remote cards additionally report raw link traffic: what the
+            // wire actually carried (frame headers included), next to the
+            // modelled `dma.cN.*` totals the pacer accounts for.
+            for (card_idx, _) in self.inner.platform.cards() {
+                let node = hs_fabric::NodeId(card_idx as u16);
+                if !fabric.is_remote(node) {
+                    continue;
+                }
+                let link = fabric.transport(node).link_stats();
+                let key = format!("link.c{card_idx}");
+                snap.extra
+                    .insert(format!("{key}.tx_bytes"), link.tx_bytes as f64);
+                snap.extra
+                    .insert(format!("{key}.rx_bytes"), link.rx_bytes as f64);
+                snap.extra.insert(format!("{key}.reqs"), link.reqs as f64);
+                snap.extra
+                    .insert(format!("{key}.rtt_us"), link.rtt_ns as f64 / 1e3);
             }
             snap.extra.insert(
                 "wg.spawned_workers.global".to_string(),

@@ -216,6 +216,49 @@ fn batch_is_all_or_nothing() {
     assert_eq!(out, [1.0; N], "no partial batch executed");
 }
 
+/// Regression for the reserve→publish crack: a batch that fails *after*
+/// earlier items already reserved their event ids must hand those ids back
+/// as tombstones. Before the guard, each failing batch leaked its reserved
+/// ids as forever-unpublished slots, so the retirement watermark stalled
+/// and the table grew without bound. 10k failing batches: `events.live`
+/// stays flat and every leaked reservation shows up as a tombstone.
+#[test]
+fn failed_batches_tombstone_reserved_ids() {
+    let r = rig(ExecMode::Threads);
+    r.hs.thread_synchronize().expect("root settles");
+    let live0 = r.hs.metrics().extra["events.live"];
+    for i in 0..10_000u64 {
+        // Two valid items reserve ids, then the bogus event-wait aborts
+        // the batch mid-loop.
+        let batch = vec![
+            op_to_batch(&r, &Op::AddK(1.0)),
+            op_to_batch(&r, &Op::H2d),
+            BatchAction::EventWait {
+                events: vec![Event(u64::MAX - i)],
+            },
+        ];
+        let err = r.hs.enqueue_many(r.s, batch).expect_err("bogus wait");
+        assert!(matches!(err, HsError::UnknownEvent(_)), "{err:?}");
+    }
+    r.hs.thread_synchronize().expect("sync");
+    let mut out = [0.0; N];
+    r.hs.buffer_read_f64(r.b, 0, &mut out).expect("read");
+    assert_eq!(out, [1.0; N], "no item of a failed batch may run");
+    let m = r.hs.metrics();
+    let live = m.extra["events.live"];
+    assert!(
+        live <= live0,
+        "failed batches must not leave live events: {live0} -> {live}"
+    );
+    // Every id the failed batches reserved (2 per batch) came back as a
+    // tombstone, so the watermark can cross the whole range.
+    assert!(
+        m.extra["events.id_block.tombstoned"] >= 20_000.0,
+        "tombstoned: {}",
+        m.extra["events.id_block.tombstoned"]
+    );
+}
+
 /// The empty batch is a no-op returning no events.
 #[test]
 fn empty_batch_is_noop() {

@@ -164,6 +164,43 @@ impl DmaEngine {
         self.ops.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
+
+    /// Like [`DmaEngine::run`], but for transfers whose payload crosses a
+    /// real wire (remote transports): `io` performs the transfer and its
+    /// measured duration is *real* link cost, so the modelled budget is
+    /// paced **on top of** it — the deadline starts when the wire finishes,
+    /// never overlapping the io time. Total channel occupancy is therefore
+    /// `wire + target` (additive), where [`DmaEngine::run`]'s local-copy
+    /// semantics are `max(copy, target)` (a memcpy is not a modelled cost).
+    ///
+    /// A failed `io` delivers no payload and counts nothing, exactly like
+    /// an injected fault on the local path — byte/op stats stay comparable
+    /// between Local and Remote transports.
+    pub fn run_wire(
+        &self,
+        bytes: usize,
+        io: impl FnOnce() -> Result<(), FailureCause>,
+    ) -> Result<(), FailureCause> {
+        let _serial = self.channel.lock();
+        if self.chaos.is_armed() {
+            if let Some(inj) = self.chaos.check_dma(self.card, self.h2d) {
+                let cause = match inj {
+                    Injection::Fail(c) => c,
+                    Injection::Panic(m) => FailureCause::SinkPanic(m),
+                };
+                return Err(cause);
+            }
+        }
+        let start = Instant::now();
+        io()?;
+        let wire_end = Instant::now();
+        pace_until(wire_end + self.pacer.target(bytes, self.h2d));
+        self.busy_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +271,53 @@ mod tests {
         let t = Instant::now();
         pace_until(t);
         assert!(t.elapsed() < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn run_wire_paces_on_top_of_wire_time() {
+        // Satellite: modelled link time composes *additively* with measured
+        // wire time — the engine must not double-count (pace the full target
+        // from before the io started) nor under-count (max(io, target)).
+        let link = LinkSpec::pcie_knc();
+        let p = Pacer::pcie(link, Overheads::paper());
+        let e = DmaEngine::new(p.clone(), true);
+        let bytes = 64 << 20; // ~10ms modelled at KNC PCIe bandwidth
+        let target = p.target(bytes, true);
+        assert!(target > Duration::from_millis(5), "target {target:?}");
+        // Measure the wire leg from inside the io closure: sleep overshoot
+        // is real wire time and must not count against the slack.
+        let wire_cell = std::cell::Cell::new(Duration::ZERO);
+        let start = Instant::now();
+        e.run_wire(bytes, || {
+            let t0 = Instant::now();
+            std::thread::sleep(Duration::from_millis(30));
+            wire_cell.set(t0.elapsed());
+            Ok(())
+        })
+        .expect("wire io succeeds");
+        let elapsed = start.elapsed();
+        let wire = wire_cell.get();
+        assert!(
+            elapsed >= wire + target,
+            "additive composition: {elapsed:?} < {wire:?} + {target:?}"
+        );
+        assert!(
+            elapsed < wire + target + Duration::from_millis(15),
+            "no double-count: {elapsed:?} vs {wire:?} + {target:?}"
+        );
+        let s = e.stats();
+        assert_eq!((s.ops, s.bytes), (1, bytes as u64));
+        assert!(s.busy_ns >= (wire + target).as_nanos() as u64);
+    }
+
+    #[test]
+    fn run_wire_failure_delivers_no_stats() {
+        let e = DmaEngine::new(Pacer::unpaced(), true);
+        let err = e
+            .run_wire(64, || Err(FailureCause::CardLost { card: 1 }))
+            .expect_err("io failed");
+        assert!(matches!(err, FailureCause::CardLost { card: 1 }));
+        assert_eq!(e.stats().ops, 0, "failed wire op not counted");
     }
 
     #[test]

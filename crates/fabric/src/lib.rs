@@ -22,14 +22,20 @@
 
 pub mod dma;
 pub mod msg;
+pub mod proto;
+pub mod remote;
+pub mod transport;
 pub mod window;
 
 pub use dma::{DmaEngine, Pacer};
+pub use remote::RemoteDomain;
+pub use transport::{Endpoint, LinkStats, LocalTransport, Transport, TransportError};
 pub use window::{RangeGuard, WindowId, WindowMem};
 
 use hs_chaos::{ChaosHub, FailureCause};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifies a fabric node. Node 0 is the host.
@@ -44,15 +50,30 @@ impl NodeId {
     }
 }
 
-struct NodeState {
-    windows: HashMap<u64, Arc<WindowMem>>,
-    next_window: u64,
+/// Per-node control block: the transport backing the node's windows, the
+/// host-side window-id allocator, and the authoritative length table
+/// (bounds checks must not require a wire round-trip, and remote windows
+/// have no local `WindowMem` to ask).
+struct NodeCtl {
+    transport: Arc<dyn Transport>,
+    next_window: AtomicU64,
+    lens: Mutex<HashMap<u64, usize>>,
 }
 
-/// The fabric: a set of nodes, each with registered memory windows, plus DMA
-/// engines per (node, direction).
+impl NodeCtl {
+    fn local() -> NodeCtl {
+        NodeCtl {
+            transport: Arc::new(LocalTransport::new()),
+            next_window: AtomicU64::new(1),
+            lens: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// The fabric: a set of nodes, each with registered memory windows behind a
+/// [`Transport`], plus DMA engines per (node, direction).
 pub struct Fabric {
-    nodes: Vec<Mutex<NodeState>>,
+    nodes: Vec<NodeCtl>,
     engines: Vec<DmaEngine>, // two per non-host node: [h2d, d2h]
 }
 
@@ -76,20 +97,31 @@ impl Fabric {
     /// Like [`Fabric::new_with_pacers`], with a shared fault-injection hub
     /// the DMA channels consult (one relaxed load per op when disarmed).
     pub fn new_with_pacers_chaos(n_nodes: usize, per_card: Vec<Pacer>, chaos: ChaosHub) -> Fabric {
+        Fabric::new_with_transports(n_nodes, per_card, chaos, Vec::new())
+    }
+
+    /// Like [`Fabric::new_with_pacers_chaos`], with some card nodes backed
+    /// by explicit transports: `(node_index, transport)` pairs override the
+    /// default in-process [`LocalTransport`]. Node 0 (the host) must stay
+    /// local.
+    pub fn new_with_transports(
+        n_nodes: usize,
+        per_card: Vec<Pacer>,
+        chaos: ChaosHub,
+        transports: Vec<(usize, Arc<dyn Transport>)>,
+    ) -> Fabric {
         assert!(n_nodes >= 1, "fabric needs at least the host node");
         assert_eq!(
             per_card.len(),
             n_nodes - 1,
             "need exactly one pacer per card node"
         );
-        let nodes = (0..n_nodes)
-            .map(|_| {
-                Mutex::new(NodeState {
-                    windows: HashMap::new(),
-                    next_window: 1,
-                })
-            })
-            .collect();
+        let mut nodes: Vec<NodeCtl> = (0..n_nodes).map(|_| NodeCtl::local()).collect();
+        for (idx, t) in transports {
+            assert!(idx != 0, "the host node cannot be remote");
+            assert!(idx < n_nodes, "transport for nonexistent node {idx}");
+            nodes[idx].transport = t;
+        }
         let engines = per_card
             .iter()
             .enumerate()
@@ -104,39 +136,120 @@ impl Fabric {
         Fabric { nodes, engines }
     }
 
+    /// Like [`Fabric::new_with_transports`], connecting a [`RemoteDomain`]
+    /// worker per `(node_index, endpoint)` pair. Connection failures
+    /// surface here, at init, rather than on first use.
+    pub fn new_with_endpoints(
+        n_nodes: usize,
+        per_card: Vec<Pacer>,
+        chaos: ChaosHub,
+        endpoints: &[(usize, Endpoint)],
+    ) -> std::io::Result<Fabric> {
+        let mut transports: Vec<(usize, Arc<dyn Transport>)> = Vec::new();
+        for (idx, ep) in endpoints {
+            let dom = RemoteDomain::connect(ep, *idx as u32, chaos.clone())?;
+            transports.push((*idx, Arc::new(dom)));
+        }
+        Ok(Fabric::new_with_transports(
+            n_nodes, per_card, chaos, transports,
+        ))
+    }
+
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
     }
 
-    /// Register a window of `len` bytes on `node`, zero-initialized.
-    pub fn register(&self, node: NodeId, len: usize) -> WindowId {
-        let mut st = self.nodes[node.0 as usize].lock();
-        let id = WindowId {
-            node,
-            id: st.next_window,
-        };
-        st.next_window += 1;
-        st.windows.insert(id.id, Arc::new(WindowMem::new(len)));
-        id
+    /// The transport backing `node`'s windows.
+    pub fn transport(&self, node: NodeId) -> &Arc<dyn Transport> {
+        &self.nodes[node.0 as usize].transport
     }
 
-    /// Unregister (free) a window. Outstanding `Arc` references keep the
+    /// Does `node`'s memory live in another process?
+    pub fn is_remote(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].transport.is_remote()
+    }
+
+    /// Register a window of `len` bytes on `node`, zero-initialized.
+    ///
+    /// Registration on a *dead* remote node still yields a valid id — the
+    /// failure surfaces (as `CardLost`) on the first transfer or compute
+    /// touching the window, which is where the degradation machinery
+    /// observes and handles it.
+    pub fn register(&self, node: NodeId, len: usize) -> WindowId {
+        let ctl = &self.nodes[node.0 as usize];
+        let id = ctl.next_window.fetch_add(1, Ordering::Relaxed);
+        // Errors here are only reachable on remote transports (see above).
+        let _ = ctl.transport.alloc(id, len);
+        ctl.lens.lock().insert(id, len);
+        WindowId { node, id }
+    }
+
+    /// Unregister (free) a window. Outstanding `Arc` references keep local
     /// memory alive; new lookups fail.
     pub fn unregister(&self, win: WindowId) -> bool {
-        self.nodes[win.node.0 as usize]
-            .lock()
-            .windows
-            .remove(&win.id)
-            .is_some()
+        let ctl = &self.nodes[win.node.0 as usize];
+        let known = ctl.lens.lock().remove(&win.id).is_some();
+        match ctl.transport.free(win.id) {
+            Ok(freed) => freed,
+            // A dead worker frees nothing, but host-side bookkeeping is
+            // gone either way; report what the caller can still act on.
+            Err(_) => known,
+        }
     }
 
-    /// Look up a window's memory.
+    /// Look up a window's memory (local transports only — remote windows
+    /// are reachable through [`Fabric::dma_copy`] and transport I/O, never
+    /// as a mapped arena).
     pub fn window(&self, win: WindowId) -> Option<Arc<WindowMem>> {
+        self.nodes[win.node.0 as usize].transport.window(win.id)
+    }
+
+    /// Registered length of a window, from host-side bookkeeping.
+    pub fn win_len(&self, win: WindowId) -> Option<usize> {
         self.nodes[win.node.0 as usize]
+            .lens
             .lock()
-            .windows
             .get(&win.id)
-            .cloned()
+            .copied()
+    }
+
+    /// Zero a window in place (pool reuse), wherever it lives.
+    pub fn zero(&self, win: WindowId) -> Result<(), FabricError> {
+        self.nodes[win.node.0 as usize]
+            .transport
+            .zero(win.id)
+            .map_err(|e| self.transport_err(win, e))
+    }
+
+    /// Map a transport failure on `win`'s node to a fabric error: a gone
+    /// peer is a literal lost card; everything else is an exec failure.
+    fn transport_err(&self, win: WindowId, e: TransportError) -> FabricError {
+        match e {
+            // The poisoning site already logged the reason on the chaos hub.
+            TransportError::Closed(_) => FabricError::Faulted(FailureCause::CardLost {
+                card: win.node.0 as u32,
+            }),
+            TransportError::NoSuchWindow(_) => FabricError::NoSuchWindow(win),
+            TransportError::OutOfBounds => FabricError::OutOfBounds,
+            other => FabricError::Faulted(FailureCause::Exec(format!(
+                "transport to node {}: {other}",
+                win.node.0
+            ))),
+        }
+    }
+
+    /// Bounds-check a remote access against host-side bookkeeping.
+    fn check_remote_bounds(
+        &self,
+        win: WindowId,
+        off: usize,
+        len: usize,
+    ) -> Result<(), FabricError> {
+        let wlen = self.win_len(win).ok_or(FabricError::NoSuchWindow(win))?;
+        if off + len > wlen {
+            return Err(FabricError::OutOfBounds);
+        }
+        Ok(())
     }
 
     /// The DMA engine for transfers toward (`h2d = true`) or from a card
@@ -150,6 +263,12 @@ impl Fabric {
     /// DMA `len` bytes from `(src, src_off)` to `(dst, dst_off)`. Windows may
     /// live on any nodes; pacing applies when either side is a card. Blocks
     /// until the copy completes (callers run it on sink/DMA threads).
+    ///
+    /// Local↔local copies are a range-locked `memcpy` stretched to the
+    /// modelled link time. When either side is remote the payload crosses
+    /// the transport and the engine paces the modelled budget *on top of*
+    /// measured wire time ([`DmaEngine::run_wire`]); remote↔remote goes
+    /// through a host staging buffer as two paced hops (D2H then H2D).
     pub fn dma_copy(
         &self,
         src: WindowId,
@@ -161,11 +280,42 @@ impl Fabric {
         if len == 0 {
             return Ok(());
         }
-        let src_mem = self.window(src).ok_or(FabricError::NoSuchWindow(src))?;
-        let dst_mem = self.window(dst).ok_or(FabricError::NoSuchWindow(dst))?;
         if src == dst {
             return Err(FabricError::OverlappingSelfCopy);
         }
+        match (self.is_remote(src.node), self.is_remote(dst.node)) {
+            (false, false) => {}
+            (false, true) => return self.dma_copy_h2d_wire(src, src_off, dst, dst_off, len),
+            (true, false) => return self.dma_copy_d2h_wire(src, src_off, dst, dst_off, len),
+            (true, true) => {
+                // Host-staged: fetch from the source worker, then deliver
+                // to the destination worker, each leg paced on its link.
+                let mut staging = vec![0u8; len];
+                self.check_remote_bounds(src, src_off, len)?;
+                self.check_remote_bounds(dst, dst_off, len)?;
+                let t_src = self.transport(src.node).clone();
+                self.engine(src.node, false)
+                    .run_wire(len, || {
+                        t_src
+                            .read(src.id, src_off, &mut staging)
+                            .map(drop)
+                            .map_err(|e| self.transport_err(src, e).into_cause())
+                    })
+                    .map_err(FabricError::Faulted)?;
+                let t_dst = self.transport(dst.node).clone();
+                self.engine(dst.node, true)
+                    .run_wire(len, || {
+                        t_dst
+                            .write(dst.id, dst_off, &staging)
+                            .map(drop)
+                            .map_err(|e| self.transport_err(dst, e).into_cause())
+                    })
+                    .map_err(FabricError::Faulted)?;
+                return Ok(());
+            }
+        }
+        let src_mem = self.window(src).ok_or(FabricError::NoSuchWindow(src))?;
+        let dst_mem = self.window(dst).ok_or(FabricError::NoSuchWindow(dst))?;
         // Acquire in a canonical global order (window id, then offset) so
         // two concurrent copies with swapped endpoints cannot deadlock.
         let src_first = (src, src_off) <= (dst, dst_off);
@@ -202,6 +352,57 @@ impl Fabric {
             None => wr.as_mut_slice().copy_from_slice(rd.as_slice()),
         }
         Ok(())
+    }
+
+    /// Local source → remote destination: hold the source range read-locked
+    /// for the duration of the wire write (the remote side serializes
+    /// conflicting ranges with its own `WindowMem` range locks).
+    fn dma_copy_h2d_wire(
+        &self,
+        src: WindowId,
+        src_off: usize,
+        dst: WindowId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<(), FabricError> {
+        let src_mem = self.window(src).ok_or(FabricError::NoSuchWindow(src))?;
+        self.check_remote_bounds(dst, dst_off, len)?;
+        let rd = src_mem
+            .lock_range(src_off..src_off + len, false)
+            .map_err(|_| FabricError::OutOfBounds)?;
+        let t = self.transport(dst.node).clone();
+        self.engine(dst.node, true)
+            .run_wire(len, || {
+                t.write(dst.id, dst_off, rd.as_slice())
+                    .map(drop)
+                    .map_err(|e| self.transport_err(dst, e).into_cause())
+            })
+            .map_err(FabricError::Faulted)
+    }
+
+    /// Remote source → local destination: hold the destination range
+    /// write-locked and fill it straight from the wire reply.
+    fn dma_copy_d2h_wire(
+        &self,
+        src: WindowId,
+        src_off: usize,
+        dst: WindowId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<(), FabricError> {
+        let dst_mem = self.window(dst).ok_or(FabricError::NoSuchWindow(dst))?;
+        self.check_remote_bounds(src, src_off, len)?;
+        let mut wr = dst_mem
+            .lock_range(dst_off..dst_off + len, true)
+            .map_err(|_| FabricError::OutOfBounds)?;
+        let t = self.transport(src.node).clone();
+        self.engine(src.node, false)
+            .run_wire(len, || {
+                t.read(src.id, src_off, wr.as_mut_slice())
+                    .map(drop)
+                    .map_err(|e| self.transport_err(src, e).into_cause())
+            })
+            .map_err(FabricError::Faulted)
     }
 }
 

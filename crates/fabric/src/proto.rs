@@ -1,0 +1,426 @@
+//! The hs-fabric wire protocol: length-prefixed, checksummed frames.
+//!
+//! A remote domain is a worker process on the far end of a byte stream
+//! (Unix domain socket, or TCP for a multi-machine hop). Everything that
+//! crosses the stream is a *frame*:
+//!
+//! ```text
+//! [magic u32 LE][kind u8][payload_len u32 LE][payload ...][crc32 u32 LE]
+//! ```
+//!
+//! The CRC covers `kind || payload_len || payload` (IEEE 802.3 polynomial,
+//! hand-rolled — this crate takes no external dependencies). A bad magic,
+//! an oversized length or a CRC mismatch is a *protocol* error: the peer is
+//! not speaking hs-fabric, or the stream corrupted, and the connection is
+//! unusable from that point on.
+//!
+//! Payload encodings are fixed-layout little-endian structs built with the
+//! `put_*`/`get_*` helpers below; no serde on the wire. Data transfers are
+//! additionally acknowledged with the payload's CRC ([`Kind::WriteAck`]),
+//! so a delivered-but-mangled H2D transfer is detected by the sender.
+
+use std::io::{Read, Write};
+
+/// `"HSFR"` — first bytes of every frame.
+pub const MAGIC: u32 = 0x4853_4652;
+
+/// Protocol version carried in `Hello`/`HelloAck`.
+pub const VERSION: u16 = 1;
+
+/// Upper bound on a frame payload (a transfer of one pooled buffer chunk
+/// plus headroom). Anything larger is a protocol violation — it protects
+/// the receiver from allocating on a corrupt length field.
+pub const MAX_PAYLOAD: usize = 256 << 20;
+
+/// Frame kinds. Requests originate host-side; each has one reply kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Kind {
+    /// `role u8 | version u16` — first frame on every connection.
+    Hello = 1,
+    /// `version u16` — worker accepts the connection.
+    HelloAck = 2,
+    /// `win u64 | len u64` — register a window on the worker.
+    Alloc = 3,
+    /// Empty — generic success reply (Alloc/Free/Zero/Shutdown).
+    Ack = 4,
+    /// `win u64` — unregister a window.
+    Free = 5,
+    /// `win u64` — zero a window (buffer-pool reuse).
+    Zero = 6,
+    /// `win u64 | off u64 | data…` — H2D payload delivery.
+    Write = 7,
+    /// `crc u32` — CRC of the data just written (end-to-end check).
+    WriteAck = 8,
+    /// `win u64 | off u64 | len u64` — D2H payload request.
+    Read = 9,
+    /// `data…` — the requested bytes.
+    ReadData = 10,
+    /// `width u32 | name_len u16 | name | args_len u32 | args |
+    ///  nbufs u16 | (win u64 | start u64 | end u64 | write u8)*` —
+    /// run a named sink function against worker-resident windows.
+    Exec = 11,
+    /// `status u8 | msg…` — see [`ExecStatus`].
+    ExecAck = 12,
+    /// Empty — RTT probe.
+    Ping = 13,
+    /// Empty — RTT reply.
+    Pong = 14,
+    /// Empty — orderly connection close.
+    Shutdown = 15,
+    /// `msg…` — worker-side failure of the preceding request.
+    Err = 16,
+}
+
+impl Kind {
+    pub fn from_u8(b: u8) -> Option<Kind> {
+        Some(match b {
+            1 => Kind::Hello,
+            2 => Kind::HelloAck,
+            3 => Kind::Alloc,
+            4 => Kind::Ack,
+            5 => Kind::Free,
+            6 => Kind::Zero,
+            7 => Kind::Write,
+            8 => Kind::WriteAck,
+            9 => Kind::Read,
+            10 => Kind::ReadData,
+            11 => Kind::Exec,
+            12 => Kind::ExecAck,
+            13 => Kind::Ping,
+            14 => Kind::Pong,
+            15 => Kind::Shutdown,
+            16 => Kind::Err,
+            _ => return None,
+        })
+    }
+}
+
+/// Result of a worker-side [`Kind::Exec`], first byte of `ExecAck`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum ExecStatus {
+    /// Function ran to completion.
+    Ok = 0,
+    /// The worker has no function of that name registered — the host
+    /// falls back to fetch-compute-writeback.
+    UnknownFn = 1,
+    /// The function ran and failed (panic or execution error); the
+    /// message follows.
+    Failed = 2,
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// IEEE CRC-32 (the zlib/Ethernet polynomial).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = CRC_TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+// ------------------------------------------------------- payload builders
+
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor-style payload reader; every `get_*` checks remaining length so a
+/// truncated payload surfaces as `None`, never a panic.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub fn get_u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    pub fn get_u16(&mut self) -> Option<u16> {
+        let b = self.buf.get(self.pos..self.pos + 2)?;
+        self.pos += 2;
+        Some(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub fn get_u32(&mut self) -> Option<u32> {
+        let b = self.buf.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn get_u64(&mut self) -> Option<u64> {
+        let b = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn get_bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let b = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(b)
+    }
+
+    /// Everything not yet consumed.
+    pub fn rest(self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+// ------------------------------------------------------------ frame I/O
+
+fn proto_err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Write one frame. `head` is prepended to `data` in the payload — this
+/// lets `Write` frames send `win|off` header + a borrowed data slice
+/// without concatenating them into a fresh allocation.
+pub fn send_frame_parts(
+    w: &mut impl Write,
+    kind: Kind,
+    head: &[u8],
+    data: &[u8],
+) -> std::io::Result<usize> {
+    let payload_len = head.len() + data.len();
+    if payload_len > MAX_PAYLOAD {
+        return Err(proto_err(format!("frame payload {payload_len} too large")));
+    }
+    let mut hdr = [0u8; 9];
+    hdr[..4].copy_from_slice(&MAGIC.to_le_bytes());
+    hdr[4] = kind as u8;
+    hdr[5..9].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    let mut crc = 0xFFFF_FFFFu32;
+    crc = crc32_update(crc, &hdr[4..9]);
+    crc = crc32_update(crc, head);
+    crc = crc32_update(crc, data);
+    crc ^= 0xFFFF_FFFF;
+    w.write_all(&hdr)?;
+    w.write_all(head)?;
+    w.write_all(data)?;
+    w.write_all(&crc.to_le_bytes())?;
+    w.flush()?;
+    Ok(hdr.len() + payload_len + 4)
+}
+
+/// Write one frame with a contiguous payload.
+pub fn send_frame(w: &mut impl Write, kind: Kind, payload: &[u8]) -> std::io::Result<usize> {
+    send_frame_parts(w, kind, payload, &[])
+}
+
+/// Read one frame; verifies magic and CRC. Returns `(kind, payload,
+/// bytes_read)`. EOF before the first header byte maps to
+/// `ErrorKind::UnexpectedEof` like any other truncation — the caller
+/// decides whether that is an orderly close.
+pub fn recv_frame(r: &mut impl Read) -> std::io::Result<(Kind, Vec<u8>, usize)> {
+    let mut hdr = [0u8; 9];
+    r.read_exact(&mut hdr)?;
+    let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+    if magic != MAGIC {
+        return Err(proto_err(format!("bad frame magic {magic:#010x}")));
+    }
+    let kind = Kind::from_u8(hdr[4]).ok_or_else(|| proto_err(format!("bad kind {}", hdr[4])))?;
+    let len = u32::from_le_bytes([hdr[5], hdr[6], hdr[7], hdr[8]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(proto_err(format!("frame payload {len} too large")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)?;
+    let wire_crc = u32::from_le_bytes(crc_buf);
+    let mut crc = 0xFFFF_FFFFu32;
+    crc = crc32_update(crc, &hdr[4..9]);
+    crc = crc32_update(crc, &payload);
+    crc ^= 0xFFFF_FFFF;
+    if crc != wire_crc {
+        return Err(proto_err(format!(
+            "frame CRC mismatch: wire {wire_crc:#010x}, computed {crc:#010x}"
+        )));
+    }
+    Ok((kind, payload, hdr.len() + len + 4))
+}
+
+/// One buffer operand of an `Exec` frame: raw window id, byte range, write?
+pub type ExecBuf = (u64, u64, u64, bool);
+
+/// Encode an `Exec` payload.
+pub fn encode_exec(name: &str, args: &[u8], width: u32, bufs: &[ExecBuf]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(11 + name.len() + args.len() + bufs.len() * 25);
+    put_u32(&mut p, width);
+    put_u16(&mut p, name.len() as u16);
+    p.extend_from_slice(name.as_bytes());
+    put_u32(&mut p, args.len() as u32);
+    p.extend_from_slice(args);
+    put_u16(&mut p, bufs.len() as u16);
+    for &(win, start, end, write) in bufs {
+        put_u64(&mut p, win);
+        put_u64(&mut p, start);
+        put_u64(&mut p, end);
+        p.push(u8::from(write));
+    }
+    p
+}
+
+/// Decoded `Exec` payload (worker side).
+pub struct ExecFrame<'a> {
+    pub name: &'a str,
+    pub args: &'a [u8],
+    pub width: u32,
+    pub bufs: Vec<ExecBuf>,
+}
+
+/// Decode an `Exec` payload; `None` on any truncation or bad UTF-8.
+pub fn decode_exec(payload: &[u8]) -> Option<ExecFrame<'_>> {
+    let mut c = Cursor::new(payload);
+    let width = c.get_u32()?;
+    let name_len = c.get_u16()? as usize;
+    let name = std::str::from_utf8(c.get_bytes(name_len)?).ok()?;
+    let args_len = c.get_u32()? as usize;
+    let args = c.get_bytes(args_len)?;
+    let nbufs = c.get_u16()? as usize;
+    let mut bufs = Vec::with_capacity(nbufs);
+    for _ in 0..nbufs {
+        let win = c.get_u64()?;
+        let start = c.get_u64()?;
+        let end = c.get_u64()?;
+        let write = c.get_u8()? != 0;
+        bufs.push((win, start, end, write));
+    }
+    Some(ExecFrame {
+        name,
+        args,
+        width,
+        bufs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        let n = send_frame(&mut buf, Kind::Alloc, &[1, 2, 3]).expect("send ok");
+        assert_eq!(n, buf.len());
+        let (kind, payload, m) = recv_frame(&mut buf.as_slice()).expect("recv ok");
+        assert_eq!(kind, Kind::Alloc);
+        assert_eq!(payload, vec![1, 2, 3]);
+        assert_eq!(m, n);
+    }
+
+    #[test]
+    fn split_payload_equals_contiguous() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        send_frame_parts(&mut a, Kind::Write, &[9, 9], &[1, 2, 3]).expect("send ok");
+        send_frame(&mut b, Kind::Write, &[9, 9, 1, 2, 3]).expect("send ok");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupt_byte_is_detected() {
+        let mut buf = Vec::new();
+        send_frame(&mut buf, Kind::Write, &[7u8; 64]).expect("send ok");
+        let payload_byte = 9 + 10;
+        buf[payload_byte] ^= 0x40;
+        let err = recv_frame(&mut buf.as_slice()).expect_err("corruption must fail");
+        assert!(err.to_string().contains("CRC"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut buf = Vec::new();
+        send_frame(&mut buf, Kind::Ping, &[]).expect("send ok");
+        buf[0] = 0;
+        let err = recv_frame(&mut buf.as_slice()).expect_err("bad magic must fail");
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn truncated_frame_is_eof() {
+        let mut buf = Vec::new();
+        send_frame(&mut buf, Kind::Read, &[0u8; 24]).expect("send ok");
+        buf.truncate(buf.len() - 3);
+        let err = recv_frame(&mut buf.as_slice()).expect_err("truncation must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn exec_payload_round_trip() {
+        let bufs = vec![(3u64, 0u64, 64u64, true), (9, 128, 256, false)];
+        let p = encode_exec("tile_gemm_nn", &[1, 2, 3, 4], 4, &bufs);
+        let f = decode_exec(&p).expect("decodes");
+        assert_eq!(f.name, "tile_gemm_nn");
+        assert_eq!(f.args, &[1, 2, 3, 4]);
+        assert_eq!(f.width, 4);
+        assert_eq!(f.bufs, bufs);
+    }
+
+    #[test]
+    fn exec_decode_rejects_truncation() {
+        let p = encode_exec("k", &[], 1, &[(1, 0, 8, false)]);
+        for cut in 1..p.len() {
+            assert!(decode_exec(&p[..p.len() - cut]).is_none());
+        }
+    }
+
+    #[test]
+    fn kind_round_trips() {
+        for k in 1..=16u8 {
+            let kind = Kind::from_u8(k).expect("valid kind");
+            assert_eq!(kind as u8, k);
+        }
+        assert_eq!(Kind::from_u8(0), None);
+        assert_eq!(Kind::from_u8(17), None);
+    }
+}

@@ -1,0 +1,373 @@
+//! [`RemoteDomain`]: a fabric node whose memory lives in a worker process.
+//!
+//! The host side of the wire protocol in [`crate::proto`]. A remote domain
+//! holds a small pool of connections to its worker, one per traffic class —
+//! control, H2D payload, D2H payload, exec — so a long transfer on the link
+//! never serializes against a compute dispatch: the overlap the paper
+//! measures must survive the process boundary.
+//!
+//! **Failure semantics.** The first I/O or protocol error *poisons* the
+//! domain: the card is marked dead on the shared [`ChaosHub`] and every
+//! subsequent operation fails immediately with [`TransportError::Closed`]
+//! without touching a socket. Upper layers map that to
+//! `FailureCause::CardLost { card }`, which is exactly the signal the PR 4
+//! degradation machinery already consumes — a literal `kill -9` of the
+//! worker walks the same remap-and-replay path as an injected `CardDead`.
+//! Sockets also carry a read timeout as a backstop, so a wedged (rather
+//! than dead) worker converts to `Closed` instead of hanging a drain.
+
+use crate::proto::{self, ExecBuf, Kind};
+use crate::transport::{Endpoint, ExecReply, ExecRequest, LinkStats, Transport, TransportError};
+use crate::window::WindowMem;
+use hs_chaos::ChaosHub;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Backstop for a wedged worker: a socket read that makes no progress for
+/// this long is treated as a dead peer. Orderly kills surface much faster
+/// (EOF / ECONNRESET on the next syscall).
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long `connect` retries while the worker is still binding its socket.
+const CONNECT_BUDGET: Duration = Duration::from_secs(5);
+
+/// Connection roles, also the `Hello` role byte. One connection each.
+const ROLE_CTRL: usize = 0;
+const ROLE_H2D: usize = 1;
+const ROLE_D2H: usize = 2;
+const ROLE_EXEC: usize = 3;
+const N_CHANNELS: usize = 4;
+
+enum Stream {
+    Uds(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, t: Duration) -> std::io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.set_read_timeout(Some(t)),
+            Stream::Tcp(s) => s.set_read_timeout(Some(t)),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Uds(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Uds(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Host-side handle to a worker-process card. See module docs.
+pub struct RemoteDomain {
+    card: u32,
+    kind: &'static str,
+    endpoint: Endpoint,
+    chaos: ChaosHub,
+    chans: [Mutex<Stream>; N_CHANNELS],
+    dead: AtomicBool,
+    tx_bytes: AtomicU64,
+    rx_bytes: AtomicU64,
+    reqs: AtomicU64,
+    rtt_ns: AtomicU64,
+}
+
+impl RemoteDomain {
+    /// Connect to the worker at `endpoint`, identifying the node as fabric
+    /// card `card` (its domain index). Retries briefly while the worker is
+    /// still starting; performs the `Hello` handshake on every channel.
+    pub fn connect(
+        endpoint: &Endpoint,
+        card: u32,
+        chaos: ChaosHub,
+    ) -> std::io::Result<RemoteDomain> {
+        let mut chans = Vec::with_capacity(N_CHANNELS);
+        for role in 0..N_CHANNELS {
+            let mut s = connect_stream(endpoint)?;
+            s.set_read_timeout(READ_TIMEOUT)?;
+            let mut hello = Vec::with_capacity(3);
+            hello.push(role as u8);
+            proto::put_u16(&mut hello, proto::VERSION);
+            proto::send_frame(&mut s, Kind::Hello, &hello)?;
+            let (kind, payload, _) = proto::recv_frame(&mut s)?;
+            if kind != Kind::HelloAck {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("expected HelloAck, got {kind:?}"),
+                ));
+            }
+            let ver = proto::Cursor::new(&payload).get_u16().unwrap_or(0);
+            if ver != proto::VERSION {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "protocol version mismatch: ours {}, worker {ver}",
+                        proto::VERSION
+                    ),
+                ));
+            }
+            chans.push(Mutex::new(s));
+        }
+        let chans: [Mutex<Stream>; N_CHANNELS] = chans
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("exactly N_CHANNELS pushed"));
+        Ok(RemoteDomain {
+            card,
+            kind: match endpoint {
+                Endpoint::Uds(_) => "uds",
+                Endpoint::Tcp(_) => "tcp",
+            },
+            endpoint: endpoint.clone(),
+            chaos,
+            chans,
+            dead: AtomicBool::new(false),
+            tx_bytes: AtomicU64::new(0),
+            rx_bytes: AtomicU64::new(0),
+            reqs: AtomicU64::new(0),
+            rtt_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// The endpoint this domain is connected to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Has this domain been poisoned by a failed operation?
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Poison the domain: all subsequent ops fail fast, and the shared
+    /// chaos hub learns the card is gone (degradation picks that up).
+    fn poison(&self, why: &str) -> TransportError {
+        if !self.dead.swap(true, Ordering::AcqRel) {
+            self.chaos.mark_card_dead(self.card);
+            self.chaos.note(format!(
+                "card {} ({}) lost: {why}",
+                self.card, self.endpoint
+            ));
+        }
+        TransportError::Closed(why.to_string())
+    }
+
+    fn io_err(&self, e: &std::io::Error) -> TransportError {
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            // Protocol violations poison too: the stream is desynced.
+            self.poison(&format!("protocol violation: {e}"));
+            TransportError::Protocol(e.to_string())
+        } else {
+            self.poison(&e.to_string())
+        }
+    }
+
+    /// One request/reply round-trip on a channel, with poisoning, byte
+    /// accounting and RTT measurement. `head`+`data` form the payload.
+    fn rpc(
+        &self,
+        chan: usize,
+        kind: Kind,
+        head: &[u8],
+        data: &[u8],
+    ) -> Result<(Kind, Vec<u8>, Duration), TransportError> {
+        if self.is_dead() {
+            return Err(TransportError::Closed(format!(
+                "card {} already lost",
+                self.card
+            )));
+        }
+        let mut s = self.chans[chan].lock();
+        let start = Instant::now();
+        let sent =
+            proto::send_frame_parts(&mut *s, kind, head, data).map_err(|e| self.io_err(&e))?;
+        let (rk, payload, rcvd) = proto::recv_frame(&mut *s).map_err(|e| self.io_err(&e))?;
+        let rtt = start.elapsed();
+        drop(s);
+        self.tx_bytes.fetch_add(sent as u64, Ordering::Relaxed);
+        self.rx_bytes.fetch_add(rcvd as u64, Ordering::Relaxed);
+        self.reqs.fetch_add(1, Ordering::Relaxed);
+        self.rtt_ns.store(rtt.as_nanos() as u64, Ordering::Relaxed);
+        if rk == Kind::Err {
+            let msg = String::from_utf8_lossy(&payload).into_owned();
+            return Err(match msg.strip_prefix("no such window ") {
+                Some(w) => match w.parse::<u64>() {
+                    Ok(id) => TransportError::NoSuchWindow(id),
+                    Err(_) => TransportError::Remote(msg),
+                },
+                None if msg.contains("out of bounds") => TransportError::OutOfBounds,
+                None => TransportError::Remote(msg),
+            });
+        }
+        Ok((rk, payload, rtt))
+    }
+
+    fn expect(&self, got: Kind, want: Kind) -> Result<(), TransportError> {
+        if got == want {
+            Ok(())
+        } else {
+            Err(self.poison(&format!("expected {want:?}, got {got:?}")))
+        }
+    }
+}
+
+impl Transport for RemoteDomain {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn is_remote(&self) -> bool {
+        true
+    }
+
+    fn alloc(&self, win: u64, len: usize) -> Result<(), TransportError> {
+        let mut p = Vec::with_capacity(16);
+        proto::put_u64(&mut p, win);
+        proto::put_u64(&mut p, len as u64);
+        let (k, _, _) = self.rpc(ROLE_CTRL, Kind::Alloc, &p, &[])?;
+        self.expect(k, Kind::Ack)
+    }
+
+    fn free(&self, win: u64) -> Result<bool, TransportError> {
+        let mut p = Vec::with_capacity(8);
+        proto::put_u64(&mut p, win);
+        match self.rpc(ROLE_CTRL, Kind::Free, &p, &[]) {
+            Ok((k, _, _)) => {
+                self.expect(k, Kind::Ack)?;
+                Ok(true)
+            }
+            Err(TransportError::NoSuchWindow(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn zero(&self, win: u64) -> Result<(), TransportError> {
+        let mut p = Vec::with_capacity(8);
+        proto::put_u64(&mut p, win);
+        let (k, _, _) = self.rpc(ROLE_CTRL, Kind::Zero, &p, &[])?;
+        self.expect(k, Kind::Ack)
+    }
+
+    fn window(&self, _win: u64) -> Option<Arc<WindowMem>> {
+        None
+    }
+
+    fn write(&self, win: u64, off: usize, data: &[u8]) -> Result<Duration, TransportError> {
+        let mut head = Vec::with_capacity(16);
+        proto::put_u64(&mut head, win);
+        proto::put_u64(&mut head, off as u64);
+        let (k, payload, rtt) = self.rpc(ROLE_H2D, Kind::Write, &head, data)?;
+        self.expect(k, Kind::WriteAck)?;
+        let acked = proto::Cursor::new(&payload)
+            .get_u32()
+            .ok_or_else(|| TransportError::Protocol("short WriteAck".into()))?;
+        let crc = proto::crc32(data);
+        if acked != crc {
+            return Err(self.poison(&format!(
+                "H2D payload CRC mismatch: sent {crc:#010x}, worker stored {acked:#010x}"
+            )));
+        }
+        Ok(rtt)
+    }
+
+    fn read(&self, win: u64, off: usize, out: &mut [u8]) -> Result<Duration, TransportError> {
+        let mut p = Vec::with_capacity(24);
+        proto::put_u64(&mut p, win);
+        proto::put_u64(&mut p, off as u64);
+        proto::put_u64(&mut p, out.len() as u64);
+        let (k, payload, rtt) = self.rpc(ROLE_D2H, Kind::Read, &p, &[])?;
+        self.expect(k, Kind::ReadData)?;
+        if payload.len() != out.len() {
+            return Err(self.poison(&format!(
+                "D2H length mismatch: asked {}, got {}",
+                out.len(),
+                payload.len()
+            )));
+        }
+        out.copy_from_slice(&payload);
+        Ok(rtt)
+    }
+
+    fn exec(&self, req: &ExecRequest<'_>) -> Result<ExecReply, TransportError> {
+        let bufs: Vec<ExecBuf> = req.bufs.to_vec();
+        let p = proto::encode_exec(req.name, req.args, req.width, &bufs);
+        let (k, payload, _) = self.rpc(ROLE_EXEC, Kind::Exec, &p, &[])?;
+        self.expect(k, Kind::ExecAck)?;
+        let mut c = proto::Cursor::new(&payload);
+        let status = c
+            .get_u8()
+            .ok_or_else(|| TransportError::Protocol("short ExecAck".into()))?;
+        match status {
+            0 => Ok(ExecReply::Done),
+            1 => Ok(ExecReply::UnknownFn),
+            _ => Ok(ExecReply::Failed(
+                String::from_utf8_lossy(c.rest()).into_owned(),
+            )),
+        }
+    }
+
+    fn ping(&self) -> Result<Duration, TransportError> {
+        let (k, _, rtt) = self.rpc(ROLE_CTRL, Kind::Ping, &[], &[])?;
+        self.expect(k, Kind::Pong)?;
+        Ok(rtt)
+    }
+
+    fn link_stats(&self) -> LinkStats {
+        LinkStats {
+            tx_bytes: self.tx_bytes.load(Ordering::Relaxed),
+            rx_bytes: self.rx_bytes.load(Ordering::Relaxed),
+            reqs: self.reqs.load(Ordering::Relaxed),
+            rtt_ns: self.rtt_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Connect with a retry budget: spawning the worker and connecting to it
+/// race, and losing that race must not fail init.
+fn connect_stream(endpoint: &Endpoint) -> std::io::Result<Stream> {
+    let deadline = Instant::now() + CONNECT_BUDGET;
+    loop {
+        let r = match endpoint {
+            Endpoint::Uds(path) => UnixStream::connect(path).map(Stream::Uds),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Stream::Tcp),
+        };
+        match r {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                let retryable = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::NotFound
+                        | std::io::ErrorKind::ConnectionRefused
+                        | std::io::ErrorKind::AddrNotAvailable
+                );
+                if !retryable || Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}

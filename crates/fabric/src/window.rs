@@ -25,6 +25,14 @@ pub struct WindowId {
     pub(crate) id: u64,
 }
 
+impl WindowId {
+    /// The node-local raw id — what identifies this window on the wire to
+    /// a remote worker (ids are meaningless across nodes).
+    pub fn raw(self) -> u64 {
+        self.id
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct ActiveRange {
     start: usize,

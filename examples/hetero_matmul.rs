@@ -25,6 +25,34 @@ fn main() {
         r.max_err.expect("verified")
     );
 
+    // --- real mode, card 1 out-of-process: same bits over a real wire ---
+    if hs_apps::remote::worker_bin().is_some() {
+        let mut lhs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 1), ExecMode::Threads);
+        let mut rcfg = MatmulConfig::new(24, 6);
+        rcfg.streams_per_card = 2;
+        rcfg.streams_host = 2;
+        rcfg.verify = true;
+        let local = run(&mut lhs, &rcfg).expect("local matmul");
+        let w = hs_apps::remote::WorkerProc::spawn().expect("spawn hs-worker");
+        let mut rhs = HStreams::init_remote(
+            PlatformCfg::hetero(Device::Hsw, 1),
+            ExecMode::Threads,
+            &[(1, w.endpoint())],
+        )
+        .expect("connect to hs-worker");
+        let remote = run(&mut rhs, &rcfg).expect("remote matmul");
+        assert_eq!(
+            local.checksum, remote.checksum,
+            "remote run must be bit-identical to the in-process run"
+        );
+        println!(
+            "remote mode, n=24 with card 1 as an hs-worker process: checksum {:016x}, bit-identical to local",
+            remote.checksum.expect("verified")
+        );
+    } else {
+        println!("remote mode skipped: hs-worker binary not found (build with `cargo build --bin hs-worker`)");
+    }
+
     // --- sim mode: paper-scale performance ---
     for (label, host, balance, platform) in [
         (
