@@ -10,10 +10,44 @@
 //!   hs-worker --tcp 127.0.0.1:7070
 
 use hs_coi::FnRegistry;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!("usage: hs-worker --uds PATH | --tcp ADDR");
     std::process::exit(2);
+}
+
+/// SIGTERM → graceful shutdown: the handler flips the server's shutdown
+/// flag (one atomic store — async-signal-safe), and a supervisor thread
+/// waits for in-flight requests to finish and their replies to flush
+/// before exiting 0. A host mid-RPC sees its ack and a clean close, not a
+/// dropped connection — SIGTERM must never masquerade as a card loss.
+fn install_sigterm() {
+    extern "C" fn on_sigterm(_sig: i32) {
+        hs_coi::request_shutdown();
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SAFETY: signal(2) with a handler that only performs an atomic store,
+    // which is async-signal-safe; SIGTERM (15) is not otherwise handled.
+    unsafe {
+        signal(15, on_sigterm);
+    }
+    std::thread::Builder::new()
+        .name("hs-worker-term".to_string())
+        .spawn(|| loop {
+            if hs_coi::shutdown_requested() {
+                while hs_coi::inflight_requests() > 0 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                // One more beat so the last reply's bytes reach the wire.
+                std::thread::sleep(Duration::from_millis(20));
+                std::process::exit(0);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        })
+        .expect("spawn sigterm supervisor");
 }
 
 fn main() {
@@ -23,6 +57,7 @@ fn main() {
         _ => usage(),
     };
 
+    install_sigterm();
     let registry = std::sync::Arc::new(FnRegistry::new());
     for (name, f) in hs_apps::kernels::kernel_table() {
         registry.register(name, f);

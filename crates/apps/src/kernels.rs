@@ -225,6 +225,20 @@ fn whole_getrf(ctx: &mut TaskCtx) {
 /// dataflow runtime).
 fn tile_touch(_ctx: &mut TaskCtx) {}
 
+/// `sleep_ms`: sleeps for the little-endian `u32` milliseconds in its
+/// args. A deterministic long-running kernel for the shutdown and
+/// robustness tests (an Exec that is reliably in flight when a signal or
+/// fault lands).
+fn sleep_ms(ctx: &mut TaskCtx) {
+    let ms = ctx
+        .args()
+        .get(..4)
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_le_bytes)
+        .unwrap_or(0);
+    std::thread::sleep(std::time::Duration::from_millis(ms as u64));
+}
+
 /// The full kernel table (name → function).
 pub fn kernel_table() -> Vec<(&'static str, TaskFn)> {
     vec![
@@ -240,6 +254,7 @@ pub fn kernel_table() -> Vec<(&'static str, TaskFn)> {
         ("tile_gemm_sub", Arc::new(tile_gemm_sub) as TaskFn),
         ("whole_getrf", Arc::new(whole_getrf) as TaskFn),
         ("tile_touch", Arc::new(tile_touch) as TaskFn),
+        ("sleep_ms", Arc::new(sleep_ms) as TaskFn),
     ]
 }
 

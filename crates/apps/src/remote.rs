@@ -107,6 +107,30 @@ impl WorkerProc {
         let _ = self.child.wait();
     }
 
+    /// SIGTERM the worker — the graceful path: it finishes in-flight
+    /// requests, acks them, closes cleanly and exits 0 (contrast
+    /// [`WorkerProc::kill9`]).
+    pub fn sigterm(&self) {
+        let _ = Command::new("kill")
+            .arg("-TERM")
+            .arg(self.child.id().to_string())
+            .status();
+    }
+
+    /// Wait (bounded) for the worker to exit; `None` on timeout.
+    pub fn wait_exit(&mut self, timeout: Duration) -> Option<std::process::ExitStatus> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Ok(Some(st)) = self.child.try_wait() {
+                return Some(st);
+            }
+            if Instant::now() > deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
     /// Is the worker still running?
     pub fn alive(&mut self) -> bool {
         matches!(self.child.try_wait(), Ok(None))

@@ -76,4 +76,31 @@ fn pipelines_obey_the_documented_lock_order() {
         matmul::run(&mut hs, &cfg).expect("matmul runs");
     }
     assert_ordered("matmul/sim");
+
+    // Matmul, thread executor, durability on: every enqueue appends under
+    // the recovery lock (recovery → wal), wait entries flush the wal alone,
+    // and the checkpoint nests it under the compaction machinery — the wal
+    // class must slot into the total order, not just exist.
+    let root = std::env::temp_dir().join(format!("hs-lockorder-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut cfg = MatmulConfig::new(24, 6);
+    cfg.streams_per_card = 2;
+    cfg.streams_host = 2;
+    cfg.verify = true;
+    lockorder::enable();
+    {
+        let mut hs = HStreams::init(PlatformCfg::hetero(Device::Hsw, 2), ExecMode::Threads);
+        hs.durability(&root).expect("durability on");
+        let r = matmul::run(&mut hs, &cfg).expect("matmul runs");
+        assert!(r.max_err.expect("verified") < 1e-10);
+        hs.wal_checkpoint();
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    assert!(
+        lockorder::edges()
+            .iter()
+            .any(|&(_, a, _)| a == LockClass::Wal),
+        "durable run never acquired the wal class — is the append path wired?"
+    );
+    assert_ordered("matmul/threads+wal");
 }

@@ -8,6 +8,8 @@
 //! contention evidence next to the rate: `frontend.stream_lock.contended`,
 //! `id_rmw_per_action` (global id-allocation RMWs amortized over actions —
 //! 1.0 before per-thread id blocks, ~1/32 after), and `deps.redundant`.
+//! The `wal_on` row repeats the single-thread drive with durable logging
+//! enabled and gates the append overhead (<10% on full-length runs).
 //!
 //! Env knobs:
 //! * `HS_BENCH_SMOKE=1` shrinks the run for CI;
@@ -142,8 +144,12 @@ fn measure(
     actions_per_thread: usize,
     ordering: OrderingMode,
     batched: bool,
+    wal_root: Option<&std::path::Path>,
 ) -> (f64, Evidence) {
     let hs = runtime(ordering);
+    if let Some(root) = wal_root {
+        hs.durability(root).expect("durability on");
+    }
     let lanes: Vec<Vec<Lane>> = (0..threads)
         .map(|_| make_lanes(&hs, STREAMS_PER_THREAD))
         .collect();
@@ -310,7 +316,7 @@ fn main() {
                 if smoke && t > 2 {
                     continue;
                 }
-                let (rate, ev) = measure(t, actions / t.min(4), ordering, batched);
+                let (rate, ev) = measure(t, actions / t.min(4), ordering, batched, None);
                 if t == 1 {
                     base = rate;
                     if ordering == OrderingMode::OutOfOrder && !batched {
@@ -380,6 +386,61 @@ fn main() {
              {gap:.2}x — the ooo dependence-analysis path has regressed"
         );
     }
+    // Durable append overhead: the same single-thread id_block/ooo drive
+    // with the WAL on — every enqueue appends its record, every sync
+    // flushes to the page cache. ROADMAP acceptance: <10% off the
+    // in-memory rate (relative within this run, so no committed artifact
+    // is needed). Measured as *interleaved pairs*, taking the minimum
+    // per-pair overhead: shared small hosts jitter ±15% run to run, so any
+    // single comparison is noise-dominated — but a structural regression
+    // slows every durable run, so it survives the minimum, while a noise
+    // burst that lands on one pair does not. The first durable run also
+    // pays one-time costs (segment creation, allocator warmup) that later
+    // runs don't, which the minimum likewise discounts.
+    let wal_root = std::env::temp_dir().join(format!("hs-bench-wal-{}", std::process::id()));
+    let mut wal_rate = f64::MIN;
+    let mut wal_base = f64::MIN;
+    let mut overhead = f64::MAX;
+    let mut wal_ev = None;
+    for _ in 0..3 {
+        let (b, _) = measure(1, actions, OrderingMode::OutOfOrder, false, None);
+        let _ = std::fs::remove_dir_all(&wal_root);
+        let (w, ev) = measure(1, actions, OrderingMode::OutOfOrder, false, Some(&wal_root));
+        let _ = std::fs::remove_dir_all(&wal_root);
+        overhead = overhead.min(b / w - 1.0);
+        wal_base = wal_base.max(b);
+        if w > wal_rate {
+            wal_rate = w;
+            wal_ev = Some(ev);
+        }
+    }
+    let wal_ev = wal_ev.expect("three durable pairs ran");
+    table.row(vec![
+        "1".to_string(),
+        "wal_on".to_string(),
+        "ooo".to_string(),
+        f(wal_rate),
+        format!("{:.2}x", wal_rate / wal_base),
+        format!("{:.4}", wal_ev.id_rmw_per_action),
+        format!("{:.0}", wal_ev.lock_contended),
+    ]);
+    records.push(
+        JsonRecord::new("wal_on", actions, 0.0)
+            .with_name("wal_on")
+            .with_source_threads(1)
+            .with_ordering("ooo")
+            .with_config("wal_on")
+            .with_metrics(vec![
+                ("actions_per_sec".to_string(), wal_rate),
+                ("overhead_frac".to_string(), overhead),
+                ("host_cores".to_string(), cores as f64),
+            ]),
+    );
+    println!(
+        "wal append overhead: {:.1}% off the in-memory rate (min of 3 pairs)",
+        overhead * 100.0
+    );
+
     let baseline = pre_pr_baseline();
     if baseline > 0.0 {
         records.push(
@@ -409,6 +470,23 @@ fn main() {
             single,
             rate_2t,
             single_ev.as_ref().expect("1-thread measurement ran"),
+        );
+    }
+    if check || !smoke {
+        // Full-length runs (run_benches.sh) and explicit check runs both
+        // enforce the durable-append budget.
+        let cap = if smoke { 0.30 } else { 0.10 };
+        println!(
+            "wal overhead gate: {:.1}% (cap {:.0}%)",
+            overhead * 100.0,
+            cap * 100.0
+        );
+        assert!(
+            overhead <= cap,
+            "durable WAL append costs {:.1}% of single-thread enqueue throughput in \
+             every measured pair (cap {:.0}%): best {wal_rate:.0} vs {wal_base:.0} actions/sec",
+            overhead * 100.0,
+            cap * 100.0
         );
     }
     if check {

@@ -83,6 +83,139 @@ impl FailureCause {
             FailureCause::Poisoned { .. } => "poisoned",
         }
     }
+
+    /// Wire serialization: tag byte, then length-prefixed fields, recursing
+    /// through poison chains. Stable across runs — durable logs and the
+    /// worker protocol persist failure causes in this form.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        match self {
+            FailureCause::Exec(m) => {
+                out.push(0);
+                put_str(out, m);
+            }
+            FailureCause::Malformed(m) => {
+                out.push(1);
+                put_str(out, m);
+            }
+            FailureCause::Injected { site, transient } => {
+                out.push(2);
+                put_str(out, site);
+                out.push(*transient as u8);
+            }
+            FailureCause::Timeout { deadline_ns } => {
+                out.push(3);
+                out.extend_from_slice(&deadline_ns.to_le_bytes());
+            }
+            FailureCause::CardLost { card } => {
+                out.push(4);
+                out.extend_from_slice(&card.to_le_bytes());
+            }
+            FailureCause::SinkPanic(m) => {
+                out.push(5);
+                put_str(out, m);
+            }
+            FailureCause::Poisoned { origin } => {
+                out.push(6);
+                origin.encode(out);
+            }
+        }
+    }
+
+    /// Encoded form as a fresh vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Inverse of [`FailureCause::encode`]. `None` on truncated or corrupt
+    /// input (including trailing garbage and absurd poison depth).
+    pub fn decode(bytes: &[u8]) -> Option<FailureCause> {
+        let (cause, used) = Self::decode_at(bytes, 0)?;
+        if used != bytes.len() {
+            return None;
+        }
+        Some(cause)
+    }
+
+    fn decode_at(b: &[u8], depth: u32) -> Option<(FailureCause, usize)> {
+        if depth > 64 {
+            return None;
+        }
+        fn get_str(b: &[u8]) -> Option<(String, usize)> {
+            if b.len() < 4 {
+                return None;
+            }
+            let len = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+            if b.len() < 4 + len {
+                return None;
+            }
+            let s = std::str::from_utf8(&b[4..4 + len]).ok()?;
+            Some((s.to_string(), 4 + len))
+        }
+        let tag = *b.first()?;
+        let rest = &b[1..];
+        Some(match tag {
+            0 => {
+                let (m, n) = get_str(rest)?;
+                (FailureCause::Exec(m), 1 + n)
+            }
+            1 => {
+                let (m, n) = get_str(rest)?;
+                (FailureCause::Malformed(m), 1 + n)
+            }
+            2 => {
+                let (site, n) = get_str(rest)?;
+                let t = *rest.get(n)?;
+                if t > 1 {
+                    return None;
+                }
+                (
+                    FailureCause::Injected {
+                        site,
+                        transient: t == 1,
+                    },
+                    1 + n + 1,
+                )
+            }
+            3 => {
+                let v: [u8; 8] = rest.get(..8)?.try_into().ok()?;
+                (
+                    FailureCause::Timeout {
+                        deadline_ns: u64::from_le_bytes(v),
+                    },
+                    9,
+                )
+            }
+            4 => {
+                let v: [u8; 4] = rest.get(..4)?.try_into().ok()?;
+                (
+                    FailureCause::CardLost {
+                        card: u32::from_le_bytes(v),
+                    },
+                    5,
+                )
+            }
+            5 => {
+                let (m, n) = get_str(rest)?;
+                (FailureCause::SinkPanic(m), 1 + n)
+            }
+            6 => {
+                let (origin, n) = Self::decode_at(rest, depth + 1)?;
+                (
+                    FailureCause::Poisoned {
+                        origin: Arc::new(origin),
+                    },
+                    1 + n,
+                )
+            }
+            _ => return None,
+        })
+    }
 }
 
 impl std::fmt::Display for FailureCause {
@@ -182,6 +315,13 @@ pub enum FaultKind {
     /// Kill the card the op targets: the op fails with
     /// [`FailureCause::CardLost`] and every later op on that card fails too.
     CardDead,
+    /// Tear the durable action log: the write lands but its tail is chopped
+    /// mid-record, as a crash mid-`write(2)` would leave it. Only
+    /// meaningful on [`FaultSite::Wal`]; degrades to `Fatal` elsewhere.
+    Torn,
+    /// Fail the durable-log I/O outright (disk full, EIO). Only meaningful
+    /// on [`FaultSite::Wal`]; degrades to `Fatal` elsewhere.
+    Io,
 }
 
 /// Where a trigger fires. Ordinals (`nth`) are 1-based and counted per
@@ -200,6 +340,8 @@ pub enum FaultSite {
     /// The `nth` chaos-visible op (DMA or compute) touching `card` —
     /// the natural site for card-dead-after-T triggers.
     CardOp { card: u32, nth: u64 },
+    /// The `nth` durable-log flush, counted on the (serialized) WAL lock.
+    Wal { nth: u64 },
 }
 
 impl std::fmt::Display for FaultSite {
@@ -211,6 +353,7 @@ impl std::fmt::Display for FaultSite {
             },
             FaultSite::Compute { stream, nth } => write!(f, "compute(stream={stream})#{nth}"),
             FaultSite::CardOp { card, nth } => write!(f, "cardop(card={card})#{nth}"),
+            FaultSite::Wal { nth } => write!(f, "wal#{nth}"),
         }
     }
 }
@@ -304,6 +447,15 @@ pub enum Injection {
     Panic(String),
 }
 
+/// What an armed WAL trigger asks the durable-log writer to do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WalFault {
+    /// Chop the tail of the just-flushed segment mid-record.
+    Torn,
+    /// Fail the flush with an I/O error.
+    Io,
+}
+
 #[derive(Default)]
 struct State {
     plan: Option<FaultPlan>,
@@ -311,6 +463,7 @@ struct State {
     dma_ord: HashMap<(u32, bool), u64>,
     stream_ord: HashMap<u32, u64>,
     card_ord: HashMap<u32, u64>,
+    wal_ord: u64,
     dead: BTreeSet<u32>,
     log: Vec<String>,
 }
@@ -359,6 +512,7 @@ impl ChaosHub {
         st.dma_ord.clear();
         st.stream_ord.clear();
         st.card_ord.clear();
+        st.wal_ord = 0;
         st.dead.clear();
         st.log.clear();
         self.inner.armed.store(true, Ordering::Release);
@@ -436,6 +590,51 @@ impl ChaosHub {
         self.inner.state.lock().dead.iter().copied().collect()
     }
 
+    /// Bring `card` back from the dead (a restarted worker was re-admitted).
+    /// Returns true if the card was dead before.
+    pub fn revive_card(&self, card: u32) -> bool {
+        let mut st = self.inner.state.lock();
+        let was_dead = st.dead.remove(&card);
+        if was_dead {
+            st.log.push(format!("card {card} revived"));
+        }
+        was_dead
+    }
+
+    /// Consult the plan for the next durable-log flush. Must be called
+    /// under the WAL lock so the ordinal is deterministic.
+    pub fn check_wal(&self) -> Option<WalFault> {
+        if !self.is_armed() {
+            return None;
+        }
+        let mut st = self.inner.state.lock();
+        st.wal_ord += 1;
+        let n = st.wal_ord;
+        let plan = st.plan.as_ref()?.clone();
+        for (i, trig) in plan.triggers.iter().enumerate() {
+            if st.fired[i] {
+                continue;
+            }
+            if matches!(trig.site, FaultSite::Wal { nth } if nth == n) {
+                st.fired[i] = true;
+                let fault = match trig.kind {
+                    FaultKind::Torn => WalFault::Torn,
+                    _ => WalFault::Io,
+                };
+                st.log.push(format!(
+                    "{}@wal#{n}",
+                    if fault == WalFault::Torn {
+                        "torn"
+                    } else {
+                        "io"
+                    }
+                ));
+                return Some(fault);
+            }
+        }
+        None
+    }
+
     /// Append a free-form note to the injection log (degradation events,
     /// replay summaries).
     pub fn note(&self, msg: impl Into<String>) {
@@ -473,7 +672,7 @@ impl ChaosHub {
                     nth,
                 } => *tc == card && th.is_none_or(|x| x == h2d) && *nth == d,
                 FaultSite::CardOp { card: tc, nth } => *tc == card && *nth == c,
-                FaultSite::Compute { .. } => false,
+                FaultSite::Compute { .. } | FaultSite::Wal { .. } => false,
             };
             if hit {
                 st.fired[i] = true;
@@ -531,7 +730,7 @@ impl ChaosHub {
             let hit = match &trig.site {
                 FaultSite::Compute { stream: ts, nth } => *ts == stream && *nth == s,
                 FaultSite::CardOp { card: tc, nth } => card != 0 && *tc == card && *nth == c,
-                FaultSite::Dma { .. } => false,
+                FaultSite::Dma { .. } | FaultSite::Wal { .. } => false,
             };
             if hit {
                 st.fired[i] = true;
@@ -555,18 +754,20 @@ impl ChaosHub {
 
     fn fire(st: &mut State, site: &str, kind: FaultKind, card: u32) -> Injection {
         match kind {
+            // WAL-only kinds landing on a DMA/compute site degrade to a
+            // fatal injected fault — there is no log tail to tear here.
+            FaultKind::Torn | FaultKind::Io | FaultKind::Fatal => {
+                st.log.push(format!("fatal@{site}"));
+                Injection::Fail(FailureCause::Injected {
+                    site: site.to_string(),
+                    transient: false,
+                })
+            }
             FaultKind::Transient => {
                 st.log.push(format!("transient@{site}"));
                 Injection::Fail(FailureCause::Injected {
                     site: site.to_string(),
                     transient: true,
-                })
-            }
-            FaultKind::Fatal => {
-                st.log.push(format!("fatal@{site}"));
-                Injection::Fail(FailureCause::Injected {
-                    site: site.to_string(),
-                    transient: false,
                 })
             }
             FaultKind::SinkPanic => {
@@ -733,6 +934,87 @@ mod tests {
         assert_eq!(a, hub.jitter01(17));
         assert_ne!(a, hub.jitter01(18));
         assert!((0.0..1.0).contains(&a));
+    }
+
+    #[test]
+    fn failure_cause_wire_round_trip() {
+        let cases = vec![
+            FailureCause::Exec("shutdown".into()),
+            FailureCause::Malformed("bad stream 7".into()),
+            FailureCause::Injected {
+                site: "dma(card=1,h2d=true)#2".into(),
+                transient: true,
+            },
+            FailureCause::Timeout {
+                deadline_ns: 1_234_567,
+            },
+            FailureCause::CardLost { card: 3 },
+            FailureCause::SinkPanic("boom — unicode ✓".into()),
+            FailureCause::poisoned_by(FailureCause::poisoned_by(FailureCause::CardLost {
+                card: 9,
+            })),
+        ];
+        for c in cases {
+            let bytes = c.to_bytes();
+            assert_eq!(FailureCause::decode(&bytes), Some(c.clone()), "{c}");
+            // Any strict prefix is truncated input: decode must refuse.
+            for cut in 0..bytes.len() {
+                assert_eq!(FailureCause::decode(&bytes[..cut]), None, "prefix {cut}");
+            }
+            // Trailing garbage refused too.
+            let mut long = bytes.clone();
+            long.push(0);
+            assert_eq!(FailureCause::decode(&long), None);
+        }
+        assert_eq!(FailureCause::decode(&[99]), None, "unknown tag");
+    }
+
+    #[test]
+    fn wal_trigger_fires_at_nth_flush_with_requested_kind() {
+        let hub = ChaosHub::new();
+        hub.arm(
+            FaultPlan::new(5)
+                .with_trigger(FaultSite::Wal { nth: 2 }, FaultKind::Torn)
+                .with_trigger(FaultSite::Wal { nth: 4 }, FaultKind::Io),
+        );
+        assert_eq!(hub.check_wal(), None);
+        assert_eq!(hub.check_wal(), Some(WalFault::Torn));
+        assert_eq!(hub.check_wal(), None);
+        assert_eq!(hub.check_wal(), Some(WalFault::Io));
+        assert_eq!(hub.check_wal(), None, "triggers fire once");
+        // WAL sites never perturb DMA/compute ordinals.
+        assert_eq!(hub.check_dma(1, true), None);
+        assert_eq!(hub.check_compute(0, 0), None);
+        let log = hub.injected_log();
+        assert!(log.contains(&"torn@wal#2".to_string()), "{log:?}");
+        assert!(log.contains(&"io@wal#4".to_string()), "{log:?}");
+    }
+
+    #[test]
+    fn torn_kind_on_compute_site_degrades_to_fatal() {
+        let hub = ChaosHub::new();
+        hub.arm(
+            FaultPlan::new(1)
+                .with_trigger(FaultSite::Compute { stream: 0, nth: 1 }, FaultKind::Torn),
+        );
+        match hub.check_compute(0, 0) {
+            Some(Injection::Fail(FailureCause::Injected { transient, .. })) => {
+                assert!(!transient)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn revive_card_clears_dead_state() {
+        let hub = ChaosHub::new();
+        hub.arm(FaultPlan::new(1));
+        assert!(!hub.revive_card(2), "not dead yet");
+        hub.mark_card_dead(2);
+        assert!(hub.is_card_dead(2));
+        assert!(hub.revive_card(2));
+        assert!(!hub.is_card_dead(2));
+        assert_eq!(hub.check_dma(2, true), None, "ops flow again");
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub use event::{CoiEvent, CompletionLog, EventStatus};
 pub use pipeline::{execute_on, Pipeline, PipelineHandle, RunCtx};
 pub use pool::{BufferPool, PoolStats, PooledWindow};
 pub use registry::{FnRegistry, RunFunction};
-pub use server::{serve_tcp, serve_uds, WorkerState};
+pub use server::{
+    inflight_requests, request_shutdown, serve_tcp, serve_uds, shutdown_requested, WorkerState,
+};
 pub use workgroup::{worker_spawn_count, Workgroup};
 
 use hs_chaos::ChaosHub;
@@ -197,6 +199,13 @@ impl CoiRuntime {
     /// Pool statistics for an engine (used by the §III overheads bench).
     pub fn pool_stats(&self, engine: EngineId) -> PoolStats {
         self.pools[engine.0 as usize].stats()
+    }
+
+    /// Drop an engine's free-listed pool windows. Called when the engine's
+    /// worker process restarted: its window allocations are gone, so the
+    /// free lists hold phantoms (see [`BufferPool::purge`]).
+    pub fn pool_purge(&self, engine: EngineId) {
+        self.pools[engine.0 as usize].purge(&self.fabric);
     }
 
     /// Synchronous DMA between windows (callers place it on their own

@@ -96,6 +96,19 @@ impl BufferPool {
         }
     }
 
+    /// Drop every free-listed window, unregistering each from the fabric.
+    /// For a remote engine whose worker process restarted: the worker-side
+    /// allocations died with the process, so reusing a free-listed id
+    /// would hand out a window the new worker has never heard of.
+    pub fn purge(&self, fabric: &Fabric) {
+        let mut free = self.free.lock();
+        for (_, ids) in free.drain() {
+            for id in ids {
+                fabric.unregister(id);
+            }
+        }
+    }
+
     pub fn stats(&self) -> PoolStats {
         *self.stats.lock()
     }

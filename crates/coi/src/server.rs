@@ -27,7 +27,48 @@ use std::net::{SocketAddr, TcpListener};
 use std::ops::Range;
 use std::os::unix::net::UnixListener;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Cooperative shutdown: a signal handler (or test) flips the flag with
+/// [`request_shutdown`]; every connection finishes the request it is
+/// serving, sends its reply, and closes cleanly. [`inflight_requests`]
+/// lets a supervisor wait for the drain before exiting the process —
+/// that ordering is what makes a SIGTERM look like a clean close instead
+/// of a mid-RPC disconnect (a spurious `CardLost`) to the host.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static INFLIGHT: AtomicUsize = AtomicUsize::new(0);
+
+/// Ask every serving connection to wind down after its current request.
+/// Async-signal-safe: a single atomic store.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Has a shutdown been requested?
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests currently being served (received but not yet replied to).
+pub fn inflight_requests() -> usize {
+    INFLIGHT.load(Ordering::SeqCst)
+}
+
+struct InflightGuard;
+
+impl InflightGuard {
+    fn enter() -> InflightGuard {
+        INFLIGHT.fetch_add(1, Ordering::SeqCst);
+        InflightGuard
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        INFLIGHT.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// Shared state of one worker process: its window table, its function
 /// registry, and a cache of expansion pools keyed by requested width.
@@ -200,6 +241,10 @@ pub fn serve_conn<S: Read + Write>(state: &Arc<WorkerState>, mut s: S) -> std::i
             Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
         };
+        // A received request is served to completion — reply included —
+        // even when a shutdown lands mid-flight; the wind-down check at
+        // the bottom of the loop runs only after the reply is on the wire.
+        let _inflight = InflightGuard::enter();
         let mut c = proto::Cursor::new(&payload);
         match kind {
             Kind::Hello => {
@@ -285,6 +330,11 @@ pub fn serve_conn<S: Read + Write>(state: &Arc<WorkerState>, mut s: S) -> std::i
                     format!("unexpected request frame {other:?}"),
                 ));
             }
+        }
+        if shutdown_requested() {
+            // The reply above is already written; closing here is a clean
+            // end of session, not a dropped RPC.
+            return Ok(());
         }
     }
 }

@@ -153,6 +153,12 @@ impl BufferTable {
         self.bufs.values_mut()
     }
 
+    /// Read-only walk over every buffer record (WAL checkpoints snapshot
+    /// host bytes at quiesce).
+    pub fn iter(&self) -> impl Iterator<Item = &BufferRec> {
+        self.bufs.values()
+    }
+
     pub fn len(&self) -> usize {
         self.bufs.len()
     }

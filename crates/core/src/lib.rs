@@ -66,6 +66,7 @@ pub mod app;
 pub mod buffer;
 pub mod cpumask;
 pub mod deps;
+mod durable;
 /// Segmented event table. Private in normal builds; public under
 /// `--cfg loom` so the model suite (`tests/loom_frontend.rs`) can drive
 /// the publish/compact protocol directly.
@@ -84,6 +85,7 @@ pub mod types;
 
 pub use buffer::{BufProps, Instantiation, MemType};
 pub use cpumask::CpuMask;
+pub use durable::RecoveryReport;
 pub use record::{ActionRecord, ActionTrace, TraceOp};
 pub use stats::ApiStats;
 pub use stream::ActionKind;
@@ -116,7 +118,7 @@ use lockorder::LockClass;
 use stats::ShardedU64;
 use std::ops::Range;
 use stream::{DepList, StreamState};
-use sync::{Arc, AtomicU64, Mutex, Once, Ordering, RwLock};
+use sync::{Arc, AtomicBool, AtomicU64, Mutex, Once, OnceLock, Ordering, RwLock};
 
 /// Per-action execution options for the `*_opts` enqueue variants.
 #[derive(Clone, Copy, Debug, Default)]
@@ -335,9 +337,17 @@ pub(crate) struct Inner {
     /// channel. Disarmed (one relaxed atomic load per site) until
     /// [`HStreams::chaos_install`].
     chaos: ChaosHub,
-    /// Replayable record of enqueued actions, kept only while a fault plan
-    /// is armed; card-loss degradation replays the affected subset.
-    recovery: Mutex<Vec<LoggedAction>>,
+    /// Replayable record of enqueued actions, kept while a fault plan is
+    /// armed (card-loss degradation replays the affected subset) and/or
+    /// durability is on ([`durable::WalLog`] mirrors every entry to disk).
+    recovery: Mutex<Box<dyn durable::ActionLog>>,
+    /// Durable logging enabled? Checked (one relaxed load) on every
+    /// enqueue; set once by [`HStreams::durability`] *after* the WAL sink
+    /// is swapped in, so an enqueue that observes `true` always finds the
+    /// [`durable::WalLog`] behind the `recovery` lock.
+    durable: AtomicBool,
+    /// The shared WAL writer, installed at most once per runtime.
+    wal: OnceLock<Arc<durable::WalShared>>,
     /// Cards already degraded (each card degrades at most once).
     degraded: Mutex<Vec<u32>>,
     /// Degradation generation: bumped once per completed degradation. Wait
@@ -459,7 +469,11 @@ impl HStreams {
                 recording: crate::sync::AtomicBool::new(false),
                 obs,
                 chaos,
-                recovery: Mutex::new(Vec::new()),
+                recovery: Mutex::new(
+                    Box::new(durable::MemLog::default()) as Box<dyn durable::ActionLog>
+                ),
+                durable: AtomicBool::new(false),
+                wal: OnceLock::new(),
                 degraded: Mutex::new(Vec::new()),
                 degrade_gen: AtomicU64::new(0),
                 compact_due: AtomicU64::new(COMPACT_BLOCKS),
@@ -485,6 +499,13 @@ impl HStreams {
     /// Stop injecting faults (already-dead cards stay dead).
     pub fn chaos_disarm(&self) {
         self.inner.chaos.disarm();
+    }
+
+    /// Should enqueues land in the recovery log? While a fault plan is
+    /// armed (card-loss replay needs the entries) or durability is on (the
+    /// WAL mirrors them to disk).
+    fn log_actions(&self) -> bool {
+        self.inner.chaos.is_armed() || self.inner.durable.load(Ordering::Relaxed)
     }
 
     /// The fault-injection hub (for inspecting the injected-fault log).
@@ -967,7 +988,7 @@ impl HStreams {
             let _world = self.inner.world.read();
             let (spec, footprint) =
                 self.build_compute_spec(s, func, args.clone(), operands, cost)?;
-            let logged = self.inner.chaos.is_armed().then(|| LoggedOp::Compute {
+            let logged = self.log_actions().then(|| LoggedOp::Compute {
                 func: func.to_string(),
                 args,
                 operands: operands.to_vec(),
@@ -1099,7 +1120,7 @@ impl HStreams {
             self.inner
                 .stats
                 .note_transfer(range.len() as u64, from == to);
-            let logged = self.inner.chaos.is_armed().then_some(LoggedOp::Xfer {
+            let logged = self.log_actions().then_some(LoggedOp::Xfer {
                 buf,
                 range,
                 from,
@@ -1222,7 +1243,7 @@ impl HStreams {
                     return Err(HsError::UnknownEvent(*e));
                 }
             }
-            let logged = self.inner.chaos.is_armed().then_some(LoggedOp::Sync);
+            let logged = self.log_actions().then_some(LoggedOp::Sync);
             self.enqueue_common(
                 s,
                 ActionSpec::Noop,
@@ -1246,7 +1267,7 @@ impl HStreams {
         let ev = {
             let _lo_world = lockorder::acquiring(LockClass::World);
             let _world = self.inner.world.read();
-            let logged = self.inner.chaos.is_armed().then_some(LoggedOp::Sync);
+            let logged = self.log_actions().then_some(LoggedOp::Sync);
             self.enqueue_common(
                 s,
                 ActionSpec::Noop,
@@ -1297,7 +1318,7 @@ impl HStreams {
             // ids are the exception: they are checked against the table in
             // phase 2, where the batch's own reservations are visible — see
             // `enqueue_batch_common`.)
-            let armed = inner.chaos.is_armed();
+            let armed = self.log_actions();
             let mut built: Vec<BuiltAction> = Vec::with_capacity(actions.len());
             for a in actions {
                 match a {
@@ -1940,15 +1961,17 @@ impl HStreams {
             }
             Some(inner.exec.failure_of(be).is_none())
         });
-        if inner.chaos.is_armed() {
-            // A recovery entry is dead weight once its action completed
-            // successfully AND all its writes landed in host domains: host
-            // memory survives card loss, and the replay closure only pulls
-            // in producers whose results lived on the lost card. Failed or
-            // pending actions always stay.
+        if self.log_actions() {
+            // An in-memory recovery entry is dead weight once its action
+            // completed successfully AND all its writes landed in host
+            // domains: host memory survives card loss, and the replay
+            // closure only pulls in producers whose results lived on the
+            // lost card. Failed or pending actions always stay. This prunes
+            // the in-memory mirror only — on-disk WAL records are pruned
+            // solely by watermark retirement at a checkpoint.
             let _lo = lockorder::acquiring(LockClass::Recovery);
             let mut log = inner.recovery.lock();
-            log.retain(|la| {
+            log.retain(&mut |la: &LoggedAction| {
                 let done_ok = match inner.events.view_id(la.ev) {
                     EventView::Retired(_) => true,
                     EventView::Live(be, _) => inner.exec.completed_ok(&be),
@@ -1956,6 +1979,390 @@ impl HStreams {
                 };
                 !(done_ok && la.wrote.iter().all(|d| *d == 0))
             });
+        }
+        // Durable runs: buffered appends reach the page cache on the same
+        // cadence, and a fully-quiescent table is the chance to checkpoint
+        // buffer state and retire WAL segments below the watermark.
+        self.wal_flush();
+        self.wal_maybe_checkpoint(false);
+    }
+
+    // ----------------------------------------------------------- durability
+
+    /// The shared WAL writer, when durability is on.
+    fn wal(&self) -> Option<&Arc<durable::WalShared>> {
+        if !self.inner.durable.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner.wal.get()
+    }
+
+    /// Push buffered WAL appends to the kernel page cache. Runs at every
+    /// wait entry: everything an application could have observed complete
+    /// is on disk before the wait returns. Drains the sink's staged frames
+    /// into the writer first (Recovery → Wal, the documented order), then
+    /// flushes. No-op when durability is off.
+    fn wal_flush(&self) {
+        if let Some(wal) = self.wal() {
+            with_class(LockClass::Recovery, || self.inner.recovery.lock().drain());
+            wal.flush();
+        }
+    }
+
+    /// At a quiesce point — every reserved event retired — snapshot all
+    /// buffer instantiations into a checkpoint blob and retire WAL segments
+    /// below the watermark. `force` skips the appended-bytes throttle (test
+    /// hook); the quiesce requirement always holds, since a snapshot taken
+    /// against in-flight writers would tear.
+    fn wal_maybe_checkpoint(&self, force: bool) {
+        let Some(wal) = self.wal() else { return };
+        if !force && !wal.wants_checkpoint() {
+            return;
+        }
+        let table = self.inner.events.stats();
+        if table.live != 0 || table.watermark != table.reserved {
+            return;
+        }
+        let bufs = self.wal_snapshot_buffers();
+        wal.checkpoint(table.watermark, &bufs);
+    }
+
+    /// Gather every buffer instantiation's bytes for a checkpoint. Card
+    /// windows are included, not just host ones: post-checkpoint actions
+    /// may read card-resident data produced before it, and the checkpoint
+    /// replaces the retired log records that produced that data. Called at
+    /// a quiesce point (no in-flight action holds any window range).
+    fn wal_snapshot_buffers(&self) -> Vec<(u64, u32, Vec<u8>)> {
+        let mut out = Vec::new();
+        match &self.inner.exec {
+            Executor::Thread(t) => {
+                let _lo = lockorder::acquiring(LockClass::Buffers);
+                let buffers = self.inner.buffers.read();
+                for rec in buffers.iter() {
+                    for (domain, inst) in &rec.inst {
+                        let Instantiation::Window(w) = inst else {
+                            continue;
+                        };
+                        let Some(mem) = t.coi().fabric().window(w.id()) else {
+                            continue;
+                        };
+                        let Ok(g) = mem.lock_range(0..rec.len, false) else {
+                            continue;
+                        };
+                        out.push((rec.id.0, domain.0 as u32, g.as_slice().to_vec()));
+                    }
+                }
+            }
+            Executor::Sim(_) => {
+                // Sim mode: bytes only exist in the host shadow map.
+                let _lo = lockorder::acquiring(LockClass::SimShadow);
+                for (buf, bytes) in self.inner.sim_shadow.lock().iter() {
+                    out.push((buf.0, 0, bytes.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Write a checkpoint's buffer bytes back into the live instantiations
+    /// (thread mode) or the host shadow map (sim mode). Mismatches — a
+    /// buffer or instantiation the restarted application did not recreate —
+    /// are noted and skipped, never fatal.
+    fn wal_overlay_checkpoint(&self, bufs: &[(u64, u32, Vec<u8>)]) {
+        for (id, domain, bytes) in bufs {
+            let buf = BufferId(*id);
+            let dom = DomainId(*domain as usize);
+            match &self.inner.exec {
+                Executor::Thread(t) => {
+                    let _lo = lockorder::acquiring(LockClass::Buffers);
+                    let buffers = self.inner.buffers.read();
+                    let mem = buffers
+                        .get(buf)
+                        .ok()
+                        .filter(|rec| rec.len == bytes.len())
+                        .and_then(|rec| rec.window(dom).ok())
+                        .and_then(|w| t.coi().fabric().window(w.id()));
+                    let ok = match &mem {
+                        Some(mem) => match mem.lock_range(0..bytes.len(), true) {
+                            Ok(mut g) => {
+                                g.as_mut_slice().copy_from_slice(bytes);
+                                true
+                            }
+                            Err(_) => false,
+                        },
+                        None => false,
+                    };
+                    if !ok {
+                        self.inner.chaos.note(format!(
+                            "recover: checkpoint overlay skipped buf {id} domain {domain} \
+                             (not recreated or size mismatch)"
+                        ));
+                    }
+                }
+                Executor::Sim(_) => {
+                    if dom.is_host() {
+                        with_class(LockClass::SimShadow, || {
+                            self.inner.sim_shadow.lock().insert(buf, bytes.clone())
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enable durable action logging into a fresh run directory under
+    /// `root`. Must be called before any action is enqueued; from then on
+    /// every enqueue appends a checksummed record to a per-stream WAL
+    /// partition, wait entries flush to the page cache (surviving `kill
+    /// -9`), and compaction checkpoints + truncates at quiesce points.
+    /// Returns the new run id. A broken WAL (disk error) downgrades to
+    /// in-memory logging with a note on the chaos log — it never fails an
+    /// enqueue after this call succeeds.
+    pub fn durability(&self, root: impl AsRef<std::path::Path>) -> HsResult<u64> {
+        let run_id = durable::fresh_run_id();
+        self.enable_durability(root.as_ref(), run_id)?;
+        Ok(run_id)
+    }
+
+    fn enable_durability(&self, root: &std::path::Path, run_id: u64) -> HsResult<()> {
+        if self.inner.events.len() != 0 {
+            return Err(HsError::InvalidArg(
+                "durability must be enabled before any action is enqueued".into(),
+            ));
+        }
+        let dir = root.join(durable::run_dir_name(run_id));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| HsError::ExecFailed(format!("wal: creating {}: {e}", dir.display())))?;
+        let wal = hs_wal::Wal::create(&dir, run_id, hs_wal::WalOptions::default())
+            .map_err(|e| HsError::ExecFailed(format!("wal: opening {}: {e}", dir.display())))?;
+        let shared = Arc::new(durable::WalShared::new(
+            wal,
+            self.inner.chaos.clone(),
+            self.inner.obs.clone(),
+        ));
+        self.inner
+            .wal
+            .set(shared.clone())
+            .map_err(|_| HsError::InvalidArg("durability already enabled".into()))?;
+        // Swap the sink in *before* releasing the flag: an enqueue that
+        // observes `durable == true` then takes the Recovery lock and must
+        // find the WalLog there.
+        with_class(LockClass::Recovery, || {
+            *self.inner.recovery.lock() = Box::new(durable::WalLog::new(shared));
+        });
+        self.inner.durable.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Force a WAL flush and, if the runtime is quiescent, a checkpoint +
+    /// segment retirement — the same work `compact_now` performs on its
+    /// amortized cadence, without the appended-bytes throttle. No-op when
+    /// durability is off. Compacts first: the quiesce requirement
+    /// (`watermark == reserved`) only holds once per-thread id blocks are
+    /// drained and the retirement watermark sweeps forward.
+    pub fn wal_checkpoint(&self) {
+        self.compact_now();
+        self.wal_maybe_checkpoint(true);
+    }
+
+    /// WAL statistics (None when durability is off).
+    pub fn wal_stats(&self) -> Option<hs_wal::WalStats> {
+        self.wal().map(|w| w.stats())
+    }
+
+    /// Recover a crashed durable run from `root`: scan the oldest run
+    /// directory's segments (tolerating torn tails), overlay its checkpoint
+    /// blob, and re-enqueue every un-retired action through the normal
+    /// paths — re-logged into a fresh run directory, so recovery itself is
+    /// crash-safe (an interrupted recovery leaves the source run intact and
+    /// a partial newer generation that the next recovery deletes).
+    ///
+    /// Call on a freshly initialized runtime after recreating the same
+    /// kernels, streams and buffers the crashed run had (ids are assigned
+    /// in creation order, so "the same init code" suffices). `buffer_write`
+    /// is *not* logged — the restarted process re-applies its initial
+    /// buffer contents as part of that init, except for state a checkpoint
+    /// overlay restores. Afterwards the runtime is live and durable;
+    /// `stream_synchronize`/`event_wait` the replayed work as usual.
+    pub fn recover(&self, root: impl AsRef<std::path::Path>) -> HsResult<durable::RecoveryReport> {
+        let root = root.as_ref();
+        if self.inner.events.len() != 0 {
+            return Err(HsError::InvalidArg(
+                "recover requires a fresh runtime (no actions enqueued)".into(),
+            ));
+        }
+        let runs = durable::list_runs(root).map_err(|e| {
+            HsError::ExecFailed(format!("recover: listing {}: {e}", root.display()))
+        })?;
+        let Some((src_id, src_dir)) = runs.first().cloned() else {
+            return Err(HsError::InvalidArg(format!(
+                "recover: no run directories under {}",
+                root.display()
+            )));
+        };
+        // Newer runs are partial re-logs from an interrupted recovery; the
+        // oldest run is the authoritative one.
+        for (_, dir) in &runs[1..] {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        let scanned = hs_wal::recover_dir(&src_dir).map_err(|e| {
+            HsError::ExecFailed(format!("recover: scanning {}: {e}", src_dir.display()))
+        })?;
+        let ckpt = hs_wal::read_blob(&src_dir.join("checkpoint.blob"))
+            .map_err(|e| HsError::ExecFailed(format!("recover: checkpoint: {e}")))?
+            .and_then(|b| durable::decode_checkpoint(&b));
+        let mut report = durable::RecoveryReport {
+            run_id: src_id,
+            torn: scanned.torn,
+            checkpoint_watermark: ckpt.as_ref().map(|(wm, _)| *wm),
+            ..Default::default()
+        };
+        let wm = ckpt.as_ref().map_or(0, |(wm, _)| *wm);
+        // Split the scan into meta records (prior failure history) and
+        // replayable actions above the checkpoint watermark.
+        let mut actions: Vec<LoggedAction> = Vec::new();
+        for r in scanned.records {
+            if r.partition == hs_wal::META_PARTITION {
+                if let Some(cause) = FailureCause::decode(&r.payload) {
+                    report.prior_failures.push(cause);
+                }
+                continue;
+            }
+            if r.ev < wm {
+                report.checkpointed += 1;
+                continue;
+            }
+            match durable::decode_action(r.ev, StreamId(r.partition), &r.payload) {
+                Some(la) => actions.push(la),
+                None => {
+                    report.skipped += 1;
+                    self.inner.chaos.note(format!(
+                        "recover: undecodable record ev {} on stream {}",
+                        r.ev, r.partition
+                    ));
+                }
+            }
+        }
+        report.records = actions.len() as u32;
+        // Re-log into a fresh generation, strictly newer than the source.
+        let new_id = durable::fresh_run_id().max(src_id + 1);
+        self.enable_durability(root, new_id)?;
+        if let Some((_, bufs)) = &ckpt {
+            self.wal_overlay_checkpoint(bufs);
+        }
+        self.replay_recovered(actions, &mut report);
+        self.wal_flush();
+        // The new generation now carries everything; drop the source run.
+        let _ = std::fs::remove_dir_all(&src_dir);
+        Ok(report)
+    }
+
+    /// Re-enqueue recovered actions. Per-partition WAL order is per-stream
+    /// enqueue order, so each stream replays as a FIFO queue; streams
+    /// round-robin so cross-stream `Sync` dependences can resolve. Compute
+    /// and transfer actions re-derive their intra-stream dependences from
+    /// operands at enqueue; only `Sync` actions carry explicit (old-id)
+    /// dependences, which are mapped to the replayed events — a dependence
+    /// absent from the recovered set was complete before the crash and is
+    /// dropped.
+    fn replay_recovered(&self, actions: Vec<LoggedAction>, report: &mut durable::RecoveryReport) {
+        use std::collections::{HashMap, HashSet, VecDeque};
+        let retained: HashSet<u64> = actions.iter().map(|la| la.ev).collect();
+        let mut queues: std::collections::BTreeMap<u32, VecDeque<LoggedAction>> =
+            std::collections::BTreeMap::new();
+        for la in actions {
+            queues.entry(la.stream.0).or_default().push_back(la);
+        }
+        let mut mapped: HashMap<u64, Event> = HashMap::new();
+        let mut resolved: HashSet<u64> = HashSet::new();
+        let mut force = false;
+        loop {
+            if queues.values().all(|q| q.is_empty()) {
+                break;
+            }
+            let mut progress = false;
+            for q in queues.values_mut() {
+                while let Some(front) = q.front() {
+                    let ready = force
+                        || match &front.op {
+                            LoggedOp::Sync => front
+                                .deps
+                                .iter()
+                                .all(|d| !retained.contains(d) || resolved.contains(d)),
+                            _ => true,
+                        };
+                    if !ready {
+                        break;
+                    }
+                    let la = q.pop_front().expect("front just observed");
+                    let opts = ActionOpts {
+                        deadline: None,
+                        retry: Some(la.retry),
+                    };
+                    let res = match la.op {
+                        LoggedOp::Compute {
+                            func,
+                            args,
+                            operands,
+                            cost,
+                        } => self
+                            .enqueue_compute_opts(la.stream, &func, args, &operands, cost, opts)
+                            .map(Some),
+                        LoggedOp::Xfer {
+                            buf,
+                            range,
+                            from,
+                            to,
+                        } => self
+                            .enqueue_xfer_opts(la.stream, buf, range, from, to, opts)
+                            .map(Some),
+                        LoggedOp::Sync => {
+                            let deps: Vec<Event> = la
+                                .deps
+                                .iter()
+                                .filter_map(|d| mapped.get(d).copied())
+                                .collect();
+                            if deps.is_empty() {
+                                // Every awaited event predates the recovered
+                                // set: the wait is satisfied by construction.
+                                Ok(None)
+                            } else {
+                                self.enqueue_event_wait(la.stream, &deps).map(Some)
+                            }
+                        }
+                    };
+                    resolved.insert(la.ev);
+                    match res {
+                        Ok(ev) => {
+                            if let Some(ev) = ev {
+                                mapped.insert(la.ev, ev);
+                            }
+                            report.replayed += 1;
+                        }
+                        Err(e) => {
+                            report.skipped += 1;
+                            self.inner
+                                .chaos
+                                .note(format!("recover: replay of ev {} failed: {e}", la.ev));
+                        }
+                    }
+                    progress = true;
+                }
+            }
+            // A full round without progress means a dependence cycle through
+            // records the log cannot express (or deps on skipped records):
+            // force the fronts through with whatever dependences resolved.
+            if !progress {
+                if force {
+                    break;
+                }
+                force = true;
+                self.inner
+                    .chaos
+                    .note("recover: forcing stuck replay fronts".to_string());
+            } else {
+                force = false;
+            }
         }
     }
 
@@ -2003,12 +2410,14 @@ impl HStreams {
     /// Wait for one event.
     pub fn event_wait(&self, ev: Event) -> HsResult<()> {
         self.inner.stats.bump("event_wait");
+        self.wal_flush();
         self.wait_event_recovering(ev)
     }
 
     /// Wait for all events.
     pub fn event_wait_all(&self, evs: &[Event]) -> HsResult<()> {
         self.inner.stats.bump("event_wait_all");
+        self.wal_flush();
         self.wait_events_recovering(evs)
     }
 
@@ -2019,6 +2428,7 @@ impl HStreams {
     /// time").
     pub fn event_wait_any(&self, evs: &[Event]) -> HsResult<usize> {
         self.inner.stats.bump("event_wait_any");
+        self.wal_flush();
         if evs.is_empty() {
             return Err(HsError::InvalidArg("wait_any on empty set".into()));
         }
@@ -2156,6 +2566,66 @@ impl HStreams {
             "degraded: card {card} lost, {remapped} streams remapped, \
              {dropped} buffers dropped, {replayed} actions replayed"
         ));
+        // Durable runs record the degradation on the meta partition so a
+        // restarted process learns the prior failure history.
+        if let Some(wal) = self.wal() {
+            wal.append_meta(&FailureCause::CardLost { card });
+        }
+        self.wal_flush();
+        Ok(())
+    }
+
+    /// Re-admit a restarted worker process as fabric card `card`. The
+    /// inverse of the degradation path: reconnects the card's
+    /// [`hs_fabric::RemoteDomain`] to the (possibly new) `endpoint` with
+    /// exponential backoff, verifies liveness with a ping, revives the card
+    /// on the chaos hub, and clears it from the degraded set.
+    ///
+    /// Scope: *new* work. Streams that were remapped to the host during
+    /// degradation stay on the host (their actions already replayed there),
+    /// and the card's buffer instantiations were dropped with its memory —
+    /// re-instantiate buffers and create fresh streams on the domain after
+    /// readmission. The restarted worker starts empty; there is nothing on
+    /// it to reuse.
+    pub fn readmit_remote(&self, card: u32, endpoint: &Endpoint) -> HsResult<()> {
+        use hs_fabric::Transport as _;
+        let inner = &*self.inner;
+        let Executor::Thread(t) = &inner.exec else {
+            return Err(HsError::ExecFailed(
+                "readmit_remote requires a thread-backed exec mode".to_string(),
+            ));
+        };
+        if card == 0 || (card as usize) >= inner.platform.domains.len() {
+            return Err(HsError::UnknownDomain(DomainId(card as usize)));
+        }
+        // Exclusive frontend: no enqueue may race the flip from dead to
+        // live, or it could observe a half-revived card.
+        let _lo_world = lockorder::acquiring(LockClass::World);
+        let _world = inner.world.write();
+        let fabric = t.coi().fabric();
+        let transport = fabric.transport(hs_fabric::NodeId(card as u16));
+        let Some(remote) = transport.as_remote() else {
+            return Err(HsError::InvalidArg(format!(
+                "domain {card} is not a remote domain"
+            )));
+        };
+        remote
+            .reconnect(endpoint, &RetryPolicy::standard(6))
+            .map_err(|e| HsError::ExecFailed(format!("readmit card {card}: {e}")))?;
+        remote
+            .ping()
+            .map_err(|e| HsError::ExecFailed(format!("readmit card {card}: ping: {e}")))?;
+        // The old worker's window allocations died with it; free-listed
+        // pool windows for this engine are phantoms the empty replacement
+        // has never heard of.
+        t.coi().pool_purge(EngineId(card as u16));
+        inner.chaos.revive_card(card);
+        with_class(LockClass::Degraded, || {
+            inner.degraded.lock().retain(|c| *c != card)
+        });
+        inner
+            .chaos
+            .note(format!("readmitted: card {card} at {endpoint}"));
         Ok(())
     }
 
@@ -2170,7 +2640,7 @@ impl HStreams {
         // Snapshot under a short lock; the rest of the replay touches
         // streams/buffers and must respect the lock order.
         let log: Vec<LoggedAction> =
-            with_class(LockClass::Recovery, || inner.recovery.lock().clone());
+            with_class(LockClass::Recovery, || inner.recovery.lock().snapshot());
         let by_ev: std::collections::HashMap<u64, usize> =
             log.iter().enumerate().map(|(i, la)| (la.ev, i)).collect();
         let n = log.len();
@@ -2278,6 +2748,7 @@ impl HStreams {
     /// enqueued by *other threads* while this wait runs are waited on too.
     pub fn stream_synchronize(&self, s: StreamId) -> HsResult<()> {
         self.inner.stats.bump("stream_synchronize");
+        self.wal_flush();
         let st_arc = self.stream_arc(s)?;
         let mut last = None;
         loop {
@@ -2401,6 +2872,16 @@ impl HStreams {
             "frontend.recovery.entries".into(),
             with_class(LockClass::Recovery, || self.inner.recovery.lock().len()) as f64,
         );
+        if let Some(ws) = self.wal_stats() {
+            snap.extra
+                .insert("wal.appended_bytes".into(), ws.appended_bytes as f64);
+            snap.extra.insert("wal.records".into(), ws.records as f64);
+            snap.extra.insert("wal.segments".into(), ws.segments as f64);
+            snap.extra.insert("wal.flushes".into(), ws.flushes as f64);
+            snap.extra.insert("wal.fsync_us".into(), ws.fsync_us as f64);
+            snap.extra
+                .insert("wal.retired_segments".into(), ws.retired_segments as f64);
+        }
         if let Executor::Thread(t) = &self.inner.exec {
             let fabric = t.coi().fabric();
             let wall = self.inner.exec.now_secs();

@@ -41,30 +41,36 @@ pub enum LockClass {
     Recorder = 4,
     /// The replay log (`Inner::recovery`).
     Recovery = 5,
+    /// The durable WAL writer (`durable::WalShared`). Appends happen while
+    /// the `Recovery` lock is held (the log entry and its on-disk record
+    /// must land atomically w.r.t. other enqueuers), so `Wal` ranks just
+    /// inside `Recovery`; flushes at wait entries take `Wal` alone.
+    Wal = 6,
     /// The degraded-cards list (`Inner::degraded`).
-    Degraded = 6,
+    Degraded = 7,
     /// Sim-mode host shadow map (`Inner::sim_shadow`).
-    SimShadow = 7,
+    SimShadow = 8,
     /// The single-compactor guard (`EventTable::compactor`).
-    Compactor = 8,
+    Compactor = 9,
     /// The per-table id-block registry (`events::Shared::blocks`): the list
     /// of per-thread id-block cells a drain sweeps before compaction.
-    IdBlocks = 9,
+    IdBlocks = 10,
     /// A per-slot event-table mutex (`Slot::be`).
-    EventSlot = 10,
+    EventSlot = 11,
     /// The serialized virtual-time executor (`Executor::Sim`).
-    SimExec = 11,
+    SimExec = 12,
 }
 
 impl LockClass {
     /// Every class, in rank order.
-    pub const ALL: [LockClass; 12] = [
+    pub const ALL: [LockClass; 13] = [
         LockClass::World,
         LockClass::Streams,
         LockClass::Stream,
         LockClass::Buffers,
         LockClass::Recorder,
         LockClass::Recovery,
+        LockClass::Wal,
         LockClass::Degraded,
         LockClass::SimShadow,
         LockClass::Compactor,
@@ -87,6 +93,7 @@ impl LockClass {
             LockClass::Buffers => "buffers",
             LockClass::Recorder => "recorder",
             LockClass::Recovery => "recovery",
+            LockClass::Wal => "wal",
             LockClass::Degraded => "degraded",
             LockClass::SimShadow => "sim_shadow",
             LockClass::Compactor => "compactor",

@@ -19,7 +19,7 @@
 use crate::proto::{self, ExecBuf, Kind};
 use crate::transport::{Endpoint, ExecReply, ExecRequest, LinkStats, Transport, TransportError};
 use crate::window::WindowMem;
-use hs_chaos::ChaosHub;
+use hs_chaos::{ChaosHub, RetryPolicy};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -85,8 +85,7 @@ impl Write for Stream {
 /// Host-side handle to a worker-process card. See module docs.
 pub struct RemoteDomain {
     card: u32,
-    kind: &'static str,
-    endpoint: Endpoint,
+    endpoint: Mutex<Endpoint>,
     chaos: ChaosHub,
     chans: [Mutex<Stream>; N_CHANNELS],
     dead: AtomicBool,
@@ -105,43 +104,10 @@ impl RemoteDomain {
         card: u32,
         chaos: ChaosHub,
     ) -> std::io::Result<RemoteDomain> {
-        let mut chans = Vec::with_capacity(N_CHANNELS);
-        for role in 0..N_CHANNELS {
-            let mut s = connect_stream(endpoint)?;
-            s.set_read_timeout(READ_TIMEOUT)?;
-            let mut hello = Vec::with_capacity(3);
-            hello.push(role as u8);
-            proto::put_u16(&mut hello, proto::VERSION);
-            proto::send_frame(&mut s, Kind::Hello, &hello)?;
-            let (kind, payload, _) = proto::recv_frame(&mut s)?;
-            if kind != Kind::HelloAck {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("expected HelloAck, got {kind:?}"),
-                ));
-            }
-            let ver = proto::Cursor::new(&payload).get_u16().unwrap_or(0);
-            if ver != proto::VERSION {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!(
-                        "protocol version mismatch: ours {}, worker {ver}",
-                        proto::VERSION
-                    ),
-                ));
-            }
-            chans.push(Mutex::new(s));
-        }
-        let chans: [Mutex<Stream>; N_CHANNELS] = chans
-            .try_into()
-            .unwrap_or_else(|_| unreachable!("exactly N_CHANNELS pushed"));
+        let chans = open_channels(endpoint)?.map(Mutex::new);
         Ok(RemoteDomain {
             card,
-            kind: match endpoint {
-                Endpoint::Uds(_) => "uds",
-                Endpoint::Tcp(_) => "tcp",
-            },
-            endpoint: endpoint.clone(),
+            endpoint: Mutex::new(endpoint.clone()),
             chaos,
             chans,
             dead: AtomicBool::new(false),
@@ -153,8 +119,47 @@ impl RemoteDomain {
     }
 
     /// The endpoint this domain is connected to.
-    pub fn endpoint(&self) -> &Endpoint {
-        &self.endpoint
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint.lock().clone()
+    }
+
+    /// Re-establish all four channels to a (re)started worker at
+    /// `endpoint`, retrying with `retry`'s exponential backoff schedule.
+    /// The existing connections — dead sockets after a worker crash — are
+    /// replaced wholesale, and only once every channel has completed its
+    /// `Hello` handshake does the domain come back to life (`is_dead()`
+    /// flips to false last, so concurrent ops fail fast rather than racing
+    /// a half-built pool). The caller owns reviving the card on the chaos
+    /// hub: this layer reports transport health, not scheduling policy.
+    pub fn reconnect(&self, endpoint: &Endpoint, retry: &RetryPolicy) -> std::io::Result<()> {
+        let attempts = retry.max_attempts.max(1);
+        let mut backoff_us = retry.base_backoff_us;
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_micros(backoff_us));
+                backoff_us = ((backoff_us as f64) * retry.multiplier) as u64;
+            }
+            match open_channels(endpoint) {
+                Ok(fresh) => {
+                    for (slot, s) in self.chans.iter().zip(fresh) {
+                        *slot.lock() = s;
+                    }
+                    *self.endpoint.lock() = endpoint.clone();
+                    self.dead.store(false, Ordering::Release);
+                    self.chaos.note(format!(
+                        "card {} reconnected to {endpoint} (attempt {})",
+                        self.card,
+                        attempt + 1
+                    ));
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "reconnect: no attempts")
+        }))
     }
 
     /// Has this domain been poisoned by a failed operation?
@@ -169,7 +174,8 @@ impl RemoteDomain {
             self.chaos.mark_card_dead(self.card);
             self.chaos.note(format!(
                 "card {} ({}) lost: {why}",
-                self.card, self.endpoint
+                self.card,
+                self.endpoint.lock()
             ));
         }
         TransportError::Closed(why.to_string())
@@ -236,11 +242,18 @@ impl RemoteDomain {
 
 impl Transport for RemoteDomain {
     fn kind(&self) -> &'static str {
-        self.kind
+        match &*self.endpoint.lock() {
+            Endpoint::Uds(_) => "uds",
+            Endpoint::Tcp(_) => "tcp",
+        }
     }
 
     fn is_remote(&self) -> bool {
         true
+    }
+
+    fn as_remote(&self) -> Option<&RemoteDomain> {
+        Some(self)
     }
 
     fn alloc(&self, win: u64, len: usize) -> Result<(), TransportError> {
@@ -343,6 +356,41 @@ impl Transport for RemoteDomain {
             rtt_ns: self.rtt_ns.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Open and handshake all four channels to `endpoint`. Fully succeeds or
+/// touches nothing the caller keeps.
+fn open_channels(endpoint: &Endpoint) -> std::io::Result<[Stream; N_CHANNELS]> {
+    let mut chans = Vec::with_capacity(N_CHANNELS);
+    for role in 0..N_CHANNELS {
+        let mut s = connect_stream(endpoint)?;
+        s.set_read_timeout(READ_TIMEOUT)?;
+        let mut hello = Vec::with_capacity(3);
+        hello.push(role as u8);
+        proto::put_u16(&mut hello, proto::VERSION);
+        proto::send_frame(&mut s, Kind::Hello, &hello)?;
+        let (kind, payload, _) = proto::recv_frame(&mut s)?;
+        if kind != Kind::HelloAck {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected HelloAck, got {kind:?}"),
+            ));
+        }
+        let ver = proto::Cursor::new(&payload).get_u16().unwrap_or(0);
+        if ver != proto::VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "protocol version mismatch: ours {}, worker {ver}",
+                    proto::VERSION
+                ),
+            ));
+        }
+        chans.push(s);
+    }
+    Ok(chans
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("exactly N_CHANNELS pushed")))
 }
 
 /// Connect with a retry budget: spawning the worker and connecting to it

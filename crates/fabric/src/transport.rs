@@ -121,6 +121,13 @@ pub trait Transport: Send + Sync {
     /// Does this node's memory live outside the process?
     fn is_remote(&self) -> bool;
 
+    /// Downcast to the worker-process transport, when this is one. The
+    /// readmission path (`HStreams::readmit_remote`) needs the concrete
+    /// type to drive a reconnect; everything else stays behind the trait.
+    fn as_remote(&self) -> Option<&crate::remote::RemoteDomain> {
+        None
+    }
+
     /// Register a window of `len` bytes under the (fabric-chosen) id.
     fn alloc(&self, win: u64, len: usize) -> Result<(), TransportError>;
 

@@ -238,6 +238,19 @@ impl ObsHub {
         g.peak = g.peak.max(g.current);
     }
 
+    /// Set a gauge to an absolute value, tracking its peak. For externally
+    /// accumulated quantities (e.g. WAL bytes on disk) where the source owns
+    /// the running total and the hub only mirrors it. No-op when disabled.
+    pub fn gauge_set(&self, key: &str, value: i64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut gauges = self.inner.gauges.lock();
+        let g = gauges.entry(key.to_string()).or_default();
+        g.current = value;
+        g.peak = g.peak.max(g.current);
+    }
+
     /// Bump a monotonic counter. No-op when disabled.
     pub fn counter_add(&self, key: &str, n: u64) {
         if !self.is_enabled() {
@@ -527,6 +540,24 @@ mod tests {
         hub.counter_add("n", 2);
         hub.counter_add("n", 3);
         assert_eq!(hub.metrics().counters["n"], 5);
+    }
+
+    #[test]
+    fn gauge_set_is_absolute_and_tracks_peak() {
+        let hub = ObsHub::new();
+        hub.enable(true);
+        hub.gauge_set("w", 10);
+        hub.gauge_set("w", 4);
+        assert_eq!(
+            hub.metrics().gauges["w"],
+            Gauge {
+                current: 4,
+                peak: 10
+            }
+        );
+        let off = ObsHub::new();
+        off.gauge_set("w", 9);
+        assert!(off.metrics().gauges.is_empty());
     }
 
     #[test]

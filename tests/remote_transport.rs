@@ -261,6 +261,125 @@ fn cholesky_recovers_from_literal_worker_kill9() {
     );
 }
 
+/// SIGTERM is the graceful path: a quiescent worker exits 0 promptly, and
+/// the host — which lost nothing — sees no degradation.
+#[test]
+fn sigterm_quiescent_worker_exits_clean_no_spurious_card_lost() {
+    let mut w = worker();
+    let hs = remote_rt(&w);
+    hs.chaos_install(FaultPlan::new(9)); // arm auto-degrade: it must NOT fire
+    let card = hs.domains()[1].id;
+    let s = hs.stream_create(card, CpuMask::first(1)).expect("stream");
+    let b = hs.buffer_create(4096, BufProps::labeled("sigterm"));
+    hs.buffer_instantiate(b, card).expect("instantiate");
+    hs.buffer_write_f64(b, 0, &[2.5; 512]).expect("write");
+    hs.xfer_to_sink(s, b, 0..4096).expect("h2d");
+    hs.stream_synchronize(s).expect("workload completes");
+
+    w.sigterm();
+    let st = w
+        .wait_exit(Duration::from_secs(5))
+        .expect("SIGTERM must exit the worker");
+    assert!(st.success(), "graceful shutdown exits 0, got {st:?}");
+    assert!(
+        hs.degraded_cards().is_empty(),
+        "a graceful shutdown must not degrade the card"
+    );
+}
+
+/// SIGTERM mid-Exec: the in-flight request completes, its ack crosses the
+/// wire, and only then does the worker exit — the caller sees `Done`, not
+/// a dropped connection, and the card is never marked lost.
+#[test]
+fn sigterm_mid_exec_completes_in_flight_work() {
+    use hs_fabric::transport::{ExecReply, ExecRequest, Transport};
+
+    let mut w = worker();
+    let chaos = hs_chaos::ChaosHub::default();
+    let t = hs_fabric::RemoteDomain::connect(&w.endpoint(), 1, chaos.clone()).expect("connect");
+    t.alloc(1, 64).expect("alloc");
+    let exec = std::thread::spawn(move || {
+        let args = 400u32.to_le_bytes();
+        t.exec(&ExecRequest {
+            name: "sleep_ms",
+            args: &args,
+            width: 1,
+            bufs: &[(1, 0, 64, true)],
+        })
+    });
+    // Let the Exec reach the worker, then signal while it is running.
+    std::thread::sleep(Duration::from_millis(100));
+    w.sigterm();
+    let reply = exec
+        .join()
+        .expect("exec thread")
+        .expect("in-flight Exec must be served, not dropped");
+    assert_eq!(reply, ExecReply::Done);
+    let st = w
+        .wait_exit(Duration::from_secs(5))
+        .expect("worker exits after the drain");
+    assert!(st.success(), "graceful shutdown exits 0, got {st:?}");
+    assert!(
+        chaos.dead_cards().is_empty(),
+        "SIGTERM must never masquerade as CardLost"
+    );
+}
+
+/// A killed worker's replacement is re-admitted: `readmit_remote`
+/// reconnects the domain to the fresh process (new socket, same card
+/// index), revives the card, clears the degraded set, and subsequent card
+/// work crosses the new wire bit-identically to an in-process run.
+#[test]
+fn restarted_worker_readmits_and_card_work_resumes() {
+    let reference = matmul::run(&mut local_rt(), &matmul_cfg())
+        .expect("local matmul")
+        .checksum
+        .expect("verified");
+
+    let mut w = worker();
+    let mut hs = remote_rt(&w);
+    // An (otherwise empty) plan arms the recovery log and auto-degrade.
+    hs.chaos_install(FaultPlan::new(5));
+    let card = hs.domains()[1].id;
+    let s = hs.stream_create(card, CpuMask::first(1)).expect("stream");
+    let b = hs.buffer_create(4096, BufProps::labeled("readmit"));
+    hs.buffer_instantiate(b, card).expect("instantiate");
+    hs.buffer_write_f64(b, 0, &[1.0; 512]).expect("write");
+    hs.xfer_to_sink(s, b, 0..4096).expect("h2d");
+    hs.stream_synchronize(s)
+        .expect("wire works before the kill");
+
+    w.kill9();
+    hs.xfer_to_sink(s, b, 0..4096).expect("enqueue accepted");
+    // The CardLost drives auto-degrade; the synchronize itself may succeed
+    // (the replay already landed the work on the host) or surface the loss.
+    let _ = hs.stream_synchronize(s);
+    assert_eq!(hs.degraded_cards(), vec![1], "auto-degrade ran");
+
+    // Replace the corpse with a fresh worker and re-admit it as card 1.
+    let mut w2 = worker();
+    hs.readmit_remote(1, &w2.endpoint()).expect("readmit");
+    assert!(
+        hs.degraded_cards().is_empty(),
+        "readmission clears the degraded set"
+    );
+
+    // New card work (fresh streams + instantiations — the restarted worker
+    // is empty) must run over the new wire and match the local bits.
+    let r = matmul::run(&mut hs, &matmul_cfg()).expect("matmul after readmit");
+    assert_eq!(
+        r.checksum.expect("verified"),
+        reference,
+        "post-readmit matmul must be bit-identical to the in-process run"
+    );
+    assert!(w2.alive(), "the replacement worker served the run");
+    let extra = hs.metrics().extra;
+    assert!(
+        extra.get("link.c1.reqs").copied().unwrap_or(0.0) > 0.0,
+        "the readmitted card's link carried traffic"
+    );
+}
+
 /// The simulated and literal kill paths compose: a plan that *injects*
 /// CardDead over the real wire behaves exactly like the in-process one.
 #[test]
