@@ -38,11 +38,23 @@ fn install_sigterm() {
         .name("hs-worker-term".to_string())
         .spawn(|| loop {
             if hs_coi::shutdown_requested() {
-                while hs_coi::inflight_requests() > 0 {
-                    std::thread::sleep(Duration::from_millis(2));
+                // Drain until a full grace beat passes with nothing in
+                // flight. The counter is incremented only after a request
+                // frame is fully received, so a request that slipped into
+                // the gap between `recv_frame` returning and its guard's
+                // increment can make the first check read 0 — re-checking
+                // after the sleep catches it instead of killing it mid-RPC
+                // (the sleep also lets the last reply's bytes reach the
+                // wire).
+                loop {
+                    while hs_coi::inflight_requests() > 0 {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                    if hs_coi::inflight_requests() == 0 {
+                        break;
+                    }
                 }
-                // One more beat so the last reply's bytes reach the wire.
-                std::thread::sleep(Duration::from_millis(20));
                 std::process::exit(0);
             }
             std::thread::sleep(Duration::from_millis(5));

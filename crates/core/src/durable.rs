@@ -592,6 +592,14 @@ impl WalShared {
         true
     }
 
+    /// Permanently break durability for this run (with the usual one-shot
+    /// note): for failures detected *outside* the writer, like a record
+    /// too large for the on-disk envelope.
+    pub(crate) fn poison(&self, why: &str) {
+        let (_lo, mut st) = self.lock();
+        Self::mark_broken(&mut st, &self.chaos, &self.obs, why);
+    }
+
     /// Append a metadata record (degradation cause) to the meta partition.
     /// Takes only `LockClass::Wal`; safe from the degradation path, which
     /// holds the world lock exclusively.
@@ -708,7 +716,13 @@ impl WalLog {
         self.scratch.clear();
         encode_action(la, &mut self.scratch);
         let stage = self.staged.entry(la.stream.0).or_default();
-        hs_wal::frame_record(la.ev, &self.scratch, &mut stage.buf);
+        if let Err(e) = hs_wal::frame_record(la.ev, &self.scratch, &mut stage.buf) {
+            // An action too large for the record envelope cannot be made
+            // durable; like a disk error, that loses durability for the
+            // run — never the enqueue itself.
+            self.wal.poison(&format!("ev {}: {e}", la.ev));
+            return;
+        }
         stage.records += 1;
         stage.max_ev = stage.max_ev.max(la.ev);
         if stage.buf.len() >= STAGE_DRAIN_BYTES {

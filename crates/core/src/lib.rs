@@ -2118,9 +2118,27 @@ impl HStreams {
     /// Returns the new run id. A broken WAL (disk error) downgrades to
     /// in-memory logging with a note on the chaos log — it never fails an
     /// enqueue after this call succeeds.
+    ///
+    /// `root` must hold no prior run directories: an existing run is a
+    /// crashed (or merely finished) generation that [`HStreams::recover`]
+    /// treats as authoritative — and `recover` deletes every *newer* run
+    /// as an interrupted-recovery leftover, so a fresh generation minted
+    /// here over an old root would be destroyed by the next recovery.
+    /// Recover the old run first, or point at a clean root.
     pub fn durability(&self, root: impl AsRef<std::path::Path>) -> HsResult<u64> {
+        let root = root.as_ref();
+        let runs = durable::list_runs(root)
+            .map_err(|e| HsError::ExecFailed(format!("wal: listing {}: {e}", root.display())))?;
+        if let Some((id, _)) = runs.first() {
+            return Err(HsError::InvalidArg(format!(
+                "durability: {} already holds run {:016x} — recover() it or use a fresh \
+                 root (recover treats the oldest run as authoritative and deletes newer ones)",
+                root.display(),
+                id
+            )));
+        }
         let run_id = durable::fresh_run_id();
-        self.enable_durability(root.as_ref(), run_id)?;
+        self.enable_durability(root, run_id)?;
         Ok(run_id)
     }
 
@@ -2200,8 +2218,9 @@ impl HStreams {
                 root.display()
             )));
         };
-        // Newer runs are partial re-logs from an interrupted recovery; the
-        // oldest run is the authoritative one.
+        // Newer runs are partial re-logs from an interrupted recovery —
+        // nothing else can mint a run over a non-empty root, because
+        // `durability()` refuses one. The oldest run is authoritative.
         for (_, dir) in &runs[1..] {
             let _ = std::fs::remove_dir_all(dir);
         }
@@ -2247,13 +2266,34 @@ impl HStreams {
         // Re-log into a fresh generation, strictly newer than the source.
         let new_id = durable::fresh_run_id().max(src_id + 1);
         self.enable_durability(root, new_id)?;
+        let mut ckpt_persisted = true;
         if let Some((_, bufs)) = &ckpt {
             self.wal_overlay_checkpoint(bufs);
+            // Persist the overlaid state into the new generation *now*:
+            // the source checkpoint is the only copy of the pre-watermark
+            // buffer state (its log records were retired), so until the
+            // new run carries it on disk, that state exists solely in
+            // memory — a second crash before the new generation's first
+            // throttled checkpoint would replay the tail against
+            // init-state buffers. Watermark 0: every re-logged record of
+            // the new generation is above it.
+            ckpt_persisted = self.wal().is_some_and(|w| w.checkpoint(0, bufs));
         }
         self.replay_recovered(actions, &mut report);
         self.wal_flush();
-        // The new generation now carries everything; drop the source run.
-        let _ = std::fs::remove_dir_all(&src_dir);
+        if ckpt_persisted {
+            // The new generation now carries everything; drop the source.
+            let _ = std::fs::remove_dir_all(&src_dir);
+        } else {
+            // Could not write the checkpoint into the new run (durability
+            // already noted as lost): keep the source run — it is still
+            // the only durable copy of the pre-watermark state, and a
+            // later recover() will pick it (the oldest) again.
+            self.inner.chaos.note(format!(
+                "recover: checkpoint not persisted into run {new_id:016x}; \
+                 keeping source run {src_id:016x}"
+            ));
+        }
         Ok(report)
     }
 
@@ -2768,6 +2808,10 @@ impl HStreams {
         with_class(LockClass::Stream, || {
             st_arc.lock().retire_now(|e| self.event_retired_ok(e))
         });
+        // The wait loop above also covers actions other threads enqueued
+        // *while it ran*; their records may postdate the entry flush, so
+        // flush again — nothing observed complete here returns unflushed.
+        self.wal_flush();
         Ok(())
     }
 

@@ -87,6 +87,18 @@ fn enqueue_rounds(
     }
 }
 
+/// Init *without* rewriting the input: buffer state must come entirely
+/// from the checkpoint overlay (plus replay) — used by the checkpoint
+/// recovery tests.
+fn init_no_input(hs: &HStreams) -> hstreams_core::BufferId {
+    let card = DomainId(1);
+    hs.stream_create(card, CpuMask::first(1)).expect("s0");
+    hs.stream_create(card, CpuMask::first(1)).expect("s1");
+    let buf = hs.buffer_create(N * 8, BufProps::labeled("data"));
+    hs.buffer_instantiate(buf, card).expect("instantiate");
+    buf
+}
+
 fn read_result(hs: &HStreams, buf: hstreams_core::BufferId) -> Vec<f64> {
     let mut out = vec![0.0; N];
     hs.buffer_read_f64(buf, 0, &mut out).expect("read");
@@ -181,11 +193,7 @@ fn checkpoint_truncates_and_recovery_overlays() {
     let hs = runtime(ExecMode::Threads);
     // Deliberately do NOT rewrite the input: the checkpoint overlay must
     // restore the first five rounds' state on its own.
-    let card = DomainId(1);
-    hs.stream_create(card, CpuMask::first(1)).expect("s0");
-    hs.stream_create(card, CpuMask::first(1)).expect("s1");
-    let buf = hs.buffer_create(N * 8, BufProps::labeled("data"));
-    hs.buffer_instantiate(buf, card).expect("instantiate");
+    let buf = init_no_input(&hs);
     let report = hs.recover(&root).expect("recover");
     assert!(
         report.checkpoint_watermark.is_some(),
@@ -292,6 +300,83 @@ fn double_crash_recovers_twice() {
     assert_eq!(report.replayed, report.records, "{report:?}");
     hs.thread_synchronize().expect("sync");
     assert_eq!(read_result(&hs, buf), reference);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A checkpoint whose state lives only in the blob (its log records were
+/// retired) must survive TWO crashes: the first recovery persists the
+/// overlaid checkpoint into its fresh generation *before* deleting the
+/// source run, so a second kill — landing before the new generation's own
+/// first throttled checkpoint — still finds the pre-watermark buffer
+/// state on disk instead of replaying the tail against init-state buffers.
+#[test]
+fn checkpoint_survives_double_crash() {
+    let root = tmp_root("ckpt-double");
+    let reference = fault_free(ExecMode::Threads, 8);
+    {
+        let hs = runtime(ExecMode::Threads);
+        hs.durability(&root).expect("durability on");
+        let (s0, s1, buf) = init_workload(&hs);
+        enqueue_rounds(&hs, s0, s1, buf, 5);
+        hs.thread_synchronize().expect("sync");
+        hs.wal_checkpoint();
+        enqueue_rounds(&hs, s0, s1, buf, 3);
+        hs.thread_synchronize().expect("sync 2");
+        // Crash 1: rounds 1–5 exist only in the checkpoint blob.
+    }
+    {
+        let hs = runtime(ExecMode::Threads);
+        init_no_input(&hs);
+        let report = hs.recover(&root).expect("first recover");
+        assert!(report.checkpoint_watermark.is_some(), "{report:?}");
+        assert_eq!(report.replayed, report.records, "{report:?}");
+        hs.thread_synchronize().expect("sync");
+        // Crash 2: the workload is too small for the new generation's
+        // throttled checkpoint to have fired on its own.
+    }
+    let hs = runtime(ExecMode::Threads);
+    let buf = init_no_input(&hs);
+    let report = hs.recover(&root).expect("second recover");
+    assert!(
+        report.checkpoint_watermark.is_some(),
+        "the first recovery must have persisted the checkpoint into its generation: {report:?}"
+    );
+    hs.thread_synchronize().expect("sync");
+    assert_eq!(
+        read_result(&hs, buf),
+        reference,
+        "double crash with a checkpoint must still be bit-identical"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A root with an existing run on it is `recover()`'s job: `durability()`
+/// refuses it rather than minting a newer generation the next recovery
+/// would delete as an interrupted-recovery leftover (destroying the
+/// genuine new run and replaying stale data).
+#[test]
+fn durability_refuses_root_with_existing_runs() {
+    let root = tmp_root("dirty");
+    {
+        let hs = runtime(ExecMode::Threads);
+        hs.durability(&root).expect("durability on");
+        let (s0, s1, buf) = init_workload(&hs);
+        enqueue_rounds(&hs, s0, s1, buf, 1);
+        hs.thread_synchronize().expect("sync");
+    }
+    let hs = runtime(ExecMode::Threads);
+    let err = hs
+        .durability(&root)
+        .expect_err("dirty root must be refused");
+    assert!(
+        format!("{err}").contains("recover"),
+        "error should point at recover(): {err}"
+    );
+    // recover() on that root still works — and leaves a root durability()
+    // keeps refusing while a run exists.
+    let (_s0, _s1, _buf) = init_workload(&hs);
+    hs.recover(&root).expect("recover instead");
+    hs.thread_synchronize().expect("sync");
     let _ = std::fs::remove_dir_all(&root);
 }
 

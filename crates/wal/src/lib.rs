@@ -103,16 +103,69 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
 }
 
+/// The framed body length (event id + payload) of a record, or
+/// `InvalidInput` when the payload would not fit the record envelope the
+/// reader enforces: [`recover_dir`] treats any length over [`MAX_RECORD`]
+/// as corruption and truncates the partition there, so accepting it at
+/// write time would silently discard the record *and every later record in
+/// its partition* on recovery. Writer and reader must agree.
+fn body_len(payload: &[u8]) -> io::Result<u32> {
+    match payload.len().checked_add(8) {
+        Some(len) if len <= MAX_RECORD as usize => Ok(len as u32),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "record payload of {} bytes exceeds MAX_RECORD ({MAX_RECORD})",
+                payload.len()
+            ),
+        )),
+    }
+}
+
 /// Frame one record — length, CRC, event id, payload — into `out`: the
 /// exact bytes [`Wal::append`] would write. Callers that stage batches use
 /// this to pay the checksum outside the writer lock, then hand the
-/// concatenated frames to [`Wal::append_framed`].
-pub fn frame_record(ev: u64, payload: &[u8], out: &mut Vec<u8>) {
-    put_u32(out, 8 + payload.len() as u32);
+/// concatenated frames to [`Wal::append_framed`]. An oversized payload
+/// (over the [`MAX_RECORD`] envelope the reader enforces) is rejected with
+/// `InvalidInput` and appends nothing.
+pub fn frame_record(ev: u64, payload: &[u8], out: &mut Vec<u8>) -> io::Result<()> {
+    let len = body_len(payload)?;
+    put_u32(out, len);
     let crc = crc32_update(crc32_update(0xFFFF_FFFF, &ev.to_le_bytes()), payload) ^ 0xFFFF_FFFF;
     put_u32(out, crc);
     put_u64(out, ev);
     out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Walk a pre-framed batch's length prefixes (no CRC work) and confirm it
+/// is exactly `records` frames, each within the record-size envelope.
+fn validate_frames(framed: &[u8], records: u64) -> io::Result<()> {
+    let bad = |why: String| io::Error::new(io::ErrorKind::InvalidInput, why);
+    let mut off = 0usize;
+    let mut seen = 0u64;
+    while off < framed.len() {
+        if framed.len() - off < RECORD_OVERHEAD {
+            return Err(bad(format!("truncated frame header at offset {off}")));
+        }
+        let len = get_u32(&framed[off..off + 4]);
+        if !(8..=MAX_RECORD).contains(&len) {
+            return Err(bad(format!(
+                "frame length {len} at offset {off} outside [8, {MAX_RECORD}]"
+            )));
+        }
+        if framed.len() - off - RECORD_OVERHEAD < len as usize {
+            return Err(bad(format!("truncated frame body at offset {off}")));
+        }
+        off += RECORD_OVERHEAD + len as usize;
+        seen += 1;
+    }
+    if seen != records {
+        return Err(bad(format!(
+            "batch holds {seen} frames, caller said {records}"
+        )));
+    }
+    Ok(())
 }
 
 fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
@@ -345,8 +398,11 @@ impl Wal {
     /// Buffered: the bytes reach the kernel only on rotation, buffer
     /// overflow, or [`Wal::flush`]. Returns the framed byte count (header
     /// plus payload) so callers can track unflushed volume without a
-    /// stats round-trip — this sits on the enqueue hot path.
+    /// stats round-trip — this sits on the enqueue hot path. A payload over
+    /// the [`MAX_RECORD`] envelope is `InvalidInput` (the reader would
+    /// truncate the partition at it), with nothing written.
     pub fn append(&mut self, partition: u32, ev: u64, payload: &[u8]) -> io::Result<u64> {
+        let len = body_len(payload)?;
         if !self.parts.contains_key(&partition) {
             let p = self.open_segment(partition, 0)?;
             self.parts.insert(partition, p);
@@ -360,7 +416,7 @@ impl Wal {
             self.rotate(partition)?;
         }
         let mut frame = [0u8; RECORD_OVERHEAD + 8];
-        frame[0..4].copy_from_slice(&(8 + payload.len() as u32).to_le_bytes());
+        frame[0..4].copy_from_slice(&len.to_le_bytes());
         let crc = crc32_update(crc32_update(0xFFFF_FFFF, &ev.to_le_bytes()), payload) ^ 0xFFFF_FFFF;
         frame[4..8].copy_from_slice(&crc.to_le_bytes());
         frame[8..16].copy_from_slice(&ev.to_le_bytes());
@@ -382,7 +438,12 @@ impl Wal {
     /// and `max_ev` describe the batch for segment metadata. The batch
     /// lands in a single segment (records never straddle segments); like
     /// single appends, a segment may overshoot `segment_bytes` by one
-    /// batch before rotating. Returns the byte count written.
+    /// batch before rotating. Returns the byte count written. The batch's
+    /// frame structure is validated first (`records` frames, each length
+    /// within the [`MAX_RECORD`] envelope): a malformed batch is
+    /// `InvalidInput` with nothing written, because the reader would stop
+    /// the partition at the first bad length and silently drop everything
+    /// after it.
     pub fn append_framed(
         &mut self,
         partition: u32,
@@ -393,6 +454,7 @@ impl Wal {
         if framed.is_empty() {
             return Ok(0);
         }
+        validate_frames(framed, records)?;
         if !self.parts.contains_key(&partition) {
             let p = self.open_segment(partition, 0)?;
             self.parts.insert(partition, p);
@@ -932,6 +994,51 @@ mod tests {
         wal.flush().unwrap();
         drop(wal);
         assert!(Wal::create(&dir, 2, WalOptions::default()).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_records_rejected_at_write_time() {
+        let dir = tmpdir("oversize");
+        let mut wal = Wal::create(&dir, 1, WalOptions::default()).unwrap();
+        // Writer and reader must agree on the envelope: a payload the
+        // reader would reject as corruption never reaches the file.
+        let big = vec![0u8; MAX_RECORD as usize - 7];
+        let err = wal.append(0, 1, &big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let mut framed = Vec::new();
+        assert!(frame_record(1, &big, &mut framed).is_err());
+        assert!(framed.is_empty(), "rejected frame leaves no bytes behind");
+        // The boundary itself is fine: body of exactly MAX_RECORD bytes.
+        let fits = vec![1u8; MAX_RECORD as usize - 8];
+        frame_record(2, &fits, &mut framed).unwrap();
+        wal.append(0, 2, &fits).unwrap();
+        wal.flush().unwrap();
+        let rec = recover_dir(&dir).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].payload.len(), fits.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_framed_rejects_malformed_batches() {
+        let dir = tmpdir("badbatch");
+        let mut wal = Wal::create(&dir, 1, WalOptions::default()).unwrap();
+        let mut good = Vec::new();
+        frame_record(1, b"ok", &mut good).unwrap();
+        wal.append_framed(0, &good, 1, 1).unwrap();
+        // Wrong record count.
+        assert!(wal.append_framed(0, &good, 2, 1).is_err());
+        // Truncated body.
+        assert!(wal.append_framed(0, &good[..good.len() - 1], 1, 1).is_err());
+        // Oversized length prefix: the reader would truncate the partition
+        // here, so the writer refuses it up front.
+        let mut bad = good.clone();
+        bad[0..4].copy_from_slice(&(MAX_RECORD + 1).to_le_bytes());
+        assert!(wal.append_framed(0, &bad, 1, 1).is_err());
+        wal.flush().unwrap();
+        let rec = recover_dir(&dir).unwrap();
+        assert_eq!(rec.records.len(), 1, "only the valid batch landed");
         let _ = fs::remove_dir_all(&dir);
     }
 
