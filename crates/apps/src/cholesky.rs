@@ -70,6 +70,9 @@ pub struct CholConfig {
     pub streams_host: usize,
     /// Real mode: factor a random SPD matrix and verify `L·Lᵀ = A`.
     pub verify: bool,
+    /// Tuned per-stream sink mask width (cores per stream); `None` keeps
+    /// the even partition of each domain's cores.
+    pub mask_width: Option<u32>,
 }
 
 impl CholConfig {
@@ -81,6 +84,7 @@ impl CholConfig {
             streams_per_card: 4,
             streams_host: 3,
             verify: false,
+            mask_width: None,
         }
     }
 }
@@ -173,22 +177,23 @@ pub fn run(hs: &mut HStreams, cfg: &CholConfig) -> HsResult<CholResult> {
             let card = first_card.ok_or_else(|| {
                 hstreams_core::HsError::InvalidArg("offload variant needs a card".into())
             })?;
-            let cores = hs.domains()[card.0].cores;
-            let n_streams = cfg.streams_per_card.min(cores as usize).max(1);
-            let streams = hs.app_init(&[(card, n_streams)])?;
+            let streams = crate::domain_streams(hs, card, cfg.streams_per_card, cfg.mask_width)?;
             panel_stream = streams[0];
             card_streams = vec![streams];
         }
         _ => {
             panel_stream = hs.stream_create(DomainId::HOST, CpuMask::first(host_cores))?;
             if matches!(cfg.variant, CholVariant::Hetero | CholVariant::MklAoLike) {
-                let n = cfg.streams_host.min(host_cores as usize).max(1);
-                host_workers = hs.app_init(&[(DomainId::HOST, n)])?;
+                host_workers =
+                    crate::domain_streams(hs, DomainId::HOST, cfg.streams_host, cfg.mask_width)?;
             }
             for card in &cards {
-                let cores = hs.domains()[card.0].cores;
-                let n_streams = cfg.streams_per_card.min(cores as usize).max(1);
-                card_streams.push(hs.app_init(&[(*card, n_streams)])?);
+                card_streams.push(crate::domain_streams(
+                    hs,
+                    *card,
+                    cfg.streams_per_card,
+                    cfg.mask_width,
+                )?);
             }
         }
     }

@@ -25,3 +25,42 @@ pub mod remote;
 pub mod rtm;
 pub mod solver;
 pub mod tilebuf;
+pub mod tuned;
+
+use hstreams_core::{DomainId, HStreams, HsResult, StreamId};
+
+/// Create `n` worker streams on `domain`, honoring an optional tuned mask
+/// width: `None` keeps the classic even partition of the domain's cores
+/// (`app_init`); `Some(w)` binds each stream to a disjoint `w`-core mask,
+/// clamped so the demand never oversubscribes the domain. Every app's
+/// `mask_width` config knob funnels through here.
+///
+/// The width knob binds only the *tuned* compute domain — the cards when
+/// the platform has any, else the host. Host helper streams on a carded
+/// platform keep their even partition: the tuner's machine signature
+/// keys the width to the card's core count, and bleeding a card-sized
+/// width onto the host would silently reshape streams the search never
+/// measured.
+pub fn domain_streams(
+    hs: &HStreams,
+    domain: DomainId,
+    n: usize,
+    mask_width: Option<u32>,
+) -> HsResult<Vec<StreamId>> {
+    let cores = hs
+        .domains()
+        .get(domain.0)
+        .map(|d| d.cores)
+        .unwrap_or(1)
+        .max(1);
+    let n = n.min(cores as usize).max(1);
+    let mask_width = if domain == DomainId::HOST && hs.platform().num_cards() > 0 {
+        None
+    } else {
+        mask_width
+    };
+    match mask_width {
+        None => hs.app_init(&[(domain, n)]),
+        Some(w) => hs.app_init_masked(domain, n, w.clamp(1, (cores / n as u32).max(1))),
+    }
+}

@@ -43,6 +43,9 @@ pub struct LuConfig {
     pub variant: LuVariant,
     pub streams: usize,
     pub verify: bool,
+    /// Tuned per-stream sink mask width (cores per stream); `None` keeps
+    /// the even partition of the target domain's cores.
+    pub mask_width: Option<u32>,
 }
 
 impl LuConfig {
@@ -53,6 +56,7 @@ impl LuConfig {
             variant,
             streams: 4,
             verify: false,
+            mask_width: None,
         }
     }
 }
@@ -122,9 +126,7 @@ fn run_tiled(hs: &mut HStreams, cfg: &LuConfig, real: bool) -> HsResult<(f64, Op
     } else {
         DomainId::HOST
     };
-    let cores = hs.domains()[target.0].cores;
-    let n_streams = cfg.streams.min(cores as usize).max(1);
-    let streams = hs.app_init(&[(target, n_streams)])?;
+    let streams = crate::domain_streams(hs, target, cfg.streams, cfg.mask_width)?;
 
     let ta = TileBufs::create(hs, map, "LU");
     let a_ref = if real && cfg.verify {

@@ -39,6 +39,9 @@ pub struct MatmulConfig {
     pub load_balance: bool,
     /// Real mode: check the product against the reference.
     pub verify: bool,
+    /// Tuned per-stream sink mask width (cores per stream); `None` keeps
+    /// the even partition of each domain's cores.
+    pub mask_width: Option<u32>,
 }
 
 impl MatmulConfig {
@@ -51,6 +54,7 @@ impl MatmulConfig {
             host_participates: true,
             load_balance: true,
             verify: false,
+            mask_width: None,
         }
     }
 }
@@ -128,9 +132,7 @@ pub fn run(hs: &mut HStreams, cfg: &MatmulConfig) -> HsResult<MatmulResult> {
         } else {
             cfg.streams_per_card
         };
-        let info = &hs.domains()[d.0];
-        let n_streams = n_streams.min(info.cores as usize).max(1);
-        let streams = hs.app_init(&[(*d, n_streams)])?;
+        let streams = crate::domain_streams(hs, *d, n_streams, cfg.mask_width)?;
         dev_streams.push(streams);
     }
 

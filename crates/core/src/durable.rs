@@ -414,6 +414,9 @@ struct WalState {
     /// Size of the last checkpoint's buffer snapshot: the throttle scales
     /// with it, so snapshot work amortizes against log growth.
     ckpt_blob_bytes: u64,
+    /// `fsync_batched` already pushed to the obs hub — the hub's counter is
+    /// cumulative (`counter_add`), so each publish sends only the delta.
+    published_fsync_batched: u64,
 }
 
 impl WalShared {
@@ -425,6 +428,7 @@ impl WalShared {
                 last_partition: None,
                 ckpt_bytes: 0,
                 ckpt_blob_bytes: 0,
+                published_fsync_batched: 0,
             }),
             pending: AtomicU64::new(0),
             chaos,
@@ -516,7 +520,7 @@ impl WalShared {
                     Self::mark_broken(&mut st, &self.chaos, &self.obs, &e.to_string());
                 }
                 self.pending.store(0, Ordering::Relaxed);
-                self.publish_gauges(&st);
+                self.publish_gauges(&mut st);
                 return;
             }
             None => {}
@@ -525,15 +529,24 @@ impl WalShared {
             Self::mark_broken(&mut st, &self.chaos, &self.obs, &e.to_string());
         }
         self.pending.store(0, Ordering::Relaxed);
-        self.publish_gauges(&st);
+        self.publish_gauges(&mut st);
     }
 
-    fn publish_gauges(&self, st: &WalState) {
+    fn publish_gauges(&self, st: &mut WalState) {
         let s = st.wal.stats();
         self.obs
             .gauge_set("wal.appended_bytes", s.appended_bytes as i64);
         self.obs.gauge_set("wal.segments", s.segments as i64);
         self.obs.gauge_set("wal.fsync_us", s.fsync_us as i64);
+        self.obs.gauge_set("wal.fsyncs", s.fsyncs as i64);
+        // Group-commit evidence: how many flushes shared a later flush's
+        // fsync instead of paying their own (cumulative obs counter, so
+        // publish the delta since the last push).
+        let delta = s.fsync_batched - st.published_fsync_batched;
+        if delta > 0 {
+            self.obs.counter_add("wal.fsync_batched", delta);
+            st.published_fsync_batched = s.fsync_batched;
+        }
     }
 
     pub(crate) fn stats(&self) -> WalStats {
@@ -588,7 +601,7 @@ impl WalShared {
             Err(e) => Self::mark_broken(&mut st, &self.chaos, &self.obs, &e.to_string()),
         }
         st.ckpt_bytes = st.wal.stats().appended_bytes;
-        self.publish_gauges(&st);
+        self.publish_gauges(&mut st);
         true
     }
 

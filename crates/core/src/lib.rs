@@ -659,6 +659,42 @@ impl HStreams {
         Ok(out)
     }
 
+    /// App-API convenience: `n` streams on `domain`, each sink bound to a
+    /// *disjoint* `width`-core mask — stream `i` gets cores `[i·width,
+    /// (i+1)·width)`. The tuner's mask-width knob: unlike
+    /// [`HStreams::app_init`]'s even partition, the width is explicit, so
+    /// `n · width` may deliberately undersubscribe the domain (leaving
+    /// cores idle) but may not oversubscribe it — that's an error, not a
+    /// silent overlap.
+    pub fn app_init_masked(
+        &self,
+        domain: DomainId,
+        n: usize,
+        width: u32,
+    ) -> HsResult<Vec<StreamId>> {
+        self.inner.stats.bump("app_init_masked");
+        let cores = self
+            .inner
+            .platform
+            .domains
+            .get(domain.0)
+            .ok_or(HsError::UnknownDomain(domain))?
+            .cores;
+        if width == 0 {
+            return Err(HsError::InvalidArg("app_init_masked: width 0".into()));
+        }
+        let demand = width as u64 * n as u64;
+        if demand > cores as u64 {
+            return Err(HsError::InvalidArg(format!(
+                "app_init_masked: {n} streams × {width} cores = {demand} exceeds the \
+                 {cores} cores of domain {domain:?}"
+            )));
+        }
+        (0..n as u32)
+            .map(|i| self.stream_create(domain, CpuMask::range(i * width, width)))
+            .collect()
+    }
+
     fn stream_arc(&self, s: StreamId) -> HsResult<Arc<Mutex<StreamState>>> {
         with_class(LockClass::Streams, || {
             self.inner.streams.read().get(s.0 as usize).cloned()
@@ -2138,11 +2174,52 @@ impl HStreams {
             )));
         }
         let run_id = durable::fresh_run_id();
-        self.enable_durability(root, run_id)?;
+        self.enable_durability(root, run_id, hs_wal::WalOptions::default())?;
         Ok(run_id)
     }
 
-    fn enable_durability(&self, root: &std::path::Path, run_id: u64) -> HsResult<()> {
+    /// [`HStreams::durability`] with explicit media-durability knobs:
+    /// `fsync` syncs segment data to media on every runtime flush, and
+    /// `batch_ms > 0` group-commits those syncs — flushes landing within
+    /// `batch_ms` of the last fsync skip the syscall (counted on the
+    /// `wal.fsync_batched` counter) and ride the next one, trading a
+    /// bounded post-crash media-durability window for one fsync per
+    /// window instead of one per flush. `batch_ms` is ignored when
+    /// `fsync` is off. Same preconditions and return value as
+    /// [`HStreams::durability`].
+    pub fn durability_opts(
+        &self,
+        root: impl AsRef<std::path::Path>,
+        fsync: bool,
+        batch_ms: u64,
+    ) -> HsResult<u64> {
+        let root = root.as_ref();
+        let runs = durable::list_runs(root)
+            .map_err(|e| HsError::ExecFailed(format!("wal: listing {}: {e}", root.display())))?;
+        if let Some((id, _)) = runs.first() {
+            return Err(HsError::InvalidArg(format!(
+                "durability: {} already holds run {:016x} — recover() it or use a fresh \
+                 root (recover treats the oldest run as authoritative and deletes newer ones)",
+                root.display(),
+                id
+            )));
+        }
+        let run_id = durable::fresh_run_id();
+        let opts = hs_wal::WalOptions {
+            fsync,
+            fsync_batch_ms: batch_ms,
+            ..hs_wal::WalOptions::default()
+        };
+        self.enable_durability(root, run_id, opts)?;
+        Ok(run_id)
+    }
+
+    fn enable_durability(
+        &self,
+        root: &std::path::Path,
+        run_id: u64,
+        opts: hs_wal::WalOptions,
+    ) -> HsResult<()> {
         if self.inner.events.len() != 0 {
             return Err(HsError::InvalidArg(
                 "durability must be enabled before any action is enqueued".into(),
@@ -2151,7 +2228,7 @@ impl HStreams {
         let dir = root.join(durable::run_dir_name(run_id));
         std::fs::create_dir_all(&dir)
             .map_err(|e| HsError::ExecFailed(format!("wal: creating {}: {e}", dir.display())))?;
-        let wal = hs_wal::Wal::create(&dir, run_id, hs_wal::WalOptions::default())
+        let wal = hs_wal::Wal::create(&dir, run_id, opts)
             .map_err(|e| HsError::ExecFailed(format!("wal: opening {}: {e}", dir.display())))?;
         let shared = Arc::new(durable::WalShared::new(
             wal,
@@ -2265,7 +2342,7 @@ impl HStreams {
         report.records = actions.len() as u32;
         // Re-log into a fresh generation, strictly newer than the source.
         let new_id = durable::fresh_run_id().max(src_id + 1);
-        self.enable_durability(root, new_id)?;
+        self.enable_durability(root, new_id, hs_wal::WalOptions::default())?;
         let mut ckpt_persisted = true;
         if let Some((_, bufs)) = &ckpt {
             self.wal_overlay_checkpoint(bufs);

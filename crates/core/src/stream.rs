@@ -147,7 +147,8 @@ impl StreamState {
             self.retire_now(&is_complete);
         } else {
             // Prefix trim of the ordered list only (index entries linger
-            // until the next full sweep; they only cost redundant deps).
+            // until the next full sweep — or until the first `find_deps`
+            // probe touches them, which prunes them in place).
             let drop = self.all.iter().take_while(|e| is_complete(**e)).count();
             if drop > 0 {
                 self.all.drain(..drop);
@@ -221,11 +222,11 @@ impl StreamState {
     /// Dependences a new action with `footprint` must wait for, per the
     /// ordering mode, appended to `out`. Call after [`StreamState::retire`].
     ///
-    /// Returns the number of *stale* location-index entries skipped: items
+    /// Returns the number of *stale* location-index entries pruned: items
     /// whose event precedes the oldest pending one are already complete
     /// (they linger in `by_loc` between full sweeps) and induce no
-    /// dependence — they are counted instead of re-reported, feeding the
-    /// `deps.redundant` obs counter.
+    /// dependence — they are removed from the index on first contact and
+    /// counted once, feeding the `deps.redundant` obs counter.
     pub fn find_deps(
         &mut self,
         footprint: &Footprint,
@@ -245,18 +246,24 @@ impl StreamState {
                 }
                 // An index entry below the pending-id floor cannot be
                 // pending: it is a retired leftover and induces no
-                // dependence. (An already-retired entry *above* the floor
-                // merely resolves to a completed event downstream — safe,
-                // just not counted as redundant.)
+                // dependence — so it is pruned *here*, in place, rather
+                // than skipped. Skipping let a stale entry charge one
+                // redundant probe per enqueue until the next full sweep
+                // (the single-enqueue path sweeps only every 64 calls);
+                // pruning on first contact bounds its lifetime cost to
+                // one probe, matching what the batch path's amortized
+                // sweep already achieved. (An already-retired entry
+                // *above* the floor merely resolves to a completed event
+                // downstream — safe, just not counted as redundant.)
                 let min_pending = self.min_pending;
                 let mut redundant = 0u64;
                 out.extend_from_slice(self.last_barrier.as_slice());
                 for item in footprint {
-                    if let Some(items) = self.by_loc.get(&(item.domain, item.buffer)) {
-                        for p in items {
+                    if let Some(items) = self.by_loc.get_mut(&(item.domain, item.buffer)) {
+                        items.retain(|p| {
                             if p.event.0 < min_pending {
                                 redundant += 1;
-                                continue;
+                                return false;
                             }
                             if p.range.start < item.range.end
                                 && item.range.start < p.range.end
@@ -264,7 +271,8 @@ impl StreamState {
                             {
                                 out.push(p.event);
                             }
-                        }
+                            true
+                        });
                     }
                 }
                 redundant
@@ -464,8 +472,8 @@ mod tests {
         );
         assert_eq!(out.as_slice(), &[Event(1)], "stale entry induces no dep");
         assert_eq!(redundant, 1, "the lingering index entry is counted");
-        // After a full sweep nothing is stale.
-        s.retire_now(|e| e == Event(0));
+        // The probe pruned the stale entry in place: a second identical
+        // probe pays nothing (no full sweep needed in between).
         let mut out2 = DepList::new();
         let r2 = s.find_deps(
             &fp(0, 0..10, false),
@@ -473,7 +481,18 @@ mod tests {
             OrderingMode::OutOfOrder,
             &mut out2,
         );
-        assert_eq!(r2, 0);
+        assert_eq!(out2.as_slice(), &[Event(1)]);
+        assert_eq!(r2, 0, "a stale entry costs at most one probe, ever");
+        // After a full sweep nothing is stale either.
+        s.retire_now(|e| e == Event(0));
+        let mut out3 = DepList::new();
+        let r3 = s.find_deps(
+            &fp(0, 0..10, false),
+            false,
+            OrderingMode::OutOfOrder,
+            &mut out3,
+        );
+        assert_eq!(r3, 0);
     }
 
     #[test]

@@ -426,3 +426,61 @@ fn durability_and_recover_require_a_fresh_runtime() {
     assert!(fresh.recover(&root).is_err(), "no runs to recover");
     let _ = std::fs::remove_dir_all(&root);
 }
+
+/// Group-commit fsync: with a wide batch window, flushes inside the window
+/// skip the syscall (counted) and the log still recovers every record —
+/// batching trades the media-durability window, never page-cache
+/// durability.
+#[test]
+fn durability_opts_group_commits_fsyncs() {
+    let root = tmp_root("fsync-batch");
+    let hs = runtime(ExecMode::Threads);
+    hs.obs_enable(true);
+    hs.durability_opts(&root, true, 60_000).expect("enable");
+    let (s0, s1, buf) = init_workload(&hs);
+    // Several enqueue→sync cycles: each sync flushes fresh bytes, and all
+    // but the first flush land inside the 60 s window.
+    for _ in 0..3 {
+        enqueue_rounds(&hs, s0, s1, buf, 2);
+        hs.thread_synchronize().expect("sync");
+    }
+    let stats = hs.wal_stats().expect("wal on");
+    assert!(stats.fsyncs >= 1, "creation-time flush syncs: {stats:?}");
+    assert!(
+        stats.fsync_batched > 0,
+        "wait-entry flushes inside the window must defer: {stats:?}"
+    );
+    let rows = hs.metrics().rows();
+    let batched = rows
+        .iter()
+        .find(|(k, _)| k == "wal.fsync_batched")
+        .map(|(_, v)| *v)
+        .unwrap_or(0.0);
+    assert!(batched > 0.0, "obs counter mirrors the deferral: {rows:?}");
+    drop(hs);
+
+    // Every record still lands: recovery replays the full history.
+    let expect = fault_free(ExecMode::Threads, 6);
+    let hs2 = runtime(ExecMode::Threads);
+    let (_s0, _s1, buf2) = init_workload(&hs2);
+    hs2.recover(&root).expect("recover");
+    hs2.thread_synchronize().expect("post-recover sync");
+    assert_eq!(read_result(&hs2, buf2), expect);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// batch_ms = 0 keeps the old contract: every syncing flush issues its own
+/// fsync, nothing is ever deferred.
+#[test]
+fn durability_opts_zero_window_syncs_every_flush() {
+    let root = tmp_root("fsync-now");
+    let hs = runtime(ExecMode::Threads);
+    hs.durability_opts(&root, true, 0).expect("enable");
+    let (s0, s1, buf) = init_workload(&hs);
+    enqueue_rounds(&hs, s0, s1, buf, 3);
+    hs.thread_synchronize().expect("sync");
+    let stats = hs.wal_stats().expect("wal on");
+    assert_eq!(stats.fsync_batched, 0, "no window, no deferral: {stats:?}");
+    assert!(stats.fsyncs >= stats.flushes.min(1), "{stats:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}

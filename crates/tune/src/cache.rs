@@ -1,0 +1,123 @@
+//! On-disk config cache: tune once, reuse until the problem changes.
+//!
+//! One file per (workload, machine) signature pair, named by a 64-bit
+//! FNV-1a of both encodings and written through `hs_wal::write_blob` —
+//! the same CRC-framed tmp+rename machinery the WAL uses for checkpoint
+//! blobs, so a crash mid-store leaves the old entry or nothing, never a
+//! torn one. [`TunerCache::load`] treats *any* defect — missing file,
+//! CRC failure, wrong magic/version, or a hash collision whose decoded
+//! signatures don't match the request — as a miss: the caller re-tunes
+//! and overwrites. A stale or foreign config is never served.
+
+use crate::{MachineSig, TunedConfig, WorkloadSig};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Payload header: distinguishes a tuner blob from any other blob family
+/// sharing the frame format, and versions the payload layout.
+const TUNE_MAGIC: &[u8; 8] = b"HSTUNE1\0";
+const TUNE_VERSION: u32 = 1;
+
+/// Bounds-checked little-endian reader over a decoded payload (the blob
+/// frame's CRC already rejected bit rot; this guards layout drift).
+pub(crate) struct Rd<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Rd<'a> {
+    pub(crate) fn new(b: &'a [u8]) -> Rd<'a> {
+        Rd { b, i: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.b.get(self.i..self.i + n)?;
+        self.i += n;
+        Some(s)
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    fn done(&self) -> bool {
+        self.i == self.b.len()
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Directory of learned configs.
+pub struct TunerCache {
+    dir: PathBuf,
+}
+
+impl TunerCache {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<TunerCache> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(TunerCache { dir })
+    }
+
+    /// The entry file for a signature pair.
+    pub fn entry_path(&self, w: &WorkloadSig, m: &MachineSig) -> PathBuf {
+        let mut key = Vec::new();
+        w.encode(&mut key);
+        m.encode(&mut key);
+        self.dir.join(format!("cfg-{:016x}.tune", fnv64(&key)))
+    }
+
+    /// Look up a learned config. `None` on any miss, including a
+    /// corrupt/truncated blob or signature mismatch.
+    pub fn load(&self, w: &WorkloadSig, m: &MachineSig) -> Option<TunedConfig> {
+        let payload = hs_wal::read_blob(&self.entry_path(w, m)).ok()??;
+        let mut r = Rd::new(&payload);
+        if r.take(8)? != TUNE_MAGIC || r.u32()? != TUNE_VERSION {
+            return None;
+        }
+        let got_w = WorkloadSig::decode(&mut r)?;
+        let got_m = MachineSig::decode(&mut r)?;
+        let cfg = TunedConfig {
+            streams_per_card: r.u32()?,
+            mask_width: r.u32()?,
+            tile: r.u64()? as usize,
+        };
+        if !r.done() || got_w != *w || got_m != *m {
+            return None;
+        }
+        Some(cfg)
+    }
+
+    /// Persist a learned config (atomic replace; page-cache durability —
+    /// a lost cache entry costs a re-tune, not correctness).
+    pub fn store(&self, w: &WorkloadSig, m: &MachineSig, cfg: &TunedConfig) -> io::Result<()> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(TUNE_MAGIC);
+        payload.extend_from_slice(&TUNE_VERSION.to_le_bytes());
+        w.encode(&mut payload);
+        m.encode(&mut payload);
+        payload.extend_from_slice(&cfg.streams_per_card.to_le_bytes());
+        payload.extend_from_slice(&cfg.mask_width.to_le_bytes());
+        payload.extend_from_slice(&(cfg.tile as u64).to_le_bytes());
+        hs_wal::write_blob(&self.entry_path(w, m), &payload, false)
+    }
+}

@@ -1,0 +1,323 @@
+//! The search itself: coordinate descent with neighborhood refinement
+//! over a 3-axis grid, plus the Spearman rank statistic the calibration
+//! contract reports.
+//!
+//! The cost oracle (a sim run of the actual task graph) is deterministic,
+//! so the whole search is: identical space + seed + oracle ⇒ identical
+//! chosen config, bit for bit. The seed only picks the descent's starting
+//! point (via splitmix64) — useful to escape a bad corner on gnarly
+//! landscapes, irrelevant to reproducibility.
+
+use std::collections::HashMap;
+
+/// One point in the knob space, as axis *indices* into a [`Grid`].
+pub(crate) type Pt = [usize; 3];
+
+/// The feasible grid: explicit candidate values per axis. Infeasible
+/// combinations are the oracle's to reject (cost `None`), so the grid
+/// itself stays a plain cross product.
+pub(crate) struct Grid {
+    pub axes: [Vec<u64>; 3],
+}
+
+impl Grid {
+    fn contains(&self, p: Pt) -> bool {
+        p.iter().zip(&self.axes).all(|(i, ax)| *i < ax.len())
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Memoizing wrapper around the cost oracle: every grid point is costed
+/// at most once, and the full evaluation history is kept for the
+/// validation stage (top-k by sim cost) and the explored count.
+pub(crate) struct Memo<'a> {
+    oracle: Box<dyn FnMut(Pt) -> Option<f64> + 'a>,
+    pub seen: HashMap<Pt, Option<f64>>,
+}
+
+impl<'a> Memo<'a> {
+    pub fn new(oracle: impl FnMut(Pt) -> Option<f64> + 'a) -> Memo<'a> {
+        Memo {
+            oracle: Box::new(oracle),
+            seen: HashMap::new(),
+        }
+    }
+
+    fn cost(&mut self, p: Pt) -> Option<f64> {
+        if let Some(c) = self.seen.get(&p) {
+            return *c;
+        }
+        let c = (self.oracle)(p);
+        self.seen.insert(p, c);
+        c
+    }
+
+    /// Evaluated feasible points, best (lowest cost) first. Ties break on
+    /// the point itself so ordering is deterministic.
+    pub fn ranked(&self) -> Vec<(Pt, f64)> {
+        let mut v: Vec<(Pt, f64)> = self
+            .seen
+            .iter()
+            .filter_map(|(p, c)| c.map(|c| (*p, c)))
+            .collect();
+        v.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        v
+    }
+}
+
+/// Multi-start coordinate descent, then a full ±1-step neighborhood
+/// sweep around each local optimum. Returns the best feasible point
+/// found, or `None` when every costed point was infeasible.
+///
+/// Starts: one seed-picked point, plus one start per axis-0 (stream
+/// count) value pinned at the last axis-1 (mask width) index. The two
+/// knobs are feasibility-coupled — halving the streams doubles the
+/// feasible width — so single-axis moves can never cross between
+/// `(s, cores/s)` configurations (the even-partition diagonal every
+/// hand-tuned grid sweeps). A start on each streams row lets that row's
+/// width scan land on its own widest feasible mask. Memoization makes
+/// the overlap between descents free.
+pub(crate) fn descend(grid: &Grid, seed: u64, memo: &mut Memo<'_>) -> Option<Pt> {
+    let mut rng = seed;
+    let mut seeded: Pt = [0; 3];
+    for (i, ax) in grid.axes.iter().enumerate() {
+        seeded[i] = (splitmix64(&mut rng) % ax.len().max(1) as u64) as usize;
+    }
+    let mut starts = vec![seeded];
+    let wide = grid.axes[1].len().saturating_sub(1);
+    let mid_tile = grid.axes[2].len() / 2;
+    for i0 in 0..grid.axes[0].len() {
+        starts.push([i0, wide, mid_tile]);
+    }
+
+    let mut best: Option<(Pt, f64)> = None;
+    for s in starts {
+        let Some(p) = descend_from(grid, s, memo) else {
+            continue;
+        };
+        let c = memo.cost(p).expect("descend_from returns costed points");
+        let replace = match &best {
+            None => true,
+            // Tie-break on the point itself: deterministic regardless of
+            // start order.
+            Some((bp, bc)) => c < *bc || (c == *bc && p < *bp),
+        };
+        if replace {
+            best = Some((p, c));
+        }
+    }
+    best.map(|(p, _)| p)
+}
+
+/// One descent: sweep axes to their best values from `start`, then chase
+/// diagonal ±1 improvements. Returns the local optimum, or `None` if no
+/// feasible point was seen from this start.
+fn descend_from(grid: &Grid, start: Pt, memo: &mut Memo<'_>) -> Option<Pt> {
+    let mut cur: Pt = start;
+    let mut best_cost = memo.cost(cur);
+
+    // Descent: sweep one axis at a time to its best value, repeat until a
+    // full pass moves nothing. The pass bound only guards a (impossible
+    // with memoized exact costs) cycle.
+    for _pass in 0..8 {
+        let mut moved = false;
+        for axis in 0..3 {
+            let mut best_i = cur[axis];
+            for i in 0..grid.axes[axis].len() {
+                let mut p = cur;
+                p[axis] = i;
+                let c = memo.cost(p);
+                if better(c, best_cost) {
+                    best_cost = c;
+                    best_i = i;
+                }
+            }
+            if best_i != cur[axis] {
+                cur[axis] = best_i;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    // Refinement: coordinate descent only moves along axes; cost ridges
+    // that require moving two knobs together (e.g. fewer, wider streams)
+    // hide from it. The 3³−1 diagonal neighborhood around the optimum is
+    // cheap and catches exactly those.
+    loop {
+        let mut improved = false;
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    let p = offset(cur, [dx, dy, dz]);
+                    let Some(p) = p else { continue };
+                    if !grid.contains(p) || p == cur {
+                        continue;
+                    }
+                    let c = memo.cost(p);
+                    if better(c, best_cost) {
+                        best_cost = c;
+                        cur = p;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    best_cost.map(|_| cur)
+}
+
+fn offset(p: Pt, d: [i64; 3]) -> Option<Pt> {
+    let mut out = [0usize; 3];
+    for i in 0..3 {
+        let v = p[i] as i64 + d[i];
+        if v < 0 {
+            return None;
+        }
+        out[i] = v as usize;
+    }
+    Some(out)
+}
+
+fn better(candidate: Option<f64>, incumbent: Option<f64>) -> bool {
+    match (candidate, incumbent) {
+        (Some(c), Some(b)) => c < b,
+        (Some(_), None) => true,
+        _ => false,
+    }
+}
+
+/// Spearman rank correlation between two paired samples (here: sim cost
+/// vs wall cost of the validated candidates): Pearson correlation of the
+/// rank vectors, which stays exact under ties (the classic 1−6Σd²/…
+/// shortcut does not). 1.0 when fewer than two pairs — a single point is
+/// trivially in agreement with itself; 0.0 when either side has no
+/// order at all (all values tied).
+pub(crate) fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len();
+    debug_assert_eq!(n, ys.len());
+    if n < 2 {
+        return 1.0;
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (mx, my) = (mean(&rx), mean(&ry));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in rx.iter().zip(&ry) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|a, b| {
+        v[*a]
+            .partial_cmp(&v[*b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut r = vec![0.0; v.len()];
+    // Average ranks over ties so exact-equal costs don't fabricate order.
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for k in i..=j {
+            r[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid3(a: usize, b: usize, c: usize) -> Grid {
+        Grid {
+            axes: [
+                (0..a as u64).collect(),
+                (0..b as u64).collect(),
+                (0..c as u64).collect(),
+            ],
+        }
+    }
+
+    #[test]
+    fn descends_to_global_min_of_separable_bowl() {
+        let grid = grid3(7, 5, 9);
+        let target = [2usize, 4, 1];
+        for seed in 0..16 {
+            let mut memo = Memo::new(|p: Pt| {
+                let d: f64 = p
+                    .iter()
+                    .zip(&target)
+                    .map(|(a, b)| (*a as f64 - *b as f64).powi(2))
+                    .sum();
+                Some(d)
+            });
+            assert_eq!(descend(&grid, seed, &mut memo), Some(target));
+        }
+    }
+
+    #[test]
+    fn refinement_crosses_a_diagonal_ridge() {
+        // Bowl over (x+y) with a penalty for |x−y|: the minimum moves
+        // diagonally, the classic coordinate-descent trap.
+        let grid = grid3(8, 8, 1);
+        let mut memo = Memo::new(|p: Pt| {
+            let (x, y) = (p[0] as f64, p[1] as f64);
+            Some((x + y - 10.0).powi(2) + 4.0 * (x - y).powi(2))
+        });
+        let best = descend(&grid, 1, &mut memo).expect("feasible");
+        assert_eq!(best, [5, 5, 0]);
+    }
+
+    #[test]
+    fn infeasible_points_are_skipped() {
+        let grid = grid3(4, 1, 1);
+        let mut memo = Memo::new(|p: Pt| if p[0] == 3 { Some(1.0) } else { None });
+        assert_eq!(descend(&grid, 7, &mut memo), Some([3, 0, 0]));
+        let mut all_bad = Memo::new(|_| None);
+        assert_eq!(descend(&grid, 7, &mut all_bad), None);
+    }
+
+    #[test]
+    fn spearman_agrees_and_disagrees() {
+        assert_eq!(spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]), 1.0);
+        assert_eq!(spearman(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]), -1.0);
+        assert_eq!(spearman(&[5.0], &[9.0]), 1.0);
+        // Ties average: identical ys correlate 0 with any xs order.
+        let rho = spearman(&[1.0, 2.0, 3.0, 4.0], &[7.0, 7.0, 7.0, 7.0]);
+        assert!(rho.abs() < 1e-9, "{rho}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Cache-key signatures: what a learned config is *for*.
+//!
+//! A tuned config is only transferable between runs that present the same
+//! optimization problem: the same workload shape (kind, problem size,
+//! element footprint) on the same machine shape (cores, card count, link
+//! model). Both halves are captured as exact-equality signatures — floats
+//! enter the encoding via `to_bits`, so "the same link model" means
+//! bit-identical, never approximately-equal. A mismatch on either half is
+//! a cache miss and a fresh tune; a stale config is never served.
+
+use hs_machine::PlatformCfg;
+
+/// What is being tuned: the workload's shape, independent of machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkloadSig {
+    /// Workload family — `"matmul"`, `"cholesky"`, `"lu"`, or any
+    /// app-defined tag. Distinct kinds never share a cache entry.
+    pub kind: String,
+    /// Problem size (matrix dimension for the dense-linalg apps).
+    pub n: u64,
+    /// Per-element footprint in bytes (8 for f64): the knob landscape
+    /// shifts with working-set size, not just logical n.
+    pub dtype_bytes: u32,
+}
+
+impl WorkloadSig {
+    pub fn new(kind: impl Into<String>, n: u64, dtype_bytes: u32) -> WorkloadSig {
+        WorkloadSig {
+            kind: kind.into(),
+            n,
+            dtype_bytes,
+        }
+    }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        let kb = self.kind.as_bytes();
+        out.extend_from_slice(&(kb.len() as u32).to_le_bytes());
+        out.extend_from_slice(kb);
+        out.extend_from_slice(&self.n.to_le_bytes());
+        out.extend_from_slice(&self.dtype_bytes.to_le_bytes());
+    }
+
+    pub(crate) fn decode(r: &mut crate::cache::Rd<'_>) -> Option<WorkloadSig> {
+        let kind = String::from_utf8(r.bytes()?.to_vec()).ok()?;
+        Some(WorkloadSig {
+            kind,
+            n: r.u64()?,
+            dtype_bytes: r.u32()?,
+        })
+    }
+}
+
+/// Where it is being tuned: the platform's shape as the cost model sees
+/// it. Derived from [`PlatformCfg`], never hand-built, so the signature
+/// tracks whatever platform the runtime was actually initialized with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineSig {
+    pub host_cores: u32,
+    pub cards: u32,
+    /// Cores of the first card (the homogeneous-cards assumption the
+    /// platform constructors uphold); 0 when there are no cards.
+    pub card_cores: u32,
+    /// First card's link model, captured as exact f64 bits (0 when
+    /// host-only).
+    pub link_latency_us_bits: u64,
+    pub link_h2d_bits: u64,
+    pub link_d2h_bits: u64,
+}
+
+impl MachineSig {
+    pub fn of(p: &PlatformCfg) -> MachineSig {
+        let host_cores = p.domains.first().map_or(0, |d| d.cores);
+        let card = p.cards().next().map(|(_, d)| d);
+        let link = card.and_then(|d| d.link.as_ref());
+        MachineSig {
+            host_cores,
+            cards: p.num_cards() as u32,
+            card_cores: card.map_or(0, |d| d.cores),
+            link_latency_us_bits: link.map_or(0, |l| l.latency_us.to_bits()),
+            link_h2d_bits: link.map_or(0, |l| l.h2d_bytes_per_sec.to_bits()),
+            link_d2h_bits: link.map_or(0, |l| l.d2h_bytes_per_sec.to_bits()),
+        }
+    }
+
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.host_cores.to_le_bytes());
+        out.extend_from_slice(&self.cards.to_le_bytes());
+        out.extend_from_slice(&self.card_cores.to_le_bytes());
+        out.extend_from_slice(&self.link_latency_us_bits.to_le_bytes());
+        out.extend_from_slice(&self.link_h2d_bits.to_le_bytes());
+        out.extend_from_slice(&self.link_d2h_bits.to_le_bytes());
+    }
+
+    pub(crate) fn decode(r: &mut crate::cache::Rd<'_>) -> Option<MachineSig> {
+        Some(MachineSig {
+            host_cores: r.u32()?,
+            cards: r.u32()?,
+            card_cores: r.u32()?,
+            link_latency_us_bits: r.u64()?,
+            link_h2d_bits: r.u64()?,
+            link_d2h_bits: r.u64()?,
+        })
+    }
+
+    /// Cores of the domain streams are tuned for: the card when there is
+    /// one, else the host.
+    pub fn target_cores(&self) -> u32 {
+        if self.cards > 0 {
+            self.card_cores
+        } else {
+            self.host_cores
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property (the torn-write shape from `crates/wal`): whatever single
+//! corruption hits a cache entry — truncation at any byte, or one flipped
+//! byte anywhere — `TunerCache::load` answers `None` or the exact stored
+//! config, never a different one. A damaged cache can only cost a
+//! re-tune.
+
+use hs_tune::{MachineSig, TunedConfig, TunerCache, WorkloadSig};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmpdir(tag: u64) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "hs-tune-prop-{}-{tag}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn sigs() -> (WorkloadSig, MachineSig) {
+    (
+        WorkloadSig::new("prop", 4096, 8),
+        MachineSig {
+            host_cores: 28,
+            cards: 1,
+            card_cores: 60,
+            link_latency_us_bits: 10f64.to_bits(),
+            link_h2d_bits: 6.0e9f64.to_bits(),
+            link_d2h_bits: 6.0e9f64.to_bits(),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn truncate_anywhere_never_yields_a_phantom_config(
+        streams in 1u32..16,
+        width in 1u32..32,
+        tile in 1usize..5000,
+        cut_frac in 0.0f64..1.0,
+        tag in 0u64..1_000_000,
+    ) {
+        let dir = tmpdir(tag);
+        let (w, m) = sigs();
+        let stored = TunedConfig { streams_per_card: streams, mask_width: width, tile };
+        let cache = TunerCache::open(&dir).unwrap();
+        cache.store(&w, &m, &stored).unwrap();
+        let entry = cache.entry_path(&w, &m);
+        let data = fs::read(&entry).unwrap();
+        let cut = (data.len() as f64 * cut_frac) as usize;
+        fs::write(&entry, &data[..cut]).unwrap();
+
+        let got = cache.load(&w, &m);
+        prop_assert!(
+            got.is_none() || got == Some(stored),
+            "truncation at {cut}/{} produced a different config: {got:?}",
+            data.len()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flip_any_byte_never_yields_a_phantom_config(
+        streams in 1u32..16,
+        width in 1u32..32,
+        tile in 1usize..5000,
+        at in 0usize..4096,
+        flip in 1u8..255,
+        tag in 0u64..1_000_000,
+    ) {
+        let dir = tmpdir(0x1_000_000 + tag);
+        let (w, m) = sigs();
+        let stored = TunedConfig { streams_per_card: streams, mask_width: width, tile };
+        let cache = TunerCache::open(&dir).unwrap();
+        cache.store(&w, &m, &stored).unwrap();
+        let entry = cache.entry_path(&w, &m);
+        let mut data = fs::read(&entry).unwrap();
+        let off = at % data.len();
+        data[off] ^= flip;
+        fs::write(&entry, &data).unwrap();
+
+        let got = cache.load(&w, &m);
+        prop_assert!(
+            got.is_none(),
+            "a flipped byte at {off} must fail the CRC/signature checks, got {got:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

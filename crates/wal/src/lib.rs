@@ -265,9 +265,17 @@ fn encode_header(partition: u32, run_id: u64, seq: u32) -> Vec<u8> {
 pub struct WalOptions {
     /// Rotate a partition's active segment once it exceeds this many bytes.
     pub segment_bytes: u64,
-    /// `fsync` every flushed segment file (full media durability). Off by
+    /// `fsync` flushed segment files (full media durability). Off by
     /// default: surviving process death only needs the page cache.
     pub fsync: bool,
+    /// Group-commit window for fsync, in milliseconds. With `fsync` on and
+    /// a nonzero window, a flush syncs to media only when at least this
+    /// long has passed since the previous sync — flushes inside the window
+    /// reach the page cache as usual and are counted in
+    /// [`WalStats::fsync_batched`], their media durability deferred to the
+    /// next out-of-window flush. `0` syncs every flush (one fsync per
+    /// flush, the pre-batching behavior). Ignored when `fsync` is off.
+    pub fsync_batch_ms: u64,
 }
 
 impl Default for WalOptions {
@@ -275,6 +283,7 @@ impl Default for WalOptions {
         WalOptions {
             segment_bytes: 4 << 20,
             fsync: false,
+            fsync_batch_ms: 0,
         }
     }
 }
@@ -292,6 +301,14 @@ pub struct WalStats {
     pub flushes: u64,
     /// Cumulative microseconds spent in fsync (0 unless fsync is enabled).
     pub fsync_us: u64,
+    /// fsync syscalls issued (one count per flush that synced, however
+    /// many partitions it covered).
+    pub fsyncs: u64,
+    /// Flushes whose fsync was deferred into a group-commit window
+    /// ([`WalOptions::fsync_batch_ms`]): they reached the page cache but
+    /// shared the next out-of-window flush's sync instead of paying their
+    /// own.
+    pub fsync_batched: u64,
     /// Segments deleted by [`Wal::retire`].
     pub retired_segments: u64,
 }
@@ -320,6 +337,9 @@ pub struct Wal {
     parts: BTreeMap<u32, Partition>,
     stats: WalStats,
     unflushed: u64,
+    /// When the last fsync completed (group-commit window anchor). `None`
+    /// until the first sync, so the first fsync-enabled flush always syncs.
+    last_fsync: Option<Instant>,
 }
 
 impl Wal {
@@ -344,6 +364,7 @@ impl Wal {
             parts: BTreeMap::new(),
             stats: WalStats::default(),
             unflushed: 0,
+            last_fsync: None,
         })
     }
 
@@ -494,6 +515,16 @@ impl Wal {
         self.unflushed += header.len() as u64;
         let p = self.parts.get_mut(&partition).expect("caller checked");
         p.w.flush()?;
+        // A rotated-out segment's handle is dropped here, after which no
+        // flush can reach it — with media durability on, sync it now
+        // (regardless of the group-commit window: deferring would lose the
+        // only chance).
+        if self.opts.fsync {
+            let t0 = Instant::now();
+            p.w.get_ref().sync_data()?;
+            self.stats.fsync_us += t0.elapsed().as_micros() as u64;
+            self.stats.fsyncs += 1;
+        }
         let old_w = std::mem::replace(&mut p.w, w);
         drop(old_w);
         let old = std::mem::replace(
@@ -512,18 +543,45 @@ impl Wal {
 
     /// Push all buffered appends to the kernel page cache (and to media if
     /// fsync is enabled). After this returns, everything appended so far
-    /// survives `kill -9` of the process.
+    /// survives `kill -9` of the process. With fsync and a group-commit
+    /// window ([`WalOptions::fsync_batch_ms`]), flushes inside the window
+    /// defer their media sync to the next out-of-window flush — media
+    /// durability trails by at most one window instead of paying one fsync
+    /// per flush.
     pub fn flush(&mut self) -> io::Result<()> {
         for p in self.parts.values_mut() {
             p.w.flush()?;
-            if self.opts.fsync {
-                let t0 = Instant::now();
-                p.w.get_ref().sync_data()?;
-                self.stats.fsync_us += t0.elapsed().as_micros() as u64;
+        }
+        if self.opts.fsync {
+            let due = match self.last_fsync {
+                None => true,
+                Some(t) => {
+                    self.opts.fsync_batch_ms == 0
+                        || t.elapsed().as_millis() as u64 >= self.opts.fsync_batch_ms
+                }
+            };
+            if due {
+                self.sync_all()?;
+            } else {
+                self.stats.fsync_batched += 1;
             }
         }
         self.stats.flushes += 1;
         self.unflushed = 0;
+        Ok(())
+    }
+
+    /// Sync every partition's active segment file to media unconditionally,
+    /// resetting the group-commit window. Callers must have flushed (or
+    /// accept that only kernel-visible bytes are synced).
+    pub fn sync_all(&mut self) -> io::Result<()> {
+        let t0 = Instant::now();
+        for p in self.parts.values_mut() {
+            p.w.get_ref().sync_data()?;
+        }
+        self.stats.fsync_us += t0.elapsed().as_micros() as u64;
+        self.stats.fsyncs += 1;
+        self.last_fsync = Some(Instant::now());
         Ok(())
     }
 
@@ -863,6 +921,7 @@ mod tests {
         let opts = WalOptions {
             segment_bytes: 256,
             fsync: false,
+            ..WalOptions::default()
         };
         let mut wal = Wal::create(&dir, 7, opts).unwrap();
         for ev in 1..=50u64 {
@@ -938,6 +997,7 @@ mod tests {
         let opts = WalOptions {
             segment_bytes: 64,
             fsync: false,
+            ..WalOptions::default()
         };
         let mut wal = Wal::create(&dir, 9, opts).unwrap();
         for ev in 1..=20u64 {
@@ -1056,6 +1116,73 @@ mod tests {
         assert!(s.appended_bytes >= (2 * (HEADER_LEN + RECORD_OVERHEAD + 8) + 7) as u64);
         wal.retire(10).unwrap();
         assert_eq!(wal.stats().retired_segments, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_every_flush_when_no_batch_window() {
+        let dir = tmpdir("fsync-nowin");
+        let opts = WalOptions {
+            fsync: true,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(&dir, 1, opts).unwrap();
+        for ev in 1..=5u64 {
+            wal.append(0, ev, b"payload").unwrap();
+            wal.flush().unwrap();
+        }
+        let s = wal.stats();
+        assert_eq!(s.flushes, 5);
+        assert_eq!(s.fsyncs, 5, "window 0 syncs every flush");
+        assert_eq!(s.fsync_batched, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_defers_fsync_inside_the_window() {
+        let dir = tmpdir("fsync-batch");
+        let opts = WalOptions {
+            fsync: true,
+            // A window far longer than this test: everything after the
+            // first sync lands inside it.
+            fsync_batch_ms: 60_000,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(&dir, 1, opts).unwrap();
+        for ev in 1..=5u64 {
+            wal.append(0, ev, b"payload").unwrap();
+            wal.flush().unwrap();
+        }
+        let s = wal.stats();
+        assert_eq!(s.flushes, 5);
+        assert_eq!(s.fsyncs, 1, "first flush syncs, the rest group-commit");
+        assert_eq!(s.fsync_batched, 4);
+        // Deferred flushes still reached the page cache: the log is fully
+        // recoverable.
+        assert_eq!(recover_dir(&dir).unwrap().records.len(), 5);
+        // An explicit sync_all drains the window unconditionally.
+        wal.append(0, 6, b"payload").unwrap();
+        wal.flush().unwrap();
+        wal.sync_all().unwrap();
+        assert_eq!(wal.stats().fsyncs, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_off_never_syncs_regardless_of_window() {
+        let dir = tmpdir("fsync-off");
+        let opts = WalOptions {
+            fsync: false,
+            fsync_batch_ms: 5,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(&dir, 1, opts).unwrap();
+        wal.append(0, 1, b"x").unwrap();
+        wal.flush().unwrap();
+        let s = wal.stats();
+        assert_eq!(s.fsyncs, 0);
+        assert_eq!(s.fsync_batched, 0, "window is ignored when fsync is off");
+        assert_eq!(s.fsync_us, 0);
         let _ = fs::remove_dir_all(&dir);
     }
 }

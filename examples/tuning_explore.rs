@@ -3,13 +3,51 @@
 //! stays untouched — the separation of concerns the paper leads with.
 //!
 //! Run with: `cargo run --release --example tuning_explore`
+//!
+//! Pass `--tune` to let `hs-tune` search the knob space instead of
+//! sweeping it by hand: same graph, same cost model, but the closed loop
+//! (coordinate descent + refinement over sim runs, cached on disk under
+//! the target dir printed at the end) replaces the printed grid.
 
 use hs_apps::matmul::{run, MatmulConfig};
+use hs_apps::tuned;
 use hs_machine::{Device, PlatformCfg};
+use hs_tune::{SearchSpace, Tune};
 use hstreams_core::{ExecMode, HStreams};
+
+fn tune_mode(n: usize) {
+    let mut template = MatmulConfig::new(n, 500);
+    template.host_participates = false;
+    let space = SearchSpace::new(
+        vec![1, 2, 4, 6, 8],
+        vec![1, 2, 4, 8, 14, 28],
+        vec![400, 500, 600, 1000, 1500, 2000],
+    );
+    let cache = std::env::temp_dir().join("hs-tune-explore");
+    let hs = HStreams::init(PlatformCfg::offload(Device::Hsw, 1), ExecMode::Sim);
+    let out = hs
+        .tune(tuned::matmul_spec(template.clone(), space, None).cache(&cache))
+        .expect("tune");
+    println!(
+        "tuned matmul n = {n}: {:?}\n  explored {} candidates, cache {} ({})",
+        out.config,
+        out.explored,
+        if out.cache_hit { "HIT" } else { "miss" },
+        cache.display()
+    );
+    template = tuned::matmul_config(&template, &out.config);
+    let mut sim = HStreams::init(PlatformCfg::offload(Device::Hsw, 1), ExecMode::Sim);
+    sim.set_tracing(false);
+    let g = run(&mut sim, &template).expect("matmul").gflops;
+    println!("  sim rate with the tuned config: {g:.0} GF/s");
+}
 
 fn main() {
     let n = 10000;
+    if std::env::args().any(|a| a == "--tune") {
+        tune_mode(n);
+        return;
+    }
     println!("tiled matmul, n = {n}, offloaded to 1 KNC — tuner knob sweep\n");
     println!("{:>8} {:>8} {:>12}", "streams", "tile", "GFlop/s");
     let mut best = (0.0f64, 0usize, 0usize);

@@ -18,7 +18,7 @@ failed=()
 for b in fig2_machines sec3_overheads fig3_coding fig6_matmul fig7_cholesky \
          fig8_abaqus fig9_supernode sec4_ompss_backend sec6_rtm ablation_lu \
          ablation_tuning ablation_scheduling runtime_primitives kernel_gemm \
-         enqueue_throughput; do
+         enqueue_throughput tune; do
   echo ""
   echo "################ bench: $b ################"
   if ! cargo bench -p hs-bench --bench "$b"; then
@@ -34,5 +34,5 @@ fi
 if [ -n "${HS_CHAOS_SEED:-}" ]; then
   echo "all benches passed under fault injection (seed ${HS_CHAOS_SEED}); no JSON artifacts written"
 else
-  echo "all benches passed; JSON artifacts: BENCH_fig6.json BENCH_fig7.json BENCH_kernel_gemm.json BENCH_enqueue.json"
+  echo "all benches passed; JSON artifacts: BENCH_fig6.json BENCH_fig7.json BENCH_kernel_gemm.json BENCH_enqueue.json BENCH_tune.json"
 fi
